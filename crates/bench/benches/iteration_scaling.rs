@@ -1,0 +1,38 @@
+//! Figure 10(b) micro-view: the cost of ONE OGWS building block (an LRS
+//! sweep bundle, i.e. one call of the LRS subroutine) as a function of the
+//! circuit size. The paper's claim is linear time per iteration; Criterion's
+//! per-size timings divided by the component count should therefore be flat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ncgws_bench::{generate, paper_config};
+use ncgws_core::{build_coupling, ConstraintBounds, LrsSolver, Multipliers, OrderingStrategy, SizingProblem};
+use ncgws_netlist::CircuitSpec;
+
+fn lrs_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lrs_per_iteration");
+    group.sample_size(20);
+    for (gates, wires) in [(100, 220), (200, 440), (400, 880), (800, 1760)] {
+        let spec = CircuitSpec::new(format!("scale-{gates}"), gates, wires).with_seed(29);
+        let instance = generate(spec);
+        let ordering = build_coupling(&instance, OrderingStrategy::Woss, false).unwrap();
+        let graph = &instance.circuit;
+        let config = paper_config();
+        let initial = config.initial_sizes(graph);
+        let initial_metrics =
+            ncgws_core::CircuitMetrics::evaluate(graph, &ordering.coupling, &initial);
+        let bounds = ConstraintBounds::from_initial(&initial_metrics, &config)
+            .clamped_to_feasible(graph, &ordering.coupling);
+        let problem = SizingProblem::new(graph, &ordering.coupling, bounds).unwrap();
+        let multipliers = Multipliers::uniform(graph, 1.0, 1.0);
+        let solver = LrsSolver::new(5, 1e-6);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(gates + wires),
+            &problem,
+            |b, p| b.iter(|| solver.solve(p, &multipliers)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, lrs_iteration);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Stage-1 cost: WOSS (O(n²)) vs the exact Held–Karp ordering (O(2ⁿ·n²)) on
+//! one routing channel, plus WOSS on large channels to confirm the quadratic
+//! growth stays negligible next to the sizing stage.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ncgws_circuit::NodeId;
+use ncgws_ordering::{exact_ordering, woss, SsProblem};
+
+fn problem(n: usize) -> SsProblem {
+    let mut weights = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                let w = (((i * 31 + j * 17) % 19) as f64 + 1.0) / 19.0;
+                weights[i * n + j] = w;
+                weights[j * n + i] = w;
+            }
+        }
+    }
+    for i in 0..n {
+        for j in 0..i {
+            let w = weights[j * n + i];
+            weights[i * n + j] = w;
+        }
+    }
+    SsProblem::from_weights((0..n).map(NodeId::new).collect(), weights).unwrap()
+}
+
+fn ordering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_ordering");
+    for n in [8usize, 12, 64, 256] {
+        let p = problem(n);
+        group.bench_with_input(BenchmarkId::new("woss", n), &p, |b, p| b.iter(|| woss(p)));
+        if n <= 12 {
+            group.bench_with_input(BenchmarkId::new("exact", n), &p, |b, p| {
+                b.iter(|| exact_ordering(p).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ordering);
+criterion_main!(benches);

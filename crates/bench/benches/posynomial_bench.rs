@@ -1,0 +1,20 @@
+//! Cost of the coupling-capacitance models: exact 1/(1-x) vs the k-term
+//! posynomial truncation used inside the optimizer's inner loop.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ncgws_coupling::{exact_factor, truncated_factor};
+
+fn posynomial(c: &mut Criterion) {
+    let xs: Vec<f64> = (0..1024).map(|i| 0.9 * (i as f64 + 0.5) / 1024.0).collect();
+    c.bench_function("exact_factor_1024", |b| {
+        b.iter(|| xs.iter().map(|&x| exact_factor(black_box(x))).sum::<f64>())
+    });
+    for k in [2usize, 3, 5] {
+        c.bench_function(&format!("truncated_factor_k{k}_1024"), |b| {
+            b.iter(|| xs.iter().map(|&x| truncated_factor(black_box(x), k)).sum::<f64>())
+        });
+    }
+}
+
+criterion_group!(benches, posynomial);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench behind the Table 1 reproduction: the full two-stage flow
+//! (ordering + OGWS sizing) on circuits of increasing size. Paired with the
+//! `table1` binary, which prints the actual table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ncgws_bench::{generate, optimize, paper_config};
+use ncgws_core::OptimizerConfig;
+use ncgws_netlist::CircuitSpec;
+
+fn full_flow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_flow");
+    group.sample_size(10);
+    for (gates, wires) in [(107, 213), (214, 426), (428, 852)] {
+        let spec = CircuitSpec::new(format!("bench-{gates}"), gates, wires).with_seed(13);
+        let instance = generate(spec);
+        let config = OptimizerConfig { max_iterations: 30, ..paper_config() };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(gates + wires),
+            &instance,
+            |b, inst| b.iter(|| optimize(inst, config.clone())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, full_flow);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Reproduction of Table 1: noise, delay, power and area before/after
+//! simultaneous gate and wire sizing, for ten circuits matching the paper's
+//! ISCAS85 gate/wire counts.
+//!
+//! ```text
+//! cargo run --release -p ncgws-bench --bin table1
+//! NCGWS_QUICK=1 cargo run --release -p ncgws-bench --bin table1   # 4 smallest circuits
+//! ```
+
+use ncgws_bench::{generate, optimize, paper_config, quick_mode};
+use ncgws_core::report::{average_improvements, OptimizationReport};
+use ncgws_netlist::table1_specs;
+
+fn main() {
+    let mut specs = table1_specs();
+    if quick_mode() {
+        specs.sort_by_key(|s| s.total_components());
+        specs.truncate(4);
+    }
+
+    println!("Table 1 reproduction — noise-constrained simultaneous gate and wire sizing");
+    println!("(synthetic circuits matched to the paper's gate/wire counts; see DESIGN.md)");
+    println!();
+    println!("{}", OptimizationReport::table1_header());
+
+    let mut reports = Vec::new();
+    for spec in specs {
+        let instance = generate(spec);
+        let outcome = optimize(&instance, paper_config());
+        println!("{}", outcome.report.table1_row());
+        reports.push(outcome.report);
+    }
+
+    let avg = average_improvements(&reports);
+    println!();
+    println!(
+        "Impr(%)   noise {:.2}%   delay {:.2}%   power {:.2}%   area {:.2}%",
+        avg.noise_pct, avg.delay_pct, avg.power_pct, avg.area_pct
+    );
+    println!(
+        "paper     noise 89.67%   delay 5.30%   power 86.82%   area 87.90%   (for reference)"
+    );
+
+    if let Ok(json) = serde_json::to_string_pretty(&reports) {
+        let path = std::path::Path::new("target/table1_results.json");
+        if std::fs::write(path, json).is_ok() {
+            println!("\nper-circuit records written to {}", path.display());
+        }
+    }
+}

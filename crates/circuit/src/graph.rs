@@ -1,0 +1,406 @@
+//! The circuit graph `H = (V, E)`.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CircuitError;
+use crate::id::NodeId;
+use crate::node::{Node, NodeKind};
+use crate::sizing::SizeVector;
+use crate::tech::Technology;
+
+/// A combinational circuit represented as the directed acyclic graph of the
+/// paper's Section 2.1.
+///
+/// Nodes are indexed in topological order:
+///
+/// * node `0` is the artificial source `~s`,
+/// * nodes `1..=s` are the `s` input drivers,
+/// * nodes `s+1..=n+s` are the `n` sizable components (gates and wires),
+/// * node `n+s+1` is the artificial sink `~t`.
+///
+/// The graph is immutable once built by [`CircuitBuilder`](crate::CircuitBuilder);
+/// all analyses borrow it together with a [`SizeVector`] holding the current
+/// component sizes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CircuitGraph {
+    nodes: Vec<Node>,
+    fanin: Vec<Vec<NodeId>>,
+    fanout: Vec<Vec<NodeId>>,
+    tech: Technology,
+    num_drivers: usize,
+    num_sizable: usize,
+    name_index: HashMap<String, NodeId>,
+}
+
+impl CircuitGraph {
+    /// Assembles a graph from already-ordered parts.
+    ///
+    /// This is `pub(crate)`: user code goes through
+    /// [`CircuitBuilder`](crate::CircuitBuilder), which establishes the
+    /// topological indexing convention and validates connectivity.
+    pub(crate) fn from_parts(
+        nodes: Vec<Node>,
+        fanin: Vec<Vec<NodeId>>,
+        fanout: Vec<Vec<NodeId>>,
+        tech: Technology,
+        num_drivers: usize,
+        num_sizable: usize,
+    ) -> Self {
+        let name_index = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, node)| (node.name.clone(), NodeId::new(i)))
+            .collect();
+        CircuitGraph { nodes, fanin, fanout, tech, num_drivers, num_sizable, name_index }
+    }
+
+    /// The technology parameters of this circuit.
+    pub fn technology(&self) -> &Technology {
+        &self.tech
+    }
+
+    /// Total number of nodes, including source and sink (`n + s + 2`).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of input drivers `s`.
+    pub fn num_drivers(&self) -> usize {
+        self.num_drivers
+    }
+
+    /// Number of sizable components `n` (gates plus wires).
+    pub fn num_components(&self) -> usize {
+        self.num_sizable
+    }
+
+    /// Number of gates.
+    pub fn num_gates(&self) -> usize {
+        self.component_ids().filter(|&id| self.node(id).kind.is_gate()).count()
+    }
+
+    /// Number of wires.
+    pub fn num_wires(&self) -> usize {
+        self.component_ids().filter(|&id| self.node(id).kind.is_wire()).count()
+    }
+
+    /// The artificial source node `~s` (always node 0).
+    pub fn source(&self) -> NodeId {
+        NodeId::new(0)
+    }
+
+    /// The artificial sink node `~t` (always the last node).
+    pub fn sink(&self) -> NodeId {
+        NodeId::new(self.nodes.len() - 1)
+    }
+
+    /// The node data for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range; node identifiers obtained from this
+    /// graph are always valid.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Looks a node up by its unique name.
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.name_index.get(name).copied()
+    }
+
+    /// The fanin list `input(i)` of a node.
+    pub fn fanin(&self, id: NodeId) -> &[NodeId] {
+        &self.fanin[id.index()]
+    }
+
+    /// The fanout list `output(i)` of a node.
+    pub fn fanout(&self, id: NodeId) -> &[NodeId] {
+        &self.fanout[id.index()]
+    }
+
+    /// Iterator over every node identifier, in topological order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId::new)
+    }
+
+    /// Iterator over the input-driver node identifiers (`1..=s`).
+    pub fn driver_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (1..=self.num_drivers).map(NodeId::new)
+    }
+
+    /// Iterator over the sizable component identifiers (`s+1..=n+s`),
+    /// in topological order.
+    pub fn component_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (self.num_drivers + 1..=self.num_drivers + self.num_sizable).map(NodeId::new)
+    }
+
+    /// Iterator over wire component identifiers.
+    pub fn wire_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.component_ids().filter(move |&id| self.node(id).kind.is_wire())
+    }
+
+    /// Iterator over gate component identifiers.
+    pub fn gate_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.component_ids().filter(move |&id| self.node(id).kind.is_gate())
+    }
+
+    /// Maps a node identifier to its dense index in a [`SizeVector`]
+    /// (`0..n`), or `None` for non-sizable nodes.
+    pub fn component_index(&self, id: NodeId) -> Option<usize> {
+        let i = id.index();
+        if i > self.num_drivers && i <= self.num_drivers + self.num_sizable {
+            Some(i - self.num_drivers - 1)
+        } else {
+            None
+        }
+    }
+
+    /// Maps a dense component index (`0..n`) back to the node identifier.
+    pub fn component_id(&self, index: usize) -> NodeId {
+        debug_assert!(index < self.num_sizable);
+        NodeId::new(self.num_drivers + 1 + index)
+    }
+
+    /// The node identifiers of components that drive a primary output
+    /// (i.e. `input(sink)` excluding nothing — exactly the paper's `input(m)`).
+    pub fn primary_output_drivers(&self) -> &[NodeId] {
+        self.fanin(self.sink())
+    }
+
+    /// Returns `true` if this node drives a primary output.
+    pub fn drives_primary_output(&self, id: NodeId) -> bool {
+        self.fanout(id).contains(&self.sink())
+    }
+
+    /// A [`SizeVector`] with every sizable component at the given size,
+    /// clamped into its bounds.
+    pub fn uniform_sizes(&self, size: f64) -> SizeVector {
+        let mut values = Vec::with_capacity(self.num_sizable);
+        for id in self.component_ids() {
+            let attrs = &self.node(id).attrs;
+            values.push(size.clamp(attrs.lower_bound, attrs.upper_bound));
+        }
+        SizeVector::new(values)
+    }
+
+    /// A [`SizeVector`] with every component at its lower bound (the LRS
+    /// subroutine's starting point, step S1 of Figure 8).
+    pub fn minimum_sizes(&self) -> SizeVector {
+        let values =
+            self.component_ids().map(|id| self.node(id).attrs.lower_bound).collect::<Vec<_>>();
+        SizeVector::new(values)
+    }
+
+    /// A [`SizeVector`] with every component at its upper bound.
+    pub fn maximum_sizes(&self) -> SizeVector {
+        let values =
+            self.component_ids().map(|id| self.node(id).attrs.upper_bound).collect::<Vec<_>>();
+        SizeVector::new(values)
+    }
+
+    /// The size of node `id` under `sizes` (1.0 for non-sizable nodes, which
+    /// makes `resistance`/`capacitance` behave correctly for drivers).
+    pub fn size_of(&self, id: NodeId, sizes: &SizeVector) -> f64 {
+        match self.component_index(id) {
+            Some(idx) => sizes[idx],
+            None => 1.0,
+        }
+    }
+
+    /// Resistance of node `id` under `sizes`.
+    pub fn resistance(&self, id: NodeId, sizes: &SizeVector) -> f64 {
+        self.node(id).resistance(self.size_of(id, sizes))
+    }
+
+    /// Capacitance of node `id` under `sizes` (excluding coupling).
+    pub fn capacitance(&self, id: NodeId, sizes: &SizeVector) -> f64 {
+        self.node(id).capacitance(self.size_of(id, sizes))
+    }
+
+    /// Checks a size vector against this circuit: length `n`, finite values,
+    /// within each component's bounds (up to a small tolerance).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::SizeLengthMismatch`] or
+    /// [`CircuitError::InvalidParameter`]/[`CircuitError::InvalidBounds`] on
+    /// the first violation found.
+    pub fn check_sizes(&self, sizes: &SizeVector) -> Result<(), CircuitError> {
+        if sizes.len() != self.num_sizable {
+            return Err(CircuitError::SizeLengthMismatch {
+                expected: self.num_sizable,
+                actual: sizes.len(),
+            });
+        }
+        const TOL: f64 = 1e-9;
+        for (idx, &x) in sizes.iter().enumerate() {
+            if !x.is_finite() || x <= 0.0 {
+                return Err(CircuitError::InvalidParameter { name: "size", value: x });
+            }
+            let id = self.component_id(idx);
+            let attrs = &self.node(id).attrs;
+            if x < attrs.lower_bound - TOL || x > attrs.upper_bound + TOL {
+                return Err(CircuitError::InvalidBounds {
+                    node: id,
+                    lower: attrs.lower_bound,
+                    upper: attrs.upper_bound,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of edges in the graph.
+    pub fn num_edges(&self) -> usize {
+        self.fanout.iter().map(Vec::len).sum()
+    }
+
+    /// An estimate (in bytes) of the memory held by this graph's data
+    /// structures, used by the Figure 10(a) reproduction.
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let node_bytes: usize =
+            self.nodes.iter().map(|n| size_of::<Node>() + n.name.capacity()).sum();
+        let adj_bytes: usize = self
+            .fanin
+            .iter()
+            .chain(self.fanout.iter())
+            .map(|v| size_of::<Vec<NodeId>>() + v.capacity() * size_of::<NodeId>())
+            .sum();
+        let name_bytes: usize = self
+            .name_index
+            .keys()
+            .map(|k| k.capacity() + size_of::<NodeId>() + size_of::<usize>())
+            .sum();
+        node_bytes + adj_bytes + name_bytes + size_of::<Self>()
+    }
+
+    /// `true` if `kind` of node i is a gate or a driver, i.e. the node starts
+    /// a new RC stage at its output.
+    pub fn is_stage_root(&self, id: NodeId) -> bool {
+        matches!(self.node(id).kind, NodeKind::Gate(_) | NodeKind::Driver)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::CircuitBuilder;
+    use crate::node::GateKind;
+    use crate::tech::Technology;
+
+    fn tiny() -> crate::CircuitGraph {
+        // driver -> w1 -> g1 -> w2 -> output
+        let mut b = CircuitBuilder::new(Technology::dac99());
+        let d = b.add_driver("in", 100.0).unwrap();
+        let w1 = b.add_wire("w1", 40.0).unwrap();
+        let g1 = b.add_gate("g1", GateKind::Inv).unwrap();
+        let w2 = b.add_wire("w2", 60.0).unwrap();
+        b.connect(d, w1).unwrap();
+        b.connect(w1, g1).unwrap();
+        b.connect(g1, w2).unwrap();
+        b.connect_output(w2, 5.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn indexing_convention() {
+        let c = tiny();
+        assert_eq!(c.num_drivers(), 1);
+        assert_eq!(c.num_components(), 3);
+        assert_eq!(c.num_nodes(), 6);
+        assert_eq!(c.source().index(), 0);
+        assert_eq!(c.sink().index(), 5);
+        // Drivers come right after the source.
+        assert!(c.node(crate::NodeId::new(1)).kind.is_driver());
+    }
+
+    #[test]
+    fn component_index_roundtrip() {
+        let c = tiny();
+        for (dense, id) in c.component_ids().enumerate() {
+            assert_eq!(c.component_index(id), Some(dense));
+            assert_eq!(c.component_id(dense), id);
+        }
+        assert_eq!(c.component_index(c.source()), None);
+        assert_eq!(c.component_index(c.sink()), None);
+        assert_eq!(c.component_index(crate::NodeId::new(1)), None);
+    }
+
+    #[test]
+    fn fanin_fanout_are_consistent() {
+        let c = tiny();
+        for id in c.node_ids() {
+            for &succ in c.fanout(id) {
+                assert!(c.fanin(succ).contains(&id));
+            }
+            for &pred in c.fanin(id) {
+                assert!(c.fanout(pred).contains(&id));
+            }
+        }
+    }
+
+    #[test]
+    fn topological_indexing_holds() {
+        let c = tiny();
+        for id in c.node_ids() {
+            for &succ in c.fanout(id) {
+                assert!(id < succ, "edge {id} -> {succ} violates topological indexing");
+            }
+        }
+    }
+
+    #[test]
+    fn gate_and_wire_counts() {
+        let c = tiny();
+        assert_eq!(c.num_gates(), 1);
+        assert_eq!(c.num_wires(), 2);
+        assert_eq!(c.num_gates() + c.num_wires(), c.num_components());
+    }
+
+    #[test]
+    fn uniform_and_bound_sizes() {
+        let c = tiny();
+        let s = c.uniform_sizes(1.0);
+        assert_eq!(s.len(), 3);
+        assert!(s.iter().all(|&x| (x - 1.0).abs() < 1e-12));
+        let lo = c.minimum_sizes();
+        assert!(lo.iter().all(|&x| (x - 0.1).abs() < 1e-12));
+        let hi = c.maximum_sizes();
+        assert!(hi.iter().all(|&x| (x - 10.0).abs() < 1e-12));
+        assert!(c.check_sizes(&s).is_ok());
+        assert!(c.check_sizes(&lo).is_ok());
+        assert!(c.check_sizes(&hi).is_ok());
+    }
+
+    #[test]
+    fn check_sizes_rejects_bad_vectors() {
+        let c = tiny();
+        let too_short = crate::SizeVector::new(vec![1.0]);
+        assert!(c.check_sizes(&too_short).is_err());
+        let out_of_bounds = crate::SizeVector::new(vec![1.0, 100.0, 1.0]);
+        assert!(c.check_sizes(&out_of_bounds).is_err());
+        let negative = crate::SizeVector::new(vec![1.0, -1.0, 1.0]);
+        assert!(c.check_sizes(&negative).is_err());
+    }
+
+    #[test]
+    fn name_lookup() {
+        let c = tiny();
+        let w1 = c.node_by_name("w1").unwrap();
+        assert!(c.node(w1).kind.is_wire());
+        assert!(c.node_by_name("does-not-exist").is_none());
+    }
+
+    #[test]
+    fn primary_outputs_and_memory() {
+        let c = tiny();
+        let pos = c.primary_output_drivers();
+        assert_eq!(pos.len(), 1);
+        assert!(c.drives_primary_output(pos[0]));
+        assert!(c.memory_bytes() > 0);
+        assert!(c.num_edges() >= 5);
+    }
+}

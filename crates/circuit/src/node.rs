@@ -1,0 +1,354 @@
+//! Node kinds and per-component RC attributes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::tech::Technology;
+
+/// Logic function implemented by a gate component.
+///
+/// The sizing formulation is independent of the logic function — only the
+/// RC attributes matter — but the logic-simulation substrate
+/// (`ncgws-waveform`) needs to know how a gate computes its output in order to
+/// derive switching waveforms and similarities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GateKind {
+    /// Buffer (identity).
+    Buf,
+    /// Inverter.
+    Inv,
+    /// Logical AND.
+    And,
+    /// Logical OR.
+    Or,
+    /// Logical NAND.
+    Nand,
+    /// Logical NOR.
+    Nor,
+    /// Logical XOR.
+    Xor,
+    /// Logical XNOR.
+    Xnor,
+}
+
+impl GateKind {
+    /// All gate kinds, useful for random generation and exhaustive tests.
+    pub const ALL: [GateKind; 8] = [
+        GateKind::Buf,
+        GateKind::Inv,
+        GateKind::And,
+        GateKind::Or,
+        GateKind::Nand,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+    ];
+
+    /// Evaluates the gate function on a slice of input values.
+    ///
+    /// Single-input kinds ([`GateKind::Buf`], [`GateKind::Inv`]) use only the
+    /// first input. An empty input slice evaluates to `false` (`Buf`/`And`
+    /// conventions) or its complement for inverting gates, which keeps the
+    /// simulator total.
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        let first = inputs.first().copied().unwrap_or(false);
+        match self {
+            GateKind::Buf => first,
+            GateKind::Inv => !first,
+            GateKind::And => !inputs.is_empty() && inputs.iter().all(|&b| b),
+            GateKind::Nand => !(!inputs.is_empty() && inputs.iter().all(|&b| b)),
+            GateKind::Or => inputs.iter().any(|&b| b),
+            GateKind::Nor => !inputs.iter().any(|&b| b),
+            GateKind::Xor => inputs.iter().fold(false, |acc, &b| acc ^ b),
+            GateKind::Xnor => !inputs.iter().fold(false, |acc, &b| acc ^ b),
+        }
+    }
+
+    /// Returns `true` for gates whose output inverts when all inputs rise.
+    pub fn is_inverting(self) -> bool {
+        matches!(self, GateKind::Inv | GateKind::Nand | GateKind::Nor | GateKind::Xnor)
+    }
+}
+
+/// The role a node plays in the circuit graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// The artificial source node `~s` (index 0).
+    Source,
+    /// An input driver with a fixed driver resistance `R_D`.
+    Driver,
+    /// A sizable logic gate.
+    Gate(GateKind),
+    /// A sizable interconnect wire.
+    Wire,
+    /// The artificial sink node `~t` (index n+s+1).
+    Sink,
+}
+
+impl NodeKind {
+    /// Returns `true` if this node is a sizable component (gate or wire).
+    pub fn is_sizable(self) -> bool {
+        matches!(self, NodeKind::Gate(_) | NodeKind::Wire)
+    }
+
+    /// Returns `true` if this node is a gate.
+    pub fn is_gate(self) -> bool {
+        matches!(self, NodeKind::Gate(_))
+    }
+
+    /// Returns `true` if this node is a wire.
+    pub fn is_wire(self) -> bool {
+        matches!(self, NodeKind::Wire)
+    }
+
+    /// Returns `true` if this node is an input driver.
+    pub fn is_driver(self) -> bool {
+        matches!(self, NodeKind::Driver)
+    }
+}
+
+/// Electrical attributes of a component, following Figure 3 of the paper.
+///
+/// * a gate of size `x`: resistance `r̂ / x`, input capacitance `ĉ · x`,
+///   no fringing capacitance;
+/// * a wire of size (width) `x`: resistance `r̂ / x`, capacitance `ĉ · x + f`;
+/// * an input driver: fixed resistance `driver_resistance`, zero capacitance,
+///   zero area, not sizable;
+/// * source/sink: no electrical attributes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeAttrs {
+    /// Unit-size resistance `r̂` (Ω·µm). Zero for drivers, source and sink.
+    pub unit_resistance: f64,
+    /// Unit-size capacitance `ĉ` (fF/µm). Zero for drivers, source and sink.
+    pub unit_capacitance: f64,
+    /// Fringing capacitance `f` (fF). Zero for gates (per the paper) and drivers.
+    pub fringing_capacitance: f64,
+    /// Area coefficient `α` (µm² per µm of size).
+    pub area_coefficient: f64,
+    /// Lower size bound `L` (µm). Zero (and ignored) for non-sizable nodes.
+    pub lower_bound: f64,
+    /// Upper size bound `U` (µm). Zero (and ignored) for non-sizable nodes.
+    pub upper_bound: f64,
+    /// Driver resistance `R_D` (Ω) for [`NodeKind::Driver`] nodes; zero otherwise.
+    pub driver_resistance: f64,
+    /// Output load `C_L` (fF) attached when this component drives a primary output;
+    /// zero otherwise.
+    pub output_load: f64,
+}
+
+impl NodeAttrs {
+    /// Attributes for a gate using the given technology.
+    pub fn gate(tech: &Technology) -> Self {
+        NodeAttrs {
+            unit_resistance: tech.gate_unit_resistance,
+            unit_capacitance: tech.gate_unit_capacitance,
+            fringing_capacitance: 0.0,
+            area_coefficient: tech.gate_area_coefficient,
+            lower_bound: tech.min_size,
+            upper_bound: tech.max_size,
+            driver_resistance: 0.0,
+            output_load: 0.0,
+        }
+    }
+
+    /// Attributes for a wire of the given length (µm) using the given technology.
+    ///
+    /// The unit-length technology parameters are scaled by the wire length so
+    /// the attribute values are per unit *width* (the sizable quantity).
+    pub fn wire(tech: &Technology, length: f64) -> Self {
+        NodeAttrs {
+            unit_resistance: tech.wire_unit_resistance * length,
+            unit_capacitance: tech.wire_unit_capacitance * length,
+            fringing_capacitance: tech.wire_fringing_per_um * length,
+            area_coefficient: tech.wire_area_coefficient * length,
+            lower_bound: tech.min_size,
+            upper_bound: tech.max_size,
+            driver_resistance: 0.0,
+            output_load: 0.0,
+        }
+    }
+
+    /// Attributes for an input driver with resistance `rd` (Ω).
+    pub fn driver(rd: f64) -> Self {
+        NodeAttrs {
+            unit_resistance: 0.0,
+            unit_capacitance: 0.0,
+            fringing_capacitance: 0.0,
+            area_coefficient: 0.0,
+            lower_bound: 0.0,
+            upper_bound: 0.0,
+            driver_resistance: rd,
+            output_load: 0.0,
+        }
+    }
+
+    /// Attributes for the artificial source/sink nodes.
+    pub fn artificial() -> Self {
+        NodeAttrs {
+            unit_resistance: 0.0,
+            unit_capacitance: 0.0,
+            fringing_capacitance: 0.0,
+            area_coefficient: 0.0,
+            lower_bound: 0.0,
+            upper_bound: 0.0,
+            driver_resistance: 0.0,
+            output_load: 0.0,
+        }
+    }
+}
+
+/// A node of the circuit graph: its role, name, and RC attributes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Role of this node.
+    pub kind: NodeKind,
+    /// Human-readable name (unique within a circuit).
+    pub name: String,
+    /// Electrical and geometric attributes.
+    pub attrs: NodeAttrs,
+}
+
+impl Node {
+    /// Resistance of this component at the given size.
+    ///
+    /// Drivers return their fixed driver resistance regardless of `size`.
+    /// Source and sink have zero resistance.
+    pub fn resistance(&self, size: f64) -> f64 {
+        match self.kind {
+            NodeKind::Driver => self.attrs.driver_resistance,
+            NodeKind::Gate(_) | NodeKind::Wire => {
+                if size > 0.0 {
+                    self.attrs.unit_resistance / size
+                } else {
+                    f64::INFINITY
+                }
+            }
+            NodeKind::Source | NodeKind::Sink => 0.0,
+        }
+    }
+
+    /// Capacitance of this component at the given size (excluding coupling).
+    ///
+    /// Gates: `ĉ · x`. Wires: `ĉ · x + f`. Others: zero.
+    pub fn capacitance(&self, size: f64) -> f64 {
+        match self.kind {
+            NodeKind::Gate(_) => self.attrs.unit_capacitance * size,
+            NodeKind::Wire => self.attrs.unit_capacitance * size + self.attrs.fringing_capacitance,
+            _ => 0.0,
+        }
+    }
+
+    /// Area of this component at the given size: `α · x`.
+    pub fn area(&self, size: f64) -> f64 {
+        if self.kind.is_sizable() {
+            self.attrs.area_coefficient * size
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_eval_truth_tables() {
+        assert!(GateKind::And.eval(&[true, true]));
+        assert!(!GateKind::And.eval(&[true, false]));
+        assert!(GateKind::Nand.eval(&[true, false]));
+        assert!(!GateKind::Nand.eval(&[true, true]));
+        assert!(GateKind::Or.eval(&[false, true]));
+        assert!(!GateKind::Or.eval(&[false, false]));
+        assert!(GateKind::Nor.eval(&[false, false]));
+        assert!(!GateKind::Nor.eval(&[true, false]));
+        assert!(GateKind::Xor.eval(&[true, false]));
+        assert!(!GateKind::Xor.eval(&[true, true]));
+        assert!(GateKind::Xnor.eval(&[true, true]));
+        assert!(GateKind::Inv.eval(&[false]));
+        assert!(!GateKind::Inv.eval(&[true]));
+        assert!(GateKind::Buf.eval(&[true]));
+    }
+
+    #[test]
+    fn gate_eval_on_empty_inputs_is_total() {
+        for kind in GateKind::ALL {
+            // Must not panic.
+            let _ = kind.eval(&[]);
+        }
+    }
+
+    #[test]
+    fn inverting_classification() {
+        assert!(GateKind::Inv.is_inverting());
+        assert!(GateKind::Nand.is_inverting());
+        assert!(GateKind::Nor.is_inverting());
+        assert!(GateKind::Xnor.is_inverting());
+        assert!(!GateKind::Buf.is_inverting());
+        assert!(!GateKind::And.is_inverting());
+        assert!(!GateKind::Or.is_inverting());
+        assert!(!GateKind::Xor.is_inverting());
+    }
+
+    #[test]
+    fn node_kind_predicates() {
+        assert!(NodeKind::Gate(GateKind::And).is_sizable());
+        assert!(NodeKind::Wire.is_sizable());
+        assert!(!NodeKind::Driver.is_sizable());
+        assert!(!NodeKind::Source.is_sizable());
+        assert!(NodeKind::Wire.is_wire());
+        assert!(NodeKind::Gate(GateKind::Or).is_gate());
+        assert!(NodeKind::Driver.is_driver());
+    }
+
+    #[test]
+    fn gate_rc_scales_with_size() {
+        let tech = Technology::dac99();
+        let node = Node {
+            kind: NodeKind::Gate(GateKind::Inv),
+            name: "g".into(),
+            attrs: NodeAttrs::gate(&tech),
+        };
+        let r1 = node.resistance(1.0);
+        let r2 = node.resistance(2.0);
+        assert!((r1 / r2 - 2.0).abs() < 1e-12, "resistance halves when size doubles");
+        let c1 = node.capacitance(1.0);
+        let c2 = node.capacitance(2.0);
+        assert!((c2 / c1 - 2.0).abs() < 1e-12, "capacitance doubles when size doubles");
+    }
+
+    #[test]
+    fn wire_capacitance_includes_fringing() {
+        let tech = Technology::dac99();
+        let node = Node {
+            kind: NodeKind::Wire,
+            name: "w".into(),
+            attrs: NodeAttrs::wire(&tech, 100.0),
+        };
+        let c = node.capacitance(1.0);
+        assert!(c > tech.wire_unit_capacitance * 100.0, "fringing must be added");
+    }
+
+    #[test]
+    fn driver_resistance_is_fixed() {
+        let node = Node {
+            kind: NodeKind::Driver,
+            name: "d".into(),
+            attrs: NodeAttrs::driver(120.0),
+        };
+        assert_eq!(node.resistance(0.0), 120.0);
+        assert_eq!(node.resistance(5.0), 120.0);
+        assert_eq!(node.capacitance(3.0), 0.0);
+        assert_eq!(node.area(3.0), 0.0);
+    }
+
+    #[test]
+    fn zero_size_resistance_is_infinite() {
+        let tech = Technology::dac99();
+        let node = Node {
+            kind: NodeKind::Wire,
+            name: "w".into(),
+            attrs: NodeAttrs::wire(&tech, 10.0),
+        };
+        assert!(node.resistance(0.0).is_infinite());
+    }
+}

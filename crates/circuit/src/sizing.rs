@@ -1,0 +1,191 @@
+//! Size vectors for the sizable components of a circuit.
+
+use std::ops::{Index, IndexMut};
+
+use serde::{Deserialize, Serialize};
+
+/// A dense vector of component sizes `x = (x_{s+1}, …, x_{n+s})`, indexed by
+/// the dense component index (`0..n`) of a
+/// [`CircuitGraph`](crate::CircuitGraph).
+///
+/// The vector is deliberately decoupled from the graph so the sizing engine
+/// can hold several candidate solutions without cloning the circuit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SizeVector {
+    values: Vec<f64>,
+}
+
+impl SizeVector {
+    /// Wraps a vector of sizes.
+    pub fn new(values: Vec<f64>) -> Self {
+        SizeVector { values }
+    }
+
+    /// A vector of `n` identical sizes.
+    pub fn uniform(n: usize, size: f64) -> Self {
+        SizeVector { values: vec![size; n] }
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterator over the sizes.
+    pub fn iter(&self) -> std::slice::Iter<'_, f64> {
+        self.values.iter()
+    }
+
+    /// Mutable iterator over the sizes.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, f64> {
+        self.values.iter_mut()
+    }
+
+    /// Borrows the raw slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Consumes the vector and returns the raw values.
+    pub fn into_inner(self) -> Vec<f64> {
+        self.values
+    }
+
+    /// Largest absolute element-wise difference to another size vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two vectors have different lengths.
+    pub fn max_abs_diff(&self, other: &SizeVector) -> f64 {
+        assert_eq!(self.len(), other.len(), "size vectors must have equal length");
+        self.values
+            .iter()
+            .zip(other.values.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Largest relative element-wise difference `|a-b| / max(|b|, eps)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two vectors have different lengths.
+    pub fn max_rel_diff(&self, other: &SizeVector) -> f64 {
+        assert_eq!(self.len(), other.len(), "size vectors must have equal length");
+        self.values
+            .iter()
+            .zip(other.values.iter())
+            .map(|(a, b)| (a - b).abs() / b.abs().max(1e-12))
+            .fold(0.0, f64::max)
+    }
+
+    /// Element-wise clamp into `[lower[i], upper[i]]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bound slices have a different length.
+    pub fn clamp_into(&mut self, lower: &[f64], upper: &[f64]) {
+        assert_eq!(self.len(), lower.len());
+        assert_eq!(self.len(), upper.len());
+        for (i, v) in self.values.iter_mut().enumerate() {
+            *v = v.clamp(lower[i], upper[i]);
+        }
+    }
+
+    /// Sum of all sizes (useful as a quick monotonicity probe in tests).
+    pub fn sum(&self) -> f64 {
+        self.values.iter().sum()
+    }
+}
+
+impl Index<usize> for SizeVector {
+    type Output = f64;
+
+    fn index(&self, index: usize) -> &f64 {
+        &self.values[index]
+    }
+}
+
+impl IndexMut<usize> for SizeVector {
+    fn index_mut(&mut self, index: usize) -> &mut f64 {
+        &mut self.values[index]
+    }
+}
+
+impl From<Vec<f64>> for SizeVector {
+    fn from(values: Vec<f64>) -> Self {
+        SizeVector::new(values)
+    }
+}
+
+impl FromIterator<f64> for SizeVector {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        SizeVector::new(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a SizeVector {
+    type Item = &'a f64;
+    type IntoIter = std::slice::Iter<'a, f64>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.values.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let v = SizeVector::uniform(4, 2.0);
+        assert_eq!(v.len(), 4);
+        assert!(!v.is_empty());
+        assert_eq!(v[2], 2.0);
+        assert_eq!(v.sum(), 8.0);
+        let w: SizeVector = vec![1.0, 2.0].into();
+        assert_eq!(w.as_slice(), &[1.0, 2.0]);
+        let z: SizeVector = [3.0, 4.0].into_iter().collect();
+        assert_eq!(z.into_inner(), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn diffs() {
+        let a = SizeVector::new(vec![1.0, 2.0, 3.0]);
+        let b = SizeVector::new(vec![1.5, 2.0, 2.0]);
+        assert!((a.max_abs_diff(&b) - 1.0).abs() < 1e-12);
+        assert!((a.max_rel_diff(&b) - 0.5).abs() < 1e-12);
+        assert_eq!(a.max_abs_diff(&a), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn diff_length_mismatch_panics() {
+        let a = SizeVector::new(vec![1.0]);
+        let b = SizeVector::new(vec![1.0, 2.0]);
+        let _ = a.max_abs_diff(&b);
+    }
+
+    #[test]
+    fn clamp_into_bounds() {
+        let mut v = SizeVector::new(vec![0.01, 5.0, 100.0]);
+        v.clamp_into(&[0.1, 0.1, 0.1], &[10.0, 10.0, 10.0]);
+        assert_eq!(v.as_slice(), &[0.1, 5.0, 10.0]);
+    }
+
+    #[test]
+    fn mutation_through_index_and_iter() {
+        let mut v = SizeVector::uniform(3, 1.0);
+        v[1] = 4.0;
+        for x in v.iter_mut() {
+            *x *= 2.0;
+        }
+        assert_eq!(v.as_slice(), &[2.0, 8.0, 2.0]);
+    }
+}

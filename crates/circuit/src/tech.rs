@@ -1,0 +1,180 @@
+//! Technology parameters.
+//!
+//! The default values reproduce Section 5 of the paper: supply voltage 3.3 V,
+//! working frequency 200 MHz, gate unit resistance 10 Ω·µm and unit
+//! capacitance 0.16 fF/µm, wire unit resistance 0.07 Ω/µm (per unit width) and
+//! unit capacitance 0.024 fF/µm, and size bounds [0.1 µm, 10 µm].
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CircuitError;
+
+/// Process / electrical parameters shared by every component of a circuit.
+///
+/// Units used throughout the workspace:
+///
+/// * resistance: Ω (unit-size values are Ω·µm for gates, Ω/sq scaled by
+///   length for wires),
+/// * capacitance: fF,
+/// * length / size: µm,
+/// * time: ps (Ω·fF = 10⁻¹⁵·Ω·F = fs·10³ … we keep Ω·fF and call it ps for
+///   readability, matching the magnitude of the paper's delay column),
+/// * power: mW (derived as `V² · f · C_total`),
+/// * area: µm².
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Technology {
+    /// Supply voltage in volts.
+    pub supply_voltage: f64,
+    /// Working frequency in Hz.
+    pub frequency: f64,
+    /// Gate unit-size output resistance `r̂` (Ω·µm).
+    pub gate_unit_resistance: f64,
+    /// Gate unit-size input capacitance `ĉ` (fF/µm).
+    pub gate_unit_capacitance: f64,
+    /// Gate area per µm of size (µm²/µm).
+    pub gate_area_coefficient: f64,
+    /// Wire unit resistance per µm of length, per µm of width (Ω/µm).
+    pub wire_unit_resistance: f64,
+    /// Wire unit capacitance per µm of length, per µm of width (fF/µm²→fF/µm).
+    pub wire_unit_capacitance: f64,
+    /// Wire fringing capacitance per µm of length (fF/µm).
+    pub wire_fringing_per_um: f64,
+    /// Wire area per µm of length per µm of width (µm²).
+    pub wire_area_coefficient: f64,
+    /// Unit-length fringing (coupling) capacitance between adjacent wires (fF/µm).
+    pub coupling_fringing_per_um: f64,
+    /// Minimum component size `L` (µm).
+    pub min_size: f64,
+    /// Maximum component size `U` (µm).
+    pub max_size: f64,
+    /// Default driver resistance (Ω) used when a netlist does not specify one.
+    pub default_driver_resistance: f64,
+    /// Default primary-output load (fF) used when a netlist does not specify one.
+    pub default_output_load: f64,
+}
+
+impl Technology {
+    /// The technology used in the paper's experiments (Section 5).
+    pub fn dac99() -> Self {
+        Technology {
+            supply_voltage: 3.3,
+            frequency: 200.0e6,
+            gate_unit_resistance: 10.0,
+            gate_unit_capacitance: 0.16,
+            gate_area_coefficient: 4.0,
+            wire_unit_resistance: 0.07,
+            wire_unit_capacitance: 0.024,
+            wire_fringing_per_um: 0.010,
+            wire_area_coefficient: 1.0,
+            coupling_fringing_per_um: 0.030,
+            min_size: 0.1,
+            max_size: 10.0,
+            default_driver_resistance: 100.0,
+            default_output_load: 10.0,
+        }
+    }
+
+    /// Checks that every parameter is positive and finite and the size bounds
+    /// are ordered.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidParameter`] naming the first offending
+    /// field, or [`CircuitError::InvalidBounds`] when `min_size > max_size`.
+    pub fn validate(&self) -> Result<(), CircuitError> {
+        let fields: [(&'static str, f64); 14] = [
+            ("supply_voltage", self.supply_voltage),
+            ("frequency", self.frequency),
+            ("gate_unit_resistance", self.gate_unit_resistance),
+            ("gate_unit_capacitance", self.gate_unit_capacitance),
+            ("gate_area_coefficient", self.gate_area_coefficient),
+            ("wire_unit_resistance", self.wire_unit_resistance),
+            ("wire_unit_capacitance", self.wire_unit_capacitance),
+            ("wire_fringing_per_um", self.wire_fringing_per_um),
+            ("wire_area_coefficient", self.wire_area_coefficient),
+            ("coupling_fringing_per_um", self.coupling_fringing_per_um),
+            ("min_size", self.min_size),
+            ("max_size", self.max_size),
+            ("default_driver_resistance", self.default_driver_resistance),
+            ("default_output_load", self.default_output_load),
+        ];
+        for (name, value) in fields {
+            if !(value.is_finite() && value > 0.0) {
+                return Err(CircuitError::InvalidParameter { name, value });
+            }
+        }
+        if self.min_size > self.max_size {
+            return Err(CircuitError::InvalidBounds {
+                node: crate::NodeId::new(0),
+                lower: self.min_size,
+                upper: self.max_size,
+            });
+        }
+        Ok(())
+    }
+
+    /// `V² · f` in units that convert a total capacitance in fF to power in mW.
+    ///
+    /// `P = V² · f · C`; with `V` in volts, `f` in Hz and `C` in fF the result
+    /// is in nW, so the conversion to mW divides by 10⁶.
+    pub fn power_scale_mw_per_ff(&self) -> f64 {
+        self.supply_voltage * self.supply_voltage * self.frequency * 1.0e-15 * 1.0e3
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Technology::dac99()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dac99_matches_paper_values() {
+        let t = Technology::dac99();
+        assert_eq!(t.supply_voltage, 3.3);
+        assert_eq!(t.frequency, 200.0e6);
+        assert_eq!(t.gate_unit_resistance, 10.0);
+        assert_eq!(t.gate_unit_capacitance, 0.16);
+        assert_eq!(t.wire_unit_resistance, 0.07);
+        assert_eq!(t.wire_unit_capacitance, 0.024);
+        assert_eq!(t.min_size, 0.1);
+        assert_eq!(t.max_size, 10.0);
+    }
+
+    #[test]
+    fn default_is_dac99() {
+        assert_eq!(Technology::default(), Technology::dac99());
+    }
+
+    #[test]
+    fn dac99_validates() {
+        assert!(Technology::dac99().validate().is_ok());
+    }
+
+    #[test]
+    fn negative_parameter_is_rejected() {
+        let mut t = Technology::dac99();
+        t.gate_unit_resistance = -1.0;
+        let err = t.validate().unwrap_err();
+        assert!(matches!(err, CircuitError::InvalidParameter { name: "gate_unit_resistance", .. }));
+    }
+
+    #[test]
+    fn inverted_bounds_are_rejected() {
+        let mut t = Technology::dac99();
+        t.min_size = 20.0;
+        assert!(matches!(t.validate().unwrap_err(), CircuitError::InvalidBounds { .. }));
+    }
+
+    #[test]
+    fn power_scale_converts_ff_to_mw() {
+        let t = Technology::dac99();
+        // 1000 fF at 3.3 V, 200 MHz: P = 3.3^2 * 2e8 * 1e-12 F = 2.18 mW.
+        let p = t.power_scale_mw_per_ff() * 1000.0;
+        assert!((p - 3.3 * 3.3 * 2.0e8 * 1.0e-12 * 1.0e3).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,287 @@
+//! Arrival times, critical path and slack analysis.
+//!
+//! The paper's problem `PP` replaces the exponential path enumeration with
+//! one arrival-time variable `a_i` per node and the constraints
+//!
+//! * `D_i ≤ a_i` for the input drivers,
+//! * `a_j + D_i ≤ a_i` for every component `i` and every `j ∈ input(i)`,
+//! * `a_j ≤ A_0` for every `j ∈ input(~t)` (the primary outputs).
+//!
+//! [`TimingAnalysis`] computes the tightest arrival times (the usual static
+//! timing analysis forward propagation), the critical path delay and the
+//! critical path itself.
+
+use serde::{Deserialize, Serialize};
+
+use crate::elmore::ElmoreAnalyzer;
+use crate::graph::CircuitGraph;
+use crate::id::NodeId;
+use crate::node::NodeKind;
+use crate::sizing::SizeVector;
+
+/// Arrival times for every node of a circuit under a particular sizing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalTimes {
+    /// Arrival time `a_i` per raw node index (0 for source; the sink holds
+    /// the circuit delay).
+    pub values: Vec<f64>,
+}
+
+impl ArrivalTimes {
+    /// Arrival time of a node.
+    pub fn of(&self, id: NodeId) -> f64 {
+        self.values[id.index()]
+    }
+}
+
+/// Complete timing picture of a circuit under a particular sizing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingAnalysis {
+    /// Per-component Elmore delays `D_i` (raw node index).
+    pub delays: Vec<f64>,
+    /// Tightest arrival times `a_i` (raw node index).
+    pub arrival: ArrivalTimes,
+    /// Delay of the critical path (the circuit delay `D`).
+    pub critical_path_delay: f64,
+    /// The nodes of one critical path, from a driver to a primary output.
+    pub critical_path: Vec<NodeId>,
+}
+
+impl TimingAnalysis {
+    /// Runs delay computation and arrival-time propagation for the circuit
+    /// under `sizes`, with optional per-node extra (coupling) capacitance.
+    pub fn run(
+        graph: &CircuitGraph,
+        sizes: &SizeVector,
+        extra_cap: Option<&[f64]>,
+    ) -> TimingAnalysis {
+        let analyzer = ElmoreAnalyzer::new(graph);
+        let delays = analyzer.delays(sizes, extra_cap);
+        Self::from_delays(graph, delays)
+    }
+
+    /// Builds the timing picture from precomputed per-component delays.
+    pub fn from_delays(graph: &CircuitGraph, delays: Vec<f64>) -> TimingAnalysis {
+        let n = graph.num_nodes();
+        debug_assert_eq!(delays.len(), n);
+        let mut arrival = vec![0.0_f64; n];
+        let mut pred: Vec<Option<NodeId>> = vec![None; n];
+
+        for id in graph.node_ids() {
+            let idx = id.index();
+            match graph.node(id).kind {
+                NodeKind::Source => arrival[idx] = 0.0,
+                NodeKind::Sink => {
+                    let mut best = 0.0;
+                    let mut best_pred = None;
+                    for &j in graph.fanin(id) {
+                        if arrival[j.index()] >= best {
+                            best = arrival[j.index()];
+                            best_pred = Some(j);
+                        }
+                    }
+                    arrival[idx] = best;
+                    pred[idx] = best_pred;
+                }
+                NodeKind::Driver => {
+                    arrival[idx] = delays[idx];
+                    pred[idx] = None;
+                }
+                NodeKind::Gate(_) | NodeKind::Wire => {
+                    let mut best = 0.0;
+                    let mut best_pred = None;
+                    for &j in graph.fanin(id) {
+                        if j == graph.source() {
+                            continue;
+                        }
+                        if arrival[j.index()] >= best {
+                            best = arrival[j.index()];
+                            best_pred = Some(j);
+                        }
+                    }
+                    arrival[idx] = best + delays[idx];
+                    pred[idx] = best_pred;
+                }
+            }
+        }
+
+        let critical_path_delay = arrival[graph.sink().index()];
+        // Backtrack one critical path.
+        let mut path = Vec::new();
+        let mut cursor = pred[graph.sink().index()];
+        while let Some(node) = cursor {
+            path.push(node);
+            cursor = pred[node.index()];
+        }
+        path.reverse();
+
+        TimingAnalysis {
+            delays,
+            arrival: ArrivalTimes { values: arrival },
+            critical_path_delay,
+            critical_path: path,
+        }
+    }
+
+    /// Slack of every node against a circuit delay bound `a0`:
+    /// `slack_i = required_i − a_i`, where required times propagate backwards
+    /// from `a0` at the primary outputs. Negative slack marks nodes on paths
+    /// that violate the bound.
+    pub fn slacks(&self, graph: &CircuitGraph, a0: f64) -> Vec<f64> {
+        let n = graph.num_nodes();
+        let mut required = vec![f64::INFINITY; n];
+        required[graph.sink().index()] = a0;
+        for id in graph.node_ids().collect::<Vec<_>>().into_iter().rev() {
+            let idx = id.index();
+            match graph.node(id).kind {
+                NodeKind::Sink => {}
+                NodeKind::Source => {
+                    required[idx] = graph
+                        .fanout(id)
+                        .iter()
+                        .map(|&k| required[k.index()] - self.delays[k.index()])
+                        .fold(f64::INFINITY, f64::min);
+                }
+                _ => {
+                    let mut req = f64::INFINITY;
+                    for &k in graph.fanout(id) {
+                        let r = if k == graph.sink() {
+                            a0
+                        } else {
+                            required[k.index()] - self.delays[k.index()]
+                        };
+                        req = req.min(r);
+                    }
+                    required[idx] = req;
+                }
+            }
+        }
+        (0..n).map(|i| required[i] - self.arrival.values[i]).collect()
+    }
+
+    /// The worst (smallest) slack over the primary outputs for bound `a0`.
+    /// Non-negative exactly when the circuit meets the delay bound.
+    pub fn worst_slack(&self, a0: f64) -> f64 {
+        a0 - self.critical_path_delay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+    use crate::node::GateKind;
+    use crate::tech::Technology;
+
+    /// Two-input circuit with reconvergence:
+    /// d1 -> w1 -> g (nand) -> w3 -> out
+    /// d2 -> w2 ---^
+    fn reconvergent(len1: f64, len2: f64) -> CircuitGraph {
+        let mut b = CircuitBuilder::new(Technology::dac99());
+        let d1 = b.add_driver("d1", 100.0).unwrap();
+        let d2 = b.add_driver("d2", 100.0).unwrap();
+        let w1 = b.add_wire("w1", len1).unwrap();
+        let w2 = b.add_wire("w2", len2).unwrap();
+        let g = b.add_gate("g", GateKind::Nand).unwrap();
+        let w3 = b.add_wire("w3", 50.0).unwrap();
+        b.connect(d1, w1).unwrap();
+        b.connect(d2, w2).unwrap();
+        b.connect(w1, g).unwrap();
+        b.connect(w2, g).unwrap();
+        b.connect(g, w3).unwrap();
+        b.connect_output(w3, 4.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn arrival_times_take_the_max_over_fanin() {
+        let c = reconvergent(50.0, 400.0);
+        let sizes = c.uniform_sizes(1.0);
+        let t = TimingAnalysis::run(&c, &sizes, None);
+        let g = c.node_by_name("g").unwrap();
+        let w1 = c.node_by_name("w1").unwrap();
+        let w2 = c.node_by_name("w2").unwrap();
+        assert!(t.arrival.of(w2) > t.arrival.of(w1), "longer wire arrives later");
+        let expected = t.arrival.of(w2) + t.delays[g.index()];
+        assert!((t.arrival.of(g) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn critical_path_follows_the_slow_branch() {
+        let c = reconvergent(50.0, 400.0);
+        let sizes = c.uniform_sizes(1.0);
+        let t = TimingAnalysis::run(&c, &sizes, None);
+        let w2 = c.node_by_name("w2").unwrap();
+        let w1 = c.node_by_name("w1").unwrap();
+        assert!(t.critical_path.contains(&w2));
+        assert!(!t.critical_path.contains(&w1));
+        // Path runs from a driver to the primary-output driver.
+        let first = *t.critical_path.first().unwrap();
+        let last = *t.critical_path.last().unwrap();
+        assert!(c.node(first).kind.is_driver());
+        assert!(c.drives_primary_output(last));
+    }
+
+    #[test]
+    fn critical_delay_equals_sum_of_path_delays() {
+        let c = reconvergent(120.0, 300.0);
+        let sizes = c.uniform_sizes(1.0);
+        let t = TimingAnalysis::run(&c, &sizes, None);
+        let sum: f64 = t.critical_path.iter().map(|&id| t.delays[id.index()]).sum();
+        assert!((sum - t.critical_path_delay).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arrival_satisfies_constraint_form() {
+        // a_j + D_i <= a_i must hold with equality on at least one fanin.
+        let c = reconvergent(80.0, 80.0);
+        let sizes = c.uniform_sizes(1.0);
+        let t = TimingAnalysis::run(&c, &sizes, None);
+        for i in c.component_ids() {
+            let mut any_tight = false;
+            for &j in c.fanin(i) {
+                if j == c.source() {
+                    continue;
+                }
+                let lhs = t.arrival.of(j) + t.delays[i.index()];
+                assert!(lhs <= t.arrival.of(i) + 1e-9);
+                if (lhs - t.arrival.of(i)).abs() < 1e-9 {
+                    any_tight = true;
+                }
+            }
+            if !c.fanin(i).iter().all(|&j| j == c.source()) {
+                assert!(any_tight, "at least one fanin constraint must be tight at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn slack_sign_matches_bound() {
+        let c = reconvergent(100.0, 100.0);
+        let sizes = c.uniform_sizes(1.0);
+        let t = TimingAnalysis::run(&c, &sizes, None);
+        let d = t.critical_path_delay;
+        assert!(t.worst_slack(d * 1.1) > 0.0);
+        assert!(t.worst_slack(d * 0.9) < 0.0);
+        let slacks = t.slacks(&c, d);
+        // With the bound exactly at the critical delay, the critical nodes
+        // have (close to) zero slack and nothing is very negative.
+        let min = slacks
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !matches!(c.node(NodeId::new(*i)).kind, NodeKind::Source | NodeKind::Sink))
+            .map(|(_, &s)| s)
+            .fold(f64::INFINITY, f64::min);
+        assert!(min.abs() < 1e-6);
+    }
+
+    #[test]
+    fn delay_bound_violations_show_as_negative_slack() {
+        let c = reconvergent(100.0, 500.0);
+        let sizes = c.uniform_sizes(1.0);
+        let t = TimingAnalysis::run(&c, &sizes, None);
+        let slacks = t.slacks(&c, t.critical_path_delay * 0.5);
+        let w2 = c.node_by_name("w2").unwrap();
+        assert!(slacks[w2.index()] < 0.0);
+    }
+}

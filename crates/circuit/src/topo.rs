@@ -1,0 +1,133 @@
+//! Topological ordering helpers.
+//!
+//! By construction ([`CircuitBuilder`](crate::CircuitBuilder)) node indices
+//! are already a topological order, so the forward order is simply
+//! `0..num_nodes` and the reverse order is its mirror. The type exists to
+//! make traversal direction explicit at call sites and to re-verify the
+//! invariant cheaply in debug builds.
+
+use crate::graph::CircuitGraph;
+use crate::id::NodeId;
+
+/// A verified topological ordering of a circuit graph.
+#[derive(Debug, Clone)]
+pub struct TopologicalOrder {
+    order: Vec<NodeId>,
+}
+
+impl TopologicalOrder {
+    /// Computes (and in debug builds verifies) the topological order of the
+    /// graph. Because the builder indexes nodes topologically this is the
+    /// identity permutation.
+    pub fn of(graph: &CircuitGraph) -> Self {
+        let order: Vec<NodeId> = graph.node_ids().collect();
+        debug_assert!(Self::is_valid(graph, &order), "builder produced non-topological indexing");
+        TopologicalOrder { order }
+    }
+
+    fn is_valid(graph: &CircuitGraph, order: &[NodeId]) -> bool {
+        let mut position = vec![0usize; graph.num_nodes()];
+        for (pos, &id) in order.iter().enumerate() {
+            position[id.index()] = pos;
+        }
+        graph
+            .node_ids()
+            .all(|u| graph.fanout(u).iter().all(|&v| position[u.index()] < position[v.index()]))
+    }
+
+    /// Nodes in forward (source-to-sink) topological order.
+    pub fn forward(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.order.iter().copied()
+    }
+
+    /// Nodes in reverse (sink-to-source) topological order.
+    pub fn reverse(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.order.iter().rev().copied()
+    }
+
+    /// Number of nodes in the ordering.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Returns `true` if the ordering is empty (never the case for a built circuit).
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Longest path length (in edges) from source to sink — the logic depth
+    /// of the circuit plus the driver and sink hops.
+    pub fn longest_path_len(&self, graph: &CircuitGraph) -> usize {
+        let mut dist = vec![0usize; graph.num_nodes()];
+        for id in self.forward() {
+            for &succ in graph.fanout(id) {
+                dist[succ.index()] = dist[succ.index()].max(dist[id.index()] + 1);
+            }
+        }
+        dist[graph.sink().index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+    use crate::node::GateKind;
+    use crate::tech::Technology;
+
+    fn chain(depth: usize) -> CircuitGraph {
+        let mut b = CircuitBuilder::new(Technology::dac99());
+        let d = b.add_driver("d", 100.0).unwrap();
+        let mut prev = b.add_wire("w0", 10.0).unwrap();
+        b.connect(d, prev).unwrap();
+        for i in 0..depth {
+            let g = b.add_gate(&format!("g{i}"), GateKind::Inv).unwrap();
+            let w = b.add_wire(&format!("w{}", i + 1), 10.0).unwrap();
+            b.connect(prev, g).unwrap();
+            b.connect(g, w).unwrap();
+            prev = w;
+        }
+        b.connect_output(prev, 5.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn forward_and_reverse_are_mirrors() {
+        let c = chain(3);
+        let topo = TopologicalOrder::of(&c);
+        let fwd: Vec<_> = topo.forward().collect();
+        let mut rev: Vec<_> = topo.reverse().collect();
+        rev.reverse();
+        assert_eq!(fwd, rev);
+        assert_eq!(topo.len(), c.num_nodes());
+        assert!(!topo.is_empty());
+    }
+
+    #[test]
+    fn order_respects_edges() {
+        let c = chain(5);
+        let topo = TopologicalOrder::of(&c);
+        let pos: Vec<usize> = {
+            let mut p = vec![0; c.num_nodes()];
+            for (i, id) in topo.forward().enumerate() {
+                p[id.index()] = i;
+            }
+            p
+        };
+        for u in c.node_ids() {
+            for &v in c.fanout(u) {
+                assert!(pos[u.index()] < pos[v.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn longest_path_matches_chain_depth() {
+        // driver -> w0 -> (g,w) * depth -> sink
+        // edges: source->driver (1), driver->w0 (1), per stage 2 edges, w_last->sink (1).
+        let depth = 4;
+        let c = chain(depth);
+        let topo = TopologicalOrder::of(&c);
+        assert_eq!(topo.longest_path_len(&c), 2 * depth + 3);
+    }
+}

@@ -1,0 +1,107 @@
+//! Structural validation of a built circuit graph.
+
+use crate::error::CircuitError;
+use crate::graph::CircuitGraph;
+use crate::node::NodeKind;
+
+/// Checks the structural invariants the rest of the workspace relies on:
+///
+/// * node indexing is topological (every edge goes to a strictly larger index),
+/// * the source feeds exactly the drivers and the sink is fed by at least one
+///   component,
+/// * every sizable component has a fanin and a fanout,
+/// * wires have exactly one fanin,
+/// * size bounds are positive and ordered.
+///
+/// # Errors
+///
+/// Returns the first violated invariant as a [`CircuitError`].
+pub fn validate(graph: &CircuitGraph) -> Result<(), CircuitError> {
+    // Topological indexing.
+    for u in graph.node_ids() {
+        for &v in graph.fanout(u) {
+            if v <= u {
+                return Err(CircuitError::CyclicGraph);
+            }
+        }
+    }
+    // Source/sink shape.
+    if graph.num_drivers() == 0 {
+        return Err(CircuitError::NoDrivers);
+    }
+    if graph.primary_output_drivers().is_empty() {
+        return Err(CircuitError::NoPrimaryOutputs);
+    }
+    for d in graph.driver_ids() {
+        if graph.fanin(d) != [graph.source()] {
+            return Err(CircuitError::DanglingInput(d));
+        }
+        if graph.fanout(d).is_empty() {
+            return Err(CircuitError::DanglingOutput(d));
+        }
+    }
+    // Components.
+    for id in graph.component_ids() {
+        let node = graph.node(id);
+        if graph.fanin(id).is_empty() {
+            return Err(CircuitError::DanglingInput(id));
+        }
+        if graph.fanout(id).is_empty() {
+            return Err(CircuitError::DanglingOutput(id));
+        }
+        if node.kind.is_wire() && graph.fanin(id).len() != 1 {
+            return Err(CircuitError::InvalidConnection {
+                from: graph.fanin(id)[0],
+                to: id,
+                reason: "a wire is driven by exactly one component",
+            });
+        }
+        let attrs = &node.attrs;
+        if !(attrs.lower_bound > 0.0 && attrs.lower_bound.is_finite()) {
+            return Err(CircuitError::InvalidParameter {
+                name: "lower_bound",
+                value: attrs.lower_bound,
+            });
+        }
+        if attrs.upper_bound < attrs.lower_bound {
+            return Err(CircuitError::InvalidBounds {
+                node: id,
+                lower: attrs.lower_bound,
+                upper: attrs.upper_bound,
+            });
+        }
+    }
+    // No stray node kinds in the component range.
+    for id in graph.component_ids() {
+        if matches!(graph.node(id).kind, NodeKind::Source | NodeKind::Sink | NodeKind::Driver) {
+            return Err(CircuitError::InvalidConnection {
+                from: id,
+                to: id,
+                reason: "component index range must contain only gates and wires",
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::CircuitBuilder;
+    use crate::node::GateKind;
+    use crate::tech::Technology;
+
+    #[test]
+    fn built_circuits_validate() {
+        let mut b = CircuitBuilder::new(Technology::dac99());
+        let d = b.add_driver("d", 100.0).unwrap();
+        let w = b.add_wire("w", 10.0).unwrap();
+        let g = b.add_gate("g", GateKind::Inv).unwrap();
+        let w2 = b.add_wire("w2", 10.0).unwrap();
+        b.connect(d, w).unwrap();
+        b.connect(w, g).unwrap();
+        b.connect(g, w2).unwrap();
+        b.connect_output(w2, 1.0).unwrap();
+        let c = b.build().unwrap();
+        assert!(super::validate(&c).is_ok());
+    }
+}

@@ -1,0 +1,17 @@
+//! Baseline sizers used for comparisons and ablation studies.
+//!
+//! * [`lr_delay_area`] — Lagrangian-relaxation sizing with **only** the delay
+//!   constraint (the Chen–Chu–Wong ICCAD'98 style formulation the paper
+//!   builds on). It is noise- and power-oblivious, so comparing it against
+//!   the full optimizer isolates what the noise/power constraints cost and
+//!   buy.
+//! * [`greedy`] — a TILOS-style sensitivity heuristic: repeatedly upsize the
+//!   critical-path component with the best delay-per-area payoff until the
+//!   delay bound is met. It shares no machinery with the Lagrangian engine,
+//!   which makes it a useful independent cross-check.
+
+pub mod greedy;
+pub mod lr_delay_area;
+
+pub use greedy::{greedy_delay_sizing, GreedyOutcome};
+pub use lr_delay_area::{lr_delay_area, BaselineOutcome};

@@ -1,0 +1,217 @@
+//! Stage 1 of the two-stage flow: switching-aware wire ordering and
+//! construction of the coupling model.
+//!
+//! Given a [`ProblemInstance`](ncgws_netlist::ProblemInstance), this module
+//!
+//! 1. logic-simulates the circuit over the instance's input patterns,
+//! 2. computes the switching-similarity matrix of every routing channel,
+//! 3. orders the wires of each channel (WOSS by default),
+//! 4. assigns the ordered wires to adjacent tracks at the channel pitch and
+//!    builds one [`CouplingPair`] per adjacent pair — optionally carrying the
+//!    Miller/anti-Miller switching factor,
+//! 5. assembles the [`CouplingSet`] the sizing stage consumes.
+
+use ncgws_circuit::NodeId;
+use ncgws_coupling::{CouplingPair, CouplingSet, WirePairGeometry};
+use ncgws_netlist::ProblemInstance;
+use ncgws_ordering::{baselines, exact_ordering, woss, Adjacency, SsProblem, WireOrdering};
+use ncgws_waveform::{miller_factor, LogicSimulator, SimilarityMatrix};
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+
+/// Which algorithm orders the wires of each channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OrderingStrategy {
+    /// The paper's WOSS heuristic (Figure 7).
+    Woss,
+    /// Keep the wires in netlist order (similarity-oblivious router).
+    Identity,
+    /// A reproducible random order.
+    Random {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Nearest-neighbor greedy tried from every start (ablation upper bound
+    /// for greedy approaches).
+    BestStartNearestNeighbor,
+    /// Exact Held–Karp ordering; falls back to WOSS for channels larger than
+    /// the exact solver's limit.
+    Exact,
+}
+
+/// The result of stage 1: per-channel orderings, their total effective
+/// loading, and the assembled coupling set.
+#[derive(Debug, Clone)]
+pub struct WireOrderingOutcome {
+    /// One ordering per routing channel.
+    pub orderings: Vec<WireOrdering>,
+    /// Sum of the orderings' effective loading `Σ (1 − similarity)` over
+    /// adjacent pairs — the objective of the SS problem.
+    pub total_effective_loading: f64,
+    /// The coupling set induced by the orderings.
+    pub coupling: CouplingSet,
+    /// The adjacency (`N(i)` / `I(i)`) induced by the orderings.
+    pub adjacency: Adjacency,
+}
+
+fn solve_channel(problem: &SsProblem, strategy: OrderingStrategy) -> WireOrdering {
+    match strategy {
+        OrderingStrategy::Woss => woss(problem),
+        OrderingStrategy::Identity => baselines::identity_ordering(problem),
+        OrderingStrategy::Random { seed } => baselines::random_ordering(problem, seed),
+        OrderingStrategy::BestStartNearestNeighbor => {
+            baselines::best_start_nearest_neighbor(problem)
+        }
+        OrderingStrategy::Exact => exact_ordering(problem).unwrap_or_else(|_| woss(problem)),
+    }
+}
+
+/// Runs stage 1 on a problem instance.
+///
+/// When `effective_coupling` is `true`, every coupling pair carries the
+/// Miller factor `1 − similarity` so the sizing stage constrains *effective*
+/// crosstalk; otherwise the factor is neutral (`1`) and the constraint is the
+/// purely physical coupling, as in the paper's second stage.
+///
+/// # Errors
+///
+/// Returns a [`CoreError::Coupling`] if the induced coupling pairs are
+/// geometrically invalid (e.g. the channel pitch cannot accommodate the
+/// maximum wire widths).
+pub fn build_coupling(
+    instance: &ProblemInstance,
+    strategy: OrderingStrategy,
+    effective_coupling: bool,
+) -> Result<WireOrderingOutcome, CoreError> {
+    let graph = &instance.circuit;
+    let simulator = LogicSimulator::new(graph);
+    let trace = simulator.simulate(&instance.patterns);
+
+    let mut orderings = Vec::with_capacity(instance.channels.len());
+    let mut pairs: Vec<CouplingPair> = Vec::new();
+    let mut total_effective_loading = 0.0;
+
+    for channel in &instance.channels {
+        if channel.is_empty() {
+            continue;
+        }
+        let similarity = SimilarityMatrix::from_trace(&trace, channel);
+        let problem = SsProblem::from_similarity(&similarity);
+        let ordering = solve_channel(&problem, strategy);
+        total_effective_loading += ordering.cost();
+
+        // Adjacent tracks couple; build one pair per adjacent position.
+        let sequence: Vec<NodeId> = ordering.sequence().to_vec();
+        for pair in sequence.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            let len_a = instance.wire_length(a);
+            let len_b = instance.wire_length(b);
+            let overlap = instance.geometry.overlap_length(len_a, len_b).max(1e-3);
+            let geometry = WirePairGeometry::new(
+                overlap,
+                instance.geometry.pitch,
+                instance.geometry.unit_fringing,
+            )?;
+            let mut coupling_pair = CouplingPair::new(a, b, geometry)?;
+            if effective_coupling {
+                let similarity = similarity
+                    .by_id(a, b)
+                    .expect("both wires belong to the channel's similarity matrix");
+                coupling_pair = coupling_pair.with_switching_factor(miller_factor(similarity));
+            }
+            pairs.push(coupling_pair);
+        }
+        orderings.push(ordering);
+    }
+
+    let coupling = CouplingSet::new(graph, pairs)?;
+    let adjacency = Adjacency::from_orderings(orderings.iter());
+    Ok(WireOrderingOutcome { orderings, total_effective_loading, coupling, adjacency })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncgws_netlist::{CircuitSpec, SyntheticGenerator};
+
+    fn instance() -> ProblemInstance {
+        SyntheticGenerator::new(
+            CircuitSpec::new("cb", 40, 90).with_seed(21).with_channel_size(6),
+        )
+        .generate()
+        .unwrap()
+    }
+
+    #[test]
+    fn builds_one_pair_per_adjacent_track() {
+        let inst = instance();
+        let outcome = build_coupling(&inst, OrderingStrategy::Woss, false).unwrap();
+        let expected_pairs: usize =
+            inst.channels.iter().map(|c| c.len().saturating_sub(1)).sum();
+        assert_eq!(outcome.coupling.len(), expected_pairs);
+        assert_eq!(outcome.orderings.len(), inst.channels.iter().filter(|c| !c.is_empty()).count());
+        assert_eq!(outcome.adjacency.pairs().len(), expected_pairs);
+    }
+
+    #[test]
+    fn woss_never_exceeds_identity_loading() {
+        let inst = instance();
+        let woss_outcome = build_coupling(&inst, OrderingStrategy::Woss, false).unwrap();
+        let identity_outcome = build_coupling(&inst, OrderingStrategy::Identity, false).unwrap();
+        // WOSS explicitly minimizes the effective loading; identity ignores it.
+        assert!(
+            woss_outcome.total_effective_loading
+                <= identity_outcome.total_effective_loading + 1e-9
+        );
+    }
+
+    #[test]
+    fn orderings_permute_their_channels() {
+        let inst = instance();
+        let outcome = build_coupling(&inst, OrderingStrategy::Woss, false).unwrap();
+        for (ordering, channel) in outcome.orderings.iter().zip(&inst.channels) {
+            let mut expected: Vec<NodeId> = channel.clone();
+            let mut actual: Vec<NodeId> = ordering.sequence().to_vec();
+            expected.sort_unstable();
+            actual.sort_unstable();
+            assert_eq!(expected, actual);
+        }
+    }
+
+    #[test]
+    fn effective_mode_sets_switching_factors() {
+        let inst = instance();
+        let physical = build_coupling(&inst, OrderingStrategy::Woss, false).unwrap();
+        assert!(physical.coupling.pairs().iter().all(|p| (p.switching_factor - 1.0).abs() < 1e-12));
+        let effective = build_coupling(&inst, OrderingStrategy::Woss, true).unwrap();
+        assert!(effective
+            .coupling
+            .pairs()
+            .iter()
+            .all(|p| (0.0..=2.0).contains(&p.switching_factor)));
+        // At least one pair should deviate from the neutral factor.
+        assert!(effective
+            .coupling
+            .pairs()
+            .iter()
+            .any(|p| (p.switching_factor - 1.0).abs() > 1e-6));
+    }
+
+    #[test]
+    fn strategies_are_deterministic() {
+        let inst = instance();
+        for strategy in [
+            OrderingStrategy::Woss,
+            OrderingStrategy::Identity,
+            OrderingStrategy::Random { seed: 5 },
+            OrderingStrategy::BestStartNearestNeighbor,
+            OrderingStrategy::Exact,
+        ] {
+            let a = build_coupling(&inst, strategy, false).unwrap();
+            let b = build_coupling(&inst, strategy, false).unwrap();
+            assert_eq!(a.total_effective_loading, b.total_effective_loading, "{strategy:?}");
+            assert_eq!(a.coupling.len(), b.coupling.len());
+        }
+    }
+}

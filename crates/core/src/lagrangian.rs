@@ -1,0 +1,235 @@
+//! Lagrange multipliers and evaluation of the Lagrangian / dual function.
+
+use ncgws_circuit::{CircuitGraph, NodeId, SizeVector};
+use serde::{Deserialize, Serialize};
+
+use crate::problem::SizingProblem;
+
+/// The Lagrange multipliers of problem `PP`:
+///
+/// * one `λ_{ji}` per edge `(j, i)` of the circuit graph (delay constraints,
+///   including the source→driver edges for `D_i ≤ a_i` and the
+///   output→sink edges for `a_j ≤ A₀`);
+/// * `β` for the power constraint;
+/// * `γ` for the crosstalk constraint.
+///
+/// Edge multipliers are stored parallel to each node's fanin list, so lookups
+/// and traversals cost the same as walking the graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Multipliers {
+    /// `edge[i][slot]` is `λ_{ji}` where `j = fanin(i)[slot]`.
+    edge: Vec<Vec<f64>>,
+    /// Power-constraint multiplier `β ≥ 0`.
+    pub beta: f64,
+    /// Crosstalk-constraint multiplier `γ ≥ 0`.
+    pub gamma: f64,
+}
+
+impl Multipliers {
+    /// Creates multipliers with every edge multiplier set to `edge_value` and
+    /// both scalar multipliers set to `scalar_value`.
+    pub fn uniform(graph: &CircuitGraph, edge_value: f64, scalar_value: f64) -> Self {
+        let edge = graph
+            .node_ids()
+            .map(|id| vec![edge_value; graph.fanin(id).len()])
+            .collect();
+        Multipliers { edge, beta: scalar_value, gamma: scalar_value }
+    }
+
+    /// The multiplier `λ_{ji}` on the fanin edge `slot` of node `i`.
+    pub fn edge(&self, node: NodeId, slot: usize) -> f64 {
+        self.edge[node.index()][slot]
+    }
+
+    /// Mutable access to the multiplier on the fanin edge `slot` of node `i`.
+    pub fn edge_mut(&mut self, node: NodeId, slot: usize) -> &mut f64 {
+        &mut self.edge[node.index()][slot]
+    }
+
+    /// All fanin-edge multipliers of a node.
+    pub fn edges_of(&self, node: NodeId) -> &[f64] {
+        &self.edge[node.index()]
+    }
+
+    /// The node delay weight `λ_i = Σ_{j ∈ input(i)} λ_{ji}`.
+    pub fn node_weight(&self, node: NodeId) -> f64 {
+        self.edge[node.index()].iter().sum()
+    }
+
+    /// The node delay weights for every node, indexed by raw node index.
+    pub fn node_weights(&self, graph: &CircuitGraph) -> Vec<f64> {
+        graph.node_ids().map(|id| self.node_weight(id)).collect()
+    }
+
+    /// The sum of the multipliers on the sink's fanin edges,
+    /// `Σ_{j∈input(m)} λ_{jm}` — the coefficient of the `−A₀` constant in the
+    /// dual function.
+    pub fn sink_weight(&self, graph: &CircuitGraph) -> f64 {
+        self.node_weight(graph.sink())
+    }
+
+    /// Clamps every multiplier to be non-negative (condition (4) of
+    /// Theorem 6).
+    pub fn clamp_non_negative(&mut self) {
+        for list in &mut self.edge {
+            for value in list {
+                if *value < 0.0 {
+                    *value = 0.0;
+                }
+            }
+        }
+        if self.beta < 0.0 {
+            self.beta = 0.0;
+        }
+        if self.gamma < 0.0 {
+            self.gamma = 0.0;
+        }
+    }
+
+    /// An estimate (in bytes) of the multiplier storage, used by the
+    /// Figure 10(a) reproduction.
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.edge
+            .iter()
+            .map(|v| size_of::<Vec<f64>>() + v.capacity() * size_of::<f64>())
+            .sum::<usize>()
+            + size_of::<Self>()
+    }
+}
+
+/// Evaluates the dual function value at the given multipliers and the LRS
+/// minimizer `sizes`:
+///
+/// ```text
+/// D(λ, β, γ) = Σ α_i x_i
+///            + β (Σ c_i − P')
+///            + γ (Σ ĉ_ij (x_i + x_j) − X')
+///            + Σ_i λ_i D_i
+///            − A₀ · Σ_{j∈input(m)} λ_{jm}
+/// ```
+///
+/// The form assumes the flow-conservation condition of Theorem 3 holds (the
+/// arrival-time terms then telescope away); the OGWS loop projects the
+/// multipliers before every LRS call, so this is always the case when the
+/// solver calls it.
+pub fn dual_value(
+    problem: &SizingProblem<'_>,
+    multipliers: &Multipliers,
+    sizes: &SizeVector,
+    delays: &[f64],
+) -> f64 {
+    let graph = problem.graph;
+    let area = problem.area(sizes);
+    let cap = ncgws_circuit::total_capacitance(graph, sizes);
+    let crosstalk_lhs = problem.coupling.crosstalk_lhs(graph, sizes);
+    let weighted_delay: f64 = graph
+        .node_ids()
+        .map(|id| multipliers.node_weight(id) * delays[id.index()])
+        .sum();
+    area
+        + multipliers.beta * (cap - problem.bounds.total_capacitance)
+        + multipliers.gamma * (crosstalk_lhs - problem.reduced_crosstalk_bound())
+        + weighted_delay
+        - problem.bounds.delay * multipliers.sink_weight(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncgws_circuit::{CircuitBuilder, GateKind, Technology};
+    use ncgws_coupling::CouplingSet;
+
+    fn graph() -> CircuitGraph {
+        let mut b = CircuitBuilder::new(Technology::dac99());
+        let d1 = b.add_driver("d1", 100.0).unwrap();
+        let d2 = b.add_driver("d2", 100.0).unwrap();
+        let w1 = b.add_wire("w1", 50.0).unwrap();
+        let w2 = b.add_wire("w2", 60.0).unwrap();
+        let g = b.add_gate("g", GateKind::Nand).unwrap();
+        let w3 = b.add_wire("w3", 70.0).unwrap();
+        b.connect(d1, w1).unwrap();
+        b.connect(d2, w2).unwrap();
+        b.connect(w1, g).unwrap();
+        b.connect(w2, g).unwrap();
+        b.connect(g, w3).unwrap();
+        b.connect_output(w3, 5.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn uniform_construction_and_weights() {
+        let g = graph();
+        let m = Multipliers::uniform(&g, 2.0, 0.5);
+        assert_eq!(m.beta, 0.5);
+        assert_eq!(m.gamma, 0.5);
+        // The NAND gate has two fanin edges: λ_g = 4.
+        let gate = g.node_by_name("g").unwrap();
+        assert_eq!(m.node_weight(gate), 4.0);
+        // A wire has one fanin edge.
+        let w1 = g.node_by_name("w1").unwrap();
+        assert_eq!(m.node_weight(w1), 2.0);
+        // Node weights vector covers all nodes.
+        assert_eq!(m.node_weights(&g).len(), g.num_nodes());
+        assert!(m.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn clamp_removes_negative_values() {
+        let g = graph();
+        let mut m = Multipliers::uniform(&g, 1.0, 1.0);
+        let w1 = g.node_by_name("w1").unwrap();
+        *m.edge_mut(w1, 0) = -3.0;
+        m.beta = -1.0;
+        m.clamp_non_negative();
+        assert_eq!(m.edge(w1, 0), 0.0);
+        assert_eq!(m.beta, 0.0);
+        assert_eq!(m.gamma, 1.0);
+    }
+
+    #[test]
+    fn dual_value_reduces_to_area_when_multipliers_vanish() {
+        let g = graph();
+        let coupling = CouplingSet::empty(&g);
+        let bounds = crate::problem::ConstraintBounds {
+            delay: 1e9,
+            total_capacitance: 1e9,
+            crosstalk: 1e9,
+        };
+        let problem = SizingProblem::new(&g, &coupling, bounds).unwrap();
+        let m = Multipliers::uniform(&g, 0.0, 0.0);
+        let sizes = g.uniform_sizes(1.0);
+        let delays = vec![0.0; g.num_nodes()];
+        let d = dual_value(&problem, &m, &sizes, &delays);
+        assert!((d - problem.area(&sizes)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dual_value_penalizes_violations_and_rewards_slack() {
+        let g = graph();
+        let coupling = CouplingSet::empty(&g);
+        let sizes = g.uniform_sizes(1.0);
+        let cap = ncgws_circuit::total_capacitance(&g, &sizes);
+        // Tight power bound (half the current capacitance): positive β term.
+        let tight = crate::problem::ConstraintBounds {
+            delay: 1e9,
+            total_capacitance: cap / 2.0,
+            crosstalk: 1e9,
+        };
+        let problem = SizingProblem::new(&g, &coupling, tight).unwrap();
+        let mut m = Multipliers::uniform(&g, 0.0, 0.0);
+        m.beta = 1.0;
+        let delays = vec![0.0; g.num_nodes()];
+        let d = dual_value(&problem, &m, &sizes, &delays);
+        assert!(d > problem.area(&sizes));
+        // Loose bound: negative β term.
+        let loose = crate::problem::ConstraintBounds {
+            delay: 1e9,
+            total_capacitance: cap * 2.0,
+            crosstalk: 1e9,
+        };
+        let problem = SizingProblem::new(&g, &coupling, loose).unwrap();
+        let d = dual_value(&problem, &m, &sizes, &delays);
+        assert!(d < problem.area(&sizes));
+    }
+}

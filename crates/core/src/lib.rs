@@ -1,0 +1,54 @@
+//! The noise-constrained gate and wire sizing engine — the paper's primary
+//! contribution (Sections 4 and 5).
+//!
+//! The optimization problem `PP` minimizes total area subject to
+//!
+//! * per-edge arrival-time (delay) constraints with circuit delay bound `A₀`,
+//! * a total-power constraint `Σ c_i ≤ P'`,
+//! * a total-crosstalk constraint `Σ_{i∈W} Σ_{j∈I(i)} ĉ_ij (x_i + x_j) ≤ X'`,
+//! * per-component size bounds `L_i ≤ x_i ≤ U_i`.
+//!
+//! Everything is posynomial, so Lagrangian relaxation solves it to global
+//! optimality. The crate implements:
+//!
+//! * [`Multipliers`] and the flow-conservation projection of Theorem 3
+//!   ([`projection`]);
+//! * the **LRS** subroutine (Figure 8): the greedy, provably optimal solver
+//!   of the relaxed subproblem via the closed-form resizing of Theorem 5
+//!   ([`lrs`]);
+//! * the **OGWS** outer loop (Figure 9): subgradient multiplier updates,
+//!   projection, and the duality-gap stopping rule ([`ogws`]);
+//! * the end-to-end two-stage [`Optimizer`]: switching-similarity wire
+//!   ordering (stage 1) followed by OGWS sizing (stage 2);
+//! * baselines for ablations: delay/area-only Lagrangian sizing and a greedy
+//!   sensitivity-based sizer ([`baseline`]);
+//! * metrics, reporting and memory accounting for the Table 1 / Figure 10
+//!   reproductions ([`metrics`], [`report`]).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod baseline;
+pub mod coupling_build;
+pub mod error;
+pub mod kkt;
+pub mod lagrangian;
+pub mod lrs;
+pub mod metrics;
+pub mod ogws;
+pub mod optimizer;
+pub mod problem;
+pub mod projection;
+pub mod report;
+pub mod step;
+
+pub use coupling_build::{build_coupling, OrderingStrategy, WireOrderingOutcome};
+pub use error::CoreError;
+pub use lagrangian::Multipliers;
+pub use lrs::{LrsOutcome, LrsSolver};
+pub use metrics::{CircuitMetrics, IterationRecord, MemoryBreakdown};
+pub use ogws::{OgwsOutcome, OgwsSolver};
+pub use optimizer::{OptimizationOutcome, Optimizer};
+pub use problem::{ConstraintBounds, OptimizerConfig, SizingProblem};
+pub use report::{Improvements, OptimizationReport};
+pub use step::StepSchedule;

@@ -1,0 +1,285 @@
+//! The LRS subroutine (Figure 8): optimal solution of the Lagrangian
+//! relaxation subproblem `LRS₂` for fixed multipliers.
+//!
+//! For fixed `(λ, β, γ)` satisfying the flow-conservation condition, the
+//! relaxed problem separates and Theorem 5 gives the optimal size of each
+//! component in closed form:
+//!
+//! ```text
+//! x_i* = min(U_i, max(L_i, opt_i)),
+//! opt_i = sqrt( λ_i · r̂_i · (C'_i + Σ_{j∈N(i)} ĉ_ij x_j)
+//!             / (α_i + (β + R_i) ĉ_i + γ Σ_{j∈N(i)} ĉ_ij) )
+//! ```
+//!
+//! where `C'_i` is the downstream capacitance of `i` stripped of the terms
+//! that depend on `x_i`, and `R_i` is the λ-weighted upstream resistance.
+//! Because the subproblem is convex (posynomial) with a unique optimum, the
+//! greedy coordinate sweep — recompute `C'`, `R`, update every `x_i`, repeat
+//! until nothing changes — converges to that optimum.
+//!
+//! Each sweep is `O(V + E + P)` time (`P` = number of coupling pairs), which
+//! is the per-iteration linearity the paper emphasizes.
+
+use ncgws_circuit::{ElmoreAnalyzer, NodeKind, SizeVector};
+use serde::{Deserialize, Serialize};
+
+use crate::lagrangian::Multipliers;
+use crate::problem::SizingProblem;
+
+/// Result of one LRS call.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LrsOutcome {
+    /// The minimizing size vector.
+    pub sizes: SizeVector,
+    /// Number of coordinate sweeps performed.
+    pub sweeps: usize,
+    /// Whether the sweep converged below the tolerance (as opposed to hitting
+    /// the sweep limit).
+    pub converged: bool,
+}
+
+/// Solver for the Lagrangian relaxation subproblem.
+#[derive(Debug, Clone, Copy)]
+pub struct LrsSolver {
+    max_sweeps: usize,
+    tolerance: f64,
+}
+
+impl LrsSolver {
+    /// Creates a solver with the given sweep limit and convergence tolerance
+    /// (maximum relative size change per sweep).
+    pub fn new(max_sweeps: usize, tolerance: f64) -> Self {
+        LrsSolver { max_sweeps: max_sweeps.max(1), tolerance: tolerance.max(0.0) }
+    }
+
+    /// Solves `LRS₂` for the given multipliers.
+    ///
+    /// Follows Figure 8: start at the lower bounds, then repeat
+    /// (recompute `C'`, recompute `R`, greedy resize every component) until
+    /// no component moves by more than the tolerance.
+    pub fn solve(&self, problem: &SizingProblem<'_>, multipliers: &Multipliers) -> LrsOutcome {
+        let graph = problem.graph;
+        let coupling = problem.coupling;
+        let analyzer = ElmoreAnalyzer::new(graph);
+        let lambda = multipliers.node_weights(graph);
+
+        // S1: start at the lower bounds.
+        let mut sizes = graph.minimum_sizes();
+        let mut sweeps = 0;
+        let mut converged = false;
+
+        while sweeps < self.max_sweeps {
+            sweeps += 1;
+            let previous = sizes.clone();
+
+            // S2: downstream capacitances C_i with the coupling load included.
+            let extra = coupling.delay_load_per_node(graph, &sizes);
+            let caps = analyzer.downstream_caps(&sizes, Some(&extra));
+            // S3: λ-weighted upstream resistances R_i.
+            let upstream = analyzer.weighted_upstream_resistance(&sizes, &lambda);
+
+            // S4: greedy closed-form resize, updating in place so later
+            // components see their neighbors' fresh widths.
+            for id in graph.component_ids() {
+                let dense = graph.component_index(id).expect("component id");
+                let node = graph.node(id);
+                let attrs = &node.attrs;
+                let lambda_i = lambda[id.index()];
+                let x_i = sizes[dense];
+
+                // Numerator capacitance: C_i minus every term proportional to
+                // x_i (own far-half capacitance and the x_i part of the
+                // coupling), keeping the neighbor-width coupling term.
+                let mut cap_num = caps.charged_of(id);
+                if matches!(node.kind, NodeKind::Wire) {
+                    cap_num -= attrs.unit_capacitance * x_i / 2.0;
+                    cap_num -= coupling.linear_coefficient_sum(id) * x_i;
+                }
+                // Guard against tiny negative values from floating-point noise.
+                if cap_num < 0.0 {
+                    cap_num = 0.0;
+                }
+
+                let coupling_sum = coupling.linear_coefficient_sum(id);
+                let denominator = attrs.area_coefficient
+                    + (multipliers.beta + upstream[id.index()]) * attrs.unit_capacitance
+                    + multipliers.gamma * coupling_sum;
+                let numerator = lambda_i * attrs.unit_resistance * cap_num;
+
+                let opt = if denominator > 0.0 && numerator > 0.0 {
+                    (numerator / denominator).sqrt()
+                } else {
+                    0.0
+                };
+                sizes[dense] = opt.clamp(attrs.lower_bound, attrs.upper_bound);
+            }
+
+            // S5: repeat until no improvement.
+            if sizes.max_rel_diff(&previous) <= self.tolerance {
+                converged = true;
+                break;
+            }
+        }
+
+        LrsOutcome { sizes, sweeps, converged }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::ConstraintBounds;
+    use ncgws_circuit::{CircuitBuilder, CircuitGraph, GateKind, Technology};
+    use ncgws_coupling::{CouplingPair, CouplingSet, WirePairGeometry};
+
+    fn chain() -> CircuitGraph {
+        let mut b = CircuitBuilder::new(Technology::dac99());
+        let d = b.add_driver("d", 150.0).unwrap();
+        let w1 = b.add_wire("w1", 200.0).unwrap();
+        let g1 = b.add_gate("g1", GateKind::Inv).unwrap();
+        let w2 = b.add_wire("w2", 300.0).unwrap();
+        let g2 = b.add_gate("g2", GateKind::Buf).unwrap();
+        let w3 = b.add_wire("w3", 150.0).unwrap();
+        b.connect(d, w1).unwrap();
+        b.connect(w1, g1).unwrap();
+        b.connect(g1, w2).unwrap();
+        b.connect(w2, g2).unwrap();
+        b.connect(g2, w3).unwrap();
+        b.connect_output(w3, 10.0).unwrap();
+        b.build().unwrap()
+    }
+
+    fn loose_bounds() -> ConstraintBounds {
+        ConstraintBounds { delay: 1e12, total_capacitance: 1e12, crosstalk: 1e12 }
+    }
+
+    #[test]
+    fn zero_multipliers_give_minimum_sizes() {
+        let graph = chain();
+        let coupling = CouplingSet::empty(&graph);
+        let problem = SizingProblem::new(&graph, &coupling, loose_bounds()).unwrap();
+        let multipliers = Multipliers::uniform(&graph, 0.0, 0.0);
+        let outcome = LrsSolver::new(50, 1e-9).solve(&problem, &multipliers);
+        assert!(outcome.converged);
+        for (&x, id) in outcome.sizes.iter().zip(graph.component_ids()) {
+            assert!((x - graph.node(id).attrs.lower_bound).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn larger_delay_multipliers_give_larger_sizes() {
+        let graph = chain();
+        let coupling = CouplingSet::empty(&graph);
+        let problem = SizingProblem::new(&graph, &coupling, loose_bounds()).unwrap();
+        let solver = LrsSolver::new(100, 1e-9);
+        let small = solver.solve(&problem, &Multipliers::uniform(&graph, 1e-4, 0.0));
+        let large = solver.solve(&problem, &Multipliers::uniform(&graph, 1e-1, 0.0));
+        assert!(large.sizes.sum() > small.sizes.sum());
+    }
+
+    #[test]
+    fn larger_power_multiplier_gives_smaller_sizes() {
+        let graph = chain();
+        let coupling = CouplingSet::empty(&graph);
+        let problem = SizingProblem::new(&graph, &coupling, loose_bounds()).unwrap();
+        let solver = LrsSolver::new(100, 1e-9);
+        let mut m = Multipliers::uniform(&graph, 0.05, 0.0);
+        let relaxed = solver.solve(&problem, &m);
+        m.beta = 50.0;
+        let constrained = solver.solve(&problem, &m);
+        assert!(constrained.sizes.sum() <= relaxed.sizes.sum() + 1e-12);
+    }
+
+    #[test]
+    fn crosstalk_multiplier_shrinks_coupled_wires_only() {
+        let graph = chain();
+        let w1 = graph.node_by_name("w1").unwrap();
+        let w2 = graph.node_by_name("w2").unwrap();
+        let geom = WirePairGeometry::new(150.0, 12.0, 0.03).unwrap();
+        let coupling =
+            CouplingSet::new(&graph, vec![CouplingPair::new(w1, w2, geom).unwrap()]).unwrap();
+        let problem = SizingProblem::new(&graph, &coupling, loose_bounds()).unwrap();
+        let solver = LrsSolver::new(200, 1e-9);
+        let mut m = Multipliers::uniform(&graph, 0.05, 0.0);
+        let before = solver.solve(&problem, &m);
+        m.gamma = 100.0;
+        let after = solver.solve(&problem, &m);
+        let w1_dense = graph.component_index(w1).unwrap();
+        let w2_dense = graph.component_index(w2).unwrap();
+        assert!(after.sizes[w1_dense] <= before.sizes[w1_dense] + 1e-12);
+        assert!(after.sizes[w2_dense] <= before.sizes[w2_dense] + 1e-12);
+        // The uncoupled wire w3 should not shrink because of γ.
+        let w3 = graph.node_by_name("w3").unwrap();
+        let w3_dense = graph.component_index(w3).unwrap();
+        assert!((after.sizes[w3_dense] - before.sizes[w3_dense]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn solution_satisfies_theorem5_fixed_point() {
+        // At convergence every component either sits at a bound or satisfies
+        // the closed-form optimality equation.
+        let graph = chain();
+        let coupling = CouplingSet::empty(&graph);
+        let problem = SizingProblem::new(&graph, &coupling, loose_bounds()).unwrap();
+        let multipliers = Multipliers::uniform(&graph, 0.02, 0.0);
+        let outcome = LrsSolver::new(500, 1e-12).solve(&problem, &multipliers);
+        assert!(outcome.converged);
+        let sizes = &outcome.sizes;
+        let analyzer = ncgws_circuit::ElmoreAnalyzer::new(&graph);
+        let lambda = multipliers.node_weights(&graph);
+        let caps = analyzer.downstream_caps(sizes, None);
+        let upstream = analyzer.weighted_upstream_resistance(sizes, &lambda);
+        for id in graph.component_ids() {
+            let dense = graph.component_index(id).unwrap();
+            let attrs = &graph.node(id).attrs;
+            let mut cap_num = caps.charged_of(id);
+            if graph.node(id).kind.is_wire() {
+                cap_num -= attrs.unit_capacitance * sizes[dense] / 2.0;
+            }
+            let denom = attrs.area_coefficient + upstream[id.index()] * attrs.unit_capacitance;
+            let opt = (lambda[id.index()] * attrs.unit_resistance * cap_num / denom).sqrt();
+            let expected = opt.clamp(attrs.lower_bound, attrs.upper_bound);
+            assert!(
+                (sizes[dense] - expected).abs() / expected < 1e-5,
+                "component {id}: {} vs {}",
+                sizes[dense],
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn respects_size_bounds() {
+        let graph = chain();
+        let coupling = CouplingSet::empty(&graph);
+        let problem = SizingProblem::new(&graph, &coupling, loose_bounds()).unwrap();
+        // Heavy timing pressure on the last wire only (tiny weights upstream,
+        // so its weighted upstream resistance stays small): its closed-form
+        // optimum exceeds the upper bound and must be clamped there.
+        let mut m = Multipliers::uniform(&graph, 1e-9, 0.0);
+        let w3 = graph.node_by_name("w3").unwrap();
+        *m.edge_mut(w3, 0) = 1e9;
+        let outcome = LrsSolver::new(100, 1e-9).solve(&problem, &m);
+        assert!(graph.check_sizes(&outcome.sizes).is_ok());
+        let w3_dense = graph.component_index(w3).unwrap();
+        assert!(
+            (outcome.sizes[w3_dense] - graph.node(w3).attrs.upper_bound).abs() < 1e-9,
+            "w3 should saturate at its upper bound, got {}",
+            outcome.sizes[w3_dense]
+        );
+        // Components with negligible weight sit at their lower bound.
+        let w1 = graph.node_by_name("w1").unwrap();
+        let w1_dense = graph.component_index(w1).unwrap();
+        assert!((outcome.sizes[w1_dense] - graph.node(w1).attrs.lower_bound).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sweep_limit_is_respected() {
+        let graph = chain();
+        let coupling = CouplingSet::empty(&graph);
+        let problem = SizingProblem::new(&graph, &coupling, loose_bounds()).unwrap();
+        let outcome =
+            LrsSolver::new(1, 0.0).solve(&problem, &Multipliers::uniform(&graph, 0.01, 0.0));
+        assert_eq!(outcome.sweeps, 1);
+    }
+}

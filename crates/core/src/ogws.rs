@@ -1,0 +1,425 @@
+//! The OGWS algorithm (Figure 9): optimal gate and wire sizing by solving
+//! the Lagrangian dual with a projected subgradient method.
+//!
+//! Each outer iteration
+//!
+//! 1. aggregates the edge multipliers into node weights `λ_i` (A2),
+//! 2. calls [`LrsSolver`] to minimize the Lagrangian for the current
+//!    multipliers and computes arrival times (A3),
+//! 3. moves every multiplier along its (normalized) constraint violation with
+//!    step `ρ_k` (A4) — violated constraints push their multiplier up, slack
+//!    constraints let it decay,
+//! 4. projects the edge multipliers back onto the flow-conservation
+//!    optimality condition (A5),
+//! 5. stops when the relative duality gap falls below the configured bound
+//!    (A7), which the paper sets to 1 %.
+//!
+//! Violations are normalized by their bounds so the step size is
+//! dimensionless; this does not change the fixed points of the update.
+
+use std::time::Instant;
+
+use ncgws_circuit::{NodeKind, SizeVector, TimingAnalysis};
+use serde::{Deserialize, Serialize};
+
+use crate::lagrangian::{dual_value, Multipliers};
+use crate::lrs::LrsSolver;
+use crate::metrics::IterationRecord;
+use crate::problem::{OptimizerConfig, SizingProblem};
+use crate::projection::project_flow_conservation;
+
+/// Relative tolerance used to declare an iterate primal-feasible.
+///
+/// The duality-gap stopping rule is what controls solution quality; this
+/// tolerance only decides whether an iterate is eligible to be remembered as
+/// the "best feasible so far" (one part in a thousand of each bound).
+const FEASIBILITY_TOLERANCE: f64 = 1e-3;
+
+/// Number of consecutive iterations without any improvement of the primal or
+/// dual bound after which the outer loop stops early (secondary stopping
+/// rule; the duality gap of the returned solution is still reported).
+const STAGNATION_LIMIT: usize = 15;
+
+/// Result of an OGWS run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OgwsOutcome {
+    /// The final size vector: the best feasible solution found, or the last
+    /// LRS solution when no iterate was feasible.
+    pub sizes: SizeVector,
+    /// Whether [`sizes`](Self::sizes) satisfies all constraints.
+    pub feasible: bool,
+    /// Whether the duality gap dropped below the configured tolerance.
+    pub converged: bool,
+    /// Per-iteration progress records.
+    pub iterations: Vec<IterationRecord>,
+    /// The best (smallest) relative duality gap observed.
+    pub best_gap: f64,
+    /// Final value of the power multiplier `β`.
+    pub beta: f64,
+    /// Final value of the crosstalk multiplier `γ`.
+    pub gamma: f64,
+}
+
+impl OgwsOutcome {
+    /// Number of outer iterations performed.
+    pub fn num_iterations(&self) -> usize {
+        self.iterations.len()
+    }
+
+    /// Total wall-clock seconds spent in the outer loop.
+    pub fn total_seconds(&self) -> f64 {
+        self.iterations.iter().map(|r| r.seconds).sum()
+    }
+
+    /// Average seconds per outer iteration (the quantity of Figure 10(b)).
+    pub fn seconds_per_iteration(&self) -> f64 {
+        if self.iterations.is_empty() {
+            0.0
+        } else {
+            self.total_seconds() / self.iterations.len() as f64
+        }
+    }
+}
+
+/// The OGWS solver.
+#[derive(Debug, Clone)]
+pub struct OgwsSolver {
+    config: OptimizerConfig,
+}
+
+impl OgwsSolver {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: OptimizerConfig) -> Self {
+        OgwsSolver { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &OptimizerConfig {
+        &self.config
+    }
+
+    /// Runs the outer loop on an assembled sizing problem.
+    pub fn solve(&self, problem: &SizingProblem<'_>) -> OgwsOutcome {
+        let graph = problem.graph;
+        let coupling = problem.coupling;
+        let bounds = problem.bounds;
+        let lrs = LrsSolver::new(self.config.max_lrs_sweeps, self.config.lrs_tolerance);
+
+        // A1: initial multipliers (projected so Theorem 3 holds from the start).
+        let mut multipliers = Multipliers::uniform(
+            graph,
+            self.config.initial_edge_multiplier,
+            self.config.initial_scalar_multiplier,
+        );
+        project_flow_conservation(graph, &mut multipliers);
+
+        let mut iterations = Vec::new();
+        let mut best_gap = f64::INFINITY;
+        let mut best_dual = f64::NEG_INFINITY;
+        let mut best_feasible: Option<(f64, SizeVector)> = None;
+        let mut last_sizes = graph.minimum_sizes();
+        let mut converged = false;
+        let mut stagnant = 0usize;
+
+        for k in 1..=self.config.max_iterations {
+            let started = Instant::now();
+
+            // A2 + A3: solve the relaxation and analyze timing at its solution.
+            let lrs_outcome = lrs.solve(problem, &multipliers);
+            let sizes = lrs_outcome.sizes;
+            let extra = coupling.delay_load_per_node(graph, &sizes);
+            let timing = TimingAnalysis::run(graph, &sizes, Some(&extra));
+
+            // Constraint values.
+            let total_cap = ncgws_circuit::total_capacitance(graph, &sizes);
+            let crosstalk_lhs = coupling.crosstalk_lhs(graph, &sizes);
+            let delay_violation = timing.critical_path_delay - bounds.delay;
+            let power_violation = total_cap - bounds.total_capacitance;
+            let crosstalk_violation = crosstalk_lhs - problem.reduced_crosstalk_bound();
+            let feasible = delay_violation <= bounds.delay * FEASIBILITY_TOLERANCE
+                && power_violation <= bounds.total_capacitance * FEASIBILITY_TOLERANCE
+                && crosstalk_violation <= bounds.crosstalk * FEASIBILITY_TOLERANCE;
+
+            // Primal / dual book-keeping. Every dual value is a valid lower
+            // bound on the optimal area, so the gap is measured between the
+            // best feasible (upper bound) and the best dual (lower bound)
+            // seen so far.
+            let primal_area = problem.area(&sizes);
+            let dual = dual_value(problem, &multipliers, &sizes, &timing.delays);
+            let mut improved = false;
+            if !best_dual.is_finite() || dual > best_dual + best_dual.abs() * 1e-4 {
+                improved = true;
+            }
+            best_dual = best_dual.max(dual);
+            if feasible {
+                let better = best_feasible
+                    .as_ref()
+                    .map_or(true, |(a, _)| primal_area < *a * (1.0 - 1e-4));
+                if better {
+                    best_feasible = Some((primal_area, sizes.clone()));
+                    improved = true;
+                }
+            }
+            let reference = best_feasible.as_ref().map(|(a, _)| *a).unwrap_or(primal_area);
+            let gap = (reference - best_dual).max(0.0) / reference.abs().max(1e-12);
+            best_gap = best_gap.min(gap);
+            stagnant = if improved { 0 } else { stagnant + 1 };
+
+            // A4: subgradient step on every multiplier, normalized violations.
+            let step = self.config.step_schedule.value(k);
+            self.update_multipliers(problem, &mut multipliers, &timing, step, power_violation, crosstalk_violation);
+            // A5: project back onto the optimality condition.
+            project_flow_conservation(graph, &mut multipliers);
+
+            iterations.push(IterationRecord {
+                iteration: k,
+                primal_area,
+                dual_value: dual,
+                gap,
+                delay_violation,
+                power_violation,
+                crosstalk_violation,
+                seconds: started.elapsed().as_secs_f64(),
+                lrs_sweeps: lrs_outcome.sweeps,
+            });
+            last_sizes = sizes;
+
+            // A7: stop on a small duality gap once a feasible iterate exists.
+            if gap <= self.config.gap_tolerance && best_feasible.is_some() {
+                converged = true;
+                break;
+            }
+            // Secondary stop: neither bound has moved for a long stretch —
+            // the subgradient method has stalled within its step resolution,
+            // so further iterations cannot tighten the certificate.
+            if stagnant >= STAGNATION_LIMIT && best_feasible.is_some() {
+                break;
+            }
+        }
+
+        let (feasible, sizes) = match best_feasible {
+            Some((_, sizes)) => (true, sizes),
+            None => (false, last_sizes),
+        };
+        OgwsOutcome {
+            sizes,
+            feasible,
+            converged,
+            iterations,
+            best_gap,
+            beta: multipliers.beta,
+            gamma: multipliers.gamma,
+        }
+    }
+
+    /// A4 of Figure 9: move every multiplier along its constraint violation.
+    fn update_multipliers(
+        &self,
+        problem: &SizingProblem<'_>,
+        multipliers: &mut Multipliers,
+        timing: &TimingAnalysis,
+        step: f64,
+        power_violation: f64,
+        crosstalk_violation: f64,
+    ) {
+        let graph = problem.graph;
+        let bounds = problem.bounds;
+        let a = &timing.arrival;
+        let delays = &timing.delays;
+        let a0 = bounds.delay.max(1e-12);
+
+        // Multiplicative form of the subgradient step: each multiplier moves
+        // by a factor `1 + ρ_k · (normalized violation)`. The fixed points are
+        // identical to the additive rule (a multiplier stops moving exactly
+        // when its constraint is tight or it has decayed to zero), but the
+        // relative step keeps multipliers of very different magnitudes stable
+        // and avoids the zig-zag an absolute step produces on the piecewise
+        // linear dual.
+        let bump = |value: &mut f64, relative_violation: f64| {
+            let factor = (1.0 + step * relative_violation).clamp(0.2, 5.0);
+            *value = (*value * factor).max(1e-12);
+        };
+
+        for i in graph.node_ids() {
+            if i == graph.source() {
+                continue;
+            }
+            let kind = graph.node(i).kind;
+            for (slot, &j) in graph.fanin(i).iter().enumerate() {
+                let violation = match kind {
+                    NodeKind::Sink => a.of(j) - a0,
+                    NodeKind::Gate(_) | NodeKind::Wire => {
+                        if j == graph.source() {
+                            continue;
+                        }
+                        a.of(j) + delays[i.index()] - a.of(i)
+                    }
+                    NodeKind::Driver => delays[i.index()] - a.of(i),
+                    NodeKind::Source => continue,
+                };
+                bump(multipliers.edge_mut(i, slot), violation / a0);
+            }
+        }
+        bump(
+            &mut multipliers.beta,
+            power_violation / bounds.total_capacitance.max(1e-12),
+        );
+        let x_ref = bounds.crosstalk.max(1e-12);
+        bump(&mut multipliers.gamma, crosstalk_violation / x_ref);
+        multipliers.clamp_non_negative();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::ConstraintBounds;
+    use ncgws_circuit::{CircuitBuilder, CircuitGraph, GateKind, Technology};
+    use ncgws_coupling::{CouplingPair, CouplingSet, WirePairGeometry};
+
+    /// A two-stage chain with a pair of coupled wires.
+    fn setup() -> (CircuitGraph, CouplingSet) {
+        let mut b = CircuitBuilder::new(Technology::dac99());
+        let d = b.add_driver("d", 150.0).unwrap();
+        let d2 = b.add_driver("d2", 150.0).unwrap();
+        let w1 = b.add_wire("w1", 250.0).unwrap();
+        let w2 = b.add_wire("w2", 250.0).unwrap();
+        let g1 = b.add_gate("g1", GateKind::Nand).unwrap();
+        let w3 = b.add_wire("w3", 300.0).unwrap();
+        let g2 = b.add_gate("g2", GateKind::Inv).unwrap();
+        let w4 = b.add_wire("w4", 200.0).unwrap();
+        b.connect(d, w1).unwrap();
+        b.connect(d2, w2).unwrap();
+        b.connect(w1, g1).unwrap();
+        b.connect(w2, g1).unwrap();
+        b.connect(g1, w3).unwrap();
+        b.connect(w3, g2).unwrap();
+        b.connect(g2, w4).unwrap();
+        b.connect_output(w4, 10.0).unwrap();
+        let graph = b.build().unwrap();
+        let w1 = graph.node_by_name("w1").unwrap();
+        let w2 = graph.node_by_name("w2").unwrap();
+        let geom = WirePairGeometry::new(200.0, 11.0, 0.03).unwrap();
+        let coupling =
+            CouplingSet::new(&graph, vec![CouplingPair::new(w1, w2, geom).unwrap()]).unwrap();
+        (graph, coupling)
+    }
+
+    fn config(max_iterations: usize) -> OptimizerConfig {
+        OptimizerConfig { max_iterations, ..OptimizerConfig::default() }
+    }
+
+    #[test]
+    fn loose_bounds_drive_sizes_to_the_minimum() {
+        let (graph, coupling) = setup();
+        let bounds = ConstraintBounds { delay: 1e12, total_capacitance: 1e12, crosstalk: 1e12 };
+        let problem = SizingProblem::new(&graph, &coupling, bounds).unwrap();
+        let outcome = OgwsSolver::new(config(60)).solve(&problem);
+        assert!(outcome.feasible);
+        // With no binding constraint the optimal area is the minimum area.
+        let min_area = problem.area(&graph.minimum_sizes());
+        let area = problem.area(&outcome.sizes);
+        assert!(
+            area <= min_area * 1.05,
+            "area {area} should approach the unconstrained minimum {min_area}"
+        );
+    }
+
+    /// Critical-path delay under a uniform sizing (with coupling load).
+    fn uniform_delay(graph: &CircuitGraph, coupling: &CouplingSet, size: f64) -> f64 {
+        let sizes = graph.uniform_sizes(size);
+        let extra = coupling.delay_load_per_node(graph, &sizes);
+        TimingAnalysis::run(graph, &sizes, Some(&extra)).critical_path_delay
+    }
+
+    /// The fastest delay achievable by any uniform sizing — an achievable
+    /// (hence feasible) delay target for the tests below.
+    fn best_uniform_delay(graph: &CircuitGraph, coupling: &CouplingSet) -> f64 {
+        [0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0]
+            .into_iter()
+            .map(|s| uniform_delay(graph, coupling, s))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    #[test]
+    fn delay_bound_is_met_when_achievable() {
+        let (graph, coupling) = setup();
+        // A delay 5% above the best uniform sizing is certainly achievable.
+        let target = best_uniform_delay(&graph, &coupling) * 1.05;
+
+        let bounds =
+            ConstraintBounds { delay: target, total_capacitance: 1e12, crosstalk: 1e12 };
+        let problem = SizingProblem::new(&graph, &coupling, bounds).unwrap();
+        let outcome = OgwsSolver::new(config(150)).solve(&problem);
+        assert!(outcome.feasible, "a feasible sizing exists and must be found");
+        let extra = coupling.delay_load_per_node(&graph, &outcome.sizes);
+        let achieved = TimingAnalysis::run(&graph, &outcome.sizes, Some(&extra)).critical_path_delay;
+        // The solver declares feasibility up to FEASIBILITY_TOLERANCE, so the
+        // achieved delay may exceed the bound by at most that fraction.
+        assert!(
+            achieved <= target * (1.0 + 2.0 * FEASIBILITY_TOLERANCE),
+            "achieved {achieved} vs target {target}"
+        );
+        // And the solution should not be everything-at-maximum.
+        assert!(problem.area(&outcome.sizes) < problem.area(&graph.maximum_sizes()) * 0.9);
+    }
+
+    #[test]
+    fn iteration_records_are_populated() {
+        let (graph, coupling) = setup();
+        let bounds = ConstraintBounds { delay: 1e12, total_capacitance: 1e12, crosstalk: 1e12 };
+        let problem = SizingProblem::new(&graph, &coupling, bounds).unwrap();
+        let outcome = OgwsSolver::new(config(5)).solve(&problem);
+        assert!(!outcome.iterations.is_empty());
+        assert!(outcome.num_iterations() <= 5);
+        for (i, record) in outcome.iterations.iter().enumerate() {
+            assert_eq!(record.iteration, i + 1);
+            assert!(record.primal_area > 0.0);
+            assert!(record.lrs_sweeps >= 1);
+            assert!(record.seconds >= 0.0);
+        }
+        assert!(outcome.seconds_per_iteration() >= 0.0);
+        assert!(outcome.total_seconds() >= 0.0);
+    }
+
+    #[test]
+    fn crosstalk_bound_reduces_noise_against_unconstrained_run() {
+        let (graph, coupling) = setup();
+        // A tight-but-achievable delay bound so the unconstrained solution
+        // needs sizable wires (and therefore has crosstalk headroom to cut).
+        let delay_bound = best_uniform_delay(&graph, &coupling) * 1.05;
+
+        let loose = ConstraintBounds {
+            delay: delay_bound,
+            total_capacitance: 1e12,
+            crosstalk: 1e12,
+        };
+        let problem = SizingProblem::new(&graph, &coupling, loose).unwrap();
+        let reference = OgwsSolver::new(config(150)).solve(&problem);
+        assert!(reference.feasible);
+        let reference_noise = coupling.total_crosstalk(&graph, &reference.sizes);
+
+        // Ask for a crosstalk bound between the minimum achievable and the
+        // unconstrained solution's value, so it is feasible but binding.
+        let min_noise = coupling.total_crosstalk(&graph, &graph.minimum_sizes());
+        let bound = min_noise + 0.3 * (reference_noise - min_noise).max(0.0);
+        if bound >= reference_noise {
+            // The delay constraint already forces near-minimum coupling;
+            // nothing further to verify on this instance.
+            return;
+        }
+        let tight = ConstraintBounds {
+            delay: delay_bound,
+            total_capacitance: 1e12,
+            crosstalk: bound,
+        };
+        let problem = SizingProblem::new(&graph, &coupling, tight).unwrap();
+        let constrained = OgwsSolver::new(config(200)).solve(&problem);
+        assert!(constrained.feasible);
+        let constrained_noise = coupling.total_crosstalk(&graph, &constrained.sizes);
+        assert!(
+            constrained_noise <= bound * (1.0 + 1e-6),
+            "constrained {constrained_noise} vs bound {bound}"
+        );
+    }
+}

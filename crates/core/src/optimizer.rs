@@ -1,0 +1,205 @@
+//! The end-to-end two-stage optimizer.
+//!
+//! Stage 1 ([`build_coupling`]) orders the wires of every routing channel by
+//! switching similarity and builds the coupling model; stage 2
+//! ([`OgwsSolver`]) solves the noise-constrained area minimization by
+//! Lagrangian relaxation. [`Optimizer::run`] wires the two together, measures
+//! runtime and memory, and produces the [`OptimizationReport`] consumed by
+//! the Table 1 / Figure 10 harnesses.
+
+use std::time::Instant;
+
+use ncgws_circuit::SizeVector;
+use ncgws_netlist::ProblemInstance;
+
+use crate::coupling_build::{build_coupling, WireOrderingOutcome};
+use crate::error::CoreError;
+use crate::metrics::{CircuitMetrics, MemoryBreakdown};
+use crate::ogws::{OgwsOutcome, OgwsSolver};
+use crate::problem::{ConstraintBounds, OptimizerConfig, SizingProblem};
+use crate::report::{Improvements, OptimizationReport};
+
+/// The result of a full optimization run.
+#[derive(Debug, Clone)]
+pub struct OptimizationOutcome {
+    /// The report (Table 1 row, iteration history, memory, improvements).
+    pub report: OptimizationReport,
+    /// The final size vector.
+    pub sizes: SizeVector,
+    /// The stage-1 wire ordering outcome (orderings, coupling set, adjacency).
+    pub ordering: WireOrderingOutcome,
+    /// The raw OGWS outcome (multiplier values, convergence data).
+    pub ogws: OgwsOutcome,
+}
+
+/// The two-stage noise-constrained gate and wire sizing optimizer.
+#[derive(Debug, Clone)]
+pub struct Optimizer {
+    config: OptimizerConfig,
+}
+
+impl Optimizer {
+    /// Creates an optimizer with the given configuration.
+    pub fn new(config: OptimizerConfig) -> Self {
+        Optimizer { config }
+    }
+
+    /// Creates an optimizer with the default configuration.
+    pub fn with_defaults() -> Self {
+        Optimizer::new(OptimizerConfig::default())
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &OptimizerConfig {
+        &self.config
+    }
+
+    /// Runs the full two-stage flow on a problem instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the configuration is invalid, the coupling model
+    /// cannot be built for the instance's geometry, or the derived constraint
+    /// bounds are unsatisfiable.
+    pub fn run(&self, instance: &ProblemInstance) -> Result<OptimizationOutcome, CoreError> {
+        self.config.validate()?;
+        let started = Instant::now();
+        let graph = &instance.circuit;
+
+        // Stage 1: switching-similarity wire ordering and coupling model.
+        let ordering =
+            build_coupling(instance, self.config.ordering, self.config.effective_coupling)?;
+        let coupling = &ordering.coupling;
+
+        // Initial ("unsized") metrics and the constraint bounds derived from them.
+        let initial_sizes = self.config.initial_sizes(graph);
+        let initial_metrics = CircuitMetrics::evaluate(graph, coupling, &initial_sizes);
+        let bounds = self
+            .config
+            .absolute_bounds
+            .unwrap_or_else(|| ConstraintBounds::from_initial(&initial_metrics, &self.config))
+            .clamped_to_feasible(graph, coupling);
+
+        // Stage 2: Lagrangian-relaxation sizing.
+        let problem = SizingProblem::new(graph, coupling, bounds)?;
+        let solver = OgwsSolver::new(self.config.clone());
+        let ogws = solver.solve(&problem);
+        let final_metrics = CircuitMetrics::evaluate(graph, coupling, &ogws.sizes);
+
+        let runtime_seconds = started.elapsed().as_secs_f64();
+        let memory = MemoryBreakdown {
+            circuit_bytes: graph.memory_bytes(),
+            coupling_bytes: coupling.memory_bytes(),
+            multiplier_bytes: std::mem::size_of::<f64>() * (graph.num_edges() + 2),
+            working_bytes: std::mem::size_of::<f64>() * graph.num_nodes() * 6
+                + std::mem::size_of::<f64>() * graph.num_components(),
+        };
+
+        let report = OptimizationReport {
+            name: instance.name.clone(),
+            num_gates: graph.num_gates(),
+            num_wires: graph.num_wires(),
+            initial_metrics,
+            final_metrics,
+            improvements: Improvements::between(&initial_metrics, &final_metrics),
+            iterations: ogws.num_iterations(),
+            runtime_seconds,
+            seconds_per_iteration: ogws.seconds_per_iteration(),
+            memory,
+            feasible: ogws.feasible,
+            converged: ogws.converged,
+            duality_gap: ogws.best_gap,
+            iteration_records: ogws.iterations.clone(),
+            ordering_effective_loading: ordering.total_effective_loading,
+        };
+
+        Ok(OptimizationOutcome { report, sizes: ogws.sizes.clone(), ordering, ogws })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncgws_netlist::{CircuitSpec, SyntheticGenerator};
+
+    fn instance(gates: usize, wires: usize, seed: u64) -> ProblemInstance {
+        SyntheticGenerator::new(
+            CircuitSpec::new("opt-test", gates, wires).with_seed(seed).with_num_patterns(32),
+        )
+        .generate()
+        .unwrap()
+    }
+
+    fn quick_config() -> OptimizerConfig {
+        OptimizerConfig { max_iterations: 40, max_lrs_sweeps: 20, ..OptimizerConfig::default() }
+    }
+
+    #[test]
+    fn full_flow_improves_noise_power_and_area() {
+        let inst = instance(60, 130, 7);
+        let outcome = Optimizer::new(quick_config()).run(&inst).unwrap();
+        let r = &outcome.report;
+        assert!(r.feasible, "the optimizer must return a feasible sizing");
+        assert!(r.final_metrics.noise_pf < r.initial_metrics.noise_pf);
+        assert!(r.final_metrics.power_mw < r.initial_metrics.power_mw);
+        assert!(r.final_metrics.area_um2 < r.initial_metrics.area_um2);
+        assert!(r.improvements.noise_pct > 50.0, "noise improvement {}", r.improvements.noise_pct);
+        assert!(r.improvements.area_pct > 50.0, "area improvement {}", r.improvements.area_pct);
+        // Delay must respect the bound (factor 1.0 of the initial delay).
+        assert!(
+            r.final_metrics.delay_ps <= r.initial_metrics.delay_ps * (1.0 + 1e-6),
+            "delay {} vs initial {}",
+            r.final_metrics.delay_ps,
+            r.initial_metrics.delay_ps
+        );
+        assert!(r.iterations >= 1);
+        assert!(r.memory.total() > 0);
+        assert_eq!(r.total_components(), 190);
+    }
+
+    #[test]
+    fn final_sizes_respect_bounds_and_length() {
+        let inst = instance(40, 90, 3);
+        let outcome = Optimizer::new(quick_config()).run(&inst).unwrap();
+        assert_eq!(outcome.sizes.len(), inst.circuit.num_components());
+        assert!(inst.circuit.check_sizes(&outcome.sizes).is_ok());
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let inst = instance(20, 45, 1);
+        let config = OptimizerConfig { max_iterations: 0, ..OptimizerConfig::default() };
+        assert!(matches!(
+            Optimizer::new(config).run(&inst),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn absolute_bounds_override_factors() {
+        let inst = instance(30, 70, 5);
+        // Absurdly loose absolute bounds: the optimizer should shrink to the
+        // minimum area regardless of the factor fields.
+        let config = OptimizerConfig {
+            absolute_bounds: Some(ConstraintBounds {
+                delay: 1e15,
+                total_capacitance: 1e15,
+                crosstalk: 1e15,
+            }),
+            max_iterations: 30,
+            ..OptimizerConfig::default()
+        };
+        let outcome = Optimizer::new(config).run(&inst).unwrap();
+        let min_area = ncgws_circuit::total_area(&inst.circuit, &inst.circuit.minimum_sizes());
+        assert!(outcome.report.final_metrics.area_um2 <= min_area * 1.05);
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let inst = instance(30, 70, 9);
+        let a = Optimizer::new(quick_config()).run(&inst).unwrap();
+        let b = Optimizer::new(quick_config()).run(&inst).unwrap();
+        assert_eq!(a.sizes, b.sizes);
+        assert_eq!(a.report.final_metrics, b.report.final_metrics);
+    }
+}

@@ -1,0 +1,191 @@
+//! Projection of the edge multipliers onto the optimality (flow-conservation)
+//! condition of Theorem 3.
+//!
+//! Theorem 3 states that at any dual-feasible point the multipliers must
+//! satisfy, for every node `i` except the source and sink,
+//!
+//! ```text
+//! Σ_{k ∈ output(i)} λ_{ik}  =  Σ_{j ∈ input(i)} λ_{ji}
+//! ```
+//!
+//! — the analogue of Kirchhoff's current law the paper points out. After a
+//! subgradient step the equality is generally violated; step A5 of OGWS
+//! projects the multipliers back. We use the standard network-flow style
+//! projection: traverse the nodes in reverse topological order and rescale
+//! each node's incoming multipliers so that their sum matches the (already
+//! final) outgoing sum; if all incoming multipliers are zero the outgoing sum
+//! is distributed evenly. The sink's incoming multipliers are the free
+//! variables of the flow and are left untouched.
+
+use ncgws_circuit::CircuitGraph;
+
+use crate::lagrangian::Multipliers;
+
+/// Projects `multipliers` onto the flow-conservation condition, in place.
+/// Runs in `O(V + E)`.
+pub fn project_flow_conservation(graph: &CircuitGraph, multipliers: &mut Multipliers) {
+    multipliers.clamp_non_negative();
+    let sink = graph.sink();
+    let source = graph.source();
+    // Reverse topological order; node indices are topological by construction.
+    for idx in (0..graph.num_nodes()).rev() {
+        let id = ncgws_circuit::NodeId::new(idx);
+        if id == sink || id == source {
+            continue;
+        }
+        // Outgoing sum: for each fanout k, find our slot in k's fanin list.
+        let mut out_sum = 0.0;
+        for &succ in graph.fanout(id) {
+            let slot = graph
+                .fanin(succ)
+                .iter()
+                .position(|&p| p == id)
+                .expect("fanout/fanin lists are consistent");
+            out_sum += multipliers.edge(succ, slot);
+        }
+        let fanin_len = graph.fanin(id).len();
+        if fanin_len == 0 {
+            continue;
+        }
+        let in_sum: f64 = multipliers.edges_of(id).iter().sum();
+        if in_sum > 1e-300 {
+            let scale = out_sum / in_sum;
+            for slot in 0..fanin_len {
+                *multipliers.edge_mut(id, slot) *= scale;
+            }
+        } else {
+            let share = out_sum / fanin_len as f64;
+            for slot in 0..fanin_len {
+                *multipliers.edge_mut(id, slot) = share;
+            }
+        }
+    }
+}
+
+/// Maximum absolute flow-conservation residual
+/// `|Σ_out λ − Σ_in λ|` over all nodes except source and sink. Useful for
+/// tests and KKT verification.
+pub fn flow_conservation_residual(graph: &CircuitGraph, multipliers: &Multipliers) -> f64 {
+    let mut worst: f64 = 0.0;
+    for id in graph.node_ids() {
+        if id == graph.source() || id == graph.sink() {
+            continue;
+        }
+        let in_sum: f64 = multipliers.edges_of(id).iter().sum();
+        let mut out_sum = 0.0;
+        for &succ in graph.fanout(id) {
+            let slot = graph
+                .fanin(succ)
+                .iter()
+                .position(|&p| p == id)
+                .expect("fanout/fanin lists are consistent");
+            out_sum += multipliers.edge(succ, slot);
+        }
+        worst = worst.max((in_sum - out_sum).abs());
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncgws_circuit::{CircuitBuilder, GateKind, Technology};
+
+    fn reconvergent() -> CircuitGraph {
+        // d1 -> w1 -> g1 -> w3 ---\
+        //                          g3 -> w5 -> out
+        // d2 -> w2 -> g2 -> w4 ---/
+        let mut b = CircuitBuilder::new(Technology::dac99());
+        let d1 = b.add_driver("d1", 100.0).unwrap();
+        let d2 = b.add_driver("d2", 100.0).unwrap();
+        let w1 = b.add_wire("w1", 20.0).unwrap();
+        let w2 = b.add_wire("w2", 20.0).unwrap();
+        let g1 = b.add_gate("g1", GateKind::Inv).unwrap();
+        let g2 = b.add_gate("g2", GateKind::Inv).unwrap();
+        let w3 = b.add_wire("w3", 20.0).unwrap();
+        let w4 = b.add_wire("w4", 20.0).unwrap();
+        let g3 = b.add_gate("g3", GateKind::Nand).unwrap();
+        let w5 = b.add_wire("w5", 20.0).unwrap();
+        b.connect(d1, w1).unwrap();
+        b.connect(d2, w2).unwrap();
+        b.connect(w1, g1).unwrap();
+        b.connect(w2, g2).unwrap();
+        b.connect(g1, w3).unwrap();
+        b.connect(g2, w4).unwrap();
+        b.connect(w3, g3).unwrap();
+        b.connect(w4, g3).unwrap();
+        b.connect(g3, w5).unwrap();
+        b.connect_output(w5, 5.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn projection_establishes_flow_conservation() {
+        let g = reconvergent();
+        // Start from a deliberately unbalanced state.
+        let mut m = Multipliers::uniform(&g, 1.0, 1.0);
+        let w3 = g.node_by_name("w3").unwrap();
+        *m.edge_mut(w3, 0) = 7.0;
+        let g3 = g.node_by_name("g3").unwrap();
+        *m.edge_mut(g3, 0) = 0.25;
+        assert!(flow_conservation_residual(&g, &m) > 0.1);
+        project_flow_conservation(&g, &mut m);
+        assert!(flow_conservation_residual(&g, &m) < 1e-9);
+    }
+
+    #[test]
+    fn projection_is_idempotent() {
+        let g = reconvergent();
+        let mut m = Multipliers::uniform(&g, 0.7, 1.0);
+        project_flow_conservation(&g, &mut m);
+        let snapshot = m.clone();
+        project_flow_conservation(&g, &mut m);
+        for id in g.node_ids() {
+            for slot in 0..g.fanin(id).len() {
+                assert!((m.edge(id, slot) - snapshot.edge(id, slot)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn sink_multipliers_drive_the_total_flow() {
+        let g = reconvergent();
+        let mut m = Multipliers::uniform(&g, 1.0, 1.0);
+        // Set the single sink edge multiplier to 3; after projection the flow
+        // into every cut equals 3.
+        let sink = g.sink();
+        *m.edge_mut(sink, 0) = 3.0;
+        project_flow_conservation(&g, &mut m);
+        // Flow out of the source equals flow into the sink.
+        let source_out: f64 = g
+            .driver_ids()
+            .map(|d| m.edges_of(d).iter().sum::<f64>())
+            .sum();
+        assert!((source_out - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_incoming_multipliers_get_an_even_share() {
+        let g = reconvergent();
+        let mut m = Multipliers::uniform(&g, 0.0, 1.0);
+        let sink = g.sink();
+        *m.edge_mut(sink, 0) = 2.0;
+        project_flow_conservation(&g, &mut m);
+        assert!(flow_conservation_residual(&g, &m) < 1e-9);
+        // The NAND gate g3 has two fanins; each should carry half of its flow.
+        let g3 = g.node_by_name("g3").unwrap();
+        let edges = m.edges_of(g3);
+        assert!((edges[0] - edges[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn projection_clamps_negative_inputs_first() {
+        let g = reconvergent();
+        let mut m = Multipliers::uniform(&g, 1.0, 1.0);
+        let w1 = g.node_by_name("w1").unwrap();
+        *m.edge_mut(w1, 0) = -5.0;
+        project_flow_conservation(&g, &mut m);
+        assert!(m.edge(w1, 0) >= 0.0);
+        assert!(flow_conservation_residual(&g, &m) < 1e-9);
+    }
+}

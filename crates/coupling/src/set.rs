@@ -1,0 +1,326 @@
+//! The full set of coupling pairs of a circuit.
+
+use serde::{Deserialize, Serialize};
+
+use ncgws_circuit::{CircuitGraph, NodeId, SizeVector};
+
+use crate::capacitance::CouplingPair;
+use crate::error::CouplingError;
+
+/// All coupling capacitors of a circuit, with the adjacency structure the
+/// optimizer needs: the neighborhood `N(i)` (all wires adjacent to wire `i`)
+/// and the dominating index `I(i)` (adjacent wires with a larger node index),
+/// so that the double sum `Σ_{i∈W} Σ_{j∈I(i)}` counts every pair exactly once.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CouplingSet {
+    pairs: Vec<CouplingPair>,
+    /// For each raw node index, the indices into `pairs` the node participates in.
+    neighbor_pairs: Vec<Vec<usize>>,
+}
+
+impl CouplingSet {
+    /// An empty coupling set for a circuit (no crosstalk).
+    pub fn empty(graph: &CircuitGraph) -> Self {
+        CouplingSet { pairs: Vec::new(), neighbor_pairs: vec![Vec::new(); graph.num_nodes()] }
+    }
+
+    /// Builds a coupling set, validating every pair against the circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a pair references a non-wire node, duplicates
+    /// another pair, or its pitch cannot accommodate the wires at their
+    /// maximum widths (which would make the exact model diverge).
+    pub fn new(graph: &CircuitGraph, pairs: Vec<CouplingPair>) -> Result<Self, CouplingError> {
+        let mut neighbor_pairs = vec![Vec::new(); graph.num_nodes()];
+        let mut seen = std::collections::HashSet::new();
+        for (idx, pair) in pairs.iter().enumerate() {
+            for id in [pair.a, pair.b] {
+                if id.index() >= graph.num_nodes() || !graph.node(id).kind.is_wire() {
+                    return Err(CouplingError::NotAWire(id));
+                }
+            }
+            if !seen.insert((pair.a, pair.b)) {
+                return Err(CouplingError::DuplicatePair(pair.a, pair.b));
+            }
+            let max_a = graph.node(pair.a).attrs.upper_bound;
+            let max_b = graph.node(pair.b).attrs.upper_bound;
+            if (max_a + max_b) / 2.0 >= pair.geometry.distance {
+                return Err(CouplingError::PitchTooSmall {
+                    a: pair.a,
+                    b: pair.b,
+                    distance: pair.geometry.distance,
+                });
+            }
+            neighbor_pairs[pair.a.index()].push(idx);
+            neighbor_pairs[pair.b.index()].push(idx);
+        }
+        Ok(CouplingSet { pairs, neighbor_pairs })
+    }
+
+    /// Number of coupling pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Returns `true` if there are no coupling pairs.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// All pairs.
+    pub fn pairs(&self) -> &[CouplingPair] {
+        &self.pairs
+    }
+
+    /// Iterator over the neighborhood `N(i)` of a wire: `(other wire, pair)`.
+    pub fn neighbors(&self, id: NodeId) -> impl Iterator<Item = (NodeId, &CouplingPair)> + '_ {
+        self.neighbor_pairs
+            .get(id.index())
+            .into_iter()
+            .flatten()
+            .map(move |&pi| (self.pairs[pi].other(id).expect("pair contains id"), &self.pairs[pi]))
+    }
+
+    /// The dominating index `I(i)`: neighbors of `i` with a larger node index.
+    pub fn dominating(&self, id: NodeId) -> impl Iterator<Item = (NodeId, &CouplingPair)> + '_ {
+        self.neighbors(id).filter(move |(other, _)| *other > id)
+    }
+
+    /// Number of neighbors of a wire.
+    pub fn degree(&self, id: NodeId) -> usize {
+        self.neighbor_pairs.get(id.index()).map(Vec::len).unwrap_or(0)
+    }
+
+    /// Sum of the (switching-factor weighted) linear coefficients
+    /// `Σ_{j∈N(i)} ĉ_ij` of wire `i` — the quantity appearing in Theorem 5's
+    /// denominator. With the default neutral switching factors this is the
+    /// purely physical sum.
+    pub fn linear_coefficient_sum(&self, id: NodeId) -> f64 {
+        self.neighbors(id).map(|(_, p)| p.switching_factor * p.linear_coefficient()).sum()
+    }
+
+    /// `Σ_{j∈N(i)} ĉ_ij · x_j` for wire `i` (Theorem 5's numerator term),
+    /// weighted by the switching factors.
+    pub fn weighted_neighbor_width(&self, graph: &CircuitGraph, id: NodeId, sizes: &SizeVector) -> f64 {
+        self.neighbors(id)
+            .map(|(other, p)| {
+                p.switching_factor * p.linear_coefficient() * graph.size_of(other, sizes)
+            })
+            .sum()
+    }
+
+    /// Total crosstalk `X = Σ_{i∈W} Σ_{j∈I(i)} c_ij` using the linearized
+    /// model (each pair counted once), weighted by the switching factor.
+    pub fn total_crosstalk(&self, graph: &CircuitGraph, sizes: &SizeVector) -> f64 {
+        self.pairs
+            .iter()
+            .map(|p| {
+                p.switching_factor
+                    * p.linearized_capacitance(graph.size_of(p.a, sizes), graph.size_of(p.b, sizes))
+            })
+            .sum()
+    }
+
+    /// Total *physical* coupling capacitance (switching factors ignored),
+    /// using the exact model. This is the quantity the paper's noise column
+    /// reports before/after sizing.
+    pub fn total_physical_coupling(&self, graph: &CircuitGraph, sizes: &SizeVector) -> f64 {
+        self.pairs
+            .iter()
+            .map(|p| p.exact_capacitance(graph.size_of(p.a, sizes), graph.size_of(p.b, sizes)))
+            .sum()
+    }
+
+    /// The constant part of the linearized total crosstalk,
+    /// `Σ_{i∈W} Σ_{j∈I(i)} ~c_ij`, used to convert the crosstalk bound `X_B`
+    /// into the reduced bound `X' = X_B − Σ ~c_ij`.
+    pub fn total_base_capacitance(&self) -> f64 {
+        self.pairs.iter().map(|p| p.switching_factor * p.base_capacitance()).sum()
+    }
+
+    /// The size-dependent part of the linearized total crosstalk,
+    /// `Σ_{i∈W} Σ_{j∈I(i)} ĉ_ij (x_i + x_j)` — the left-hand side of the
+    /// reduced crosstalk constraint.
+    pub fn crosstalk_lhs(&self, graph: &CircuitGraph, sizes: &SizeVector) -> f64 {
+        self.pairs
+            .iter()
+            .map(|p| {
+                p.switching_factor
+                    * p.linear_coefficient()
+                    * (graph.size_of(p.a, sizes) + graph.size_of(p.b, sizes))
+            })
+            .sum()
+    }
+
+    /// Per-node coupling load (fF) to hand to the Elmore engine as extra
+    /// downstream capacitance: wire `i` is loaded by
+    /// `Σ_{j∈N(i)} sf_ij · (~c_ij + ĉ_ij (x_i + x_j))`, where the switching
+    /// factor models the Miller / anti-Miller effect on delay.
+    pub fn delay_load_per_node(&self, graph: &CircuitGraph, sizes: &SizeVector) -> Vec<f64> {
+        let mut load = vec![0.0; graph.num_nodes()];
+        for p in &self.pairs {
+            let c = p.switching_factor
+                * p.linearized_capacitance(graph.size_of(p.a, sizes), graph.size_of(p.b, sizes));
+            load[p.a.index()] += c;
+            load[p.b.index()] += c;
+        }
+        load
+    }
+
+    /// An estimate (in bytes) of the memory held by the coupling data
+    /// structures, used by the Figure 10(a) reproduction.
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.pairs.capacity() * size_of::<CouplingPair>()
+            + self
+                .neighbor_pairs
+                .iter()
+                .map(|v| size_of::<Vec<usize>>() + v.capacity() * size_of::<usize>())
+                .sum::<usize>()
+            + size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capacitance::WirePairGeometry;
+    use ncgws_circuit::{CircuitBuilder, GateKind, Technology};
+
+    /// d -> w1 -> g -> w2 -> out, plus a sibling wire w3 from a second driver.
+    fn circuit() -> CircuitGraph {
+        let mut b = CircuitBuilder::new(Technology::dac99());
+        let d = b.add_driver("d", 100.0).unwrap();
+        let d2 = b.add_driver("d2", 100.0).unwrap();
+        let w1 = b.add_wire("w1", 100.0).unwrap();
+        let g = b.add_gate("g", GateKind::Inv).unwrap();
+        let w2 = b.add_wire("w2", 100.0).unwrap();
+        let w3 = b.add_wire("w3", 100.0).unwrap();
+        b.connect(d, w1).unwrap();
+        b.connect(w1, g).unwrap();
+        b.connect(g, w2).unwrap();
+        b.connect(d2, w3).unwrap();
+        b.connect_output(w2, 5.0).unwrap();
+        b.connect_output(w3, 5.0).unwrap();
+        b.build().unwrap()
+    }
+
+    fn geom() -> WirePairGeometry {
+        WirePairGeometry::new(80.0, 20.0, 0.03).unwrap()
+    }
+
+    fn wire(c: &CircuitGraph, name: &str) -> NodeId {
+        c.node_by_name(name).unwrap()
+    }
+
+    #[test]
+    fn build_and_query_neighbors() {
+        let c = circuit();
+        let (w1, w2, w3) = (wire(&c, "w1"), wire(&c, "w2"), wire(&c, "w3"));
+        let pairs = vec![
+            CouplingPair::new(w1, w2, geom()).unwrap(),
+            CouplingPair::new(w2, w3, geom()).unwrap(),
+        ];
+        let set = CouplingSet::new(&c, pairs).unwrap();
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.degree(w2), 2);
+        assert_eq!(set.degree(w1), 1);
+        assert_eq!(set.degree(w3), 1);
+        let n2: Vec<NodeId> = set.neighbors(w2).map(|(o, _)| o).collect();
+        assert!(n2.contains(&w1) && n2.contains(&w3));
+        // I(i) counts each pair exactly once across the whole set.
+        let total_dominating: usize =
+            c.node_ids().map(|id| set.dominating(id).count()).sum();
+        assert_eq!(total_dominating, 2);
+    }
+
+    #[test]
+    fn rejects_bad_pairs() {
+        let c = circuit();
+        let g = wire(&c, "w1");
+        let gate = c.node_by_name("g").unwrap();
+        let bad = vec![CouplingPair::new(g, gate, geom()).unwrap()];
+        assert!(matches!(CouplingSet::new(&c, bad), Err(CouplingError::NotAWire(_))));
+
+        let (w1, w2) = (wire(&c, "w1"), wire(&c, "w2"));
+        let dup = vec![
+            CouplingPair::new(w1, w2, geom()).unwrap(),
+            CouplingPair::new(w2, w1, geom()).unwrap(),
+        ];
+        assert!(matches!(CouplingSet::new(&c, dup), Err(CouplingError::DuplicatePair(_, _))));
+
+        let tight = WirePairGeometry::new(80.0, 5.0, 0.03).unwrap();
+        let colliding = vec![CouplingPair::new(w1, w2, tight).unwrap()];
+        assert!(matches!(CouplingSet::new(&c, colliding), Err(CouplingError::PitchTooSmall { .. })));
+    }
+
+    #[test]
+    fn totals_are_consistent() {
+        let c = circuit();
+        let (w1, w2, w3) = (wire(&c, "w1"), wire(&c, "w2"), wire(&c, "w3"));
+        let set = CouplingSet::new(
+            &c,
+            vec![
+                CouplingPair::new(w1, w2, geom()).unwrap(),
+                CouplingPair::new(w2, w3, geom()).unwrap(),
+            ],
+        )
+        .unwrap();
+        let sizes = c.uniform_sizes(1.0);
+        let total = set.total_crosstalk(&c, &sizes);
+        let parts = set.total_base_capacitance() + set.crosstalk_lhs(&c, &sizes);
+        assert!((total - parts).abs() < 1e-12);
+        // Linearized underestimates exact slightly.
+        assert!(total <= set.total_physical_coupling(&c, &sizes) + 1e-12);
+    }
+
+    #[test]
+    fn crosstalk_decreases_with_smaller_wires() {
+        let c = circuit();
+        let (w1, w2) = (wire(&c, "w1"), wire(&c, "w2"));
+        let set =
+            CouplingSet::new(&c, vec![CouplingPair::new(w1, w2, geom()).unwrap()]).unwrap();
+        let big = set.total_crosstalk(&c, &c.uniform_sizes(5.0));
+        let small = set.total_crosstalk(&c, &c.uniform_sizes(0.2));
+        assert!(small < big);
+    }
+
+    #[test]
+    fn delay_load_hits_both_wires() {
+        let c = circuit();
+        let (w1, w2) = (wire(&c, "w1"), wire(&c, "w2"));
+        let set =
+            CouplingSet::new(&c, vec![CouplingPair::new(w1, w2, geom()).unwrap()]).unwrap();
+        let sizes = c.uniform_sizes(1.0);
+        let load = set.delay_load_per_node(&c, &sizes);
+        assert!(load[w1.index()] > 0.0);
+        assert!(load[w2.index()] > 0.0);
+        assert_eq!(load[w1.index()], load[w2.index()]);
+        assert_eq!(load[c.node_by_name("g").unwrap().index()], 0.0);
+    }
+
+    #[test]
+    fn theorem5_helper_sums() {
+        let c = circuit();
+        let (w1, w2, w3) = (wire(&c, "w1"), wire(&c, "w2"), wire(&c, "w3"));
+        let p12 = CouplingPair::new(w1, w2, geom()).unwrap();
+        let p23 = CouplingPair::new(w2, w3, geom()).unwrap();
+        let chat = p12.linear_coefficient();
+        let set = CouplingSet::new(&c, vec![p12, p23]).unwrap();
+        let sizes = c.uniform_sizes(2.0);
+        assert!((set.linear_coefficient_sum(w2) - 2.0 * chat).abs() < 1e-12);
+        assert!((set.weighted_neighbor_width(&c, w2, &sizes) - 2.0 * chat * 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_set_behaves() {
+        let c = circuit();
+        let set = CouplingSet::empty(&c);
+        assert!(set.is_empty());
+        let sizes = c.uniform_sizes(1.0);
+        assert_eq!(set.total_crosstalk(&c, &sizes), 0.0);
+        assert_eq!(set.delay_load_per_node(&c, &sizes).iter().sum::<f64>(), 0.0);
+        assert!(set.memory_bytes() > 0);
+    }
+}

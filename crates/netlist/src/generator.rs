@@ -1,0 +1,382 @@
+//! Reproducible synthetic benchmark generation.
+//!
+//! The generator produces a combinational circuit with an **exact** gate and
+//! wire count, the substitution for the ISCAS85 netlists documented in
+//! `DESIGN.md`. Every wire is a two-pin connection (driver→gate or
+//! gate→gate or gate→primary-output), which matches the paper's roughly
+//! 2-wires-per-gate ratio. Structure highlights:
+//!
+//! * bounded gate fan-in with a random spread,
+//! * locality-biased source selection (reconvergent fan-out, realistic depth),
+//! * every non-output gate is guaranteed a fanout,
+//! * wires are grouped into routing channels for the coupling model,
+//! * all randomness is drawn from a seeded [`ChaCha8Rng`], so instances are
+//!   fully reproducible.
+
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use ncgws_circuit::{CircuitBuilder, GateKind};
+use ncgws_waveform::PatternSet;
+
+use crate::error::NetlistError;
+use crate::instance::{ChannelGeometry, ProblemInstance};
+use crate::spec::CircuitSpec;
+
+/// One gate input source in the intermediate representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SourceRef {
+    Driver(usize),
+    Gate(usize),
+}
+
+/// Synthetic circuit generator.
+#[derive(Debug, Clone)]
+pub struct SyntheticGenerator {
+    spec: CircuitSpec,
+}
+
+impl SyntheticGenerator {
+    /// Creates a generator for the given specification.
+    pub fn new(spec: CircuitSpec) -> Self {
+        SyntheticGenerator { spec }
+    }
+
+    /// The specification this generator uses.
+    pub fn spec(&self) -> &CircuitSpec {
+        &self.spec
+    }
+
+    /// Generates the problem instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InfeasibleSpec`] when the requested counts
+    /// cannot be realized (e.g. fewer wires than gates), or a
+    /// [`NetlistError::Circuit`] error if the assembled netlist fails
+    /// validation (which would indicate a generator bug).
+    pub fn generate(&self) -> Result<ProblemInstance, NetlistError> {
+        let spec = &self.spec;
+        let num_gates = spec.num_gates;
+        let num_wires = spec.num_wires;
+        let num_drivers = spec.num_drivers();
+        let num_outputs = spec.num_outputs().min(num_gates.saturating_sub(1)).max(1);
+
+        if num_gates == 0 {
+            return Err(NetlistError::InfeasibleSpec { reason: "at least one gate required".into() });
+        }
+        if num_wires < num_gates + num_outputs {
+            return Err(NetlistError::InfeasibleSpec {
+                reason: format!(
+                    "{num_wires} wires cannot feed {num_gates} gates and {num_outputs} outputs"
+                ),
+            });
+        }
+
+        let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
+
+        // ---- 1. Fan-in budget: exactly `num_wires - num_outputs` input wires.
+        let input_wire_budget = num_wires - num_outputs;
+        let mut fanin = vec![1usize; num_gates];
+        let mut extra = input_wire_budget - num_gates;
+        // Distribute the extra inputs, respecting max_fanin where possible.
+        let mut attempts = 0usize;
+        while extra > 0 {
+            let k = rng.gen_range(0..num_gates);
+            if fanin[k] < spec.max_fanin || attempts > 20 * num_gates {
+                fanin[k] += 1;
+                extra -= 1;
+            }
+            attempts += 1;
+        }
+
+        // ---- 2. Choose sources gate by gate (IR only).
+        // The last `num_outputs` gates are the designated primary outputs.
+        let first_output_gate = num_gates - num_outputs;
+        let mut inputs: Vec<Vec<SourceRef>> = vec![Vec::new(); num_gates];
+        let mut gate_fanout = vec![0usize; num_gates];
+        let mut driver_fanout = vec![0usize; num_drivers];
+        let mut unused: Vec<usize> = Vec::new(); // non-output gates with no fanout yet
+
+        for k in 0..num_gates {
+            for slot in 0..fanin[k] {
+                let source = if slot == 0 && !unused.is_empty() {
+                    // Guarantee every non-output gate eventually drives something.
+                    let pick = rng.gen_range(0..unused.len().min(4));
+                    let idx = unused.len() - 1 - pick;
+                    SourceRef::Gate(unused.swap_remove(idx))
+                } else if k == 0 || rng.gen_bool(self.driver_probability(k, first_output_gate)) {
+                    SourceRef::Driver(rng.gen_range(0..num_drivers))
+                } else {
+                    // Locality-biased choice among earlier non-output gates.
+                    let limit = k.min(first_output_gate);
+                    if limit == 0 {
+                        SourceRef::Driver(rng.gen_range(0..num_drivers))
+                    } else {
+                        let window = 64.min(limit);
+                        let lo = limit - window;
+                        SourceRef::Gate(rng.gen_range(lo..limit))
+                    }
+                };
+                match source {
+                    SourceRef::Driver(d) => driver_fanout[d] += 1,
+                    SourceRef::Gate(g) => gate_fanout[g] += 1,
+                }
+                inputs[k].push(source);
+            }
+            if k < first_output_gate {
+                unused.push(k);
+            }
+        }
+
+        // ---- 3. Any still-unused non-output gate becomes an extra primary
+        // output; compensate by trimming one removable input wire each so the
+        // total wire count stays exact.
+        let extra_outputs: Vec<usize> = unused;
+        for _ in &extra_outputs {
+            let mut removed = false;
+            'outer: for k in (0..num_gates).rev() {
+                if inputs[k].len() < 2 {
+                    continue;
+                }
+                for pos in 0..inputs[k].len() {
+                    let removable = match inputs[k][pos] {
+                        SourceRef::Driver(d) => driver_fanout[d] >= 2,
+                        SourceRef::Gate(g) => gate_fanout[g] >= 2,
+                    };
+                    if removable {
+                        match inputs[k].remove(pos) {
+                            SourceRef::Driver(d) => driver_fanout[d] -= 1,
+                            SourceRef::Gate(g) => gate_fanout[g] -= 1,
+                        }
+                        removed = true;
+                        break 'outer;
+                    }
+                }
+            }
+            if !removed {
+                return Err(NetlistError::InfeasibleSpec {
+                    reason: "could not balance wire count; increase wires per gate".into(),
+                });
+            }
+        }
+
+        // Make sure every driver drives something: steal a slot if needed.
+        for d in 0..num_drivers {
+            if driver_fanout[d] == 0 {
+                // Replace a gate-sourced input whose source has other fanout.
+                'search: for k in 0..num_gates {
+                    for pos in 0..inputs[k].len() {
+                        if let SourceRef::Gate(g) = inputs[k][pos] {
+                            if gate_fanout[g] >= 2 {
+                                gate_fanout[g] -= 1;
+                                inputs[k][pos] = SourceRef::Driver(d);
+                                driver_fanout[d] += 1;
+                                break 'search;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // ---- 4. Emit the circuit.
+        let mut builder = CircuitBuilder::new(spec.technology);
+        let mut rng_geo = ChaCha8Rng::seed_from_u64(spec.seed ^ 0x9E37_79B9_7F4A_7C15);
+        let drivers: Vec<_> = (0..num_drivers)
+            .map(|d| {
+                let rd = rng_geo
+                    .gen_range(spec.driver_resistance_range.0..=spec.driver_resistance_range.1);
+                builder.add_driver(&format!("in{d}"), rd)
+            })
+            .collect::<Result<_, _>>()?;
+        let gates: Vec<_> = (0..num_gates)
+            .map(|k| {
+                let kind = *[
+                    GateKind::Nand,
+                    GateKind::Nor,
+                    GateKind::And,
+                    GateKind::Or,
+                    GateKind::Inv,
+                    GateKind::Xor,
+                    GateKind::Buf,
+                    GateKind::Xnor,
+                ]
+                .choose(&mut rng_geo)
+                .expect("non-empty gate kind list");
+                builder.add_gate(&format!("g{k}"), kind)
+            })
+            .collect::<Result<_, _>>()?;
+
+        let mut wire_names: Vec<String> = Vec::with_capacity(num_wires);
+        let mut wire_counter = 0usize;
+        let mut new_wire = |builder: &mut CircuitBuilder,
+                            rng_geo: &mut ChaCha8Rng,
+                            wire_names: &mut Vec<String>|
+         -> Result<(ncgws_circuit::builder::BuildNode, String), NetlistError> {
+            let name = format!("w{wire_counter}");
+            wire_counter += 1;
+            let length =
+                rng_geo.gen_range(spec.wire_length_range.0..=spec.wire_length_range.1);
+            let node = builder.add_wire(&name, length)?;
+            wire_names.push(name.clone());
+            Ok((node, name))
+        };
+
+        for (k, gate_inputs) in inputs.iter().enumerate() {
+            for &source in gate_inputs {
+                let (wire, _) = new_wire(&mut builder, &mut rng_geo, &mut wire_names)?;
+                let src = match source {
+                    SourceRef::Driver(d) => drivers[d],
+                    SourceRef::Gate(g) => gates[g],
+                };
+                builder.connect(src, wire)?;
+                builder.connect(wire, gates[k])?;
+            }
+        }
+
+        // Primary outputs: designated output gates plus the extra ones.
+        let mut output_gates: Vec<usize> = (first_output_gate..num_gates).collect();
+        output_gates.extend(extra_outputs.iter().copied());
+        for &g in &output_gates {
+            let (wire, _) = new_wire(&mut builder, &mut rng_geo, &mut wire_names)?;
+            let load =
+                rng_geo.gen_range(spec.output_load_range.0..=spec.output_load_range.1);
+            builder.connect(gates[g], wire)?;
+            builder.connect_output(wire, load)?;
+        }
+
+        debug_assert_eq!(wire_names.len(), num_wires, "wire budget must balance exactly");
+        let circuit = builder.build()?;
+
+        // ---- 5. Routing channels over the wires.
+        let mut channel_wires: Vec<ncgws_circuit::NodeId> = wire_names
+            .iter()
+            .map(|name| circuit.node_by_name(name).expect("wire exists"))
+            .collect();
+        channel_wires.shuffle(&mut rng_geo);
+        let channels: Vec<Vec<ncgws_circuit::NodeId>> = channel_wires
+            .chunks(spec.channel_size.max(2))
+            .map(|chunk| chunk.to_vec())
+            .collect();
+
+        // ---- 6. Input patterns.
+        let patterns = PatternSet::random_correlated(
+            circuit.num_drivers(),
+            spec.num_patterns,
+            spec.pattern_toggle_probability,
+            spec.seed ^ 0x5175_AB1E,
+        );
+
+        let geometry = ChannelGeometry {
+            pitch: spec.channel_pitch,
+            overlap_fraction: spec.overlap_fraction,
+            unit_fringing: spec.technology.coupling_fringing_per_um,
+        };
+
+        Ok(ProblemInstance { name: spec.name.clone(), circuit, channels, geometry, patterns })
+    }
+
+    /// Probability that an input slot is fed by a primary-input driver rather
+    /// than an earlier gate; higher for early gates so the logic cone starts
+    /// wide and narrows with depth.
+    fn driver_probability(&self, gate_index: usize, first_output_gate: usize) -> f64 {
+        if first_output_gate == 0 {
+            return 1.0;
+        }
+        let progress = gate_index as f64 / first_output_gate as f64;
+        (0.35 * (1.0 - progress) + 0.08).clamp(0.05, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generate(gates: usize, wires: usize, seed: u64) -> ProblemInstance {
+        SyntheticGenerator::new(CircuitSpec::new("test", gates, wires).with_seed(seed))
+            .generate()
+            .expect("generation succeeds")
+    }
+
+    #[test]
+    fn exact_component_counts() {
+        for &(g, w) in &[(20usize, 45usize), (50, 100), (214, 426), (546, 1064)] {
+            let inst = generate(g, w, 11);
+            assert_eq!(inst.circuit.num_gates(), g, "gates for ({g},{w})");
+            assert_eq!(inst.circuit.num_wires(), w, "wires for ({g},{w})");
+        }
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        let a = generate(60, 130, 3);
+        let b = generate(60, 130, 3);
+        assert_eq!(a.circuit.num_nodes(), b.circuit.num_nodes());
+        assert_eq!(a.channels, b.channels);
+        assert_eq!(a.patterns, b.patterns);
+        let c = generate(60, 130, 4);
+        assert!(a.channels != c.channels || a.patterns != c.patterns);
+    }
+
+    #[test]
+    fn infeasible_specs_are_rejected() {
+        let too_few_wires = CircuitSpec::new("bad", 100, 90);
+        assert!(matches!(
+            SyntheticGenerator::new(too_few_wires).generate(),
+            Err(NetlistError::InfeasibleSpec { .. })
+        ));
+        let no_gates = CircuitSpec::new("bad", 0, 10);
+        assert!(SyntheticGenerator::new(no_gates).generate().is_err());
+    }
+
+    #[test]
+    fn channels_cover_every_wire_exactly_once() {
+        let inst = generate(80, 170, 9);
+        let mut seen = std::collections::HashSet::new();
+        for channel in &inst.channels {
+            for &w in channel {
+                assert!(inst.circuit.node(w).kind.is_wire());
+                assert!(seen.insert(w), "wire listed twice");
+            }
+        }
+        assert_eq!(seen.len(), inst.circuit.num_wires());
+    }
+
+    #[test]
+    fn patterns_match_driver_count() {
+        let inst = generate(40, 90, 5);
+        assert_eq!(inst.patterns.num_inputs(), inst.circuit.num_drivers());
+        assert!(inst.patterns.len() > 0);
+    }
+
+    #[test]
+    fn wire_lengths_are_within_the_requested_range() {
+        let spec = CircuitSpec::new("t", 30, 70).with_seed(2);
+        let range = spec.wire_length_range;
+        let inst = SyntheticGenerator::new(spec).generate().unwrap();
+        for id in inst.circuit.wire_ids() {
+            let len = inst.wire_length(id);
+            assert!(len >= range.0 - 1e-9 && len <= range.1 + 1e-9, "length {len}");
+        }
+    }
+
+    #[test]
+    fn generated_circuit_is_simulatable() {
+        use ncgws_waveform::LogicSimulator;
+        let inst = generate(30, 70, 8);
+        let sim = LogicSimulator::new(&inst.circuit);
+        let trace = sim.simulate(&inst.patterns);
+        assert_eq!(trace.num_steps(), inst.patterns.len());
+    }
+
+    #[test]
+    fn generated_circuit_has_reasonable_depth() {
+        use ncgws_circuit::TopologicalOrder;
+        let inst = generate(200, 420, 13);
+        let depth = TopologicalOrder::of(&inst.circuit).longest_path_len(&inst.circuit);
+        assert!(depth > 6, "depth {depth} too shallow");
+        assert!(depth < 2 * 200, "depth {depth} suspiciously deep");
+    }
+}

@@ -1,0 +1,153 @@
+//! Baseline orderings for comparisons and ablations.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::problem::{SsProblem, WireOrdering};
+
+/// The ordering that keeps the wires in their given (netlist) order —
+/// what a router oblivious to switching similarity would produce.
+pub fn identity_ordering(problem: &SsProblem) -> WireOrdering {
+    problem.make_ordering((0..problem.len()).collect())
+}
+
+/// A uniformly random ordering (reproducible from `seed`).
+pub fn random_ordering(problem: &SsProblem, seed: u64) -> WireOrdering {
+    let mut positions: Vec<usize> = (0..problem.len()).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    positions.shuffle(&mut rng);
+    problem.make_ordering(positions)
+}
+
+/// Nearest-neighbor greedy ordering tried from **every** start wire, keeping
+/// the best result. Strictly stronger (and `n` times slower) than WOSS's
+/// single minimum-edge start; used as an ablation point.
+pub fn best_start_nearest_neighbor(problem: &SsProblem) -> WireOrdering {
+    let n = problem.len();
+    if n <= 1 {
+        return identity_ordering(problem);
+    }
+    let mut best: Option<WireOrdering> = None;
+    for start in 0..n {
+        let mut placed = vec![false; n];
+        let mut order = Vec::with_capacity(n);
+        placed[start] = true;
+        order.push(start);
+        for _ in 1..n {
+            let tail = *order.last().expect("non-empty");
+            let mut next = None;
+            let mut next_w = f64::INFINITY;
+            for candidate in 0..n {
+                if !placed[candidate] && problem.weight(tail, candidate) < next_w {
+                    next_w = problem.weight(tail, candidate);
+                    next = Some(candidate);
+                }
+            }
+            let chosen = next.expect("unplaced wire exists");
+            placed[chosen] = true;
+            order.push(chosen);
+        }
+        let candidate = problem.make_ordering(order);
+        if best.as_ref().map_or(true, |b| candidate.cost() < b.cost()) {
+            best = Some(candidate);
+        }
+    }
+    best.expect("n >= 2 produces at least one candidate")
+}
+
+/// Average cost of `samples` random orderings — the expected effective
+/// loading of a similarity-oblivious router, used for reporting improvement
+/// factors.
+pub fn average_random_cost(problem: &SsProblem, samples: usize, seed: u64) -> f64 {
+    if problem.len() < 2 || samples == 0 {
+        return 0.0;
+    }
+    (0..samples)
+        .map(|k| random_ordering(problem, seed.wrapping_add(k as u64)).cost())
+        .sum::<f64>()
+        / samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_ordering;
+    use crate::woss::woss;
+    use ncgws_circuit::NodeId;
+
+    fn problem(n: usize) -> SsProblem {
+        let mut weights = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    weights[i * n + j] = (((i * 5 + j * 3) % 7) + 1) as f64;
+                }
+            }
+        }
+        // Symmetrize.
+        for i in 0..n {
+            for j in 0..i {
+                let w = weights[j * n + i];
+                weights[i * n + j] = w;
+            }
+        }
+        SsProblem::from_weights((0..n).map(NodeId::new).collect(), weights).unwrap()
+    }
+
+    #[test]
+    fn identity_is_the_trivial_permutation() {
+        let p = problem(5);
+        let o = identity_ordering(&p);
+        assert_eq!(o.positions(), &[0, 1, 2, 3, 4]);
+        assert!(o.is_permutation_of(&p));
+    }
+
+    #[test]
+    fn random_is_reproducible_and_a_permutation() {
+        let p = problem(8);
+        let a = random_ordering(&p, 1);
+        let b = random_ordering(&p, 1);
+        let c = random_ordering(&p, 2);
+        assert_eq!(a, b);
+        assert_ne!(a.positions(), c.positions());
+        assert!(a.is_permutation_of(&p));
+    }
+
+    #[test]
+    fn best_start_nn_is_at_least_as_good_as_woss_start() {
+        let p = problem(9);
+        let nn = best_start_nearest_neighbor(&p);
+        let exact = exact_ordering(&p).unwrap();
+        assert!(nn.is_permutation_of(&p));
+        assert!(exact.cost() <= nn.cost() + 1e-9);
+        // And it should not be worse than a random ordering on average.
+        let avg = average_random_cost(&p, 20, 3);
+        assert!(nn.cost() <= avg + 1e-9);
+    }
+
+    #[test]
+    fn woss_beats_random_on_average_for_structured_similarity() {
+        // Two clusters of mutually similar wires.
+        let n = 10;
+        let mut weights = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    weights[i * n + j] = if (i < 5) == (j < 5) { 0.1 } else { 1.9 };
+                }
+            }
+        }
+        let p = SsProblem::from_weights((0..n).map(NodeId::new).collect(), weights).unwrap();
+        let greedy = woss(&p);
+        let avg = average_random_cost(&p, 50, 11);
+        assert!(greedy.cost() < avg, "woss {} vs random {avg}", greedy.cost());
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let p = problem(1);
+        assert_eq!(best_start_nearest_neighbor(&p).len(), 1);
+        assert_eq!(average_random_cost(&p, 10, 0), 0.0);
+    }
+}

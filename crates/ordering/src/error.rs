@@ -1,0 +1,72 @@
+//! Error type for ordering-problem construction.
+
+use std::fmt;
+
+/// Errors produced while building or solving a Switching-Similarity problem.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OrderingError {
+    /// The weight matrix does not match the number of wires.
+    WeightShapeMismatch {
+        /// Number of wires.
+        wires: usize,
+        /// Length of the provided weight matrix.
+        weights: usize,
+    },
+    /// A weight was negative or not finite.
+    InvalidWeight {
+        /// Row index.
+        i: usize,
+        /// Column index.
+        j: usize,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The weight matrix is not symmetric.
+    AsymmetricWeight {
+        /// Row index.
+        i: usize,
+        /// Column index.
+        j: usize,
+    },
+    /// The exact solver was asked to solve a problem beyond its size limit.
+    TooLargeForExact {
+        /// Number of wires in the problem.
+        wires: usize,
+        /// Maximum size the exact solver accepts.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for OrderingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrderingError::WeightShapeMismatch { wires, weights } => {
+                write!(f, "weight matrix has {weights} entries but {wires} wires need {}", wires * wires)
+            }
+            OrderingError::InvalidWeight { i, j, value } => {
+                write!(f, "weight ({i}, {j}) must be finite and non-negative, got {value}")
+            }
+            OrderingError::AsymmetricWeight { i, j } => {
+                write!(f, "weight matrix is not symmetric at ({i}, {j})")
+            }
+            OrderingError::TooLargeForExact { wires, limit } => {
+                write!(f, "exact ordering supports at most {limit} wires, got {wires}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OrderingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_problem() {
+        let e = OrderingError::TooLargeForExact { wires: 30, limit: 16 };
+        assert!(e.to_string().contains("30"));
+        let e = OrderingError::WeightShapeMismatch { wires: 3, weights: 4 };
+        assert!(e.to_string().contains("9"));
+    }
+}

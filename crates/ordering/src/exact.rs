@@ -1,0 +1,173 @@
+//! Exact minimum-cost ordering by Held–Karp dynamic programming.
+//!
+//! The SS problem is the minimum-weight Hamiltonian *path* problem on the
+//! complete graph `K_n`, which the Held–Karp dynamic program solves in
+//! `O(2ⁿ · n²)` time and `O(2ⁿ · n)` memory. That is only practical for a
+//! handful of wires, but it gives tests and ablation benches an optimality
+//! reference for the WOSS heuristic.
+
+use crate::error::OrderingError;
+use crate::problem::{SsProblem, WireOrdering};
+
+/// Largest problem size accepted by [`exact_ordering`].
+pub const EXACT_LIMIT: usize = 16;
+
+/// Computes a minimum-total-effective-loading ordering exactly.
+///
+/// # Errors
+///
+/// Returns [`OrderingError::TooLargeForExact`] if the problem has more than
+/// [`EXACT_LIMIT`] wires.
+pub fn exact_ordering(problem: &SsProblem) -> Result<WireOrdering, OrderingError> {
+    let n = problem.len();
+    if n > EXACT_LIMIT {
+        return Err(OrderingError::TooLargeForExact { wires: n, limit: EXACT_LIMIT });
+    }
+    if n == 0 {
+        return Ok(problem.make_ordering(Vec::new()));
+    }
+    if n == 1 {
+        return Ok(problem.make_ordering(vec![0]));
+    }
+
+    let full: usize = (1usize << n) - 1;
+    // dp[mask][last] = minimum cost of a path visiting `mask` and ending at `last`.
+    let mut dp = vec![vec![f64::INFINITY; n]; 1 << n];
+    let mut parent = vec![vec![usize::MAX; n]; 1 << n];
+    for start in 0..n {
+        dp[1 << start][start] = 0.0;
+    }
+    for mask in 1..=full {
+        for last in 0..n {
+            if mask & (1 << last) == 0 {
+                continue;
+            }
+            let cost = dp[mask][last];
+            if !cost.is_finite() {
+                continue;
+            }
+            for next in 0..n {
+                if mask & (1 << next) != 0 {
+                    continue;
+                }
+                let new_mask = mask | (1 << next);
+                let new_cost = cost + problem.weight(last, next);
+                if new_cost < dp[new_mask][next] {
+                    dp[new_mask][next] = new_cost;
+                    parent[new_mask][next] = last;
+                }
+            }
+        }
+    }
+
+    // Best endpoint of the full path.
+    let mut best_last = 0;
+    for last in 1..n {
+        if dp[full][last] < dp[full][best_last] {
+            best_last = last;
+        }
+    }
+    // Reconstruct.
+    let mut order = Vec::with_capacity(n);
+    let mut mask = full;
+    let mut last = best_last;
+    while last != usize::MAX {
+        order.push(last);
+        let prev = parent[mask][last];
+        mask &= !(1 << last);
+        last = prev;
+    }
+    order.reverse();
+    Ok(problem.make_ordering(order))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::woss::woss;
+    use ncgws_circuit::NodeId;
+
+    fn problem(n: usize, f: impl Fn(usize, usize) -> f64) -> SsProblem {
+        let mut weights = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    let w = f(i.min(j), i.max(j));
+                    weights[i * n + j] = w;
+                }
+            }
+        }
+        let nodes = (0..n).map(NodeId::new).collect();
+        SsProblem::from_weights(nodes, weights).unwrap()
+    }
+
+    #[test]
+    fn refuses_oversized_problems() {
+        let p = problem(EXACT_LIMIT + 1, |_, _| 1.0);
+        assert!(matches!(exact_ordering(&p), Err(OrderingError::TooLargeForExact { .. })));
+    }
+
+    #[test]
+    fn trivial_sizes() {
+        let p0 = problem(0, |_, _| 0.0);
+        assert!(exact_ordering(&p0).unwrap().is_empty());
+        let p1 = problem(1, |_, _| 0.0);
+        assert_eq!(exact_ordering(&p1).unwrap().len(), 1);
+        let p2 = problem(2, |_, _| 3.0);
+        let o = exact_ordering(&p2).unwrap();
+        assert_eq!(o.cost(), 3.0);
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_instances() {
+        use std::collections::BTreeSet;
+        // Deterministic pseudo-random weights.
+        for n in 3..=7usize {
+            let p = problem(n, |i, j| ((i * 7 + j * 13) % 11) as f64 + 0.5);
+            let exact = exact_ordering(&p).unwrap();
+            // Brute force over all permutations.
+            let mut best = f64::INFINITY;
+            let mut perm: Vec<usize> = (0..n).collect();
+            permutohedron_heap(&mut perm, &mut |order: &[usize]| {
+                best = best.min(p.ordering_cost(order));
+            });
+            assert!((exact.cost() - best).abs() < 1e-9, "n={n}");
+            // And the result must be a permutation.
+            let set: BTreeSet<usize> = exact.positions().iter().copied().collect();
+            assert_eq!(set.len(), n);
+        }
+    }
+
+    /// Minimal Heap's-algorithm permutation visitor (test helper).
+    fn permutohedron_heap(items: &mut Vec<usize>, visit: &mut impl FnMut(&[usize])) {
+        let n = items.len();
+        let mut c = vec![0usize; n];
+        visit(items);
+        let mut i = 0;
+        while i < n {
+            if c[i] < i {
+                if i % 2 == 0 {
+                    items.swap(0, i);
+                } else {
+                    items.swap(c[i], i);
+                }
+                visit(items);
+                c[i] += 1;
+                i = 0;
+            } else {
+                c[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn woss_is_never_better_than_exact() {
+        for n in 3..=9usize {
+            let p = problem(n, |i, j| (((i + 1) * (j + 2) * 31) % 17) as f64 / 4.0);
+            let heur = woss(&p);
+            let exact = exact_ordering(&p).unwrap();
+            assert!(exact.cost() <= heur.cost() + 1e-9, "n={n}");
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Miller / anti-Miller effective coupling factors.
+//!
+//! With physical coupling `C_c` between two wires:
+//!
+//! * the **Miller effect** (simultaneous switching in opposite directions)
+//!   makes the equivalent coupling `2 C_c`,
+//! * the **anti-Miller effect** (switching in the same direction) makes it
+//!   `0`,
+//! * a quiet neighbor leaves it at `C_c`.
+//!
+//! We interpolate between these extremes with the switching similarity:
+//! `factor = 1 − similarity ∈ [0, 2]`, which is also exactly the edge weight
+//! of the Switching-Similarity ordering problem.
+
+/// Effective coupling multiplier in `[0, 2]` for a pair of wires with the
+/// given switching similarity.
+///
+/// `similarity = 1` (always together) → `0` (anti-Miller);
+/// `similarity = −1` (always opposite) → `2` (Miller);
+/// `similarity = 0` → `1` (neutral).
+/// Values outside `[−1, 1]` are clamped.
+pub fn miller_factor(similarity: f64) -> f64 {
+    (1.0 - similarity.clamp(-1.0, 1.0)).clamp(0.0, 2.0)
+}
+
+/// The edge weight used by the Switching-Similarity ordering problem:
+/// `weight(i, j) = 1 − similarity(i, j)`. Identical to [`miller_factor`]
+/// (the total effective loading of an ordering is the sum of the Miller
+/// factors of adjacent pairs), provided separately for readability at call
+/// sites that deal with the graph problem rather than with electricity.
+pub fn ordering_weight(similarity: f64) -> f64 {
+    miller_factor(similarity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extremes() {
+        assert_eq!(miller_factor(1.0), 0.0);
+        assert_eq!(miller_factor(-1.0), 2.0);
+        assert_eq!(miller_factor(0.0), 1.0);
+    }
+
+    #[test]
+    fn clamping() {
+        assert_eq!(miller_factor(3.0), 0.0);
+        assert_eq!(miller_factor(-5.0), 2.0);
+    }
+
+    #[test]
+    fn monotone_decreasing_in_similarity() {
+        let mut last = f64::INFINITY;
+        for k in 0..=20 {
+            let s = -1.0 + 2.0 * k as f64 / 20.0;
+            let f = miller_factor(s);
+            assert!(f <= last);
+            last = f;
+        }
+    }
+
+    #[test]
+    fn ordering_weight_is_miller_factor() {
+        for &s in &[-1.0, -0.5, 0.0, 0.3, 1.0] {
+            assert_eq!(ordering_weight(s), miller_factor(s));
+        }
+    }
+}

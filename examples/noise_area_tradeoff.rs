@@ -1,0 +1,47 @@
+//! Sweep the crosstalk bound and watch the area the optimizer needs.
+//!
+//! This is the kind of design-space exploration the paper's formulation
+//! enables: the noise bound `X_B` is a first-class constraint, so tightening
+//! it trades area (and power) for noise without touching the delay target.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example noise_area_tradeoff
+//! ```
+
+use ncgws::core::{Optimizer, OptimizerConfig};
+use ncgws::netlist::{CircuitSpec, SyntheticGenerator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = CircuitSpec::new("tradeoff", 80, 180).with_seed(11);
+    let instance = SyntheticGenerator::new(spec).generate()?;
+
+    println!("crosstalk bound sweep on `{}` ({} components)", instance.name, instance.num_components());
+    println!("{:>12} {:>12} {:>12} {:>12} {:>12}", "Xbound(frac)", "noise(pF)", "area(um2)", "power(mW)", "delay(ps)");
+
+    for factor in [0.50, 0.30, 0.20, 0.15, 0.12, 0.10] {
+        let config = OptimizerConfig {
+            crosstalk_bound_factor: factor,
+            max_iterations: 120,
+            ..OptimizerConfig::default()
+        };
+        let outcome = Optimizer::new(config).run(&instance)?;
+        let m = &outcome.report.final_metrics;
+        println!(
+            "{:>12.2} {:>12.4} {:>12.0} {:>12.3} {:>12.1}{}",
+            factor,
+            m.noise_pf,
+            m.area_um2,
+            m.power_mw,
+            m.delay_ps,
+            if outcome.report.feasible { "" } else { "   (infeasible)" }
+        );
+    }
+
+    println!();
+    println!("tighter crosstalk bounds force narrower wires near aggressors; the");
+    println!("area/power cost stays small until the bound approaches the irreducible");
+    println!("fringing coupling of the layout.");
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! # ncgws — Noise-Constrained Gate and Wire Sizing
+//!
+//! A from-scratch Rust reproduction of *"Noise-Constrained Performance
+//! Optimization by Simultaneous Gate and Wire Sizing Based on Lagrangian
+//! Relaxation"* (Jiang, Jou, Chang — DAC 1999).
+//!
+//! The crate is a facade over the workspace members:
+//!
+//! * [`circuit`] — circuit graph, RC models, Elmore delay, timing analysis.
+//! * [`coupling`] — physical coupling capacitance and its posynomial model.
+//! * [`waveform`] — logic simulation, waveforms, switching similarity.
+//! * [`ordering`] — the Switching-Similarity problem and the WOSS heuristic.
+//! * [`netlist`] — synthetic ISCAS85-scale benchmark generation and netlist I/O.
+//! * [`core`] — the Lagrangian-relaxation sizing engine (LRS + OGWS) and baselines.
+//!
+//! # Quickstart
+//!
+//! ```rust
+//! use ncgws::netlist::{CircuitSpec, SyntheticGenerator};
+//! use ncgws::core::{Optimizer, OptimizerConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Build a small synthetic benchmark (48 gates, 96 wires).
+//! let spec = CircuitSpec::new("tiny", 48, 96).with_seed(7);
+//! let instance = SyntheticGenerator::new(spec).generate()?;
+//!
+//! // Run the full two-stage flow: WOSS wire ordering, then OGWS sizing.
+//! let config = OptimizerConfig::default();
+//! let outcome = Optimizer::new(config).run(&instance)?;
+//!
+//! assert!(outcome.report.final_metrics.noise_pf <= outcome.report.initial_metrics.noise_pf);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use ncgws_circuit as circuit;
+pub use ncgws_core as core;
+pub use ncgws_coupling as coupling;
+pub use ncgws_netlist as netlist;
+pub use ncgws_ordering as ordering;
+pub use ncgws_waveform as waveform;
+
+/// Version of the ncgws workspace.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

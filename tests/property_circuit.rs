@@ -1,0 +1,122 @@
+//! Property-based tests of the circuit/timing substrate: Elmore analysis,
+//! area and power on randomly generated circuits and sizings.
+
+use ncgws::circuit::{total_area, total_capacitance, ElmoreAnalyzer, SizeVector, TimingAnalysis};
+use ncgws::netlist::{CircuitSpec, ProblemInstance, SyntheticGenerator};
+use proptest::prelude::*;
+
+fn instance_with(gates: usize, wires: usize, seed: u64) -> ProblemInstance {
+    SyntheticGenerator::new(
+        CircuitSpec::new(format!("prop-{gates}-{seed}"), gates, wires)
+            .with_seed(seed)
+            .with_num_patterns(8),
+    )
+    .generate()
+    .expect("generation succeeds")
+}
+
+/// A strategy producing a small instance plus a random in-bounds size vector.
+fn instance_and_sizes() -> impl Strategy<Value = (ProblemInstance, SizeVector)> {
+    (10usize..40, 2usize..5, 0u64..1000).prop_flat_map(|(gates, ratio, seed)| {
+        let wires = gates * ratio + 3;
+        let inst = instance_with(gates, wires, seed);
+        let n = inst.circuit.num_components();
+        (Just(inst), proptest::collection::vec(0.1f64..10.0, n))
+            .prop_map(|(inst, raw)| (inst, SizeVector::new(raw)))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn delays_and_arrivals_are_finite_and_nonnegative((inst, sizes) in instance_and_sizes()) {
+        let graph = &inst.circuit;
+        prop_assert!(graph.check_sizes(&sizes).is_ok());
+        let timing = TimingAnalysis::run(graph, &sizes, None);
+        for id in graph.node_ids() {
+            let d = timing.delays[id.index()];
+            prop_assert!(d.is_finite() && d >= 0.0, "delay of {id} is {d}");
+            let a = timing.arrival.of(id);
+            prop_assert!(a.is_finite() && a >= 0.0, "arrival of {id} is {a}");
+        }
+        prop_assert!(timing.critical_path_delay > 0.0);
+        // The critical path delay is attained by some primary output.
+        let max_po = graph
+            .primary_output_drivers()
+            .iter()
+            .map(|&po| timing.arrival.of(po))
+            .fold(0.0_f64, f64::max);
+        prop_assert!((max_po - timing.critical_path_delay).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arrival_constraints_of_problem_pp_hold((inst, sizes) in instance_and_sizes()) {
+        let graph = &inst.circuit;
+        let timing = TimingAnalysis::run(graph, &sizes, None);
+        for i in graph.component_ids() {
+            for &j in graph.fanin(i) {
+                if j == graph.source() {
+                    continue;
+                }
+                prop_assert!(
+                    timing.arrival.of(j) + timing.delays[i.index()]
+                        <= timing.arrival.of(i) + 1e-9
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn area_and_capacitance_are_monotone_in_size((inst, sizes) in instance_and_sizes()) {
+        let graph = &inst.circuit;
+        let mut larger = sizes.clone();
+        for x in larger.iter_mut() {
+            *x = (*x * 1.5).min(10.0);
+        }
+        prop_assert!(total_area(graph, &larger) >= total_area(graph, &sizes) - 1e-9);
+        prop_assert!(total_capacitance(graph, &larger) >= total_capacitance(graph, &sizes) - 1e-9);
+    }
+
+    #[test]
+    fn area_is_exactly_linear_in_uniform_scaling((inst, _sizes) in instance_and_sizes()) {
+        let graph = &inst.circuit;
+        let one = graph.uniform_sizes(1.0);
+        let three = graph.uniform_sizes(3.0);
+        let a1 = total_area(graph, &one);
+        let a3 = total_area(graph, &three);
+        prop_assert!((a3 - 3.0 * a1).abs() / a1 < 1e-9);
+    }
+
+    #[test]
+    fn downstream_caps_shrink_behind_gates((inst, sizes) in instance_and_sizes()) {
+        // The capacitance charged by a driver equals the presented loads of
+        // its stage children; gates never leak downstream-stage capacitance
+        // into an upstream stage.
+        let graph = &inst.circuit;
+        let analyzer = ElmoreAnalyzer::new(graph);
+        let caps = analyzer.downstream_caps(&sizes, None);
+        for id in graph.node_ids() {
+            prop_assert!(caps.charged_of(id) >= 0.0);
+            prop_assert!(caps.presented_of(id) >= 0.0);
+        }
+        for gate in graph.gate_ids() {
+            // A gate presents exactly its input capacitance.
+            let expected = graph.capacitance(gate, &sizes);
+            prop_assert!((caps.presented_of(gate) - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn upstream_resistance_is_nonnegative_and_zero_for_drivers((inst, sizes) in instance_and_sizes()) {
+        let graph = &inst.circuit;
+        let analyzer = ElmoreAnalyzer::new(graph);
+        let upstream = analyzer.upstream_resistance(&sizes);
+        for id in graph.node_ids() {
+            prop_assert!(upstream[id.index()] >= 0.0);
+        }
+        for d in graph.driver_ids() {
+            prop_assert_eq!(upstream[d.index()], 0.0);
+        }
+    }
+}

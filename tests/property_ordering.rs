@@ -1,0 +1,91 @@
+//! Property-based tests of the switching-similarity substrate and the wire
+//! ordering algorithms.
+
+use ncgws::circuit::NodeId;
+use ncgws::coupling::{exact_factor, truncated_factor, truncation_error_ratio};
+use ncgws::ordering::{baselines, exact_ordering, woss, SsProblem};
+use ncgws::waveform::{miller_factor, similarity, Waveform};
+use proptest::prelude::*;
+
+/// A strategy for a symmetric non-negative weight matrix over `n` wires.
+fn weight_matrix(max_n: usize) -> impl Strategy<Value = (usize, Vec<f64>)> {
+    (2usize..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec(0.0f64..2.0, n * (n - 1) / 2).prop_map(move |upper| {
+            let mut m = vec![0.0; n * n];
+            let mut it = upper.into_iter();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let w = it.next().expect("enough entries");
+                    m[i * n + j] = w;
+                    m[j * n + i] = w;
+                }
+            }
+            (n, m)
+        })
+    })
+}
+
+fn problem(n: usize, weights: Vec<f64>) -> SsProblem {
+    SsProblem::from_weights((0..n).map(NodeId::new).collect(), weights).expect("valid weights")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn woss_output_is_a_permutation_with_consistent_cost((n, weights) in weight_matrix(12)) {
+        let p = problem(n, weights);
+        let ordering = woss(&p);
+        prop_assert!(ordering.is_permutation_of(&p));
+        prop_assert!((ordering.cost() - p.ordering_cost(ordering.positions())).abs() < 1e-9);
+        prop_assert!(ordering.cost() >= 0.0);
+    }
+
+    #[test]
+    fn exact_is_a_lower_bound_for_every_heuristic((n, weights) in weight_matrix(8)) {
+        let p = problem(n, weights);
+        let best = exact_ordering(&p).expect("within exact limit");
+        for candidate in [
+            woss(&p),
+            baselines::identity_ordering(&p),
+            baselines::random_ordering(&p, 3),
+            baselines::best_start_nearest_neighbor(&p),
+        ] {
+            prop_assert!(best.cost() <= candidate.cost() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn reversing_an_ordering_preserves_its_cost((n, weights) in weight_matrix(10)) {
+        let p = problem(n, weights);
+        let ordering = woss(&p);
+        let mut reversed = ordering.positions().to_vec();
+        reversed.reverse();
+        prop_assert!((p.ordering_cost(&reversed) - ordering.cost()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn similarity_is_symmetric_bounded_and_reflexive(bits_a in proptest::collection::vec(any::<bool>(), 1..200),
+                                                     bits_b in proptest::collection::vec(any::<bool>(), 1..200)) {
+        let len = bits_a.len().min(bits_b.len());
+        let a = Waveform::from_levels(bits_a[..len].to_vec());
+        let b = Waveform::from_levels(bits_b[..len].to_vec());
+        let s_ab = similarity(&a, &b);
+        let s_ba = similarity(&b, &a);
+        prop_assert!((s_ab - s_ba).abs() < 1e-12);
+        prop_assert!((-1.0..=1.0).contains(&s_ab));
+        prop_assert!((similarity(&a, &a) - 1.0).abs() < 1e-12);
+        // Miller factor stays in [0, 2] and is anti-monotone in similarity.
+        prop_assert!((0.0..=2.0).contains(&miller_factor(s_ab)));
+    }
+
+    #[test]
+    fn posynomial_error_ratio_matches_theorem1(x in 0.0f64..0.95, k in 1usize..8) {
+        let exact = exact_factor(x);
+        let approx = truncated_factor(x, k);
+        let measured = (exact - approx) / exact;
+        prop_assert!((measured - truncation_error_ratio(x, k)).abs() < 1e-9);
+        // Truncation never overestimates for non-negative x.
+        prop_assert!(approx <= exact + 1e-12);
+    }
+}
