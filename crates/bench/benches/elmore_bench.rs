@@ -1,0 +1,108 @@
+//! Engine-reuse vs allocate-per-call evaluation cost.
+//!
+//! Measures one LRS solve (a fixed number of `O(V + E + P)` sweeps) through
+//! the two equivalent paths:
+//!
+//! * `naive` — the seed's allocate-per-call loop
+//!   (`ncgws_core::reference::lrs_solve`): fresh `Vec`s for coupling loads,
+//!   downstream caps and upstream resistances on every sweep;
+//! * `engine` — `LrsSolver::solve_with` on a reused `SizingEngine`: zero
+//!   heap allocation after setup.
+//!
+//! Both produce bitwise identical results (asserted below), so the timing
+//! difference is purely the allocator + locality cost the engine removes.
+//! Run with `cargo bench -p ncgws-bench --bench elmore_bench`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ncgws_circuit::{CircuitBuilder, CircuitGraph, GateKind, Technology};
+use ncgws_core::{
+    reference, ConstraintBounds, LrsSolver, Multipliers, SizingEngine, SizingProblem,
+};
+use ncgws_coupling::{CouplingPair, CouplingSet, WirePairGeometry};
+
+const SWEEPS: usize = 5;
+
+/// A driver-fed wire/gate chain with `components` sizable components and
+/// coupling between consecutive wires.
+fn chain(components: usize) -> (CircuitGraph, Vec<String>) {
+    let mut b = CircuitBuilder::new(Technology::dac99());
+    let mut prev = b.add_driver("drv", 120.0).unwrap();
+    let mut wire_names = Vec::new();
+    for i in 0..components {
+        let node = if i % 2 == 0 {
+            let name = format!("w{i}");
+            let w = b.add_wire(&name, 60.0 + (i % 7) as f64 * 25.0).unwrap();
+            wire_names.push(name);
+            w
+        } else {
+            b.add_gate(&format!("g{i}"), GateKind::Inv).unwrap()
+        };
+        b.connect(prev, node).unwrap();
+        prev = node;
+    }
+    // The chain must end in a wire driving the primary output.
+    let last = if components.is_multiple_of(2) {
+        let w = b.add_wire("w_out", 80.0).unwrap();
+        b.connect(prev, w).unwrap();
+        wire_names.push("w_out".to_string());
+        w
+    } else {
+        prev
+    };
+    b.connect_output(last, 8.0).unwrap();
+    (b.build().unwrap(), wire_names)
+}
+
+fn coupling_for(graph: &CircuitGraph, wire_names: &[String]) -> CouplingSet {
+    let geom = WirePairGeometry::new(50.0, 21.0, 0.03).unwrap();
+    let pairs = wire_names
+        .windows(2)
+        .map(|names| {
+            let a = graph.node_by_name(&names[0]).unwrap();
+            let b = graph.node_by_name(&names[1]).unwrap();
+            CouplingPair::new(a, b, geom).unwrap()
+        })
+        .collect();
+    CouplingSet::new(graph, pairs).unwrap()
+}
+
+fn lrs_sweep_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lrs_solve_5_sweeps");
+    for components in [100usize, 1_000, 10_000] {
+        let (graph, wire_names) = chain(components);
+        let coupling = coupling_for(&graph, &wire_names);
+        let bounds = ConstraintBounds {
+            delay: 1e15,
+            total_capacitance: 1e15,
+            crosstalk: 1e15,
+        };
+        let problem = SizingProblem::new(&graph, &coupling, bounds).unwrap();
+        let multipliers = Multipliers::uniform(&graph, 1.0, 1.0);
+        let solver = LrsSolver::new(SWEEPS, 0.0);
+
+        // Sanity: the two paths agree bitwise before we time them.
+        let naive = reference::lrs_solve(&problem, &multipliers, SWEEPS, 0.0);
+        let mut engine = SizingEngine::for_problem(&problem);
+        let mut sizes = graph.minimum_sizes();
+        solver.solve_with(&mut engine, &multipliers, &mut sizes);
+        assert_eq!(
+            naive.sizes, sizes,
+            "paths diverged at {components} components"
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("naive", components),
+            &problem,
+            |b, problem| b.iter(|| reference::lrs_solve(problem, &multipliers, SWEEPS, 0.0)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("engine", components),
+            &problem,
+            |b, _problem| b.iter(|| solver.solve_with(&mut engine, &multipliers, &mut sizes)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, lrs_sweep_cost);
+criterion_main!(benches);

@@ -5,7 +5,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ncgws_bench::{generate, paper_config};
-use ncgws_core::{build_coupling, ConstraintBounds, LrsSolver, Multipliers, OrderingStrategy, SizingProblem};
+use ncgws_core::{
+    build_coupling, ConstraintBounds, LrsSolver, Multipliers, OrderingStrategy, SizingProblem,
+};
 use ncgws_netlist::CircuitSpec;
 
 fn lrs_iteration(c: &mut Criterion) {

@@ -10,8 +10,12 @@ fn posynomial(c: &mut Criterion) {
         b.iter(|| xs.iter().map(|&x| exact_factor(black_box(x))).sum::<f64>())
     });
     for k in [2usize, 3, 5] {
-        c.bench_function(&format!("truncated_factor_k{k}_1024"), |b| {
-            b.iter(|| xs.iter().map(|&x| truncated_factor(black_box(x), k)).sum::<f64>())
+        c.bench_function(format!("truncated_factor_k{k}_1024"), |b| {
+            b.iter(|| {
+                xs.iter()
+                    .map(|&x| truncated_factor(black_box(x), k))
+                    .sum::<f64>()
+            })
         });
     }
 }

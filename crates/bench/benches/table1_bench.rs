@@ -13,7 +13,10 @@ fn full_flow(c: &mut Criterion) {
     for (gates, wires) in [(107, 213), (214, 426), (428, 852)] {
         let spec = CircuitSpec::new(format!("bench-{gates}"), gates, wires).with_seed(13);
         let instance = generate(spec);
-        let config = OptimizerConfig { max_iterations: 30, ..paper_config() };
+        let config = OptimizerConfig {
+            max_iterations: 30,
+            ..paper_config()
+        };
         group.bench_with_input(
             BenchmarkId::from_parameter(gates + wires),
             &instance,

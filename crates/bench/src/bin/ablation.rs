@@ -13,7 +13,7 @@
 
 use ncgws_bench::{generate, optimize, paper_config};
 use ncgws_core::baseline::{greedy_delay_sizing, lr_delay_area};
-use ncgws_core::{build_coupling, CircuitMetrics, OrderingStrategy, OptimizerConfig, StepSchedule};
+use ncgws_core::{build_coupling, CircuitMetrics, OptimizerConfig, OrderingStrategy, StepSchedule};
 use ncgws_netlist::CircuitSpec;
 
 fn main() {
@@ -28,20 +28,27 @@ fn main() {
 
     // ---------------- 1. ordering strategy ----------------
     println!("\n[1] wire-ordering strategy (stage 1)");
-    println!("{:<28} {:>18} {:>14}", "strategy", "effective loading", "noise (pF)");
+    println!(
+        "{:<28} {:>18} {:>14}",
+        "strategy", "effective loading", "noise (pF)"
+    );
     for (name, strategy) in [
         ("woss (paper)", OrderingStrategy::Woss),
         ("identity", OrderingStrategy::Identity),
         ("random", OrderingStrategy::Random { seed: 3 }),
-        ("best-start nearest-neighbor", OrderingStrategy::BestStartNearestNeighbor),
+        (
+            "best-start nearest-neighbor",
+            OrderingStrategy::BestStartNearestNeighbor,
+        ),
     ] {
-        let config = OptimizerConfig { ordering: strategy, ..paper_config() };
+        let config = OptimizerConfig {
+            ordering: strategy,
+            ..paper_config()
+        };
         let outcome = optimize(&instance, config);
         println!(
             "{:<28} {:>18.2} {:>14.4}",
-            name,
-            outcome.report.ordering_effective_loading,
-            outcome.report.final_metrics.noise_pf
+            name, outcome.report.ordering_effective_loading, outcome.report.final_metrics.noise_pf
         );
     }
 
@@ -51,7 +58,10 @@ fn main() {
     // target every method collapses to near-minimum sizes and the comparison
     // is vacuous.
     println!("\n[2] noise constraint on/off (delay bound = 0.85x initial)");
-    let tight_delay = OptimizerConfig { delay_bound_factor: 0.85, ..paper_config() };
+    let tight_delay = OptimizerConfig {
+        delay_bound_factor: 0.85,
+        ..paper_config()
+    };
     let full = optimize(&instance, tight_delay.clone());
     println!(
         "{:<28} noise {:>10.4} pF  area {:>12.0} um2  delay {:>8.1} ps",
@@ -84,19 +94,35 @@ fn main() {
         greedy_metrics.area_um2,
         greedy_metrics.delay_ps,
         greedy.moves,
-        if greedy.feasible { "" } else { ", bound missed" }
+        if greedy.feasible {
+            ""
+        } else {
+            ", bound missed"
+        }
     );
 
     // ---------------- 3. step schedule ----------------
     println!("\n[3] subgradient step schedule (iterations to reach the 1% gap)");
-    println!("{:<28} {:>10} {:>12} {:>10}", "schedule", "iters", "best gap", "feasible");
+    println!(
+        "{:<28} {:>10} {:>12} {:>10}",
+        "schedule", "iters", "best gap", "feasible"
+    );
     for (name, schedule) in [
-        ("1/sqrt(k), scale 8.0 (default)", StepSchedule::SqrtDecay { scale: 8.0 }),
-        ("1/sqrt(k), scale 2.5", StepSchedule::SqrtDecay { scale: 2.5 }),
+        (
+            "1/sqrt(k), scale 8.0 (default)",
+            StepSchedule::SqrtDecay { scale: 8.0 },
+        ),
+        (
+            "1/sqrt(k), scale 2.5",
+            StepSchedule::SqrtDecay { scale: 2.5 },
+        ),
         ("1/k, scale 8.0", StepSchedule::Harmonic { scale: 8.0 }),
         ("constant 0.5", StepSchedule::Constant { scale: 0.5 }),
     ] {
-        let config = OptimizerConfig { step_schedule: schedule, ..paper_config() };
+        let config = OptimizerConfig {
+            step_schedule: schedule,
+            ..paper_config()
+        };
         let outcome = optimize(&instance, config);
         println!(
             "{:<28} {:>10} {:>11.2}% {:>10}",

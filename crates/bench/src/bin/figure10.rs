@@ -21,9 +21,15 @@ fn linear_fit(points: &[(f64, f64)]) -> (f64, f64, f64) {
     let intercept = (sy - slope * sx) / n;
     let mean_y = sy / n;
     let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
-    let ss_res: f64 =
-        points.iter().map(|p| (p.1 - (slope * p.0 + intercept)).powi(2)).sum();
-    let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
+        .sum();
+    let r2 = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
     (slope, intercept, r2)
 }
 
@@ -35,7 +41,10 @@ fn main() {
 
     println!("Figure 10 reproduction — storage and runtime-per-iteration vs circuit size");
     println!();
-    println!("{:<8} {:>8} {:>12} {:>16} {:>8}", "Ckt", "#G+#W", "mem (MB)", "sec/iteration", "iters");
+    println!(
+        "{:<8} {:>8} {:>12} {:>16} {:>8}",
+        "Ckt", "#G+#W", "mem (MB)", "sec/iteration", "iters"
+    );
 
     let mut memory_points = Vec::new();
     let mut runtime_points = Vec::new();
@@ -56,8 +65,14 @@ fn main() {
     let (ms, mi, mr2) = linear_fit(&memory_points);
     let (rs, ri, rr2) = linear_fit(&runtime_points);
     println!();
-    println!("Figure 10(a): memory ≈ {:.3e}·(#G+#W) + {:.3} MB,  R² = {:.3}", ms, mi, mr2);
-    println!("Figure 10(b): sec/it ≈ {:.3e}·(#G+#W) + {:.4} s,   R² = {:.3}", rs, ri, rr2);
+    println!(
+        "Figure 10(a): memory ≈ {:.3e}·(#G+#W) + {:.3} MB,  R² = {:.3}",
+        ms, mi, mr2
+    );
+    println!(
+        "Figure 10(b): sec/it ≈ {:.3e}·(#G+#W) + {:.4} s,   R² = {:.3}",
+        rs, ri, rr2
+    );
     println!();
     println!("the paper reports both curves to be approximately linear (1.0–2.1 MB and");
     println!("0–400 s/iteration on a 1999 UltraSPARC-I); only the linearity is comparable.");

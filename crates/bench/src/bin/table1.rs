@@ -37,9 +37,7 @@ fn main() {
         "Impr(%)   noise {:.2}%   delay {:.2}%   power {:.2}%   area {:.2}%",
         avg.noise_pct, avg.delay_pct, avg.power_pct, avg.area_pct
     );
-    println!(
-        "paper     noise 89.67%   delay 5.30%   power 86.82%   area 87.90%   (for reference)"
-    );
+    println!("paper     noise 89.67%   delay 5.30%   power 86.82%   area 87.90%   (for reference)");
 
     if let Ok(json) = serde_json::to_string_pretty(&reports) {
         let path = std::path::Path::new("target/table1_results.json");

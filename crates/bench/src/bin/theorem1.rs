@@ -11,7 +11,10 @@ use ncgws_coupling::{exact_factor, truncated_factor, truncation_error_ratio};
 fn main() {
     println!("Theorem 1 — truncation error of the posynomial coupling model");
     println!();
-    println!("{:>6} {:>6} {:>14} {:>14} {:>14}", "x", "k", "measured", "x^k (theory)", "paper bound");
+    println!(
+        "{:>6} {:>6} {:>14} {:>14} {:>14}",
+        "x", "k", "measured", "x^k (theory)", "paper bound"
+    );
     let paper_bounds = [(2usize, 0.063), (3, 0.016), (4, 0.004), (5, 0.001)];
     for &x in &[0.1, 0.25, 0.5] {
         for &(k, bound) in &paper_bounds {
@@ -19,7 +22,11 @@ fn main() {
             let approx = truncated_factor(x, k);
             let measured = (exact - approx) / exact;
             let theory = truncation_error_ratio(x, k);
-            let bound_col = if (x - 0.25).abs() < 1e-12 { format!("{bound:>14.4}") } else { format!("{:>14}", "-") };
+            let bound_col = if (x - 0.25).abs() < 1e-12 {
+                format!("{bound:>14.4}")
+            } else {
+                format!("{:>14}", "-")
+            };
             println!("{x:>6.2} {k:>6} {measured:>14.6} {theory:>14.6} {bound_col}");
         }
     }

@@ -25,13 +25,17 @@ use ncgws_netlist::{CircuitSpec, ProblemInstance, SyntheticGenerator};
 /// Generates the problem instance for a circuit specification, panicking on
 /// error (the harness only feeds it known-good specs).
 pub fn generate(spec: CircuitSpec) -> ProblemInstance {
-    SyntheticGenerator::new(spec).generate().expect("benchmark generation succeeds")
+    SyntheticGenerator::new(spec)
+        .generate()
+        .expect("benchmark generation succeeds")
 }
 
 /// Runs the full two-stage optimizer on an instance with the given
 /// configuration, panicking on error.
 pub fn optimize(instance: &ProblemInstance, config: OptimizerConfig) -> OptimizationOutcome {
-    Optimizer::new(config).run(instance).expect("optimization succeeds")
+    Optimizer::new(config)
+        .run(instance)
+        .expect("optimization succeeds")
 }
 
 /// The configuration used by the Table 1 / Figure 10 reproductions:
@@ -44,7 +48,9 @@ pub fn paper_config() -> OptimizerConfig {
 /// Returns `true` when the harness should only run a quick subset
 /// (environment variable `NCGWS_QUICK=1`), used to keep CI fast.
 pub fn quick_mode() -> bool {
-    std::env::var("NCGWS_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("NCGWS_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 #[cfg(test)]
@@ -57,7 +63,10 @@ mod tests {
         let instance = generate(CircuitSpec::new("harness", 30, 70).with_seed(2));
         let outcome = optimize(
             &instance,
-            OptimizerConfig { max_iterations: 20, ..paper_config() },
+            OptimizerConfig {
+                max_iterations: 20,
+                ..paper_config()
+            },
         );
         assert!(outcome.report.final_metrics.area_um2 > 0.0);
     }

@@ -97,7 +97,10 @@ impl CircuitBuilder {
     /// already used.
     pub fn add_driver(&mut self, name: &str, rd: f64) -> Result<BuildNode, CircuitError> {
         if !(rd.is_finite() && rd > 0.0) {
-            return Err(CircuitError::InvalidParameter { name: "driver_resistance", value: rd });
+            return Err(CircuitError::InvalidParameter {
+                name: "driver_resistance",
+                value: rd,
+            });
         }
         self.register_name(name)?;
         self.nodes.push(Node {
@@ -131,7 +134,10 @@ impl CircuitBuilder {
     /// already used.
     pub fn add_wire(&mut self, name: &str, length: f64) -> Result<BuildNode, CircuitError> {
         if !(length.is_finite() && length > 0.0) {
-            return Err(CircuitError::InvalidParameter { name: "length", value: length });
+            return Err(CircuitError::InvalidParameter {
+                name: "length",
+                value: length,
+            });
         }
         self.register_name(name)?;
         self.nodes.push(Node {
@@ -166,10 +172,17 @@ impl CircuitBuilder {
             });
         }
         if !(lower.is_finite() && lower > 0.0) {
-            return Err(CircuitError::InvalidParameter { name: "lower_bound", value: lower });
+            return Err(CircuitError::InvalidParameter {
+                name: "lower_bound",
+                value: lower,
+            });
         }
         if !(upper.is_finite() && upper >= lower) {
-            return Err(CircuitError::InvalidBounds { node: NodeId::new(node.0), lower, upper });
+            return Err(CircuitError::InvalidBounds {
+                node: NodeId::new(node.0),
+                lower,
+                upper,
+            });
         }
         n.attrs.lower_bound = lower;
         n.attrs.upper_bound = upper;
@@ -232,7 +245,10 @@ impl CircuitBuilder {
             return Err(CircuitError::UnknownNode(NodeId::new(node.0)));
         }
         if !(load.is_finite() && load >= 0.0) {
-            return Err(CircuitError::InvalidParameter { name: "output_load", value: load });
+            return Err(CircuitError::InvalidParameter {
+                name: "output_load",
+                value: load,
+            });
         }
         if self.nodes[node.0].kind.is_driver() {
             return Err(CircuitError::InvalidConnection {
@@ -253,12 +269,18 @@ impl CircuitBuilder {
     /// Returns an error if the graph is cyclic, has no drivers or primary
     /// outputs, or contains dangling components.
     pub fn build(self) -> Result<CircuitGraph, CircuitError> {
-        let CircuitBuilder { tech, nodes, edges, edge_set: _, names: _, output_loads } = self;
+        let CircuitBuilder {
+            tech,
+            nodes,
+            edges,
+            edge_set: _,
+            names: _,
+            output_loads,
+        } = self;
         tech.validate()?;
 
         let total = nodes.len();
-        let drivers: Vec<usize> =
-            (0..total).filter(|&i| nodes[i].kind.is_driver()).collect();
+        let drivers: Vec<usize> = (0..total).filter(|&i| nodes[i].kind.is_driver()).collect();
         if drivers.is_empty() {
             return Err(CircuitError::NoDrivers);
         }
@@ -336,8 +358,11 @@ impl CircuitBuilder {
         for &old in &ordered_old {
             let mut node = nodes[old].clone();
             if let Some(&load) = output_loads.get(&old) {
-                node.attrs.output_load =
-                    if load > 0.0 { load } else { tech.default_output_load };
+                node.attrs.output_load = if load > 0.0 {
+                    load
+                } else {
+                    tech.default_output_load
+                };
             }
             new_nodes.push(node);
         }
@@ -391,7 +416,10 @@ mod tests {
     fn rejects_duplicate_names() {
         let mut b = CircuitBuilder::new(tech());
         b.add_wire("w", 10.0).unwrap();
-        assert!(matches!(b.add_wire("w", 10.0), Err(CircuitError::DuplicateName(_))));
+        assert!(matches!(
+            b.add_wire("w", 10.0),
+            Err(CircuitError::DuplicateName(_))
+        ));
     }
 
     #[test]
@@ -413,7 +441,10 @@ mod tests {
         let w = b.add_wire("w", 10.0).unwrap();
         assert!(matches!(b.connect(w, w), Err(CircuitError::SelfLoop(_))));
         b.connect(d, w).unwrap();
-        assert!(matches!(b.connect(d, w), Err(CircuitError::DuplicateEdge(_, _))));
+        assert!(matches!(
+            b.connect(d, w),
+            Err(CircuitError::DuplicateEdge(_, _))
+        ));
     }
 
     #[test]
@@ -424,7 +455,10 @@ mod tests {
         let w = b.add_wire("w", 10.0).unwrap();
         assert!(b.connect(w, d).is_err());
         b.connect(d, w).unwrap();
-        assert!(matches!(b.connect(d2, w), Err(CircuitError::InvalidConnection { .. })));
+        assert!(matches!(
+            b.connect(d2, w),
+            Err(CircuitError::InvalidConnection { .. })
+        ));
     }
 
     #[test]
@@ -451,7 +485,10 @@ mod tests {
         b.connect(d, w).unwrap();
         b.connect_output(w, 5.0).unwrap();
         let err = b.build().unwrap_err();
-        assert!(matches!(err, CircuitError::DanglingInput(_) | CircuitError::DanglingOutput(_)));
+        assert!(matches!(
+            err,
+            CircuitError::DanglingInput(_) | CircuitError::DanglingOutput(_)
+        ));
     }
 
     #[test]

@@ -46,8 +46,13 @@ impl DownstreamCaps {
 
 /// Elmore delay analyzer bound to a circuit graph.
 ///
-/// All methods are linear in the number of nodes and edges; the sizing
-/// engine calls them once per LRS iteration.
+/// All methods are linear in the number of nodes and edges, but each call
+/// walks the pointer-rich graph and allocates its result vectors. This is
+/// the *allocate-per-call reference path*, kept verbatim as the oracle the
+/// allocation-free engine ([`DelayModel`](crate::DelayModel) over a
+/// [`CircuitTopology`](crate::CircuitTopology) with an
+/// [`EvalWorkspace`](crate::EvalWorkspace)) is checked against — the two
+/// must produce bitwise identical numbers. Hot loops should use the engine.
 #[derive(Debug, Clone, Copy)]
 pub struct ElmoreAnalyzer<'a> {
     graph: &'a CircuitGraph,
@@ -92,11 +97,7 @@ impl<'a> ElmoreAnalyzer<'a> {
     ///
     /// Panics in debug builds if `extra_cap` has the wrong length or `sizes`
     /// does not match the circuit.
-    pub fn downstream_caps(
-        &self,
-        sizes: &SizeVector,
-        extra_cap: Option<&[f64]>,
-    ) -> DownstreamCaps {
+    pub fn downstream_caps(&self, sizes: &SizeVector, extra_cap: Option<&[f64]>) -> DownstreamCaps {
         let g = self.graph;
         debug_assert_eq!(sizes.len(), g.num_components());
         if let Some(extra) = extra_cap {
@@ -172,11 +173,7 @@ impl<'a> ElmoreAnalyzer<'a> {
     /// # Panics
     ///
     /// Panics in debug builds if `weights` has the wrong length.
-    pub fn weighted_upstream_resistance(
-        &self,
-        sizes: &SizeVector,
-        weights: &[f64],
-    ) -> Vec<f64> {
+    pub fn weighted_upstream_resistance(&self, sizes: &SizeVector, weights: &[f64]) -> Vec<f64> {
         let g = self.graph;
         debug_assert_eq!(weights.len(), g.num_nodes());
         let n = g.num_nodes();
@@ -213,7 +210,7 @@ impl<'a> ElmoreAnalyzer<'a> {
 mod tests {
     use super::*;
     use crate::builder::CircuitBuilder;
-    use crate::node::GateKind;
+    use crate::node::{GateKind, NodeKind};
     use crate::tech::Technology;
 
     /// driver(100Ω) -> w1(len 100) -> g1 -> w2(len 200) -> out(5 fF)

@@ -1,0 +1,827 @@
+//! The reusable evaluation engine: pluggable delay models over dense
+//! circuit state, plus a pre-sized scratch workspace.
+//!
+//! The sizing engine evaluates the same per-node quantities (downstream
+//! capacitances, weighted upstream resistances, delays, arrival times)
+//! thousands of times per optimization run. The original free-function
+//! style ([`ElmoreAnalyzer`](crate::ElmoreAnalyzer)) walks the pointer-rich
+//! [`CircuitGraph`] (`Vec<Vec<NodeId>>` adjacency, `Node` structs whose
+//! inline `String` names spread the numeric fields across cache lines) and
+//! allocates fresh result vectors on every call, so the constant factor of
+//! the paper's `O(V + E + P)` sweep is dominated by cache misses and the
+//! allocator rather than the arithmetic. This module is the replacement:
+//!
+//! * [`DelayModel`] — the backend trait. A model *prepares* dense immutable
+//!   per-circuit state once ([`DelayModel::prepare`]) and then fills
+//!   caller-provided slices with no allocation. [`ElmoreModel`] is the first
+//!   (and the paper's) backend; future backends (higher-order delay models,
+//!   sharded evaluation) plug in here.
+//! * [`CircuitTopology`] — the Elmore model's prepared state: CSR adjacency
+//!   plus flat per-node RC coefficient arrays.
+//! * [`EvalWorkspace`] — one bundle of dense scratch buffers, sized once per
+//!   circuit and reused for every evaluation.
+//!
+//! All arithmetic is performed in exactly the same order as the
+//! `ElmoreAnalyzer` reference path, so results are bitwise identical
+//! between the two — pinned down by the unit tests below and the
+//! `property_eval_engine` integration test at the workspace root.
+
+use crate::graph::CircuitGraph;
+use crate::id::NodeId;
+use crate::node::NodeKind;
+use crate::sizing::SizeVector;
+
+/// Sentinel for "no predecessor" in dense predecessor arrays.
+pub const NO_PRED: usize = usize::MAX;
+
+/// Sentinel for "not a sizable component" in dense component-index arrays.
+const NOT_SIZABLE: usize = usize::MAX;
+
+/// A delay-model backend: computes per-node electrical quantities into
+/// caller-provided dense slices (indexed by raw node index), reading only
+/// immutable state prepared once per circuit.
+pub trait DelayModel: std::fmt::Debug {
+    /// Dense per-circuit state prepared once and reused by every call.
+    type State: std::fmt::Debug + Clone;
+
+    /// Builds the model's dense state for a circuit.
+    fn prepare(&self, graph: &CircuitGraph) -> Self::State;
+
+    /// Bytes held by a prepared state (for memory accounting). Defaults to
+    /// zero for stateless backends.
+    fn state_memory_bytes(&self, _state: &Self::State) -> usize {
+        0
+    }
+
+    /// Computes `C_i` (`charged`) and the load each node presents to its
+    /// stage parent (`presented`) for every node, by one reverse-topological
+    /// traversal.
+    ///
+    /// `extra_cap`, when provided, holds one value per node and is added on
+    /// the downstream side of that node (the coupling load).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when a slice length does not match the circuit.
+    fn downstream_caps_into(
+        &self,
+        state: &Self::State,
+        sizes: &SizeVector,
+        extra_cap: Option<&[f64]>,
+        charged: &mut [f64],
+        presented: &mut [f64],
+    );
+
+    /// Computes the λ-weighted upstream resistance `R_i` of Theorem 5 for
+    /// every node into `upstream`. `weights` holds `λ_k` per raw node index.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when a slice length does not match the circuit.
+    fn upstream_resistance_into(
+        &self,
+        state: &Self::State,
+        sizes: &SizeVector,
+        weights: &[f64],
+        upstream: &mut [f64],
+    );
+
+    /// Computes the per-component delays `D_i` from precomputed charged
+    /// capacitances into `delays` (zero for source and sink).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when a slice length does not match the circuit.
+    fn delays_into(
+        &self,
+        state: &Self::State,
+        sizes: &SizeVector,
+        charged: &[f64],
+        delays: &mut [f64],
+    );
+}
+
+/// Compact per-node role tag used by [`CircuitTopology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum KindTag {
+    /// The artificial source.
+    Source,
+    /// An input driver.
+    Driver,
+    /// A sizable gate.
+    Gate,
+    /// A sizable wire.
+    Wire,
+    /// The artificial sink.
+    Sink,
+}
+
+/// Dense, cache-friendly snapshot of a circuit: CSR adjacency plus flat
+/// per-node RC coefficient arrays. Immutable once built; this is the
+/// "dense-indexed state owned by the engine" that the hot loops traverse
+/// instead of the pointer-rich [`CircuitGraph`].
+#[derive(Debug, Clone)]
+pub struct CircuitTopology {
+    num_components: usize,
+    kind: Vec<KindTag>,
+    /// Dense component index per node ([`NOT_SIZABLE`] for the rest).
+    comp_of: Vec<usize>,
+    /// `r̂` for gates/wires, `R_D` for drivers, zero otherwise.
+    unit_resistance: Vec<f64>,
+    /// `ĉ` for gates/wires, zero otherwise.
+    unit_capacitance: Vec<f64>,
+    /// `f` for wires, zero otherwise.
+    fringing: Vec<f64>,
+    /// Primary-output load per node (zero when the node drives no output).
+    output_load: Vec<f64>,
+    fanout_start: Vec<u32>,
+    fanout_list: Vec<u32>,
+    fanin_start: Vec<u32>,
+    fanin_list: Vec<u32>,
+}
+
+impl CircuitTopology {
+    /// Builds the dense snapshot of a circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has more than `u32::MAX` nodes or edges (the
+    /// CSR lists store 32-bit indices; the unchecked hot loops rely on the
+    /// casts below being lossless).
+    pub fn new(graph: &CircuitGraph) -> Self {
+        let n = graph.num_nodes();
+        assert!(
+            n <= u32::MAX as usize,
+            "circuit too large for 32-bit CSR node indices"
+        );
+        assert!(
+            graph.num_edges() <= u32::MAX as usize,
+            "circuit too large for 32-bit CSR edge offsets"
+        );
+        let mut kind = Vec::with_capacity(n);
+        let mut comp_of = Vec::with_capacity(n);
+        let mut unit_resistance = Vec::with_capacity(n);
+        let mut unit_capacitance = Vec::with_capacity(n);
+        let mut fringing = Vec::with_capacity(n);
+        let mut output_load = Vec::with_capacity(n);
+        let mut fanout_start = Vec::with_capacity(n + 1);
+        let mut fanout_list = Vec::new();
+        let mut fanin_start = Vec::with_capacity(n + 1);
+        let mut fanin_list = Vec::new();
+
+        for id in graph.node_ids() {
+            let node = graph.node(id);
+            kind.push(match node.kind {
+                NodeKind::Source => KindTag::Source,
+                NodeKind::Driver => KindTag::Driver,
+                NodeKind::Gate(_) => KindTag::Gate,
+                NodeKind::Wire => KindTag::Wire,
+                NodeKind::Sink => KindTag::Sink,
+            });
+            comp_of.push(graph.component_index(id).unwrap_or(NOT_SIZABLE));
+            unit_resistance.push(match node.kind {
+                NodeKind::Driver => node.attrs.driver_resistance,
+                NodeKind::Gate(_) | NodeKind::Wire => node.attrs.unit_resistance,
+                _ => 0.0,
+            });
+            unit_capacitance.push(node.attrs.unit_capacitance);
+            fringing.push(node.attrs.fringing_capacitance);
+            output_load.push(node.attrs.output_load);
+            fanout_start.push(fanout_list.len() as u32);
+            fanout_list.extend(graph.fanout(id).iter().map(|succ| succ.index() as u32));
+            fanin_start.push(fanin_list.len() as u32);
+            fanin_list.extend(graph.fanin(id).iter().map(|pred| pred.index() as u32));
+        }
+        fanout_start.push(fanout_list.len() as u32);
+        fanin_start.push(fanin_list.len() as u32);
+
+        CircuitTopology {
+            num_components: graph.num_components(),
+            kind,
+            comp_of,
+            unit_resistance,
+            unit_capacitance,
+            fringing,
+            output_load,
+            fanout_start,
+            fanout_list,
+            fanin_start,
+            fanin_list,
+        }
+    }
+
+    /// Number of nodes in the snapshot.
+    pub fn num_nodes(&self) -> usize {
+        self.kind.len()
+    }
+
+    /// Fanout (successor) node indices of node `idx`.
+    #[inline(always)]
+    pub fn fanout(&self, idx: usize) -> &[u32] {
+        &self.fanout_list[self.fanout_start[idx] as usize..self.fanout_start[idx + 1] as usize]
+    }
+
+    /// Fanin (predecessor) node indices of node `idx`.
+    #[inline(always)]
+    pub fn fanin(&self, idx: usize) -> &[u32] {
+        &self.fanin_list[self.fanin_start[idx] as usize..self.fanin_start[idx + 1] as usize]
+    }
+
+    /// The role of node `idx`.
+    #[inline(always)]
+    pub fn kind(&self, idx: usize) -> KindTag {
+        self.kind[idx]
+    }
+
+    /// Size of node `idx` under `sizes` (1.0 for non-sizable nodes), exactly
+    /// as [`CircuitGraph::size_of`].
+    #[inline(always)]
+    pub fn size_of(&self, idx: usize, sizes: &SizeVector) -> f64 {
+        let comp = self.comp_of[idx];
+        if comp == NOT_SIZABLE {
+            1.0
+        } else {
+            sizes[comp]
+        }
+    }
+
+    /// Resistance of node `idx`, exactly as `Node::resistance`.
+    #[inline(always)]
+    pub fn resistance(&self, idx: usize, sizes: &SizeVector) -> f64 {
+        match self.kind[idx] {
+            KindTag::Driver => self.unit_resistance[idx],
+            KindTag::Gate | KindTag::Wire => {
+                let x = self.size_of(idx, sizes);
+                if x > 0.0 {
+                    self.unit_resistance[idx] / x
+                } else {
+                    f64::INFINITY
+                }
+            }
+            KindTag::Source | KindTag::Sink => 0.0,
+        }
+    }
+
+    /// Capacitance of node `idx` (excluding coupling), exactly as
+    /// `Node::capacitance`.
+    #[inline(always)]
+    pub fn capacitance(&self, idx: usize, sizes: &SizeVector) -> f64 {
+        match self.kind[idx] {
+            KindTag::Gate => self.unit_capacitance[idx] * self.size_of(idx, sizes),
+            KindTag::Wire => {
+                self.unit_capacitance[idx] * self.size_of(idx, sizes) + self.fringing[idx]
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Asserts the slice-length invariants the unchecked hot loops rely on.
+    /// Every node index stored in the CSR lists and `comp_of` is in range by
+    /// construction (the topology is built from a validated graph and is
+    /// immutable), so after these checks the per-element indexing below
+    /// cannot go out of bounds.
+    #[inline]
+    fn assert_node_slices(&self, slices: &[(&str, usize)]) {
+        let n = self.num_nodes();
+        for (name, len) in slices {
+            assert_eq!(*len, n, "{name} must have one entry per node");
+        }
+    }
+
+    /// Size of node `idx` (1.0 for non-sizable nodes) over a raw size slice.
+    ///
+    /// # Safety
+    ///
+    /// `idx < num_nodes` and `sizes.len() == num_components`.
+    #[inline(always)]
+    unsafe fn size_of_unchecked(&self, idx: usize, sizes: &[f64]) -> f64 {
+        let comp = *self.comp_of.get_unchecked(idx);
+        if comp == NOT_SIZABLE {
+            1.0
+        } else {
+            *sizes.get_unchecked(comp)
+        }
+    }
+
+    /// Resistance of node `idx`, exactly as `Node::resistance`.
+    ///
+    /// # Safety
+    ///
+    /// `idx < num_nodes` and `sizes.len() == num_components`.
+    #[inline(always)]
+    unsafe fn resistance_unchecked(&self, idx: usize, sizes: &[f64]) -> f64 {
+        match *self.kind.get_unchecked(idx) {
+            KindTag::Driver => *self.unit_resistance.get_unchecked(idx),
+            KindTag::Gate | KindTag::Wire => {
+                let x = self.size_of_unchecked(idx, sizes);
+                if x > 0.0 {
+                    *self.unit_resistance.get_unchecked(idx) / x
+                } else {
+                    f64::INFINITY
+                }
+            }
+            KindTag::Source | KindTag::Sink => 0.0,
+        }
+    }
+
+    /// Capacitance of node `idx`, exactly as `Node::capacitance`.
+    ///
+    /// # Safety
+    ///
+    /// `idx < num_nodes` and `sizes.len() == num_components`.
+    #[inline(always)]
+    unsafe fn capacitance_unchecked(&self, idx: usize, sizes: &[f64]) -> f64 {
+        match *self.kind.get_unchecked(idx) {
+            KindTag::Gate => {
+                *self.unit_capacitance.get_unchecked(idx) * self.size_of_unchecked(idx, sizes)
+            }
+            KindTag::Wire => {
+                *self.unit_capacitance.get_unchecked(idx) * self.size_of_unchecked(idx, sizes)
+                    + *self.fringing.get_unchecked(idx)
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Fanout slice of node `idx` without bounds checks.
+    ///
+    /// # Safety
+    ///
+    /// `idx < num_nodes`; the CSR offsets are valid by construction.
+    #[inline(always)]
+    unsafe fn fanout_unchecked(&self, idx: usize) -> &[u32] {
+        let start = *self.fanout_start.get_unchecked(idx) as usize;
+        let end = *self.fanout_start.get_unchecked(idx + 1) as usize;
+        self.fanout_list.get_unchecked(start..end)
+    }
+
+    /// Fanin slice of node `idx` without bounds checks.
+    ///
+    /// # Safety
+    ///
+    /// `idx < num_nodes`; the CSR offsets are valid by construction.
+    #[inline(always)]
+    unsafe fn fanin_unchecked(&self, idx: usize) -> &[u32] {
+        let start = *self.fanin_start.get_unchecked(idx) as usize;
+        let end = *self.fanin_start.get_unchecked(idx + 1) as usize;
+        self.fanin_list.get_unchecked(start..end)
+    }
+
+    /// `child_load` over raw slices without bounds checks.
+    ///
+    /// # Safety
+    ///
+    /// `parent` and `child` are valid node indices; `sizes.len() ==
+    /// num_components`; `presented.len() == num_nodes`.
+    #[inline(always)]
+    unsafe fn child_load_unchecked(
+        &self,
+        parent: usize,
+        child: usize,
+        sizes: &[f64],
+        presented: &[f64],
+    ) -> f64 {
+        match *self.kind.get_unchecked(child) {
+            KindTag::Sink => *self.output_load.get_unchecked(parent),
+            KindTag::Gate => self.capacitance_unchecked(child, sizes),
+            KindTag::Wire => *presented.get_unchecked(child),
+            // Drivers and the source can never be fanout children.
+            KindTag::Driver | KindTag::Source => 0.0,
+        }
+    }
+
+    /// Bytes held by the snapshot (for memory accounting).
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.kind.capacity() * size_of::<KindTag>()
+            + self.comp_of.capacity() * size_of::<usize>()
+            + (self.unit_resistance.capacity()
+                + self.unit_capacitance.capacity()
+                + self.fringing.capacity()
+                + self.output_load.capacity())
+                * size_of::<f64>()
+            + (self.fanout_start.capacity()
+                + self.fanout_list.capacity()
+                + self.fanin_start.capacity()
+                + self.fanin_list.capacity())
+                * size_of::<u32>()
+            + size_of::<Self>()
+    }
+}
+
+/// The Elmore delay model of the paper's Section 2.1 (stage-bounded RC
+/// stages, wire π-model), evaluated over a [`CircuitTopology`]. See the
+/// crate-level documentation for the modelling conventions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ElmoreModel;
+
+impl DelayModel for ElmoreModel {
+    type State = CircuitTopology;
+
+    fn prepare(&self, graph: &CircuitGraph) -> CircuitTopology {
+        CircuitTopology::new(graph)
+    }
+
+    fn state_memory_bytes(&self, state: &CircuitTopology) -> usize {
+        state.memory_bytes()
+    }
+
+    fn downstream_caps_into(
+        &self,
+        topo: &CircuitTopology,
+        sizes: &SizeVector,
+        extra_cap: Option<&[f64]>,
+        charged: &mut [f64],
+        presented: &mut [f64],
+    ) {
+        let n = topo.num_nodes();
+        topo.assert_node_slices(&[("charged", charged.len()), ("presented", presented.len())]);
+        assert_eq!(
+            sizes.len(),
+            topo.num_components,
+            "sizes must match the circuit"
+        );
+        if let Some(extra) = extra_cap {
+            topo.assert_node_slices(&[("extra_cap", extra.len())]);
+        }
+        let sizes = sizes.as_slice();
+
+        for idx in (0..n).rev() {
+            // SAFETY: `idx < n`, all slice lengths asserted above, and every
+            // index stored in the topology is in range by construction.
+            unsafe {
+                let extra = extra_cap.map(|e| *e.get_unchecked(idx)).unwrap_or(0.0);
+                match *topo.kind.get_unchecked(idx) {
+                    KindTag::Source | KindTag::Sink => {
+                        *charged.get_unchecked_mut(idx) = 0.0;
+                        *presented.get_unchecked_mut(idx) = 0.0;
+                    }
+                    KindTag::Driver => {
+                        let mut c = 0.0;
+                        for &child in topo.fanout_unchecked(idx) {
+                            c += topo.child_load_unchecked(idx, child as usize, sizes, presented);
+                        }
+                        c += extra;
+                        *charged.get_unchecked_mut(idx) = c;
+                        *presented.get_unchecked_mut(idx) = 0.0;
+                    }
+                    KindTag::Gate => {
+                        let mut c = 0.0;
+                        for &child in topo.fanout_unchecked(idx) {
+                            c += topo.child_load_unchecked(idx, child as usize, sizes, presented);
+                        }
+                        // Coupling on a gate output (rare, but allowed) loads the stage.
+                        c += extra;
+                        *charged.get_unchecked_mut(idx) = c;
+                        *presented.get_unchecked_mut(idx) = topo.capacitance_unchecked(idx, sizes);
+                    }
+                    KindTag::Wire => {
+                        let own = topo.capacitance_unchecked(idx, sizes);
+                        let mut downstream = 0.0;
+                        for &child in topo.fanout_unchecked(idx) {
+                            downstream +=
+                                topo.child_load_unchecked(idx, child as usize, sizes, presented);
+                        }
+                        // π-model: the far half of the wire's own capacitance plus
+                        // all coupling capacitance is charged through r_i.
+                        *charged.get_unchecked_mut(idx) = own / 2.0 + extra + downstream;
+                        // The full wire capacitance loads everything upstream.
+                        *presented.get_unchecked_mut(idx) = own + extra + downstream;
+                    }
+                }
+            }
+        }
+    }
+
+    fn upstream_resistance_into(
+        &self,
+        topo: &CircuitTopology,
+        sizes: &SizeVector,
+        weights: &[f64],
+        upstream: &mut [f64],
+    ) {
+        let n = topo.num_nodes();
+        topo.assert_node_slices(&[("weights", weights.len()), ("upstream", upstream.len())]);
+        assert_eq!(
+            sizes.len(),
+            topo.num_components,
+            "sizes must match the circuit"
+        );
+        let sizes = sizes.as_slice();
+        for idx in 0..n {
+            // SAFETY: `idx < n`, all slice lengths asserted above, and every
+            // index stored in the topology is in range by construction.
+            unsafe {
+                let mut acc = 0.0;
+                for &pred in topo.fanin_unchecked(idx) {
+                    let p = pred as usize;
+                    match *topo.kind.get_unchecked(p) {
+                        KindTag::Source => {}
+                        KindTag::Driver | KindTag::Gate => {
+                            acc += *weights.get_unchecked(p) * topo.resistance_unchecked(p, sizes);
+                        }
+                        KindTag::Wire => {
+                            acc += *upstream.get_unchecked(p)
+                                + *weights.get_unchecked(p) * topo.resistance_unchecked(p, sizes);
+                        }
+                        KindTag::Sink => unreachable!("sink has no fanout"),
+                    }
+                }
+                *upstream.get_unchecked_mut(idx) = acc;
+            }
+        }
+    }
+
+    fn delays_into(
+        &self,
+        topo: &CircuitTopology,
+        sizes: &SizeVector,
+        charged: &[f64],
+        delays: &mut [f64],
+    ) {
+        let n = topo.num_nodes();
+        topo.assert_node_slices(&[("charged", charged.len()), ("delays", delays.len())]);
+        assert_eq!(
+            sizes.len(),
+            topo.num_components,
+            "sizes must match the circuit"
+        );
+        let sizes = sizes.as_slice();
+        for idx in 0..n {
+            // SAFETY: `idx < n`, slice lengths asserted above.
+            unsafe {
+                *delays.get_unchecked_mut(idx) = match *topo.kind.get_unchecked(idx) {
+                    KindTag::Source | KindTag::Sink => 0.0,
+                    _ => topo.resistance_unchecked(idx, sizes) * *charged.get_unchecked(idx),
+                };
+            }
+        }
+    }
+}
+
+/// Pre-sized dense scratch buffers for one circuit, reused across every
+/// evaluation so the hot loops never touch the allocator.
+///
+/// Per-node buffers are indexed by raw node index, per-component buffers by
+/// the graph's dense component index. The workspace is deliberately dumb —
+/// all semantics live in the [`DelayModel`] backends and the solvers that
+/// drive them.
+#[derive(Debug, Clone)]
+pub struct EvalWorkspace {
+    /// `C_i` per node: capacitance charged through the node's resistance.
+    pub charged: Vec<f64>,
+    /// Load each node presents to its stage parent, per node.
+    pub presented: Vec<f64>,
+    /// λ-weighted upstream resistance `R_i` per node.
+    pub upstream: Vec<f64>,
+    /// Extra (coupling) capacitance per node, filled by the coupling layer.
+    pub extra_cap: Vec<f64>,
+    /// Per-component Elmore delays `D_i`, per node.
+    pub delays: Vec<f64>,
+    /// Arrival times `a_i` per node.
+    pub arrival: Vec<f64>,
+    /// Node delay weights `λ_i` per node.
+    pub node_weights: Vec<f64>,
+    /// Previous-sweep sizes scratch, per dense component index.
+    pub prev_sizes: Vec<f64>,
+    /// Critical-path predecessor per node ([`NO_PRED`] when none).
+    pub pred: Vec<usize>,
+    /// One critical path (driver → primary-output driver); capacity is
+    /// reserved for the longest possible path so pushes never reallocate.
+    pub critical_path: Vec<NodeId>,
+}
+
+impl EvalWorkspace {
+    /// Creates a workspace sized for `graph`.
+    pub fn new(graph: &CircuitGraph) -> Self {
+        let n = graph.num_nodes();
+        EvalWorkspace {
+            charged: vec![0.0; n],
+            presented: vec![0.0; n],
+            upstream: vec![0.0; n],
+            extra_cap: vec![0.0; n],
+            delays: vec![0.0; n],
+            arrival: vec![0.0; n],
+            node_weights: vec![0.0; n],
+            prev_sizes: vec![0.0; graph.num_components()],
+            pred: vec![NO_PRED; n],
+            critical_path: Vec::with_capacity(n),
+        }
+    }
+
+    /// Total bytes held by the workspace buffers (for memory accounting).
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        (self.charged.capacity()
+            + self.presented.capacity()
+            + self.upstream.capacity()
+            + self.extra_cap.capacity()
+            + self.delays.capacity()
+            + self.arrival.capacity()
+            + self.node_weights.capacity()
+            + self.prev_sizes.capacity())
+            * size_of::<f64>()
+            + self.pred.capacity() * size_of::<usize>()
+            + self.critical_path.capacity() * size_of::<NodeId>()
+            + size_of::<Self>()
+    }
+}
+
+/// Propagates arrival times from precomputed delays and extracts one
+/// critical path, writing only into the provided buffers. Returns the
+/// critical-path delay.
+///
+/// This is the allocation-free core of
+/// [`TimingAnalysis::from_delays`](crate::TimingAnalysis::from_delays); it is
+/// shared by both the reference and engine paths (arrival propagation is
+/// model-independent and runs once per outer iteration, not per sweep).
+///
+/// # Panics
+///
+/// Panics in debug builds when a slice length does not match the circuit.
+pub fn propagate_arrivals_into(
+    graph: &CircuitGraph,
+    delays: &[f64],
+    arrival: &mut [f64],
+    pred: &mut [usize],
+    critical_path: &mut Vec<NodeId>,
+) -> f64 {
+    let n = graph.num_nodes();
+    debug_assert_eq!(delays.len(), n);
+    debug_assert_eq!(arrival.len(), n);
+    debug_assert_eq!(pred.len(), n);
+
+    for id in graph.node_ids() {
+        let idx = id.index();
+        pred[idx] = NO_PRED;
+        match graph.node(id).kind {
+            NodeKind::Source => arrival[idx] = 0.0,
+            NodeKind::Sink => {
+                let mut best = 0.0;
+                let mut best_pred = NO_PRED;
+                for &j in graph.fanin(id) {
+                    if arrival[j.index()] >= best {
+                        best = arrival[j.index()];
+                        best_pred = j.index();
+                    }
+                }
+                arrival[idx] = best;
+                pred[idx] = best_pred;
+            }
+            NodeKind::Driver => {
+                arrival[idx] = delays[idx];
+            }
+            NodeKind::Gate(_) | NodeKind::Wire => {
+                let mut best = 0.0;
+                let mut best_pred = NO_PRED;
+                for &j in graph.fanin(id) {
+                    if j == graph.source() {
+                        continue;
+                    }
+                    if arrival[j.index()] >= best {
+                        best = arrival[j.index()];
+                        best_pred = j.index();
+                    }
+                }
+                arrival[idx] = best + delays[idx];
+                pred[idx] = best_pred;
+            }
+        }
+    }
+
+    let critical_path_delay = arrival[graph.sink().index()];
+    critical_path.clear();
+    let mut cursor = pred[graph.sink().index()];
+    while cursor != NO_PRED {
+        critical_path.push(NodeId::new(cursor));
+        cursor = pred[cursor];
+    }
+    critical_path.reverse();
+    critical_path_delay
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+    use crate::elmore::ElmoreAnalyzer;
+    use crate::node::GateKind;
+    use crate::tech::Technology;
+    use crate::timing::TimingAnalysis;
+
+    fn chain() -> CircuitGraph {
+        let mut b = CircuitBuilder::new(Technology::dac99());
+        let d = b.add_driver("d", 100.0).unwrap();
+        let d2 = b.add_driver("d2", 80.0).unwrap();
+        let w1 = b.add_wire("w1", 100.0).unwrap();
+        let w2 = b.add_wire("w2", 150.0).unwrap();
+        let g1 = b.add_gate("g1", GateKind::Nand).unwrap();
+        let w3 = b.add_wire("w3", 200.0).unwrap();
+        b.connect(d, w1).unwrap();
+        b.connect(d2, w2).unwrap();
+        b.connect(w1, g1).unwrap();
+        b.connect(w2, g1).unwrap();
+        b.connect(g1, w3).unwrap();
+        b.connect_output(w3, 5.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn model_matches_analyzer_bitwise() {
+        let c = chain();
+        let sizes = c.uniform_sizes(1.3);
+        let analyzer = ElmoreAnalyzer::new(&c);
+        let mut ws = EvalWorkspace::new(&c);
+        let model = ElmoreModel;
+        let topo = model.prepare(&c);
+
+        let mut extra = vec![0.0; c.num_nodes()];
+        extra[c.node_by_name("w1").unwrap().index()] = 3.5;
+
+        let caps = analyzer.downstream_caps(&sizes, Some(&extra));
+        model.downstream_caps_into(
+            &topo,
+            &sizes,
+            Some(&extra),
+            &mut ws.charged,
+            &mut ws.presented,
+        );
+        assert_eq!(caps.charged, ws.charged);
+        assert_eq!(caps.presented, ws.presented);
+
+        let weights = vec![0.7; c.num_nodes()];
+        let upstream = analyzer.weighted_upstream_resistance(&sizes, &weights);
+        model.upstream_resistance_into(&topo, &sizes, &weights, &mut ws.upstream);
+        assert_eq!(upstream, ws.upstream);
+
+        let delays = analyzer.delays(&sizes, Some(&extra));
+        model.delays_into(&topo, &sizes, &ws.charged, &mut ws.delays);
+        assert_eq!(delays, ws.delays);
+    }
+
+    #[test]
+    fn arrival_propagation_matches_timing_analysis() {
+        let c = chain();
+        let sizes = c.uniform_sizes(2.0);
+        let reference = TimingAnalysis::run(&c, &sizes, None);
+
+        let mut ws = EvalWorkspace::new(&c);
+        let model = ElmoreModel;
+        let topo = model.prepare(&c);
+        model.downstream_caps_into(&topo, &sizes, None, &mut ws.charged, &mut ws.presented);
+        model.delays_into(&topo, &sizes, &ws.charged, &mut ws.delays);
+
+        let delay = propagate_arrivals_into(
+            &c,
+            &ws.delays,
+            &mut ws.arrival,
+            &mut ws.pred,
+            &mut ws.critical_path,
+        );
+        assert_eq!(delay, reference.critical_path_delay);
+        assert_eq!(ws.arrival, reference.arrival.values);
+        assert_eq!(ws.critical_path, reference.critical_path);
+    }
+
+    #[test]
+    fn topology_mirrors_graph_adjacency() {
+        let c = chain();
+        let topo = CircuitTopology::new(&c);
+        assert_eq!(topo.num_nodes(), c.num_nodes());
+        for id in c.node_ids() {
+            let fanout: Vec<usize> = topo
+                .fanout(id.index())
+                .iter()
+                .map(|&x| x as usize)
+                .collect();
+            let expected: Vec<usize> = c.fanout(id).iter().map(|n| n.index()).collect();
+            assert_eq!(fanout, expected);
+            let fanin: Vec<usize> = topo.fanin(id.index()).iter().map(|&x| x as usize).collect();
+            let expected: Vec<usize> = c.fanin(id).iter().map(|n| n.index()).collect();
+            assert_eq!(fanin, expected);
+        }
+        let sizes = c.uniform_sizes(1.7);
+        for id in c.node_ids() {
+            assert_eq!(
+                topo.resistance(id.index(), &sizes),
+                c.resistance(id, &sizes)
+            );
+            assert_eq!(
+                topo.capacitance(id.index(), &sizes),
+                c.capacitance(id, &sizes)
+            );
+        }
+        assert!(topo.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn workspace_buffers_are_sized_for_the_circuit() {
+        let c = chain();
+        let ws = EvalWorkspace::new(&c);
+        assert_eq!(ws.charged.len(), c.num_nodes());
+        assert_eq!(ws.prev_sizes.len(), c.num_components());
+        assert!(ws.critical_path.capacity() >= c.num_nodes());
+        assert!(ws.memory_bytes() > 0);
+    }
+}

@@ -73,10 +73,16 @@ impl fmt::Display for CircuitError {
             CircuitError::DanglingInput(id) => write!(f, "component {id} has no fanin"),
             CircuitError::DanglingOutput(id) => write!(f, "component {id} has no fanout"),
             CircuitError::InvalidParameter { name, value } => {
-                write!(f, "parameter {name} must be positive and finite, got {value}")
+                write!(
+                    f,
+                    "parameter {name} must be positive and finite, got {value}"
+                )
             }
             CircuitError::SizeLengthMismatch { expected, actual } => {
-                write!(f, "size vector length {actual} does not match {expected} components")
+                write!(
+                    f,
+                    "size vector length {actual} does not match {expected} components"
+                )
             }
             CircuitError::InvalidBounds { node, lower, upper } => {
                 write!(f, "node {node} has inverted size bounds [{lower}, {upper}]")
@@ -103,9 +109,19 @@ mod tests {
             CircuitError::CyclicGraph,
             CircuitError::DanglingInput(NodeId::new(5)),
             CircuitError::DanglingOutput(NodeId::new(6)),
-            CircuitError::InvalidParameter { name: "length", value: -1.0 },
-            CircuitError::SizeLengthMismatch { expected: 4, actual: 2 },
-            CircuitError::InvalidBounds { node: NodeId::new(2), lower: 3.0, upper: 1.0 },
+            CircuitError::InvalidParameter {
+                name: "length",
+                value: -1.0,
+            },
+            CircuitError::SizeLengthMismatch {
+                expected: 4,
+                actual: 2,
+            },
+            CircuitError::InvalidBounds {
+                node: NodeId::new(2),
+                lower: 3.0,
+                upper: 1.0,
+            },
             CircuitError::NoPrimaryOutputs,
             CircuitError::NoDrivers,
             CircuitError::DuplicateName("w1".to_string()),

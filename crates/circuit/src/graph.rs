@@ -53,7 +53,15 @@ impl CircuitGraph {
             .enumerate()
             .map(|(i, node)| (node.name.clone(), NodeId::new(i)))
             .collect();
-        CircuitGraph { nodes, fanin, fanout, tech, num_drivers, num_sizable, name_index }
+        CircuitGraph {
+            nodes,
+            fanin,
+            fanout,
+            tech,
+            num_drivers,
+            num_sizable,
+            name_index,
+        }
     }
 
     /// The technology parameters of this circuit.
@@ -78,12 +86,16 @@ impl CircuitGraph {
 
     /// Number of gates.
     pub fn num_gates(&self) -> usize {
-        self.component_ids().filter(|&id| self.node(id).kind.is_gate()).count()
+        self.component_ids()
+            .filter(|&id| self.node(id).kind.is_gate())
+            .count()
     }
 
     /// Number of wires.
     pub fn num_wires(&self) -> usize {
-        self.component_ids().filter(|&id| self.node(id).kind.is_wire()).count()
+        self.component_ids()
+            .filter(|&id| self.node(id).kind.is_wire())
+            .count()
     }
 
     /// The artificial source node `~s` (always node 0).
@@ -139,12 +151,14 @@ impl CircuitGraph {
 
     /// Iterator over wire component identifiers.
     pub fn wire_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.component_ids().filter(move |&id| self.node(id).kind.is_wire())
+        self.component_ids()
+            .filter(move |&id| self.node(id).kind.is_wire())
     }
 
     /// Iterator over gate component identifiers.
     pub fn gate_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.component_ids().filter(move |&id| self.node(id).kind.is_gate())
+        self.component_ids()
+            .filter(move |&id| self.node(id).kind.is_gate())
     }
 
     /// Maps a node identifier to its dense index in a [`SizeVector`]
@@ -189,15 +203,19 @@ impl CircuitGraph {
     /// A [`SizeVector`] with every component at its lower bound (the LRS
     /// subroutine's starting point, step S1 of Figure 8).
     pub fn minimum_sizes(&self) -> SizeVector {
-        let values =
-            self.component_ids().map(|id| self.node(id).attrs.lower_bound).collect::<Vec<_>>();
+        let values = self
+            .component_ids()
+            .map(|id| self.node(id).attrs.lower_bound)
+            .collect::<Vec<_>>();
         SizeVector::new(values)
     }
 
     /// A [`SizeVector`] with every component at its upper bound.
     pub fn maximum_sizes(&self) -> SizeVector {
-        let values =
-            self.component_ids().map(|id| self.node(id).attrs.upper_bound).collect::<Vec<_>>();
+        let values = self
+            .component_ids()
+            .map(|id| self.node(id).attrs.upper_bound)
+            .collect::<Vec<_>>();
         SizeVector::new(values)
     }
 
@@ -238,7 +256,10 @@ impl CircuitGraph {
         const TOL: f64 = 1e-9;
         for (idx, &x) in sizes.iter().enumerate() {
             if !x.is_finite() || x <= 0.0 {
-                return Err(CircuitError::InvalidParameter { name: "size", value: x });
+                return Err(CircuitError::InvalidParameter {
+                    name: "size",
+                    value: x,
+                });
             }
             let id = self.component_id(idx);
             let attrs = &self.node(id).attrs;
@@ -262,8 +283,11 @@ impl CircuitGraph {
     /// structures, used by the Figure 10(a) reproduction.
     pub fn memory_bytes(&self) -> usize {
         use std::mem::size_of;
-        let node_bytes: usize =
-            self.nodes.iter().map(|n| size_of::<Node>() + n.name.capacity()).sum();
+        let node_bytes: usize = self
+            .nodes
+            .iter()
+            .map(|n| size_of::<Node>() + n.name.capacity())
+            .sum();
         let adj_bytes: usize = self
             .fanin
             .iter()
@@ -347,7 +371,10 @@ mod tests {
         let c = tiny();
         for id in c.node_ids() {
             for &succ in c.fanout(id) {
-                assert!(id < succ, "edge {id} -> {succ} violates topological indexing");
+                assert!(
+                    id < succ,
+                    "edge {id} -> {succ} violates topological indexing"
+                );
             }
         }
     }

@@ -61,6 +61,7 @@
 pub mod area;
 pub mod builder;
 pub mod elmore;
+pub mod engine;
 pub mod error;
 pub mod graph;
 pub mod id;
@@ -76,6 +77,10 @@ pub mod validate;
 pub use area::total_area;
 pub use builder::CircuitBuilder;
 pub use elmore::{DownstreamCaps, ElmoreAnalyzer};
+pub use engine::{
+    propagate_arrivals_into, CircuitTopology, DelayModel, ElmoreModel, EvalWorkspace, KindTag,
+    NO_PRED,
+};
 pub use error::CircuitError;
 pub use graph::CircuitGraph;
 pub use id::NodeId;

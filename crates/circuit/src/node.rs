@@ -55,7 +55,7 @@ impl GateKind {
             GateKind::Buf => first,
             GateKind::Inv => !first,
             GateKind::And => !inputs.is_empty() && inputs.iter().all(|&b| b),
-            GateKind::Nand => !(!inputs.is_empty() && inputs.iter().all(|&b| b)),
+            GateKind::Nand => inputs.is_empty() || !inputs.iter().all(|&b| b),
             GateKind::Or => inputs.iter().any(|&b| b),
             GateKind::Nor => !inputs.iter().any(|&b| b),
             GateKind::Xor => inputs.iter().fold(false, |acc, &b| acc ^ b),
@@ -65,7 +65,10 @@ impl GateKind {
 
     /// Returns `true` for gates whose output inverts when all inputs rise.
     pub fn is_inverting(self) -> bool {
-        matches!(self, GateKind::Inv | GateKind::Nand | GateKind::Nor | GateKind::Xnor)
+        matches!(
+            self,
+            GateKind::Inv | GateKind::Nand | GateKind::Nor | GateKind::Xnor
+        )
     }
 }
 
@@ -310,10 +313,16 @@ mod tests {
         };
         let r1 = node.resistance(1.0);
         let r2 = node.resistance(2.0);
-        assert!((r1 / r2 - 2.0).abs() < 1e-12, "resistance halves when size doubles");
+        assert!(
+            (r1 / r2 - 2.0).abs() < 1e-12,
+            "resistance halves when size doubles"
+        );
         let c1 = node.capacitance(1.0);
         let c2 = node.capacitance(2.0);
-        assert!((c2 / c1 - 2.0).abs() < 1e-12, "capacitance doubles when size doubles");
+        assert!(
+            (c2 / c1 - 2.0).abs() < 1e-12,
+            "capacitance doubles when size doubles"
+        );
     }
 
     #[test]
@@ -325,7 +334,10 @@ mod tests {
             attrs: NodeAttrs::wire(&tech, 100.0),
         };
         let c = node.capacitance(1.0);
-        assert!(c > tech.wire_unit_capacitance * 100.0, "fringing must be added");
+        assert!(
+            c > tech.wire_unit_capacitance * 100.0,
+            "fringing must be added"
+        );
     }
 
     #[test]

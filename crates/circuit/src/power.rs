@@ -12,7 +12,10 @@ use crate::sizing::SizeVector;
 /// Total component capacitance `Σ_{i=s+1}^{n+s} c_i` in fF (excluding
 /// coupling capacitance, which the paper accounts for in the noise term).
 pub fn total_capacitance(graph: &CircuitGraph, sizes: &SizeVector) -> f64 {
-    graph.component_ids().map(|id| graph.capacitance(id, sizes)).sum()
+    graph
+        .component_ids()
+        .map(|id| graph.capacitance(id, sizes))
+        .sum()
 }
 
 /// Dynamic power `V² · f · Σ c_i` in mW.

@@ -23,7 +23,9 @@ impl SizeVector {
 
     /// A vector of `n` identical sizes.
     pub fn uniform(n: usize, size: f64) -> Self {
-        SizeVector { values: vec![size; n] }
+        SizeVector {
+            values: vec![size; n],
+        }
     }
 
     /// Number of components.
@@ -51,6 +53,20 @@ impl SizeVector {
         &self.values
     }
 
+    /// Borrows the raw slice mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Copies another vector's values into this one without reallocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two vectors have different lengths.
+    pub fn copy_from(&mut self, other: &SizeVector) {
+        self.values.copy_from_slice(&other.values);
+    }
+
     /// Consumes the vector and returns the raw values.
     pub fn into_inner(self) -> Vec<f64> {
         self.values
@@ -62,7 +78,11 @@ impl SizeVector {
     ///
     /// Panics if the two vectors have different lengths.
     pub fn max_abs_diff(&self, other: &SizeVector) -> f64 {
-        assert_eq!(self.len(), other.len(), "size vectors must have equal length");
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "size vectors must have equal length"
+        );
         self.values
             .iter()
             .zip(other.values.iter())
@@ -76,7 +96,11 @@ impl SizeVector {
     ///
     /// Panics if the two vectors have different lengths.
     pub fn max_rel_diff(&self, other: &SizeVector) -> f64 {
-        assert_eq!(self.len(), other.len(), "size vectors must have equal length");
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "size vectors must have equal length"
+        );
         self.values
             .iter()
             .zip(other.values.iter())

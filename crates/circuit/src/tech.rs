@@ -160,14 +160,23 @@ mod tests {
         let mut t = Technology::dac99();
         t.gate_unit_resistance = -1.0;
         let err = t.validate().unwrap_err();
-        assert!(matches!(err, CircuitError::InvalidParameter { name: "gate_unit_resistance", .. }));
+        assert!(matches!(
+            err,
+            CircuitError::InvalidParameter {
+                name: "gate_unit_resistance",
+                ..
+            }
+        ));
     }
 
     #[test]
     fn inverted_bounds_are_rejected() {
         let mut t = Technology::dac99();
         t.min_size = 20.0;
-        assert!(matches!(t.validate().unwrap_err(), CircuitError::InvalidBounds { .. }));
+        assert!(matches!(
+            t.validate().unwrap_err(),
+            CircuitError::InvalidBounds { .. }
+        ));
     }
 
     #[test]

@@ -61,59 +61,23 @@ impl TimingAnalysis {
     }
 
     /// Builds the timing picture from precomputed per-component delays.
+    ///
+    /// Allocates its result vectors; the allocation-free equivalent is
+    /// [`propagate_arrivals_into`](crate::propagate_arrivals_into) with an
+    /// [`EvalWorkspace`](crate::EvalWorkspace), which this delegates to.
     pub fn from_delays(graph: &CircuitGraph, delays: Vec<f64>) -> TimingAnalysis {
         let n = graph.num_nodes();
         debug_assert_eq!(delays.len(), n);
         let mut arrival = vec![0.0_f64; n];
-        let mut pred: Vec<Option<NodeId>> = vec![None; n];
-
-        for id in graph.node_ids() {
-            let idx = id.index();
-            match graph.node(id).kind {
-                NodeKind::Source => arrival[idx] = 0.0,
-                NodeKind::Sink => {
-                    let mut best = 0.0;
-                    let mut best_pred = None;
-                    for &j in graph.fanin(id) {
-                        if arrival[j.index()] >= best {
-                            best = arrival[j.index()];
-                            best_pred = Some(j);
-                        }
-                    }
-                    arrival[idx] = best;
-                    pred[idx] = best_pred;
-                }
-                NodeKind::Driver => {
-                    arrival[idx] = delays[idx];
-                    pred[idx] = None;
-                }
-                NodeKind::Gate(_) | NodeKind::Wire => {
-                    let mut best = 0.0;
-                    let mut best_pred = None;
-                    for &j in graph.fanin(id) {
-                        if j == graph.source() {
-                            continue;
-                        }
-                        if arrival[j.index()] >= best {
-                            best = arrival[j.index()];
-                            best_pred = Some(j);
-                        }
-                    }
-                    arrival[idx] = best + delays[idx];
-                    pred[idx] = best_pred;
-                }
-            }
-        }
-
-        let critical_path_delay = arrival[graph.sink().index()];
-        // Backtrack one critical path.
+        let mut pred = vec![crate::engine::NO_PRED; n];
         let mut path = Vec::new();
-        let mut cursor = pred[graph.sink().index()];
-        while let Some(node) = cursor {
-            path.push(node);
-            cursor = pred[node.index()];
-        }
-        path.reverse();
+        let critical_path_delay = crate::engine::propagate_arrivals_into(
+            graph,
+            &delays,
+            &mut arrival,
+            &mut pred,
+            &mut path,
+        );
 
         TimingAnalysis {
             delays,
@@ -156,7 +120,9 @@ impl TimingAnalysis {
                 }
             }
         }
-        (0..n).map(|i| required[i] - self.arrival.values[i]).collect()
+        (0..n)
+            .map(|i| required[i] - self.arrival.values[i])
+            .collect()
     }
 
     /// The worst (smallest) slack over the primary outputs for bound `a0`.
@@ -201,7 +167,10 @@ mod tests {
         let g = c.node_by_name("g").unwrap();
         let w1 = c.node_by_name("w1").unwrap();
         let w2 = c.node_by_name("w2").unwrap();
-        assert!(t.arrival.of(w2) > t.arrival.of(w1), "longer wire arrives later");
+        assert!(
+            t.arrival.of(w2) > t.arrival.of(w1),
+            "longer wire arrives later"
+        );
         let expected = t.arrival.of(w2) + t.delays[g.index()];
         assert!((t.arrival.of(g) - expected).abs() < 1e-9);
     }
@@ -250,7 +219,10 @@ mod tests {
                 }
             }
             if !c.fanin(i).iter().all(|&j| j == c.source()) {
-                assert!(any_tight, "at least one fanin constraint must be tight at {i}");
+                assert!(
+                    any_tight,
+                    "at least one fanin constraint must be tight at {i}"
+                );
             }
         }
     }
@@ -269,7 +241,12 @@ mod tests {
         let min = slacks
             .iter()
             .enumerate()
-            .filter(|(i, _)| !matches!(c.node(NodeId::new(*i)).kind, NodeKind::Source | NodeKind::Sink))
+            .filter(|(i, _)| {
+                !matches!(
+                    c.node(NodeId::new(*i)).kind,
+                    NodeKind::Source | NodeKind::Sink
+                )
+            })
             .map(|(_, &s)| s)
             .fold(f64::INFINITY, f64::min);
         assert!(min.abs() < 1e-6);

@@ -21,7 +21,10 @@ impl TopologicalOrder {
     /// identity permutation.
     pub fn of(graph: &CircuitGraph) -> Self {
         let order: Vec<NodeId> = graph.node_ids().collect();
-        debug_assert!(Self::is_valid(graph, &order), "builder produced non-topological indexing");
+        debug_assert!(
+            Self::is_valid(graph, &order),
+            "builder produced non-topological indexing"
+        );
         TopologicalOrder { order }
     }
 
@@ -30,9 +33,12 @@ impl TopologicalOrder {
         for (pos, &id) in order.iter().enumerate() {
             position[id.index()] = pos;
         }
-        graph
-            .node_ids()
-            .all(|u| graph.fanout(u).iter().all(|&v| position[u.index()] < position[v.index()]))
+        graph.node_ids().all(|u| {
+            graph
+                .fanout(u)
+                .iter()
+                .all(|&v| position[u.index()] < position[v.index()])
+        })
     }
 
     /// Nodes in forward (source-to-sink) topological order.

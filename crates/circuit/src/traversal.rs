@@ -120,7 +120,10 @@ mod tests {
         let c = branching();
         let up = upstream_full(&c, id(&c, "w4"));
         for name in ["g2", "w3", "w2", "g1", "w1", "d"] {
-            assert!(up.contains(&id(&c, name)), "{name} should be upstream of w4");
+            assert!(
+                up.contains(&id(&c, name)),
+                "{name} should be upstream of w4"
+            );
         }
         assert!(!up.contains(&id(&c, "w5")));
         assert!(!up.contains(&c.source()));
@@ -131,7 +134,10 @@ mod tests {
         let c = branching();
         let down = downstream_full(&c, id(&c, "w2"));
         for name in ["w2", "w3", "w5", "g2", "w4"] {
-            assert!(down.contains(&id(&c, name)), "{name} should be downstream of w2");
+            assert!(
+                down.contains(&id(&c, name)),
+                "{name} should be downstream of w2"
+            );
         }
         assert!(!down.contains(&id(&c, "w1")));
         assert!(!down.contains(&c.sink()));
@@ -144,7 +150,10 @@ mod tests {
         let up = upstream_stage(&c, id(&c, "w3"));
         assert!(up.contains(&id(&c, "w2")));
         assert!(up.contains(&id(&c, "g1")));
-        assert!(!up.contains(&id(&c, "w1")), "must not cross the stage root g1");
+        assert!(
+            !up.contains(&id(&c, "w1")),
+            "must not cross the stage root g1"
+        );
         assert!(!up.contains(&id(&c, "d")));
     }
 
@@ -154,7 +163,10 @@ mod tests {
         let down = downstream_stage(&c, id(&c, "g1"));
         // Stage of g1: wires w2, w3, w5 and the terminating gate g2.
         for name in ["w2", "w3", "w5", "g2"] {
-            assert!(down.contains(&id(&c, name)), "{name} should be in g1's stage");
+            assert!(
+                down.contains(&id(&c, name)),
+                "{name} should be in g1's stage"
+            );
         }
         assert!(!down.contains(&id(&c, "w4")), "w4 is behind gate g2");
     }

@@ -73,7 +73,10 @@ pub fn validate(graph: &CircuitGraph) -> Result<(), CircuitError> {
     }
     // No stray node kinds in the component range.
     for id in graph.component_ids() {
-        if matches!(graph.node(id).kind, NodeKind::Source | NodeKind::Sink | NodeKind::Driver) {
+        if matches!(
+            graph.node(id).kind,
+            NodeKind::Source | NodeKind::Sink | NodeKind::Driver
+        ) {
             return Err(CircuitError::InvalidConnection {
                 from: id,
                 to: id,

@@ -1,8 +1,10 @@
 //! TILOS-style greedy sensitivity sizing (independent cross-check baseline).
 
-use ncgws_circuit::{CircuitGraph, SizeVector, TimingAnalysis};
+use ncgws_circuit::{CircuitGraph, SizeVector};
 use ncgws_coupling::CouplingSet;
 use serde::{Deserialize, Serialize};
+
+use crate::engine::SizingEngine;
 
 /// Result of the greedy sizer.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -33,37 +35,44 @@ pub fn greedy_delay_sizing(
     max_moves: usize,
 ) -> GreedyOutcome {
     let upsize_factor = 1.3_f64;
+    let mut engine = SizingEngine::new(graph, coupling);
     let mut sizes = graph.minimum_sizes();
     let mut moves = 0usize;
 
-    let evaluate = |sizes: &SizeVector| -> (f64, Vec<ncgws_circuit::NodeId>) {
-        let extra = coupling.delay_load_per_node(graph, sizes);
-        let timing = TimingAnalysis::run(graph, sizes, Some(&extra));
-        (timing.critical_path_delay, timing.critical_path)
-    };
+    // Reused buffers: candidate sizing and the current critical path (copied
+    // out of the engine workspace so trial evaluations can overwrite it).
+    let mut trial = graph.minimum_sizes();
+    let mut critical_path = Vec::with_capacity(graph.num_nodes());
 
-    let (mut delay, mut critical_path) = evaluate(&sizes);
+    let mut delay = {
+        let view = engine.timing(&sizes);
+        critical_path.clear();
+        critical_path.extend_from_slice(view.critical_path);
+        view.critical_path_delay
+    };
 
     while delay > delay_bound && moves < max_moves {
         let mut best: Option<(f64, usize, f64)> = None; // (score, dense index, new size)
         for &node in &critical_path {
-            let Some(dense) = graph.component_index(node) else { continue };
+            let Some(dense) = graph.component_index(node) else {
+                continue;
+            };
             let attrs = &graph.node(node).attrs;
             let current = sizes[dense];
             if current >= attrs.upper_bound - 1e-12 {
                 continue;
             }
             let candidate = (current * upsize_factor).min(attrs.upper_bound);
-            let mut trial = sizes.clone();
+            trial.copy_from(&sizes);
             trial[dense] = candidate;
-            let (trial_delay, _) = evaluate(&trial);
+            let trial_delay = engine.timing(&trial).critical_path_delay;
             let delay_gain = delay - trial_delay;
             if delay_gain <= 0.0 {
                 continue;
             }
             let area_cost = attrs.area_coefficient * (candidate - current);
             let score = delay_gain / area_cost.max(1e-12);
-            if best.as_ref().map_or(true, |(s, _, _)| score > *s) {
+            if best.as_ref().is_none_or(|(s, _, _)| score > *s) {
                 best = Some((score, dense, candidate));
             }
         }
@@ -71,15 +80,21 @@ pub fn greedy_delay_sizing(
             Some((_, dense, candidate)) => {
                 sizes[dense] = candidate;
                 moves += 1;
-                let (new_delay, new_path) = evaluate(&sizes);
-                delay = new_delay;
-                critical_path = new_path;
+                let view = engine.timing(&sizes);
+                delay = view.critical_path_delay;
+                critical_path.clear();
+                critical_path.extend_from_slice(view.critical_path);
             }
             None => break,
         }
     }
 
-    GreedyOutcome { sizes, delay, feasible: delay <= delay_bound, moves }
+    GreedyOutcome {
+        sizes,
+        delay,
+        feasible: delay <= delay_bound,
+        moves,
+    }
 }
 
 #[cfg(test)]
@@ -112,7 +127,11 @@ mod tests {
         let start = greedy_delay_sizing(&graph, &coupling, f64::MAX, 0).delay;
         let target = start * 0.7;
         let outcome = greedy_delay_sizing(&graph, &coupling, target, 500);
-        assert!(outcome.feasible, "delay {} vs target {target}", outcome.delay);
+        assert!(
+            outcome.feasible,
+            "delay {} vs target {target}",
+            outcome.delay
+        );
         assert!(outcome.moves > 0);
         assert!(graph.check_sizes(&outcome.sizes).is_ok());
     }

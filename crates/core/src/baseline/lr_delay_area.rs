@@ -6,6 +6,7 @@ use ncgws_netlist::ProblemInstance;
 use serde::{Deserialize, Serialize};
 
 use crate::coupling_build::build_coupling;
+use crate::engine::SizingEngine;
 use crate::error::CoreError;
 use crate::metrics::CircuitMetrics;
 use crate::ogws::OgwsSolver;
@@ -47,8 +48,9 @@ pub fn lr_delay_area(
     // same delay bound the full optimizer would use.
     let ordering = build_coupling(instance, config.ordering, config.effective_coupling)?;
     let real_coupling = &ordering.coupling;
+    let mut real_engine = SizingEngine::new(graph, real_coupling);
     let initial_sizes = config.initial_sizes(graph);
-    let initial_metrics = CircuitMetrics::evaluate(graph, real_coupling, &initial_sizes);
+    let initial_metrics = CircuitMetrics::evaluate_with(&mut real_engine, &initial_sizes);
 
     // The baseline's own view of the world: no coupling, no power/noise bounds.
     let empty = CouplingSet::empty(graph);
@@ -60,7 +62,7 @@ pub fn lr_delay_area(
     let problem = SizingProblem::new(graph, &empty, bounds)?;
     let ogws = OgwsSolver::new(config.clone()).solve(&problem);
 
-    let metrics = CircuitMetrics::evaluate(graph, real_coupling, &ogws.sizes);
+    let metrics = CircuitMetrics::evaluate_with(&mut real_engine, &ogws.sizes);
     let iterations = ogws.num_iterations();
     Ok(BaselineOutcome {
         sizes: ogws.sizes,
@@ -79,14 +81,20 @@ mod tests {
 
     fn instance() -> ProblemInstance {
         SyntheticGenerator::new(
-            CircuitSpec::new("baseline", 50, 110).with_seed(23).with_num_patterns(32),
+            CircuitSpec::new("baseline", 50, 110)
+                .with_seed(23)
+                .with_num_patterns(32),
         )
         .generate()
         .unwrap()
     }
 
     fn quick_config() -> OptimizerConfig {
-        OptimizerConfig { max_iterations: 40, max_lrs_sweeps: 20, ..OptimizerConfig::default() }
+        OptimizerConfig {
+            max_iterations: 40,
+            max_lrs_sweeps: 20,
+            ..OptimizerConfig::default()
+        }
     }
 
     #[test]

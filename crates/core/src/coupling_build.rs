@@ -15,7 +15,7 @@ use ncgws_circuit::NodeId;
 use ncgws_coupling::{CouplingPair, CouplingSet, WirePairGeometry};
 use ncgws_netlist::ProblemInstance;
 use ncgws_ordering::{baselines, exact_ordering, woss, Adjacency, SsProblem, WireOrdering};
-use ncgws_waveform::{miller_factor, LogicSimulator, SimilarityMatrix};
+use ncgws_waveform::{miller_factor, LogicSimulator, SimilarityMatrix, SimulationTrace};
 use serde::{Deserialize, Serialize};
 
 use crate::error::CoreError;
@@ -88,22 +88,21 @@ pub fn build_coupling(
     let simulator = LogicSimulator::new(graph);
     let trace = simulator.simulate(&instance.patterns);
 
-    let mut orderings = Vec::with_capacity(instance.channels.len());
+    // Per-channel ordering is embarrassingly parallel: each channel only
+    // reads the shared trace. With the `parallel` feature the channels are
+    // fanned out across OS threads; results come back in channel order
+    // either way, so the assembled coupling set is identical.
+    let solved = order_channels(instance, &trace, strategy, effective_coupling);
+
+    let mut orderings = Vec::with_capacity(solved.len());
     let mut pairs: Vec<CouplingPair> = Vec::new();
     let mut total_effective_loading = 0.0;
 
-    for channel in &instance.channels {
-        if channel.is_empty() {
-            continue;
-        }
-        let similarity = SimilarityMatrix::from_trace(&trace, channel);
-        let problem = SsProblem::from_similarity(&similarity);
-        let ordering = solve_channel(&problem, strategy);
+    for (similarity, ordering) in solved {
         total_effective_loading += ordering.cost();
 
         // Adjacent tracks couple; build one pair per adjacent position.
-        let sequence: Vec<NodeId> = ordering.sequence().to_vec();
-        for pair in sequence.windows(2) {
+        for pair in ordering.sequence().windows(2) {
             let (a, b) = (pair[0], pair[1]);
             let len_a = instance.wire_length(a);
             let len_b = instance.wire_length(b);
@@ -116,6 +115,8 @@ pub fn build_coupling(
             let mut coupling_pair = CouplingPair::new(a, b, geometry)?;
             if effective_coupling {
                 let similarity = similarity
+                    .as_ref()
+                    .expect("similarity matrices are retained in effective mode")
                     .by_id(a, b)
                     .expect("both wires belong to the channel's similarity matrix");
                 coupling_pair = coupling_pair.with_switching_factor(miller_factor(similarity));
@@ -127,7 +128,90 @@ pub fn build_coupling(
 
     let coupling = CouplingSet::new(graph, pairs)?;
     let adjacency = Adjacency::from_orderings(orderings.iter());
-    Ok(WireOrderingOutcome { orderings, total_effective_loading, coupling, adjacency })
+    Ok(WireOrderingOutcome {
+        orderings,
+        total_effective_loading,
+        coupling,
+        adjacency,
+    })
+}
+
+/// Solves the SS problem of one channel. The `O(k²)` similarity matrix is
+/// returned only when the caller needs it afterwards (effective-coupling
+/// mode); otherwise it is dropped here so peak memory stays at one channel's
+/// matrix rather than the sum over all channels.
+fn order_one(
+    trace: &SimulationTrace,
+    channel: &[NodeId],
+    strategy: OrderingStrategy,
+    keep_similarity: bool,
+) -> (Option<SimilarityMatrix>, WireOrdering) {
+    let similarity = SimilarityMatrix::from_trace(trace, channel);
+    let problem = SsProblem::from_similarity(&similarity);
+    let ordering = solve_channel(&problem, strategy);
+    (keep_similarity.then_some(similarity), ordering)
+}
+
+/// Orders every non-empty channel, returning results in channel order.
+#[cfg(not(feature = "parallel"))]
+fn order_channels(
+    instance: &ProblemInstance,
+    trace: &SimulationTrace,
+    strategy: OrderingStrategy,
+    keep_similarity: bool,
+) -> Vec<(Option<SimilarityMatrix>, WireOrdering)> {
+    instance
+        .channels
+        .iter()
+        .filter(|channel| !channel.is_empty())
+        .map(|channel| order_one(trace, channel, strategy, keep_similarity))
+        .collect()
+}
+
+/// Orders every non-empty channel, fanning the work out across OS threads
+/// (`std::thread::scope`; a stand-in for a rayon pool while the build
+/// environment cannot fetch crates). Results are reassembled in channel
+/// order, so the output is bit-identical to the serial path.
+#[cfg(feature = "parallel")]
+fn order_channels(
+    instance: &ProblemInstance,
+    trace: &SimulationTrace,
+    strategy: OrderingStrategy,
+    keep_similarity: bool,
+) -> Vec<(Option<SimilarityMatrix>, WireOrdering)> {
+    let channels: Vec<&[NodeId]> = instance
+        .channels
+        .iter()
+        .filter(|channel| !channel.is_empty())
+        .map(Vec::as_slice)
+        .collect();
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let workers = workers.min(channels.len()).max(1);
+    if workers <= 1 {
+        return channels
+            .iter()
+            .map(|channel| order_one(trace, channel, strategy, keep_similarity))
+            .collect();
+    }
+
+    let mut slots: Vec<Option<(Option<SimilarityMatrix>, WireOrdering)>> = Vec::new();
+    slots.resize_with(channels.len(), || None);
+    let chunk = channels.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (channel_chunk, slot_chunk) in channels.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (channel, slot) in channel_chunk.iter().zip(slot_chunk.iter_mut()) {
+                    *slot = Some(order_one(trace, channel, strategy, keep_similarity));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every channel was ordered"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -137,7 +221,9 @@ mod tests {
 
     fn instance() -> ProblemInstance {
         SyntheticGenerator::new(
-            CircuitSpec::new("cb", 40, 90).with_seed(21).with_channel_size(6),
+            CircuitSpec::new("cb", 40, 90)
+                .with_seed(21)
+                .with_channel_size(6),
         )
         .generate()
         .unwrap()
@@ -147,10 +233,16 @@ mod tests {
     fn builds_one_pair_per_adjacent_track() {
         let inst = instance();
         let outcome = build_coupling(&inst, OrderingStrategy::Woss, false).unwrap();
-        let expected_pairs: usize =
-            inst.channels.iter().map(|c| c.len().saturating_sub(1)).sum();
+        let expected_pairs: usize = inst
+            .channels
+            .iter()
+            .map(|c| c.len().saturating_sub(1))
+            .sum();
         assert_eq!(outcome.coupling.len(), expected_pairs);
-        assert_eq!(outcome.orderings.len(), inst.channels.iter().filter(|c| !c.is_empty()).count());
+        assert_eq!(
+            outcome.orderings.len(),
+            inst.channels.iter().filter(|c| !c.is_empty()).count()
+        );
         assert_eq!(outcome.adjacency.pairs().len(), expected_pairs);
     }
 
@@ -161,8 +253,7 @@ mod tests {
         let identity_outcome = build_coupling(&inst, OrderingStrategy::Identity, false).unwrap();
         // WOSS explicitly minimizes the effective loading; identity ignores it.
         assert!(
-            woss_outcome.total_effective_loading
-                <= identity_outcome.total_effective_loading + 1e-9
+            woss_outcome.total_effective_loading <= identity_outcome.total_effective_loading + 1e-9
         );
     }
 
@@ -183,7 +274,11 @@ mod tests {
     fn effective_mode_sets_switching_factors() {
         let inst = instance();
         let physical = build_coupling(&inst, OrderingStrategy::Woss, false).unwrap();
-        assert!(physical.coupling.pairs().iter().all(|p| (p.switching_factor - 1.0).abs() < 1e-12));
+        assert!(physical
+            .coupling
+            .pairs()
+            .iter()
+            .all(|p| (p.switching_factor - 1.0).abs() < 1e-12));
         let effective = build_coupling(&inst, OrderingStrategy::Woss, true).unwrap();
         assert!(effective
             .coupling
@@ -210,7 +305,10 @@ mod tests {
         ] {
             let a = build_coupling(&inst, strategy, false).unwrap();
             let b = build_coupling(&inst, strategy, false).unwrap();
-            assert_eq!(a.total_effective_loading, b.total_effective_loading, "{strategy:?}");
+            assert_eq!(
+                a.total_effective_loading, b.total_effective_loading,
+                "{strategy:?}"
+            );
             assert_eq!(a.coupling.len(), b.coupling.len());
         }
     }

@@ -1,0 +1,457 @@
+//! The cross-layer sizing engine: circuit + coupling + delay model + scratch.
+//!
+//! [`SizingEngine`] binds a circuit graph, its coupling set, a
+//! [`DelayModel`] backend and an [`EvalWorkspace`] together, and adds the
+//! dense per-component attribute tables the LRS closed-form resize reads in
+//! its innermost loop. Built once per [`SizingProblem`] (or circuit), it
+//! makes every evaluation the optimizer performs — coupling loads,
+//! downstream capacitances, weighted upstream resistances, timing, metrics,
+//! LRS sweeps — allocation-free after setup.
+//!
+//! The arithmetic is performed in exactly the same order as the
+//! allocate-per-call reference path ([`crate::reference`],
+//! [`CircuitMetrics::evaluate`]), so the two produce bitwise identical
+//! results; the `property_eval_engine` integration test enforces this.
+//!
+//! Future delay-model backends (higher-order models, sharded evaluation)
+//! implement [`DelayModel`] and plug in through
+//! [`SizingEngine::with_model`].
+
+use ncgws_circuit::{
+    propagate_arrivals_into, CircuitGraph, DelayModel, ElmoreModel, EvalWorkspace, NodeId,
+    SizeVector,
+};
+use ncgws_coupling::CouplingSet;
+
+use crate::lagrangian::Multipliers;
+use crate::metrics::CircuitMetrics;
+use crate::problem::SizingProblem;
+
+/// A borrowed, allocation-free view of one timing evaluation. All slices are
+/// indexed by raw node index and stay valid until the engine's next
+/// `&mut self` call.
+#[derive(Debug)]
+pub struct TimingView<'a> {
+    /// Per-component Elmore delays `D_i`.
+    pub delays: &'a [f64],
+    /// Tightest arrival times `a_i`.
+    pub arrival: &'a [f64],
+    /// Delay of the critical path (the circuit delay `D`).
+    pub critical_path_delay: f64,
+    /// The nodes of one critical path, from a driver to a primary output.
+    pub critical_path: &'a [NodeId],
+}
+
+/// The reusable evaluation engine threaded through the whole two-stage flow.
+#[derive(Debug, Clone)]
+pub struct SizingEngine<'a, M: DelayModel = ElmoreModel> {
+    graph: &'a CircuitGraph,
+    coupling: &'a CouplingSet,
+    model: M,
+    state: M::State,
+    pub(crate) ws: EvalWorkspace,
+    // Dense per-component tables (indexed by the graph's dense component
+    // index). The hot loop reads these instead of chasing `Node` structs,
+    // whose inline `String` names spread the numeric fields across cache
+    // lines.
+    pub(crate) comp_raw_index: Vec<usize>,
+    pub(crate) comp_is_wire: Vec<bool>,
+    pub(crate) unit_resistance: Vec<f64>,
+    pub(crate) unit_capacitance: Vec<f64>,
+    pub(crate) area_coefficient: Vec<f64>,
+    pub(crate) lower_bound: Vec<f64>,
+    pub(crate) upper_bound: Vec<f64>,
+    pub(crate) coupling_sum: Vec<f64>,
+    /// Dense coupling-pair table: raw node and dense component indices plus
+    /// the cached geometry coefficients of each pair, so the per-sweep load
+    /// accumulation never touches the pair objects.
+    pair_table: Vec<PairEntry>,
+}
+
+/// One coupling pair in dense form (see `SizingEngine::pair_table`).
+#[derive(Debug, Clone, Copy)]
+struct PairEntry {
+    a_raw: u32,
+    b_raw: u32,
+    a_comp: u32,
+    b_comp: u32,
+    /// Switching factor `sf_ij`.
+    switching: f64,
+    /// Size-independent coupling `~c_ij`.
+    base: f64,
+    /// Linear coefficient `ĉ_ij`.
+    coeff: f64,
+}
+
+impl<'a> SizingEngine<'a, ElmoreModel> {
+    /// Creates an engine with the Elmore backend.
+    pub fn new(graph: &'a CircuitGraph, coupling: &'a CouplingSet) -> Self {
+        SizingEngine::with_model(graph, coupling, ElmoreModel)
+    }
+
+    /// Creates an engine for an assembled sizing problem.
+    pub fn for_problem(problem: &SizingProblem<'a>) -> Self {
+        SizingEngine::new(problem.graph, problem.coupling)
+    }
+}
+
+impl<'a, M: DelayModel> SizingEngine<'a, M> {
+    /// Creates an engine with a custom delay-model backend.
+    pub fn with_model(graph: &'a CircuitGraph, coupling: &'a CouplingSet, model: M) -> Self {
+        // The dense pair table stores 32-bit indices.
+        assert!(
+            graph.num_nodes() <= u32::MAX as usize,
+            "circuit too large for 32-bit indices"
+        );
+        let n = graph.num_components();
+        let mut comp_raw_index = Vec::with_capacity(n);
+        let mut comp_is_wire = Vec::with_capacity(n);
+        let mut unit_resistance = Vec::with_capacity(n);
+        let mut unit_capacitance = Vec::with_capacity(n);
+        let mut area_coefficient = Vec::with_capacity(n);
+        let mut lower_bound = Vec::with_capacity(n);
+        let mut upper_bound = Vec::with_capacity(n);
+        let mut coupling_sum = Vec::with_capacity(n);
+        let state = model.prepare(graph);
+        let sums = coupling.linear_coefficient_sums();
+        let pair_table = coupling
+            .pairs()
+            .iter()
+            .map(|pair| PairEntry {
+                a_raw: pair.a.index() as u32,
+                b_raw: pair.b.index() as u32,
+                a_comp: graph
+                    .component_index(pair.a)
+                    .expect("coupled wires are sizable") as u32,
+                b_comp: graph
+                    .component_index(pair.b)
+                    .expect("coupled wires are sizable") as u32,
+                switching: pair.switching_factor,
+                base: pair.base_capacitance(),
+                coeff: pair.linear_coefficient(),
+            })
+            .collect();
+        for id in graph.component_ids() {
+            let node = graph.node(id);
+            comp_raw_index.push(id.index());
+            comp_is_wire.push(node.kind.is_wire());
+            unit_resistance.push(node.attrs.unit_resistance);
+            unit_capacitance.push(node.attrs.unit_capacitance);
+            area_coefficient.push(node.attrs.area_coefficient);
+            lower_bound.push(node.attrs.lower_bound);
+            upper_bound.push(node.attrs.upper_bound);
+            coupling_sum.push(sums[id.index()]);
+        }
+        SizingEngine {
+            graph,
+            coupling,
+            model,
+            state,
+            ws: EvalWorkspace::new(graph),
+            comp_raw_index,
+            comp_is_wire,
+            unit_resistance,
+            unit_capacitance,
+            area_coefficient,
+            lower_bound,
+            upper_bound,
+            coupling_sum,
+            pair_table,
+        }
+    }
+
+    /// The circuit this engine evaluates.
+    pub fn graph(&self) -> &'a CircuitGraph {
+        self.graph
+    }
+
+    /// The coupling set this engine evaluates.
+    pub fn coupling(&self) -> &'a CouplingSet {
+        self.coupling
+    }
+
+    /// The delay-model backend.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// The scratch workspace (read access; the engine owns the mutation).
+    pub fn workspace(&self) -> &EvalWorkspace {
+        &self.ws
+    }
+
+    /// Bytes held by the engine's scratch and dense tables, for the
+    /// Figure 10(a) memory accounting.
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.ws.memory_bytes()
+            + self.comp_raw_index.capacity() * size_of::<usize>()
+            + self.comp_is_wire.capacity() * size_of::<bool>()
+            + (self.unit_resistance.capacity()
+                + self.unit_capacitance.capacity()
+                + self.area_coefficient.capacity()
+                + self.lower_bound.capacity()
+                + self.upper_bound.capacity()
+                + self.coupling_sum.capacity())
+                * size_of::<f64>()
+            + self.pair_table.capacity() * size_of::<PairEntry>()
+            + self.model.state_memory_bytes(&self.state)
+    }
+
+    /// Fills `ws.extra_cap` with the per-node coupling load for `sizes`,
+    /// reading the dense pair table. Performs exactly the arithmetic of
+    /// `CouplingSet::delay_load_into` (`sf · (~c + ĉ·(x_i + x_j))` per pair,
+    /// in pair order), so the result is bitwise identical.
+    pub(crate) fn refresh_coupling_load(&mut self, sizes: &SizeVector) {
+        let load = &mut self.ws.extra_cap;
+        load.fill(0.0);
+        let sizes = sizes.as_slice();
+        for pair in &self.pair_table {
+            let xa = sizes[pair.a_comp as usize];
+            let xb = sizes[pair.b_comp as usize];
+            let c = pair.switching * (pair.base + pair.coeff * (xa + xb));
+            load[pair.a_raw as usize] += c;
+            load[pair.b_raw as usize] += c;
+        }
+    }
+
+    /// Fills `ws.node_weights` with the aggregated edge multipliers.
+    pub(crate) fn load_node_weights(&mut self, multipliers: &Multipliers) {
+        multipliers.node_weights_into(self.graph, &mut self.ws.node_weights);
+    }
+
+    /// Resets `sizes` to the per-component lower bounds (step S1 of
+    /// Figure 8) without allocating.
+    pub(crate) fn reset_to_lower_bounds(&self, sizes: &mut SizeVector) {
+        debug_assert_eq!(sizes.len(), self.lower_bound.len());
+        sizes.as_mut_slice().copy_from_slice(&self.lower_bound);
+    }
+
+    /// One greedy LRS coordinate sweep (steps S2–S4 of Figure 8): recompute
+    /// the capacitances, coupling loads and weighted upstream resistances at
+    /// the current `sizes`, then apply the Theorem 5 closed-form resize to
+    /// every component in topological order, updating in place.
+    ///
+    /// `ws.node_weights` must have been filled by
+    /// [`load_node_weights`](Self::load_node_weights). Returns the largest
+    /// relative size change of the sweep (the S5 convergence measure).
+    pub(crate) fn lrs_sweep(&mut self, sizes: &mut SizeVector, beta: f64, gamma: f64) -> f64 {
+        self.ws.prev_sizes.copy_from_slice(sizes.as_slice());
+
+        // S2: downstream capacitances C_i with the coupling load included.
+        self.refresh_coupling_load(sizes);
+        let ws = &mut self.ws;
+        self.model.downstream_caps_into(
+            &self.state,
+            sizes,
+            Some(&ws.extra_cap),
+            &mut ws.charged,
+            &mut ws.presented,
+        );
+        // S3: λ-weighted upstream resistances R_i.
+        self.model
+            .upstream_resistance_into(&self.state, sizes, &ws.node_weights, &mut ws.upstream);
+
+        // S4 + S5: greedy closed-form resize, updating in place, fused with
+        // the convergence measure. All dense tables are pre-sliced to the
+        // component count so the per-component indexing is check-free; the
+        // three raw-node lookups are unchecked under the length assertions
+        // below (every stored raw index is in range by construction).
+        let n = self.comp_raw_index.len();
+        assert_eq!(sizes.len(), n, "sizes must match the circuit");
+        assert_eq!(
+            ws.charged.len(),
+            self.graph.num_nodes(),
+            "workspace must match the circuit"
+        );
+        assert_eq!(ws.node_weights.len(), ws.charged.len());
+        assert_eq!(ws.upstream.len(), ws.charged.len());
+        let raw_index = &self.comp_raw_index[..n];
+        let is_wire = &self.comp_is_wire[..n];
+        let unit_res = &self.unit_resistance[..n];
+        let unit_cap = &self.unit_capacitance[..n];
+        let area = &self.area_coefficient[..n];
+        let lower = &self.lower_bound[..n];
+        let upper = &self.upper_bound[..n];
+        let coupling_sums = &self.coupling_sum[..n];
+        let prev = &ws.prev_sizes[..n];
+        let xs = &mut sizes.as_mut_slice()[..n];
+
+        let mut worst = 0.0_f64;
+        for dense in 0..n {
+            let raw = raw_index[dense];
+            // SAFETY: `raw` is a node index of the engine's circuit, and the
+            // workspace buffers hold one entry per node (sized at
+            // construction, lengths cross-checked above).
+            let (lambda_i, charged, upstream) = unsafe {
+                (
+                    *ws.node_weights.get_unchecked(raw),
+                    *ws.charged.get_unchecked(raw),
+                    *ws.upstream.get_unchecked(raw),
+                )
+            };
+            let x_i = xs[dense];
+            let coupling_sum = coupling_sums[dense];
+
+            // Numerator capacitance: C_i minus every term proportional to
+            // x_i (own far-half capacitance and the x_i part of the
+            // coupling), keeping the neighbor-width coupling term.
+            let mut cap_num = charged;
+            if is_wire[dense] {
+                cap_num -= unit_cap[dense] * x_i / 2.0;
+                cap_num -= coupling_sum * x_i;
+            }
+            // Guard against tiny negative values from floating-point noise.
+            if cap_num < 0.0 {
+                cap_num = 0.0;
+            }
+
+            let denominator =
+                area[dense] + (beta + upstream) * unit_cap[dense] + gamma * coupling_sum;
+            let numerator = lambda_i * unit_res[dense] * cap_num;
+
+            let opt = if denominator > 0.0 && numerator > 0.0 {
+                (numerator / denominator).sqrt()
+            } else {
+                0.0
+            };
+            let x_new = opt.clamp(lower[dense], upper[dense]);
+            xs[dense] = x_new;
+
+            // S5's convergence measure: the largest relative change.
+            worst = worst.max((x_new - prev[dense]).abs() / prev[dense].abs().max(1e-12));
+        }
+        worst
+    }
+
+    /// Full timing picture at `sizes` (coupling load included), evaluated
+    /// into the workspace. The returned view borrows the engine.
+    pub fn timing(&mut self, sizes: &SizeVector) -> TimingView<'_> {
+        self.refresh_coupling_load(sizes);
+        let ws = &mut self.ws;
+        self.model.downstream_caps_into(
+            &self.state,
+            sizes,
+            Some(&ws.extra_cap),
+            &mut ws.charged,
+            &mut ws.presented,
+        );
+        self.model
+            .delays_into(&self.state, sizes, &ws.charged, &mut ws.delays);
+        let critical_path_delay = propagate_arrivals_into(
+            self.graph,
+            &ws.delays,
+            &mut ws.arrival,
+            &mut ws.pred,
+            &mut ws.critical_path,
+        );
+        TimingView {
+            delays: &ws.delays,
+            arrival: &ws.arrival,
+            critical_path_delay,
+            critical_path: &ws.critical_path,
+        }
+    }
+
+    /// Evaluates the full circuit metrics at `sizes` without allocating.
+    /// Bitwise identical to [`CircuitMetrics::evaluate`].
+    pub fn metrics(&mut self, sizes: &SizeVector) -> CircuitMetrics {
+        let critical = self.timing(sizes).critical_path_delay;
+        let graph = self.graph;
+        let total_cap = ncgws_circuit::total_capacitance(graph, sizes);
+        let area = ncgws_circuit::total_area(graph, sizes);
+        let noise_exact = self.coupling.total_physical_coupling(graph, sizes);
+        let crosstalk_lin = self.coupling.total_crosstalk(graph, sizes);
+        CircuitMetrics {
+            noise_pf: noise_exact / 1000.0,
+            delay_ps: critical / 1000.0,
+            power_mw: total_cap * graph.technology().power_scale_mw_per_ff(),
+            area_um2: area,
+            crosstalk_ff: crosstalk_lin,
+            delay_internal: critical,
+            total_capacitance_ff: total_cap,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::ConstraintBounds;
+    use ncgws_circuit::{CircuitBuilder, GateKind, Technology, TimingAnalysis};
+    use ncgws_coupling::{CouplingPair, WirePairGeometry};
+
+    fn setup() -> (CircuitGraph, CouplingSet) {
+        let mut b = CircuitBuilder::new(Technology::dac99());
+        let d = b.add_driver("d", 120.0).unwrap();
+        let d2 = b.add_driver("d2", 150.0).unwrap();
+        let w1 = b.add_wire("w1", 180.0).unwrap();
+        let w2 = b.add_wire("w2", 220.0).unwrap();
+        let g = b.add_gate("g", GateKind::Nand).unwrap();
+        let w3 = b.add_wire("w3", 140.0).unwrap();
+        b.connect(d, w1).unwrap();
+        b.connect(d2, w2).unwrap();
+        b.connect(w1, g).unwrap();
+        b.connect(w2, g).unwrap();
+        b.connect(g, w3).unwrap();
+        b.connect_output(w3, 6.0).unwrap();
+        let graph = b.build().unwrap();
+        let w1 = graph.node_by_name("w1").unwrap();
+        let w2 = graph.node_by_name("w2").unwrap();
+        let geom = WirePairGeometry::new(150.0, 12.0, 0.03).unwrap();
+        let coupling =
+            CouplingSet::new(&graph, vec![CouplingPair::new(w1, w2, geom).unwrap()]).unwrap();
+        (graph, coupling)
+    }
+
+    #[test]
+    fn timing_matches_reference_bitwise() {
+        let (graph, coupling) = setup();
+        let sizes = graph.uniform_sizes(1.7);
+        let extra = coupling.delay_load_per_node(&graph, &sizes);
+        let reference = TimingAnalysis::run(&graph, &sizes, Some(&extra));
+
+        let mut engine = SizingEngine::new(&graph, &coupling);
+        let view = engine.timing(&sizes);
+        assert_eq!(view.delays, reference.delays.as_slice());
+        assert_eq!(view.arrival, reference.arrival.values.as_slice());
+        assert_eq!(view.critical_path_delay, reference.critical_path_delay);
+        assert_eq!(view.critical_path, reference.critical_path.as_slice());
+    }
+
+    #[test]
+    fn metrics_match_reference_bitwise() {
+        let (graph, coupling) = setup();
+        let mut engine = SizingEngine::new(&graph, &coupling);
+        for size in [0.4, 1.0, 3.2] {
+            let sizes = graph.uniform_sizes(size);
+            let reference = CircuitMetrics::evaluate(&graph, &coupling, &sizes);
+            assert_eq!(engine.metrics(&sizes), reference);
+        }
+    }
+
+    #[test]
+    fn engine_is_reusable_across_evaluations() {
+        let (graph, coupling) = setup();
+        let mut engine = SizingEngine::new(&graph, &coupling);
+        let a = engine.metrics(&graph.uniform_sizes(1.0));
+        let _ = engine.metrics(&graph.uniform_sizes(5.0));
+        let again = engine.metrics(&graph.uniform_sizes(1.0));
+        assert_eq!(a, again, "workspace reuse must not leak state");
+        assert!(engine.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn for_problem_binds_the_problem_inputs() {
+        let (graph, coupling) = setup();
+        let bounds = ConstraintBounds {
+            delay: 1e12,
+            total_capacitance: 1e12,
+            crosstalk: 1e12,
+        };
+        let problem = SizingProblem::new(&graph, &coupling, bounds).unwrap();
+        let engine = SizingEngine::for_problem(&problem);
+        assert!(std::ptr::eq(engine.graph(), problem.graph));
+        assert!(std::ptr::eq(engine.coupling(), problem.coupling));
+    }
+}

@@ -85,10 +85,15 @@ mod tests {
         let e = CoreError::from(CircuitError::NoDrivers);
         assert!(e.to_string().contains("circuit"));
         assert!(e.source().is_some());
-        let e = CoreError::InvalidConfig { name: "max_iterations", reason: "must be positive".into() };
+        let e = CoreError::InvalidConfig {
+            name: "max_iterations",
+            reason: "must be positive".into(),
+        };
         assert!(e.to_string().contains("max_iterations"));
         assert!(e.source().is_none());
-        let e = CoreError::InfeasibleBounds { reason: "crosstalk bound too small".into() };
+        let e = CoreError::InfeasibleBounds {
+            reason: "crosstalk bound too small".into(),
+        };
         assert!(e.to_string().contains("crosstalk"));
     }
 }

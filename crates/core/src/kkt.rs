@@ -67,7 +67,10 @@ pub fn kkt_residuals(
         (total_cap - bounds.total_capacitance) / bounds.total_capacitance.max(1e-12);
     let reduced = problem.reduced_crosstalk_bound();
     let crosstalk_violation = (crosstalk_lhs - reduced) / reduced.abs().max(1e-12);
-    let primal = delay_violation.max(power_violation).max(crosstalk_violation).max(0.0);
+    let primal = delay_violation
+        .max(power_violation)
+        .max(crosstalk_violation)
+        .max(0.0);
 
     // Complementary slackness: multiplier × slack must vanish. Normalize by
     // the multiplier scale so the residual is dimensionless.
@@ -80,8 +83,7 @@ pub fn kkt_residuals(
             .iter()
             .enumerate()
             .map(|(slot, &j)| {
-                let slack =
-                    (bounds.delay - timing.arrival.of(j)).abs() / bounds.delay.max(1e-12);
+                let slack = (bounds.delay - timing.arrival.of(j)).abs() / bounds.delay.max(1e-12);
                 multipliers.edge(sink, slot) * slack
             })
             .fold(0.0_f64, f64::max)
@@ -130,7 +132,11 @@ mod tests {
     #[test]
     fn zero_multipliers_with_loose_bounds_satisfy_kkt() {
         let (graph, coupling) = setup();
-        let bounds = ConstraintBounds { delay: 1e12, total_capacitance: 1e12, crosstalk: 1.0 };
+        let bounds = ConstraintBounds {
+            delay: 1e12,
+            total_capacitance: 1e12,
+            crosstalk: 1.0,
+        };
         let problem = SizingProblem::new(&graph, &coupling, bounds).unwrap();
         let sizes = graph.minimum_sizes();
         let multipliers = Multipliers::uniform(&graph, 0.0, 0.0);
@@ -142,7 +148,11 @@ mod tests {
     fn infeasible_sizing_is_flagged() {
         let (graph, coupling) = setup();
         // Delay bound far below what minimum sizes achieve.
-        let bounds = ConstraintBounds { delay: 1e-3, total_capacitance: 1e12, crosstalk: 1.0 };
+        let bounds = ConstraintBounds {
+            delay: 1e-3,
+            total_capacitance: 1e12,
+            crosstalk: 1.0,
+        };
         let problem = SizingProblem::new(&graph, &coupling, bounds).unwrap();
         let sizes = graph.minimum_sizes();
         let multipliers = Multipliers::uniform(&graph, 0.0, 0.0);
@@ -154,7 +164,11 @@ mod tests {
     #[test]
     fn violated_slackness_is_flagged() {
         let (graph, coupling) = setup();
-        let bounds = ConstraintBounds { delay: 1e12, total_capacitance: 1e12, crosstalk: 1.0 };
+        let bounds = ConstraintBounds {
+            delay: 1e12,
+            total_capacitance: 1e12,
+            crosstalk: 1.0,
+        };
         let problem = SizingProblem::new(&graph, &coupling, bounds).unwrap();
         let sizes = graph.minimum_sizes();
         // β large while the power constraint has huge slack.
@@ -167,7 +181,11 @@ mod tests {
     #[test]
     fn negative_multipliers_are_flagged() {
         let (graph, coupling) = setup();
-        let bounds = ConstraintBounds { delay: 1e12, total_capacitance: 1e12, crosstalk: 1.0 };
+        let bounds = ConstraintBounds {
+            delay: 1e12,
+            total_capacitance: 1e12,
+            crosstalk: 1.0,
+        };
         let problem = SizingProblem::new(&graph, &coupling, bounds).unwrap();
         let sizes = graph.minimum_sizes();
         let mut multipliers = Multipliers::uniform(&graph, 0.0, 0.0);

@@ -33,7 +33,11 @@ impl Multipliers {
             .node_ids()
             .map(|id| vec![edge_value; graph.fanin(id).len()])
             .collect();
-        Multipliers { edge, beta: scalar_value, gamma: scalar_value }
+        Multipliers {
+            edge,
+            beta: scalar_value,
+            gamma: scalar_value,
+        }
     }
 
     /// The multiplier `λ_{ji}` on the fanin edge `slot` of node `i`.
@@ -59,6 +63,20 @@ impl Multipliers {
     /// The node delay weights for every node, indexed by raw node index.
     pub fn node_weights(&self, graph: &CircuitGraph) -> Vec<f64> {
         graph.node_ids().map(|id| self.node_weight(id)).collect()
+    }
+
+    /// Fills `out` (one slot per raw node index) with the node delay weights
+    /// without allocating — the hot-loop variant of
+    /// [`node_weights`](Self::node_weights).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `out` has the wrong length.
+    pub fn node_weights_into(&self, graph: &CircuitGraph, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), graph.num_nodes());
+        for id in graph.node_ids() {
+            out[id.index()] = self.node_weight(id);
+        }
     }
 
     /// The sum of the multipliers on the sink's fanin edges,
@@ -127,8 +145,7 @@ pub fn dual_value(
         .node_ids()
         .map(|id| multipliers.node_weight(id) * delays[id.index()])
         .sum();
-    area
-        + multipliers.beta * (cap - problem.bounds.total_capacitance)
+    area + multipliers.beta * (cap - problem.bounds.total_capacitance)
         + multipliers.gamma * (crosstalk_lhs - problem.reduced_crosstalk_bound())
         + weighted_delay
         - problem.bounds.delay * multipliers.sink_weight(graph)

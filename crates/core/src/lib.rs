@@ -30,6 +30,7 @@
 
 pub mod baseline;
 pub mod coupling_build;
+pub mod engine;
 pub mod error;
 pub mod kkt;
 pub mod lagrangian;
@@ -39,13 +40,15 @@ pub mod ogws;
 pub mod optimizer;
 pub mod problem;
 pub mod projection;
+pub mod reference;
 pub mod report;
 pub mod step;
 
 pub use coupling_build::{build_coupling, OrderingStrategy, WireOrderingOutcome};
+pub use engine::{SizingEngine, TimingView};
 pub use error::CoreError;
 pub use lagrangian::Multipliers;
-pub use lrs::{LrsOutcome, LrsSolver};
+pub use lrs::{LrsOutcome, LrsSolver, LrsStats};
 pub use metrics::{CircuitMetrics, IterationRecord, MemoryBreakdown};
 pub use ogws::{OgwsOutcome, OgwsSolver};
 pub use optimizer::{OptimizationOutcome, Optimizer};

@@ -20,9 +20,10 @@
 //! Each sweep is `O(V + E + P)` time (`P` = number of coupling pairs), which
 //! is the per-iteration linearity the paper emphasizes.
 
-use ncgws_circuit::{ElmoreAnalyzer, NodeKind, SizeVector};
+use ncgws_circuit::{DelayModel, SizeVector};
 use serde::{Deserialize, Serialize};
 
+use crate::engine::SizingEngine;
 use crate::lagrangian::Multipliers;
 use crate::problem::SizingProblem;
 
@@ -38,6 +39,16 @@ pub struct LrsOutcome {
     pub converged: bool,
 }
 
+/// Convergence statistics of an in-place LRS solve
+/// ([`LrsSolver::solve_with`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LrsStats {
+    /// Number of coordinate sweeps performed.
+    pub sweeps: usize,
+    /// Whether the sweep converged below the tolerance.
+    pub converged: bool,
+}
+
 /// Solver for the Lagrangian relaxation subproblem.
 #[derive(Debug, Clone, Copy)]
 pub struct LrsSolver {
@@ -49,79 +60,65 @@ impl LrsSolver {
     /// Creates a solver with the given sweep limit and convergence tolerance
     /// (maximum relative size change per sweep).
     pub fn new(max_sweeps: usize, tolerance: f64) -> Self {
-        LrsSolver { max_sweeps: max_sweeps.max(1), tolerance: tolerance.max(0.0) }
+        LrsSolver {
+            max_sweeps: max_sweeps.max(1),
+            tolerance: tolerance.max(0.0),
+        }
     }
 
     /// Solves `LRS₂` for the given multipliers.
     ///
+    /// Convenience wrapper that builds a fresh [`SizingEngine`] for the
+    /// problem and returns an owned outcome. Callers in a loop (OGWS, the
+    /// benches) should create the engine once and use
+    /// [`solve_with`](Self::solve_with), which performs no heap allocation
+    /// at all.
+    pub fn solve(&self, problem: &SizingProblem<'_>, multipliers: &Multipliers) -> LrsOutcome {
+        let mut engine = SizingEngine::for_problem(problem);
+        let mut sizes = problem.graph.minimum_sizes();
+        let stats = self.solve_with(&mut engine, multipliers, &mut sizes);
+        LrsOutcome {
+            sizes,
+            sweeps: stats.sweeps,
+            converged: stats.converged,
+        }
+    }
+
+    /// Solves `LRS₂` in place, writing the minimizer into `sizes` and using
+    /// only the engine's pre-sized buffers.
+    ///
     /// Follows Figure 8: start at the lower bounds, then repeat
     /// (recompute `C'`, recompute `R`, greedy resize every component) until
-    /// no component moves by more than the tolerance.
-    pub fn solve(&self, problem: &SizingProblem<'_>, multipliers: &Multipliers) -> LrsOutcome {
-        let graph = problem.graph;
-        let coupling = problem.coupling;
-        let analyzer = ElmoreAnalyzer::new(graph);
-        let lambda = multipliers.node_weights(graph);
-
+    /// no component moves by more than the tolerance. Each sweep is
+    /// `O(V + E + P)` with zero heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) when `sizes` does not match the engine's
+    /// circuit.
+    pub fn solve_with<M: DelayModel>(
+        &self,
+        engine: &mut SizingEngine<'_, M>,
+        multipliers: &Multipliers,
+        sizes: &mut SizeVector,
+    ) -> LrsStats {
+        // A2 aggregation: node weights λ_i, once per solve.
+        engine.load_node_weights(multipliers);
         // S1: start at the lower bounds.
-        let mut sizes = graph.minimum_sizes();
+        engine.reset_to_lower_bounds(sizes);
+
         let mut sweeps = 0;
         let mut converged = false;
-
         while sweeps < self.max_sweeps {
             sweeps += 1;
-            let previous = sizes.clone();
-
-            // S2: downstream capacitances C_i with the coupling load included.
-            let extra = coupling.delay_load_per_node(graph, &sizes);
-            let caps = analyzer.downstream_caps(&sizes, Some(&extra));
-            // S3: λ-weighted upstream resistances R_i.
-            let upstream = analyzer.weighted_upstream_resistance(&sizes, &lambda);
-
-            // S4: greedy closed-form resize, updating in place so later
-            // components see their neighbors' fresh widths.
-            for id in graph.component_ids() {
-                let dense = graph.component_index(id).expect("component id");
-                let node = graph.node(id);
-                let attrs = &node.attrs;
-                let lambda_i = lambda[id.index()];
-                let x_i = sizes[dense];
-
-                // Numerator capacitance: C_i minus every term proportional to
-                // x_i (own far-half capacitance and the x_i part of the
-                // coupling), keeping the neighbor-width coupling term.
-                let mut cap_num = caps.charged_of(id);
-                if matches!(node.kind, NodeKind::Wire) {
-                    cap_num -= attrs.unit_capacitance * x_i / 2.0;
-                    cap_num -= coupling.linear_coefficient_sum(id) * x_i;
-                }
-                // Guard against tiny negative values from floating-point noise.
-                if cap_num < 0.0 {
-                    cap_num = 0.0;
-                }
-
-                let coupling_sum = coupling.linear_coefficient_sum(id);
-                let denominator = attrs.area_coefficient
-                    + (multipliers.beta + upstream[id.index()]) * attrs.unit_capacitance
-                    + multipliers.gamma * coupling_sum;
-                let numerator = lambda_i * attrs.unit_resistance * cap_num;
-
-                let opt = if denominator > 0.0 && numerator > 0.0 {
-                    (numerator / denominator).sqrt()
-                } else {
-                    0.0
-                };
-                sizes[dense] = opt.clamp(attrs.lower_bound, attrs.upper_bound);
-            }
-
-            // S5: repeat until no improvement.
-            if sizes.max_rel_diff(&previous) <= self.tolerance {
+            // S2–S4 in the engine; S5: repeat until no improvement.
+            let delta = engine.lrs_sweep(sizes, multipliers.beta, multipliers.gamma);
+            if delta <= self.tolerance {
                 converged = true;
                 break;
             }
         }
-
-        LrsOutcome { sizes, sweeps, converged }
+        LrsStats { sweeps, converged }
     }
 }
 
@@ -150,7 +147,11 @@ mod tests {
     }
 
     fn loose_bounds() -> ConstraintBounds {
-        ConstraintBounds { delay: 1e12, total_capacitance: 1e12, crosstalk: 1e12 }
+        ConstraintBounds {
+            delay: 1e12,
+            total_capacitance: 1e12,
+            crosstalk: 1e12,
+        }
     }
 
     #[test]

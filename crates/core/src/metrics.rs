@@ -25,8 +25,21 @@ pub struct CircuitMetrics {
 }
 
 impl CircuitMetrics {
+    /// Evaluates all metrics through a reusable [`SizingEngine`], without
+    /// allocating. Bitwise identical to [`evaluate`](Self::evaluate).
+    pub fn evaluate_with<M: ncgws_circuit::DelayModel>(
+        engine: &mut crate::engine::SizingEngine<'_, M>,
+        sizes: &SizeVector,
+    ) -> Self {
+        engine.metrics(sizes)
+    }
+
     /// Evaluates all metrics for a circuit under `sizes`, with coupling
     /// included in the delay model.
+    ///
+    /// This is the allocate-per-call reference path; hot loops should build
+    /// a [`SizingEngine`](crate::SizingEngine) once and use
+    /// [`evaluate_with`](Self::evaluate_with).
     pub fn evaluate(graph: &CircuitGraph, coupling: &CouplingSet, sizes: &SizeVector) -> Self {
         let extra = coupling.delay_load_per_node(graph, sizes);
         let timing = TimingAnalysis::run(graph, sizes, Some(&extra));
@@ -147,8 +160,7 @@ mod tests {
         let sizes = graph.uniform_sizes(1.0);
         let m = CircuitMetrics::evaluate(&graph, &coupling, &sizes);
         assert!((m.delay_ps - m.delay_internal / 1000.0).abs() < 1e-9);
-        let expected_power =
-            m.total_capacitance_ff * graph.technology().power_scale_mw_per_ff();
+        let expected_power = m.total_capacitance_ff * graph.technology().power_scale_mw_per_ff();
         assert!((m.power_mw - expected_power).abs() < 1e-9);
     }
 

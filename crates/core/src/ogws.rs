@@ -19,9 +19,10 @@
 
 use std::time::Instant;
 
-use ncgws_circuit::{NodeKind, SizeVector, TimingAnalysis};
+use ncgws_circuit::{DelayModel, NodeKind, SizeVector};
 use serde::{Deserialize, Serialize};
 
+use crate::engine::SizingEngine;
 use crate::lagrangian::{dual_value, Multipliers};
 use crate::lrs::LrsSolver;
 use crate::metrics::IterationRecord;
@@ -99,7 +100,41 @@ impl OgwsSolver {
     }
 
     /// Runs the outer loop on an assembled sizing problem.
+    ///
+    /// Convenience wrapper that builds one [`SizingEngine`] for the problem
+    /// and reuses it across every iteration; see
+    /// [`solve_with`](Self::solve_with) to share an engine across solves.
     pub fn solve(&self, problem: &SizingProblem<'_>) -> OgwsOutcome {
+        let mut engine = SizingEngine::for_problem(problem);
+        self.solve_with(problem, &mut engine)
+    }
+
+    /// Runs the outer loop using a caller-provided engine.
+    ///
+    /// The engine must have been built for the same circuit and coupling set
+    /// as `problem`. After the one-time setup below, the per-iteration loop
+    /// performs no heap allocation: the LRS sweeps, timing analysis and
+    /// multiplier updates all run inside the engine's workspace, and the
+    /// candidate/best/last size vectors are preallocated buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the engine is bound to a different circuit or coupling
+    /// set than `problem` (the check is two pointer comparisons, free
+    /// relative to a solve, and a mismatch would silently produce garbage).
+    pub fn solve_with<M: DelayModel>(
+        &self,
+        problem: &SizingProblem<'_>,
+        engine: &mut SizingEngine<'_, M>,
+    ) -> OgwsOutcome {
+        assert!(
+            std::ptr::eq(problem.graph, engine.graph()),
+            "engine was built for a different circuit than the problem"
+        );
+        assert!(
+            std::ptr::eq(problem.coupling, engine.coupling()),
+            "engine was built for a different coupling set than the problem"
+        );
         let graph = problem.graph;
         let coupling = problem.coupling;
         let bounds = problem.bounds;
@@ -113,11 +148,16 @@ impl OgwsSolver {
         );
         project_flow_conservation(graph, &mut multipliers);
 
-        let mut iterations = Vec::new();
+        // One-time buffer setup; the loop below reuses all of these. The
+        // record capacity is capped so an extravagant iteration limit does
+        // not become an extravagant upfront allocation.
+        let mut iterations = Vec::with_capacity(self.config.max_iterations.min(1024));
+        let mut sizes = graph.minimum_sizes();
+        let mut best_sizes = graph.minimum_sizes();
+        let mut best_area = f64::INFINITY;
+        let mut have_feasible = false;
         let mut best_gap = f64::INFINITY;
         let mut best_dual = f64::NEG_INFINITY;
-        let mut best_feasible: Option<(f64, SizeVector)> = None;
-        let mut last_sizes = graph.minimum_sizes();
         let mut converged = false;
         let mut stagnant = 0usize;
 
@@ -125,10 +165,8 @@ impl OgwsSolver {
             let started = Instant::now();
 
             // A2 + A3: solve the relaxation and analyze timing at its solution.
-            let lrs_outcome = lrs.solve(problem, &multipliers);
-            let sizes = lrs_outcome.sizes;
-            let extra = coupling.delay_load_per_node(graph, &sizes);
-            let timing = TimingAnalysis::run(graph, &sizes, Some(&extra));
+            let lrs_stats = lrs.solve_with(engine, &multipliers, &mut sizes);
+            let timing = engine.timing(&sizes);
 
             // Constraint values.
             let total_cap = ncgws_circuit::total_capacitance(graph, &sizes);
@@ -145,29 +183,41 @@ impl OgwsSolver {
             // best feasible (upper bound) and the best dual (lower bound)
             // seen so far.
             let primal_area = problem.area(&sizes);
-            let dual = dual_value(problem, &multipliers, &sizes, &timing.delays);
+            let dual = dual_value(problem, &multipliers, &sizes, timing.delays);
             let mut improved = false;
             if !best_dual.is_finite() || dual > best_dual + best_dual.abs() * 1e-4 {
                 improved = true;
             }
             best_dual = best_dual.max(dual);
             if feasible {
-                let better = best_feasible
-                    .as_ref()
-                    .map_or(true, |(a, _)| primal_area < *a * (1.0 - 1e-4));
+                let better = !have_feasible || primal_area < best_area * (1.0 - 1e-4);
                 if better {
-                    best_feasible = Some((primal_area, sizes.clone()));
+                    best_area = primal_area;
+                    best_sizes.copy_from(&sizes);
+                    have_feasible = true;
                     improved = true;
                 }
             }
-            let reference = best_feasible.as_ref().map(|(a, _)| *a).unwrap_or(primal_area);
+            let reference = if have_feasible {
+                best_area
+            } else {
+                primal_area
+            };
             let gap = (reference - best_dual).max(0.0) / reference.abs().max(1e-12);
             best_gap = best_gap.min(gap);
             stagnant = if improved { 0 } else { stagnant + 1 };
 
             // A4: subgradient step on every multiplier, normalized violations.
             let step = self.config.step_schedule.value(k);
-            self.update_multipliers(problem, &mut multipliers, &timing, step, power_violation, crosstalk_violation);
+            Self::update_multipliers(
+                problem,
+                &mut multipliers,
+                timing.arrival,
+                timing.delays,
+                step,
+                power_violation,
+                crosstalk_violation,
+            );
             // A5: project back onto the optimality condition.
             project_flow_conservation(graph, &mut multipliers);
 
@@ -180,26 +230,27 @@ impl OgwsSolver {
                 power_violation,
                 crosstalk_violation,
                 seconds: started.elapsed().as_secs_f64(),
-                lrs_sweeps: lrs_outcome.sweeps,
+                lrs_sweeps: lrs_stats.sweeps,
             });
-            last_sizes = sizes;
 
             // A7: stop on a small duality gap once a feasible iterate exists.
-            if gap <= self.config.gap_tolerance && best_feasible.is_some() {
+            if gap <= self.config.gap_tolerance && have_feasible {
                 converged = true;
                 break;
             }
             // Secondary stop: neither bound has moved for a long stretch —
             // the subgradient method has stalled within its step resolution,
             // so further iterations cannot tighten the certificate.
-            if stagnant >= STAGNATION_LIMIT && best_feasible.is_some() {
+            if stagnant >= STAGNATION_LIMIT && have_feasible {
                 break;
             }
         }
 
-        let (feasible, sizes) = match best_feasible {
-            Some((_, sizes)) => (true, sizes),
-            None => (false, last_sizes),
+        // On the infeasible exit `sizes` still holds the last LRS iterate.
+        let (feasible, sizes) = if have_feasible {
+            (true, best_sizes)
+        } else {
+            (false, sizes)
         };
         OgwsOutcome {
             sizes,
@@ -213,19 +264,19 @@ impl OgwsSolver {
     }
 
     /// A4 of Figure 9: move every multiplier along its constraint violation.
+    /// `arrival` and `delays` are indexed by raw node index.
+    #[allow(clippy::too_many_arguments)]
     fn update_multipliers(
-        &self,
         problem: &SizingProblem<'_>,
         multipliers: &mut Multipliers,
-        timing: &TimingAnalysis,
+        arrival: &[f64],
+        delays: &[f64],
         step: f64,
         power_violation: f64,
         crosstalk_violation: f64,
     ) {
         let graph = problem.graph;
         let bounds = problem.bounds;
-        let a = &timing.arrival;
-        let delays = &timing.delays;
         let a0 = bounds.delay.max(1e-12);
 
         // Multiplicative form of the subgradient step: each multiplier moves
@@ -247,14 +298,14 @@ impl OgwsSolver {
             let kind = graph.node(i).kind;
             for (slot, &j) in graph.fanin(i).iter().enumerate() {
                 let violation = match kind {
-                    NodeKind::Sink => a.of(j) - a0,
+                    NodeKind::Sink => arrival[j.index()] - a0,
                     NodeKind::Gate(_) | NodeKind::Wire => {
                         if j == graph.source() {
                             continue;
                         }
-                        a.of(j) + delays[i.index()] - a.of(i)
+                        arrival[j.index()] + delays[i.index()] - arrival[i.index()]
                     }
-                    NodeKind::Driver => delays[i.index()] - a.of(i),
+                    NodeKind::Driver => delays[i.index()] - arrival[i.index()],
                     NodeKind::Source => continue,
                 };
                 bump(multipliers.edge_mut(i, slot), violation / a0);
@@ -274,7 +325,7 @@ impl OgwsSolver {
 mod tests {
     use super::*;
     use crate::problem::ConstraintBounds;
-    use ncgws_circuit::{CircuitBuilder, CircuitGraph, GateKind, Technology};
+    use ncgws_circuit::{CircuitBuilder, CircuitGraph, GateKind, Technology, TimingAnalysis};
     use ncgws_coupling::{CouplingPair, CouplingSet, WirePairGeometry};
 
     /// A two-stage chain with a pair of coupled wires.
@@ -306,13 +357,20 @@ mod tests {
     }
 
     fn config(max_iterations: usize) -> OptimizerConfig {
-        OptimizerConfig { max_iterations, ..OptimizerConfig::default() }
+        OptimizerConfig {
+            max_iterations,
+            ..OptimizerConfig::default()
+        }
     }
 
     #[test]
     fn loose_bounds_drive_sizes_to_the_minimum() {
         let (graph, coupling) = setup();
-        let bounds = ConstraintBounds { delay: 1e12, total_capacitance: 1e12, crosstalk: 1e12 };
+        let bounds = ConstraintBounds {
+            delay: 1e12,
+            total_capacitance: 1e12,
+            crosstalk: 1e12,
+        };
         let problem = SizingProblem::new(&graph, &coupling, bounds).unwrap();
         let outcome = OgwsSolver::new(config(60)).solve(&problem);
         assert!(outcome.feasible);
@@ -347,13 +405,20 @@ mod tests {
         // A delay 5% above the best uniform sizing is certainly achievable.
         let target = best_uniform_delay(&graph, &coupling) * 1.05;
 
-        let bounds =
-            ConstraintBounds { delay: target, total_capacitance: 1e12, crosstalk: 1e12 };
+        let bounds = ConstraintBounds {
+            delay: target,
+            total_capacitance: 1e12,
+            crosstalk: 1e12,
+        };
         let problem = SizingProblem::new(&graph, &coupling, bounds).unwrap();
         let outcome = OgwsSolver::new(config(150)).solve(&problem);
-        assert!(outcome.feasible, "a feasible sizing exists and must be found");
+        assert!(
+            outcome.feasible,
+            "a feasible sizing exists and must be found"
+        );
         let extra = coupling.delay_load_per_node(&graph, &outcome.sizes);
-        let achieved = TimingAnalysis::run(&graph, &outcome.sizes, Some(&extra)).critical_path_delay;
+        let achieved =
+            TimingAnalysis::run(&graph, &outcome.sizes, Some(&extra)).critical_path_delay;
         // The solver declares feasibility up to FEASIBILITY_TOLERANCE, so the
         // achieved delay may exceed the bound by at most that fraction.
         assert!(
@@ -367,7 +432,11 @@ mod tests {
     #[test]
     fn iteration_records_are_populated() {
         let (graph, coupling) = setup();
-        let bounds = ConstraintBounds { delay: 1e12, total_capacitance: 1e12, crosstalk: 1e12 };
+        let bounds = ConstraintBounds {
+            delay: 1e12,
+            total_capacitance: 1e12,
+            crosstalk: 1e12,
+        };
         let problem = SizingProblem::new(&graph, &coupling, bounds).unwrap();
         let outcome = OgwsSolver::new(config(5)).solve(&problem);
         assert!(!outcome.iterations.is_empty());

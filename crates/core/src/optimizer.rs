@@ -13,6 +13,7 @@ use ncgws_circuit::SizeVector;
 use ncgws_netlist::ProblemInstance;
 
 use crate::coupling_build::{build_coupling, WireOrderingOutcome};
+use crate::engine::SizingEngine;
 use crate::error::CoreError;
 use crate::metrics::{CircuitMetrics, MemoryBreakdown};
 use crate::ogws::{OgwsOutcome, OgwsSolver};
@@ -24,12 +25,18 @@ use crate::report::{Improvements, OptimizationReport};
 pub struct OptimizationOutcome {
     /// The report (Table 1 row, iteration history, memory, improvements).
     pub report: OptimizationReport,
-    /// The final size vector.
-    pub sizes: SizeVector,
     /// The stage-1 wire ordering outcome (orderings, coupling set, adjacency).
     pub ordering: WireOrderingOutcome,
     /// The raw OGWS outcome (multiplier values, convergence data).
     pub ogws: OgwsOutcome,
+}
+
+impl OptimizationOutcome {
+    /// The final size vector. Borrowed from the OGWS outcome, which owns it
+    /// — the outcome used to carry a redundant clone alongside `ogws.sizes`.
+    pub fn sizes(&self) -> &SizeVector {
+        &self.ogws.sizes
+    }
 }
 
 /// The two-stage noise-constrained gate and wire sizing optimizer.
@@ -67,13 +74,19 @@ impl Optimizer {
         let graph = &instance.circuit;
 
         // Stage 1: switching-similarity wire ordering and coupling model.
-        let ordering =
-            build_coupling(instance, self.config.ordering, self.config.effective_coupling)?;
+        let ordering = build_coupling(
+            instance,
+            self.config.ordering,
+            self.config.effective_coupling,
+        )?;
         let coupling = &ordering.coupling;
+
+        // One engine, reused for every evaluation of the run.
+        let mut engine = SizingEngine::new(graph, coupling);
 
         // Initial ("unsized") metrics and the constraint bounds derived from them.
         let initial_sizes = self.config.initial_sizes(graph);
-        let initial_metrics = CircuitMetrics::evaluate(graph, coupling, &initial_sizes);
+        let initial_metrics = CircuitMetrics::evaluate_with(&mut engine, &initial_sizes);
         let bounds = self
             .config
             .absolute_bounds
@@ -83,16 +96,15 @@ impl Optimizer {
         // Stage 2: Lagrangian-relaxation sizing.
         let problem = SizingProblem::new(graph, coupling, bounds)?;
         let solver = OgwsSolver::new(self.config.clone());
-        let ogws = solver.solve(&problem);
-        let final_metrics = CircuitMetrics::evaluate(graph, coupling, &ogws.sizes);
+        let ogws = solver.solve_with(&problem, &mut engine);
+        let final_metrics = CircuitMetrics::evaluate_with(&mut engine, &ogws.sizes);
 
         let runtime_seconds = started.elapsed().as_secs_f64();
         let memory = MemoryBreakdown {
             circuit_bytes: graph.memory_bytes(),
             coupling_bytes: coupling.memory_bytes(),
             multiplier_bytes: std::mem::size_of::<f64>() * (graph.num_edges() + 2),
-            working_bytes: std::mem::size_of::<f64>() * graph.num_nodes() * 6
-                + std::mem::size_of::<f64>() * graph.num_components(),
+            working_bytes: engine.memory_bytes(),
         };
 
         let report = OptimizationReport {
@@ -113,7 +125,11 @@ impl Optimizer {
             ordering_effective_loading: ordering.total_effective_loading,
         };
 
-        Ok(OptimizationOutcome { report, sizes: ogws.sizes.clone(), ordering, ogws })
+        Ok(OptimizationOutcome {
+            report,
+            ordering,
+            ogws,
+        })
     }
 }
 
@@ -124,14 +140,20 @@ mod tests {
 
     fn instance(gates: usize, wires: usize, seed: u64) -> ProblemInstance {
         SyntheticGenerator::new(
-            CircuitSpec::new("opt-test", gates, wires).with_seed(seed).with_num_patterns(32),
+            CircuitSpec::new("opt-test", gates, wires)
+                .with_seed(seed)
+                .with_num_patterns(32),
         )
         .generate()
         .unwrap()
     }
 
     fn quick_config() -> OptimizerConfig {
-        OptimizerConfig { max_iterations: 40, max_lrs_sweeps: 20, ..OptimizerConfig::default() }
+        OptimizerConfig {
+            max_iterations: 40,
+            max_lrs_sweeps: 20,
+            ..OptimizerConfig::default()
+        }
     }
 
     #[test]
@@ -143,8 +165,16 @@ mod tests {
         assert!(r.final_metrics.noise_pf < r.initial_metrics.noise_pf);
         assert!(r.final_metrics.power_mw < r.initial_metrics.power_mw);
         assert!(r.final_metrics.area_um2 < r.initial_metrics.area_um2);
-        assert!(r.improvements.noise_pct > 50.0, "noise improvement {}", r.improvements.noise_pct);
-        assert!(r.improvements.area_pct > 50.0, "area improvement {}", r.improvements.area_pct);
+        assert!(
+            r.improvements.noise_pct > 50.0,
+            "noise improvement {}",
+            r.improvements.noise_pct
+        );
+        assert!(
+            r.improvements.area_pct > 50.0,
+            "area improvement {}",
+            r.improvements.area_pct
+        );
         // Delay must respect the bound (factor 1.0 of the initial delay).
         assert!(
             r.final_metrics.delay_ps <= r.initial_metrics.delay_ps * (1.0 + 1e-6),
@@ -161,14 +191,17 @@ mod tests {
     fn final_sizes_respect_bounds_and_length() {
         let inst = instance(40, 90, 3);
         let outcome = Optimizer::new(quick_config()).run(&inst).unwrap();
-        assert_eq!(outcome.sizes.len(), inst.circuit.num_components());
-        assert!(inst.circuit.check_sizes(&outcome.sizes).is_ok());
+        assert_eq!(outcome.sizes().len(), inst.circuit.num_components());
+        assert!(inst.circuit.check_sizes(outcome.sizes()).is_ok());
     }
 
     #[test]
     fn invalid_config_is_rejected() {
         let inst = instance(20, 45, 1);
-        let config = OptimizerConfig { max_iterations: 0, ..OptimizerConfig::default() };
+        let config = OptimizerConfig {
+            max_iterations: 0,
+            ..OptimizerConfig::default()
+        };
         assert!(matches!(
             Optimizer::new(config).run(&inst),
             Err(CoreError::InvalidConfig { .. })
@@ -199,7 +232,7 @@ mod tests {
         let inst = instance(30, 70, 9);
         let a = Optimizer::new(quick_config()).run(&inst).unwrap();
         let b = Optimizer::new(quick_config()).run(&inst).unwrap();
-        assert_eq!(a.sizes, b.sizes);
+        assert_eq!(a.sizes(), b.sizes());
         assert_eq!(a.report.final_metrics, b.report.final_metrics);
     }
 }

@@ -242,7 +242,11 @@ impl<'a> SizingProblem<'a> {
         bounds: ConstraintBounds,
     ) -> Result<Self, CoreError> {
         bounds.check_feasible(graph, coupling)?;
-        Ok(SizingProblem { graph, coupling, bounds })
+        Ok(SizingProblem {
+            graph,
+            coupling,
+            bounds,
+        })
     }
 
     /// The reduced crosstalk bound `X' = X_B − Σ ~c_ij` of the linearized
@@ -268,20 +272,28 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let mut c = OptimizerConfig::default();
-        c.max_iterations = 0;
+        let c = OptimizerConfig {
+            max_iterations: 0,
+            ..OptimizerConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = OptimizerConfig::default();
-        c.gap_tolerance = 0.0;
+        let c = OptimizerConfig {
+            gap_tolerance: 0.0,
+            ..OptimizerConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = OptimizerConfig::default();
-        c.initial_size = Some(-2.0);
+        let c = OptimizerConfig {
+            initial_size: Some(-2.0),
+            ..OptimizerConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = OptimizerConfig::default();
-        c.initial_edge_multiplier = -1.0;
+        let c = OptimizerConfig {
+            initial_edge_multiplier: -1.0,
+            ..OptimizerConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 
@@ -303,7 +315,10 @@ mod tests {
         let sizes = config.initial_sizes(&graph);
         assert!(sizes.iter().all(|&x| (x - 10.0).abs() < 1e-12));
 
-        let config = OptimizerConfig { initial_size: Some(1.0), ..OptimizerConfig::default() };
+        let config = OptimizerConfig {
+            initial_size: Some(1.0),
+            ..OptimizerConfig::default()
+        };
         let sizes = config.initial_sizes(&graph);
         assert!(sizes.iter().all(|&x| (x - 1.0).abs() < 1e-12));
     }

@@ -114,13 +114,30 @@ impl OptimizationReport {
 /// Averages the improvements of several reports (the paper's `Impr(%)` row).
 pub fn average_improvements(reports: &[OptimizationReport]) -> Improvements {
     if reports.is_empty() {
-        return Improvements { noise_pct: 0.0, delay_pct: 0.0, power_pct: 0.0, area_pct: 0.0 };
+        return Improvements {
+            noise_pct: 0.0,
+            delay_pct: 0.0,
+            power_pct: 0.0,
+            area_pct: 0.0,
+        };
     }
     let n = reports.len() as f64;
     Improvements {
-        noise_pct: reports.iter().map(|r| r.improvements.noise_pct).sum::<f64>() / n,
-        delay_pct: reports.iter().map(|r| r.improvements.delay_pct).sum::<f64>() / n,
-        power_pct: reports.iter().map(|r| r.improvements.power_pct).sum::<f64>() / n,
+        noise_pct: reports
+            .iter()
+            .map(|r| r.improvements.noise_pct)
+            .sum::<f64>()
+            / n,
+        delay_pct: reports
+            .iter()
+            .map(|r| r.improvements.delay_pct)
+            .sum::<f64>()
+            / n,
+        power_pct: reports
+            .iter()
+            .map(|r| r.improvements.power_pct)
+            .sum::<f64>()
+            / n,
         area_pct: reports.iter().map(|r| r.improvements.area_pct).sum::<f64>() / n,
     }
 }
@@ -196,7 +213,10 @@ mod tests {
         assert!(row.contains("c432"));
         assert!(row.contains("30")); // total components
         let header = OptimizationReport::table1_header();
-        assert_eq!(header.split_whitespace().count(), row.split_whitespace().count());
+        assert_eq!(
+            header.split_whitespace().count(),
+            row.split_whitespace().count()
+        );
     }
 
     #[test]

@@ -93,7 +93,10 @@ mod tests {
 
     #[test]
     fn schedules_decrease_monotonically() {
-        for s in [StepSchedule::Harmonic { scale: 1.0 }, StepSchedule::SqrtDecay { scale: 8.0 }] {
+        for s in [
+            StepSchedule::Harmonic { scale: 1.0 },
+            StepSchedule::SqrtDecay { scale: 8.0 },
+        ] {
             let mut last = f64::INFINITY;
             for k in 1..50 {
                 let v = s.value(k);

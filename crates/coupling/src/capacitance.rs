@@ -25,7 +25,11 @@ impl WirePairGeometry {
     ///
     /// Returns [`CouplingError::InvalidGeometry`] if any parameter is
     /// non-positive or non-finite.
-    pub fn new(overlap_length: f64, distance: f64, unit_fringing: f64) -> Result<Self, CouplingError> {
+    pub fn new(
+        overlap_length: f64,
+        distance: f64,
+        unit_fringing: f64,
+    ) -> Result<Self, CouplingError> {
         for (name, value) in [
             ("overlap_length", overlap_length),
             ("distance", distance),
@@ -35,7 +39,11 @@ impl WirePairGeometry {
                 return Err(CouplingError::InvalidGeometry { name, value });
             }
         }
-        Ok(WirePairGeometry { overlap_length, distance, unit_fringing })
+        Ok(WirePairGeometry {
+            overlap_length,
+            distance,
+            unit_fringing,
+        })
     }
 
     /// The size-independent coupling `~c_ij = f̂_ij · l_ij / d_ij` (fF).
@@ -72,7 +80,12 @@ impl CouplingPair {
             return Err(CouplingError::SelfCoupling(a));
         }
         let (a, b) = if a < b { (a, b) } else { (b, a) };
-        Ok(CouplingPair { a, b, geometry, switching_factor: 1.0 })
+        Ok(CouplingPair {
+            a,
+            b,
+            geometry,
+            switching_factor: 1.0,
+        })
     }
 
     /// Sets the switching factor (clamped into `[0, 2]`).

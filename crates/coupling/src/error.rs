@@ -41,7 +41,10 @@ impl fmt::Display for CouplingError {
                 write!(f, "coupling pair ({a}, {b}) supplied more than once")
             }
             CouplingError::InvalidGeometry { name, value } => {
-                write!(f, "coupling geometry parameter {name} must be positive and finite, got {value}")
+                write!(
+                    f,
+                    "coupling geometry parameter {name} must be positive and finite, got {value}"
+                )
             }
             CouplingError::PitchTooSmall { a, b, distance } => write!(
                 f,
@@ -59,9 +62,16 @@ mod tests {
 
     #[test]
     fn display_is_meaningful() {
-        let e = CouplingError::PitchTooSmall { a: NodeId::new(1), b: NodeId::new(2), distance: 3.0 };
+        let e = CouplingError::PitchTooSmall {
+            a: NodeId::new(1),
+            b: NodeId::new(2),
+            distance: 3.0,
+        };
         assert!(e.to_string().contains("pitch"));
-        let e = CouplingError::InvalidGeometry { name: "distance", value: -1.0 };
+        let e = CouplingError::InvalidGeometry {
+            name: "distance",
+            value: -1.0,
+        };
         assert!(e.to_string().contains("distance"));
     }
 

@@ -12,7 +12,10 @@
 ///
 /// Panics if `x ≥ 1` (the wires would collide) or `x` is not finite.
 pub fn exact_factor(x: f64) -> f64 {
-    assert!(x.is_finite() && x < 1.0, "exact_factor requires x < 1, got {x}");
+    assert!(
+        x.is_finite() && x < 1.0,
+        "exact_factor requires x < 1, got {x}"
+    );
     1.0 / (1.0 - x)
 }
 

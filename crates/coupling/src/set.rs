@@ -16,12 +16,23 @@ pub struct CouplingSet {
     pairs: Vec<CouplingPair>,
     /// For each raw node index, the indices into `pairs` the node participates in.
     neighbor_pairs: Vec<Vec<usize>>,
+    /// For each raw node index, the precomputed switching-weighted linear
+    /// coefficient sum `Σ_{j∈N(i)} sf_ij · ĉ_ij` of Theorem 5. Pairs are
+    /// immutable after construction, so this never goes stale in-process.
+    /// Caveat: a hand-edited serialized form could desynchronize it from
+    /// `pairs`; rebuild through [`CouplingSet::new`] rather than
+    /// deserializing untrusted data (the vendored serde never deserializes).
+    linear_sums: Vec<f64>,
 }
 
 impl CouplingSet {
     /// An empty coupling set for a circuit (no crosstalk).
     pub fn empty(graph: &CircuitGraph) -> Self {
-        CouplingSet { pairs: Vec::new(), neighbor_pairs: vec![Vec::new(); graph.num_nodes()] }
+        CouplingSet {
+            pairs: Vec::new(),
+            neighbor_pairs: vec![Vec::new(); graph.num_nodes()],
+            linear_sums: vec![0.0; graph.num_nodes()],
+        }
     }
 
     /// Builds a coupling set, validating every pair against the circuit.
@@ -55,7 +66,20 @@ impl CouplingSet {
             neighbor_pairs[pair.a.index()].push(idx);
             neighbor_pairs[pair.b.index()].push(idx);
         }
-        Ok(CouplingSet { pairs, neighbor_pairs })
+        // Accumulate in neighbor-iteration order so the cached sums are
+        // bitwise identical to a fresh `neighbors(i)` summation.
+        let mut linear_sums = vec![0.0; graph.num_nodes()];
+        for (node, pair_indices) in neighbor_pairs.iter().enumerate() {
+            for &pi in pair_indices {
+                let p = &pairs[pi];
+                linear_sums[node] += p.switching_factor * p.linear_coefficient();
+            }
+        }
+        Ok(CouplingSet {
+            pairs,
+            neighbor_pairs,
+            linear_sums,
+        })
     }
 
     /// Number of coupling pairs.
@@ -79,7 +103,12 @@ impl CouplingSet {
             .get(id.index())
             .into_iter()
             .flatten()
-            .map(move |&pi| (self.pairs[pi].other(id).expect("pair contains id"), &self.pairs[pi]))
+            .map(move |&pi| {
+                (
+                    self.pairs[pi].other(id).expect("pair contains id"),
+                    &self.pairs[pi],
+                )
+            })
     }
 
     /// The dominating index `I(i)`: neighbors of `i` with a larger node index.
@@ -89,7 +118,10 @@ impl CouplingSet {
 
     /// Number of neighbors of a wire.
     pub fn degree(&self, id: NodeId) -> usize {
-        self.neighbor_pairs.get(id.index()).map(Vec::len).unwrap_or(0)
+        self.neighbor_pairs
+            .get(id.index())
+            .map(Vec::len)
+            .unwrap_or(0)
     }
 
     /// Sum of the (switching-factor weighted) linear coefficients
@@ -97,12 +129,33 @@ impl CouplingSet {
     /// denominator. With the default neutral switching factors this is the
     /// purely physical sum.
     pub fn linear_coefficient_sum(&self, id: NodeId) -> f64 {
-        self.neighbors(id).map(|(_, p)| p.switching_factor * p.linear_coefficient()).sum()
+        self.linear_sums[id.index()]
+    }
+
+    /// Recomputes the linear coefficient sum by walking the neighbor list —
+    /// the pre-cache implementation, kept for the allocate-per-call
+    /// reference path and as the oracle the cached sums are validated
+    /// against (same accumulation order, so bitwise identical).
+    pub fn linear_coefficient_sum_uncached(&self, id: NodeId) -> f64 {
+        self.neighbors(id)
+            .map(|(_, p)| p.switching_factor * p.linear_coefficient())
+            .sum()
+    }
+
+    /// The precomputed per-node linear coefficient sums, indexed by raw node
+    /// index — the dense view the sizing engine reads directly.
+    pub fn linear_coefficient_sums(&self) -> &[f64] {
+        &self.linear_sums
     }
 
     /// `Σ_{j∈N(i)} ĉ_ij · x_j` for wire `i` (Theorem 5's numerator term),
     /// weighted by the switching factors.
-    pub fn weighted_neighbor_width(&self, graph: &CircuitGraph, id: NodeId, sizes: &SizeVector) -> f64 {
+    pub fn weighted_neighbor_width(
+        &self,
+        graph: &CircuitGraph,
+        id: NodeId,
+        sizes: &SizeVector,
+    ) -> f64 {
         self.neighbors(id)
             .map(|(other, p)| {
                 p.switching_factor * p.linear_coefficient() * graph.size_of(other, sizes)
@@ -136,7 +189,10 @@ impl CouplingSet {
     /// `Σ_{i∈W} Σ_{j∈I(i)} ~c_ij`, used to convert the crosstalk bound `X_B`
     /// into the reduced bound `X' = X_B − Σ ~c_ij`.
     pub fn total_base_capacitance(&self) -> f64 {
-        self.pairs.iter().map(|p| p.switching_factor * p.base_capacitance()).sum()
+        self.pairs
+            .iter()
+            .map(|p| p.switching_factor * p.base_capacitance())
+            .sum()
     }
 
     /// The size-dependent part of the linearized total crosstalk,
@@ -159,13 +215,27 @@ impl CouplingSet {
     /// factor models the Miller / anti-Miller effect on delay.
     pub fn delay_load_per_node(&self, graph: &CircuitGraph, sizes: &SizeVector) -> Vec<f64> {
         let mut load = vec![0.0; graph.num_nodes()];
+        self.delay_load_into(graph, sizes, &mut load);
+        load
+    }
+
+    /// Fills `load` (one slot per raw node index) with the per-node coupling
+    /// load, without allocating — the hot-loop variant of
+    /// [`delay_load_per_node`](Self::delay_load_per_node). Runs in `O(P)`
+    /// over the precomputed pair list.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `load` has the wrong length.
+    pub fn delay_load_into(&self, graph: &CircuitGraph, sizes: &SizeVector, load: &mut [f64]) {
+        debug_assert_eq!(load.len(), graph.num_nodes());
+        load.fill(0.0);
         for p in &self.pairs {
             let c = p.switching_factor
                 * p.linearized_capacitance(graph.size_of(p.a, sizes), graph.size_of(p.b, sizes));
             load[p.a.index()] += c;
             load[p.b.index()] += c;
         }
-        load
     }
 
     /// An estimate (in bytes) of the memory held by the coupling data
@@ -230,8 +300,7 @@ mod tests {
         let n2: Vec<NodeId> = set.neighbors(w2).map(|(o, _)| o).collect();
         assert!(n2.contains(&w1) && n2.contains(&w3));
         // I(i) counts each pair exactly once across the whole set.
-        let total_dominating: usize =
-            c.node_ids().map(|id| set.dominating(id).count()).sum();
+        let total_dominating: usize = c.node_ids().map(|id| set.dominating(id).count()).sum();
         assert_eq!(total_dominating, 2);
     }
 
@@ -241,18 +310,27 @@ mod tests {
         let g = wire(&c, "w1");
         let gate = c.node_by_name("g").unwrap();
         let bad = vec![CouplingPair::new(g, gate, geom()).unwrap()];
-        assert!(matches!(CouplingSet::new(&c, bad), Err(CouplingError::NotAWire(_))));
+        assert!(matches!(
+            CouplingSet::new(&c, bad),
+            Err(CouplingError::NotAWire(_))
+        ));
 
         let (w1, w2) = (wire(&c, "w1"), wire(&c, "w2"));
         let dup = vec![
             CouplingPair::new(w1, w2, geom()).unwrap(),
             CouplingPair::new(w2, w1, geom()).unwrap(),
         ];
-        assert!(matches!(CouplingSet::new(&c, dup), Err(CouplingError::DuplicatePair(_, _))));
+        assert!(matches!(
+            CouplingSet::new(&c, dup),
+            Err(CouplingError::DuplicatePair(_, _))
+        ));
 
         let tight = WirePairGeometry::new(80.0, 5.0, 0.03).unwrap();
         let colliding = vec![CouplingPair::new(w1, w2, tight).unwrap()];
-        assert!(matches!(CouplingSet::new(&c, colliding), Err(CouplingError::PitchTooSmall { .. })));
+        assert!(matches!(
+            CouplingSet::new(&c, colliding),
+            Err(CouplingError::PitchTooSmall { .. })
+        ));
     }
 
     #[test]
@@ -279,8 +357,7 @@ mod tests {
     fn crosstalk_decreases_with_smaller_wires() {
         let c = circuit();
         let (w1, w2) = (wire(&c, "w1"), wire(&c, "w2"));
-        let set =
-            CouplingSet::new(&c, vec![CouplingPair::new(w1, w2, geom()).unwrap()]).unwrap();
+        let set = CouplingSet::new(&c, vec![CouplingPair::new(w1, w2, geom()).unwrap()]).unwrap();
         let big = set.total_crosstalk(&c, &c.uniform_sizes(5.0));
         let small = set.total_crosstalk(&c, &c.uniform_sizes(0.2));
         assert!(small < big);
@@ -290,8 +367,7 @@ mod tests {
     fn delay_load_hits_both_wires() {
         let c = circuit();
         let (w1, w2) = (wire(&c, "w1"), wire(&c, "w2"));
-        let set =
-            CouplingSet::new(&c, vec![CouplingPair::new(w1, w2, geom()).unwrap()]).unwrap();
+        let set = CouplingSet::new(&c, vec![CouplingPair::new(w1, w2, geom()).unwrap()]).unwrap();
         let sizes = c.uniform_sizes(1.0);
         let load = set.delay_load_per_node(&c, &sizes);
         assert!(load[w1.index()] > 0.0);
@@ -310,6 +386,13 @@ mod tests {
         let set = CouplingSet::new(&c, vec![p12, p23]).unwrap();
         let sizes = c.uniform_sizes(2.0);
         assert!((set.linear_coefficient_sum(w2) - 2.0 * chat).abs() < 1e-12);
+        // The cached sums equal the neighbor-walk recomputation bitwise.
+        for id in c.node_ids() {
+            assert_eq!(
+                set.linear_coefficient_sum(id),
+                set.linear_coefficient_sum_uncached(id)
+            );
+        }
         assert!((set.weighted_neighbor_width(&c, w2, &sizes) - 2.0 * chat * 2.0).abs() < 1e-12);
     }
 

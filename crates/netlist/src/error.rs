@@ -69,12 +69,17 @@ mod tests {
     #[test]
     fn display_and_source() {
         use std::error::Error;
-        let e = NetlistError::InfeasibleSpec { reason: "too few wires".into() };
+        let e = NetlistError::InfeasibleSpec {
+            reason: "too few wires".into(),
+        };
         assert!(e.to_string().contains("too few wires"));
         assert!(e.source().is_none());
         let e = NetlistError::from(CircuitError::NoDrivers);
         assert!(e.source().is_some());
-        let e = NetlistError::Parse { line: 3, reason: "bad token".into() };
+        let e = NetlistError::Parse {
+            line: 3,
+            reason: "bad token".into(),
+        };
         assert!(e.to_string().contains("line 3"));
     }
 }

@@ -97,21 +97,38 @@ pub fn write_instance(instance: &ProblemInstance, pattern_directive: (usize, f64
             if id == circuit.source() || succ == circuit.sink() {
                 continue;
             }
-            let _ = writeln!(out, "connect {} {}", circuit.node(id).name, circuit.node(succ).name);
+            let _ = writeln!(
+                out,
+                "connect {} {}",
+                circuit.node(id).name,
+                circuit.node(succ).name
+            );
         }
     }
     for &id in circuit.primary_output_drivers() {
-        let _ = writeln!(out, "output {} {}", circuit.node(id).name, circuit.node(id).attrs.output_load);
+        let _ = writeln!(
+            out,
+            "output {} {}",
+            circuit.node(id).name,
+            circuit.node(id).attrs.output_load
+        );
     }
     for channel in &instance.channels {
         if channel.is_empty() {
             continue;
         }
-        let names: Vec<&str> = channel.iter().map(|&w| circuit.node(w).name.as_str()).collect();
+        let names: Vec<&str> = channel
+            .iter()
+            .map(|&w| circuit.node(w).name.as_str())
+            .collect();
         let _ = writeln!(out, "channel {}", names.join(" "));
     }
     let g = instance.geometry;
-    let _ = writeln!(out, "geometry {} {} {}", g.pitch, g.overlap_fraction, g.unit_fringing);
+    let _ = writeln!(
+        out,
+        "geometry {} {} {}",
+        g.pitch, g.overlap_fraction, g.unit_fringing
+    );
     let (count, toggle, seed) = pattern_directive;
     let _ = writeln!(out, "patterns {count} {toggle} {seed}");
     out
@@ -137,9 +154,13 @@ pub fn parse_instance(text: &str) -> Result<ProblemInstance, NetlistError> {
     };
     let mut pattern_directive: (usize, f64, u64) = (64, 0.35, 1);
 
-    let err = |line: usize, reason: &str| NetlistError::Parse { line, reason: reason.to_string() };
+    let err = |line: usize, reason: &str| NetlistError::Parse {
+        line,
+        reason: reason.to_string(),
+    };
     let parse_f64 = |line: usize, tok: &str| -> Result<f64, NetlistError> {
-        tok.parse::<f64>().map_err(|_| err(line, "expected a number"))
+        tok.parse::<f64>()
+            .map_err(|_| err(line, "expected a number"))
     };
 
     for (lineno, raw) in text.lines().enumerate() {
@@ -151,33 +172,52 @@ pub fn parse_instance(text: &str) -> Result<ProblemInstance, NetlistError> {
         let tokens: Vec<&str> = trimmed.split_whitespace().collect();
         match tokens[0] {
             "circuit" => {
-                name = tokens.get(1).ok_or_else(|| err(line, "missing circuit name"))?.to_string();
+                name = tokens
+                    .get(1)
+                    .ok_or_else(|| err(line, "missing circuit name"))?
+                    .to_string();
             }
             "driver" => {
-                let [_, n, rd] = tokens[..] else { return Err(err(line, "driver NAME RD")) };
+                let [_, n, rd] = tokens[..] else {
+                    return Err(err(line, "driver NAME RD"));
+                };
                 let handle = builder.add_driver(n, parse_f64(line, rd)?)?;
                 handles.insert(n.to_string(), handle);
             }
             "gate" => {
-                let [_, n, kind] = tokens[..] else { return Err(err(line, "gate NAME KIND")) };
+                let [_, n, kind] = tokens[..] else {
+                    return Err(err(line, "gate NAME KIND"));
+                };
                 let kind = parse_gate_kind(kind).ok_or_else(|| err(line, "unknown gate kind"))?;
                 let handle = builder.add_gate(n, kind)?;
                 handles.insert(n.to_string(), handle);
             }
             "wire" => {
-                let [_, n, len] = tokens[..] else { return Err(err(line, "wire NAME LENGTH")) };
+                let [_, n, len] = tokens[..] else {
+                    return Err(err(line, "wire NAME LENGTH"));
+                };
                 let handle = builder.add_wire(n, parse_f64(line, len)?)?;
                 handles.insert(n.to_string(), handle);
             }
             "connect" => {
-                let [_, from, to] = tokens[..] else { return Err(err(line, "connect FROM TO")) };
-                let from = *handles.get(from).ok_or_else(|| err(line, "unknown component"))?;
-                let to = *handles.get(to).ok_or_else(|| err(line, "unknown component"))?;
+                let [_, from, to] = tokens[..] else {
+                    return Err(err(line, "connect FROM TO"));
+                };
+                let from = *handles
+                    .get(from)
+                    .ok_or_else(|| err(line, "unknown component"))?;
+                let to = *handles
+                    .get(to)
+                    .ok_or_else(|| err(line, "unknown component"))?;
                 builder.connect(from, to)?;
             }
             "output" => {
-                let [_, n, load] = tokens[..] else { return Err(err(line, "output NAME LOAD")) };
-                let node = *handles.get(n).ok_or_else(|| err(line, "unknown component"))?;
+                let [_, n, load] = tokens[..] else {
+                    return Err(err(line, "output NAME LOAD"));
+                };
+                let node = *handles
+                    .get(n)
+                    .ok_or_else(|| err(line, "unknown component"))?;
                 builder.connect_output(node, parse_f64(line, load)?)?;
             }
             "channel" => {
@@ -228,9 +268,14 @@ pub fn parse_instance(text: &str) -> Result<ProblemInstance, NetlistError> {
         channels.push(ids);
     }
     let (count, toggle, seed) = pattern_directive;
-    let patterns =
-        PatternSet::random_correlated(circuit.num_drivers(), count, toggle, seed);
-    Ok(ProblemInstance { name, circuit, channels, geometry, patterns })
+    let patterns = PatternSet::random_correlated(circuit.num_drivers(), count, toggle, seed);
+    Ok(ProblemInstance {
+        name,
+        circuit,
+        channels,
+        geometry,
+        patterns,
+    })
 }
 
 #[cfg(test)]
@@ -242,7 +287,11 @@ mod tests {
     #[test]
     fn roundtrip_through_text() {
         let spec = CircuitSpec::new("rt", 24, 55).with_seed(17);
-        let directive = (spec.num_patterns, spec.pattern_toggle_probability, spec.seed ^ 0x5175_AB1E);
+        let directive = (
+            spec.num_patterns,
+            spec.pattern_toggle_probability,
+            spec.seed ^ 0x5175_AB1E,
+        );
         let inst = SyntheticGenerator::new(spec).generate().unwrap();
         let text = write_instance(&inst, directive);
         let parsed = parse_instance(&text).unwrap();
@@ -298,14 +347,23 @@ patterns 16 0.3 7
             other => panic!("expected parse error, got {other:?}"),
         }
         let bad_number = "circuit x\ndriver in0 notanumber\n";
-        assert!(matches!(parse_instance(bad_number), Err(NetlistError::Parse { line: 2, .. })));
+        assert!(matches!(
+            parse_instance(bad_number),
+            Err(NetlistError::Parse { line: 2, .. })
+        ));
         let unknown_ref = "circuit x\ndriver in0 10\nwire w0 5\nconnect in0 w9\n";
-        assert!(matches!(parse_instance(unknown_ref), Err(NetlistError::Parse { .. })));
+        assert!(matches!(
+            parse_instance(unknown_ref),
+            Err(NetlistError::Parse { .. })
+        ));
     }
 
     #[test]
     fn unknown_gate_kind_is_rejected() {
         let text = "circuit x\ngate g0 nandxor\n";
-        assert!(matches!(parse_instance(text), Err(NetlistError::Parse { line: 2, .. })));
+        assert!(matches!(
+            parse_instance(text),
+            Err(NetlistError::Parse { line: 2, .. })
+        ));
     }
 }

@@ -64,7 +64,9 @@ impl SyntheticGenerator {
         let num_outputs = spec.num_outputs().min(num_gates.saturating_sub(1)).max(1);
 
         if num_gates == 0 {
-            return Err(NetlistError::InfeasibleSpec { reason: "at least one gate required".into() });
+            return Err(NetlistError::InfeasibleSpec {
+                reason: "at least one gate required".into(),
+            });
         }
         if num_wires < num_gates + num_outputs {
             return Err(NetlistError::InfeasibleSpec {
@@ -163,16 +165,16 @@ impl SyntheticGenerator {
         }
 
         // Make sure every driver drives something: steal a slot if needed.
-        for d in 0..num_drivers {
-            if driver_fanout[d] == 0 {
+        for (d, fanout) in driver_fanout.iter_mut().enumerate() {
+            if *fanout == 0 {
                 // Replace a gate-sourced input whose source has other fanout.
-                'search: for k in 0..num_gates {
-                    for pos in 0..inputs[k].len() {
-                        if let SourceRef::Gate(g) = inputs[k][pos] {
+                'search: for gate_inputs in inputs.iter_mut() {
+                    for slot in gate_inputs.iter_mut() {
+                        if let SourceRef::Gate(g) = *slot {
                             if gate_fanout[g] >= 2 {
                                 gate_fanout[g] -= 1;
-                                inputs[k][pos] = SourceRef::Driver(d);
-                                driver_fanout[d] += 1;
+                                *slot = SourceRef::Driver(d);
+                                *fanout += 1;
                                 break 'search;
                             }
                         }
@@ -211,18 +213,18 @@ impl SyntheticGenerator {
 
         let mut wire_names: Vec<String> = Vec::with_capacity(num_wires);
         let mut wire_counter = 0usize;
-        let mut new_wire = |builder: &mut CircuitBuilder,
-                            rng_geo: &mut ChaCha8Rng,
-                            wire_names: &mut Vec<String>|
-         -> Result<(ncgws_circuit::builder::BuildNode, String), NetlistError> {
-            let name = format!("w{wire_counter}");
-            wire_counter += 1;
-            let length =
-                rng_geo.gen_range(spec.wire_length_range.0..=spec.wire_length_range.1);
-            let node = builder.add_wire(&name, length)?;
-            wire_names.push(name.clone());
-            Ok((node, name))
-        };
+        let mut new_wire =
+            |builder: &mut CircuitBuilder,
+             rng_geo: &mut ChaCha8Rng,
+             wire_names: &mut Vec<String>|
+             -> Result<(ncgws_circuit::builder::BuildNode, String), NetlistError> {
+                let name = format!("w{wire_counter}");
+                wire_counter += 1;
+                let length = rng_geo.gen_range(spec.wire_length_range.0..=spec.wire_length_range.1);
+                let node = builder.add_wire(&name, length)?;
+                wire_names.push(name.clone());
+                Ok((node, name))
+            };
 
         for (k, gate_inputs) in inputs.iter().enumerate() {
             for &source in gate_inputs {
@@ -241,13 +243,16 @@ impl SyntheticGenerator {
         output_gates.extend(extra_outputs.iter().copied());
         for &g in &output_gates {
             let (wire, _) = new_wire(&mut builder, &mut rng_geo, &mut wire_names)?;
-            let load =
-                rng_geo.gen_range(spec.output_load_range.0..=spec.output_load_range.1);
+            let load = rng_geo.gen_range(spec.output_load_range.0..=spec.output_load_range.1);
             builder.connect(gates[g], wire)?;
             builder.connect_output(wire, load)?;
         }
 
-        debug_assert_eq!(wire_names.len(), num_wires, "wire budget must balance exactly");
+        debug_assert_eq!(
+            wire_names.len(),
+            num_wires,
+            "wire budget must balance exactly"
+        );
         let circuit = builder.build()?;
 
         // ---- 5. Routing channels over the wires.
@@ -275,7 +280,13 @@ impl SyntheticGenerator {
             unit_fringing: spec.technology.coupling_fringing_per_um,
         };
 
-        Ok(ProblemInstance { name: spec.name.clone(), circuit, channels, geometry, patterns })
+        Ok(ProblemInstance {
+            name: spec.name.clone(),
+            circuit,
+            channels,
+            geometry,
+            patterns,
+        })
     }
 
     /// Probability that an input slot is fed by a primary-input driver rather
@@ -348,7 +359,7 @@ mod tests {
     fn patterns_match_driver_count() {
         let inst = generate(40, 90, 5);
         assert_eq!(inst.patterns.num_inputs(), inst.circuit.num_drivers());
-        assert!(inst.patterns.len() > 0);
+        assert!(!inst.patterns.is_empty());
     }
 
     #[test]
@@ -358,7 +369,10 @@ mod tests {
         let inst = SyntheticGenerator::new(spec).generate().unwrap();
         for id in inst.circuit.wire_ids() {
             let len = inst.wire_length(id);
-            assert!(len >= range.0 - 1e-9 && len <= range.1 + 1e-9, "length {len}");
+            assert!(
+                len >= range.0 - 1e-9 && len <= range.1 + 1e-9,
+                "length {len}"
+            );
         }
     }
 

@@ -84,7 +84,11 @@ mod tests {
 
     #[test]
     fn overlap_uses_the_shorter_wire() {
-        let g = ChannelGeometry { pitch: 14.0, overlap_fraction: 0.5, unit_fringing: 0.03 };
+        let g = ChannelGeometry {
+            pitch: 14.0,
+            overlap_fraction: 0.5,
+            unit_fringing: 0.03,
+        };
         assert!((g.overlap_length(100.0, 40.0) - 20.0).abs() < 1e-12);
         assert!((g.overlap_length(40.0, 100.0) - 20.0).abs() < 1e-12);
     }

@@ -29,16 +29,23 @@ pub const TABLE1_CIRCUITS: [(&str, usize, usize); 10] = [
 /// The per-circuit seed is derived from the name so every circuit is distinct
 /// but reproducible.
 pub fn iscas85_spec(name: &str) -> Option<CircuitSpec> {
-    TABLE1_CIRCUITS.iter().find(|(n, _, _)| *n == name).map(|&(n, gates, wires)| {
-        let seed = 0xDAC_1999_u64
-            ^ n.bytes().fold(0u64, |acc, b| acc.wrapping_mul(131).wrapping_add(b as u64));
-        CircuitSpec::new(n, gates, wires).with_seed(seed)
-    })
+    TABLE1_CIRCUITS
+        .iter()
+        .find(|(n, _, _)| *n == name)
+        .map(|&(n, gates, wires)| {
+            let seed = 0xDAC_1999_u64
+                ^ n.bytes()
+                    .fold(0u64, |acc, b| acc.wrapping_mul(131).wrapping_add(b as u64));
+            CircuitSpec::new(n, gates, wires).with_seed(seed)
+        })
 }
 
 /// Specifications for all ten Table 1 circuits, in the paper's row order.
 pub fn table1_specs() -> Vec<CircuitSpec> {
-    TABLE1_CIRCUITS.iter().map(|(n, _, _)| iscas85_spec(n).expect("known name")).collect()
+    TABLE1_CIRCUITS
+        .iter()
+        .map(|(n, _, _)| iscas85_spec(n).expect("known name"))
+        .collect()
 }
 
 /// Specifications for all ten circuits, sorted by total component count

@@ -30,8 +30,7 @@ impl CircuitStats {
     /// Computes the statistics of a circuit.
     pub fn of(circuit: &CircuitGraph) -> Self {
         let topo = TopologicalOrder::of(circuit);
-        let gate_fanins: Vec<usize> =
-            circuit.gate_ids().map(|g| circuit.fanin(g).len()).collect();
+        let gate_fanins: Vec<usize> = circuit.gate_ids().map(|g| circuit.fanin(g).len()).collect();
         let num_gates = gate_fanins.len();
         let avg_gate_fanin = if num_gates == 0 {
             0.0

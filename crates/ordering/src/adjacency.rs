@@ -45,7 +45,10 @@ impl Adjacency {
 
     /// The dominating index `I(i)`: adjacent wires with a larger node index.
     pub fn dominating(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.neighbors(id).iter().copied().filter(move |&other| other > id)
+        self.neighbors(id)
+            .iter()
+            .copied()
+            .filter(move |&other| other > id)
     }
 
     /// All adjacent pairs `(i, j)` with `i < j`, each exactly once.
@@ -101,8 +104,14 @@ mod tests {
         assert!(n7.contains(&NodeId::new(5)) && n7.contains(&NodeId::new(4)));
         assert_eq!(adj.neighbors(NodeId::new(8)), &[NodeId::new(4)]);
         // I(5) = {7}, I(7) = {} (no neighbor has a larger index than 7 except… 5<7, 4<7).
-        assert_eq!(adj.dominating(NodeId::new(5)).collect::<Vec<_>>(), vec![NodeId::new(7)]);
-        assert!(adj.dominating(NodeId::new(7)).collect::<Vec<_>>().is_empty());
+        assert_eq!(
+            adj.dominating(NodeId::new(5)).collect::<Vec<_>>(),
+            vec![NodeId::new(7)]
+        );
+        assert!(adj
+            .dominating(NodeId::new(7))
+            .collect::<Vec<_>>()
+            .is_empty());
         // Every adjacent pair appears exactly once across all I(i).
         let total: usize = [4, 5, 7, 8]
             .into_iter()

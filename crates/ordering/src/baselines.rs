@@ -38,8 +38,8 @@ pub fn best_start_nearest_neighbor(problem: &SsProblem) -> WireOrdering {
             let tail = *order.last().expect("non-empty");
             let mut next = None;
             let mut next_w = f64::INFINITY;
-            for candidate in 0..n {
-                if !placed[candidate] && problem.weight(tail, candidate) < next_w {
+            for (candidate, &taken) in placed.iter().enumerate() {
+                if !taken && problem.weight(tail, candidate) < next_w {
                     next_w = problem.weight(tail, candidate);
                     next = Some(candidate);
                 }
@@ -49,7 +49,7 @@ pub fn best_start_nearest_neighbor(problem: &SsProblem) -> WireOrdering {
             order.push(chosen);
         }
         let candidate = problem.make_ordering(order);
-        if best.as_ref().map_or(true, |b| candidate.cost() < b.cost()) {
+        if best.as_ref().is_none_or(|b| candidate.cost() < b.cost()) {
             best = Some(candidate);
         }
     }
@@ -141,7 +141,11 @@ mod tests {
         let p = SsProblem::from_weights((0..n).map(NodeId::new).collect(), weights).unwrap();
         let greedy = woss(&p);
         let avg = average_random_cost(&p, 50, 11);
-        assert!(greedy.cost() < avg, "woss {} vs random {avg}", greedy.cost());
+        assert!(
+            greedy.cost() < avg,
+            "woss {} vs random {avg}",
+            greedy.cost()
+        );
     }
 
     #[test]

@@ -41,16 +41,26 @@ impl fmt::Display for OrderingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             OrderingError::WeightShapeMismatch { wires, weights } => {
-                write!(f, "weight matrix has {weights} entries but {wires} wires need {}", wires * wires)
+                write!(
+                    f,
+                    "weight matrix has {weights} entries but {wires} wires need {}",
+                    wires * wires
+                )
             }
             OrderingError::InvalidWeight { i, j, value } => {
-                write!(f, "weight ({i}, {j}) must be finite and non-negative, got {value}")
+                write!(
+                    f,
+                    "weight ({i}, {j}) must be finite and non-negative, got {value}"
+                )
             }
             OrderingError::AsymmetricWeight { i, j } => {
                 write!(f, "weight matrix is not symmetric at ({i}, {j})")
             }
             OrderingError::TooLargeForExact { wires, limit } => {
-                write!(f, "exact ordering supports at most {limit} wires, got {wires}")
+                write!(
+                    f,
+                    "exact ordering supports at most {limit} wires, got {wires}"
+                )
             }
         }
     }
@@ -64,9 +74,15 @@ mod tests {
 
     #[test]
     fn display_mentions_the_problem() {
-        let e = OrderingError::TooLargeForExact { wires: 30, limit: 16 };
+        let e = OrderingError::TooLargeForExact {
+            wires: 30,
+            limit: 16,
+        };
         assert!(e.to_string().contains("30"));
-        let e = OrderingError::WeightShapeMismatch { wires: 3, weights: 4 };
+        let e = OrderingError::WeightShapeMismatch {
+            wires: 3,
+            weights: 4,
+        };
         assert!(e.to_string().contains("9"));
     }
 }

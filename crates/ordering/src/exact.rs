@@ -21,7 +21,10 @@ pub const EXACT_LIMIT: usize = 16;
 pub fn exact_ordering(problem: &SsProblem) -> Result<WireOrdering, OrderingError> {
     let n = problem.len();
     if n > EXACT_LIMIT {
-        return Err(OrderingError::TooLargeForExact { wires: n, limit: EXACT_LIMIT });
+        return Err(OrderingError::TooLargeForExact {
+            wires: n,
+            limit: EXACT_LIMIT,
+        });
     }
     if n == 0 {
         return Ok(problem.make_ordering(Vec::new()));
@@ -104,7 +107,10 @@ mod tests {
     #[test]
     fn refuses_oversized_problems() {
         let p = problem(EXACT_LIMIT + 1, |_, _| 1.0);
-        assert!(matches!(exact_ordering(&p), Err(OrderingError::TooLargeForExact { .. })));
+        assert!(matches!(
+            exact_ordering(&p),
+            Err(OrderingError::TooLargeForExact { .. })
+        ));
     }
 
     #[test]
@@ -139,7 +145,7 @@ mod tests {
     }
 
     /// Minimal Heap's-algorithm permutation visitor (test helper).
-    fn permutohedron_heap(items: &mut Vec<usize>, visit: &mut impl FnMut(&[usize])) {
+    fn permutohedron_heap(items: &mut [usize], visit: &mut impl FnMut(&[usize])) {
         let n = items.len();
         let mut c = vec![0usize; n];
         visit(items);

@@ -26,7 +26,10 @@ impl SsProblem {
                 weights[i * n + j] = if i == j { 0.0 } else { matrix.weight(i, j) };
             }
         }
-        SsProblem { nodes: matrix.nodes().to_vec(), weights }
+        SsProblem {
+            nodes: matrix.nodes().to_vec(),
+            weights,
+        }
     }
 
     /// Builds the problem from explicit weights (row-major `n × n`).
@@ -38,7 +41,10 @@ impl SsProblem {
     pub fn from_weights(nodes: Vec<NodeId>, weights: Vec<f64>) -> Result<Self, OrderingError> {
         let n = nodes.len();
         if weights.len() != n * n {
-            return Err(OrderingError::WeightShapeMismatch { wires: n, weights: weights.len() });
+            return Err(OrderingError::WeightShapeMismatch {
+                wires: n,
+                weights: weights.len(),
+            });
         }
         for i in 0..n {
             for j in 0..n {
@@ -88,9 +94,17 @@ impl SsProblem {
     /// Wraps a position ordering into a [`WireOrdering`] carrying node ids
     /// and cost.
     pub fn make_ordering(&self, positions: Vec<usize>) -> WireOrdering {
-        let cost = if positions.len() >= 2 { self.ordering_cost(&positions) } else { 0.0 };
+        let cost = if positions.len() >= 2 {
+            self.ordering_cost(&positions)
+        } else {
+            0.0
+        };
         let sequence = positions.iter().map(|&p| self.nodes[p]).collect();
-        WireOrdering { positions, sequence, cost }
+        WireOrdering {
+            positions,
+            sequence,
+            cost,
+        }
     }
 }
 

@@ -48,8 +48,8 @@ pub fn woss(problem: &SsProblem) -> WireOrdering {
         let tail = *order.last().expect("ordering is non-empty");
         let mut next = None;
         let mut next_w = f64::INFINITY;
-        for candidate in 0..n {
-            if placed[candidate] {
+        for (candidate, &taken) in placed.iter().enumerate() {
+            if taken {
                 continue;
             }
             let w = problem.weight(tail, candidate);

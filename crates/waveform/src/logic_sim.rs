@@ -31,7 +31,11 @@ impl<'a> LogicSimulator<'a> {
     /// Panics if `inputs` does not provide one value per driver.
     pub fn evaluate(&self, inputs: &[bool]) -> Vec<bool> {
         let g = self.graph;
-        assert_eq!(inputs.len(), g.num_drivers(), "one input value per driver required");
+        assert_eq!(
+            inputs.len(),
+            g.num_drivers(),
+            "one input value per driver required"
+        );
         let mut values = vec![false; g.num_nodes()];
         let mut fanin_buf: Vec<bool> = Vec::new();
         for id in g.node_ids() {

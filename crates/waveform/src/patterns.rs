@@ -24,8 +24,14 @@ impl PatternSet {
     ///
     /// Panics if the vectors are not all `num_inputs` wide.
     pub fn from_vectors(num_inputs: usize, vectors: Vec<Vec<bool>>) -> Self {
-        assert!(vectors.iter().all(|v| v.len() == num_inputs), "inconsistent vector width");
-        PatternSet { num_inputs, vectors }
+        assert!(
+            vectors.iter().all(|v| v.len() == num_inputs),
+            "inconsistent vector width"
+        );
+        PatternSet {
+            num_inputs,
+            vectors,
+        }
     }
 
     /// Generates `num_vectors` uniformly random vectors for `num_inputs`
@@ -35,7 +41,10 @@ impl PatternSet {
         let vectors = (0..num_vectors)
             .map(|_| (0..num_inputs).map(|_| rng.gen_bool(0.5)).collect())
             .collect();
-        PatternSet { num_inputs, vectors }
+        PatternSet {
+            num_inputs,
+            vectors,
+        }
     }
 
     /// Generates correlated random vectors: each input flips with probability
@@ -60,7 +69,10 @@ impl PatternSet {
                 }
             }
         }
-        PatternSet { num_inputs, vectors }
+        PatternSet {
+            num_inputs,
+            vectors,
+        }
     }
 
     /// Number of primary inputs each vector covers.

@@ -45,7 +45,10 @@ impl SimilarityMatrix {
                 values[j * k + i] = s;
             }
         }
-        SimilarityMatrix { nodes: nodes.to_vec(), values }
+        SimilarityMatrix {
+            nodes: nodes.to_vec(),
+            values,
+        }
     }
 
     /// Builds a matrix from explicit values (row-major, `k × k`).

@@ -77,7 +77,11 @@ impl SimulationTrace {
                 levels[node].push(value);
             }
         }
-        SimulationTrace { num_nodes, num_steps, levels }
+        SimulationTrace {
+            num_nodes,
+            num_steps,
+            levels,
+        }
     }
 
     /// Number of nodes covered by the trace.
@@ -118,7 +122,10 @@ impl SimulationTrace {
     /// An estimate (in bytes) of the memory held by the trace.
     pub fn memory_bytes(&self) -> usize {
         use std::mem::size_of;
-        self.levels.iter().map(|v| v.capacity() * size_of::<bool>()).sum::<usize>()
+        self.levels
+            .iter()
+            .map(|v| v.capacity() * size_of::<bool>())
+            .sum::<usize>()
             + self.levels.capacity() * size_of::<Vec<bool>>()
             + size_of::<Self>()
     }
@@ -156,7 +163,7 @@ mod tests {
         assert_eq!(trace.num_steps(), 2);
         assert_eq!(trace.levels(NodeId::new(0)), &[true, false]);
         assert_eq!(trace.levels(NodeId::new(2)), &[true, true]);
-        assert_eq!(trace.waveform(NodeId::new(1)).level(0), false);
+        assert!(!trace.waveform(NodeId::new(1)).level(0));
     }
 
     #[test]

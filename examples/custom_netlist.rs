@@ -50,7 +50,10 @@ patterns 64 0.3 99
         instance.channels[0].len()
     );
 
-    let config = OptimizerConfig { max_iterations: 120, ..OptimizerConfig::default() };
+    let config = OptimizerConfig {
+        max_iterations: 120,
+        ..OptimizerConfig::default()
+    };
     let outcome = Optimizer::new(config.clone()).run(&instance)?;
     let r = &outcome.report;
     println!(
@@ -71,8 +74,8 @@ patterns 64 0.3 99
     );
 
     // Round-trip a generated instance through the same text format.
-    let generated = SyntheticGenerator::new(CircuitSpec::new("roundtrip", 30, 70).with_seed(5))
-        .generate()?;
+    let generated =
+        SyntheticGenerator::new(CircuitSpec::new("roundtrip", 30, 70).with_seed(5)).generate()?;
     let serialized = write_instance(&generated, (64, 0.35, 5));
     let reparsed = parse_instance(&serialized)?;
     println!(

@@ -17,8 +17,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = CircuitSpec::new("tradeoff", 80, 180).with_seed(11);
     let instance = SyntheticGenerator::new(spec).generate()?;
 
-    println!("crosstalk bound sweep on `{}` ({} components)", instance.name, instance.num_components());
-    println!("{:>12} {:>12} {:>12} {:>12} {:>12}", "Xbound(frac)", "noise(pF)", "area(um2)", "power(mW)", "delay(ps)");
+    println!(
+        "crosstalk bound sweep on `{}` ({} components)",
+        instance.name,
+        instance.num_components()
+    );
+    println!(
+        "{:>12} {:>12} {:>12} {:>12} {:>12}",
+        "Xbound(frac)", "noise(pF)", "area(um2)", "power(mW)", "delay(ps)"
+    );
 
     for factor in [0.50, 0.30, 0.20, 0.15, 0.12, 0.10] {
         let config = OptimizerConfig {
@@ -35,7 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             m.area_um2,
             m.power_mw,
             m.delay_ps,
-            if outcome.report.feasible { "" } else { "   (infeasible)" }
+            if outcome.report.feasible {
+                ""
+            } else {
+                "   (infeasible)"
+            }
         );
     }
 

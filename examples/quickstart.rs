@@ -52,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The component sizes are available for downstream use (e.g. back-annotation).
     let widest = outcome
-        .sizes
+        .sizes()
         .iter()
         .cloned()
         .fold(f64::NEG_INFINITY, f64::max);

@@ -15,12 +15,11 @@
 
 use ncgws::circuit::NodeId;
 use ncgws::ordering::{baselines, exact_ordering, woss, SsProblem};
-use ncgws::waveform::{similarity, ordering_weight, Waveform};
+use ncgws::waveform::{ordering_weight, similarity, Waveform};
 
 /// Builds a ±1 waveform from a bit pattern repeated to 200 samples.
 fn waveform(pattern: &[u8]) -> Waveform {
-    let levels: Vec<bool> =
-        (0..200).map(|t| pattern[t % pattern.len()] == 1).collect();
+    let levels: Vec<bool> = (0..200).map(|t| pattern[t % pattern.len()] == 1).collect();
     Waveform::from_levels(levels)
 }
 
@@ -33,7 +32,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let w7 = waveform(&[1, 0, 1, 0, 1, 0, 1, 0, 1, 1]);
     let w8 = waveform(&[0, 0, 1, 1, 0, 1, 0, 1, 1, 0]);
 
-    let ids = [NodeId::new(4), NodeId::new(5), NodeId::new(7), NodeId::new(8)];
+    let ids = [
+        NodeId::new(4),
+        NodeId::new(5),
+        NodeId::new(7),
+        NodeId::new(8),
+    ];
     let waves = [&w4, &w5, &w7, &w8];
 
     println!("pairwise switching similarity and ordering weight (1 - similarity):");
@@ -48,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             if i < j {
                 println!(
                     "  wires {} - {}: similarity {:+.2}, weight {:.2}",
-                    ids[i], ids[j], s, ordering_weight(s)
+                    ids[i],
+                    ids[j],
+                    s,
+                    ordering_weight(s)
                 );
             }
         }
@@ -60,11 +67,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let random = baselines::average_random_cost(&problem, 100, 7);
 
     let names = |seq: &[NodeId]| {
-        seq.iter().map(|id| id.index().to_string()).collect::<Vec<_>>().join(", ")
+        seq.iter()
+            .map(|id| id.index().to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
     };
     println!();
-    println!("WOSS ordering : <{}>  effective loading {:.3}", names(greedy.sequence()), greedy.cost());
-    println!("exact ordering: <{}>  effective loading {:.3}", names(exact.sequence()), exact.cost());
+    println!(
+        "WOSS ordering : <{}>  effective loading {:.3}",
+        names(greedy.sequence()),
+        greedy.cost()
+    );
+    println!(
+        "exact ordering: <{}>  effective loading {:.3}",
+        names(exact.sequence()),
+        exact.cost()
+    );
     println!("average random ordering loading: {random:.3}");
     println!();
     println!(

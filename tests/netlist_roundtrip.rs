@@ -8,14 +8,25 @@ use ncgws::netlist::{CircuitSpec, CircuitStats, SyntheticGenerator};
 
 #[test]
 fn roundtripped_instance_optimizes_to_the_same_metrics() {
-    let spec = CircuitSpec::new("rt-flow", 40, 90).with_seed(31).with_num_patterns(32);
-    let directive = (spec.num_patterns, spec.pattern_toggle_probability, spec.seed ^ 0x5175_AB1E);
+    let spec = CircuitSpec::new("rt-flow", 40, 90)
+        .with_seed(31)
+        .with_num_patterns(32);
+    let directive = (
+        spec.num_patterns,
+        spec.pattern_toggle_probability,
+        spec.seed ^ 0x5175_AB1E,
+    );
     let original = SyntheticGenerator::new(spec).generate().expect("generate");
     let text = write_instance(&original, directive);
     let parsed = parse_instance(&text).expect("parse");
 
-    let config = OptimizerConfig { max_iterations: 40, ..OptimizerConfig::default() };
-    let a = Optimizer::new(config.clone()).run(&original).expect("run original");
+    let config = OptimizerConfig {
+        max_iterations: 40,
+        ..OptimizerConfig::default()
+    };
+    let a = Optimizer::new(config.clone())
+        .run(&original)
+        .expect("run original");
     let b = Optimizer::new(config).run(&parsed).expect("run parsed");
 
     // The graphs have identical structure and attributes, so the initial
@@ -26,8 +37,18 @@ fn roundtripped_instance_optimizes_to_the_same_metrics() {
         b.report.initial_metrics.area_um2
     );
     let rel = |x: f64, y: f64| (x - y).abs() / x.abs().max(1e-12);
-    assert!(rel(a.report.initial_metrics.noise_pf, b.report.initial_metrics.noise_pf) < 1e-9);
-    assert!(rel(a.report.final_metrics.area_um2, b.report.final_metrics.area_um2) < 0.05);
+    assert!(
+        rel(
+            a.report.initial_metrics.noise_pf,
+            b.report.initial_metrics.noise_pf
+        ) < 1e-9
+    );
+    assert!(
+        rel(
+            a.report.final_metrics.area_um2,
+            b.report.final_metrics.area_um2
+        ) < 0.05
+    );
 }
 
 #[test]

@@ -19,7 +19,11 @@ fn instance(seed: u64, gates: usize) -> ProblemInstance {
 }
 
 fn loose_bounds() -> ConstraintBounds {
-    ConstraintBounds { delay: 1e15, total_capacitance: 1e15, crosstalk: 1e15 }
+    ConstraintBounds {
+        delay: 1e15,
+        total_capacitance: 1e15,
+        crosstalk: 1e15,
+    }
 }
 
 proptest! {

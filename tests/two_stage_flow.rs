@@ -5,8 +5,7 @@
 use ncgws::circuit::{total_area, total_capacitance, TimingAnalysis};
 use ncgws::core::baseline::lr_delay_area;
 use ncgws::core::{
-    build_coupling, kkt, Multipliers, Optimizer, OptimizerConfig, OrderingStrategy,
-    SizingProblem,
+    build_coupling, kkt, Multipliers, Optimizer, OptimizerConfig, OrderingStrategy, SizingProblem,
 };
 use ncgws::netlist::{CircuitSpec, ProblemInstance, SyntheticGenerator};
 
@@ -21,19 +20,24 @@ fn instance(gates: usize, wires: usize, seed: u64) -> ProblemInstance {
 }
 
 fn quick_config() -> OptimizerConfig {
-    OptimizerConfig { max_iterations: 60, ..OptimizerConfig::default() }
+    OptimizerConfig {
+        max_iterations: 60,
+        ..OptimizerConfig::default()
+    }
 }
 
 #[test]
 fn constraints_hold_on_the_returned_sizing() {
     let inst = instance(120, 260, 1);
-    let outcome = Optimizer::new(quick_config()).run(&inst).expect("optimization succeeds");
+    let outcome = Optimizer::new(quick_config())
+        .run(&inst)
+        .expect("optimization succeeds");
     assert!(outcome.report.feasible);
 
     // Re-derive every constraint independently from the returned sizes.
     let graph = &inst.circuit;
     let coupling = &outcome.ordering.coupling;
-    let sizes = &outcome.sizes;
+    let sizes = outcome.sizes();
     let initial = quick_config().initial_sizes(graph);
 
     let extra = coupling.delay_load_per_node(graph, sizes);
@@ -49,7 +53,10 @@ fn constraints_hold_on_the_returned_sizing() {
 
     let cap = total_capacitance(graph, sizes);
     let initial_cap = total_capacitance(graph, &initial);
-    assert!(cap <= initial_cap * 0.13 * 1.002 + 1e-9, "power bound violated");
+    assert!(
+        cap <= initial_cap * 0.13 * 1.002 + 1e-9,
+        "power bound violated"
+    );
 
     // Area must improve dramatically relative to the max-size start.
     assert!(total_area(graph, sizes) < total_area(graph, &initial) * 0.2);
@@ -62,7 +69,9 @@ fn constraints_hold_on_the_returned_sizing() {
 fn noise_constraint_is_enforced_relative_to_initial_coupling() {
     let inst = instance(100, 220, 2);
     let config = quick_config();
-    let outcome = Optimizer::new(config).run(&inst).expect("optimization succeeds");
+    let outcome = Optimizer::new(config)
+        .run(&inst)
+        .expect("optimization succeeds");
     let r = &outcome.report;
     // The bound is 11.5% of the initial exact coupling, clamped to what the
     // layout's irreducible fringing allows; either way the final noise must be
@@ -95,23 +104,22 @@ fn optimizer_beats_noise_oblivious_baseline_on_noise() {
 fn kkt_residuals_are_reasonable_at_the_returned_solution() {
     let inst = instance(60, 130, 5);
     let config = quick_config();
-    let outcome = Optimizer::new(config.clone()).run(&inst).expect("run succeeds");
+    let outcome = Optimizer::new(config.clone())
+        .run(&inst)
+        .expect("run succeeds");
 
     // Rebuild the problem the optimizer solved and check primal feasibility
     // through the KKT helper (multipliers themselves are internal, so only
     // the primal-side residuals are asserted tightly here).
     let initial = config.initial_sizes(&inst.circuit);
-    let initial_metrics = ncgws::core::CircuitMetrics::evaluate(
-        &inst.circuit,
-        &outcome.ordering.coupling,
-        &initial,
-    );
+    let initial_metrics =
+        ncgws::core::CircuitMetrics::evaluate(&inst.circuit, &outcome.ordering.coupling, &initial);
     let bounds = ncgws::core::ConstraintBounds::from_initial(&initial_metrics, &config)
         .clamped_to_feasible(&inst.circuit, &outcome.ordering.coupling);
     let problem =
         SizingProblem::new(&inst.circuit, &outcome.ordering.coupling, bounds).expect("problem");
     let multipliers = Multipliers::uniform(&inst.circuit, 0.0, 0.0);
-    let residuals = kkt::kkt_residuals(&problem, &outcome.sizes, &multipliers);
+    let residuals = kkt::kkt_residuals(&problem, outcome.sizes(), &multipliers);
     assert!(residuals.primal_feasibility <= 2e-3, "{residuals:?}");
     assert_eq!(residuals.negativity, 0.0);
 }
@@ -121,7 +129,7 @@ fn reports_are_serializable_and_reproducible() {
     let inst = instance(50, 110, 6);
     let a = Optimizer::new(quick_config()).run(&inst).expect("run a");
     let b = Optimizer::new(quick_config()).run(&inst).expect("run b");
-    assert_eq!(a.sizes, b.sizes);
+    assert_eq!(a.sizes(), b.sizes());
     assert_eq!(a.report.final_metrics, b.report.final_metrics);
     let json = serde_json::to_string(&a.report).expect("report serializes");
     assert!(json.contains("final_metrics"));
@@ -130,8 +138,13 @@ fn reports_are_serializable_and_reproducible() {
 #[test]
 fn effective_coupling_mode_runs_and_respects_bounds() {
     let inst = instance(70, 150, 7);
-    let config = OptimizerConfig { effective_coupling: true, ..quick_config() };
-    let outcome = Optimizer::new(config).run(&inst).expect("effective mode runs");
+    let config = OptimizerConfig {
+        effective_coupling: true,
+        ..quick_config()
+    };
+    let outcome = Optimizer::new(config)
+        .run(&inst)
+        .expect("effective mode runs");
     assert!(outcome.report.feasible);
     assert!(outcome.report.final_metrics.noise_pf < outcome.report.initial_metrics.noise_pf);
 }
@@ -145,7 +158,11 @@ fn ordering_strategies_plug_into_the_full_flow() {
         OrderingStrategy::Random { seed: 1 },
         OrderingStrategy::BestStartNearestNeighbor,
     ] {
-        let config = OptimizerConfig { ordering: strategy, max_iterations: 30, ..quick_config() };
+        let config = OptimizerConfig {
+            ordering: strategy,
+            max_iterations: 30,
+            ..quick_config()
+        };
         let outcome = Optimizer::new(config).run(&inst).expect("strategy runs");
         assert!(outcome.report.final_metrics.area_um2 > 0.0, "{strategy:?}");
     }

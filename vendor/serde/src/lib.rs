@@ -1,0 +1,398 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! keeps the workspace's `use serde::{Deserialize, Serialize}` imports and
+//! `#[derive(Serialize, Deserialize)]` attributes compiling, and gives
+//! [`Serialize`] a real meaning: writing JSON through a [`Serializer`]
+//! (which `serde_json::to_string` drives). [`Deserialize`] is a pure marker —
+//! nothing in the workspace deserializes.
+//!
+//! When the real serde becomes available, swapping the path dependency for
+//! the crates.io version only requires re-deriving (the derive input shapes
+//! are identical); the JSON field layout produced here matches serde_json's
+//! externally-tagged default.
+
+// Let the generated `impl ::serde::Serialize` code resolve inside this
+// crate's own tests as well as in dependents.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A minimal JSON writer with automatic comma placement.
+#[derive(Debug, Default)]
+pub struct Serializer {
+    buf: String,
+    /// One entry per open container: `true` until the first element is written.
+    first: Vec<bool>,
+}
+
+impl Serializer {
+    /// Creates an empty serializer.
+    pub fn new() -> Self {
+        Serializer::default()
+    }
+
+    /// Finishes and returns the JSON text.
+    pub fn into_string(self) -> String {
+        self.buf
+    }
+
+    fn comma(&mut self) {
+        if let Some(first) = self.first.last_mut() {
+            if *first {
+                *first = false;
+            } else {
+                self.buf.push(',');
+            }
+        }
+    }
+
+    /// Opens a JSON object.
+    pub fn begin_object(&mut self) {
+        self.buf.push('{');
+        self.first.push(true);
+    }
+
+    /// Writes an object key (with its separating comma and colon).
+    pub fn key(&mut self, key: &str) {
+        self.comma();
+        self.write_escaped(key);
+        self.buf.push(':');
+    }
+
+    /// Closes a JSON object.
+    pub fn end_object(&mut self) {
+        self.first.pop();
+        self.buf.push('}');
+    }
+
+    /// Opens a JSON array.
+    pub fn begin_array(&mut self) {
+        self.buf.push('[');
+        self.first.push(true);
+    }
+
+    /// Starts the next array element (placing the comma).
+    pub fn element(&mut self) {
+        self.comma();
+    }
+
+    /// Closes a JSON array.
+    pub fn end_array(&mut self) {
+        self.first.pop();
+        self.buf.push(']');
+    }
+
+    /// Writes a string value.
+    pub fn string(&mut self, value: &str) {
+        self.write_escaped(value);
+    }
+
+    /// Writes `null`.
+    pub fn null(&mut self) {
+        self.buf.push_str("null");
+    }
+
+    /// Writes a boolean value.
+    pub fn boolean(&mut self, value: bool) {
+        self.buf.push_str(if value { "true" } else { "false" });
+    }
+
+    /// Writes an unsigned integer value.
+    pub fn unsigned(&mut self, value: u64) {
+        self.buf.push_str(&value.to_string());
+    }
+
+    /// Writes a signed integer value.
+    pub fn signed(&mut self, value: i64) {
+        self.buf.push_str(&value.to_string());
+    }
+
+    /// Writes a float value (`null` for non-finite values, as serde_json does).
+    pub fn float(&mut self, value: f64) {
+        if value.is_finite() {
+            let mut text = value.to_string();
+            // `f64::to_string` never prints an exponent; extremely large
+            // magnitudes are still valid JSON, so only NaN/inf need care.
+            if !text.contains('.') && !text.contains('e') && !text.contains("inf") {
+                text.push_str(".0");
+            }
+            self.buf.push_str(&text);
+        } else {
+            self.null();
+        }
+    }
+
+    fn write_escaped(&mut self, value: &str) {
+        self.buf.push('"');
+        for c in value.chars() {
+            match c {
+                '"' => self.buf.push_str("\\\""),
+                '\\' => self.buf.push_str("\\\\"),
+                '\n' => self.buf.push_str("\\n"),
+                '\r' => self.buf.push_str("\\r"),
+                '\t' => self.buf.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.buf.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.buf.push(c),
+            }
+        }
+        self.buf.push('"');
+    }
+}
+
+/// Types that can write themselves as JSON.
+pub trait Serialize {
+    /// Appends this value's JSON representation to the serializer.
+    fn serialize_json(&self, serializer: &mut Serializer);
+}
+
+/// Marker trait mirroring serde's `Deserialize`; nothing in the workspace
+/// deserializes, so there are no required methods.
+pub trait Deserialize<'de>: Sized {}
+
+// ---------------------------------------------------------------------------
+// Primitive and container implementations.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, serializer: &mut Serializer) {
+                serializer.unsigned(*self as u64);
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, serializer: &mut Serializer) {
+                serializer.signed(*self as i64);
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn serialize_json(&self, serializer: &mut Serializer) {
+        serializer.boolean(*self);
+    }
+}
+impl<'de> Deserialize<'de> for bool {}
+
+impl Serialize for f64 {
+    fn serialize_json(&self, serializer: &mut Serializer) {
+        serializer.float(*self);
+    }
+}
+impl<'de> Deserialize<'de> for f64 {}
+
+impl Serialize for f32 {
+    fn serialize_json(&self, serializer: &mut Serializer) {
+        serializer.float(f64::from(*self));
+    }
+}
+impl<'de> Deserialize<'de> for f32 {}
+
+impl Serialize for str {
+    fn serialize_json(&self, serializer: &mut Serializer) {
+        serializer.string(self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, serializer: &mut Serializer) {
+        serializer.string(self);
+    }
+}
+impl<'de> Deserialize<'de> for String {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, serializer: &mut Serializer) {
+        (**self).serialize_json(serializer);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, serializer: &mut Serializer) {
+        match self {
+            Some(value) => value.serialize_json(serializer),
+            None => serializer.null(),
+        }
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, serializer: &mut Serializer) {
+        serializer.begin_array();
+        for item in self {
+            serializer.element();
+            item.serialize_json(serializer);
+        }
+        serializer.end_array();
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, serializer: &mut Serializer) {
+        self.as_slice().serialize_json(serializer);
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize_json(&self, serializer: &mut Serializer) {
+        serializer.begin_array();
+        serializer.element();
+        self.0.serialize_json(serializer);
+        serializer.element();
+        self.1.serialize_json(serializer);
+        serializer.end_array();
+    }
+}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize_json(&self, serializer: &mut Serializer) {
+        serializer.begin_array();
+        serializer.element();
+        self.0.serialize_json(serializer);
+        serializer.element();
+        self.1.serialize_json(serializer);
+        serializer.element();
+        self.2.serialize_json(serializer);
+        serializer.end_array();
+    }
+}
+
+/// Renders any serializable value as a JSON object *key*: strings keep their
+/// quoting, everything else is stringified and quoted.
+fn write_map_key<K: Serialize>(key: &K, serializer: &mut Serializer) {
+    let mut probe = Serializer::new();
+    key.serialize_json(&mut probe);
+    let rendered = probe.into_string();
+    if rendered.starts_with('"') {
+        serializer.buf.push_str(&rendered);
+    } else {
+        serializer.write_escaped(&rendered);
+    }
+    serializer.buf.push(':');
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize_json(&self, serializer: &mut Serializer) {
+        serializer.begin_object();
+        for (key, value) in self {
+            serializer.comma();
+            write_map_key(key, serializer);
+            value.serialize_json(serializer);
+        }
+        serializer.end_object();
+    }
+}
+impl<'de, K, V> Deserialize<'de> for std::collections::BTreeMap<K, V> {}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::HashMap<K, V> {
+    fn serialize_json(&self, serializer: &mut Serializer) {
+        // Sort by rendered key so the output is deterministic.
+        let mut entries: Vec<(String, &V)> = self
+            .iter()
+            .map(|(key, value)| {
+                let mut probe = Serializer::new();
+                key.serialize_json(&mut probe);
+                (probe.into_string(), value)
+            })
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        serializer.begin_object();
+        for (rendered, value) in entries {
+            serializer.comma();
+            if rendered.starts_with('"') {
+                serializer.buf.push_str(&rendered);
+            } else {
+                serializer.write_escaped(&rendered);
+            }
+            serializer.buf.push(':');
+            value.serialize_json(serializer);
+        }
+        serializer.end_object();
+    }
+}
+impl<'de, K, V> Deserialize<'de> for std::collections::HashMap<K, V> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn render<T: Serialize>(value: &T) -> String {
+        let mut s = Serializer::new();
+        value.serialize_json(&mut s);
+        s.into_string()
+    }
+
+    #[test]
+    fn primitives() {
+        assert_eq!(render(&3usize), "3");
+        assert_eq!(render(&-4i64), "-4");
+        assert_eq!(render(&1.5f64), "1.5");
+        assert_eq!(render(&2.0f64), "2.0");
+        assert_eq!(render(&f64::NAN), "null");
+        assert_eq!(render(&true), "true");
+        assert_eq!(render(&"a\"b".to_string()), "\"a\\\"b\"");
+        assert_eq!(render(&Some(1u32)), "1");
+        assert_eq!(render(&Option::<u32>::None), "null");
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(render(&vec![1u32, 2, 3]), "[1,2,3]");
+        assert_eq!(render(&(1.0f64, 2.5f64)), "[1.0,2.5]");
+        let mut map = std::collections::BTreeMap::new();
+        map.insert("k".to_string(), vec![true, false]);
+        assert_eq!(render(&map), "{\"k\":[true,false]}");
+    }
+
+    #[test]
+    fn derived_struct_and_enum() {
+        #[derive(Serialize)]
+        struct Point {
+            x: f64,
+            y: f64,
+            tags: Vec<String>,
+        }
+        #[derive(Serialize)]
+        enum Kind {
+            Unit,
+            Wrapped(u32),
+            Config { scale: f64 },
+        }
+        let p = Point {
+            x: 1.0,
+            y: 2.0,
+            tags: vec!["a".into()],
+        };
+        assert_eq!(render(&p), "{\"x\":1.0,\"y\":2.0,\"tags\":[\"a\"]}");
+        assert_eq!(render(&Kind::Unit), "\"Unit\"");
+        assert_eq!(render(&Kind::Wrapped(7)), "{\"Wrapped\":7}");
+        assert_eq!(
+            render(&Kind::Config { scale: 0.5 }),
+            "{\"Config\":{\"scale\":0.5}}"
+        );
+    }
+
+    #[test]
+    fn derived_newtype_is_transparent() {
+        #[derive(Serialize)]
+        struct Id(usize);
+        assert_eq!(render(&Id(9)), "9");
+    }
+}

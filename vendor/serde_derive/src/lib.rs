@@ -1,0 +1,323 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no crates.io access, so this proc-macro crate
+//! (no `syn`/`quote`; it parses the token stream by hand) provides the two
+//! derives the workspace uses:
+//!
+//! * `#[derive(Serialize)]` generates an implementation of the vendored
+//!   `serde::Serialize` trait that writes real JSON through
+//!   `serde::Serializer` — enough for the report/table JSON artifacts.
+//! * `#[derive(Deserialize)]` generates a marker `serde::Deserialize` impl
+//!   (nothing in the workspace deserializes, so no parser is generated).
+//!
+//! Supported shapes — all that appear in this workspace: non-generic named
+//! structs, tuple structs, and enums whose variants are unit, tuple, or
+//! struct-like. Generic types and `#[serde(...)]` attributes are rejected
+//! with a compile error rather than silently mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+/// Skips attributes (`#[...]`), which include doc comments.
+fn skip_attributes(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        let text = g.stream().to_string();
+                        if text.starts_with("serde") {
+                            panic!(
+                                "vendored serde_derive does not support #[serde(...)] attributes"
+                            );
+                        }
+                    }
+                    other => panic!("expected [...] after '#', got {other:?}"),
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...), if present.
+fn skip_visibility(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if let Some(TokenTree::Ident(id)) = tokens.peek() {
+        if id.to_string() == "pub" {
+            tokens.next();
+            if let Some(TokenTree::Group(g)) = tokens.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    tokens.next();
+                }
+            }
+        }
+    }
+}
+
+/// Parses the field names of a named-fields body `{ a: T, b: U, ... }`.
+fn parse_named_fields(group: proc_macro::Group) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = group.stream().into_iter().peekable();
+    loop {
+        skip_attributes(&mut tokens);
+        skip_visibility(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected field name, got {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected ':' after field `{name}`, got {other:?}"),
+        }
+        fields.push(name);
+        // Consume the type: everything up to a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        loop {
+            match tokens.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    if c == '<' {
+                        depth += 1;
+                    } else if c == '>' {
+                        depth -= 1;
+                    } else if c == ',' && depth == 0 {
+                        tokens.next();
+                        break;
+                    }
+                    tokens.next();
+                }
+                Some(_) => {
+                    tokens.next();
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple body `(T, U, ...)`.
+fn count_tuple_fields(group: proc_macro::Group) -> usize {
+    let mut count = 0usize;
+    let mut depth = 0i32;
+    let mut saw_token = false;
+    for token in group.stream() {
+        if let TokenTree::Punct(p) = &token {
+            let c = p.as_char();
+            if c == '<' {
+                depth += 1;
+            } else if c == '>' {
+                depth -= 1;
+            } else if c == ',' && depth == 0 {
+                count += 1;
+                saw_token = false;
+                continue;
+            }
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        count += 1;
+    }
+    count
+}
+
+fn parse_enum_variants(group: proc_macro::Group) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = group.stream().into_iter().peekable();
+    loop {
+        skip_attributes(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = match tokens.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!(),
+                };
+                VariantShape::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = match tokens.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!(),
+                };
+                VariantShape::Tuple(count_tuple_fields(g))
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        // Consume the trailing comma, if any.
+        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == ',' {
+                tokens.next();
+            }
+        }
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Parsed {
+    let mut tokens = input.into_iter().peekable();
+    skip_attributes(&mut tokens);
+    skip_visibility(&mut tokens);
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("vendored serde_derive does not support generic type `{name}`");
+        }
+    }
+    let shape = match keyword.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => panic!("unexpected struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_enum_variants(g))
+            }
+            other => panic!("unexpected enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("expected `struct` or `enum`, got `{other}`"),
+    };
+    Parsed { name, shape }
+}
+
+/// Derives the vendored `serde::Serialize` (a JSON writer).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::NamedStruct(fields) => {
+            let mut code = String::from("__s.begin_object();\n");
+            for field in fields {
+                code.push_str(&format!(
+                    "__s.key(\"{field}\"); ::serde::Serialize::serialize_json(&self.{field}, __s);\n"
+                ));
+            }
+            code.push_str("__s.end_object();");
+            code
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::serialize_json(&self.0, __s);".to_string(),
+        Shape::TupleStruct(n) => {
+            let mut code = String::from("__s.begin_array();\n");
+            for i in 0..*n {
+                code.push_str(&format!(
+                    "__s.element(); ::serde::Serialize::serialize_json(&self.{i}, __s);\n"
+                ));
+            }
+            code.push_str("__s.end_array();");
+            code
+        }
+        Shape::Unit => format!("__s.string(\"{name}\");"),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.shape {
+                    VariantShape::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vname} => {{ __s.string(\"{vname}\"); }}\n"
+                        ));
+                    }
+                    VariantShape::Tuple(1) => {
+                        arms.push_str(&format!(
+                            "{name}::{vname}(__f0) => {{ __s.begin_object(); __s.key(\"{vname}\"); \
+                             ::serde::Serialize::serialize_json(__f0, __s); __s.end_object(); }}\n"
+                        ));
+                    }
+                    VariantShape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let mut inner = String::from("__s.begin_array();");
+                        for b in &binders {
+                            inner.push_str(&format!(
+                                " __s.element(); ::serde::Serialize::serialize_json({b}, __s);"
+                            ));
+                        }
+                        inner.push_str(" __s.end_array();");
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => {{ __s.begin_object(); __s.key(\"{vname}\"); \
+                             {inner} __s.end_object(); }}\n",
+                            binders.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let mut inner = String::from("__s.begin_object();");
+                        for field in fields {
+                            inner.push_str(&format!(
+                                " __s.key(\"{field}\"); ::serde::Serialize::serialize_json({field}, __s);"
+                            ));
+                        }
+                        inner.push_str(" __s.end_object();");
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{ __s.begin_object(); __s.key(\"{vname}\"); \
+                             {inner} __s.end_object(); }}\n",
+                            fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_json(&self, __s: &mut ::serde::Serializer) {{\n{body}\n}}\n}}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let name = &parsed.name;
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated Deserialize impl parses")
+}

@@ -1,0 +1,112 @@
+//! Offline stand-in for [`serde_json`](https://crates.io/crates/serde_json),
+//! covering the two entry points the workspace uses: [`to_string`] and
+//! [`to_string_pretty`]. Serialization is infallible here (non-finite floats
+//! become `null`, as in the real crate's lossy modes), so [`Error`] is never
+//! produced; it exists to keep the `Result` signatures source-compatible.
+
+use std::fmt;
+
+/// Serialization error (never constructed by this stand-in).
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes a value to compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut serializer = serde::Serializer::new();
+    value.serialize_json(&mut serializer);
+    Ok(serializer.into_string())
+}
+
+/// Serializes a value to indented JSON (two-space indentation).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(prettify(&to_string(value)?))
+}
+
+/// Re-indents compact JSON. String-literal aware; does not re-parse numbers.
+fn prettify(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let newline = |out: &mut String, depth: usize| {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    };
+    let mut chars = compact.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                out.push(c);
+                // Keep empty containers on one line.
+                if let Some(&next) = chars.peek() {
+                    if (c == '{' && next == '}') || (c == '[' && next == ']') {
+                        out.push(chars.next().unwrap());
+                        continue;
+                    }
+                }
+                depth += 1;
+                newline(&mut out, depth);
+            }
+            '}' | ']' => {
+                depth = depth.saturating_sub(1);
+                newline(&mut out, depth);
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                newline(&mut out, depth);
+            }
+            ':' => {
+                out.push_str(": ");
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty() {
+        let value = vec![(1u32, "a".to_string()), (2, "b".to_string())];
+        let compact = to_string(&value).unwrap();
+        assert_eq!(compact, "[[1,\"a\"],[2,\"b\"]]");
+        let pretty = to_string_pretty(&value).unwrap();
+        assert!(pretty.contains('\n'));
+        assert_eq!(pretty.replace([' ', '\n'], ""), compact);
+    }
+
+    #[test]
+    fn pretty_keeps_strings_intact() {
+        let value = "a,{b}:[c]".to_string();
+        assert_eq!(to_string_pretty(&value).unwrap(), "\"a,{b}:[c]\"");
+    }
+}
