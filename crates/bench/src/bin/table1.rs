@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! cargo run --release -p ncgws-bench --bin table1
+//! cargo run --release -p ncgws-bench --bin table1 -- --json   # one JSON object per row
 //! NCGWS_QUICK=1 cargo run --release -p ncgws-bench --bin table1   # 4 smallest circuits
 //! ```
 
@@ -12,23 +13,42 @@ use ncgws_core::report::{average_improvements, OptimizationReport};
 use ncgws_netlist::table1_specs;
 
 fn main() {
+    // With `--json` every row is emitted as one JSON-serialized
+    // `OptimizationReport` on its own line (JSON Lines), and the
+    // human-readable table is suppressed so the output pipes cleanly into
+    // `jq` or a dataframe loader.
+    let json_mode = std::env::args().skip(1).any(|arg| arg == "--json");
+
     let mut specs = table1_specs();
     if quick_mode() {
         specs.sort_by_key(|s| s.total_components());
         specs.truncate(4);
     }
 
-    println!("Table 1 reproduction — noise-constrained simultaneous gate and wire sizing");
-    println!("(synthetic circuits matched to the paper's gate/wire counts; see DESIGN.md)");
-    println!();
-    println!("{}", OptimizationReport::table1_header());
+    if !json_mode {
+        println!("Table 1 reproduction — noise-constrained simultaneous gate and wire sizing");
+        println!("(synthetic circuits matched to the paper's gate/wire counts; see DESIGN.md)");
+        println!();
+        println!("{}", OptimizationReport::table1_header());
+    }
 
     let mut reports = Vec::new();
     for spec in specs {
         let instance = generate(spec);
         let outcome = optimize(&instance, paper_config());
-        println!("{}", outcome.report.table1_row());
+        if json_mode {
+            match serde_json::to_string(&outcome.report) {
+                Ok(line) => println!("{line}"),
+                Err(e) => eprintln!("failed to serialize report for `{}`: {e}", instance.name),
+            }
+        } else {
+            println!("{}", outcome.report.table1_row());
+        }
         reports.push(outcome.report);
+    }
+
+    if json_mode {
+        return;
     }
 
     let avg = average_improvements(&reports);

@@ -125,6 +125,15 @@ impl SizeVector {
     pub fn sum(&self) -> f64 {
         self.values.iter().sum()
     }
+
+    /// The largest component size, or `0.0` for an empty vector.
+    ///
+    /// Sizes are widths and therefore non-negative, so `0.0` is a natural
+    /// identity — callers reporting "the widest component" no longer need
+    /// the `fold(f64::NEG_INFINITY, f64::max)` dance.
+    pub fn max_size(&self) -> f64 {
+        self.values.iter().fold(0.0, |acc: f64, &x| acc.max(x))
+    }
 }
 
 impl Index<usize> for SizeVector {
@@ -177,6 +186,12 @@ mod tests {
         assert_eq!(w.as_slice(), &[1.0, 2.0]);
         let z: SizeVector = [3.0, 4.0].into_iter().collect();
         assert_eq!(z.into_inner(), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn max_size_over_entries() {
+        assert_eq!(SizeVector::new(vec![1.0, 4.5, 2.0]).max_size(), 4.5);
+        assert_eq!(SizeVector::new(Vec::new()).max_size(), 0.0);
     }
 
     #[test]

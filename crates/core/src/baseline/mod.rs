@@ -1,6 +1,6 @@
 //! Baseline sizers used for comparisons and ablation studies.
 //!
-//! * [`lr_delay_area`] — Lagrangian-relaxation sizing with **only** the delay
+//! * [`lr_delay_area()`] — Lagrangian-relaxation sizing with **only** the delay
 //!   constraint (the Chen–Chu–Wong ICCAD'98 style formulation the paper
 //!   builds on). It is noise- and power-oblivious, so comparing it against
 //!   the full optimizer isolates what the noise/power constraints cost and

@@ -1,0 +1,233 @@
+//! Batch execution: many problem instances through the staged flow at once.
+//!
+//! [`BatchRunner`] is the throughput surface for serving many scenarios:
+//! it runs one full two-stage flow per [`ProblemInstance`] and returns the
+//! per-instance results in input order. With the `parallel` feature the
+//! instances are fanned out across OS threads (`std::thread::scope`, like
+//! the stage-1 channel fan-out); each worker processes its chunk
+//! sequentially, and within each instance one
+//! [`SizingEngine`](crate::SizingEngine) workspace serves every evaluation
+//! of the sizing run, so a worker's live working set stays at one engine.
+//!
+//! All runs share one [`RunControl`]: one cancel flag stops the whole batch,
+//! one deadline bounds its wall-clock time, and one observer (which takes
+//! `&self` and must be `Sync`) watches every run's convergence. An instance
+//! whose turn comes after cancellation or past the deadline is skipped
+//! *before* its stage-1 ordering — its slot holds
+//! [`CoreError::Interrupted`] with the [`StopReason`] —
+//! while an instance interrupted mid-sizing still reports, with the reason
+//! in its report. Either way the result vector lines up with the input
+//! slice.
+
+use ncgws_netlist::ProblemInstance;
+
+use crate::control::{RunControl, StopReason};
+use crate::error::CoreError;
+use crate::flow::Flow;
+use crate::optimizer::OptimizationOutcome;
+use crate::problem::OptimizerConfig;
+
+/// Executes many problem instances through the two-stage flow.
+#[derive(Debug, Clone)]
+pub struct BatchRunner {
+    config: OptimizerConfig,
+    threads: Option<usize>,
+}
+
+impl BatchRunner {
+    /// Creates a runner applying one configuration to every instance.
+    pub fn new(config: OptimizerConfig) -> Self {
+        BatchRunner {
+            config,
+            threads: None,
+        }
+    }
+
+    /// Caps the number of worker threads (only meaningful with the
+    /// `parallel` feature; the serial build ignores it). Defaults to the
+    /// machine's available parallelism.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// The configuration applied to every instance.
+    pub fn config(&self) -> &OptimizerConfig {
+        &self.config
+    }
+
+    /// Runs every instance, sharing `control` across all runs, and returns
+    /// one result per instance in input order.
+    ///
+    /// Per-instance errors (invalid geometry, infeasible bounds, an
+    /// interruption before the instance started) land in the corresponding
+    /// slot without affecting the other instances.
+    pub fn run(
+        &self,
+        instances: &[ProblemInstance],
+        control: &RunControl<'_>,
+    ) -> Vec<Result<OptimizationOutcome, CoreError>> {
+        self.run_impl(instances, control)
+    }
+
+    fn run_one(
+        &self,
+        instance: &ProblemInstance,
+        control: &RunControl<'_>,
+    ) -> Result<OptimizationOutcome, CoreError> {
+        // Don't pay stage 1 (simulation, similarity, ordering) for a run the
+        // shared control has already stopped.
+        if control.is_cancelled() {
+            return Err(CoreError::Interrupted {
+                reason: StopReason::Cancelled,
+            });
+        }
+        if control.deadline_expired() {
+            return Err(CoreError::Interrupted {
+                reason: StopReason::DeadlineExpired,
+            });
+        }
+        let ordered = Flow::prepare(instance, self.config.clone())?.order()?;
+        let sized = ordered.size_with(control)?;
+        Ok(OptimizationOutcome {
+            report: sized.report,
+            ordering: ordered.into_ordering(),
+            ogws: sized.ogws,
+        })
+    }
+
+    #[cfg(not(feature = "parallel"))]
+    fn run_impl(
+        &self,
+        instances: &[ProblemInstance],
+        control: &RunControl<'_>,
+    ) -> Vec<Result<OptimizationOutcome, CoreError>> {
+        instances
+            .iter()
+            .map(|instance| self.run_one(instance, control))
+            .collect()
+    }
+
+    /// Fans the instances out across OS threads in contiguous chunks;
+    /// results are reassembled in input order, so the output is identical to
+    /// the serial path.
+    #[cfg(feature = "parallel")]
+    fn run_impl(
+        &self,
+        instances: &[ProblemInstance],
+        control: &RunControl<'_>,
+    ) -> Vec<Result<OptimizationOutcome, CoreError>> {
+        let workers = self
+            .threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+            .min(instances.len())
+            .max(1);
+        if workers <= 1 {
+            return instances
+                .iter()
+                .map(|instance| self.run_one(instance, control))
+                .collect();
+        }
+
+        let mut slots: Vec<Option<Result<OptimizationOutcome, CoreError>>> = Vec::new();
+        slots.resize_with(instances.len(), || None);
+        let chunk = instances.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            for (instance_chunk, slot_chunk) in instances.chunks(chunk).zip(slots.chunks_mut(chunk))
+            {
+                scope.spawn(move || {
+                    for (instance, slot) in instance_chunk.iter().zip(slot_chunk.iter_mut()) {
+                        *slot = Some(self.run_one(instance, control));
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every instance was run"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::control::{CancelFlag, CollectObserver, StopReason};
+    use crate::optimizer::Optimizer;
+    use ncgws_netlist::{CircuitSpec, SyntheticGenerator};
+
+    fn instances() -> Vec<ProblemInstance> {
+        [(30usize, 70usize, 1u64), (40, 90, 2), (24, 55, 3)]
+            .into_iter()
+            .map(|(gates, wires, seed)| {
+                SyntheticGenerator::new(
+                    CircuitSpec::new(format!("batch-{seed}"), gates, wires)
+                        .with_seed(seed)
+                        .with_num_patterns(16),
+                )
+                .generate()
+                .unwrap()
+            })
+            .collect()
+    }
+
+    fn quick_config() -> OptimizerConfig {
+        OptimizerConfig {
+            max_iterations: 30,
+            max_lrs_sweeps: 20,
+            ..OptimizerConfig::default()
+        }
+    }
+
+    #[test]
+    fn batch_matches_individual_runs_in_input_order() {
+        let instances = instances();
+        let runner = BatchRunner::new(quick_config());
+        let results = runner.run(&instances, &RunControl::new());
+        assert_eq!(results.len(), instances.len());
+        for (instance, result) in instances.iter().zip(&results) {
+            let batch = result.as_ref().expect("batch run succeeds");
+            let solo = Optimizer::new(quick_config()).run(instance).unwrap();
+            assert_eq!(batch.report.name, instance.name);
+            assert_eq!(batch.sizes(), solo.sizes(), "{}", instance.name);
+            assert_eq!(batch.report.final_metrics, solo.report.final_metrics);
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_batch_skips_every_instance_before_stage_one() {
+        let instances = instances();
+        let flag = CancelFlag::new();
+        flag.cancel();
+        let control = RunControl::new().with_cancel_flag(flag);
+        let results = BatchRunner::new(quick_config()).run(&instances, &control);
+        assert_eq!(results.len(), instances.len());
+        for result in &results {
+            assert!(matches!(
+                result,
+                Err(CoreError::Interrupted {
+                    reason: StopReason::Cancelled
+                })
+            ));
+        }
+    }
+
+    #[test]
+    fn shared_observer_sees_every_instance() {
+        let instances = instances();
+        let collector = CollectObserver::new();
+        let control = RunControl::new().with_observer(&collector);
+        let results = BatchRunner::new(quick_config())
+            .with_threads(2)
+            .run(&instances, &control);
+        let total: usize = results
+            .iter()
+            .map(|r| r.as_ref().unwrap().report.iterations)
+            .sum();
+        assert_eq!(collector.count(), total);
+    }
+}

@@ -1,7 +1,7 @@
 //! Stage 1 of the two-stage flow: switching-aware wire ordering and
 //! construction of the coupling model.
 //!
-//! Given a [`ProblemInstance`](ncgws_netlist::ProblemInstance), this module
+//! Given a [`ProblemInstance`], this module
 //!
 //! 1. logic-simulates the circuit over the instance's input patterns,
 //! 2. computes the switching-similarity matrix of every routing channel,

@@ -6,6 +6,8 @@ use ncgws_circuit::CircuitError;
 use ncgws_coupling::CouplingError;
 use ncgws_ordering::OrderingError;
 
+use crate::control::StopReason;
+
 /// Errors produced by the sizing engine.
 #[derive(Debug)]
 pub enum CoreError {
@@ -28,6 +30,14 @@ pub enum CoreError {
         /// Human-readable description of the violated bound.
         reason: String,
     },
+    /// A [`RunControl`](crate::RunControl) stopped the run before it could
+    /// start (the [`BatchRunner`](crate::BatchRunner) skips instances once
+    /// the shared control is cancelled or past its deadline, so the
+    /// expensive stage-1 ordering is not paid for work nobody wants).
+    Interrupted {
+        /// Why the run was stopped.
+        reason: StopReason,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -41,6 +51,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::InfeasibleBounds { reason } => {
                 write!(f, "infeasible constraint bounds: {reason}")
+            }
+            CoreError::Interrupted { reason } => {
+                write!(f, "run interrupted before it started: {reason}")
             }
         }
     }
@@ -95,5 +108,10 @@ mod tests {
             reason: "crosstalk bound too small".into(),
         };
         assert!(e.to_string().contains("crosstalk"));
+        let e = CoreError::Interrupted {
+            reason: StopReason::DeadlineExpired,
+        };
+        assert!(e.to_string().contains("deadline-expired"));
+        assert!(e.source().is_none());
     }
 }

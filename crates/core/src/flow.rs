@@ -1,0 +1,488 @@
+//! The staged `Flow` pipeline: the two-stage optimizer as a typestate API.
+//!
+//! The paper's algorithm has two clearly separated stages — WOSS wire
+//! ordering (stage 1) and OGWS Lagrangian sizing (stage 2) — but the legacy
+//! [`Optimizer::run`](crate::Optimizer::run) fuses them into one opaque
+//! call. This module exposes each stage as a state of a typestate pipeline,
+//! with the intermediates as first-class, inspectable values:
+//!
+//! ```text
+//! Flow::prepare(&instance, config)?   validated configuration
+//!     .order()?                       stage 1: ordering + coupling + bounds
+//!     .size()?                        stage 2: sizing + report
+//! ```
+//!
+//! * [`Prepared`] proves the configuration validated against nothing but
+//!   itself;
+//! * [`Ordered`] holds the stage-1 [`WireOrderingOutcome`], the initial
+//!   metrics and the derived constraint bounds. It is the reuse point: one
+//!   ordering can feed any number of sizing runs (cold, warm-started,
+//!   cancelled, budgeted) without re-simulating or re-ordering;
+//! * [`SizedOutcome`] carries the [`OptimizationReport`] and the raw
+//!   [`OgwsOutcome`] of one sizing run.
+//!
+//! A cold `size()` is bit-identical to the legacy `Optimizer::run`, which is
+//! now a thin wrapper over this pipeline (the `flow_api` integration tests
+//! enforce the equivalence property-wise). The third state is named
+//! `SizedOutcome` rather than `Sized` to avoid shadowing the marker trait of
+//! the prelude.
+
+use std::time::Instant;
+
+use ncgws_circuit::{DelayModel, SizeVector};
+use ncgws_netlist::ProblemInstance;
+
+use crate::control::{RunControl, StopReason};
+use crate::coupling_build::{build_coupling, WireOrderingOutcome};
+use crate::engine::SizingEngine;
+use crate::error::CoreError;
+use crate::metrics::{CircuitMetrics, MemoryBreakdown};
+use crate::ogws::{OgwsOutcome, OgwsSolver};
+use crate::problem::{ConstraintBounds, OptimizerConfig, SizingProblem};
+use crate::report::{Improvements, OptimizationReport};
+
+/// Entry point of the staged pipeline.
+///
+/// `Flow` itself is uninhabited state: all data lives in the stage values it
+/// produces, starting with [`Flow::prepare`].
+#[derive(Debug, Clone, Copy)]
+pub struct Flow;
+
+impl Flow {
+    /// Validates the configuration against a problem instance and starts the
+    /// pipeline's wall clock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when the configuration is
+    /// invalid.
+    pub fn prepare(
+        instance: &ProblemInstance,
+        config: OptimizerConfig,
+    ) -> Result<Prepared<'_>, CoreError> {
+        config.validate()?;
+        Ok(Prepared {
+            instance,
+            config,
+            started: Instant::now(),
+        })
+    }
+}
+
+/// A validated configuration bound to a problem instance — the state before
+/// stage 1.
+#[derive(Debug, Clone)]
+pub struct Prepared<'a> {
+    instance: &'a ProblemInstance,
+    config: OptimizerConfig,
+    started: Instant,
+}
+
+impl<'a> Prepared<'a> {
+    /// The problem instance the pipeline operates on.
+    pub fn instance(&self) -> &'a ProblemInstance {
+        self.instance
+    }
+
+    /// The validated configuration.
+    pub fn config(&self) -> &OptimizerConfig {
+        &self.config
+    }
+
+    /// Runs stage 1: logic simulation, switching-similarity wire ordering and
+    /// coupling-model construction, then derives the constraint bounds from
+    /// the initial (unsized) metrics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Coupling`] when the induced coupling pairs are
+    /// geometrically invalid for the instance's layout.
+    pub fn order(self) -> Result<Ordered<'a>, CoreError> {
+        let ordering = build_coupling(
+            self.instance,
+            self.config.ordering,
+            self.config.effective_coupling,
+        )?;
+        let graph = &self.instance.circuit;
+        let (initial_metrics, bounds) = {
+            let mut engine = SizingEngine::new(graph, &ordering.coupling);
+            let initial_sizes = self.config.initial_sizes(graph);
+            let initial_metrics = CircuitMetrics::evaluate_with(&mut engine, &initial_sizes);
+            let bounds = self
+                .config
+                .absolute_bounds
+                .unwrap_or_else(|| ConstraintBounds::from_initial(&initial_metrics, &self.config))
+                .clamped_to_feasible(graph, &ordering.coupling);
+            (initial_metrics, bounds)
+        };
+        Ok(Ordered {
+            instance: self.instance,
+            config: self.config,
+            stage1_seconds: self.started.elapsed().as_secs_f64(),
+            ordering,
+            initial_metrics,
+            bounds,
+        })
+    }
+}
+
+/// The stage-1 outcome — the state between ordering and sizing, and the
+/// reuse point for repeated sizing runs over one ordering.
+#[derive(Debug, Clone)]
+pub struct Ordered<'a> {
+    instance: &'a ProblemInstance,
+    config: OptimizerConfig,
+    // Wall-clock cost of prepare+order, folded into every sizing run's
+    // reported runtime (each run re-measures only its own stage 2, so
+    // repeated runs over one ordering do not accumulate each other's time).
+    stage1_seconds: f64,
+    ordering: WireOrderingOutcome,
+    initial_metrics: CircuitMetrics,
+    bounds: ConstraintBounds,
+}
+
+impl<'a> Ordered<'a> {
+    /// The problem instance the pipeline operates on.
+    pub fn instance(&self) -> &'a ProblemInstance {
+        self.instance
+    }
+
+    /// The validated configuration.
+    pub fn config(&self) -> &OptimizerConfig {
+        &self.config
+    }
+
+    /// The stage-1 wire-ordering outcome: per-channel orderings, their total
+    /// effective loading, the coupling set and the induced adjacency.
+    pub fn ordering(&self) -> &WireOrderingOutcome {
+        &self.ordering
+    }
+
+    /// Metrics of the initial (unsized) circuit, coupling included.
+    pub fn initial_metrics(&self) -> &CircuitMetrics {
+        &self.initial_metrics
+    }
+
+    /// The absolute constraint bounds stage 2 will enforce (derived from the
+    /// initial metrics unless the configuration carries absolute bounds,
+    /// then clamped to what the layout can achieve at all).
+    pub fn bounds(&self) -> ConstraintBounds {
+        self.bounds
+    }
+
+    /// Consumes the state and returns the stage-1 outcome.
+    pub fn into_ordering(self) -> WireOrderingOutcome {
+        self.ordering
+    }
+
+    /// Runs stage 2 cold: OGWS Lagrangian sizing from scratch.
+    ///
+    /// Bit-identical to the sizing performed by the legacy
+    /// [`Optimizer::run`](crate::Optimizer::run).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InfeasibleBounds`] when no sizing can satisfy
+    /// the derived bounds.
+    pub fn size(&self) -> Result<SizedOutcome, CoreError> {
+        self.size_controlled(None, &RunControl::new())
+    }
+
+    /// Runs stage 2 warm-started from a previous solution (for example the
+    /// [`sizes`](SizedOutcome::sizes) of an earlier run over this ordering).
+    ///
+    /// A feasible warm start becomes the initial primal upper bound, so the
+    /// run converges in at most as many iterations as the cold run that
+    /// produced it.
+    ///
+    /// # Errors
+    ///
+    /// As [`size`](Self::size), plus [`CoreError::InvalidConfig`] when
+    /// `warm` has the wrong length for the circuit.
+    pub fn size_warm(&self, warm: &SizeVector) -> Result<SizedOutcome, CoreError> {
+        self.size_controlled(Some(warm), &RunControl::new())
+    }
+
+    /// Runs stage 2 cold under a [`RunControl`] (observer, cancellation,
+    /// iteration budget, deadline).
+    ///
+    /// # Errors
+    ///
+    /// As [`size`](Self::size).
+    pub fn size_with(&self, control: &RunControl<'_>) -> Result<SizedOutcome, CoreError> {
+        self.size_controlled(None, control)
+    }
+
+    /// Runs stage 2 with both a warm start and a [`RunControl`], building a
+    /// fresh engine for the run.
+    ///
+    /// Callers sizing the same ordering many times (warm-start loops,
+    /// serving) should build the engine once with [`engine`](Self::engine)
+    /// and use [`size_with_engine`](Self::size_with_engine) so the
+    /// workspace allocation is paid once, not per run.
+    ///
+    /// # Errors
+    ///
+    /// As [`size_warm`](Self::size_warm).
+    pub fn size_controlled(
+        &self,
+        warm: Option<&SizeVector>,
+        control: &RunControl<'_>,
+    ) -> Result<SizedOutcome, CoreError> {
+        let mut engine = self.engine();
+        self.size_with_engine(&mut engine, warm, control)
+    }
+
+    /// Builds a sizing engine bound to this ordering, for reuse across
+    /// repeated [`size_with_engine`](Self::size_with_engine) calls.
+    pub fn engine(&self) -> SizingEngine<'_> {
+        SizingEngine::new(&self.instance.circuit, &self.ordering.coupling)
+    }
+
+    /// The fully general sizing call every other `size*` method delegates
+    /// to: warm start, run control, and a caller-provided engine whose
+    /// workspace is reused across runs.
+    ///
+    /// # Errors
+    ///
+    /// As [`size_warm`](Self::size_warm).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `engine` was built for a different circuit or coupling
+    /// set than this ordering (build it with [`engine`](Self::engine)).
+    pub fn size_with_engine<M: DelayModel>(
+        &self,
+        engine: &mut SizingEngine<'_, M>,
+        warm: Option<&SizeVector>,
+        control: &RunControl<'_>,
+    ) -> Result<SizedOutcome, CoreError> {
+        let graph = &self.instance.circuit;
+        let coupling = &self.ordering.coupling;
+        assert!(
+            std::ptr::eq(graph, engine.graph()),
+            "engine was built for a different circuit than this ordering"
+        );
+        assert!(
+            std::ptr::eq(coupling, engine.coupling()),
+            "engine was built for a different coupling set than this ordering"
+        );
+        if let Some(warm) = warm {
+            if warm.len() != graph.num_components() {
+                return Err(CoreError::InvalidConfig {
+                    name: "warm_start",
+                    reason: format!(
+                        "warm-start vector has {} entries but the circuit has {} components",
+                        warm.len(),
+                        graph.num_components()
+                    ),
+                });
+            }
+        }
+        let sizing_started = Instant::now();
+
+        let problem = SizingProblem::new(graph, coupling, self.bounds)?;
+        let solver = OgwsSolver::new(self.config.clone());
+        let ogws = solver.solve_controlled(&problem, engine, warm, control);
+        let final_metrics = CircuitMetrics::evaluate_with(engine, &ogws.sizes);
+
+        // Stage 1 is paid once per ordering, stage 2 per run: report this
+        // run's cost, not the sum over every sibling run or the idle time
+        // between them.
+        let runtime_seconds = self.stage1_seconds + sizing_started.elapsed().as_secs_f64();
+        let memory = MemoryBreakdown {
+            circuit_bytes: graph.memory_bytes(),
+            coupling_bytes: coupling.memory_bytes(),
+            multiplier_bytes: std::mem::size_of::<f64>() * (graph.num_edges() + 2),
+            working_bytes: engine.memory_bytes(),
+        };
+
+        let report = OptimizationReport {
+            name: self.instance.name.clone(),
+            num_gates: graph.num_gates(),
+            num_wires: graph.num_wires(),
+            initial_metrics: self.initial_metrics,
+            final_metrics,
+            improvements: Improvements::between(&self.initial_metrics, &final_metrics),
+            iterations: ogws.num_iterations(),
+            runtime_seconds,
+            seconds_per_iteration: ogws.seconds_per_iteration(),
+            memory,
+            feasible: ogws.feasible,
+            converged: ogws.converged,
+            stop_reason: ogws.stop_reason,
+            duality_gap: ogws.best_gap,
+            iteration_records: ogws.iterations.clone(),
+            ordering_effective_loading: self.ordering.total_effective_loading,
+        };
+
+        Ok(SizedOutcome { report, ogws })
+    }
+}
+
+/// The stage-2 outcome of one sizing run: the report plus the raw OGWS data.
+///
+/// The pipeline's terminal state. Produced by the `size*` methods of
+/// [`Ordered`]; several outcomes can be produced from one ordering.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct SizedOutcome {
+    /// The report (Table 1 row, iteration history, memory, improvements,
+    /// stop reason).
+    pub report: OptimizationReport,
+    /// The raw OGWS outcome (sizes, multiplier values, convergence data).
+    pub ogws: OgwsOutcome,
+}
+
+impl SizedOutcome {
+    /// The final size vector (borrowed from the OGWS outcome, which owns it).
+    pub fn sizes(&self) -> &SizeVector {
+        &self.ogws.sizes
+    }
+
+    /// Why the sizing run stopped.
+    pub fn stop_reason(&self) -> StopReason {
+        self.report.stop_reason
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::control::{CancelFlag, CollectObserver};
+    use ncgws_netlist::{CircuitSpec, SyntheticGenerator};
+
+    fn instance(gates: usize, wires: usize, seed: u64) -> ProblemInstance {
+        SyntheticGenerator::new(
+            CircuitSpec::new("flow-test", gates, wires)
+                .with_seed(seed)
+                .with_num_patterns(32),
+        )
+        .generate()
+        .unwrap()
+    }
+
+    fn quick_config() -> OptimizerConfig {
+        OptimizerConfig {
+            max_iterations: 40,
+            max_lrs_sweeps: 20,
+            ..OptimizerConfig::default()
+        }
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_prepare() {
+        let inst = instance(20, 45, 1);
+        let config = OptimizerConfig {
+            gap_tolerance: -1.0,
+            ..OptimizerConfig::default()
+        };
+        assert!(matches!(
+            Flow::prepare(&inst, config),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn stage_one_is_inspectable_before_sizing() {
+        let inst = instance(40, 90, 3);
+        let ordered = Flow::prepare(&inst, quick_config())
+            .unwrap()
+            .order()
+            .unwrap();
+        assert!(!ordered.ordering().orderings.is_empty());
+        assert!(ordered.ordering().total_effective_loading >= 0.0);
+        assert!(ordered.initial_metrics().area_um2 > 0.0);
+        assert!(ordered.bounds().delay > 0.0);
+        assert_eq!(
+            ordered.instance().circuit.num_components(),
+            inst.circuit.num_components()
+        );
+    }
+
+    #[test]
+    fn one_ordering_feeds_many_sizing_runs() {
+        let inst = instance(40, 90, 5);
+        let ordered = Flow::prepare(&inst, quick_config())
+            .unwrap()
+            .order()
+            .unwrap();
+        let a = ordered.size().unwrap();
+        let b = ordered.size().unwrap();
+        assert_eq!(a.sizes(), b.sizes(), "cold runs are deterministic");
+        assert_eq!(a.report.final_metrics, b.report.final_metrics);
+        // A warm run from a's solution is at least as good, in fewer or
+        // equally many iterations.
+        let warm = ordered.size_warm(a.sizes()).unwrap();
+        assert!(warm.report.iterations <= a.report.iterations);
+        assert!(warm.report.feasible);
+    }
+
+    #[test]
+    fn one_engine_serves_repeated_sizing_runs() {
+        let inst = instance(40, 90, 5);
+        let ordered = Flow::prepare(&inst, quick_config())
+            .unwrap()
+            .order()
+            .unwrap();
+        let fresh = ordered.size().unwrap();
+        let mut engine = ordered.engine();
+        let control = RunControl::new();
+        let a = ordered
+            .size_with_engine(&mut engine, None, &control)
+            .unwrap();
+        let warm = ordered
+            .size_with_engine(&mut engine, Some(a.sizes()), &control)
+            .unwrap();
+        assert_eq!(a.sizes(), fresh.sizes(), "engine reuse must not leak state");
+        assert_eq!(a.report.final_metrics, fresh.report.final_metrics);
+        assert!(warm.report.iterations <= a.report.iterations);
+    }
+
+    #[test]
+    fn warm_start_of_wrong_length_is_rejected() {
+        let inst = instance(30, 70, 7);
+        let ordered = Flow::prepare(&inst, quick_config())
+            .unwrap()
+            .order()
+            .unwrap();
+        let warm = SizeVector::uniform(3, 1.0);
+        assert!(matches!(
+            ordered.size_warm(&warm),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn budget_and_observer_are_honored() {
+        let inst = instance(40, 90, 9);
+        let ordered = Flow::prepare(&inst, quick_config())
+            .unwrap()
+            .order()
+            .unwrap();
+        let collector = CollectObserver::new();
+        let control = RunControl::new()
+            .with_observer(&collector)
+            .with_iteration_budget(4);
+        let sized = ordered.size_with(&control).unwrap();
+        assert_eq!(sized.report.iterations, 4);
+        assert_eq!(sized.stop_reason(), StopReason::BudgetExhausted);
+        assert_eq!(collector.count(), 4);
+    }
+
+    #[test]
+    fn pre_cancelled_run_performs_no_iterations() {
+        let inst = instance(30, 70, 11);
+        let ordered = Flow::prepare(&inst, quick_config())
+            .unwrap()
+            .order()
+            .unwrap();
+        let flag = CancelFlag::new();
+        flag.cancel();
+        let control = RunControl::new().with_cancel_flag(flag);
+        let sized = ordered.size_with(&control).unwrap();
+        assert_eq!(sized.report.iterations, 0);
+        assert_eq!(sized.stop_reason(), StopReason::Cancelled);
+        assert!(!sized.report.feasible);
+    }
+}

@@ -18,8 +18,13 @@
 //!   ([`lrs`]);
 //! * the **OGWS** outer loop (Figure 9): subgradient multiplier updates,
 //!   projection, and the duality-gap stopping rule ([`ogws`]);
-//! * the end-to-end two-stage [`Optimizer`]: switching-similarity wire
-//!   ordering (stage 1) followed by OGWS sizing (stage 2);
+//! * the staged [`flow`] pipeline — `prepare → order → size` as typestates
+//!   with inspectable intermediates, warm starts, and the legacy one-shot
+//!   [`Optimizer`] as a thin wrapper;
+//! * run control for the outer loop ([`control`]): progress [`Observer`]s,
+//!   cooperative cancellation, iteration budgets and wall-clock deadlines,
+//!   with the [`StopReason`] recorded in every outcome;
+//! * batch execution of many instances across threads ([`batch`]);
 //! * baselines for ablations: delay/area-only Lagrangian sizing and a greedy
 //!   sensitivity-based sizer ([`baseline`]);
 //! * metrics, reporting and memory accounting for the Table 1 / Figure 10
@@ -29,9 +34,12 @@
 #![warn(rust_2018_idioms)]
 
 pub mod baseline;
+pub mod batch;
+pub mod control;
 pub mod coupling_build;
 pub mod engine;
 pub mod error;
+pub mod flow;
 pub mod kkt;
 pub mod lagrangian;
 pub mod lrs;
@@ -44,14 +52,17 @@ pub mod reference;
 pub mod report;
 pub mod step;
 
+pub use batch::BatchRunner;
+pub use control::{CancelFlag, CollectObserver, IterationEvent, Observer, RunControl, StopReason};
 pub use coupling_build::{build_coupling, OrderingStrategy, WireOrderingOutcome};
 pub use engine::{SizingEngine, TimingView};
 pub use error::CoreError;
+pub use flow::{Flow, Ordered, Prepared, SizedOutcome};
 pub use lagrangian::Multipliers;
 pub use lrs::{LrsOutcome, LrsSolver, LrsStats};
 pub use metrics::{CircuitMetrics, IterationRecord, MemoryBreakdown};
 pub use ogws::{OgwsOutcome, OgwsSolver};
 pub use optimizer::{OptimizationOutcome, Optimizer};
-pub use problem::{ConstraintBounds, OptimizerConfig, SizingProblem};
+pub use problem::{ConstraintBounds, OptimizerConfig, OptimizerConfigBuilder, SizingProblem};
 pub use report::{Improvements, OptimizationReport};
 pub use step::StepSchedule;

@@ -23,6 +23,7 @@
 use ncgws_circuit::{DelayModel, SizeVector};
 use serde::{Deserialize, Serialize};
 
+use crate::control::RunControl;
 use crate::engine::SizingEngine;
 use crate::lagrangian::Multipliers;
 use crate::problem::SizingProblem;
@@ -102,6 +103,25 @@ impl LrsSolver {
         multipliers: &Multipliers,
         sizes: &mut SizeVector,
     ) -> LrsStats {
+        self.solve_controlled(engine, multipliers, sizes, &RunControl::new())
+    }
+
+    /// [`solve_with`](Self::solve_with) under a [`RunControl`]: between
+    /// sweeps the control's cancellation flag and deadline are checked, so a
+    /// cancelled run stops within one sweep instead of finishing the solve.
+    ///
+    /// With a default control the checks read two `Option`s per sweep and
+    /// never touch the clock, so the sweep sequence is bit-identical to an
+    /// uncontrolled solve. An interrupted solve reports `converged: false`
+    /// and leaves `sizes` at the last completed sweep's iterate (or the
+    /// lower bounds when interrupted before the first sweep).
+    pub fn solve_controlled<M: DelayModel>(
+        &self,
+        engine: &mut SizingEngine<'_, M>,
+        multipliers: &Multipliers,
+        sizes: &mut SizeVector,
+        control: &RunControl<'_>,
+    ) -> LrsStats {
         // A2 aggregation: node weights λ_i, once per solve.
         engine.load_node_weights(multipliers);
         // S1: start at the lower bounds.
@@ -110,6 +130,9 @@ impl LrsSolver {
         let mut sweeps = 0;
         let mut converged = false;
         while sweeps < self.max_sweeps {
+            if control.interrupted() {
+                break;
+            }
             sweeps += 1;
             // S2–S4 in the engine; S5: repeat until no improvement.
             let delta = engine.lrs_sweep(sizes, multipliers.beta, multipliers.gamma);

@@ -25,8 +25,9 @@ pub struct CircuitMetrics {
 }
 
 impl CircuitMetrics {
-    /// Evaluates all metrics through a reusable [`SizingEngine`], without
-    /// allocating. Bitwise identical to [`evaluate`](Self::evaluate).
+    /// Evaluates all metrics through a reusable
+    /// [`SizingEngine`](crate::SizingEngine), without allocating. Bitwise
+    /// identical to [`evaluate`](Self::evaluate).
     pub fn evaluate_with<M: ncgws_circuit::DelayModel>(
         engine: &mut crate::engine::SizingEngine<'_, M>,
         sizes: &SizeVector,

@@ -22,6 +22,7 @@ use std::time::Instant;
 use ncgws_circuit::{DelayModel, NodeKind, SizeVector};
 use serde::{Deserialize, Serialize};
 
+use crate::control::{IterationEvent, RunControl, StopReason};
 use crate::engine::SizingEngine;
 use crate::lagrangian::{dual_value, Multipliers};
 use crate::lrs::LrsSolver;
@@ -43,6 +44,7 @@ const STAGNATION_LIMIT: usize = 15;
 
 /// Result of an OGWS run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct OgwsOutcome {
     /// The final size vector: the best feasible solution found, or the last
     /// LRS solution when no iterate was feasible.
@@ -51,6 +53,8 @@ pub struct OgwsOutcome {
     pub feasible: bool,
     /// Whether the duality gap dropped below the configured tolerance.
     pub converged: bool,
+    /// Why the outer loop stopped.
+    pub stop_reason: StopReason,
     /// Per-iteration progress records.
     pub iterations: Vec<IterationRecord>,
     /// The best (smallest) relative duality gap observed.
@@ -127,6 +131,40 @@ impl OgwsSolver {
         problem: &SizingProblem<'_>,
         engine: &mut SizingEngine<'_, M>,
     ) -> OgwsOutcome {
+        self.solve_controlled(problem, engine, None, &RunControl::new())
+    }
+
+    /// Runs the outer loop with an optional warm start and a [`RunControl`].
+    ///
+    /// With `warm_start == None` and a default control this is **exactly**
+    /// [`solve_with`](Self::solve_with): the control checks read two
+    /// `Option`s per iteration and never touch the clock, so the iterate
+    /// sequence is bit-identical.
+    ///
+    /// A warm-start vector (clamped into the component bounds) seeds the
+    /// "best feasible so far" candidate before the first iteration when it
+    /// satisfies every constraint. The multiplier trajectory — and hence the
+    /// dual bound — is unaffected, so a run warm-started from a feasible
+    /// solution converges in at most as many iterations as the cold run that
+    /// produced it (its duality gap at every iteration is no larger).
+    ///
+    /// The control is consulted before every iteration (cancellation, then
+    /// deadline, then iteration budget) and between LRS sweeps within an
+    /// iteration (cancellation and deadline); the reason the loop stopped is
+    /// recorded in [`OgwsOutcome::stop_reason`]. The observer, if any,
+    /// receives one [`IterationEvent`] per completed iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the engine is bound to a different circuit or coupling
+    /// set than `problem`, or when `warm_start` has the wrong length.
+    pub fn solve_controlled<M: DelayModel>(
+        &self,
+        problem: &SizingProblem<'_>,
+        engine: &mut SizingEngine<'_, M>,
+        warm_start: Option<&SizeVector>,
+        control: &RunControl<'_>,
+    ) -> OgwsOutcome {
         assert!(
             std::ptr::eq(problem.graph, engine.graph()),
             "engine was built for a different circuit than the problem"
@@ -160,12 +198,45 @@ impl OgwsSolver {
         let mut best_dual = f64::NEG_INFINITY;
         let mut converged = false;
         let mut stagnant = 0usize;
+        let mut stop_reason = StopReason::IterationLimit;
+
+        // Warm start: a feasible seed becomes the initial primal upper bound,
+        // so the gap stopping rule can fire from the first iteration.
+        if let Some(warm) = warm_start {
+            assert_eq!(
+                warm.len(),
+                sizes.len(),
+                "warm-start vector must have one entry per sizable component"
+            );
+            sizes.copy_from(warm);
+            sizes.clamp_into(&engine.lower_bound, &engine.upper_bound);
+            let timing = engine.timing(&sizes);
+            let total_cap = ncgws_circuit::total_capacitance(graph, &sizes);
+            let crosstalk_lhs = coupling.crosstalk_lhs(graph, &sizes);
+            let feasible = timing.critical_path_delay - bounds.delay
+                <= bounds.delay * FEASIBILITY_TOLERANCE
+                && total_cap - bounds.total_capacitance
+                    <= bounds.total_capacitance * FEASIBILITY_TOLERANCE
+                && crosstalk_lhs - problem.reduced_crosstalk_bound()
+                    <= bounds.crosstalk * FEASIBILITY_TOLERANCE;
+            if feasible {
+                best_area = problem.area(&sizes);
+                best_sizes.copy_from(&sizes);
+                have_feasible = true;
+            }
+        }
 
         for k in 1..=self.config.max_iterations {
+            // Cooperative limits, checked before any work so a cancelled or
+            // expired run performs no further iterations.
+            if let Some(reason) = control.stop_before_iteration(iterations.len()) {
+                stop_reason = reason;
+                break;
+            }
             let started = Instant::now();
 
             // A2 + A3: solve the relaxation and analyze timing at its solution.
-            let lrs_stats = lrs.solve_with(engine, &multipliers, &mut sizes);
+            let lrs_stats = lrs.solve_controlled(engine, &multipliers, &mut sizes, control);
             let timing = engine.timing(&sizes);
 
             // Constraint values.
@@ -232,17 +303,38 @@ impl OgwsSolver {
                 seconds: started.elapsed().as_secs_f64(),
                 lrs_sweeps: lrs_stats.sweeps,
             });
+            control.notify(&IterationEvent {
+                record: iterations.last().expect("record just pushed"),
+                step,
+                best_gap,
+                feasible,
+            });
 
             // A7: stop on a small duality gap once a feasible iterate exists.
             if gap <= self.config.gap_tolerance && have_feasible {
                 converged = true;
+                stop_reason = StopReason::Converged;
                 break;
             }
             // Secondary stop: neither bound has moved for a long stretch —
             // the subgradient method has stalled within its step resolution,
             // so further iterations cannot tighten the certificate.
             if stagnant >= STAGNATION_LIMIT && have_feasible {
+                stop_reason = StopReason::Stagnated;
                 break;
+            }
+        }
+
+        // A cancellation or deadline that fired during the *final* configured
+        // iteration would otherwise masquerade as an ordinary
+        // iteration-limit exit (the loop leaves through the range bound
+        // before the next boundary check); report what actually cut the
+        // iteration short. Uncontrolled runs read two `None`s here.
+        if stop_reason == StopReason::IterationLimit {
+            if control.is_cancelled() {
+                stop_reason = StopReason::Cancelled;
+            } else if control.deadline_expired() {
+                stop_reason = StopReason::DeadlineExpired;
             }
         }
 
@@ -256,6 +348,7 @@ impl OgwsSolver {
             sizes,
             feasible,
             converged,
+            stop_reason,
             iterations,
             best_gap,
             beta: multipliers.beta,

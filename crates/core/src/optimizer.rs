@@ -1,27 +1,26 @@
-//! The end-to-end two-stage optimizer.
+//! The end-to-end two-stage optimizer (legacy one-shot surface).
 //!
-//! Stage 1 ([`build_coupling`]) orders the wires of every routing channel by
-//! switching similarity and builds the coupling model; stage 2
-//! ([`OgwsSolver`]) solves the noise-constrained area minimization by
-//! Lagrangian relaxation. [`Optimizer::run`] wires the two together, measures
-//! runtime and memory, and produces the [`OptimizationReport`] consumed by
-//! the Table 1 / Figure 10 harnesses.
-
-use std::time::Instant;
+//! [`Optimizer::run`] is a thin wrapper over the staged [`Flow`] pipeline:
+//! it prepares, orders and sizes in
+//! one call and returns the combined [`OptimizationOutcome`]. The staged API
+//! in [`flow`](crate::flow) exposes the same computation with inspectable
+//! intermediates, warm starts, run control and batch execution; a cold flow
+//! run is bit-identical to this wrapper (the `flow_api` integration tests
+//! enforce it).
 
 use ncgws_circuit::SizeVector;
 use ncgws_netlist::ProblemInstance;
 
-use crate::coupling_build::{build_coupling, WireOrderingOutcome};
-use crate::engine::SizingEngine;
+use crate::coupling_build::WireOrderingOutcome;
 use crate::error::CoreError;
-use crate::metrics::{CircuitMetrics, MemoryBreakdown};
-use crate::ogws::{OgwsOutcome, OgwsSolver};
-use crate::problem::{ConstraintBounds, OptimizerConfig, SizingProblem};
-use crate::report::{Improvements, OptimizationReport};
+use crate::flow::Flow;
+use crate::ogws::OgwsOutcome;
+use crate::problem::OptimizerConfig;
+use crate::report::OptimizationReport;
 
 /// The result of a full optimization run.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct OptimizationOutcome {
     /// The report (Table 1 row, iteration history, memory, improvements).
     pub report: OptimizationReport,
@@ -69,66 +68,12 @@ impl Optimizer {
     /// cannot be built for the instance's geometry, or the derived constraint
     /// bounds are unsatisfiable.
     pub fn run(&self, instance: &ProblemInstance) -> Result<OptimizationOutcome, CoreError> {
-        self.config.validate()?;
-        let started = Instant::now();
-        let graph = &instance.circuit;
-
-        // Stage 1: switching-similarity wire ordering and coupling model.
-        let ordering = build_coupling(
-            instance,
-            self.config.ordering,
-            self.config.effective_coupling,
-        )?;
-        let coupling = &ordering.coupling;
-
-        // One engine, reused for every evaluation of the run.
-        let mut engine = SizingEngine::new(graph, coupling);
-
-        // Initial ("unsized") metrics and the constraint bounds derived from them.
-        let initial_sizes = self.config.initial_sizes(graph);
-        let initial_metrics = CircuitMetrics::evaluate_with(&mut engine, &initial_sizes);
-        let bounds = self
-            .config
-            .absolute_bounds
-            .unwrap_or_else(|| ConstraintBounds::from_initial(&initial_metrics, &self.config))
-            .clamped_to_feasible(graph, coupling);
-
-        // Stage 2: Lagrangian-relaxation sizing.
-        let problem = SizingProblem::new(graph, coupling, bounds)?;
-        let solver = OgwsSolver::new(self.config.clone());
-        let ogws = solver.solve_with(&problem, &mut engine);
-        let final_metrics = CircuitMetrics::evaluate_with(&mut engine, &ogws.sizes);
-
-        let runtime_seconds = started.elapsed().as_secs_f64();
-        let memory = MemoryBreakdown {
-            circuit_bytes: graph.memory_bytes(),
-            coupling_bytes: coupling.memory_bytes(),
-            multiplier_bytes: std::mem::size_of::<f64>() * (graph.num_edges() + 2),
-            working_bytes: engine.memory_bytes(),
-        };
-
-        let report = OptimizationReport {
-            name: instance.name.clone(),
-            num_gates: graph.num_gates(),
-            num_wires: graph.num_wires(),
-            initial_metrics,
-            final_metrics,
-            improvements: Improvements::between(&initial_metrics, &final_metrics),
-            iterations: ogws.num_iterations(),
-            runtime_seconds,
-            seconds_per_iteration: ogws.seconds_per_iteration(),
-            memory,
-            feasible: ogws.feasible,
-            converged: ogws.converged,
-            duality_gap: ogws.best_gap,
-            iteration_records: ogws.iterations.clone(),
-            ordering_effective_loading: ordering.total_effective_loading,
-        };
-
+        let ordered = Flow::prepare(instance, self.config.clone())?.order()?;
+        let sized = ordered.size()?;
         Ok(OptimizationOutcome {
-            report,
-            ordering,
-            ogws,
+            report: sized.report,
+            ordering: ordered.into_ordering(),
+            ogws: sized.ogws,
         })
     }
 }
@@ -136,6 +81,7 @@ impl Optimizer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::problem::ConstraintBounds;
     use ncgws_netlist::{CircuitSpec, SyntheticGenerator};
 
     fn instance(gates: usize, wires: usize, seed: u64) -> ProblemInstance {

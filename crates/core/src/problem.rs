@@ -135,6 +135,15 @@ pub struct OptimizerConfig {
 }
 
 impl OptimizerConfig {
+    /// Starts a validating builder seeded with the default configuration.
+    ///
+    /// [`OptimizerConfigBuilder::build`] validates the assembled
+    /// configuration, so a configuration obtained through the builder never
+    /// fails validation later in the pipeline.
+    pub fn builder() -> OptimizerConfigBuilder {
+        OptimizerConfigBuilder::new()
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -212,6 +221,133 @@ impl Default for OptimizerConfig {
             initial_edge_multiplier: 1.0,
             initial_scalar_multiplier: 1.0,
         }
+    }
+}
+
+/// Validating builder for [`OptimizerConfig`].
+///
+/// Starts from the default configuration; every setter overrides one field,
+/// and [`build`](Self::build) validates the whole assembly so invalid
+/// configurations are caught where they are written rather than deep inside
+/// a run.
+///
+/// ```
+/// use ncgws_core::{OptimizerConfig, OrderingStrategy};
+///
+/// let config = OptimizerConfig::builder()
+///     .max_iterations(150)
+///     .gap_tolerance(0.01)
+///     .ordering(OrderingStrategy::Woss)
+///     .build()
+///     .expect("valid configuration");
+/// assert_eq!(config.max_iterations, 150);
+///
+/// assert!(OptimizerConfig::builder().max_iterations(0).build().is_err());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct OptimizerConfigBuilder {
+    config: OptimizerConfig,
+}
+
+impl OptimizerConfigBuilder {
+    /// A builder seeded with [`OptimizerConfig::default`].
+    pub fn new() -> Self {
+        OptimizerConfigBuilder::default()
+    }
+
+    /// Uniform initial component size (`None`, the default, starts at the
+    /// upper bounds).
+    pub fn initial_size(mut self, size: f64) -> Self {
+        self.config.initial_size = Some(size);
+        self
+    }
+
+    /// Delay bound as a multiple of the initial circuit delay.
+    pub fn delay_bound_factor(mut self, factor: f64) -> Self {
+        self.config.delay_bound_factor = factor;
+        self
+    }
+
+    /// Power bound as a multiple of the initial total capacitance.
+    pub fn power_bound_factor(mut self, factor: f64) -> Self {
+        self.config.power_bound_factor = factor;
+        self
+    }
+
+    /// Crosstalk bound as a multiple of the initial total crosstalk.
+    pub fn crosstalk_bound_factor(mut self, factor: f64) -> Self {
+        self.config.crosstalk_bound_factor = factor;
+        self
+    }
+
+    /// Explicit absolute bounds, overriding the relative factors.
+    pub fn absolute_bounds(mut self, bounds: ConstraintBounds) -> Self {
+        self.config.absolute_bounds = Some(bounds);
+        self
+    }
+
+    /// Maximum number of OGWS (outer, subgradient) iterations.
+    pub fn max_iterations(mut self, iterations: usize) -> Self {
+        self.config.max_iterations = iterations;
+        self
+    }
+
+    /// Relative duality-gap stopping threshold (the paper uses 1 %).
+    pub fn gap_tolerance(mut self, tolerance: f64) -> Self {
+        self.config.gap_tolerance = tolerance;
+        self
+    }
+
+    /// Step-size schedule `ρ_k` for the subgradient updates.
+    pub fn step_schedule(mut self, schedule: StepSchedule) -> Self {
+        self.config.step_schedule = schedule;
+        self
+    }
+
+    /// Maximum number of inner LRS sweeps per outer iteration.
+    pub fn max_lrs_sweeps(mut self, sweeps: usize) -> Self {
+        self.config.max_lrs_sweeps = sweeps;
+        self
+    }
+
+    /// Convergence threshold for an LRS sweep (max relative size change).
+    pub fn lrs_tolerance(mut self, tolerance: f64) -> Self {
+        self.config.lrs_tolerance = tolerance;
+        self
+    }
+
+    /// Which wire-ordering strategy stage 1 uses.
+    pub fn ordering(mut self, strategy: OrderingStrategy) -> Self {
+        self.config.ordering = strategy;
+        self
+    }
+
+    /// Weight coupling by switching similarity (effective crosstalk).
+    pub fn effective_coupling(mut self, enabled: bool) -> Self {
+        self.config.effective_coupling = enabled;
+        self
+    }
+
+    /// Initial value of every edge multiplier `λ_ji`.
+    pub fn initial_edge_multiplier(mut self, value: f64) -> Self {
+        self.config.initial_edge_multiplier = value;
+        self
+    }
+
+    /// Initial value of the power and crosstalk multipliers `β`, `γ`.
+    pub fn initial_scalar_multiplier(mut self, value: f64) -> Self {
+        self.config.initial_scalar_multiplier = value;
+        self
+    }
+
+    /// Validates the assembled configuration and returns it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] naming the first invalid field.
+    pub fn build(self) -> Result<OptimizerConfig, CoreError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -295,6 +431,37 @@ mod tests {
             ..OptimizerConfig::default()
         };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn builder_validates_at_build() {
+        let config = OptimizerConfig::builder()
+            .max_iterations(25)
+            .power_bound_factor(0.2)
+            .effective_coupling(true)
+            .initial_size(2.0)
+            .build()
+            .expect("valid configuration");
+        assert_eq!(config.max_iterations, 25);
+        assert_eq!(config.power_bound_factor, 0.2);
+        assert!(config.effective_coupling);
+        assert_eq!(config.initial_size, Some(2.0));
+
+        assert!(matches!(
+            OptimizerConfig::builder().gap_tolerance(0.0).build(),
+            Err(CoreError::InvalidConfig {
+                name: "gap_tolerance",
+                ..
+            })
+        ));
+        assert!(OptimizerConfig::builder()
+            .initial_size(-1.0)
+            .build()
+            .is_err());
+        assert!(OptimizerConfig::builder()
+            .max_lrs_sweeps(0)
+            .build()
+            .is_err());
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! This module preserves the original (pre-engine) evaluation style: every
 //! sweep allocates fresh vectors for the coupling loads, downstream
 //! capacitances and upstream resistances through the
-//! [`ElmoreAnalyzer`]/[`CouplingSet`] convenience APIs. It exists for two
+//! [`ElmoreAnalyzer`] and [`CouplingSet`](ncgws_coupling::CouplingSet)
+//! convenience APIs. It exists for two
 //! reasons:
 //!
 //! * **equivalence oracle** — the `property_eval_engine` integration test

@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::control::StopReason;
 use crate::metrics::{CircuitMetrics, IterationRecord, MemoryBreakdown};
 
 /// Relative improvements, computed as `(initial − final) / initial × 100 %`,
@@ -40,6 +41,7 @@ impl Improvements {
 /// The complete record of one optimization run — one row of Table 1 plus the
 /// scaling data of Figure 10.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct OptimizationReport {
     /// Benchmark name.
     pub name: String,
@@ -65,6 +67,9 @@ pub struct OptimizationReport {
     pub feasible: bool,
     /// Whether the duality gap reached the configured tolerance.
     pub converged: bool,
+    /// Why the OGWS outer loop stopped (convergence, stagnation, a limit,
+    /// or a [`RunControl`](crate::RunControl) interruption).
+    pub stop_reason: StopReason,
     /// Best duality gap observed.
     pub duality_gap: f64,
     /// Per-iteration progress records.
@@ -179,6 +184,7 @@ mod tests {
             },
             feasible: true,
             converged: true,
+            stop_reason: StopReason::Converged,
             duality_gap: 0.005,
             iteration_records: Vec::new(),
             ordering_effective_loading: 3.0,

@@ -27,7 +27,7 @@
 //! * `geometry PITCH OVERLAP FRINGING` — channel geometry
 //! * `patterns COUNT TOGGLE SEED` — correlated random input vectors
 //!
-//! The default [`Technology`](ncgws_circuit::Technology) is used; everything
+//! The default [`Technology`] is used; everything
 //! else round-trips exactly through [`write_instance`] / [`parse_instance`].
 
 use std::collections::HashMap;

@@ -11,7 +11,7 @@
 //!   bounded fan-in, reconvergent fan-out, routing-channel wire groups and
 //!   randomized wire geometry;
 //! * [`iscas`] — presets matching the ten Table 1 circuits' gate/wire counts;
-//! * [`format`] — a small text netlist format (writer + parser) so externally
+//! * [`mod@format`] — a small text netlist format (writer + parser) so externally
 //!   prepared circuits can be dropped in;
 //! * [`ProblemInstance`] — the bundle the optimizer consumes: the circuit,
 //!   its routing channels and geometry, and the primary-input patterns;

@@ -14,7 +14,7 @@
 //! the greedy **WOSS** heuristic (Figure 7). This crate implements:
 //!
 //! * [`SsProblem`] — the complete graph `K_n` with `1 − similarity` weights;
-//! * [`woss`] — the paper's heuristic;
+//! * [`woss()`] — the paper's heuristic;
 //! * [`exact_ordering`] — a Held–Karp dynamic program usable up to ~16 wires,
 //!   as an optimality reference for tests and ablations;
 //! * [`baselines`] — identity / random / best-start nearest-neighbor

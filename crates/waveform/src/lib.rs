@@ -21,7 +21,7 @@
 //! * [`LogicSimulator`] — zero-delay logic simulation of the circuit graph,
 //!   producing a logic value for every node and every vector;
 //! * [`Waveform`] / [`SimulationTrace`] — the normalized ±1 waveforms;
-//! * [`similarity`], [`SimilarityMatrix`] — pairwise switching similarity;
+//! * [`similarity()`], [`SimilarityMatrix`] — pairwise switching similarity;
 //! * [`miller_factor`] — the mapping from similarity to the effective
 //!   coupling multiplier in `[0, 2]`.
 

@@ -1,0 +1,108 @@
+//! Batch serving: many scenarios through the two-stage flow under one
+//! deadline-bearing `RunControl`.
+//!
+//! Generates eight synthetic benchmarks of growing size, runs them all
+//! through a [`BatchRunner`] (across OS threads when built with the
+//! `parallel` feature), and prints a throughput summary: instances per
+//! second, total OGWS iterations, and each run's stop reason. The shared
+//! deadline shows the cooperative-control behavior — runs that outlive it
+//! stop cleanly and say so.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example batch_serve
+//! cargo run --release --features parallel --example batch_serve
+//! ```
+
+use std::time::{Duration, Instant};
+
+use ncgws::core::{BatchRunner, CoreError, OptimizerConfig, RunControl};
+use ncgws::netlist::{CircuitSpec, SyntheticGenerator};
+
+fn main() -> Result<(), ncgws::Error> {
+    // Eight scenarios of varying size (the kind of mix a sizing service
+    // would face), reproducible from their seeds.
+    let instances: Vec<_> = (0..8u64)
+        .map(|i| {
+            let gates = 40 + 25 * i as usize;
+            let spec = CircuitSpec::new(format!("serve-{i}"), gates, 2 * gates + 20)
+                .with_seed(1000 + i)
+                .with_num_patterns(32);
+            SyntheticGenerator::new(spec).generate()
+        })
+        .collect::<Result<_, _>>()?;
+
+    let config = OptimizerConfig::builder().max_iterations(120).build()?;
+    let runner = BatchRunner::new(config);
+
+    // One control for the whole batch: a wall-clock deadline that bounds
+    // end-to-end latency no matter how many scenarios are queued.
+    let deadline = Duration::from_secs(10);
+    let control = RunControl::new().with_timeout(deadline);
+
+    println!(
+        "serving {} instances under a {:.0} s deadline...\n",
+        instances.len(),
+        deadline.as_secs_f64()
+    );
+    let started = Instant::now();
+    let results = runner.run(&instances, &control);
+    let elapsed = started.elapsed().as_secs_f64();
+
+    println!(
+        "{:<10} {:>6} {:>5} {:>18} {:>10} {:>10} {:>11}",
+        "instance", "comps", "ite", "stop", "noise(%)", "area(%)", "widest(um)"
+    );
+    let mut total_iterations = 0usize;
+    let mut completed = 0usize;
+    for (instance, result) in instances.iter().zip(&results) {
+        match result {
+            Ok(outcome) => {
+                let r = &outcome.report;
+                total_iterations += r.iterations;
+                if !r.stop_reason.is_interrupted() {
+                    completed += 1;
+                }
+                println!(
+                    "{:<10} {:>6} {:>5} {:>18} {:>10.1} {:>10.1} {:>11.3}",
+                    r.name,
+                    r.total_components(),
+                    r.iterations,
+                    r.stop_reason.to_string(),
+                    r.improvements.noise_pct,
+                    r.improvements.area_pct,
+                    outcome.sizes().max_size()
+                );
+            }
+            // Instances whose turn came after the deadline (or after a
+            // cancellation) are skipped before their stage-1 ordering.
+            Err(CoreError::Interrupted { reason }) => {
+                println!(
+                    "{:<10} {:>6} {:>5} {:>18}",
+                    instance.name,
+                    instance.num_components(),
+                    "-",
+                    format!("skipped ({reason})")
+                );
+            }
+            Err(e) => println!("{:<10} failed: {e}", instance.name),
+        }
+    }
+
+    println!();
+    println!(
+        "throughput: {:.2} instances/s ({} instances in {:.2} s, {} completed, {} interrupted)",
+        results.len() as f64 / elapsed.max(1e-9),
+        results.len(),
+        elapsed,
+        completed,
+        results.len() - completed
+    );
+    println!(
+        "iterations: {} total, {:.1} per instance",
+        total_iterations,
+        total_iterations as f64 / results.len().max(1) as f64
+    );
+    Ok(())
+}

@@ -50,10 +50,7 @@ patterns 64 0.3 99
         instance.channels[0].len()
     );
 
-    let config = OptimizerConfig {
-        max_iterations: 120,
-        ..OptimizerConfig::default()
-    };
+    let config = OptimizerConfig::builder().max_iterations(120).build()?;
     let outcome = Optimizer::new(config.clone()).run(&instance)?;
     let r = &outcome.report;
     println!(

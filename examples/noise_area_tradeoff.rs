@@ -10,10 +10,11 @@
 //! cargo run --release --example noise_area_tradeoff
 //! ```
 
-use ncgws::core::{Optimizer, OptimizerConfig};
+use ncgws::core::OptimizerConfig;
 use ncgws::netlist::{CircuitSpec, SyntheticGenerator};
+use ncgws::Flow;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), ncgws::Error> {
     let spec = CircuitSpec::new("tradeoff", 80, 180).with_seed(11);
     let instance = SyntheticGenerator::new(spec).generate()?;
 
@@ -28,12 +29,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     for factor in [0.50, 0.30, 0.20, 0.15, 0.12, 0.10] {
-        let config = OptimizerConfig {
-            crosstalk_bound_factor: factor,
-            max_iterations: 120,
-            ..OptimizerConfig::default()
-        };
-        let outcome = Optimizer::new(config).run(&instance)?;
+        // The bound factor changes the derived constraint bounds, so each
+        // sweep point re-runs stage 1 through a fresh flow (the ordering
+        // itself would be identical; `Ordered` reuse applies to repeated
+        // sizing under *fixed* bounds, e.g. warm starts).
+        let config = OptimizerConfig::builder()
+            .crosstalk_bound_factor(factor)
+            .max_iterations(120)
+            .build()?;
+        let outcome = Flow::prepare(&instance, config)?.order()?.size()?;
         let m = &outcome.report.final_metrics;
         println!(
             "{:>12.2} {:>12.4} {:>12.0} {:>12.3} {:>12.1}{}",

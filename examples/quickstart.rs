@@ -1,5 +1,5 @@
-//! Quickstart: generate a small benchmark, run the two-stage optimizer, and
-//! print a Table 1 style summary.
+//! Quickstart: generate a small benchmark, run the staged two-stage flow,
+//! and print a Table 1 style summary.
 //!
 //! Run with:
 //!
@@ -7,10 +7,11 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use ncgws::core::{OptimizationReport, Optimizer, OptimizerConfig};
+use ncgws::core::{OptimizationReport, OptimizerConfig};
 use ncgws::netlist::{CircuitSpec, SyntheticGenerator};
+use ncgws::Flow;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), ncgws::Error> {
     // A small circuit: 120 gates, 260 wires, reproducible from the seed.
     let spec = CircuitSpec::new("quickstart", 120, 260).with_seed(42);
     let instance = SyntheticGenerator::new(spec).generate()?;
@@ -27,9 +28,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // subject to a delay bound (1.0x the unsized delay), a power bound
     // (13% of the unsized power) and a crosstalk bound (11.5% of the unsized
     // coupling), with WOSS wire ordering as stage 1.
-    let optimizer = Optimizer::new(OptimizerConfig::default());
-    let outcome = optimizer.run(&instance)?;
-    let report = &outcome.report;
+    let config = OptimizerConfig::builder().build()?;
+
+    // Stage 1: switching-similarity wire ordering and the coupling model.
+    // The ordering is a first-class value — inspect it before sizing.
+    let ordered = Flow::prepare(&instance, config)?.order()?;
+    println!(
+        "stage 1: {} channel orderings, effective loading {:.3}, {} coupling pairs",
+        ordered.ordering().orderings.len(),
+        ordered.ordering().total_effective_loading,
+        ordered.ordering().coupling.len()
+    );
+
+    // Stage 2: OGWS Lagrangian sizing over the ordering.
+    let sized = ordered.size()?;
+    let report = &sized.report;
 
     println!();
     println!("{}", OptimizationReport::table1_header());
@@ -43,19 +56,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.improvements.area_pct
     );
     println!(
-        "{} OGWS iterations, {:.2} s total, duality gap {:.3}%, feasible: {}",
+        "{} OGWS iterations ({}), {:.2} s total, duality gap {:.3}%, feasible: {}",
         report.iterations,
+        report.stop_reason,
         report.runtime_seconds,
         report.duality_gap * 100.0,
         report.feasible
     );
 
     // The component sizes are available for downstream use (e.g. back-annotation).
-    let widest = outcome
-        .sizes()
-        .iter()
-        .cloned()
-        .fold(f64::NEG_INFINITY, f64::max);
-    println!("widest component after sizing: {widest:.3} um");
+    println!(
+        "widest component after sizing: {:.3} um",
+        sized.sizes().max_size()
+    );
     Ok(())
 }

@@ -1,0 +1,117 @@
+//! The unified error type of the `ncgws` facade.
+
+use std::fmt;
+
+use ncgws_circuit::CircuitError;
+use ncgws_core::CoreError;
+use ncgws_coupling::CouplingError;
+use ncgws_netlist::NetlistError;
+use ncgws_ordering::OrderingError;
+
+/// Any error the workspace can produce, so applications using the facade can
+/// propagate with one `?` regardless of which layer failed.
+///
+/// ```
+/// use ncgws::core::OptimizerConfig;
+/// use ncgws::netlist::{CircuitSpec, SyntheticGenerator};
+/// use ncgws::Flow;
+///
+/// fn smallest_run() -> Result<f64, ncgws::Error> {
+///     // `?` lifts NetlistError and CoreError into ncgws::Error alike.
+///     let spec = CircuitSpec::new("tiny", 16, 36).with_seed(1).with_num_patterns(8);
+///     let instance = SyntheticGenerator::new(spec).generate()?;
+///     let config = OptimizerConfig::builder().max_iterations(10).build()?;
+///     let sized = Flow::prepare(&instance, config)?.order()?.size()?;
+///     Ok(sized.report.final_metrics.area_um2)
+/// }
+///
+/// assert!(smallest_run().unwrap() > 0.0);
+/// ```
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// Circuit construction or analysis failed (`ncgws-circuit`).
+    Circuit(CircuitError),
+    /// The coupling model could not be built (`ncgws-coupling`).
+    Coupling(CouplingError),
+    /// The wire-ordering stage failed (`ncgws-ordering`).
+    Ordering(OrderingError),
+    /// Netlist generation, parsing or writing failed (`ncgws-netlist`).
+    Netlist(NetlistError),
+    /// The sizing engine failed (`ncgws-core`): invalid configuration,
+    /// infeasible bounds, or a propagated lower-layer failure.
+    Core(CoreError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Circuit(e) => write!(f, "circuit: {e}"),
+            Error::Coupling(e) => write!(f, "coupling: {e}"),
+            Error::Ordering(e) => write!(f, "ordering: {e}"),
+            Error::Netlist(e) => write!(f, "netlist: {e}"),
+            Error::Core(e) => write!(f, "core: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Circuit(e) => Some(e),
+            Error::Coupling(e) => Some(e),
+            Error::Ordering(e) => Some(e),
+            Error::Netlist(e) => Some(e),
+            Error::Core(e) => Some(e),
+        }
+    }
+}
+
+impl From<CircuitError> for Error {
+    fn from(e: CircuitError) -> Self {
+        Error::Circuit(e)
+    }
+}
+
+impl From<CouplingError> for Error {
+    fn from(e: CouplingError) -> Self {
+        Error::Coupling(e)
+    }
+}
+
+impl From<OrderingError> for Error {
+    fn from(e: OrderingError) -> Self {
+        Error::Ordering(e)
+    }
+}
+
+impl From<NetlistError> for Error {
+    fn from(e: NetlistError) -> Self {
+        Error::Netlist(e)
+    }
+}
+
+impl From<CoreError> for Error {
+    fn from(e: CoreError) -> Self {
+        Error::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_and_source_for_every_layer() {
+        let e = Error::from(CircuitError::NoDrivers);
+        assert!(e.to_string().starts_with("circuit:"));
+        assert!(e.source().is_some());
+
+        let e = Error::from(CoreError::InfeasibleBounds {
+            reason: "crosstalk bound too small".into(),
+        });
+        assert!(e.to_string().starts_with("core:"));
+        assert!(e.source().is_some());
+    }
+}

@@ -11,23 +11,123 @@
 //! * [`waveform`] — logic simulation, waveforms, switching similarity.
 //! * [`ordering`] — the Switching-Similarity problem and the WOSS heuristic.
 //! * [`netlist`] — synthetic ISCAS85-scale benchmark generation and netlist I/O.
-//! * [`core`] — the Lagrangian-relaxation sizing engine (LRS + OGWS) and baselines.
+//! * [`core`] — the Lagrangian-relaxation sizing engine (LRS + OGWS), the
+//!   staged [`flow`] pipeline, run control, and batch execution.
 //!
-//! # Quickstart
+//! # Quickstart: the staged `Flow` pipeline
+//!
+//! The paper's two stages — WOSS wire ordering, then OGWS Lagrangian
+//! sizing — are explicit pipeline states: `prepare` validates the
+//! configuration, `order` runs stage 1 and exposes its outcome, `size` runs
+//! stage 2. Each intermediate is a first-class value, so the stage-1
+//! ordering can be inspected and reused across several sizing runs.
+//!
+//! ```rust
+//! use ncgws::netlist::{CircuitSpec, SyntheticGenerator};
+//! use ncgws::core::OptimizerConfig;
+//! use ncgws::Flow;
+//!
+//! # fn main() -> Result<(), ncgws::Error> {
+//! // Build a small synthetic benchmark (32 gates, 70 wires).
+//! let spec = CircuitSpec::new("tiny", 32, 70).with_seed(7).with_num_patterns(16);
+//! let instance = SyntheticGenerator::new(spec).generate()?;
+//!
+//! // Validate-at-build configuration.
+//! let config = OptimizerConfig::builder().max_iterations(40).build()?;
+//!
+//! // Stage 1: switching-similarity wire ordering + coupling model.
+//! let ordered = Flow::prepare(&instance, config)?.order()?;
+//! assert!(ordered.ordering().total_effective_loading >= 0.0);
+//!
+//! // Stage 2: Lagrangian sizing. The ordering stays reusable.
+//! let sized = ordered.size()?;
+//! assert!(sized.report.final_metrics.noise_pf <= ordered.initial_metrics().noise_pf);
+//!
+//! // Warm-start a second sizing run from the first solution: it converges
+//! // in at most as many iterations.
+//! let warm = ordered.size_warm(sized.sizes())?;
+//! assert!(warm.report.iterations <= sized.report.iterations);
+//! println!("widest component: {:.3} um", warm.sizes().max_size());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Observing, bounding and cancelling a run
+//!
+//! A [`RunControl`] threads through the OGWS outer loop (and its inner LRS
+//! sweeps): an [`Observer`] receives one event per iteration, a
+//! [`CancelFlag`] stops the run cooperatively, and an iteration budget or
+//! wall-clock deadline bounds its cost. The reason a run stopped is recorded
+//! as a [`StopReason`] in the outcome and report.
+//!
+//! ```rust
+//! use ncgws::netlist::{CircuitSpec, SyntheticGenerator};
+//! use ncgws::core::{CollectObserver, OptimizerConfig, RunControl, StopReason};
+//! use ncgws::Flow;
+//!
+//! # fn main() -> Result<(), ncgws::Error> {
+//! let spec = CircuitSpec::new("ctl", 24, 55).with_seed(3).with_num_patterns(8);
+//! let instance = SyntheticGenerator::new(spec).generate()?;
+//! let ordered = Flow::prepare(&instance, OptimizerConfig::default())?.order()?;
+//!
+//! let observer = CollectObserver::new();
+//! let control = RunControl::new()
+//!     .with_observer(&observer)
+//!     .with_iteration_budget(5);
+//! let sized = ordered.size_with(&control)?;
+//!
+//! assert_eq!(sized.report.iterations, 5);
+//! assert_eq!(sized.stop_reason(), StopReason::BudgetExhausted);
+//! assert_eq!(observer.count(), 5); // one event per iteration
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Batch execution
+//!
+//! [`BatchRunner`] pushes many instances through the full two-stage flow —
+//! across OS threads with the `parallel` feature — sharing one control
+//! (deadline, cancellation, observer) across all runs:
+//!
+//! ```rust
+//! use ncgws::netlist::{CircuitSpec, SyntheticGenerator};
+//! use ncgws::core::{BatchRunner, OptimizerConfig, RunControl};
+//!
+//! # fn main() -> Result<(), ncgws::Error> {
+//! let instances: Vec<_> = (0..3)
+//!     .map(|seed| {
+//!         let spec = CircuitSpec::new(format!("batch-{seed}"), 20, 45)
+//!             .with_seed(seed)
+//!             .with_num_patterns(8);
+//!         SyntheticGenerator::new(spec).generate()
+//!     })
+//!     .collect::<Result<_, _>>()?;
+//!
+//! let config = OptimizerConfig::builder().max_iterations(20).build()?;
+//! let results = BatchRunner::new(config).run(&instances, &RunControl::new());
+//!
+//! assert_eq!(results.len(), 3); // one result per instance, in input order
+//! for result in &results {
+//!     let outcome = result.as_ref().expect("runs succeed");
+//!     assert!(outcome.report.final_metrics.area_um2 > 0.0);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Legacy one-shot API
+//!
+//! The original `Optimizer::run` entry point remains and is bit-identical to
+//! a cold `prepare → order → size` (it is implemented as exactly that):
 //!
 //! ```rust
 //! use ncgws::netlist::{CircuitSpec, SyntheticGenerator};
 //! use ncgws::core::{Optimizer, OptimizerConfig};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! // Build a small synthetic benchmark (48 gates, 96 wires).
-//! let spec = CircuitSpec::new("tiny", 48, 96).with_seed(7);
+//! let spec = CircuitSpec::new("legacy", 24, 55).with_seed(7).with_num_patterns(8);
 //! let instance = SyntheticGenerator::new(spec).generate()?;
-//!
-//! // Run the full two-stage flow: WOSS wire ordering, then OGWS sizing.
-//! let config = OptimizerConfig::default();
-//! let outcome = Optimizer::new(config).run(&instance)?;
-//!
+//! let outcome = Optimizer::new(OptimizerConfig::default()).run(&instance)?;
 //! assert!(outcome.report.final_metrics.noise_pf <= outcome.report.initial_metrics.noise_pf);
 //! # Ok(())
 //! # }
@@ -39,6 +139,19 @@ pub use ncgws_coupling as coupling;
 pub use ncgws_netlist as netlist;
 pub use ncgws_ordering as ordering;
 pub use ncgws_waveform as waveform;
+
+mod error;
+
+pub use error::Error;
+
+// The staged pipeline and its run control are the primary public surface;
+// re-export them at the facade root alongside the module path
+// (`ncgws::flow`).
+pub use ncgws_core::flow;
+pub use ncgws_core::{
+    BatchRunner, CancelFlag, CollectObserver, Flow, IterationEvent, Observer, Ordered, Prepared,
+    RunControl, SizedOutcome, StopReason,
+};
 
 /// Version of the ncgws workspace.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -1,0 +1,258 @@
+//! Integration tests of the staged `Flow` API: bitwise equivalence with the
+//! legacy one-shot `Optimizer::run`, warm starts, and run control
+//! (observers, cancellation, iteration budgets, deadlines, batch).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use ncgws::core::{
+    BatchRunner, CancelFlag, CollectObserver, IterationEvent, Observer, Optimizer, OptimizerConfig,
+    RunControl, StopReason,
+};
+use ncgws::netlist::{CircuitSpec, ProblemInstance, SyntheticGenerator};
+use ncgws::Flow;
+use proptest::prelude::*;
+
+fn instance(seed: u64, gates: usize) -> ProblemInstance {
+    SyntheticGenerator::new(
+        CircuitSpec::new(format!("flow-{seed}"), gates, gates * 2 + 10)
+            .with_seed(seed)
+            .with_num_patterns(16),
+    )
+    .generate()
+    .expect("generation succeeds")
+}
+
+fn quick_config() -> OptimizerConfig {
+    OptimizerConfig::builder()
+        .max_iterations(40)
+        .max_lrs_sweeps(20)
+        .build()
+        .expect("valid configuration")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    /// The staged pipeline (cold) and the legacy one-shot wrapper must be
+    /// the same computation, bit for bit, on random instances.
+    #[test]
+    fn flow_is_bitwise_identical_to_legacy_run(seed in 0u64..400, gates in 15usize..50) {
+        let inst = instance(seed, gates);
+        let legacy = Optimizer::new(quick_config()).run(&inst).expect("legacy run");
+
+        let ordered = Flow::prepare(&inst, quick_config())
+            .expect("prepare")
+            .order()
+            .expect("order");
+        let sized = ordered.size().expect("size");
+
+        // Sizes and every numeric report field must match exactly (the
+        // wall-clock fields are measurements and are excluded).
+        prop_assert_eq!(sized.sizes(), legacy.sizes());
+        prop_assert_eq!(&sized.report.initial_metrics, &legacy.report.initial_metrics);
+        prop_assert_eq!(&sized.report.final_metrics, &legacy.report.final_metrics);
+        prop_assert_eq!(&sized.report.improvements, &legacy.report.improvements);
+        prop_assert_eq!(sized.report.iterations, legacy.report.iterations);
+        prop_assert_eq!(sized.report.feasible, legacy.report.feasible);
+        prop_assert_eq!(sized.report.converged, legacy.report.converged);
+        prop_assert_eq!(sized.report.stop_reason, legacy.report.stop_reason);
+        prop_assert_eq!(sized.report.duality_gap, legacy.report.duality_gap);
+        prop_assert_eq!(&sized.report.memory, &legacy.report.memory);
+        prop_assert_eq!(
+            sized.report.ordering_effective_loading,
+            legacy.report.ordering_effective_loading
+        );
+        prop_assert_eq!(
+            sized.report.iteration_records.len(),
+            legacy.report.iteration_records.len()
+        );
+        for (a, b) in sized
+            .report
+            .iteration_records
+            .iter()
+            .zip(&legacy.report.iteration_records)
+        {
+            prop_assert_eq!(a.primal_area, b.primal_area);
+            prop_assert_eq!(a.dual_value, b.dual_value);
+            prop_assert_eq!(a.gap, b.gap);
+            prop_assert_eq!(a.lrs_sweeps, b.lrs_sweeps);
+        }
+    }
+
+    /// Warm-starting from a cold run's solution converges in at most the
+    /// cold iteration count: the feasible seed is an immediate primal upper
+    /// bound while the dual trajectory is unchanged, so the gap at every
+    /// iteration is no larger than the cold run's.
+    #[test]
+    fn warm_start_converges_no_slower_than_cold(seed in 0u64..300, gates in 15usize..40) {
+        let inst = instance(seed, gates);
+        let ordered = Flow::prepare(&inst, quick_config())
+            .expect("prepare")
+            .order()
+            .expect("order");
+        let cold = ordered.size().expect("cold run");
+        let warm = ordered.size_warm(cold.sizes()).expect("warm run");
+        prop_assert!(
+            warm.report.iterations <= cold.report.iterations,
+            "warm {} vs cold {}",
+            warm.report.iterations,
+            cold.report.iterations
+        );
+        if cold.report.feasible {
+            prop_assert!(warm.report.feasible);
+            // The warm run can only keep or improve the cold area.
+            prop_assert!(
+                warm.report.final_metrics.area_um2
+                    <= cold.report.final_metrics.area_um2 * (1.0 + 1e-9)
+            );
+        }
+    }
+}
+
+/// An observer that cancels the shared flag once it has seen `after` events.
+struct CancelAfter {
+    flag: CancelFlag,
+    after: usize,
+    seen: AtomicUsize,
+}
+
+impl Observer for CancelAfter {
+    fn on_iteration(&self, _event: &IterationEvent<'_>) {
+        if self.seen.fetch_add(1, Ordering::SeqCst) + 1 >= self.after {
+            self.flag.cancel();
+        }
+    }
+}
+
+#[test]
+fn cancellation_after_k_iterations_yields_exactly_k_events() {
+    let inst = instance(77, 40);
+    let ordered = Flow::prepare(&inst, quick_config())
+        .unwrap()
+        .order()
+        .unwrap();
+    // The uncontrolled run must need more than k iterations for the
+    // cancellation to be what stops the run.
+    let k = 3;
+    let cold = ordered.size().unwrap();
+    assert!(cold.report.iterations > k, "instance converges too fast");
+
+    let flag = CancelFlag::new();
+    let observer = CancelAfter {
+        flag: flag.clone(),
+        after: k,
+        seen: AtomicUsize::new(0),
+    };
+    let control = RunControl::new()
+        .with_observer(&observer)
+        .with_cancel_flag(flag);
+    let sized = ordered.size_with(&control).unwrap();
+
+    assert_eq!(sized.stop_reason(), StopReason::Cancelled);
+    assert_eq!(sized.report.stop_reason, StopReason::Cancelled);
+    assert_eq!(
+        observer.seen.load(Ordering::SeqCst),
+        k,
+        "exactly k observer events"
+    );
+    assert_eq!(sized.report.iterations, k);
+    assert_eq!(sized.ogws.num_iterations(), k);
+}
+
+#[test]
+fn iteration_budget_stops_within_one_iteration() {
+    let inst = instance(5, 35);
+    let ordered = Flow::prepare(&inst, quick_config())
+        .unwrap()
+        .order()
+        .unwrap();
+    let cold = ordered.size().unwrap();
+    let budget = 4;
+    assert!(
+        cold.report.iterations > budget,
+        "instance converges too fast"
+    );
+
+    let collector = CollectObserver::new();
+    let control = RunControl::new()
+        .with_observer(&collector)
+        .with_iteration_budget(budget);
+    let sized = ordered.size_with(&control).unwrap();
+    assert_eq!(sized.report.iterations, budget);
+    assert_eq!(sized.stop_reason(), StopReason::BudgetExhausted);
+    assert_eq!(collector.count(), budget);
+    // The budgeted prefix is the same trajectory as the cold run's.
+    let budgeted: Vec<f64> = sized
+        .report
+        .iteration_records
+        .iter()
+        .map(|r| r.gap)
+        .collect();
+    let cold_prefix: Vec<f64> = cold.report.iteration_records[..budget]
+        .iter()
+        .map(|r| r.gap)
+        .collect();
+    assert_eq!(budgeted, cold_prefix);
+}
+
+#[test]
+fn expired_deadline_stops_before_the_first_iteration() {
+    let inst = instance(9, 30);
+    let ordered = Flow::prepare(&inst, quick_config())
+        .unwrap()
+        .order()
+        .unwrap();
+    let control = RunControl::new().with_deadline(Instant::now() - Duration::from_millis(1));
+    let sized = ordered.size_with(&control).unwrap();
+    assert_eq!(sized.report.iterations, 0);
+    assert_eq!(sized.stop_reason(), StopReason::DeadlineExpired);
+    assert!(!sized.report.feasible);
+    // The report is still fully formed and serializable.
+    let json = serde_json::to_string(&sized.report).expect("report serializes");
+    assert!(json.contains("DeadlineExpired"));
+}
+
+#[test]
+fn batch_runner_matches_solo_runs_and_shares_control() {
+    let instances: Vec<ProblemInstance> = (0..4)
+        .map(|i| instance(200 + i, 20 + 4 * i as usize))
+        .collect();
+    let runner = BatchRunner::new(quick_config());
+    let results = runner.run(&instances, &RunControl::new());
+    assert_eq!(results.len(), instances.len());
+    for (inst, result) in instances.iter().zip(&results) {
+        let batch = result.as_ref().expect("batch run succeeds");
+        let solo = Optimizer::new(quick_config()).run(inst).expect("solo run");
+        assert_eq!(batch.sizes(), solo.sizes(), "{}", inst.name);
+        assert_eq!(batch.report.final_metrics, solo.report.final_metrics);
+    }
+
+    // A pre-cancelled shared control skips every instance before its
+    // stage-1 ordering: the slots hold `Interrupted` errors, not outcomes.
+    let flag = CancelFlag::new();
+    flag.cancel();
+    let cancelled = runner.run(&instances, &RunControl::new().with_cancel_flag(flag));
+    assert_eq!(cancelled.len(), instances.len());
+    for result in &cancelled {
+        assert!(matches!(
+            result,
+            Err(ncgws::core::CoreError::Interrupted {
+                reason: StopReason::Cancelled
+            })
+        ));
+    }
+}
+
+#[test]
+fn stop_reason_serializes_into_report_json() {
+    let inst = instance(42, 25);
+    let outcome = Optimizer::new(quick_config()).run(&inst).unwrap();
+    let json = serde_json::to_string(&outcome.report).unwrap();
+    assert!(json.contains("stop_reason"));
+    // A quick run either converges, stagnates, or exhausts its iterations.
+    assert!(
+        json.contains("Converged") || json.contains("Stagnated") || json.contains("IterationLimit"),
+        "{json}"
+    );
+}
