@@ -7,6 +7,11 @@
 //! cargo run --release -p ncgws-bench --bin table1 -- --json   # one JSON object per row
 //! NCGWS_QUICK=1 cargo run --release -p ncgws-bench --bin table1   # 4 smallest circuits
 //! ```
+//!
+//! In `--json` mode the run also persists a machine-readable summary to
+//! `BENCH_table1.json` (in the current directory — the repo root when run
+//! via `cargo`), so the perf trajectory is tracked across PRs; CI runs this
+//! under `NCGWS_QUICK=1` and uploads the file as an artifact.
 
 use ncgws_bench::{generate, optimize, paper_config, quick_mode};
 use ncgws_core::report::{average_improvements, OptimizationReport};
@@ -18,9 +23,10 @@ fn main() {
     // human-readable table is suppressed so the output pipes cleanly into
     // `jq` or a dataframe loader.
     let json_mode = std::env::args().skip(1).any(|arg| arg == "--json");
+    let quick = quick_mode();
 
     let mut specs = table1_specs();
-    if quick_mode() {
+    if quick {
         specs.sort_by_key(|s| s.total_components());
         specs.truncate(4);
     }
@@ -48,6 +54,7 @@ fn main() {
     }
 
     if json_mode {
+        write_bench_summary(&reports, quick);
         return;
     }
 
@@ -63,6 +70,76 @@ fn main() {
         let path = std::path::Path::new("target/table1_results.json");
         if std::fs::write(path, json).is_ok() {
             println!("\nper-circuit records written to {}", path.display());
+        }
+    }
+}
+
+/// One circuit's aggregate row of the perf-trajectory artifact.
+#[derive(serde::Serialize)]
+struct BenchRow {
+    name: String,
+    components: usize,
+    iterations: usize,
+    runtime_seconds: f64,
+    seconds_per_iteration: f64,
+    memory_kib: f64,
+    feasible: bool,
+    duality_gap: f64,
+    noise_improvement_pct: f64,
+    area_improvement_pct: f64,
+}
+
+/// The whole `BENCH_table1.json` document.
+#[derive(serde::Serialize)]
+struct BenchSummary {
+    bench: String,
+    quick: bool,
+    circuits: Vec<BenchRow>,
+    average_improvements: ncgws_core::report::Improvements,
+    total_runtime_seconds: f64,
+}
+
+/// The machine-readable perf-trajectory artifact: per-circuit aggregates
+/// small and stable enough to diff across PRs (full `OptimizationReport`s
+/// go to stdout / `target/table1_results.json`).
+fn write_bench_summary(reports: &[OptimizationReport], quick: bool) {
+    let summary = BenchSummary {
+        bench: "table1".to_string(),
+        quick,
+        circuits: reports
+            .iter()
+            .map(|r| BenchRow {
+                name: r.name.clone(),
+                components: r.total_components(),
+                iterations: r.iterations,
+                runtime_seconds: r.runtime_seconds,
+                seconds_per_iteration: r.seconds_per_iteration,
+                memory_kib: r.memory.total() as f64 / 1024.0,
+                feasible: r.feasible,
+                duality_gap: r.duality_gap,
+                noise_improvement_pct: r.improvements.noise_pct,
+                area_improvement_pct: r.improvements.area_pct,
+            })
+            .collect(),
+        average_improvements: average_improvements(reports),
+        total_runtime_seconds: reports.iter().map(|r| r.runtime_seconds).sum::<f64>(),
+    };
+    // Fail loudly: exiting 0 with a stale committed BENCH_table1.json on
+    // disk would let CI upload the previous PR's numbers as current.
+    match serde_json::to_string_pretty(&summary) {
+        Ok(json) => {
+            let path = std::path::Path::new("BENCH_table1.json");
+            match std::fs::write(path, json + "\n") {
+                Ok(()) => eprintln!("bench summary written to {}", path.display()),
+                Err(e) => {
+                    eprintln!("failed to write {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("failed to serialize bench summary: {e}");
+            std::process::exit(1);
         }
     }
 }

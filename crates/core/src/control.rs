@@ -305,6 +305,7 @@ mod tests {
             delay_violation: 0.0,
             power_violation: 0.0,
             crosstalk_violation: 0.0,
+            extra_violation: 0.0,
             seconds: 0.0,
             lrs_sweeps: 1,
         }

@@ -23,9 +23,11 @@ use ncgws_circuit::{
 };
 use ncgws_coupling::CouplingSet;
 
+use crate::constraints::ConstraintSet;
 use crate::lagrangian::Multipliers;
 use crate::metrics::CircuitMetrics;
 use crate::problem::SizingProblem;
+use crate::units;
 
 /// A borrowed, allocation-free view of one timing evaluation. All slices are
 /// indexed by raw node index and stay valid until the engine's next
@@ -62,6 +64,12 @@ pub struct SizingEngine<'a, M: DelayModel = ElmoreModel> {
     pub(crate) lower_bound: Vec<f64>,
     pub(crate) upper_bound: Vec<f64>,
     pub(crate) coupling_sum: Vec<f64>,
+    /// Per-component denominator contribution `Σ_f Σ_k μ_{f,k} · a_{f,k,i}`
+    /// of the extra constraint families, aggregated once per LRS solve by
+    /// [`load_extra_denominator`](Self::load_extra_denominator). All zeros
+    /// when no extra families are active, which makes the sweep's
+    /// `+ extra_denom[i]` a bitwise no-op on the legacy formulation.
+    extra_denom: Vec<f64>,
     /// Dense coupling-pair table: raw node and dense component indices plus
     /// the cached geometry coefficients of each pair, so the per-sweep load
     /// accumulation never touches the pair objects.
@@ -156,6 +164,7 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
             lower_bound,
             upper_bound,
             coupling_sum,
+            extra_denom: vec![0.0; n],
             pair_table,
         }
     }
@@ -192,7 +201,8 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
                 + self.area_coefficient.capacity()
                 + self.lower_bound.capacity()
                 + self.upper_bound.capacity()
-                + self.coupling_sum.capacity())
+                + self.coupling_sum.capacity()
+                + self.extra_denom.capacity())
                 * size_of::<f64>()
             + self.pair_table.capacity() * size_of::<PairEntry>()
             + self.model.state_memory_bytes(&self.state)
@@ -218,6 +228,21 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
     /// Fills `ws.node_weights` with the aggregated edge multipliers.
     pub(crate) fn load_node_weights(&mut self, multipliers: &Multipliers) {
         multipliers.node_weights_into(self.graph, &mut self.ws.node_weights);
+    }
+
+    /// A2 aggregation for the extra constraint families: fills the dense
+    /// `extra_denom` table with `Σ_f Σ_k μ_{f,k} · a_{f,k,i}` per component.
+    /// Runs once per LRS solve (the multipliers are fixed within a solve),
+    /// costs `O(total terms)` and allocates nothing. With an empty set the
+    /// table is zeroed, so a subsequent legacy solve on a reused engine
+    /// never sees stale contributions.
+    pub(crate) fn load_extra_denominator(
+        &mut self,
+        extras: &ConstraintSet,
+        multipliers: &Multipliers,
+    ) {
+        self.extra_denom.fill(0.0);
+        extras.accumulate_denominator(multipliers.extra_blocks(), &mut self.extra_denom);
     }
 
     /// Resets `sizes` to the per-component lower bounds (step S1 of
@@ -274,6 +299,7 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
         let lower = &self.lower_bound[..n];
         let upper = &self.upper_bound[..n];
         let coupling_sums = &self.coupling_sum[..n];
+        let extra_denom = &self.extra_denom[..n];
         let prev = &ws.prev_sizes[..n];
         let xs = &mut sizes.as_mut_slice()[..n];
 
@@ -306,8 +332,12 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
                 cap_num = 0.0;
             }
 
-            let denominator =
-                area[dense] + (beta + upstream) * unit_cap[dense] + gamma * coupling_sum;
+            // The extra-family term is exactly 0.0 when no families are
+            // active, keeping the legacy arithmetic bitwise intact.
+            let denominator = area[dense]
+                + (beta + upstream) * unit_cap[dense]
+                + gamma * coupling_sum
+                + extra_denom[dense];
             let numerator = lambda_i * unit_res[dense] * cap_num;
 
             let opt = if denominator > 0.0 && numerator > 0.0 {
@@ -363,9 +393,9 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
         let noise_exact = self.coupling.total_physical_coupling(graph, sizes);
         let crosstalk_lin = self.coupling.total_crosstalk(graph, sizes);
         CircuitMetrics {
-            noise_pf: noise_exact / 1000.0,
-            delay_ps: critical / 1000.0,
-            power_mw: total_cap * graph.technology().power_scale_mw_per_ff(),
+            noise_pf: units::pf_from_ff(noise_exact),
+            delay_ps: units::ps_from_internal(critical),
+            power_mw: units::mw_from_ff(total_cap, graph.technology().power_scale_mw_per_ff()),
             area_um2: area,
             crosstalk_ff: crosstalk_lin,
             delay_internal: critical,

@@ -32,12 +32,13 @@ use std::time::Instant;
 use ncgws_circuit::{DelayModel, SizeVector};
 use ncgws_netlist::ProblemInstance;
 
+use crate::constraints::{lower_constraint_specs, ConstraintSet};
 use crate::control::{RunControl, StopReason};
 use crate::coupling_build::{build_coupling, WireOrderingOutcome};
 use crate::engine::SizingEngine;
 use crate::error::CoreError;
 use crate::metrics::{CircuitMetrics, MemoryBreakdown};
-use crate::ogws::{OgwsOutcome, OgwsSolver};
+use crate::ogws::{OgwsOutcome, OgwsSolver, FEASIBILITY_TOLERANCE};
 use crate::problem::{ConstraintBounds, OptimizerConfig, SizingProblem};
 use crate::report::{Improvements, OptimizationReport};
 
@@ -104,7 +105,7 @@ impl<'a> Prepared<'a> {
             self.config.effective_coupling,
         )?;
         let graph = &self.instance.circuit;
-        let (initial_metrics, bounds) = {
+        let (initial_metrics, bounds, extras) = {
             let mut engine = SizingEngine::new(graph, &ordering.coupling);
             let initial_sizes = self.config.initial_sizes(graph);
             let initial_metrics = CircuitMetrics::evaluate_with(&mut engine, &initial_sizes);
@@ -113,7 +114,16 @@ impl<'a> Prepared<'a> {
                 .absolute_bounds
                 .unwrap_or_else(|| ConstraintBounds::from_initial(&initial_metrics, &self.config))
                 .clamped_to_feasible(graph, &ordering.coupling);
-            (initial_metrics, bounds)
+            // Lower the configuration-level constraint specs into absolute
+            // families now that the coupling model exists; like the global
+            // bounds, the caps are derived from the initial sizing.
+            let extras = lower_constraint_specs(
+                &self.config.extra_constraints,
+                self.instance,
+                &ordering,
+                &initial_sizes,
+            )?;
+            (initial_metrics, bounds, extras)
         };
         Ok(Ordered {
             instance: self.instance,
@@ -122,6 +132,7 @@ impl<'a> Prepared<'a> {
             ordering,
             initial_metrics,
             bounds,
+            extras,
         })
     }
 }
@@ -139,6 +150,7 @@ pub struct Ordered<'a> {
     ordering: WireOrderingOutcome,
     initial_metrics: CircuitMetrics,
     bounds: ConstraintBounds,
+    extras: ConstraintSet,
 }
 
 impl<'a> Ordered<'a> {
@@ -168,6 +180,13 @@ impl<'a> Ordered<'a> {
     /// then clamped to what the layout can achieve at all).
     pub fn bounds(&self) -> ConstraintBounds {
         self.bounds
+    }
+
+    /// The extra constraint families stage 2 will enforce, lowered from the
+    /// configuration's [`ConstraintSpec`](crate::ConstraintSpec)s against
+    /// this ordering's coupling model (empty for the paper's formulation).
+    pub fn extra_constraints(&self) -> &ConstraintSet {
+        &self.extras
     }
 
     /// Consumes the state and returns the stage-1 outcome.
@@ -281,10 +300,12 @@ impl<'a> Ordered<'a> {
         }
         let sizing_started = Instant::now();
 
-        let problem = SizingProblem::new(graph, coupling, self.bounds)?;
+        let problem =
+            SizingProblem::with_constraints(graph, coupling, self.bounds, self.extras.clone())?;
         let solver = OgwsSolver::new(self.config.clone());
         let ogws = solver.solve_controlled(&problem, engine, warm, control);
         let final_metrics = CircuitMetrics::evaluate_with(engine, &ogws.sizes);
+        let constraint_slacks = problem.extras.slacks(&ogws.sizes, FEASIBILITY_TOLERANCE);
 
         // Stage 1 is paid once per ordering, stage 2 per run: report this
         // run's cost, not the sum over every sibling run or the idle time
@@ -309,6 +330,7 @@ impl<'a> Ordered<'a> {
             seconds_per_iteration: ogws.seconds_per_iteration(),
             memory,
             feasible: ogws.feasible,
+            constraint_slacks,
             converged: ogws.converged,
             stop_reason: ogws.stop_reason,
             duality_gap: ogws.best_gap,

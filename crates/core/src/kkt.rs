@@ -15,6 +15,7 @@
 use ncgws_circuit::{SizeVector, TimingAnalysis};
 use serde::{Deserialize, Serialize};
 
+use crate::constraints::ConstraintFamily;
 use crate::lagrangian::Multipliers;
 use crate::problem::SizingProblem;
 use crate::projection::flow_conservation_residual;
@@ -26,10 +27,12 @@ use crate::projection::flow_conservation_residual;
 pub struct KktResiduals {
     /// Largest flow-conservation violation over all nodes.
     pub flow_conservation: f64,
-    /// Largest relative primal constraint violation (delay, power, crosstalk).
+    /// Largest relative primal constraint violation (delay, power,
+    /// crosstalk, and every extra constraint family).
     pub primal_feasibility: f64,
     /// Largest relative complementary-slackness product for the scalar
-    /// multipliers `β`, `γ` and the sink (delay-bound) multipliers.
+    /// multipliers `β`, `γ`, the extra-family multipliers `μ` and the sink
+    /// (delay-bound) multipliers.
     pub complementary_slackness: f64,
     /// Most negative multiplier (0 when all are non-negative).
     pub negativity: f64,
@@ -67,15 +70,36 @@ pub fn kkt_residuals(
         (total_cap - bounds.total_capacitance) / bounds.total_capacitance.max(1e-12);
     let reduced = problem.reduced_crosstalk_bound();
     let crosstalk_violation = (crosstalk_lhs - reduced) / reduced.abs().max(1e-12);
+    let extra_violation = problem
+        .extras
+        .worst_relative_violation(sizes)
+        .unwrap_or(f64::NEG_INFINITY);
     let primal = delay_violation
         .max(power_violation)
         .max(crosstalk_violation)
+        .max(extra_violation)
         .max(0.0);
 
     // Complementary slackness: multiplier × slack must vanish. Normalize by
     // the multiplier scale so the residual is dimensionless.
     let power_cs = multipliers.beta * power_violation.abs();
     let crosstalk_cs = multipliers.gamma * crosstalk_violation.abs();
+    // Extra families: μ_k × relative slack per constraint. Blocks may be
+    // absent (legacy multipliers on a constrained problem count as zero).
+    let mut extra_cs = 0.0_f64;
+    let mut max_extra_mu = 0.0_f64;
+    for (family, block) in problem
+        .extras
+        .families()
+        .iter()
+        .zip(multipliers.extra_blocks())
+    {
+        for (k, &mu) in block.iter().enumerate() {
+            let rel = family.relative_violation(k, family.violation(k, sizes));
+            extra_cs = extra_cs.max(mu * rel.abs());
+            max_extra_mu = max_extra_mu.max(mu);
+        }
+    }
     let sink_cs = {
         let sink = graph.sink();
         graph
@@ -88,8 +112,12 @@ pub fn kkt_residuals(
             })
             .fold(0.0_f64, f64::max)
     };
-    let scale = multipliers.beta.max(multipliers.gamma).max(1.0);
-    let complementary = power_cs.max(crosstalk_cs).max(sink_cs) / scale;
+    let scale = multipliers
+        .beta
+        .max(multipliers.gamma)
+        .max(max_extra_mu)
+        .max(1.0);
+    let complementary = power_cs.max(crosstalk_cs).max(sink_cs).max(extra_cs) / scale;
 
     let mut most_negative: f64 = 0.0;
     for id in graph.node_ids() {
@@ -98,6 +126,11 @@ pub fn kkt_residuals(
         }
     }
     most_negative = most_negative.min(multipliers.beta).min(multipliers.gamma);
+    for block in multipliers.extra_blocks() {
+        for &value in block {
+            most_negative = most_negative.min(value);
+        }
+    }
 
     KktResiduals {
         flow_conservation: flow,

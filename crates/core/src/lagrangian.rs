@@ -3,6 +3,7 @@
 use ncgws_circuit::{CircuitGraph, NodeId, SizeVector};
 use serde::{Deserialize, Serialize};
 
+use crate::constraints::ConstraintSet;
 use crate::problem::SizingProblem;
 
 /// The Lagrange multipliers of problem `PP`:
@@ -11,10 +12,14 @@ use crate::problem::SizingProblem;
 ///   including the source→driver edges for `D_i ≤ a_i` and the
 ///   output→sink edges for `a_j ≤ A₀`);
 /// * `β` for the power constraint;
-/// * `γ` for the crosstalk constraint.
+/// * `γ` for the crosstalk constraint;
+/// * one block `μ_f` per extra [`ConstraintFamily`](crate::ConstraintFamily)
+///   of the problem's [`ConstraintSet`] (empty for the paper's original
+///   three-bound formulation).
 ///
 /// Edge multipliers are stored parallel to each node's fanin list, so lookups
-/// and traversals cost the same as walking the graph.
+/// and traversals cost the same as walking the graph; extra blocks are
+/// stored parallel to the constraint set's families.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Multipliers {
     /// `edge[i][slot]` is `λ_{ji}` where `j = fanin(i)[slot]`.
@@ -23,11 +28,16 @@ pub struct Multipliers {
     pub beta: f64,
     /// Crosstalk-constraint multiplier `γ ≥ 0`.
     pub gamma: f64,
+    /// Extra-family multiplier blocks `μ_f ≥ 0`, parallel to the problem's
+    /// [`ConstraintSet::families`]. Empty when no extra families exist.
+    extra: Vec<Vec<f64>>,
 }
 
 impl Multipliers {
     /// Creates multipliers with every edge multiplier set to `edge_value` and
-    /// both scalar multipliers set to `scalar_value`.
+    /// both scalar multipliers set to `scalar_value`; no extra blocks (the
+    /// paper's formulation — attach blocks with
+    /// [`attach_extras`](Self::attach_extras)).
     pub fn uniform(graph: &CircuitGraph, edge_value: f64, scalar_value: f64) -> Self {
         let edge = graph
             .node_ids()
@@ -37,7 +47,29 @@ impl Multipliers {
             edge,
             beta: scalar_value,
             gamma: scalar_value,
+            extra: Vec::new(),
         }
+    }
+
+    /// Sizes one multiplier block per family of `extras`, every multiplier
+    /// initialized to `value`. Replaces any existing blocks.
+    pub fn attach_extras(&mut self, extras: &ConstraintSet, value: f64) {
+        self.extra = extras
+            .block_sizes()
+            .into_iter()
+            .map(|len| vec![value; len])
+            .collect();
+    }
+
+    /// The extra-family multiplier blocks, parallel to the problem's
+    /// constraint-set families (empty when none were attached).
+    pub fn extra_blocks(&self) -> &[Vec<f64>] {
+        &self.extra
+    }
+
+    /// Mutable access to the extra-family multiplier blocks.
+    pub fn extra_blocks_mut(&mut self) -> &mut [Vec<f64>] {
+        &mut self.extra
     }
 
     /// The multiplier `λ_{ji}` on the fanin edge `slot` of node `i`.
@@ -102,6 +134,13 @@ impl Multipliers {
         if self.gamma < 0.0 {
             self.gamma = 0.0;
         }
+        for block in &mut self.extra {
+            for value in block {
+                if *value < 0.0 {
+                    *value = 0.0;
+                }
+            }
+        }
     }
 
     /// An estimate (in bytes) of the multiplier storage, used by the
@@ -110,6 +149,7 @@ impl Multipliers {
         use std::mem::size_of;
         self.edge
             .iter()
+            .chain(self.extra.iter())
             .map(|v| size_of::<Vec<f64>>() + v.capacity() * size_of::<f64>())
             .sum::<usize>()
             + size_of::<Self>()
@@ -120,12 +160,17 @@ impl Multipliers {
 /// minimizer `sizes`:
 ///
 /// ```text
-/// D(λ, β, γ) = Σ α_i x_i
-///            + β (Σ c_i − P')
-///            + γ (Σ ĉ_ij (x_i + x_j) − X')
-///            + Σ_i λ_i D_i
-///            − A₀ · Σ_{j∈input(m)} λ_{jm}
+/// D(λ, β, γ, μ) = Σ α_i x_i
+///              + β (Σ c_i − P')
+///              + γ (Σ ĉ_ij (x_i + x_j) − X')
+///              + Σ_f Σ_k μ_{f,k} (g_{f,k}(x) − b_{f,k})
+///              + Σ_i λ_i D_i
+///              − A₀ · Σ_{j∈input(m)} λ_{jm}
 /// ```
+///
+/// The `μ` sum ranges over the problem's extra
+/// [`ConstraintSet`] families; with none attached it is exactly `0.0` and
+/// the value is bitwise identical to the paper's three-bound dual.
 ///
 /// The form assumes the flow-conservation condition of Theorem 3 holds (the
 /// arrival-time terms then telescope away); the OGWS loop projects the
@@ -145,10 +190,12 @@ pub fn dual_value(
         .node_ids()
         .map(|id| multipliers.node_weight(id) * delays[id.index()])
         .sum();
+    let extra = problem.extras.dual_term(multipliers.extra_blocks(), sizes);
     area + multipliers.beta * (cap - problem.bounds.total_capacitance)
         + multipliers.gamma * (crosstalk_lhs - problem.reduced_crosstalk_bound())
         + weighted_delay
         - problem.bounds.delay * multipliers.sink_weight(graph)
+        + extra
 }
 
 #[cfg(test)]

@@ -6,11 +6,21 @@
 //! * per-edge arrival-time (delay) constraints with circuit delay bound `A₀`,
 //! * a total-power constraint `Σ c_i ≤ P'`,
 //! * a total-crosstalk constraint `Σ_{i∈W} Σ_{j∈I(i)} ĉ_ij (x_i + x_j) ≤ X'`,
-//! * per-component size bounds `L_i ≤ x_i ≤ U_i`.
+//! * per-component size bounds `L_i ≤ x_i ≤ U_i`,
+//! * any number of extra posynomial constraint families
+//!   ([`constraints`]) — per-net (channel-local) crosstalk caps,
+//!   per-node driven-load caps, or caller-assembled linear families —
+//!   beyond what the paper's fixed three-bound formulation can express.
 //!
 //! Everything is posynomial, so Lagrangian relaxation solves it to global
 //! optimality. The crate implements:
 //!
+//! * the composable constraint system ([`constraints`]): the
+//!   [`ConstraintFamily`] seam, the concrete [`ScalarFamily`]/
+//!   [`ConstraintSet`] types, configuration-level [`ConstraintSpec`]s and
+//!   their lowering; the paper's three global bounds are the default
+//!   (empty-set) instance and keep their exact legacy arithmetic;
+//! * the internal-unit conventions in one place ([`units`]);
 //! * [`Multipliers`] and the flow-conservation projection of Theorem 3
 //!   ([`projection`]);
 //! * the **LRS** subroutine (Figure 8): the greedy, provably optimal solver
@@ -35,6 +45,7 @@
 
 pub mod baseline;
 pub mod batch;
+pub mod constraints;
 pub mod control;
 pub mod coupling_build;
 pub mod engine;
@@ -51,8 +62,13 @@ pub mod projection;
 pub mod reference;
 pub mod report;
 pub mod step;
+pub mod units;
 
 pub use batch::BatchRunner;
+pub use constraints::{
+    lower_constraint_specs, ConstraintFamily, ConstraintSet, ConstraintSpec, FamilyKind,
+    FamilySlack, ScalarConstraint, ScalarFamily,
+};
 pub use control::{CancelFlag, CollectObserver, IterationEvent, Observer, RunControl, StopReason};
 pub use coupling_build::{build_coupling, OrderingStrategy, WireOrderingOutcome};
 pub use engine::{SizingEngine, TimingView};

@@ -17,12 +17,19 @@
 //! greedy coordinate sweep — recompute `C'`, `R`, update every `x_i`, repeat
 //! until nothing changes — converges to that optimum.
 //!
+//! Extra constraint families ([`ConstraintSet`]) keep the closed form: each
+//! linear family adds its μ-weighted coefficient `Σ μ_k a_{k,i}` to the
+//! denominator, aggregated once per solve into the engine's dense
+//! `extra_denom` table so the sweep stays allocation-free
+//! ([`LrsSolver::solve_constrained`]).
+//!
 //! Each sweep is `O(V + E + P)` time (`P` = number of coupling pairs), which
 //! is the per-iteration linearity the paper emphasizes.
 
 use ncgws_circuit::{DelayModel, SizeVector};
 use serde::{Deserialize, Serialize};
 
+use crate::constraints::ConstraintSet;
 use crate::control::RunControl;
 use crate::engine::SizingEngine;
 use crate::lagrangian::Multipliers;
@@ -77,7 +84,13 @@ impl LrsSolver {
     pub fn solve(&self, problem: &SizingProblem<'_>, multipliers: &Multipliers) -> LrsOutcome {
         let mut engine = SizingEngine::for_problem(problem);
         let mut sizes = problem.graph.minimum_sizes();
-        let stats = self.solve_with(&mut engine, multipliers, &mut sizes);
+        let stats = self.solve_constrained(
+            &mut engine,
+            &problem.extras,
+            multipliers,
+            &mut sizes,
+            &RunControl::new(),
+        );
         LrsOutcome {
             sizes,
             sweeps: stats.sweeps,
@@ -110,11 +123,8 @@ impl LrsSolver {
     /// sweeps the control's cancellation flag and deadline are checked, so a
     /// cancelled run stops within one sweep instead of finishing the solve.
     ///
-    /// With a default control the checks read two `Option`s per sweep and
-    /// never touch the clock, so the sweep sequence is bit-identical to an
-    /// uncontrolled solve. An interrupted solve reports `converged: false`
-    /// and leaves `sizes` at the last completed sweep's iterate (or the
-    /// lower bounds when interrupted before the first sweep).
+    /// Solves the paper's original relaxation (no extra families); see
+    /// [`solve_constrained`](Self::solve_constrained) for the general form.
     pub fn solve_controlled<M: DelayModel>(
         &self,
         engine: &mut SizingEngine<'_, M>,
@@ -122,8 +132,35 @@ impl LrsSolver {
         sizes: &mut SizeVector,
         control: &RunControl<'_>,
     ) -> LrsStats {
-        // A2 aggregation: node weights λ_i, once per solve.
+        static EMPTY: ConstraintSet = ConstraintSet::empty_static();
+        self.solve_constrained(engine, &EMPTY, multipliers, sizes, control)
+    }
+
+    /// The fully general LRS solve: relaxes the paper's three global bounds
+    /// **and** the problem's extra [`ConstraintSet`] families, whose
+    /// μ-weighted coefficients are aggregated into the engine's dense
+    /// denominator table once per solve (so every sweep still performs zero
+    /// heap allocation). With an empty set the aggregated table is all
+    /// zeros and the sweep arithmetic is bitwise identical to the legacy
+    /// path.
+    ///
+    /// With a default control the checks read two `Option`s per sweep and
+    /// never touch the clock, so the sweep sequence is bit-identical to an
+    /// uncontrolled solve. An interrupted solve reports `converged: false`
+    /// and leaves `sizes` at the last completed sweep's iterate (or the
+    /// lower bounds when interrupted before the first sweep).
+    pub fn solve_constrained<M: DelayModel>(
+        &self,
+        engine: &mut SizingEngine<'_, M>,
+        extras: &ConstraintSet,
+        multipliers: &Multipliers,
+        sizes: &mut SizeVector,
+        control: &RunControl<'_>,
+    ) -> LrsStats {
+        // A2 aggregation: node weights λ_i and the extra-family denominator
+        // contributions, once per solve.
         engine.load_node_weights(multipliers);
+        engine.load_extra_denominator(extras, multipliers);
         // S1: start at the lower bounds.
         engine.reset_to_lower_bounds(sizes);
 

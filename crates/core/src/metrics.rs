@@ -4,6 +4,8 @@ use ncgws_circuit::{CircuitGraph, SizeVector, TimingAnalysis};
 use ncgws_coupling::CouplingSet;
 use serde::{Deserialize, Serialize};
 
+use crate::units;
+
 /// The four quantities of the paper's Table 1, plus the raw internal values
 /// the optimizer works with.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -49,9 +51,9 @@ impl CircuitMetrics {
         let noise_exact = coupling.total_physical_coupling(graph, sizes);
         let crosstalk_lin = coupling.total_crosstalk(graph, sizes);
         CircuitMetrics {
-            noise_pf: noise_exact / 1000.0,
-            delay_ps: timing.critical_path_delay / 1000.0,
-            power_mw: total_cap * graph.technology().power_scale_mw_per_ff(),
+            noise_pf: units::pf_from_ff(noise_exact),
+            delay_ps: units::ps_from_internal(timing.critical_path_delay),
+            power_mw: units::mw_from_ff(total_cap, graph.technology().power_scale_mw_per_ff()),
             area_um2: area,
             crosstalk_ff: crosstalk_lin,
             delay_internal: timing.critical_path_delay,
@@ -77,6 +79,10 @@ pub struct IterationRecord {
     pub power_violation: f64,
     /// Crosstalk-constraint violation (fF; ≤ 0 when met).
     pub crosstalk_violation: f64,
+    /// Worst violation of the extra constraint families, relative to its
+    /// bound and clamped at zero (0 when all extra constraints are met or
+    /// none exist).
+    pub extra_violation: f64,
     /// Wall-clock time of this iteration in seconds.
     pub seconds: f64,
     /// Number of inner LRS sweeps performed.

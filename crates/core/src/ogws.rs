@@ -22,6 +22,7 @@ use std::time::Instant;
 use ncgws_circuit::{DelayModel, NodeKind, SizeVector};
 use serde::{Deserialize, Serialize};
 
+use crate::constraints::ConstraintFamily;
 use crate::control::{IterationEvent, RunControl, StopReason};
 use crate::engine::SizingEngine;
 use crate::lagrangian::{dual_value, Multipliers};
@@ -35,7 +36,7 @@ use crate::projection::project_flow_conservation;
 /// The duality-gap stopping rule is what controls solution quality; this
 /// tolerance only decides whether an iterate is eligible to be remembered as
 /// the "best feasible so far" (one part in a thousand of each bound).
-const FEASIBILITY_TOLERANCE: f64 = 1e-3;
+pub(crate) const FEASIBILITY_TOLERANCE: f64 = 1e-3;
 
 /// Number of consecutive iterations without any improvement of the primal or
 /// dual bound after which the outer loop stops early (secondary stopping
@@ -63,6 +64,10 @@ pub struct OgwsOutcome {
     pub beta: f64,
     /// Final value of the crosstalk multiplier `γ`.
     pub gamma: f64,
+    /// Final extra-family multiplier blocks, parallel to the problem's
+    /// [`ConstraintSet::families`](crate::ConstraintSet::families) (empty
+    /// for the paper's three-bound formulation).
+    pub extra_multipliers: Vec<Vec<f64>>,
 }
 
 impl OgwsOutcome {
@@ -176,14 +181,17 @@ impl OgwsSolver {
         let graph = problem.graph;
         let coupling = problem.coupling;
         let bounds = problem.bounds;
+        let extras = &problem.extras;
         let lrs = LrsSolver::new(self.config.max_lrs_sweeps, self.config.lrs_tolerance);
 
-        // A1: initial multipliers (projected so Theorem 3 holds from the start).
+        // A1: initial multipliers (projected so Theorem 3 holds from the
+        // start); one extra block per constraint family.
         let mut multipliers = Multipliers::uniform(
             graph,
             self.config.initial_edge_multiplier,
             self.config.initial_scalar_multiplier,
         );
+        multipliers.attach_extras(extras, self.config.initial_scalar_multiplier);
         project_flow_conservation(graph, &mut multipliers);
 
         // One-time buffer setup; the loop below reuses all of these. The
@@ -199,6 +207,9 @@ impl OgwsSolver {
         let mut converged = false;
         let mut stagnant = 0usize;
         let mut stop_reason = StopReason::IterationLimit;
+        // Flattened per-constraint violations of the extra families, reused
+        // across iterations (empty — and allocation-free — without extras).
+        let mut extra_violations = vec![0.0; extras.total_constraints()];
 
         // Warm start: a feasible seed becomes the initial primal upper bound,
         // so the gap stopping rule can fire from the first iteration.
@@ -218,7 +229,8 @@ impl OgwsSolver {
                 && total_cap - bounds.total_capacitance
                     <= bounds.total_capacitance * FEASIBILITY_TOLERANCE
                 && crosstalk_lhs - problem.reduced_crosstalk_bound()
-                    <= bounds.crosstalk * FEASIBILITY_TOLERANCE;
+                    <= bounds.crosstalk * FEASIBILITY_TOLERANCE
+                && extras.feasible_within(&sizes, FEASIBILITY_TOLERANCE);
             if feasible {
                 best_area = problem.area(&sizes);
                 best_sizes.copy_from(&sizes);
@@ -236,18 +248,24 @@ impl OgwsSolver {
             let started = Instant::now();
 
             // A2 + A3: solve the relaxation and analyze timing at its solution.
-            let lrs_stats = lrs.solve_controlled(engine, &multipliers, &mut sizes, control);
+            let lrs_stats =
+                lrs.solve_constrained(engine, extras, &multipliers, &mut sizes, control);
             let timing = engine.timing(&sizes);
 
-            // Constraint values.
+            // Constraint values, global bounds and extra families alike.
             let total_cap = ncgws_circuit::total_capacitance(graph, &sizes);
             let crosstalk_lhs = coupling.crosstalk_lhs(graph, &sizes);
             let delay_violation = timing.critical_path_delay - bounds.delay;
             let power_violation = total_cap - bounds.total_capacitance;
             let crosstalk_violation = crosstalk_lhs - problem.reduced_crosstalk_bound();
+            extras.violations_into(&sizes, &mut extra_violations);
+            let worst_extra_rel = extras
+                .worst_relative_from(&extra_violations)
+                .map_or(0.0, |worst| worst.max(0.0));
             let feasible = delay_violation <= bounds.delay * FEASIBILITY_TOLERANCE
                 && power_violation <= bounds.total_capacitance * FEASIBILITY_TOLERANCE
-                && crosstalk_violation <= bounds.crosstalk * FEASIBILITY_TOLERANCE;
+                && crosstalk_violation <= bounds.crosstalk * FEASIBILITY_TOLERANCE
+                && worst_extra_rel <= FEASIBILITY_TOLERANCE;
 
             // Primal / dual book-keeping. Every dual value is a valid lower
             // bound on the optimal area, so the gap is measured between the
@@ -288,6 +306,7 @@ impl OgwsSolver {
                 step,
                 power_violation,
                 crosstalk_violation,
+                &extra_violations,
             );
             // A5: project back onto the optimality condition.
             project_flow_conservation(graph, &mut multipliers);
@@ -300,6 +319,7 @@ impl OgwsSolver {
                 delay_violation,
                 power_violation,
                 crosstalk_violation,
+                extra_violation: worst_extra_rel,
                 seconds: started.elapsed().as_secs_f64(),
                 lrs_sweeps: lrs_stats.sweeps,
             });
@@ -344,6 +364,7 @@ impl OgwsSolver {
         } else {
             (false, sizes)
         };
+        let extra_multipliers = multipliers.extra_blocks().to_vec();
         OgwsOutcome {
             sizes,
             feasible,
@@ -353,11 +374,14 @@ impl OgwsSolver {
             best_gap,
             beta: multipliers.beta,
             gamma: multipliers.gamma,
+            extra_multipliers,
         }
     }
 
     /// A4 of Figure 9: move every multiplier along its constraint violation.
-    /// `arrival` and `delays` are indexed by raw node index.
+    /// `arrival` and `delays` are indexed by raw node index;
+    /// `extra_violations` is flattened in family order (as produced by
+    /// [`ConstraintSet::violations_into`](crate::ConstraintSet::violations_into)).
     #[allow(clippy::too_many_arguments)]
     fn update_multipliers(
         problem: &SizingProblem<'_>,
@@ -367,6 +391,7 @@ impl OgwsSolver {
         step: f64,
         power_violation: f64,
         crosstalk_violation: f64,
+        extra_violations: &[f64],
     ) {
         let graph = problem.graph;
         let bounds = problem.bounds;
@@ -410,6 +435,23 @@ impl OgwsSolver {
         );
         let x_ref = bounds.crosstalk.max(1e-12);
         bump(&mut multipliers.gamma, crosstalk_violation / x_ref);
+        // The extra-family multipliers follow the same multiplicative rule,
+        // each normalized by its own bound.
+        let mut offset = 0;
+        for (family, block) in problem
+            .extras
+            .families()
+            .iter()
+            .zip(multipliers.extra_blocks_mut())
+        {
+            for (k, mu) in block.iter_mut().enumerate() {
+                bump(
+                    mu,
+                    family.relative_violation(k, extra_violations[offset + k]),
+                );
+            }
+            offset += family.len();
+        }
         multipliers.clamp_non_negative();
     }
 }

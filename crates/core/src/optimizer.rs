@@ -6,7 +6,9 @@
 //! in [`flow`](crate::flow) exposes the same computation with inspectable
 //! intermediates, warm starts, run control and batch execution; a cold flow
 //! run is bit-identical to this wrapper (the `flow_api` integration tests
-//! enforce it).
+//! enforce it). Extra constraint families configured through
+//! [`OptimizerConfig::extra_constraints`] are honored here exactly as in
+//! the staged pipeline — the wrapper delegates to it.
 
 use ncgws_circuit::SizeVector;
 use ncgws_netlist::ProblemInstance;
@@ -171,6 +173,27 @@ mod tests {
         let outcome = Optimizer::new(config).run(&inst).unwrap();
         let min_area = ncgws_circuit::total_area(&inst.circuit, &inst.circuit.minimum_sizes());
         assert!(outcome.report.final_metrics.area_um2 <= min_area * 1.05);
+    }
+
+    #[test]
+    fn extra_constraints_thread_through_the_legacy_wrapper() {
+        let inst = instance(30, 70, 5);
+        let config = OptimizerConfig::builder()
+            .per_net_crosstalk_cap(0.9)
+            .driven_load_cap(1.5)
+            .max_iterations(30)
+            .build()
+            .unwrap();
+        let outcome = Optimizer::new(config).run(&inst).unwrap();
+        assert_eq!(outcome.report.constraint_slacks.len(), 2);
+        assert_eq!(outcome.ogws.extra_multipliers.len(), 2);
+        if outcome.report.feasible {
+            assert!(outcome
+                .report
+                .constraint_slacks
+                .iter()
+                .all(|slack| slack.satisfied));
+        }
     }
 
     #[test]

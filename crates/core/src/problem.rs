@@ -4,10 +4,12 @@ use ncgws_circuit::{CircuitGraph, SizeVector};
 use ncgws_coupling::CouplingSet;
 use serde::{Deserialize, Serialize};
 
+use crate::constraints::{ConstraintSet, ConstraintSpec};
 use crate::coupling_build::OrderingStrategy;
 use crate::error::CoreError;
 use crate::metrics::CircuitMetrics;
 use crate::step::StepSchedule;
+use crate::units;
 
 /// Absolute constraint bounds of problem `PP`.
 ///
@@ -36,7 +38,7 @@ impl ConstraintBounds {
         ConstraintBounds {
             delay: initial.delay_internal * config.delay_bound_factor,
             total_capacitance: initial.total_capacitance_ff * config.power_bound_factor,
-            crosstalk: initial.noise_pf * 1000.0 * config.crosstalk_bound_factor,
+            crosstalk: units::ff_from_pf(initial.noise_pf) * config.crosstalk_bound_factor,
         }
     }
 
@@ -130,8 +132,14 @@ pub struct OptimizerConfig {
     pub effective_coupling: bool,
     /// Initial value of every edge multiplier `λ_ji`.
     pub initial_edge_multiplier: f64,
-    /// Initial value of the power multiplier `β` and crosstalk multiplier `γ`.
+    /// Initial value of the power multiplier `β`, crosstalk multiplier `γ`
+    /// and every extra-family multiplier `μ`.
     pub initial_scalar_multiplier: f64,
+    /// Extra constraint families beyond the paper's three global bounds,
+    /// lowered into absolute [`ConstraintSet`]s during
+    /// [`Flow::order`](crate::Flow) (empty by default — the paper's
+    /// formulation).
+    pub extra_constraints: Vec<ConstraintSpec>,
 }
 
 impl OptimizerConfig {
@@ -191,6 +199,9 @@ impl OptimizerConfig {
                 reason: "must be non-negative".to_string(),
             });
         }
+        for spec in &self.extra_constraints {
+            spec.validate()?;
+        }
         Ok(())
     }
 
@@ -220,6 +231,7 @@ impl Default for OptimizerConfig {
             effective_coupling: false,
             initial_edge_multiplier: 1.0,
             initial_scalar_multiplier: 1.0,
+            extra_constraints: Vec::new(),
         }
     }
 }
@@ -334,10 +346,30 @@ impl OptimizerConfigBuilder {
         self
     }
 
-    /// Initial value of the power and crosstalk multipliers `β`, `γ`.
+    /// Initial value of the power, crosstalk and extra-family multipliers
+    /// `β`, `γ`, `μ`.
     pub fn initial_scalar_multiplier(mut self, value: f64) -> Self {
         self.config.initial_scalar_multiplier = value;
         self
+    }
+
+    /// Adds an extra constraint family (see [`ConstraintSpec`]).
+    pub fn extra_constraint(mut self, spec: ConstraintSpec) -> Self {
+        self.config.extra_constraints.push(spec);
+        self
+    }
+
+    /// Caps each routing channel's crosstalk at `factor` × its initial value
+    /// (shorthand for [`ConstraintSpec::PerNetCrosstalk`]) — a channel-local
+    /// bound the paper's single global `X_B` cannot express.
+    pub fn per_net_crosstalk_cap(self, factor: f64) -> Self {
+        self.extra_constraint(ConstraintSpec::PerNetCrosstalk { factor })
+    }
+
+    /// Caps the component load each driver/gate directly drives at `factor`
+    /// × its initial value (shorthand for [`ConstraintSpec::DrivenLoad`]).
+    pub fn driven_load_cap(self, factor: f64) -> Self {
+        self.extra_constraint(ConstraintSpec::DrivenLoad { factor })
     }
 
     /// Validates the assembled configuration and returns it.
@@ -351,8 +383,9 @@ impl OptimizerConfigBuilder {
     }
 }
 
-/// A fully assembled sizing problem: the circuit, its coupling set and the
-/// absolute constraint bounds. This is what the OGWS solver operates on
+/// A fully assembled sizing problem: the circuit, its coupling set, the
+/// absolute constraint bounds of the paper's three global constraints, and
+/// any extra constraint families. This is what the OGWS solver operates on
 /// (the [`Optimizer`](crate::Optimizer) builds it from a
 /// [`ProblemInstance`](ncgws_netlist::ProblemInstance)).
 #[derive(Debug, Clone)]
@@ -361,12 +394,15 @@ pub struct SizingProblem<'a> {
     pub graph: &'a CircuitGraph,
     /// The coupling capacitors between adjacent wires.
     pub coupling: &'a CouplingSet,
-    /// Absolute constraint bounds.
+    /// Absolute constraint bounds of the three global constraints.
     pub bounds: ConstraintBounds,
+    /// Extra constraint families (empty for the paper's formulation).
+    pub extras: ConstraintSet,
 }
 
 impl<'a> SizingProblem<'a> {
-    /// Creates a problem after checking the bounds are achievable.
+    /// Creates a problem with no extra constraint families (the paper's
+    /// three-bound formulation), after checking the bounds are achievable.
     ///
     /// # Errors
     ///
@@ -377,11 +413,29 @@ impl<'a> SizingProblem<'a> {
         coupling: &'a CouplingSet,
         bounds: ConstraintBounds,
     ) -> Result<Self, CoreError> {
+        SizingProblem::with_constraints(graph, coupling, bounds, ConstraintSet::new())
+    }
+
+    /// Creates a problem carrying extra constraint families, after checking
+    /// every bound (global and extra) is achievable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InfeasibleBounds`] when no sizing can satisfy the
+    /// bounds.
+    pub fn with_constraints(
+        graph: &'a CircuitGraph,
+        coupling: &'a CouplingSet,
+        bounds: ConstraintBounds,
+        extras: ConstraintSet,
+    ) -> Result<Self, CoreError> {
         bounds.check_feasible(graph, coupling)?;
+        extras.check_feasible(graph)?;
         Ok(SizingProblem {
             graph,
             coupling,
             bounds,
+            extras,
         })
     }
 

@@ -23,6 +23,12 @@ use crate::lagrangian::Multipliers;
 
 /// Projects `multipliers` onto the flow-conservation condition, in place.
 /// Runs in `O(V + E)`.
+///
+/// Only the **edge** (delay) multipliers participate in the flow condition;
+/// the scalar multipliers `β`, `γ` and every extra-family block `μ` are
+/// structurally unconstrained by Theorem 3 and are only clamped
+/// non-negative here (condition (4) of Theorem 6), which is exactly the
+/// projection of a scalar onto its feasible half-line.
 pub fn project_flow_conservation(graph: &CircuitGraph, multipliers: &mut Multipliers) {
     multipliers.clamp_non_negative();
     let sink = graph.sink();

@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::constraints::FamilySlack;
 use crate::control::StopReason;
 use crate::metrics::{CircuitMetrics, IterationRecord, MemoryBreakdown};
 
@@ -63,8 +64,12 @@ pub struct OptimizationReport {
     pub seconds_per_iteration: f64,
     /// Memory accounting (Figure 10(a); the paper's `mem` column).
     pub memory: MemoryBreakdown,
-    /// Whether the returned sizing satisfies every constraint.
+    /// Whether the returned sizing satisfies every constraint (the three
+    /// global bounds and every extra family).
     pub feasible: bool,
+    /// Per-family slack summary of the extra constraint system at the final
+    /// sizing (empty for the paper's three-bound formulation).
+    pub constraint_slacks: Vec<FamilySlack>,
     /// Whether the duality gap reached the configured tolerance.
     pub converged: bool,
     /// Why the OGWS outer loop stopped (convergence, stagnation, a limit,
@@ -183,6 +188,7 @@ mod tests {
                 working_bytes: 10,
             },
             feasible: true,
+            constraint_slacks: Vec::new(),
             converged: true,
             stop_reason: StopReason::Converged,
             duality_gap: 0.005,

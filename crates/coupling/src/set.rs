@@ -238,6 +238,91 @@ impl CouplingSet {
         }
     }
 
+    /// Indices (into [`pairs`](Self::pairs)) of the pairs whose **both**
+    /// endpoints belong to `members` — the channel-local subset of the
+    /// coupling a per-net constraint aggregates over. Order follows the
+    /// global pair list, so repeated calls are deterministic.
+    pub fn group_pair_indices(&self, members: &[NodeId]) -> Vec<usize> {
+        let set: std::collections::HashSet<NodeId> = members.iter().copied().collect();
+        self.pairs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| set.contains(&p.a) && set.contains(&p.b))
+            .map(|(idx, _)| idx)
+            .collect()
+    }
+
+    /// Sums `per_pair` over the pairs whose both endpoints lie in `members`
+    /// — the single scan every `group_*` aggregate shares (one membership
+    /// set, no intermediate index list).
+    fn group_pair_sum(&self, members: &[NodeId], per_pair: impl Fn(&CouplingPair) -> f64) -> f64 {
+        let set: std::collections::HashSet<NodeId> = members.iter().copied().collect();
+        self.pairs
+            .iter()
+            .filter(|p| set.contains(&p.a) && set.contains(&p.b))
+            .map(per_pair)
+            .sum()
+    }
+
+    /// The size-independent part `Σ sf_ij · ~c_ij` of the linearized
+    /// crosstalk restricted to pairs within `members` (the group analogue of
+    /// [`total_base_capacitance`](Self::total_base_capacitance)).
+    pub fn group_base_capacitance(&self, members: &[NodeId]) -> f64 {
+        self.group_pair_sum(members, |p| p.switching_factor * p.base_capacitance())
+    }
+
+    /// Per-member linear coefficients of the group-restricted crosstalk:
+    /// for each wire `i` in `members`, `Σ_{j ∈ N(i) ∩ members} sf_ij · ĉ_ij`
+    /// — the coefficient of `x_i` in
+    /// `Σ_{pairs in group} sf_ij · ĉ_ij · (x_i + x_j)`. Members with no
+    /// in-group neighbor are omitted. This is what a per-net (channel-local)
+    /// crosstalk cap lowers into a linear posynomial constraint.
+    pub fn group_linear_sums(&self, members: &[NodeId]) -> Vec<(NodeId, f64)> {
+        let set: std::collections::HashSet<NodeId> = members.iter().copied().collect();
+        members
+            .iter()
+            .filter_map(|&id| {
+                let sum: f64 = self
+                    .neighbors(id)
+                    .filter(|(other, _)| set.contains(other))
+                    .map(|(_, p)| p.switching_factor * p.linear_coefficient())
+                    .sum();
+                (sum > 0.0).then_some((id, sum))
+            })
+            .collect()
+    }
+
+    /// The size-dependent part `Σ sf_ij · ĉ_ij · (x_i + x_j)` of the
+    /// linearized crosstalk restricted to pairs within `members` (the group
+    /// analogue of [`crosstalk_lhs`](Self::crosstalk_lhs)).
+    pub fn group_crosstalk_lhs(
+        &self,
+        graph: &CircuitGraph,
+        sizes: &SizeVector,
+        members: &[NodeId],
+    ) -> f64 {
+        self.group_pair_sum(members, |p| {
+            p.switching_factor
+                * p.linear_coefficient()
+                * (graph.size_of(p.a, sizes) + graph.size_of(p.b, sizes))
+        })
+    }
+
+    /// Total linearized crosstalk of the pairs within `members`: the group
+    /// base capacitance plus the group lhs — the quantity a per-net cap
+    /// bounds.
+    pub fn group_crosstalk(
+        &self,
+        graph: &CircuitGraph,
+        sizes: &SizeVector,
+        members: &[NodeId],
+    ) -> f64 {
+        self.group_pair_sum(members, |p| {
+            p.switching_factor
+                * p.linearized_capacitance(graph.size_of(p.a, sizes), graph.size_of(p.b, sizes))
+        })
+    }
+
     /// An estimate (in bytes) of the memory held by the coupling data
     /// structures, used by the Figure 10(a) reproduction.
     pub fn memory_bytes(&self) -> usize {
@@ -394,6 +479,55 @@ mod tests {
             );
         }
         assert!((set.weighted_neighbor_width(&c, w2, &sizes) - 2.0 * chat * 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn group_helpers_restrict_to_in_group_pairs() {
+        let c = circuit();
+        let (w1, w2, w3) = (wire(&c, "w1"), wire(&c, "w2"), wire(&c, "w3"));
+        let set = CouplingSet::new(
+            &c,
+            vec![
+                CouplingPair::new(w1, w2, geom()).unwrap(),
+                CouplingPair::new(w2, w3, geom()).unwrap(),
+            ],
+        )
+        .unwrap();
+        let sizes = c.uniform_sizes(1.5);
+
+        // The full wire set reproduces the global totals.
+        let all = [w1, w2, w3];
+        assert_eq!(set.group_pair_indices(&all), vec![0, 1]);
+        assert!(
+            (set.group_crosstalk(&c, &sizes, &all) - set.total_crosstalk(&c, &sizes)).abs() < 1e-12
+        );
+        assert!((set.group_base_capacitance(&all) - set.total_base_capacitance()).abs() < 1e-12);
+        assert!(
+            (set.group_crosstalk_lhs(&c, &sizes, &all) - set.crosstalk_lhs(&c, &sizes)).abs()
+                < 1e-12
+        );
+
+        // A sub-group only sees its own pair; w2's coefficient drops to the
+        // single in-group neighbor.
+        let sub = [w1, w2];
+        assert_eq!(set.group_pair_indices(&sub), vec![0]);
+        let sums = set.group_linear_sums(&sub);
+        assert_eq!(sums.len(), 2);
+        let w2_sum = sums.iter().find(|(id, _)| *id == w2).unwrap().1;
+        assert!((w2_sum - set.linear_coefficient_sum(w2) / 2.0).abs() < 1e-12);
+        // group value = constant + Σ a_i x_i for the linearized group model.
+        let by_terms: f64 = set.group_base_capacitance(&sub)
+            + sums
+                .iter()
+                .map(|&(id, a)| a * c.size_of(id, &sizes))
+                .sum::<f64>();
+        assert!((by_terms - set.group_crosstalk(&c, &sizes, &sub)).abs() < 1e-9);
+
+        // A group with no internal pair contributes nothing.
+        let lonely = [w1, w3];
+        assert!(set.group_pair_indices(&lonely).is_empty());
+        assert_eq!(set.group_crosstalk(&c, &sizes, &lonely), 0.0);
+        assert!(set.group_linear_sums(&lonely).is_empty());
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! Per-net (channel-local) crosstalk caps and per-node driven-load caps —
+//! two scenarios the paper's fixed three-bound formulation cannot express.
+//!
+//! The paper bounds only the *total* crosstalk `X_B`, so a quiet channel's
+//! headroom can subsidize a noisy one. With the composable constraint
+//! system each routing channel gets its own cap (and each driver/gate a cap
+//! on the load it directly drives), all still posynomial, so the closed-form
+//! LRS and the duality-gap certificate carry over unchanged.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example per_net_caps
+//! ```
+
+use ncgws::core::{ConstraintFamily, OptimizerConfig};
+use ncgws::netlist::{CircuitSpec, SyntheticGenerator};
+use ncgws::Flow;
+
+fn main() -> Result<(), ncgws::Error> {
+    let spec = CircuitSpec::new("per-net", 70, 160).with_seed(23);
+    let instance = SyntheticGenerator::new(spec).generate()?;
+
+    // Start from a moderate uniform sizing and demand a 12% speed-up: the
+    // optimizer must upsize along critical paths, which *raises* coupling.
+    // The global crosstalk/power bounds are relaxed so they do not interfere
+    // — under the paper's formulation the extra coupling can concentrate in
+    // whichever channels the critical paths cross.
+    let relaxed = OptimizerConfig::builder()
+        .initial_size(1.0)
+        .delay_bound_factor(0.88)
+        .crosstalk_bound_factor(3.0)
+        .power_bound_factor(3.0)
+        .max_iterations(300);
+    let global = Flow::prepare(&instance, relaxed.clone().build()?)?
+        .order()?
+        .size()?;
+
+    // The new scenario: same speed-up, but every channel must come in 7%
+    // *below* its initial crosstalk and no driver/gate may grow its
+    // directly driven load beyond 15% over the initial. The channel-local
+    // caps — which the paper's single global bound cannot express — sit
+    // just above the irreducible per-channel coupling, so the tightest of
+    // them is enforced with essentially zero slack.
+    let config = relaxed
+        .clone()
+        .per_net_crosstalk_cap(0.93)
+        .driven_load_cap(1.15)
+        .build()?;
+    let ordered = Flow::prepare(&instance, config)?.order()?;
+    let capped = ordered.size()?;
+
+    println!(
+        "`{}`: {} channels, {} extra constraints in {} families\n",
+        instance.name,
+        instance.channels.len(),
+        ordered
+            .extra_constraints()
+            .families()
+            .iter()
+            .map(|f| f.len())
+            .sum::<usize>(),
+        ordered.extra_constraints().num_families(),
+    );
+
+    // Per-channel crosstalk under both runs, against the per-net caps.
+    let graph = &instance.circuit;
+    let coupling = &ordered.ordering().coupling;
+    let per_net = &ordered.extra_constraints().families()[0];
+    println!(
+        "{:>8} {:>14} {:>14} {:>14} {:>6}",
+        "channel", "global-run(fF)", "capped-run(fF)", "cap(fF)", "met?"
+    );
+    for constraint in per_net.constraints() {
+        let idx: usize = constraint
+            .label()
+            .strip_prefix("net-")
+            .unwrap()
+            .parse()
+            .unwrap();
+        let members = &instance.channels[idx];
+        let under_global = coupling.group_crosstalk(graph, global.sizes(), members);
+        let under_caps = coupling.group_crosstalk(graph, capped.sizes(), members);
+        println!(
+            "{:>8} {:>14.3} {:>14.3} {:>14.3} {:>6}",
+            constraint.label(),
+            under_global,
+            under_caps,
+            constraint.bound(),
+            if under_caps <= constraint.bound() * (1.0 + 2e-3) {
+                "yes"
+            } else {
+                "NO"
+            }
+        );
+    }
+
+    let gm = &global.report.final_metrics;
+    let cm = &capped.report.final_metrics;
+    println!(
+        "\nglobal-bound run: noise {:.3} pF, delay {:.1} ps, area {:.0} um2 (feasible: {})",
+        gm.noise_pf, gm.delay_ps, gm.area_um2, global.report.feasible
+    );
+    println!(
+        "per-net-cap run:  noise {:.3} pF, delay {:.1} ps, area {:.0} um2 (feasible: {})",
+        cm.noise_pf, cm.delay_ps, cm.area_um2, capped.report.feasible
+    );
+    println!("\nper-family slacks of the capped run:");
+    for slack in &capped.report.constraint_slacks {
+        println!(
+            "  {:<20} [{}] {} constraints, worst violation {:+.3e} (rel {:+.2e}) at `{}` — {}",
+            slack.family,
+            slack.kind,
+            slack.constraints,
+            slack.worst_violation,
+            slack.worst_relative_violation,
+            slack.worst_label,
+            if slack.satisfied {
+                "satisfied"
+            } else {
+                "VIOLATED"
+            }
+        );
+    }
+    // An over-tight cap (below the irreducible per-channel coupling) is not
+    // silently ignored: the run reports infeasible and the per-family slack
+    // report names the violated channel with its residual.
+    let over_tight = relaxed.per_net_crosstalk_cap(0.85).build()?;
+    let strict = Flow::prepare(&instance, over_tight)?.order()?.size()?;
+    println!(
+        "\nover-tight caps (0.85x): feasible={} — reported slacks:",
+        strict.report.feasible
+    );
+    for slack in &strict.report.constraint_slacks {
+        println!(
+            "  {:<20} worst violation {:+.3e} (rel {:+.2e}) at `{}` — {}",
+            slack.family,
+            slack.worst_violation,
+            slack.worst_relative_violation,
+            slack.worst_label,
+            if slack.satisfied {
+                "satisfied"
+            } else {
+                "VIOLATED"
+            }
+        );
+    }
+
+    println!(
+        "\nthe global-bound run may overshoot individual channels; the capped run\n\
+         enforces every channel-local bound while keeping the closed-form LRS,\n\
+         and an unachievable cap is reported infeasible with its slack."
+    );
+    Ok(())
+}

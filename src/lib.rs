@@ -83,6 +83,43 @@
 //! # }
 //! ```
 //!
+//! # Constraint system
+//!
+//! The paper fixes three global bounds (delay, power, crosstalk); the
+//! composable constraint system ([`ncgws_core::constraints`]) lets extra
+//! posynomial families ride alongside them without touching the solver:
+//! per-net (channel-local) crosstalk caps, per-node driven-load caps, or
+//! caller-assembled linear families. The three global bounds are the
+//! default (empty) instance and keep their exact legacy arithmetic — the
+//! property suite pins that path bitwise to `ncgws_core::reference`.
+//!
+//! ```rust
+//! use ncgws::netlist::{CircuitSpec, SyntheticGenerator};
+//! use ncgws::core::OptimizerConfig;
+//! use ncgws::Flow;
+//!
+//! # fn main() -> Result<(), ncgws::Error> {
+//! let spec = CircuitSpec::new("caps", 24, 55).with_seed(5).with_num_patterns(8);
+//! let instance = SyntheticGenerator::new(spec).generate()?;
+//!
+//! // Cap every routing channel at 90% of its initial crosstalk and every
+//! // driver/gate's directly driven load at 150% of its initial value.
+//! let config = OptimizerConfig::builder()
+//!     .per_net_crosstalk_cap(0.9)
+//!     .driven_load_cap(1.5)
+//!     .max_iterations(40)
+//!     .build()?;
+//!
+//! let ordered = Flow::prepare(&instance, config)?.order()?;
+//! // The lowered families are inspectable before sizing...
+//! assert_eq!(ordered.extra_constraints().num_families(), 2);
+//! let sized = ordered.size()?;
+//! // ...and the report carries one slack summary per family.
+//! assert_eq!(sized.report.constraint_slacks.len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! # Batch execution
 //!
 //! [`BatchRunner`] pushes many instances through the full two-stage flow —
@@ -151,6 +188,14 @@ pub use ncgws_core::flow;
 pub use ncgws_core::{
     BatchRunner, CancelFlag, CollectObserver, Flow, IterationEvent, Observer, Ordered, Prepared,
     RunControl, SizedOutcome, StopReason,
+};
+
+// The composable constraint system: specs travel in the configuration, the
+// lowered families and per-family slacks surface in `Ordered` and the
+// report.
+pub use ncgws_core::{
+    ConstraintFamily, ConstraintSet, ConstraintSpec, FamilyKind, FamilySlack, ScalarConstraint,
+    ScalarFamily,
 };
 
 /// Version of the ncgws workspace.

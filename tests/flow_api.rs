@@ -58,6 +58,8 @@ proptest! {
         prop_assert_eq!(sized.report.converged, legacy.report.converged);
         prop_assert_eq!(sized.report.stop_reason, legacy.report.stop_reason);
         prop_assert_eq!(sized.report.duality_gap, legacy.report.duality_gap);
+        prop_assert_eq!(&sized.report.constraint_slacks, &legacy.report.constraint_slacks);
+        prop_assert!(sized.report.constraint_slacks.is_empty(), "no extra families configured");
         prop_assert_eq!(&sized.report.memory, &legacy.report.memory);
         prop_assert_eq!(
             sized.report.ordering_effective_loading,
