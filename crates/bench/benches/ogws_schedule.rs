@@ -1,0 +1,102 @@
+//! End-to-end OGWS cost of the exact Figure-8 schedule vs the adaptive
+//! solve schedule (`ncgws_core::schedule`), on the XL synthetic tier.
+//!
+//! Each measurement runs a full stage-2 sizing (a fixed OGWS iteration
+//! budget over one prepared ordering, reusing one engine) so the timing
+//! includes everything an iteration pays: LRS sweeps, timing analysis,
+//! constraint evaluation, multiplier update and projection. The adaptive
+//! schedule must come out ≥3× faster at the 10k-component tier — the
+//! headline claim of the solve-schedule subsystem; the assertion below
+//! enforces the invariant side (same feasibility, gap within tolerance)
+//! on every run.
+//!
+//! ```text
+//! cargo bench -p ncgws-bench --bench ogws_schedule
+//! NCGWS_QUICK=1 cargo bench -p ncgws-bench --bench ogws_schedule   # 1k + 10k only
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ncgws_bench::quick_mode;
+use ncgws_core::{Flow, OptimizerConfig, RunControl, SolveStrategy};
+use ncgws_netlist::{xl_spec, SyntheticGenerator};
+
+/// Outer-iteration budget per measured solve: enough iterations that the
+/// steady-state schedule dominates, small enough for a bench iteration.
+const ITERATIONS: usize = 25;
+
+fn config(strategy: SolveStrategy) -> OptimizerConfig {
+    OptimizerConfig {
+        max_iterations: ITERATIONS,
+        solve_strategy: strategy,
+        ..OptimizerConfig::default()
+    }
+}
+
+fn ogws_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ogws_end_to_end");
+    let sizes: &[usize] = if quick_mode() {
+        &[1_000, 10_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    for &components in sizes {
+        let instance = SyntheticGenerator::new(xl_spec(components))
+            .generate()
+            .expect("XL generation succeeds");
+
+        let exact = Flow::prepare(&instance, config(SolveStrategy::Exact))
+            .expect("prepare")
+            .order()
+            .expect("order");
+        let adaptive = Flow::prepare(&instance, config(SolveStrategy::adaptive()))
+            .expect("prepare")
+            .order()
+            .expect("order");
+
+        // Invariant check before timing: same feasibility verdict, duality
+        // gap within tolerance of each other.
+        let exact_run = exact.size().expect("exact sizing");
+        let adaptive_run = adaptive.size().expect("adaptive sizing");
+        assert_eq!(
+            exact_run.report.feasible, adaptive_run.report.feasible,
+            "schedules disagree on feasibility at {components} components"
+        );
+        let gap_slack = exact_run.report.duality_gap.abs() * 1e-2 + 1e-6;
+        assert!(
+            adaptive_run.report.duality_gap <= exact_run.report.duality_gap + gap_slack,
+            "adaptive gap {} much worse than exact {} at {components}",
+            adaptive_run.report.duality_gap,
+            exact_run.report.duality_gap
+        );
+
+        let control = RunControl::new();
+        let mut exact_engine = exact.engine();
+        group.bench_with_input(
+            BenchmarkId::new("exact", components),
+            &components,
+            |b, _| {
+                b.iter(|| {
+                    exact
+                        .size_with_engine(&mut exact_engine, None, &control)
+                        .expect("exact sizing")
+                })
+            },
+        );
+        let mut adaptive_engine = adaptive.engine();
+        group.bench_with_input(
+            BenchmarkId::new("adaptive", components),
+            &components,
+            |b, _| {
+                b.iter(|| {
+                    adaptive
+                        .size_with_engine(&mut adaptive_engine, None, &control)
+                        .expect("adaptive sizing")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ogws_schedule);
+criterion_main!(benches);

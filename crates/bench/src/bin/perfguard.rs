@@ -1,0 +1,153 @@
+//! Perf-regression guard over the committed `BENCH_table1.json` baseline.
+//!
+//! ```text
+//! perfguard <baseline.json> <current.json> [max_regression]
+//! ```
+//!
+//! Compares the per-circuit `seconds_per_iteration` of the freshly
+//! regenerated summary against the committed baseline and exits non-zero
+//! when any circuit regressed by more than `max_regression` (default 0.25,
+//! i.e. 25 %). Circuits present in only one file are reported but do not
+//! fail the guard (the tier set may legitimately change across PRs). CI
+//! copies the committed file aside, regenerates it with
+//! `table1 --json` under `NCGWS_QUICK=1`, then runs this guard.
+//!
+//! The vendored `serde_json` is serialize-only, so the two documents are
+//! read with a purpose-built scanner that understands exactly the shape
+//! `table1 --json` writes: inside the `"circuits"` array, each object
+//! carries one `"name"` string and one `"seconds_per_iteration"` number.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Extracts `name → seconds_per_iteration` from the `"circuits"` array of a
+/// `BENCH_table1.json` document.
+fn circuit_timings(json: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    // Limit the scan to the circuits array so the schedule section's rows
+    // (which also carry `name`) are not mixed in.
+    let start = match json.find("\"circuits\"") {
+        Some(pos) => pos,
+        None => return out,
+    };
+    let section = &json[start..];
+    let end = section.find(']').map(|e| &section[..e]).unwrap_or(section);
+
+    // The circuits array holds flat objects, so splitting on '{' yields one
+    // chunk per circuit; within a chunk the two fields are read by key.
+    for object in end.split('{').skip(1) {
+        let name = object
+            .split("\"name\":")
+            .nth(1)
+            .and_then(|rest| rest.split('"').nth(1))
+            .map(str::to_string);
+        let spi = object
+            .split("\"seconds_per_iteration\":")
+            .nth(1)
+            .and_then(|rest| {
+                rest.trim_start()
+                    .split(|c: char| c == ',' || c == '}' || c.is_whitespace())
+                    .next()
+                    .and_then(|tok| tok.parse::<f64>().ok())
+            });
+        if let (Some(name), Some(spi)) = (name, spi) {
+            out.insert(name, spi);
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        eprintln!("usage: perfguard <baseline.json> <current.json> [max_regression]");
+        return ExitCode::from(2);
+    }
+    let max_regression: f64 = args
+        .get(2)
+        .map(|s| s.parse().expect("max_regression must be a number"))
+        .unwrap_or(0.25);
+
+    let read = |path: &str| -> String {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("perfguard: cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = circuit_timings(&read(&args[0]));
+    let current = circuit_timings(&read(&args[1]));
+    if baseline.is_empty() || current.is_empty() {
+        eprintln!("perfguard: could not find circuit timings in one of the inputs");
+        return ExitCode::from(2);
+    }
+
+    let mut failed = false;
+    for (name, &base) in &baseline {
+        match current.get(name) {
+            None => eprintln!("perfguard: `{name}` missing from the current run (skipped)"),
+            Some(&now) => {
+                let change = now / base - 1.0;
+                let verdict = if change > max_regression {
+                    failed = true;
+                    "REGRESSED"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "perfguard: {name:<8} {base:.6} -> {now:.6} s/iter ({:+.1}%) {verdict}",
+                    change * 100.0
+                );
+            }
+        }
+    }
+    for name in current.keys() {
+        if !baseline.contains_key(name) {
+            eprintln!("perfguard: `{name}` is new (no baseline; skipped)");
+        }
+    }
+
+    if failed {
+        eprintln!(
+            "perfguard: seconds_per_iteration regressed more than {:.0}% — failing",
+            max_regression * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "perfguard: no circuit regressed more than {:.0}%",
+            max_regression * 100.0
+        );
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::circuit_timings;
+
+    const SAMPLE: &str = r#"{
+  "bench": "table1",
+  "quick": true,
+  "circuits": [
+    { "name": "c432", "components": 640, "seconds_per_iteration": 0.000125, "feasible": true },
+    { "name": "c880", "components": 1112, "seconds_per_iteration": 0.000375, "feasible": true }
+  ],
+  "schedule": [
+    { "name": "xl10", "components": 10000, "exact_seconds_per_iteration": 0.0065 }
+  ]
+}"#;
+
+    #[test]
+    fn timings_are_extracted_per_circuit() {
+        let map = circuit_timings(SAMPLE);
+        assert_eq!(map.len(), 2);
+        assert!((map["c432"] - 0.000125).abs() < 1e-12);
+        assert!((map["c880"] - 0.000375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn schedule_rows_are_not_mixed_in() {
+        let map = circuit_timings(SAMPLE);
+        assert!(!map.contains_key("xl10"));
+    }
+}

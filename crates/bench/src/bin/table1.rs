@@ -11,11 +11,23 @@
 //! In `--json` mode the run also persists a machine-readable summary to
 //! `BENCH_table1.json` (in the current directory — the repo root when run
 //! via `cargo`), so the perf trajectory is tracked across PRs; CI runs this
-//! under `NCGWS_QUICK=1` and uploads the file as an artifact.
+//! under `NCGWS_QUICK=1`, checks it against the committed baseline with the
+//! `perfguard` binary, and uploads the file as an artifact. Besides the
+//! Table-1 rows (now including the inner-sweep accounting of the solve
+//! schedule), the summary carries a `schedule` section comparing the exact
+//! Figure-8 schedule against the adaptive solve schedule on the XL
+//! synthetic tier (1k/10k — plus 100k components outside quick mode).
+
+use std::time::Instant;
 
 use ncgws_bench::{generate, optimize, paper_config, quick_mode};
 use ncgws_core::report::{average_improvements, OptimizationReport};
-use ncgws_netlist::table1_specs;
+use ncgws_core::{Flow, OptimizerConfig, SolveStrategy};
+use ncgws_netlist::{table1_specs, xl_spec};
+
+/// Outer-iteration budget of the XL schedule comparison (matches the
+/// `ogws_schedule` criterion bench).
+const SCHEDULE_ITERATIONS: usize = 25;
 
 fn main() {
     // With `--json` every row is emitted as one JSON-serialized
@@ -54,7 +66,8 @@ fn main() {
     }
 
     if json_mode {
-        write_bench_summary(&reports, quick);
+        let schedule = run_schedule_comparison(quick);
+        write_bench_summary(&reports, schedule, quick);
         return;
     }
 
@@ -82,11 +95,34 @@ struct BenchRow {
     iterations: usize,
     runtime_seconds: f64,
     seconds_per_iteration: f64,
+    sweeps_total: usize,
+    mean_sweeps_per_solve: f64,
+    mean_touched_per_sweep: f64,
     memory_kib: f64,
     feasible: bool,
     duality_gap: f64,
     noise_improvement_pct: f64,
     area_improvement_pct: f64,
+}
+
+/// One XL-tier row comparing the exact and adaptive solve schedules on the
+/// same prepared ordering (same iteration budget, same bounds).
+#[derive(serde::Serialize)]
+struct ScheduleRow {
+    name: String,
+    components: usize,
+    iterations: usize,
+    exact_seconds_per_iteration: f64,
+    adaptive_seconds_per_iteration: f64,
+    /// `exact / adaptive` — the headline win of the adaptive schedule.
+    speedup: f64,
+    exact_mean_sweeps_per_solve: f64,
+    adaptive_mean_sweeps_per_solve: f64,
+    exact_mean_touched_per_sweep: f64,
+    adaptive_mean_touched_per_sweep: f64,
+    exact_duality_gap: f64,
+    adaptive_duality_gap: f64,
+    feasibility_agrees: bool,
 }
 
 /// The whole `BENCH_table1.json` document.
@@ -95,14 +131,69 @@ struct BenchSummary {
     bench: String,
     quick: bool,
     circuits: Vec<BenchRow>,
+    schedule: Vec<ScheduleRow>,
     average_improvements: ncgws_core::report::Improvements,
     total_runtime_seconds: f64,
+}
+
+/// Runs the exact-vs-adaptive schedule comparison on the XL tier.
+fn run_schedule_comparison(quick: bool) -> Vec<ScheduleRow> {
+    let tiers: &[usize] = if quick {
+        &[1_000, 10_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    let mut rows = Vec::new();
+    for &components in tiers {
+        let instance = generate(xl_spec(components));
+        let mut per_strategy = Vec::new();
+        for strategy in [SolveStrategy::Exact, SolveStrategy::adaptive()] {
+            let config = OptimizerConfig {
+                max_iterations: SCHEDULE_ITERATIONS,
+                solve_strategy: strategy,
+                ..OptimizerConfig::default()
+            };
+            let ordered = Flow::prepare(&instance, config)
+                .expect("valid configuration")
+                .order()
+                .expect("stage 1 succeeds");
+            let started = Instant::now();
+            let sized = ordered.size().expect("stage 2 succeeds");
+            let elapsed = started.elapsed().as_secs_f64();
+            let iterations = sized.report.iterations.max(1);
+            per_strategy.push((elapsed / iterations as f64, sized.report));
+        }
+        let (exact_spi, exact) = &per_strategy[0];
+        let (adaptive_spi, adaptive) = &per_strategy[1];
+        eprintln!(
+            "schedule xl tier {components}: exact {:.6} s/iter, adaptive {:.6} s/iter ({:.2}x)",
+            exact_spi,
+            adaptive_spi,
+            exact_spi / adaptive_spi
+        );
+        rows.push(ScheduleRow {
+            name: exact.name.clone(),
+            components,
+            iterations: SCHEDULE_ITERATIONS,
+            exact_seconds_per_iteration: *exact_spi,
+            adaptive_seconds_per_iteration: *adaptive_spi,
+            speedup: exact_spi / adaptive_spi,
+            exact_mean_sweeps_per_solve: exact.mean_sweeps_per_solve,
+            adaptive_mean_sweeps_per_solve: adaptive.mean_sweeps_per_solve,
+            exact_mean_touched_per_sweep: exact.mean_touched_per_sweep,
+            adaptive_mean_touched_per_sweep: adaptive.mean_touched_per_sweep,
+            exact_duality_gap: exact.duality_gap,
+            adaptive_duality_gap: adaptive.duality_gap,
+            feasibility_agrees: exact.feasible == adaptive.feasible,
+        });
+    }
+    rows
 }
 
 /// The machine-readable perf-trajectory artifact: per-circuit aggregates
 /// small and stable enough to diff across PRs (full `OptimizationReport`s
 /// go to stdout / `target/table1_results.json`).
-fn write_bench_summary(reports: &[OptimizationReport], quick: bool) {
+fn write_bench_summary(reports: &[OptimizationReport], schedule: Vec<ScheduleRow>, quick: bool) {
     let summary = BenchSummary {
         bench: "table1".to_string(),
         quick,
@@ -114,6 +205,9 @@ fn write_bench_summary(reports: &[OptimizationReport], quick: bool) {
                 iterations: r.iterations,
                 runtime_seconds: r.runtime_seconds,
                 seconds_per_iteration: r.seconds_per_iteration,
+                sweeps_total: r.sweeps_total,
+                mean_sweeps_per_solve: r.mean_sweeps_per_solve,
+                mean_touched_per_sweep: r.mean_touched_per_sweep,
                 memory_kib: r.memory.total() as f64 / 1024.0,
                 feasible: r.feasible,
                 duality_gap: r.duality_gap,
@@ -121,6 +215,7 @@ fn write_bench_summary(reports: &[OptimizationReport], quick: bool) {
                 area_improvement_pct: r.improvements.area_pct,
             })
             .collect(),
+        schedule,
         average_improvements: average_improvements(reports),
         total_runtime_seconds: reports.iter().map(|r| r.runtime_seconds).sum::<f64>(),
     };

@@ -26,6 +26,9 @@
 //! between the two — pinned down by the unit tests below and the
 //! `property_eval_engine` integration test at the workspace root.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use crate::graph::CircuitGraph;
 use crate::id::NodeId;
 use crate::node::NodeKind;
@@ -99,6 +102,210 @@ pub trait DelayModel: std::fmt::Debug {
         charged: &[f64],
         delays: &mut [f64],
     );
+
+    /// Propagates arrival times from precomputed per-node delays and
+    /// extracts one critical path, writing only into the provided buffers;
+    /// returns the critical-path delay. The default walks the pointer-rich
+    /// graph ([`propagate_arrivals_into`]); backends with dense adjacency
+    /// override it with a CSR traversal producing bitwise-identical
+    /// results.
+    fn propagate_arrivals(
+        &self,
+        state: &Self::State,
+        graph: &CircuitGraph,
+        delays: &[f64],
+        arrival: &mut [f64],
+        pred: &mut [usize],
+        critical_path: &mut Vec<NodeId>,
+    ) -> f64 {
+        let _ = state;
+        propagate_arrivals_into(graph, delays, arrival, pred, critical_path)
+    }
+
+    /// Whether the backend implements the `*_update` methods below as true
+    /// sparse incremental re-accumulations (as opposed to the default full
+    /// rebuilds). Purely advisory: callers may use it to decide whether an
+    /// adaptive solve schedule will pay off, but correctness never depends
+    /// on it.
+    fn supports_incremental(&self) -> bool {
+        false
+    }
+
+    /// Incrementally brings `charged`/`presented` — currently reflecting
+    /// `prev_sizes` and the pre-delta coupling load — up to date with
+    /// `sizes`, given the dense component indices whose size changed
+    /// (`changed_comps`) and the per-node coupling-load deltas already
+    /// applied to the extra-capacitance table (`extra_delta`, as
+    /// `(raw node index, delta)` pairs).
+    ///
+    /// The default implementation ignores the dirty sets and performs a full
+    /// rebuild from `sizes` and `extra_cap`, which is always correct.
+    /// Backends overriding this must propagate the deltas along every path
+    /// the full rebuild would touch, so the result differs from a rebuild
+    /// only by floating-point accumulation noise.
+    #[allow(clippy::too_many_arguments)]
+    fn downstream_caps_update(
+        &self,
+        state: &Self::State,
+        sizes: &SizeVector,
+        prev_sizes: &[f64],
+        changed_comps: &[u32],
+        extra_cap: &[f64],
+        extra_delta: &[(u32, f64)],
+        charged: &mut [f64],
+        presented: &mut [f64],
+        inc: &mut IncrementalWorkspace,
+    ) {
+        let _ = (prev_sizes, changed_comps, extra_delta, inc);
+        self.downstream_caps_into(state, sizes, Some(extra_cap), charged, presented);
+    }
+
+    /// Whether [`fused_downstream_resize`](Self::fused_downstream_resize)
+    /// is implemented. Callers check this *before* preparing state for a
+    /// fused sweep so an unsupported backend never sees a half-prepared
+    /// workspace.
+    fn supports_fused(&self) -> bool {
+        false
+    }
+
+    /// Fused downstream-accumulation + resize sweep (Gauss–Seidel): walks
+    /// the circuit once in reverse topological order, computing each node's
+    /// charged capacitance from the *already updated* downstream state, and
+    /// immediately invokes `resize` for every sizable component so parents
+    /// see their children's fresh sizes within the same sweep. The coupling
+    /// load (`extra_cap`) and the upstream-resistance table the caller's
+    /// `resize` closure reads stay fixed for the duration of the sweep
+    /// (Jacobi in those directions).
+    ///
+    /// `resize(comp, node, charged, x)` returns the component's new size
+    /// (returning `x` unchanged leaves it as is — how callers skip frozen
+    /// components). `charged`/`presented` are left consistent with the
+    /// post-sweep sizes.
+    ///
+    /// The fixed points of this iteration are exactly those of the separate
+    /// Jacobi-style passes (both solve the same componentwise equations),
+    /// but the one-directional freshness roughly squares the contraction
+    /// factor per sweep, so solves converge in far fewer sweeps.
+    ///
+    /// Returns `false` (performing no work) when the backend does not
+    /// support fused sweeps; callers then fall back to separate passes.
+    /// Generic over the closure so the per-component resize inlines into
+    /// the traversal.
+    fn fused_downstream_resize<F: FnMut(usize, usize, f64, f64) -> f64>(
+        &self,
+        state: &Self::State,
+        sizes: &mut SizeVector,
+        extra_cap: &[f64],
+        charged: &mut [f64],
+        presented: &mut [f64],
+        resize: &mut F,
+    ) -> bool {
+        let _ = (state, sizes, extra_cap, charged, presented, resize);
+        false
+    }
+
+    /// Forward counterpart of
+    /// [`fused_downstream_resize`](Self::fused_downstream_resize): walks the
+    /// circuit once in forward topological order, computing each node's
+    /// λ-weighted upstream resistance from the *already updated* upstream
+    /// state, and immediately invokes `resize(comp, node, upstream, x)` for
+    /// every sizable component — so downstream nodes see their parents'
+    /// fresh sizes within the same pass. The charged-capacitance table the
+    /// caller's closure reads stays fixed for the pass (Jacobi in that
+    /// direction); alternating forward and backward fused passes refreshes
+    /// both directions with one traversal each.
+    ///
+    /// Returns `false` (performing no work) when unsupported.
+    fn fused_upstream_resize<F: FnMut(usize, usize, f64, f64) -> f64>(
+        &self,
+        state: &Self::State,
+        sizes: &mut SizeVector,
+        weights: &[f64],
+        upstream: &mut [f64],
+        resize: &mut F,
+    ) -> bool {
+        let _ = (state, sizes, weights, upstream, resize);
+        false
+    }
+
+    /// Incrementally brings the λ-weighted upstream resistances — currently
+    /// reflecting `prev_sizes` under the same `weights` — up to date with
+    /// `sizes`, given the dense component indices whose size changed.
+    ///
+    /// The default implementation performs a full rebuild, which is always
+    /// correct. The weights must be the same ones the current `upstream`
+    /// table was computed with (they are fixed within an LRS solve).
+    #[allow(clippy::too_many_arguments)]
+    fn upstream_resistance_update(
+        &self,
+        state: &Self::State,
+        sizes: &SizeVector,
+        prev_sizes: &[f64],
+        changed_comps: &[u32],
+        weights: &[f64],
+        upstream: &mut [f64],
+        inc: &mut IncrementalWorkspace,
+    ) {
+        let _ = (prev_sizes, changed_comps, inc);
+        self.upstream_resistance_into(state, sizes, weights, upstream);
+    }
+}
+
+/// Scratch buffers for the sparse incremental evaluation paths
+/// ([`DelayModel::downstream_caps_update`],
+/// [`DelayModel::upstream_resistance_update`]): pending per-node deltas plus
+/// the ordered worklists that drive the delta propagation. Sized once per
+/// circuit and reused; between calls every dense buffer is all-zero and
+/// every worklist empty, so a sparse update touches memory proportional to
+/// the perturbed subgraph only.
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalWorkspace {
+    /// Own-term delta per node: capacitance change in the downstream pass,
+    /// resistance change in the upstream pass.
+    own: Vec<f64>,
+    /// Extra (coupling) capacitance delta per node (downstream pass only).
+    extra: Vec<f64>,
+    /// Accumulated incoming delta per node: child-load changes in the
+    /// downstream pass, upstream-resistance changes in the upstream pass.
+    pending: Vec<f64>,
+    /// Whether a node is already on a worklist.
+    queued: Vec<bool>,
+    /// Reverse-topological worklist (max-heap on raw node index).
+    down_heap: BinaryHeap<u32>,
+    /// Forward-topological worklist (min-heap on raw node index).
+    up_heap: BinaryHeap<Reverse<u32>>,
+}
+
+impl IncrementalWorkspace {
+    /// Creates a workspace sized for `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        IncrementalWorkspace {
+            own: vec![0.0; num_nodes],
+            extra: vec![0.0; num_nodes],
+            pending: vec![0.0; num_nodes],
+            queued: vec![false; num_nodes],
+            down_heap: BinaryHeap::new(),
+            up_heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Bytes held by the workspace buffers (for memory accounting).
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        (self.own.capacity() + self.extra.capacity() + self.pending.capacity()) * size_of::<f64>()
+            + self.queued.capacity() * size_of::<bool>()
+            + self.down_heap.capacity() * size_of::<u32>()
+            + self.up_heap.capacity() * size_of::<u32>()
+            + size_of::<Self>()
+    }
+
+    fn assert_sized(&self, num_nodes: usize) {
+        assert_eq!(
+            self.queued.len(),
+            num_nodes,
+            "incremental workspace must match the circuit"
+        );
+    }
 }
 
 /// Compact per-node role tag used by [`CircuitTopology`].
@@ -127,6 +334,8 @@ pub struct CircuitTopology {
     kind: Vec<KindTag>,
     /// Dense component index per node ([`NOT_SIZABLE`] for the rest).
     comp_of: Vec<usize>,
+    /// Raw node index per dense component index (inverse of `comp_of`).
+    node_of_comp: Vec<u32>,
     /// `r̂` for gates/wires, `R_D` for drivers, zero otherwise.
     unit_resistance: Vec<f64>,
     /// `ĉ` for gates/wires, zero otherwise.
@@ -161,6 +370,7 @@ impl CircuitTopology {
         );
         let mut kind = Vec::with_capacity(n);
         let mut comp_of = Vec::with_capacity(n);
+        let mut node_of_comp = vec![0u32; graph.num_components()];
         let mut unit_resistance = Vec::with_capacity(n);
         let mut unit_capacitance = Vec::with_capacity(n);
         let mut fringing = Vec::with_capacity(n);
@@ -179,7 +389,11 @@ impl CircuitTopology {
                 NodeKind::Wire => KindTag::Wire,
                 NodeKind::Sink => KindTag::Sink,
             });
-            comp_of.push(graph.component_index(id).unwrap_or(NOT_SIZABLE));
+            let comp = graph.component_index(id).unwrap_or(NOT_SIZABLE);
+            if comp != NOT_SIZABLE {
+                node_of_comp[comp] = id.index() as u32;
+            }
+            comp_of.push(comp);
             unit_resistance.push(match node.kind {
                 NodeKind::Driver => node.attrs.driver_resistance,
                 NodeKind::Gate(_) | NodeKind::Wire => node.attrs.unit_resistance,
@@ -200,6 +414,7 @@ impl CircuitTopology {
             num_components: graph.num_components(),
             kind,
             comp_of,
+            node_of_comp,
             unit_resistance,
             unit_capacitance,
             fringing,
@@ -214,6 +429,12 @@ impl CircuitTopology {
     /// Number of nodes in the snapshot.
     pub fn num_nodes(&self) -> usize {
         self.kind.len()
+    }
+
+    /// Raw node index of the dense component `comp`.
+    #[inline(always)]
+    pub fn node_of_component(&self, comp: usize) -> usize {
+        self.node_of_comp[comp] as usize
     }
 
     /// Fanout (successor) node indices of node `idx`.
@@ -396,6 +617,7 @@ impl CircuitTopology {
         use std::mem::size_of;
         self.kind.capacity() * size_of::<KindTag>()
             + self.comp_of.capacity() * size_of::<usize>()
+            + self.node_of_comp.capacity() * size_of::<u32>()
             + (self.unit_resistance.capacity()
                 + self.unit_capacitance.capacity()
                 + self.fringing.capacity()
@@ -555,6 +777,388 @@ impl DelayModel for ElmoreModel {
                     KindTag::Source | KindTag::Sink => 0.0,
                     _ => topo.resistance_unchecked(idx, sizes) * *charged.get_unchecked(idx),
                 };
+            }
+        }
+    }
+
+    fn supports_incremental(&self) -> bool {
+        true
+    }
+
+    fn supports_fused(&self) -> bool {
+        true
+    }
+
+    /// CSR arrival propagation: the same per-kind recurrence as
+    /// [`propagate_arrivals_into`], traversing the dense topology instead
+    /// of the pointer-rich graph — bitwise identical (same node order, same
+    /// fanin order, same `>=` tie-breaking).
+    fn propagate_arrivals(
+        &self,
+        topo: &CircuitTopology,
+        graph: &CircuitGraph,
+        delays: &[f64],
+        arrival: &mut [f64],
+        pred: &mut [usize],
+        critical_path: &mut Vec<NodeId>,
+    ) -> f64 {
+        let n = topo.num_nodes();
+        topo.assert_node_slices(&[
+            ("delays", delays.len()),
+            ("arrival", arrival.len()),
+            ("pred", pred.len()),
+        ]);
+        for idx in 0..n {
+            // SAFETY: `idx < n`, slice lengths asserted above, and every
+            // index stored in the topology is in range by construction.
+            unsafe {
+                *pred.get_unchecked_mut(idx) = NO_PRED;
+                match *topo.kind.get_unchecked(idx) {
+                    KindTag::Source => *arrival.get_unchecked_mut(idx) = 0.0,
+                    KindTag::Sink => {
+                        let mut best = 0.0;
+                        let mut best_pred = NO_PRED;
+                        for &j in topo.fanin_unchecked(idx) {
+                            let j = j as usize;
+                            if *arrival.get_unchecked(j) >= best {
+                                best = *arrival.get_unchecked(j);
+                                best_pred = j;
+                            }
+                        }
+                        *arrival.get_unchecked_mut(idx) = best;
+                        *pred.get_unchecked_mut(idx) = best_pred;
+                    }
+                    KindTag::Driver => {
+                        *arrival.get_unchecked_mut(idx) = *delays.get_unchecked(idx);
+                    }
+                    KindTag::Gate | KindTag::Wire => {
+                        let mut best = 0.0;
+                        let mut best_pred = NO_PRED;
+                        for &j in topo.fanin_unchecked(idx) {
+                            let j = j as usize;
+                            if matches!(*topo.kind.get_unchecked(j), KindTag::Source) {
+                                continue;
+                            }
+                            if *arrival.get_unchecked(j) >= best {
+                                best = *arrival.get_unchecked(j);
+                                best_pred = j;
+                            }
+                        }
+                        *arrival.get_unchecked_mut(idx) = best + *delays.get_unchecked(idx);
+                        *pred.get_unchecked_mut(idx) = best_pred;
+                    }
+                }
+            }
+        }
+
+        let critical_path_delay = arrival[graph.sink().index()];
+        critical_path.clear();
+        let mut cursor = pred[graph.sink().index()];
+        while cursor != NO_PRED {
+            critical_path.push(NodeId::new(cursor));
+            cursor = pred[cursor];
+        }
+        critical_path.reverse();
+        critical_path_delay
+    }
+
+    /// Sparse downstream-capacitance update: the capacitance change of every
+    /// resized component and every coupling-load delta is scattered onto its
+    /// node and propagated upstream along the fanin DAG, in reverse
+    /// topological (descending node index) order, touching only the
+    /// perturbed subgraph.
+    fn downstream_caps_update(
+        &self,
+        topo: &CircuitTopology,
+        sizes: &SizeVector,
+        prev_sizes: &[f64],
+        changed_comps: &[u32],
+        extra_cap: &[f64],
+        extra_delta: &[(u32, f64)],
+        charged: &mut [f64],
+        presented: &mut [f64],
+        inc: &mut IncrementalWorkspace,
+    ) {
+        let n = topo.num_nodes();
+        topo.assert_node_slices(&[
+            ("charged", charged.len()),
+            ("presented", presented.len()),
+            ("extra_cap", extra_cap.len()),
+        ]);
+        assert_eq!(sizes.len(), topo.num_components);
+        assert_eq!(prev_sizes.len(), topo.num_components);
+        inc.assert_sized(n);
+        let sizes = sizes.as_slice();
+
+        // Seed the worklist: own-capacitance deltas of the resized
+        // components, plus the coupling-load deltas already applied to the
+        // extra-capacitance table.
+        for &comp in changed_comps {
+            let comp = comp as usize;
+            let idx = topo.node_of_component(comp);
+            inc.own[idx] += topo.unit_capacitance[idx] * (sizes[comp] - prev_sizes[comp]);
+            if !inc.queued[idx] {
+                inc.queued[idx] = true;
+                inc.down_heap.push(idx as u32);
+            }
+        }
+        for &(node, delta) in extra_delta {
+            let idx = node as usize;
+            inc.extra[idx] += delta;
+            if !inc.queued[idx] {
+                inc.queued[idx] = true;
+                inc.down_heap.push(idx as u32);
+            }
+        }
+
+        // Propagate in descending node-index order (nodes are stored in
+        // topological order, so every fanout child has a larger index than
+        // its parents and has settled before the parent is popped).
+        while let Some(idx) = inc.down_heap.pop() {
+            let idx = idx as usize;
+            inc.queued[idx] = false;
+            let own = std::mem::take(&mut inc.own[idx]);
+            let extra = std::mem::take(&mut inc.extra[idx]);
+            let incoming = std::mem::take(&mut inc.pending[idx]);
+            // `dc` is the change of the capacitance charged through the
+            // node's resistance, `dp` the change of the load the node
+            // presents to its stage parents — mirroring the per-kind
+            // arithmetic of `downstream_caps_into` (a gate's presented load
+            // is its own capacitance, so `dp = own` there).
+            let (dc, dp) = match topo.kind[idx] {
+                KindTag::Source | KindTag::Sink => (0.0, 0.0),
+                KindTag::Driver => (incoming + extra, 0.0),
+                KindTag::Gate => (incoming + extra, own),
+                KindTag::Wire => (own / 2.0 + extra + incoming, own + extra + incoming),
+            };
+            charged[idx] += dc;
+            presented[idx] += dp;
+            if dp != 0.0 {
+                for &parent in topo.fanin(idx) {
+                    let p = parent as usize;
+                    if matches!(topo.kind[p], KindTag::Source) {
+                        continue;
+                    }
+                    inc.pending[p] += dp;
+                    if !inc.queued[p] {
+                        inc.queued[p] = true;
+                        inc.down_heap.push(parent);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The Gauss–Seidel fused sweep over the dense topology: one reverse
+    /// pass computing `charged`/`presented` bottom-up from the freshly
+    /// resized downstream state, resizing each sizable component the moment
+    /// its charged capacitance is known.
+    fn fused_downstream_resize<F: FnMut(usize, usize, f64, f64) -> f64>(
+        &self,
+        topo: &CircuitTopology,
+        sizes: &mut SizeVector,
+        extra_cap: &[f64],
+        charged: &mut [f64],
+        presented: &mut [f64],
+        resize: &mut F,
+    ) -> bool {
+        let n = topo.num_nodes();
+        topo.assert_node_slices(&[
+            ("extra_cap", extra_cap.len()),
+            ("charged", charged.len()),
+            ("presented", presented.len()),
+        ]);
+        assert_eq!(
+            sizes.len(),
+            topo.num_components,
+            "sizes must match the circuit"
+        );
+        let xs = sizes.as_mut_slice();
+        for idx in (0..n).rev() {
+            // SAFETY: `idx < n`, slice lengths asserted above, and every
+            // index stored in the topology is in range by construction.
+            unsafe {
+                let extra = *extra_cap.get_unchecked(idx);
+                match *topo.kind.get_unchecked(idx) {
+                    KindTag::Source | KindTag::Sink => {
+                        *charged.get_unchecked_mut(idx) = 0.0;
+                        *presented.get_unchecked_mut(idx) = 0.0;
+                    }
+                    KindTag::Driver => {
+                        let mut c = 0.0;
+                        for &child in topo.fanout_unchecked(idx) {
+                            c += topo.child_load_unchecked(idx, child as usize, xs, presented);
+                        }
+                        *charged.get_unchecked_mut(idx) = c + extra;
+                        *presented.get_unchecked_mut(idx) = 0.0;
+                    }
+                    KindTag::Gate => {
+                        let mut c = 0.0;
+                        for &child in topo.fanout_unchecked(idx) {
+                            c += topo.child_load_unchecked(idx, child as usize, xs, presented);
+                        }
+                        let c = c + extra;
+                        *charged.get_unchecked_mut(idx) = c;
+                        let comp = *topo.comp_of.get_unchecked(idx);
+                        let x = *xs.get_unchecked(comp);
+                        let x_new = resize(comp, idx, c, x);
+                        if x_new != x {
+                            *xs.get_unchecked_mut(comp) = x_new;
+                        }
+                        *presented.get_unchecked_mut(idx) =
+                            *topo.unit_capacitance.get_unchecked(idx) * x_new;
+                    }
+                    KindTag::Wire => {
+                        let mut downstream = 0.0;
+                        for &child in topo.fanout_unchecked(idx) {
+                            downstream +=
+                                topo.child_load_unchecked(idx, child as usize, xs, presented);
+                        }
+                        let comp = *topo.comp_of.get_unchecked(idx);
+                        let x = *xs.get_unchecked(comp);
+                        let unit_cap = *topo.unit_capacitance.get_unchecked(idx);
+                        let fringing = *topo.fringing.get_unchecked(idx);
+                        let own = unit_cap * x + fringing;
+                        // π-model split, exactly as `downstream_caps_into`.
+                        let c = own / 2.0 + extra + downstream;
+                        let x_new = resize(comp, idx, c, x);
+                        if x_new != x {
+                            *xs.get_unchecked_mut(comp) = x_new;
+                            let own_new = unit_cap * x_new + fringing;
+                            *charged.get_unchecked_mut(idx) = own_new / 2.0 + extra + downstream;
+                            *presented.get_unchecked_mut(idx) = own_new + extra + downstream;
+                        } else {
+                            *charged.get_unchecked_mut(idx) = c;
+                            *presented.get_unchecked_mut(idx) = own + extra + downstream;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// The forward fused pass: upstream resistances accumulate over the
+    /// freshly resized upstream state, each component resized the moment
+    /// its weighted upstream resistance is known.
+    fn fused_upstream_resize<F: FnMut(usize, usize, f64, f64) -> f64>(
+        &self,
+        topo: &CircuitTopology,
+        sizes: &mut SizeVector,
+        weights: &[f64],
+        upstream: &mut [f64],
+        resize: &mut F,
+    ) -> bool {
+        let n = topo.num_nodes();
+        topo.assert_node_slices(&[("weights", weights.len()), ("upstream", upstream.len())]);
+        assert_eq!(
+            sizes.len(),
+            topo.num_components,
+            "sizes must match the circuit"
+        );
+        let xs = sizes.as_mut_slice();
+        for idx in 0..n {
+            // SAFETY: `idx < n`, slice lengths asserted above, and every
+            // index stored in the topology is in range by construction.
+            unsafe {
+                // Accumulate exactly as `upstream_resistance_into`, but over
+                // the current (partially resized) sizes.
+                let mut acc = 0.0;
+                for &pred in topo.fanin_unchecked(idx) {
+                    let p = pred as usize;
+                    match *topo.kind.get_unchecked(p) {
+                        KindTag::Source | KindTag::Sink => {}
+                        KindTag::Driver | KindTag::Gate => {
+                            acc += *weights.get_unchecked(p) * topo.resistance_unchecked(p, xs);
+                        }
+                        KindTag::Wire => {
+                            acc += *upstream.get_unchecked(p)
+                                + *weights.get_unchecked(p) * topo.resistance_unchecked(p, xs);
+                        }
+                    }
+                }
+                *upstream.get_unchecked_mut(idx) = acc;
+                let comp = *topo.comp_of.get_unchecked(idx);
+                if comp != NOT_SIZABLE {
+                    let x = *xs.get_unchecked(comp);
+                    let x_new = resize(comp, idx, acc, x);
+                    if x_new != x {
+                        *xs.get_unchecked_mut(comp) = x_new;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Sparse upstream-resistance update: the resistance change of every
+    /// resized component is propagated downstream along the fanout DAG in
+    /// forward topological (ascending node index) order. The weights must be
+    /// the ones the current table was computed with.
+    fn upstream_resistance_update(
+        &self,
+        topo: &CircuitTopology,
+        sizes: &SizeVector,
+        prev_sizes: &[f64],
+        changed_comps: &[u32],
+        weights: &[f64],
+        upstream: &mut [f64],
+        inc: &mut IncrementalWorkspace,
+    ) {
+        let n = topo.num_nodes();
+        topo.assert_node_slices(&[("weights", weights.len()), ("upstream", upstream.len())]);
+        assert_eq!(sizes.len(), topo.num_components);
+        assert_eq!(prev_sizes.len(), topo.num_components);
+        inc.assert_sized(n);
+        let sizes = sizes.as_slice();
+
+        // Seed: resistance deltas of the resized components (`own` doubles
+        // as the per-node resistance delta in this pass).
+        for &comp in changed_comps {
+            let comp = comp as usize;
+            let idx = topo.node_of_component(comp);
+            let r_new = if sizes[comp] > 0.0 {
+                topo.unit_resistance[idx] / sizes[comp]
+            } else {
+                f64::INFINITY
+            };
+            let r_old = if prev_sizes[comp] > 0.0 {
+                topo.unit_resistance[idx] / prev_sizes[comp]
+            } else {
+                f64::INFINITY
+            };
+            inc.own[idx] += r_new - r_old;
+            if !inc.queued[idx] {
+                inc.queued[idx] = true;
+                inc.up_heap.push(Reverse(idx as u32));
+            }
+        }
+
+        // Ascending order: every fanin parent has settled before a node is
+        // popped, so each node is processed exactly once.
+        while let Some(Reverse(idx)) = inc.up_heap.pop() {
+            let idx = idx as usize;
+            inc.queued[idx] = false;
+            let d_r = std::mem::take(&mut inc.own[idx]);
+            let d_up = std::mem::take(&mut inc.pending[idx]);
+            upstream[idx] += d_up;
+            // Change of this node's contribution to each fanout child's
+            // upstream sum: its weighted resistance delta, plus (for wires)
+            // its own upstream change, mirroring `upstream_resistance_into`.
+            let d_contrib = match topo.kind[idx] {
+                KindTag::Source | KindTag::Sink => 0.0,
+                KindTag::Driver | KindTag::Gate => weights[idx] * d_r,
+                KindTag::Wire => weights[idx] * d_r + d_up,
+            };
+            if d_contrib != 0.0 {
+                for &child in topo.fanout(idx) {
+                    let c = child as usize;
+                    inc.pending[c] += d_contrib;
+                    if !inc.queued[c] {
+                        inc.queued[c] = true;
+                        inc.up_heap.push(Reverse(child));
+                    }
+                }
             }
         }
     }
@@ -813,6 +1417,132 @@ mod tests {
             );
         }
         assert!(topo.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn incremental_updates_match_full_rebuild() {
+        let c = chain();
+        let model = ElmoreModel;
+        assert!(model.supports_incremental());
+        let topo = model.prepare(&c);
+        let n = c.num_nodes();
+        let mut inc = IncrementalWorkspace::new(n);
+
+        let prev = c.uniform_sizes(1.0);
+        let mut extra = vec![0.0; n];
+        let w1 = c.node_by_name("w1").unwrap().index();
+        extra[w1] = 2.0;
+
+        // Full state at the previous sizes.
+        let mut charged = vec![0.0; n];
+        let mut presented = vec![0.0; n];
+        model.downstream_caps_into(&topo, &prev, Some(&extra), &mut charged, &mut presented);
+        let weights = vec![0.4; n];
+        let mut upstream = vec![0.0; n];
+        model.upstream_resistance_into(&topo, &prev, &weights, &mut upstream);
+
+        // Perturb two components and one coupling load.
+        let mut sizes = prev.clone();
+        let comp_a = c.component_index(c.node_by_name("w2").unwrap()).unwrap();
+        let comp_b = c.component_index(c.node_by_name("g1").unwrap()).unwrap();
+        sizes[comp_a] = 3.5;
+        sizes[comp_b] = 0.7;
+        let changed = [comp_a as u32, comp_b as u32];
+        let extra_delta = [(w1 as u32, 1.25)];
+        extra[w1] += 1.25;
+
+        model.downstream_caps_update(
+            &topo,
+            &sizes,
+            prev.as_slice(),
+            &changed,
+            &extra,
+            &extra_delta,
+            &mut charged,
+            &mut presented,
+            &mut inc,
+        );
+        model.upstream_resistance_update(
+            &topo,
+            &sizes,
+            prev.as_slice(),
+            &changed,
+            &weights,
+            &mut upstream,
+            &mut inc,
+        );
+
+        let mut full_charged = vec![0.0; n];
+        let mut full_presented = vec![0.0; n];
+        model.downstream_caps_into(
+            &topo,
+            &sizes,
+            Some(&extra),
+            &mut full_charged,
+            &mut full_presented,
+        );
+        let mut full_upstream = vec![0.0; n];
+        model.upstream_resistance_into(&topo, &sizes, &weights, &mut full_upstream);
+
+        for i in 0..n {
+            assert!(
+                (charged[i] - full_charged[i]).abs() <= 1e-9 * full_charged[i].abs().max(1.0),
+                "charged[{i}]: {} vs {}",
+                charged[i],
+                full_charged[i]
+            );
+            assert!(
+                (presented[i] - full_presented[i]).abs() <= 1e-9 * full_presented[i].abs().max(1.0),
+                "presented[{i}]: {} vs {}",
+                presented[i],
+                full_presented[i]
+            );
+            assert!(
+                (upstream[i] - full_upstream[i]).abs() <= 1e-9 * full_upstream[i].abs().max(1.0),
+                "upstream[{i}]: {} vs {}",
+                upstream[i],
+                full_upstream[i]
+            );
+        }
+        assert!(inc.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn incremental_noop_update_changes_nothing() {
+        let c = chain();
+        let model = ElmoreModel;
+        let topo = model.prepare(&c);
+        let n = c.num_nodes();
+        let mut inc = IncrementalWorkspace::new(n);
+        let sizes = c.uniform_sizes(1.6);
+        let extra = vec![0.0; n];
+
+        let mut charged = vec![0.0; n];
+        let mut presented = vec![0.0; n];
+        model.downstream_caps_into(&topo, &sizes, Some(&extra), &mut charged, &mut presented);
+        let before = charged.clone();
+        model.downstream_caps_update(
+            &topo,
+            &sizes,
+            sizes.as_slice(),
+            &[],
+            &extra,
+            &[],
+            &mut charged,
+            &mut presented,
+            &mut inc,
+        );
+        assert_eq!(charged, before, "empty dirty set must be a no-op");
+    }
+
+    #[test]
+    fn topology_maps_components_to_nodes() {
+        let c = chain();
+        let topo = CircuitTopology::new(&c);
+        for id in c.component_ids() {
+            let comp = c.component_index(id).unwrap();
+            assert_eq!(topo.node_of_component(comp), id.index());
+        }
     }
 
     #[test]

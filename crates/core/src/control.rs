@@ -308,6 +308,8 @@ mod tests {
             extra_violation: 0.0,
             seconds: 0.0,
             lrs_sweeps: 1,
+            touched_components: 0,
+            frozen_components: 0,
         }
     }
 

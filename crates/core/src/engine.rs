@@ -17,16 +17,14 @@
 //! implement [`DelayModel`] and plug in through
 //! [`SizingEngine::with_model`].
 
-use ncgws_circuit::{
-    propagate_arrivals_into, CircuitGraph, DelayModel, ElmoreModel, EvalWorkspace, NodeId,
-    SizeVector,
-};
+use ncgws_circuit::{CircuitGraph, DelayModel, ElmoreModel, EvalWorkspace, NodeId, SizeVector};
 use ncgws_coupling::CouplingSet;
 
 use crate::constraints::ConstraintSet;
 use crate::lagrangian::Multipliers;
 use crate::metrics::CircuitMetrics;
 use crate::problem::SizingProblem;
+use crate::schedule::{AdaptiveSchedule, ScheduleWorkspace};
 use crate::units;
 
 /// A borrowed, allocation-free view of one timing evaluation. All slices are
@@ -64,6 +62,9 @@ pub struct SizingEngine<'a, M: DelayModel = ElmoreModel> {
     pub(crate) lower_bound: Vec<f64>,
     pub(crate) upper_bound: Vec<f64>,
     pub(crate) coupling_sum: Vec<f64>,
+    /// Fringing capacitance per component (zero for gates), so the dense
+    /// total-capacitance sum matches the per-node formula bitwise.
+    fringing: Vec<f64>,
     /// Per-component denominator contribution `Σ_f Σ_k μ_{f,k} · a_{f,k,i}`
     /// of the extra constraint families, aggregated once per LRS solve by
     /// [`load_extra_denominator`](Self::load_extra_denominator). All zeros
@@ -74,6 +75,66 @@ pub struct SizingEngine<'a, M: DelayModel = ElmoreModel> {
     /// the cached geometry coefficients of each pair, so the per-sweep load
     /// accumulation never touches the pair objects.
     pair_table: Vec<PairEntry>,
+    /// CSR adjacency from dense component index to the indices of the
+    /// coupling pairs it participates in, for the sparse pair scatter of the
+    /// adaptive schedule.
+    comp_pair_start: Vec<u32>,
+    comp_pair_list: Vec<u32>,
+    /// Mutable state of the adaptive solve schedule (active/frozen
+    /// partition, dirty sets, incremental-evaluation scratch).
+    pub(crate) sched: ScheduleWorkspace,
+}
+
+/// Per-sweep immutable view of the Theorem-5 closed-form resize inputs,
+/// shared by the fused-pass closures (indexed by dense component).
+struct ResizeTables<'a> {
+    is_wire: &'a [bool],
+    unit_resistance: &'a [f64],
+    unit_capacitance: &'a [f64],
+    area_coefficient: &'a [f64],
+    lower_bound: &'a [f64],
+    upper_bound: &'a [f64],
+    coupling_sum: &'a [f64],
+    extra_denom: &'a [f64],
+    beta: f64,
+    gamma: f64,
+}
+
+impl ResizeTables<'_> {
+    /// The closed-form resize of one component — the same arithmetic as the
+    /// inner loop of `lrs_sweep`. Returns `(x_new, relative_change)`.
+    #[inline(always)]
+    fn closed_form(
+        &self,
+        comp: usize,
+        x_i: f64,
+        charged_i: f64,
+        upstream_i: f64,
+        lambda_i: f64,
+    ) -> (f64, f64) {
+        let coupling_sum = self.coupling_sum[comp];
+        let mut cap_num = charged_i;
+        if self.is_wire[comp] {
+            cap_num -= self.unit_capacitance[comp] * x_i / 2.0;
+            cap_num -= coupling_sum * x_i;
+        }
+        if cap_num < 0.0 {
+            cap_num = 0.0;
+        }
+        let denominator = self.area_coefficient[comp]
+            + (self.beta + upstream_i) * self.unit_capacitance[comp]
+            + self.gamma * coupling_sum
+            + self.extra_denom[comp];
+        let numerator = lambda_i * self.unit_resistance[comp] * cap_num;
+        let opt = if denominator > 0.0 && numerator > 0.0 {
+            (numerator / denominator).sqrt()
+        } else {
+            0.0
+        };
+        let x_new = opt.clamp(self.lower_bound[comp], self.upper_bound[comp]);
+        let rel = (x_new - x_i).abs() / x_i.abs().max(1e-12);
+        (x_new, rel)
+    }
 }
 
 /// One coupling pair in dense form (see `SizingEngine::pair_table`).
@@ -120,9 +181,10 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
         let mut lower_bound = Vec::with_capacity(n);
         let mut upper_bound = Vec::with_capacity(n);
         let mut coupling_sum = Vec::with_capacity(n);
+        let mut fringing = Vec::with_capacity(n);
         let state = model.prepare(graph);
         let sums = coupling.linear_coefficient_sums();
-        let pair_table = coupling
+        let pair_table: Vec<PairEntry> = coupling
             .pairs()
             .iter()
             .map(|pair| PairEntry {
@@ -149,7 +211,13 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
             lower_bound.push(node.attrs.lower_bound);
             upper_bound.push(node.attrs.upper_bound);
             coupling_sum.push(sums[id.index()]);
+            fringing.push(if node.kind.is_wire() {
+                node.attrs.fringing_capacitance
+            } else {
+                0.0
+            });
         }
+        let (comp_pair_start, comp_pair_list) = Self::build_pair_adjacency(n, &pair_table);
         SizingEngine {
             graph,
             coupling,
@@ -164,9 +232,35 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
             lower_bound,
             upper_bound,
             coupling_sum,
+            fringing,
             extra_denom: vec![0.0; n],
             pair_table,
+            comp_pair_start,
+            comp_pair_list,
+            sched: ScheduleWorkspace::new(graph.num_nodes(), n),
         }
+    }
+
+    /// Builds the component → coupling-pair CSR adjacency (each pair appears
+    /// under both of its endpoints).
+    fn build_pair_adjacency(num_components: usize, pairs: &[PairEntry]) -> (Vec<u32>, Vec<u32>) {
+        let mut start = vec![0u32; num_components + 1];
+        for pair in pairs {
+            start[pair.a_comp as usize + 1] += 1;
+            start[pair.b_comp as usize + 1] += 1;
+        }
+        for i in 0..num_components {
+            start[i + 1] += start[i];
+        }
+        let mut list = vec![0u32; start[num_components] as usize];
+        let mut cursor = start.clone();
+        for (p, pair) in pairs.iter().enumerate() {
+            for comp in [pair.a_comp as usize, pair.b_comp as usize] {
+                list[cursor[comp] as usize] = p as u32;
+                cursor[comp] += 1;
+            }
+        }
+        (start, list)
     }
 
     /// The circuit this engine evaluates.
@@ -190,7 +284,11 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
     }
 
     /// Bytes held by the engine's scratch and dense tables, for the
-    /// Figure 10(a) memory accounting.
+    /// Figure 10(a) memory accounting. Covers every engine-owned
+    /// allocation: the evaluation workspace, the dense per-component
+    /// attribute tables, the coupling-pair table and its per-component CSR
+    /// adjacency, the adaptive-schedule buffers (dirty sets, active set,
+    /// incremental scratch) and the delay model's prepared state.
     pub fn memory_bytes(&self) -> usize {
         use std::mem::size_of;
         self.ws.memory_bytes()
@@ -202,10 +300,60 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
                 + self.lower_bound.capacity()
                 + self.upper_bound.capacity()
                 + self.coupling_sum.capacity()
+                + self.fringing.capacity()
                 + self.extra_denom.capacity())
                 * size_of::<f64>()
             + self.pair_table.capacity() * size_of::<PairEntry>()
+            + (self.comp_pair_start.capacity() + self.comp_pair_list.capacity()) * size_of::<u32>()
+            + self.sched.memory_bytes()
             + self.model.state_memory_bytes(&self.state)
+    }
+
+    /// Total component capacitance `Σ c_i` (fF, excluding coupling) over
+    /// the dense attribute tables — bitwise identical to
+    /// [`ncgws_circuit::total_capacitance`] (same per-component arithmetic,
+    /// same accumulation order), at a fraction of the pointer-chasing cost.
+    pub fn total_capacitance(&self, sizes: &SizeVector) -> f64 {
+        let xs = sizes.as_slice();
+        let n = self.unit_capacitance.len();
+        assert_eq!(xs.len(), n, "sizes must match the circuit");
+        let mut acc = 0.0;
+        for ((&unit_cap, &x), &fringing) in self.unit_capacitance.iter().zip(xs).zip(&self.fringing)
+        {
+            acc += unit_cap * x + fringing;
+        }
+        acc
+    }
+
+    /// Total area `Σ α_i x_i` (µm²) over the dense attribute tables —
+    /// bitwise identical to [`ncgws_circuit::total_area`].
+    pub fn total_area(&self, sizes: &SizeVector) -> f64 {
+        let xs = sizes.as_slice();
+        let n = self.area_coefficient.len();
+        assert_eq!(xs.len(), n, "sizes must match the circuit");
+        let mut acc = 0.0;
+        for (&alpha, &x) in self.area_coefficient.iter().zip(xs) {
+            acc += alpha * x;
+        }
+        acc
+    }
+
+    /// Crosstalk left-hand side `Σ sf_ij · ĉ_ij · (x_i + x_j)` over the
+    /// dense pair table — bitwise identical to
+    /// [`CouplingSet::crosstalk_lhs`] (same pair order).
+    pub fn crosstalk_lhs(&self, sizes: &SizeVector) -> f64 {
+        let xs = sizes.as_slice();
+        assert_eq!(
+            xs.len(),
+            self.comp_raw_index.len(),
+            "sizes must match the circuit"
+        );
+        let mut acc = 0.0;
+        for pair in &self.pair_table {
+            acc +=
+                pair.switching * pair.coeff * (xs[pair.a_comp as usize] + xs[pair.b_comp as usize]);
+        }
+        acc
     }
 
     /// Fills `ws.extra_cap` with the per-node coupling load for `sizes`,
@@ -216,12 +364,31 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
         let load = &mut self.ws.extra_cap;
         load.fill(0.0);
         let sizes = sizes.as_slice();
+        // Hoisted length assertions, as in `lrs_sweep`: every raw node and
+        // dense component index stored in the pair table is in range for the
+        // engine's circuit by construction, so after tying the slices to the
+        // circuit the per-pair loads and stores below cannot go out of
+        // bounds.
+        assert_eq!(
+            load.len(),
+            self.graph.num_nodes(),
+            "workspace must match the circuit"
+        );
+        assert_eq!(
+            sizes.len(),
+            self.comp_raw_index.len(),
+            "sizes must match the circuit"
+        );
         for pair in &self.pair_table {
-            let xa = sizes[pair.a_comp as usize];
-            let xb = sizes[pair.b_comp as usize];
-            let c = pair.switching * (pair.base + pair.coeff * (xa + xb));
-            load[pair.a_raw as usize] += c;
-            load[pair.b_raw as usize] += c;
+            // SAFETY: lengths asserted above; the stored indices are in
+            // range by construction.
+            unsafe {
+                let xa = *sizes.get_unchecked(pair.a_comp as usize);
+                let xb = *sizes.get_unchecked(pair.b_comp as usize);
+                let c = pair.switching * (pair.base + pair.coeff * (xa + xb));
+                *load.get_unchecked_mut(pair.a_raw as usize) += c;
+                *load.get_unchecked_mut(pair.b_raw as usize) += c;
+            }
         }
     }
 
@@ -261,6 +428,11 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
     /// [`load_node_weights`](Self::load_node_weights). Returns the largest
     /// relative size change of the sweep (the S5 convergence measure).
     pub(crate) fn lrs_sweep(&mut self, sizes: &mut SizeVector, beta: f64, gamma: f64) -> f64 {
+        // The exact sweep rebuilds the cached tables at its own sizes and
+        // then resizes in place, so the adaptive schedule's sync snapshot no
+        // longer describes them.
+        self.sched.caps_synced = false;
+        self.sched.charged_fresh = false;
         self.ws.prev_sizes.copy_from_slice(sizes.as_slice());
 
         // S2: downstream capacitances C_i with the coupling load included.
@@ -354,9 +526,230 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
         worst
     }
 
-    /// Full timing picture at `sizes` (coupling load included), evaluated
-    /// into the workspace. The returned view borrows the engine.
-    pub fn timing(&mut self, sizes: &SizeVector) -> TimingView<'_> {
+    // ------------------------------------------------------------------
+    // Adaptive solve schedule (`crate::schedule`): cache-sync bookkeeping,
+    // sparse incremental evaluation and active-set sweeps. The exact path
+    // above stays bitwise-pinned to `crate::reference`; everything below is
+    // validated by invariants (`schedule_strategies` integration tests).
+    // ------------------------------------------------------------------
+
+    /// Records that `ws.extra_cap`/`ws.charged`/`ws.presented` reflect
+    /// `sizes` exactly, clearing every pending dirty set.
+    pub(crate) fn note_caps_synced(&mut self, sizes: &SizeVector) {
+        self.sched.eval_sizes.copy_from_slice(sizes.as_slice());
+        self.sched.caps_synced = true;
+        self.sched.charged_fresh = false;
+        self.sched.clear_changed();
+    }
+
+    /// Resets the adaptive-schedule state (everything active, caches
+    /// untrusted). [`OgwsSolver`](crate::OgwsSolver) calls this once per
+    /// adaptive run so freeze state never leaks between runs sharing one
+    /// engine; call it yourself before driving
+    /// [`LrsSolver::solve_scheduled`](crate::LrsSolver::solve_scheduled)
+    /// standalone.
+    pub fn reset_schedule(&mut self) {
+        self.sched.reset();
+    }
+
+    /// Number of currently frozen components.
+    pub(crate) fn frozen_components(&self) -> usize {
+        self.sched.num_frozen
+    }
+
+    /// Whether the active set is empty (every component frozen).
+    pub(crate) fn active_set_is_empty(&self) -> bool {
+        self.sched.active.is_empty()
+    }
+
+    /// Counter of sweeps performed across the run (drives the verification
+    /// cadence).
+    pub(crate) fn bump_global_sweep(&mut self) -> usize {
+        self.sched.global_sweep += 1;
+        self.sched.global_sweep
+    }
+
+    /// Full exact evaluation of every cached table (coupling loads,
+    /// downstream capacitances, λ-weighted upstream resistances) at `sizes`
+    /// — the S2+S3 arithmetic of the exact sweep, leaving the caches synced.
+    ///
+    /// The capacitance-side tables are skipped when they already reflect
+    /// `sizes` exactly (as after a [`timing`](Self::timing) evaluation at
+    /// the same sizes — the OGWS steady state), since rebuilding them would
+    /// reproduce the identical values; the λ-weighted upstream resistances
+    /// are always rebuilt because the node weights change between solves.
+    fn full_eval(&mut self, sizes: &SizeVector) {
+        let caps_current = self.sched.caps_synced
+            && self.sched.changed.is_empty()
+            && self.sched.eval_sizes.as_slice() == sizes.as_slice();
+        if !caps_current {
+            self.refresh_coupling_load(sizes);
+            let ws = &mut self.ws;
+            self.model.downstream_caps_into(
+                &self.state,
+                sizes,
+                Some(&ws.extra_cap),
+                &mut ws.charged,
+                &mut ws.presented,
+            );
+            self.note_caps_synced(sizes);
+        }
+        let ws = &mut self.ws;
+        self.model
+            .upstream_resistance_into(&self.state, sizes, &ws.node_weights, &mut ws.upstream);
+    }
+
+    /// Sparse counterpart of [`refresh_coupling_load`](Self::refresh_coupling_load):
+    /// scatters the coupling-load delta of every component in
+    /// `sched.changed` through the per-component pair CSR, updating
+    /// `ws.extra_cap` in place and recording the per-node deltas for the
+    /// downstream-capacitance propagation.
+    fn refresh_coupling_load_sparse(&mut self, sizes: &SizeVector) {
+        let xs = sizes.as_slice();
+        let sched = &mut self.sched;
+        let load = &mut self.ws.extra_cap;
+        sched.extra_delta.clear();
+        for &comp in &sched.changed {
+            let comp = comp as usize;
+            let dx = xs[comp] - sched.eval_sizes[comp];
+            if dx == 0.0 {
+                continue;
+            }
+            let start = self.comp_pair_start[comp] as usize;
+            let end = self.comp_pair_start[comp + 1] as usize;
+            for &p in &self.comp_pair_list[start..end] {
+                let pair = &self.pair_table[p as usize];
+                let delta = pair.switching * pair.coeff * dx;
+                load[pair.a_raw as usize] += delta;
+                load[pair.b_raw as usize] += delta;
+                sched.extra_delta.push((pair.a_raw, delta));
+                sched.extra_delta.push((pair.b_raw, delta));
+            }
+        }
+    }
+
+    /// Brings every cached table up to date with `sizes` by propagating the
+    /// deltas of the components resized since the last evaluation. Falls
+    /// back to a full rebuild when the caches are not synced, the backend
+    /// has no incremental paths, the schedule disables them, or the dirty
+    /// set is so large a rebuild is cheaper.
+    fn incremental_eval(&mut self, sizes: &SizeVector, schedule: &AdaptiveSchedule) {
+        let n = self.comp_raw_index.len();
+        if !self.sched.caps_synced
+            || !schedule.incremental
+            || !self.model.supports_incremental()
+            || self.sched.changed.len() * 4 > n
+        {
+            self.full_eval(sizes);
+            return;
+        }
+        if self.sched.changed.is_empty() {
+            return;
+        }
+        self.refresh_coupling_load_sparse(sizes);
+        let model = &self.model;
+        let state = &self.state;
+        let ws = &mut self.ws;
+        let sched = &mut self.sched;
+        // After a fused sweep the charged/presented tables already carry the
+        // changed components' own-capacitance updates (the pass maintains
+        // them); only the coupling-load deltas remain to be propagated.
+        let cap_dirty_comps: &[u32] = if sched.charged_fresh {
+            &[]
+        } else {
+            &sched.changed
+        };
+        model.downstream_caps_update(
+            state,
+            sizes,
+            &sched.eval_sizes,
+            cap_dirty_comps,
+            &ws.extra_cap,
+            &sched.extra_delta,
+            &mut ws.charged,
+            &mut ws.presented,
+            &mut sched.inc,
+        );
+        sched.charged_fresh = false;
+        model.upstream_resistance_update(
+            state,
+            sizes,
+            &sched.eval_sizes,
+            &sched.changed,
+            &ws.node_weights,
+            &mut ws.upstream,
+            &mut sched.inc,
+        );
+        let xs = sizes.as_slice();
+        for &comp in &sched.changed {
+            sched.eval_sizes[comp as usize] = xs[comp as usize];
+        }
+        sched.clear_changed();
+    }
+
+    /// Brings every cached table up to date with `sizes` after a scheduled
+    /// solve, when the remaining dirty set is small — so the timing
+    /// evaluation that follows every solve in the OGWS loop can skip its
+    /// full coupling + downstream rebuild ([`timing`](Self::timing)'s
+    /// synced fast path). A no-op when a rebuild would be needed anyway.
+    pub(crate) fn finish_solve_sync(&mut self, sizes: &SizeVector, schedule: &AdaptiveSchedule) {
+        let n = self.comp_raw_index.len();
+        if self.sched.caps_synced
+            && schedule.incremental
+            && self.model.supports_incremental()
+            && self.sched.changed.len() * 4 <= n
+        {
+            self.incremental_eval(sizes, schedule);
+        }
+    }
+
+    /// The per-sweep view of the closed-form resize inputs (one struct of
+    /// borrowed tables, shared by every sweep variant so the Theorem-5
+    /// arithmetic lives in exactly one place:
+    /// [`ResizeTables::closed_form`]).
+    fn resize_tables(&self, beta: f64, gamma: f64) -> ResizeTables<'_> {
+        ResizeTables {
+            is_wire: &self.comp_is_wire,
+            unit_resistance: &self.unit_resistance,
+            unit_capacitance: &self.unit_capacitance,
+            area_coefficient: &self.area_coefficient,
+            lower_bound: &self.lower_bound,
+            upper_bound: &self.upper_bound,
+            coupling_sum: &self.coupling_sum,
+            extra_denom: &self.extra_denom,
+            beta,
+            gamma,
+        }
+    }
+
+    /// The Theorem-5 closed-form resize of one component over the cached
+    /// workspace tables. Returns `(x_new, relative_change)`.
+    #[inline(always)]
+    fn resize_component(&self, dense: usize, x_i: f64, beta: f64, gamma: f64) -> (f64, f64) {
+        let raw = self.comp_raw_index[dense];
+        self.resize_tables(beta, gamma).closed_form(
+            dense,
+            x_i,
+            self.ws.charged[raw],
+            self.ws.upstream[raw],
+            self.ws.node_weights[raw],
+        )
+    }
+
+    /// Ensures `ws.charged`/`ws.presented` reflect `sizes` exactly — the
+    /// precondition of a forward fused pass, whose resizes read the charged
+    /// table. No-op when they are already current: right after a backward
+    /// fused pass (which maintains them through every resize), or after a
+    /// [`timing`](Self::timing) evaluation at the same sizes (the OGWS
+    /// steady state).
+    fn ensure_charged_fresh(&mut self, sizes: &SizeVector) {
+        if self.sched.charged_fresh
+            || (self.sched.caps_synced
+                && self.sched.changed.is_empty()
+                && self.sched.eval_sizes.as_slice() == sizes.as_slice())
+        {
+            return;
+        }
         self.refresh_coupling_load(sizes);
         let ws = &mut self.ws;
         self.model.downstream_caps_into(
@@ -366,9 +759,312 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
             &mut ws.charged,
             &mut ws.presented,
         );
+        self.note_caps_synced(sizes);
+    }
+
+    /// Brings `ws.extra_cap` up to date with `sizes` ahead of a backward
+    /// fused pass, scattering only the changed components' pair deltas
+    /// through the per-component CSR when the dirty set is small.
+    /// `force_full` (verification sweeps) always rebuilds from scratch so
+    /// the sparse scatter's floating-point accumulation drift is squashed
+    /// on the verification cadence, as the schedule contract promises.
+    fn prepare_coupling(
+        &mut self,
+        sizes: &SizeVector,
+        schedule: &AdaptiveSchedule,
+        force_full: bool,
+    ) {
+        let n = self.comp_raw_index.len();
+        if !force_full
+            && self.sched.caps_synced
+            && schedule.incremental
+            && self.sched.changed.len() * 4 <= n
+        {
+            self.refresh_coupling_load_sparse(sizes);
+            let sched = &mut self.sched;
+            let xs = sizes.as_slice();
+            for &comp in &sched.changed {
+                sched.eval_sizes[comp as usize] = xs[comp as usize];
+            }
+            sched.clear_changed();
+        } else {
+            self.refresh_coupling_load(sizes);
+            self.sched.eval_sizes.copy_from_slice(sizes.as_slice());
+            self.sched.caps_synced = true;
+            self.sched.clear_changed();
+        }
+    }
+
+    /// One forward fused Gauss–Seidel pass
+    /// ([`DelayModel::fused_upstream_resize`]): a single forward-topological
+    /// traversal recomputes the λ-weighted upstream resistances over the
+    /// freshly resized upstream state and resizes each component the moment
+    /// its upstream resistance is known, reading the charged table of the
+    /// previous backward pass. With `resize_all` every component is
+    /// re-checked (verification semantics); otherwise frozen components are
+    /// skipped. Returns `None` when the backend has no fused path.
+    pub(crate) fn fused_forward_sweep(
+        &mut self,
+        sizes: &mut SizeVector,
+        beta: f64,
+        gamma: f64,
+        schedule: &AdaptiveSchedule,
+        resize_all: bool,
+    ) -> Option<(f64, usize)> {
+        if !self.model.supports_fused() {
+            return None;
+        }
+        self.ensure_charged_fresh(sizes);
+        let EvalWorkspace {
+            charged,
+            upstream,
+            node_weights,
+            ..
+        } = &mut self.ws;
+        let charged: &[f64] = charged;
+        let node_weights: &[f64] = node_weights;
+        let sched = &mut self.sched;
+        let tables = ResizeTables {
+            is_wire: &self.comp_is_wire,
+            unit_resistance: &self.unit_resistance,
+            unit_capacitance: &self.unit_capacitance,
+            area_coefficient: &self.area_coefficient,
+            lower_bound: &self.lower_bound,
+            upper_bound: &self.upper_bound,
+            coupling_sum: &self.coupling_sum,
+            extra_denom: &self.extra_denom,
+            beta,
+            gamma,
+        };
+        let mut worst = 0.0_f64;
+        let mut touched = 0usize;
+        let supported = {
+            let mut resize = |comp: usize, node: usize, upstream_i: f64, x_i: f64| -> f64 {
+                if !resize_all && sched.frozen[comp] {
+                    return x_i;
+                }
+                touched += 1;
+                let (x_new, rel) =
+                    tables.closed_form(comp, x_i, charged[node], upstream_i, node_weights[node]);
+                worst = worst.max(rel);
+                sched.note_resize(comp, rel, schedule);
+                if x_new != x_i {
+                    sched.push_changed(comp);
+                }
+                x_new
+            };
+            self.model.fused_upstream_resize(
+                &self.state,
+                sizes,
+                node_weights,
+                upstream,
+                &mut resize,
+            )
+        };
+        // `supports_fused()` was checked before any state was touched; a
+        // backend returning `false` here broke that contract, and silently
+        // falling back would leave the caches it promised to rebuild stale.
+        assert!(
+            supported,
+            "DelayModel::supports_fused() promised a fused pass that was not performed"
+        );
+        // The resizes invalidated the charged table (it still reflects the
+        // pre-pass sizes); the next backward pass rebuilds it.
+        sched.charged_fresh = false;
+        sched.rebuild_active();
+        Some((worst, touched))
+    }
+
+    /// One backward fused Gauss–Seidel pass
+    /// ([`DelayModel::fused_downstream_resize`]): the coupling loads are
+    /// brought up to date (sparsely when the dirty set is small), then a
+    /// single reverse-topological traversal re-accumulates the downstream
+    /// capacitances and resizes each component the moment its charged
+    /// capacitance is known, reading the upstream table of the previous
+    /// forward pass. Alternating the two directions refreshes both sides
+    /// of the Theorem-5 formula with one traversal each and roughly squares
+    /// the per-pass contraction, so solves converge in far fewer sweeps.
+    pub(crate) fn fused_backward_sweep(
+        &mut self,
+        sizes: &mut SizeVector,
+        beta: f64,
+        gamma: f64,
+        schedule: &AdaptiveSchedule,
+        resize_all: bool,
+    ) -> Option<(f64, usize)> {
+        if !self.model.supports_fused() {
+            return None;
+        }
+        self.prepare_coupling(sizes, schedule, resize_all);
+        let EvalWorkspace {
+            charged,
+            presented,
+            upstream,
+            extra_cap,
+            node_weights,
+            ..
+        } = &mut self.ws;
+        let upstream: &[f64] = upstream;
+        let node_weights: &[f64] = node_weights;
+        let extra_cap: &[f64] = extra_cap;
+        let sched = &mut self.sched;
+        let tables = ResizeTables {
+            is_wire: &self.comp_is_wire,
+            unit_resistance: &self.unit_resistance,
+            unit_capacitance: &self.unit_capacitance,
+            area_coefficient: &self.area_coefficient,
+            lower_bound: &self.lower_bound,
+            upper_bound: &self.upper_bound,
+            coupling_sum: &self.coupling_sum,
+            extra_denom: &self.extra_denom,
+            beta,
+            gamma,
+        };
+        let mut worst = 0.0_f64;
+        let mut touched = 0usize;
+        let supported = {
+            let mut resize = |comp: usize, node: usize, charged_i: f64, x_i: f64| -> f64 {
+                if !resize_all && sched.frozen[comp] {
+                    return x_i;
+                }
+                touched += 1;
+                let (x_new, rel) =
+                    tables.closed_form(comp, x_i, charged_i, upstream[node], node_weights[node]);
+                worst = worst.max(rel);
+                sched.note_resize(comp, rel, schedule);
+                if x_new != x_i {
+                    sched.push_changed(comp);
+                }
+                x_new
+            };
+            self.model.fused_downstream_resize(
+                &self.state,
+                sizes,
+                extra_cap,
+                charged,
+                presented,
+                &mut resize,
+            )
+        };
+        // `supports_fused()` was checked before any state was touched; a
+        // backend returning `false` here broke that contract, and silently
+        // falling back would leave the caches it promised to rebuild stale.
+        assert!(
+            supported,
+            "DelayModel::supports_fused() promised a fused pass that was not performed"
+        );
+        // The pass maintained charged/presented through every resize, so
+        // they reflect the post-sweep sizes already.
+        sched.charged_fresh = true;
+        sched.rebuild_active();
+        Some((worst, touched))
+    }
+
+    /// One verification sweep: exact full re-evaluation at the current
+    /// sizes, every component resized, calm streaks updated, movers
+    /// unfrozen and the active set rebuilt. Returns `(worst relative
+    /// change, components touched)`.
+    pub(crate) fn verification_sweep(
+        &mut self,
+        sizes: &mut SizeVector,
+        beta: f64,
+        gamma: f64,
+        schedule: &AdaptiveSchedule,
+    ) -> (f64, usize) {
+        self.full_eval(sizes);
+        let n = self.comp_raw_index.len();
+        let mut worst = 0.0_f64;
+        for dense in 0..n {
+            let x_i = sizes[dense];
+            let (x_new, rel) = self.resize_component(dense, x_i, beta, gamma);
+            if x_new != x_i {
+                sizes[dense] = x_new;
+                self.sched.push_changed(dense);
+            }
+            worst = worst.max(rel);
+            self.sched.note_resize(dense, rel, schedule);
+        }
+        self.sched.rebuild_active();
+        (worst, n)
+    }
+
+    /// One active-set sweep: incremental evaluation for the components that
+    /// moved last sweep, then the closed-form resize over the active
+    /// frontier only, freezing components whose calm streak reached the
+    /// threshold. Returns `(worst relative change over the frontier,
+    /// components touched)`.
+    pub(crate) fn active_sweep(
+        &mut self,
+        sizes: &mut SizeVector,
+        beta: f64,
+        gamma: f64,
+        schedule: &AdaptiveSchedule,
+    ) -> (f64, usize) {
+        self.incremental_eval(sizes, schedule);
+        let touched = self.sched.active.len();
+        let mut worst = 0.0_f64;
+        let mut write = 0usize;
+        for read in 0..self.sched.active.len() {
+            let dense = self.sched.active[read] as usize;
+            let x_i = sizes[dense];
+            let (x_new, rel) = self.resize_component(dense, x_i, beta, gamma);
+            if x_new != x_i {
+                sizes[dense] = x_new;
+                self.sched.push_changed(dense);
+            }
+            worst = worst.max(rel);
+            let keep = if rel <= schedule.freeze_tolerance {
+                let calm = self.sched.calm[dense].saturating_add(1);
+                self.sched.calm[dense] = calm;
+                !(schedule.active_set && calm as usize >= schedule.freeze_after)
+            } else {
+                self.sched.calm[dense] = 0;
+                true
+            };
+            if keep {
+                self.sched.active[write] = dense as u32;
+                write += 1;
+            } else {
+                self.sched.frozen[dense] = true;
+                self.sched.num_frozen += 1;
+            }
+        }
+        self.sched.active.truncate(write);
+        (worst, touched)
+    }
+
+    /// Full timing picture at `sizes` (coupling load included), evaluated
+    /// into the workspace. The returned view borrows the engine.
+    pub fn timing(&mut self, sizes: &SizeVector) -> TimingView<'_> {
+        // Skip the coupling + downstream rebuild when the cached tables
+        // already reflect exactly these size values (after a previous
+        // evaluation at the same sizes, or after an adaptive solve's final
+        // sync): recomputing them is idempotent, so the skip never changes
+        // a result.
+        let synced = self.sched.caps_synced
+            && self.sched.changed.is_empty()
+            && self.sched.eval_sizes.as_slice() == sizes.as_slice();
+        if !synced {
+            self.refresh_coupling_load(sizes);
+            let ws = &mut self.ws;
+            self.model.downstream_caps_into(
+                &self.state,
+                sizes,
+                Some(&ws.extra_cap),
+                &mut ws.charged,
+                &mut ws.presented,
+            );
+            // The coupling loads and downstream capacitances now reflect
+            // `sizes` exactly; record that so a warm adaptive solve right
+            // after this evaluation (the OGWS steady state) can reuse them
+            // instead of rebuilding.
+            self.note_caps_synced(sizes);
+        }
+        let ws = &mut self.ws;
         self.model
             .delays_into(&self.state, sizes, &ws.charged, &mut ws.delays);
-        let critical_path_delay = propagate_arrivals_into(
+        let critical_path_delay = self.model.propagate_arrivals(
+            &self.state,
             self.graph,
             &ws.delays,
             &mut ws.arrival,
@@ -469,6 +1165,71 @@ mod tests {
         let again = engine.metrics(&graph.uniform_sizes(1.0));
         assert_eq!(a, again, "workspace reuse must not leak state");
         assert!(engine.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn memory_accounting_covers_all_engine_buffers() {
+        use std::mem::size_of;
+        let (graph, coupling) = setup();
+        let engine = SizingEngine::new(&graph, &coupling);
+        let n = graph.num_components();
+
+        // Lower bound assembled field by field: the evaluation workspace,
+        // the adaptive-schedule buffers (dirty sets, active set, incremental
+        // scratch), the eight dense f64 attribute tables, the raw-index and
+        // wire-flag tables, the pair table with its per-component CSR
+        // adjacency, and the model state. `memory_bytes` must cover all of
+        // them (capacities can only exceed the lengths used here).
+        let floor = engine.ws.memory_bytes()
+            + engine.sched.memory_bytes()
+            + 8 * n * size_of::<f64>()
+            + n * size_of::<usize>()
+            + n * size_of::<bool>()
+            + engine.pair_table.len() * size_of::<PairEntry>()
+            + (n + 1) * size_of::<u32>()
+            + 2 * coupling.len() * size_of::<u32>()
+            + engine.model.state_memory_bytes(&engine.state);
+        assert!(
+            engine.memory_bytes() >= floor,
+            "memory accounting {} must cover the per-field floor {}",
+            engine.memory_bytes(),
+            floor
+        );
+
+        // The schedule workspace itself accounts for every dirty/active-set
+        // buffer it owns, including the incremental-propagation scratch.
+        let sched_floor = n * size_of::<f64>()      // eval_sizes
+            + n * size_of::<u32>()                   // calm
+            + 2 * n * size_of::<bool>()              // frozen + changed_mark
+            + n * size_of::<u32>()                   // active (starts full)
+            + engine.sched.inc.memory_bytes();
+        assert!(
+            engine.sched.memory_bytes() >= sched_floor,
+            "schedule accounting {} must cover its buffers {}",
+            engine.sched.memory_bytes(),
+            sched_floor
+        );
+    }
+
+    #[test]
+    fn dense_aggregates_match_the_reference_functions_bitwise() {
+        let (graph, coupling) = setup();
+        let engine = SizingEngine::new(&graph, &coupling);
+        for size in [0.4, 1.0, 2.7] {
+            let sizes = graph.uniform_sizes(size);
+            assert_eq!(
+                engine.total_capacitance(&sizes),
+                ncgws_circuit::total_capacitance(&graph, &sizes)
+            );
+            assert_eq!(
+                engine.total_area(&sizes),
+                ncgws_circuit::total_area(&graph, &sizes)
+            );
+            assert_eq!(
+                engine.crosstalk_lhs(&sizes),
+                coupling.crosstalk_lhs(&graph, &sizes)
+            );
+        }
     }
 
     #[test]

@@ -328,6 +328,9 @@ impl<'a> Ordered<'a> {
             iterations: ogws.num_iterations(),
             runtime_seconds,
             seconds_per_iteration: ogws.seconds_per_iteration(),
+            sweeps_total: ogws.sweeps_total(),
+            mean_sweeps_per_solve: ogws.mean_sweeps_per_solve(),
+            mean_touched_per_sweep: ogws.mean_touched_per_sweep(),
             memory,
             feasible: ogws.feasible,
             constraint_slacks,

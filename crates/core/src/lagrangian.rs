@@ -17,13 +17,19 @@ use crate::problem::SizingProblem;
 ///   of the problem's [`ConstraintSet`] (empty for the paper's original
 ///   three-bound formulation).
 ///
-/// Edge multipliers are stored parallel to each node's fanin list, so lookups
-/// and traversals cost the same as walking the graph; extra blocks are
-/// stored parallel to the constraint set's families.
+/// Edge multipliers are stored in one flat CSR-style array parallel to the
+/// concatenation of every node's fanin list (`offsets[i]..offsets[i+1]` are
+/// node `i`'s slots), so the per-iteration multiplier walks — node-weight
+/// aggregation, subgradient bumps, flow projection — run over contiguous
+/// memory instead of one heap allocation per node; extra blocks are stored
+/// parallel to the constraint set's families.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Multipliers {
-    /// `edge[i][slot]` is `λ_{ji}` where `j = fanin(i)[slot]`.
-    edge: Vec<Vec<f64>>,
+    /// Flat `λ` values: `values[offsets[i] + slot]` is `λ_{ji}` where
+    /// `j = fanin(i)[slot]`.
+    values: Vec<f64>,
+    /// CSR offsets, one entry per node plus a trailing total.
+    offsets: Vec<u32>,
     /// Power-constraint multiplier `β ≥ 0`.
     pub beta: f64,
     /// Crosstalk-constraint multiplier `γ ≥ 0`.
@@ -39,16 +45,27 @@ impl Multipliers {
     /// paper's formulation — attach blocks with
     /// [`attach_extras`](Self::attach_extras)).
     pub fn uniform(graph: &CircuitGraph, edge_value: f64, scalar_value: f64) -> Self {
-        let edge = graph
-            .node_ids()
-            .map(|id| vec![edge_value; graph.fanin(id).len()])
-            .collect();
+        let mut offsets = Vec::with_capacity(graph.num_nodes() + 1);
+        let mut total = 0u32;
+        offsets.push(0);
+        for id in graph.node_ids() {
+            total += graph.fanin(id).len() as u32;
+            offsets.push(total);
+        }
         Multipliers {
-            edge,
+            values: vec![edge_value; total as usize],
+            offsets,
             beta: scalar_value,
             gamma: scalar_value,
             extra: Vec::new(),
         }
+    }
+
+    /// The flat slot range of a node's fanin-edge multipliers.
+    #[inline(always)]
+    fn range(&self, node: NodeId) -> std::ops::Range<usize> {
+        let i = node.index();
+        self.offsets[i] as usize..self.offsets[i + 1] as usize
     }
 
     /// Sizes one multiplier block per family of `extras`, every multiplier
@@ -74,22 +91,40 @@ impl Multipliers {
 
     /// The multiplier `λ_{ji}` on the fanin edge `slot` of node `i`.
     pub fn edge(&self, node: NodeId, slot: usize) -> f64 {
-        self.edge[node.index()][slot]
+        self.values[self.range(node)][slot]
     }
 
     /// Mutable access to the multiplier on the fanin edge `slot` of node `i`.
     pub fn edge_mut(&mut self, node: NodeId, slot: usize) -> &mut f64 {
-        &mut self.edge[node.index()][slot]
+        let range = self.range(node);
+        &mut self.values[range][slot]
     }
 
     /// All fanin-edge multipliers of a node.
     pub fn edges_of(&self, node: NodeId) -> &[f64] {
-        &self.edge[node.index()]
+        &self.values[self.range(node)]
+    }
+
+    /// Mutable access to all fanin-edge multipliers of a node.
+    pub fn edges_of_mut(&mut self, node: NodeId) -> &mut [f64] {
+        let range = self.range(node);
+        &mut self.values[range]
+    }
+
+    /// The flat CSR view `(offsets, values)` of every edge multiplier — the
+    /// hot-loop surface for the projection and subgradient walks.
+    pub fn flat(&self) -> (&[u32], &[f64]) {
+        (&self.offsets, &self.values)
+    }
+
+    /// Mutable flat values with the offsets (see [`flat`](Self::flat)).
+    pub fn flat_mut(&mut self) -> (&[u32], &mut [f64]) {
+        (&self.offsets, &mut self.values)
     }
 
     /// The node delay weight `λ_i = Σ_{j ∈ input(i)} λ_{ji}`.
     pub fn node_weight(&self, node: NodeId) -> f64 {
-        self.edge[node.index()].iter().sum()
+        self.values[self.range(node)].iter().sum()
     }
 
     /// The node delay weights for every node, indexed by raw node index.
@@ -106,8 +141,10 @@ impl Multipliers {
     /// Panics in debug builds when `out` has the wrong length.
     pub fn node_weights_into(&self, graph: &CircuitGraph, out: &mut [f64]) {
         debug_assert_eq!(out.len(), graph.num_nodes());
-        for id in graph.node_ids() {
-            out[id.index()] = self.node_weight(id);
+        debug_assert_eq!(out.len() + 1, self.offsets.len());
+        for (i, weight) in out.iter_mut().enumerate() {
+            let range = self.offsets[i] as usize..self.offsets[i + 1] as usize;
+            *weight = self.values[range].iter().sum();
         }
     }
 
@@ -121,11 +158,9 @@ impl Multipliers {
     /// Clamps every multiplier to be non-negative (condition (4) of
     /// Theorem 6).
     pub fn clamp_non_negative(&mut self) {
-        for list in &mut self.edge {
-            for value in list {
-                if *value < 0.0 {
-                    *value = 0.0;
-                }
+        for value in &mut self.values {
+            if *value < 0.0 {
+                *value = 0.0;
             }
         }
         if self.beta < 0.0 {
@@ -147,11 +182,13 @@ impl Multipliers {
     /// Figure 10(a) reproduction.
     pub fn memory_bytes(&self) -> usize {
         use std::mem::size_of;
-        self.edge
-            .iter()
-            .chain(self.extra.iter())
-            .map(|v| size_of::<Vec<f64>>() + v.capacity() * size_of::<f64>())
-            .sum::<usize>()
+        self.values.capacity() * size_of::<f64>()
+            + self.offsets.capacity() * size_of::<u32>()
+            + self
+                .extra
+                .iter()
+                .map(|v| size_of::<Vec<f64>>() + v.capacity() * size_of::<f64>())
+                .sum::<usize>()
             + size_of::<Self>()
     }
 }
@@ -186,6 +223,33 @@ pub fn dual_value(
     let area = problem.area(sizes);
     let cap = ncgws_circuit::total_capacitance(graph, sizes);
     let crosstalk_lhs = problem.coupling.crosstalk_lhs(graph, sizes);
+    dual_value_from_parts(
+        problem,
+        multipliers,
+        sizes,
+        delays,
+        area,
+        cap,
+        crosstalk_lhs,
+    )
+}
+
+/// [`dual_value`] with the `O(V)`/`O(P)` aggregates (`area`, `cap`,
+/// `crosstalk_lhs`) precomputed by the caller — the OGWS loop already has
+/// them from its per-iteration constraint evaluation (through the engine's
+/// dense tables), so recomputing them here would walk the pointer-rich
+/// graph a second time. Bitwise identical to [`dual_value`] given
+/// bitwise-equal aggregates.
+pub fn dual_value_from_parts(
+    problem: &SizingProblem<'_>,
+    multipliers: &Multipliers,
+    sizes: &SizeVector,
+    delays: &[f64],
+    area: f64,
+    cap: f64,
+    crosstalk_lhs: f64,
+) -> f64 {
+    let graph = problem.graph;
     let weighted_delay: f64 = graph
         .node_ids()
         .map(|id| multipliers.node_weight(id) * delays[id.index()])

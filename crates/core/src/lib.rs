@@ -28,6 +28,11 @@
 //!   ([`lrs`]);
 //! * the **OGWS** outer loop (Figure 9): subgradient multiplier updates,
 //!   projection, and the duality-gap stopping rule ([`ogws`]);
+//! * the **solve schedules** ([`schedule`]): the exact Figure-8 inner loop
+//!   (bitwise-pinned to [`mod@reference`]) and the adaptive schedule —
+//!   warm-started LRS, active-set sweeps with periodic verification, and
+//!   sparse incremental evaluation — selected per run via
+//!   [`OptimizerConfig::solve_strategy`];
 //! * the staged [`flow`] pipeline — `prepare → order → size` as typestates
 //!   with inspectable intermediates, warm starts, and the legacy one-shot
 //!   [`Optimizer`] as a thin wrapper;
@@ -61,6 +66,7 @@ pub mod problem;
 pub mod projection;
 pub mod reference;
 pub mod report;
+pub mod schedule;
 pub mod step;
 pub mod units;
 
@@ -81,4 +87,5 @@ pub use ogws::{OgwsOutcome, OgwsSolver};
 pub use optimizer::{OptimizationOutcome, Optimizer};
 pub use problem::{ConstraintBounds, OptimizerConfig, OptimizerConfigBuilder, SizingProblem};
 pub use report::{Improvements, OptimizationReport};
+pub use schedule::{AdaptiveSchedule, ScheduledStats, SolveStrategy};
 pub use step::StepSchedule;

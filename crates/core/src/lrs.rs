@@ -34,6 +34,7 @@ use crate::control::RunControl;
 use crate::engine::SizingEngine;
 use crate::lagrangian::Multipliers;
 use crate::problem::SizingProblem;
+use crate::schedule::{AdaptiveSchedule, ScheduledStats};
 
 /// Result of one LRS call.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -179,6 +180,110 @@ impl LrsSolver {
             }
         }
         LrsStats { sweeps, converged }
+    }
+
+    /// Solves `LRS₂` under an [`AdaptiveSchedule`] (see
+    /// [`crate::schedule`]): the solve is warm-started from the incoming
+    /// `sizes` instead of the lower bounds (when the schedule says so),
+    /// sweeps touch only the active frontier, and between the periodic full
+    /// verification sweeps the electrical tables are updated incrementally
+    /// along the perturbed subgraph only.
+    ///
+    /// The engine's schedule state (active/frozen partition, calm streaks,
+    /// cache-sync snapshot) persists across the solves of one OGWS run;
+    /// reset it with [`SizingEngine::reset_schedule`] at run start. The
+    /// convergence measure is the worst relative change over the touched
+    /// components, so a solve may converge on a sparse sweep; the
+    /// verification cadence bounds how long a frozen component can drift
+    /// from its Theorem-5 fixed point before being re-checked.
+    pub fn solve_scheduled<M: DelayModel>(
+        &self,
+        engine: &mut SizingEngine<'_, M>,
+        extras: &ConstraintSet,
+        multipliers: &Multipliers,
+        sizes: &mut SizeVector,
+        control: &RunControl<'_>,
+        schedule: &AdaptiveSchedule,
+    ) -> ScheduledStats {
+        // A2 aggregation, exactly as the exact path.
+        engine.load_node_weights(multipliers);
+        engine.load_extra_denominator(extras, multipliers);
+        if !schedule.warm_start {
+            // S1 of Figure 8: restart from the lower bounds. The previous
+            // iterate's caches and freeze state describe a different point,
+            // so drop both.
+            engine.reset_to_lower_bounds(sizes);
+            engine.reset_schedule();
+        }
+
+        let beta = multipliers.beta;
+        let gamma = multipliers.gamma;
+        let mut sweeps = 0;
+        let mut full_sweeps = 0;
+        let mut touched_components = 0;
+        let mut converged = false;
+        while sweeps < self.max_sweeps {
+            if control.interrupted() {
+                break;
+            }
+            sweeps += 1;
+            let global = engine.bump_global_sweep();
+            // The first sweep of every solve is a verification sweep: the
+            // multipliers changed, so every component — frozen or not — is
+            // re-resized once under the new weights before the active-set
+            // pruning applies (a component whose re-check stays calm keeps
+            // its streak and refreezes immediately). Later sweeps verify on
+            // the periodic cadence, when the frontier empties, or always
+            // when the schedule never freezes.
+            let verify = sweeps == 1
+                || !schedule.active_set
+                || global.is_multiple_of(schedule.verify_every)
+                || engine.active_set_is_empty();
+            if verify {
+                full_sweeps += 1;
+            }
+            // Sweep mode: alternating fused Gauss–Seidel passes — odd
+            // sweeps walk forward refreshing the upstream resistances over
+            // the freshly resized upstream state, even sweeps walk backward
+            // refreshing the downstream capacitances — so each sweep is one
+            // traversal and both sides of the closed form stay at most one
+            // half-sweep stale. Backends without a fused path fall back to
+            // the separate Jacobi-style passes with incremental updates.
+            let fused = if !sweeps.is_multiple_of(2) {
+                engine.fused_forward_sweep(sizes, beta, gamma, schedule, verify)
+            } else {
+                engine.fused_backward_sweep(sizes, beta, gamma, schedule, verify)
+            };
+            let (worst, touched) = match fused {
+                Some(result) => result,
+                None if verify => engine.verification_sweep(sizes, beta, gamma, schedule),
+                None => engine.active_sweep(sizes, beta, gamma, schedule),
+            };
+            touched_components += touched;
+            if worst <= self.tolerance {
+                converged = true;
+                break;
+            }
+            // An empty frontier certifies every component is within the
+            // freeze tolerance of its per-pass fixed point (each was
+            // re-checked under these multipliers — the solve's first pass
+            // resizes everything); further sweeps cannot move anything.
+            if schedule.active_set && engine.active_set_is_empty() {
+                converged = true;
+                break;
+            }
+        }
+        // Propagate the last sweep's deltas into the cached tables (cheap —
+        // the converged frontier is small) so the caller's follow-up timing
+        // evaluation can take its synced fast path instead of rebuilding.
+        engine.finish_solve_sync(sizes, schedule);
+        ScheduledStats {
+            sweeps,
+            full_sweeps,
+            touched_components,
+            frozen_components: engine.frozen_components(),
+            converged,
+        }
     }
 }
 

@@ -87,6 +87,14 @@ pub struct IterationRecord {
     pub seconds: f64,
     /// Number of inner LRS sweeps performed.
     pub lrs_sweeps: usize,
+    /// Total component resize operations across this solve's sweeps (an
+    /// exact-schedule sweep touches every component, so this is
+    /// `lrs_sweeps × components` there; the adaptive schedule touches only
+    /// the active frontier).
+    pub touched_components: usize,
+    /// Components frozen by the active-set schedule at the end of this
+    /// solve (0 under the exact schedule).
+    pub frozen_components: usize,
 }
 
 /// Byte-level accounting of the optimizer's live data structures, the

@@ -25,11 +25,12 @@ use serde::{Deserialize, Serialize};
 use crate::constraints::ConstraintFamily;
 use crate::control::{IterationEvent, RunControl, StopReason};
 use crate::engine::SizingEngine;
-use crate::lagrangian::{dual_value, Multipliers};
+use crate::lagrangian::{dual_value_from_parts, Multipliers};
 use crate::lrs::LrsSolver;
 use crate::metrics::IterationRecord;
 use crate::problem::{OptimizerConfig, SizingProblem};
-use crate::projection::project_flow_conservation;
+use crate::projection::{project_flow_conservation_indexed, FlowIndex};
+use crate::schedule::SolveStrategy;
 
 /// Relative tolerance used to declare an iterate primal-feasible.
 ///
@@ -87,6 +88,39 @@ impl OgwsOutcome {
             0.0
         } else {
             self.total_seconds() / self.iterations.len() as f64
+        }
+    }
+
+    /// Total inner LRS sweeps across every outer iteration.
+    pub fn sweeps_total(&self) -> usize {
+        self.iterations.iter().map(|r| r.lrs_sweeps).sum()
+    }
+
+    /// Average inner sweeps per LRS solve — the quantity the adaptive
+    /// schedule's warm starts cut from "restart the whole coordinate
+    /// descent" to "one or two".
+    pub fn mean_sweeps_per_solve(&self) -> f64 {
+        if self.iterations.is_empty() {
+            0.0
+        } else {
+            self.sweeps_total() as f64 / self.iterations.len() as f64
+        }
+    }
+
+    /// Total component resize operations across the run.
+    pub fn touched_components_total(&self) -> usize {
+        self.iterations.iter().map(|r| r.touched_components).sum()
+    }
+
+    /// Average components touched per sweep — sublinear in the circuit size
+    /// in the adaptive steady state, exactly the component count under the
+    /// exact schedule.
+    pub fn mean_touched_per_sweep(&self) -> f64 {
+        let sweeps = self.sweeps_total();
+        if sweeps == 0 {
+            0.0
+        } else {
+            self.touched_components_total() as f64 / sweeps as f64
         }
     }
 }
@@ -179,20 +213,33 @@ impl OgwsSolver {
             "engine was built for a different coupling set than the problem"
         );
         let graph = problem.graph;
-        let coupling = problem.coupling;
         let bounds = problem.bounds;
         let extras = &problem.extras;
         let lrs = LrsSolver::new(self.config.max_lrs_sweeps, self.config.lrs_tolerance);
+        // The adaptive schedule keeps freeze/cache state on the engine
+        // across the solves of one run; start every run clean so engines
+        // shared across runs stay reproducible.
+        let adaptive = match &self.config.solve_strategy {
+            SolveStrategy::Exact => None,
+            SolveStrategy::Adaptive(schedule) => {
+                engine.reset_schedule();
+                Some(*schedule)
+            }
+        };
+        let num_components = graph.num_components();
 
         // A1: initial multipliers (projected so Theorem 3 holds from the
-        // start); one extra block per constraint family.
+        // start); one extra block per constraint family. The fanout→slot
+        // cross-reference is built once so every per-iteration projection is
+        // a contiguous walk.
+        let flow_index = FlowIndex::new(graph);
         let mut multipliers = Multipliers::uniform(
             graph,
             self.config.initial_edge_multiplier,
             self.config.initial_scalar_multiplier,
         );
         multipliers.attach_extras(extras, self.config.initial_scalar_multiplier);
-        project_flow_conservation(graph, &mut multipliers);
+        project_flow_conservation_indexed(graph, &flow_index, &mut multipliers);
 
         // One-time buffer setup; the loop below reuses all of these. The
         // record capacity is capped so an extravagant iteration limit does
@@ -221,9 +268,10 @@ impl OgwsSolver {
             );
             sizes.copy_from(warm);
             sizes.clamp_into(&engine.lower_bound, &engine.upper_bound);
+            let total_cap = engine.total_capacitance(&sizes);
+            let crosstalk_lhs = engine.crosstalk_lhs(&sizes);
+            let warm_area = engine.total_area(&sizes);
             let timing = engine.timing(&sizes);
-            let total_cap = ncgws_circuit::total_capacitance(graph, &sizes);
-            let crosstalk_lhs = coupling.crosstalk_lhs(graph, &sizes);
             let feasible = timing.critical_path_delay - bounds.delay
                 <= bounds.delay * FEASIBILITY_TOLERANCE
                 && total_cap - bounds.total_capacitance
@@ -232,7 +280,7 @@ impl OgwsSolver {
                     <= bounds.crosstalk * FEASIBILITY_TOLERANCE
                 && extras.feasible_within(&sizes, FEASIBILITY_TOLERANCE);
             if feasible {
-                best_area = problem.area(&sizes);
+                best_area = warm_area;
                 best_sizes.copy_from(&sizes);
                 have_feasible = true;
             }
@@ -248,13 +296,37 @@ impl OgwsSolver {
             let started = Instant::now();
 
             // A2 + A3: solve the relaxation and analyze timing at its solution.
-            let lrs_stats =
-                lrs.solve_constrained(engine, extras, &multipliers, &mut sizes, control);
+            let (lrs_sweeps, touched_components, frozen_components) = match &adaptive {
+                None => {
+                    let stats =
+                        lrs.solve_constrained(engine, extras, &multipliers, &mut sizes, control);
+                    // An exact sweep touches every component.
+                    (stats.sweeps, stats.sweeps * num_components, 0)
+                }
+                Some(schedule) => {
+                    let stats = lrs.solve_scheduled(
+                        engine,
+                        extras,
+                        &multipliers,
+                        &mut sizes,
+                        control,
+                        schedule,
+                    );
+                    (
+                        stats.sweeps,
+                        stats.touched_components,
+                        stats.frozen_components,
+                    )
+                }
+            };
+            // Constraint values and the primal objective, through the
+            // engine's dense tables (bitwise identical to the graph walks,
+            // at a fraction of the pointer-chasing cost), then the timing
+            // picture.
+            let total_cap = engine.total_capacitance(&sizes);
+            let crosstalk_lhs = engine.crosstalk_lhs(&sizes);
+            let primal_area = engine.total_area(&sizes);
             let timing = engine.timing(&sizes);
-
-            // Constraint values, global bounds and extra families alike.
-            let total_cap = ncgws_circuit::total_capacitance(graph, &sizes);
-            let crosstalk_lhs = coupling.crosstalk_lhs(graph, &sizes);
             let delay_violation = timing.critical_path_delay - bounds.delay;
             let power_violation = total_cap - bounds.total_capacitance;
             let crosstalk_violation = crosstalk_lhs - problem.reduced_crosstalk_bound();
@@ -271,8 +343,15 @@ impl OgwsSolver {
             // bound on the optimal area, so the gap is measured between the
             // best feasible (upper bound) and the best dual (lower bound)
             // seen so far.
-            let primal_area = problem.area(&sizes);
-            let dual = dual_value(problem, &multipliers, &sizes, timing.delays);
+            let dual = dual_value_from_parts(
+                problem,
+                &multipliers,
+                &sizes,
+                timing.delays,
+                primal_area,
+                total_cap,
+                crosstalk_lhs,
+            );
             let mut improved = false;
             if !best_dual.is_finite() || dual > best_dual + best_dual.abs() * 1e-4 {
                 improved = true;
@@ -300,6 +379,7 @@ impl OgwsSolver {
             let step = self.config.step_schedule.value(k);
             Self::update_multipliers(
                 problem,
+                &flow_index,
                 &mut multipliers,
                 timing.arrival,
                 timing.delays,
@@ -309,7 +389,7 @@ impl OgwsSolver {
                 &extra_violations,
             );
             // A5: project back onto the optimality condition.
-            project_flow_conservation(graph, &mut multipliers);
+            project_flow_conservation_indexed(graph, &flow_index, &mut multipliers);
 
             iterations.push(IterationRecord {
                 iteration: k,
@@ -321,7 +401,9 @@ impl OgwsSolver {
                 crosstalk_violation,
                 extra_violation: worst_extra_rel,
                 seconds: started.elapsed().as_secs_f64(),
-                lrs_sweeps: lrs_stats.sweeps,
+                lrs_sweeps,
+                touched_components,
+                frozen_components,
             });
             control.notify(&IterationEvent {
                 record: iterations.last().expect("record just pushed"),
@@ -385,6 +467,7 @@ impl OgwsSolver {
     #[allow(clippy::too_many_arguments)]
     fn update_multipliers(
         problem: &SizingProblem<'_>,
+        index: &FlowIndex,
         multipliers: &mut Multipliers,
         arrival: &[f64],
         delays: &[f64],
@@ -409,24 +492,34 @@ impl OgwsSolver {
             *value = (*value * factor).max(1e-12);
         };
 
-        for i in graph.node_ids() {
-            if i == graph.source() {
+        // Walk the dense outer-loop index (flat kinds, fanin ids and
+        // multiplier values) instead of chasing the per-node adjacency
+        // `Vec`s; same traversal order and arithmetic as the graph walk.
+        let kinds = index.kinds();
+        let n = graph.num_nodes();
+        let source = graph.source().index();
+        let (offsets, values) = multipliers.flat_mut();
+        for i in 0..n {
+            if i == source {
                 continue;
             }
-            let kind = graph.node(i).kind;
-            for (slot, &j) in graph.fanin(i).iter().enumerate() {
+            let kind = kinds[i];
+            let fanin = index.fanin_flat(i);
+            let lambdas = &mut values[offsets[i] as usize..offsets[i + 1] as usize];
+            for (slot, &j) in fanin.iter().enumerate() {
+                let j = j as usize;
                 let violation = match kind {
-                    NodeKind::Sink => arrival[j.index()] - a0,
+                    NodeKind::Sink => arrival[j] - a0,
                     NodeKind::Gate(_) | NodeKind::Wire => {
-                        if j == graph.source() {
+                        if j == source {
                             continue;
                         }
-                        arrival[j.index()] + delays[i.index()] - arrival[i.index()]
+                        arrival[j] + delays[i] - arrival[i]
                     }
-                    NodeKind::Driver => delays[i.index()] - arrival[i.index()],
+                    NodeKind::Driver => delays[i] - arrival[i],
                     NodeKind::Source => continue,
                 };
-                bump(multipliers.edge_mut(i, slot), violation / a0);
+                bump(&mut lambdas[slot], violation / a0);
             }
         }
         bump(

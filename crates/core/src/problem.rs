@@ -8,6 +8,7 @@ use crate::constraints::{ConstraintSet, ConstraintSpec};
 use crate::coupling_build::OrderingStrategy;
 use crate::error::CoreError;
 use crate::metrics::CircuitMetrics;
+use crate::schedule::{AdaptiveSchedule, SolveStrategy};
 use crate::step::StepSchedule;
 use crate::units;
 
@@ -140,6 +141,12 @@ pub struct OptimizerConfig {
     /// [`Flow::order`](crate::Flow) (empty by default — the paper's
     /// formulation).
     pub extra_constraints: Vec<ConstraintSpec>,
+    /// How the OGWS inner loop schedules its LRS solves:
+    /// [`SolveStrategy::Exact`] (the default) is the paper's Figure-8
+    /// schedule, bitwise-pinned to the reference;
+    /// [`SolveStrategy::Adaptive`] enables warm-started solves, active-set
+    /// sweeps and sparse incremental evaluation (see [`crate::schedule`]).
+    pub solve_strategy: SolveStrategy,
 }
 
 impl OptimizerConfig {
@@ -202,6 +209,7 @@ impl OptimizerConfig {
         for spec in &self.extra_constraints {
             spec.validate()?;
         }
+        self.solve_strategy.validate()?;
         Ok(())
     }
 
@@ -232,6 +240,7 @@ impl Default for OptimizerConfig {
             initial_edge_multiplier: 1.0,
             initial_scalar_multiplier: 1.0,
             extra_constraints: Vec::new(),
+            solve_strategy: SolveStrategy::Exact,
         }
     }
 }
@@ -357,6 +366,22 @@ impl OptimizerConfigBuilder {
     pub fn extra_constraint(mut self, spec: ConstraintSpec) -> Self {
         self.config.extra_constraints.push(spec);
         self
+    }
+
+    /// How the OGWS inner loop schedules its LRS solves (see
+    /// [`crate::schedule`]).
+    pub fn solve_strategy(mut self, strategy: SolveStrategy) -> Self {
+        self.config.solve_strategy = strategy;
+        self
+    }
+
+    /// Selects the adaptive solve schedule with its default tuning
+    /// (shorthand for
+    /// `solve_strategy(SolveStrategy::Adaptive(AdaptiveSchedule::default()))`):
+    /// warm-started LRS solves, active-set sweeps and sparse incremental
+    /// evaluation.
+    pub fn adaptive_schedule(self) -> Self {
+        self.solve_strategy(SolveStrategy::Adaptive(AdaptiveSchedule::default()))
     }
 
     /// Caps each routing channel's crosstalk at `factor` × its initial value

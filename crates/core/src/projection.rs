@@ -17,9 +17,101 @@
 //! is distributed evenly. The sink's incoming multipliers are the free
 //! variables of the flow and are left untouched.
 
-use ncgws_circuit::CircuitGraph;
+use ncgws_circuit::{CircuitGraph, NodeKind};
 
 use crate::lagrangian::Multipliers;
+
+/// Precomputed dense view of the graph structure the OGWS outer loop walks
+/// every iteration: for every node, the positions (in the
+/// [`Multipliers::flat`] value array) of its *outgoing* edge multipliers
+/// (its slot in each fanout node's fanin list), plus flat fanin node ids and
+/// per-node kinds.
+///
+/// [`project_flow_conservation`] searches each fanin list for the fanout
+/// slot on every call (`O(E · fanin)` per projection); building this index
+/// once per run turns every projection — and the A4 subgradient update —
+/// into a contiguous `O(V + E)` walk instead of a pointer chase through the
+/// per-node adjacency `Vec`s and name-carrying `Node` structs.
+#[derive(Debug, Clone)]
+pub struct FlowIndex {
+    /// CSR offsets into `out_pos`, one entry per node plus a trailing total.
+    out_start: Vec<u32>,
+    /// Flat-value positions of each node's outgoing edge multipliers, in
+    /// fanout order.
+    out_pos: Vec<u32>,
+    /// CSR offsets into `fanin_flat`, one entry per node plus a trailing
+    /// total — the same layout [`Multipliers::uniform`] gives the flat
+    /// multiplier values, kept here so the index is self-contained.
+    fanin_start: Vec<u32>,
+    /// Concatenated fanin node indices, parallel to the flat multiplier
+    /// slots.
+    fanin_flat: Vec<u32>,
+    /// Node kind per raw node index.
+    kinds: Vec<NodeKind>,
+}
+
+impl FlowIndex {
+    /// Builds the index for a circuit (one `O(E · fanin)` search, amortized
+    /// over every projection of the run).
+    pub fn new(graph: &CircuitGraph) -> Self {
+        let n = graph.num_nodes();
+        // Flat fanin offsets, exactly as `Multipliers::uniform` lays out.
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut total = 0u32;
+        offsets.push(0u32);
+        for id in graph.node_ids() {
+            total += graph.fanin(id).len() as u32;
+            offsets.push(total);
+        }
+        let mut out_start = Vec::with_capacity(n + 1);
+        let mut out_pos = Vec::new();
+        let mut fanin_flat = Vec::with_capacity(total as usize);
+        let mut kinds = Vec::with_capacity(n);
+        out_start.push(0u32);
+        for id in graph.node_ids() {
+            for &succ in graph.fanout(id) {
+                let slot = graph
+                    .fanin(succ)
+                    .iter()
+                    .position(|&p| p == id)
+                    .expect("fanout/fanin lists are consistent");
+                out_pos.push(offsets[succ.index()] + slot as u32);
+            }
+            out_start.push(out_pos.len() as u32);
+            fanin_flat.extend(graph.fanin(id).iter().map(|p| p.index() as u32));
+            kinds.push(graph.node(id).kind);
+        }
+        FlowIndex {
+            out_start,
+            out_pos,
+            fanin_start: offsets,
+            fanin_flat,
+            kinds,
+        }
+    }
+
+    /// Node kind per raw node index.
+    pub fn kinds(&self) -> &[NodeKind] {
+        &self.kinds
+    }
+
+    /// The fanin node indices of node `idx` (the slots parallel the node's
+    /// flat multiplier values, see [`Multipliers::flat`]).
+    pub fn fanin_flat(&self, idx: usize) -> &[u32] {
+        &self.fanin_flat[self.fanin_start[idx] as usize..self.fanin_start[idx + 1] as usize]
+    }
+
+    /// Bytes held by the index (for memory accounting).
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        (self.out_start.capacity()
+            + self.out_pos.capacity()
+            + self.fanin_start.capacity()
+            + self.fanin_flat.capacity())
+            * size_of::<u32>()
+            + self.kinds.capacity() * size_of::<NodeKind>()
+    }
+}
 
 /// Projects `multipliers` onto the flow-conservation condition, in place.
 /// Runs in `O(V + E)`.
@@ -30,39 +122,52 @@ use crate::lagrangian::Multipliers;
 /// non-negative here (condition (4) of Theorem 6), which is exactly the
 /// projection of a scalar onto its feasible half-line.
 pub fn project_flow_conservation(graph: &CircuitGraph, multipliers: &mut Multipliers) {
+    let index = FlowIndex::new(graph);
+    project_flow_conservation_indexed(graph, &index, multipliers);
+}
+
+/// [`project_flow_conservation`] with the fanout→slot cross-reference
+/// precomputed (see [`FlowIndex`]): bitwise identical results (same
+/// traversal and accumulation order), but every projection is a contiguous
+/// walk of the flat multiplier array. The OGWS loop builds the index once
+/// per run and projects every iteration through this entry point.
+pub fn project_flow_conservation_indexed(
+    graph: &CircuitGraph,
+    index: &FlowIndex,
+    multipliers: &mut Multipliers,
+) {
     multipliers.clamp_non_negative();
-    let sink = graph.sink();
-    let source = graph.source();
+    let sink = graph.sink().index();
+    let source = graph.source().index();
+    let n = graph.num_nodes();
+    let (offsets, values) = multipliers.flat_mut();
+    assert_eq!(offsets.len(), n + 1, "multipliers must match the circuit");
+    assert_eq!(index.out_start.len(), n + 1, "index must match the circuit");
     // Reverse topological order; node indices are topological by construction.
-    for idx in (0..graph.num_nodes()).rev() {
-        let id = ncgws_circuit::NodeId::new(idx);
-        if id == sink || id == source {
+    for idx in (0..n).rev() {
+        if idx == sink || idx == source {
             continue;
         }
-        // Outgoing sum: for each fanout k, find our slot in k's fanin list.
+        // Outgoing sum over the precomputed flat positions (fanout order).
         let mut out_sum = 0.0;
-        for &succ in graph.fanout(id) {
-            let slot = graph
-                .fanin(succ)
-                .iter()
-                .position(|&p| p == id)
-                .expect("fanout/fanin lists are consistent");
-            out_sum += multipliers.edge(succ, slot);
+        for &pos in &index.out_pos[index.out_start[idx] as usize..index.out_start[idx + 1] as usize]
+        {
+            out_sum += values[pos as usize];
         }
-        let fanin_len = graph.fanin(id).len();
-        if fanin_len == 0 {
+        let fanin = &mut values[offsets[idx] as usize..offsets[idx + 1] as usize];
+        if fanin.is_empty() {
             continue;
         }
-        let in_sum: f64 = multipliers.edges_of(id).iter().sum();
+        let in_sum: f64 = fanin.iter().sum();
         if in_sum > 1e-300 {
             let scale = out_sum / in_sum;
-            for slot in 0..fanin_len {
-                *multipliers.edge_mut(id, slot) *= scale;
+            for value in fanin {
+                *value *= scale;
             }
         } else {
-            let share = out_sum / fanin_len as f64;
-            for slot in 0..fanin_len {
-                *multipliers.edge_mut(id, slot) = share;
+            let share = out_sum / fanin.len() as f64;
+            for value in fanin {
+                *value = share;
             }
         }
     }

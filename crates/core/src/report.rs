@@ -62,6 +62,16 @@ pub struct OptimizationReport {
     pub runtime_seconds: f64,
     /// Average runtime per outer iteration in seconds (Figure 10(b)).
     pub seconds_per_iteration: f64,
+    /// Total inner LRS sweeps across the run.
+    pub sweeps_total: usize,
+    /// Average inner sweeps per LRS solve — the schedule win the adaptive
+    /// strategy's warm starts buy (the exact schedule restarts the whole
+    /// coordinate descent every solve).
+    pub mean_sweeps_per_solve: f64,
+    /// Average components touched (resized) per sweep — the circuit size
+    /// under the exact schedule, the active frontier under the adaptive
+    /// one.
+    pub mean_touched_per_sweep: f64,
     /// Memory accounting (Figure 10(a); the paper's `mem` column).
     pub memory: MemoryBreakdown,
     /// Whether the returned sizing satisfies every constraint (the three
@@ -181,6 +191,9 @@ mod tests {
             iterations: 7,
             runtime_seconds: 1.5,
             seconds_per_iteration: 0.2,
+            sweeps_total: 21,
+            mean_sweeps_per_solve: 3.0,
+            mean_touched_per_sweep: 30.0,
             memory: MemoryBreakdown {
                 circuit_bytes: 10,
                 coupling_bytes: 10,

@@ -56,6 +56,26 @@ pub fn table1_specs_by_size() -> Vec<CircuitSpec> {
     specs
 }
 
+/// The XL synthetic tier: circuits one to two orders of magnitude beyond
+/// the paper's largest (c7552, 9 656 components), keeping its roughly
+/// 1 gate : 2 wires shape. Used by the end-to-end solve-schedule benchmarks
+/// (`ogws_schedule`) and the `table1 --json` schedule section; the pattern
+/// count is reduced because stage-1 logic simulation scales with
+/// `patterns × gates` and is not what these tiers measure.
+pub fn xl_spec(total_components: usize) -> CircuitSpec {
+    let gates = total_components / 3;
+    let wires = total_components - gates;
+    let seed = 0xDAC_1999_u64 ^ (total_components as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    CircuitSpec::new(format!("xl{}", total_components / 1000), gates, wires)
+        .with_seed(seed)
+        .with_num_patterns(16)
+}
+
+/// The XL tier sizes: 1k, 10k and 100k components.
+pub fn xl_specs() -> Vec<CircuitSpec> {
+    [1_000, 10_000, 100_000].map(xl_spec).to_vec()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
