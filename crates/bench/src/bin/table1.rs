@@ -16,18 +16,27 @@
 //! Table-1 rows (now including the inner-sweep accounting of the solve
 //! schedule), the summary carries a `schedule` section comparing the exact
 //! Figure-8 schedule against the adaptive solve schedule on the XL
-//! synthetic tier (1k/10k — plus 100k components outside quick mode).
+//! synthetic tier (1k/10k — plus 100k components outside quick mode), and a
+//! `threads` section measuring the level-parallel policy
+//! (`ParallelPolicy::threads`) on the wide XL tier at 1/2/4 threads — read
+//! those speedups against the document's `hardware_threads` and
+//! `parallel_feature` fields (a single-core CI runner can only demonstrate
+//! determinism, not scaling). Perfguard compares the `threads` rows across
+//! baselines whenever both files carry them.
 
 use std::time::Instant;
 
 use ncgws_bench::{generate, optimize, paper_config, quick_mode};
 use ncgws_core::report::{average_improvements, OptimizationReport};
-use ncgws_core::{Flow, OptimizerConfig, SolveStrategy};
-use ncgws_netlist::{table1_specs, xl_spec};
+use ncgws_core::{Flow, OptimizerConfig, ParallelPolicy, SolveStrategy};
+use ncgws_netlist::{table1_specs, xl_spec, xl_wide_spec};
 
 /// Outer-iteration budget of the XL schedule comparison (matches the
 /// `ogws_schedule` criterion bench).
 const SCHEDULE_ITERATIONS: usize = 25;
+
+/// Thread counts measured by the `threads` scaling section.
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
 
 fn main() {
     // With `--json` every row is emitted as one JSON-serialized
@@ -67,7 +76,8 @@ fn main() {
 
     if json_mode {
         let schedule = run_schedule_comparison(quick);
-        write_bench_summary(&reports, schedule, quick);
+        let threads = run_threads_scaling(quick);
+        write_bench_summary(&reports, schedule, threads, quick);
         return;
     }
 
@@ -125,13 +135,35 @@ struct ScheduleRow {
     feasibility_agrees: bool,
 }
 
+/// One row of the `threads` scaling section: the adaptive schedule on a
+/// wide-XL tier under the level-parallel policy at one thread count.
+#[derive(serde::Serialize)]
+struct ThreadsRow {
+    name: String,
+    components: usize,
+    threads: usize,
+    iterations: usize,
+    seconds_per_iteration: f64,
+    /// `t1 / tN` end-to-end stage-2 ratio. Only meaningful on hardware with
+    /// that many cores and the `parallel` feature compiled in — see the
+    /// document-level `hardware_threads` / `parallel_feature` fields.
+    speedup_vs_one_thread: f64,
+}
+
 /// The whole `BENCH_table1.json` document.
 #[derive(serde::Serialize)]
 struct BenchSummary {
     bench: String,
     quick: bool,
+    /// Whether the binary was compiled with the `parallel` feature (without
+    /// it the `threads` rows all execute the same grid on one thread).
+    parallel_feature: bool,
+    /// `std::thread::available_parallelism()` of the benchmarking machine —
+    /// the context the `threads` speedups must be read in.
+    hardware_threads: usize,
     circuits: Vec<BenchRow>,
     schedule: Vec<ScheduleRow>,
+    threads: Vec<ThreadsRow>,
     average_improvements: ncgws_core::report::Improvements,
     total_runtime_seconds: f64,
 }
@@ -190,13 +222,81 @@ fn run_schedule_comparison(quick: bool) -> Vec<ScheduleRow> {
     rows
 }
 
+/// Runs the level-parallel thread-scaling measurement: the adaptive
+/// schedule on the *wide* XL tier (logarithmic-depth circuits — the shape
+/// level parallelism scales on; the chain-like `xl_spec` tier is
+/// depth-dominated and stays in the `schedule` section) at 1/2/4 threads.
+/// Also asserts the determinism contract: every thread count must land on
+/// the exact same final metrics.
+fn run_threads_scaling(quick: bool) -> Vec<ThreadsRow> {
+    let tiers: &[usize] = if quick { &[10_000] } else { &[10_000, 100_000] };
+    let mut rows = Vec::new();
+    for &components in tiers {
+        let instance = generate(xl_wide_spec(components));
+        let mut one_thread_spi = f64::NAN;
+        let mut reference_metrics = None;
+        for &threads in &THREAD_COUNTS {
+            let config = OptimizerConfig {
+                max_iterations: SCHEDULE_ITERATIONS,
+                solve_strategy: SolveStrategy::adaptive(),
+                parallel: ParallelPolicy::threads(threads),
+                ..OptimizerConfig::default()
+            };
+            let ordered = Flow::prepare(&instance, config)
+                .expect("valid configuration")
+                .order()
+                .expect("stage 1 succeeds");
+            let started = Instant::now();
+            let sized = ordered.size().expect("stage 2 succeeds");
+            let elapsed = started.elapsed().as_secs_f64();
+            let iterations = sized.report.iterations.max(1);
+            let spi = elapsed / iterations as f64;
+            if threads == 1 {
+                one_thread_spi = spi;
+            }
+            match &reference_metrics {
+                None => reference_metrics = Some(sized.report.final_metrics),
+                Some(reference) => assert_eq!(
+                    *reference, sized.report.final_metrics,
+                    "thread-count determinism violated at {threads} threads"
+                ),
+            }
+            eprintln!(
+                "threads {}@t{threads}: {spi:.6} s/iter ({:.2}x vs t1)",
+                sized.report.name,
+                one_thread_spi / spi
+            );
+            rows.push(ThreadsRow {
+                name: sized.report.name.clone(),
+                components,
+                threads,
+                // The actual count behind the spi denominator (the run may
+                // converge below the SCHEDULE_ITERATIONS budget).
+                iterations,
+                seconds_per_iteration: spi,
+                speedup_vs_one_thread: one_thread_spi / spi,
+            });
+        }
+    }
+    rows
+}
+
 /// The machine-readable perf-trajectory artifact: per-circuit aggregates
 /// small and stable enough to diff across PRs (full `OptimizationReport`s
 /// go to stdout / `target/table1_results.json`).
-fn write_bench_summary(reports: &[OptimizationReport], schedule: Vec<ScheduleRow>, quick: bool) {
+fn write_bench_summary(
+    reports: &[OptimizationReport],
+    schedule: Vec<ScheduleRow>,
+    threads: Vec<ThreadsRow>,
+    quick: bool,
+) {
     let summary = BenchSummary {
         bench: "table1".to_string(),
         quick,
+        parallel_feature: cfg!(feature = "parallel"),
+        hardware_threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
         circuits: reports
             .iter()
             .map(|r| BenchRow {
@@ -216,6 +316,7 @@ fn write_bench_summary(reports: &[OptimizationReport], schedule: Vec<ScheduleRow
             })
             .collect(),
         schedule,
+        threads,
         average_improvements: average_improvements(reports),
         total_runtime_seconds: reports.iter().map(|r| r.runtime_seconds).sum::<f64>(),
     };

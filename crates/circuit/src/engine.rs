@@ -17,7 +17,8 @@
 //!   (and the paper's) backend; future backends (higher-order delay models,
 //!   sharded evaluation) plug in here.
 //! * [`CircuitTopology`] — the Elmore model's prepared state: CSR adjacency
-//!   plus flat per-node RC coefficient arrays.
+//!   plus flat per-node RC coefficient arrays, and the cached topological
+//!   **level partition** (see below).
 //! * [`EvalWorkspace`] — one bundle of dense scratch buffers, sized once per
 //!   circuit and reused for every evaluation.
 //!
@@ -25,6 +26,31 @@
 //! `ElmoreAnalyzer` reference path, so results are bitwise identical
 //! between the two — pinned down by the unit tests below and the
 //! `property_eval_engine` integration test at the workspace root.
+//!
+//! # The level partition invariant
+//!
+//! [`CircuitTopology`] groups the nodes into *topological levels*
+//! (`level(i) = 1 + max level over fanin(i)`, the source at level 0) and
+//! caches the partition at construction. The invariant every level-chunked
+//! traversal relies on:
+//!
+//! * **every edge crosses levels strictly upward** — a node's level is
+//!   strictly greater than each of its fanin nodes' levels, so two nodes in
+//!   the same level share no fanin/fanout edge and never read or write each
+//!   other's per-node state;
+//! * the partition covers every node exactly once, and within a level the
+//!   nodes are stored in ascending raw-index (topological) order.
+//!
+//! A forward traversal that settles levels in ascending order therefore sees
+//! every fanin value finalized before a node is visited, and a backward
+//! traversal in descending level order sees every fanout value finalized —
+//! which is exactly what lets the chunk kernels below
+//! ([`CircuitTopology::downstream_caps_chunk`],
+//! [`CircuitTopology::fused_downstream_chunk`], …) process the nodes of one
+//! level in any sub-chunk order (or concurrently) while producing per-node
+//! results bitwise identical to the sequential whole-circuit traversals:
+//! every per-node accumulation (fanout loads, fanin resistances, fanin
+//! arrival maxima) still runs over that node's own CSR list in list order.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -120,6 +146,15 @@ pub trait DelayModel: std::fmt::Debug {
     ) -> f64 {
         let _ = state;
         propagate_arrivals_into(graph, delays, arrival, pred, critical_path)
+    }
+
+    /// The dense [`CircuitTopology`] behind this backend's state, when the
+    /// state *is* (or embeds) one. Callers that can drive the level-chunked
+    /// traversal kernels directly — the level-parallel solve schedules —
+    /// check this; backends without a dense topology (the default) simply
+    /// keep the sequential paths.
+    fn dense_topology<'s>(&self, _state: &'s Self::State) -> Option<&'s CircuitTopology> {
+        None
     }
 
     /// Whether the backend implements the `*_update` methods below as true
@@ -308,6 +343,102 @@ impl IncrementalWorkspace {
     }
 }
 
+/// A shared view of a mutable slice for *disjoint-index* concurrent writes.
+///
+/// The level-chunked kernels of [`CircuitTopology`] let several workers
+/// update per-node (or per-component) state of one topological level at
+/// once. Each worker owns a disjoint set of indices, so the writes can never
+/// alias — but safe Rust cannot express "disjoint scattered indices of one
+/// slice", hence this wrapper: a copyable `(pointer, length)` view whose
+/// accessors are `unsafe` and whose soundness contract is exactly the
+/// disjointness the level partition guarantees.
+///
+/// # Safety contract (all accessors)
+///
+/// * `i < len()`;
+/// * no concurrent access (read or write) to index `i` from another
+///   borrower of the same underlying slice — callers partition the index
+///   space (by level and by chunk) so this holds by construction.
+pub struct SharedMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+impl<T> Clone for SharedMut<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SharedMut<'_, T> {}
+
+// SAFETY: the wrapper only hands out `unsafe` accessors whose contract
+// forbids aliasing; sending or sharing the view across threads is then no
+// more dangerous than the accessors themselves.
+unsafe impl<T: Send> Send for SharedMut<'_, T> {}
+unsafe impl<T: Send> Sync for SharedMut<'_, T> {}
+
+impl<'a, T> SharedMut<'a, T> {
+    /// Wraps an exclusive slice borrow. The view must not outlive callers'
+    /// partitioning discipline (see the type docs).
+    pub fn new(slice: &'a mut [T]) -> Self {
+        SharedMut {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Length of the underlying slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the underlying slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads index `i`.
+    ///
+    /// # Safety
+    ///
+    /// See the type-level contract.
+    #[inline(always)]
+    pub unsafe fn get(&self, i: usize) -> T
+    where
+        T: Copy,
+    {
+        debug_assert!(i < self.len);
+        *self.ptr.add(i)
+    }
+
+    /// Writes `value` to index `i`.
+    ///
+    /// # Safety
+    ///
+    /// See the type-level contract.
+    #[inline(always)]
+    pub unsafe fn set(&self, i: usize, value: T) {
+        debug_assert!(i < self.len);
+        *self.ptr.add(i) = value;
+    }
+
+    /// Adds `delta` to index `i` (for `f64` accumulators).
+    ///
+    /// # Safety
+    ///
+    /// See the type-level contract.
+    #[inline(always)]
+    pub unsafe fn add(&self, i: usize, delta: T)
+    where
+        T: Copy + std::ops::AddAssign,
+    {
+        debug_assert!(i < self.len);
+        *self.ptr.add(i) += delta;
+    }
+}
+
 /// Compact per-node role tag used by [`CircuitTopology`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
@@ -348,6 +479,11 @@ pub struct CircuitTopology {
     fanout_list: Vec<u32>,
     fanin_start: Vec<u32>,
     fanin_list: Vec<u32>,
+    /// Cached topological level partition (see the module docs): CSR offsets
+    /// into `level_nodes`, one entry per level plus a trailing total.
+    level_start: Vec<u32>,
+    /// Node indices grouped by level, ascending raw index within a level.
+    level_nodes: Vec<u32>,
 }
 
 impl CircuitTopology {
@@ -410,6 +546,35 @@ impl CircuitTopology {
         fanout_start.push(fanout_list.len() as u32);
         fanin_start.push(fanin_list.len() as u32);
 
+        // Topological level partition: level(i) = 1 + max level over fanin,
+        // the source (and any fanin-free node) at level 0. Nodes are stored
+        // in topological order, so one forward scan settles every level.
+        let mut level = vec![0u32; n];
+        let mut num_levels = 1u32;
+        for idx in 0..n {
+            let mut l = 0u32;
+            for &pred in &fanin_list[fanin_start[idx] as usize..fanin_start[idx + 1] as usize] {
+                l = l.max(level[pred as usize] + 1);
+            }
+            level[idx] = l;
+            num_levels = num_levels.max(l + 1);
+        }
+        // Counting sort into the CSR layout; the forward scan preserves
+        // ascending raw index within each level.
+        let mut level_start = vec![0u32; num_levels as usize + 1];
+        for &l in &level {
+            level_start[l as usize + 1] += 1;
+        }
+        for l in 0..num_levels as usize {
+            level_start[l + 1] += level_start[l];
+        }
+        let mut level_nodes = vec![0u32; n];
+        let mut cursor: Vec<u32> = level_start[..num_levels as usize].to_vec();
+        for (idx, &l) in level.iter().enumerate() {
+            level_nodes[cursor[l as usize] as usize] = idx as u32;
+            cursor[l as usize] += 1;
+        }
+
         CircuitTopology {
             num_components: graph.num_components(),
             kind,
@@ -423,12 +588,34 @@ impl CircuitTopology {
             fanout_list,
             fanin_start,
             fanin_list,
+            level_start,
+            level_nodes,
         }
     }
 
     /// Number of nodes in the snapshot.
     pub fn num_nodes(&self) -> usize {
         self.kind.len()
+    }
+
+    /// Number of topological levels in the cached partition.
+    pub fn num_levels(&self) -> usize {
+        self.level_start.len() - 1
+    }
+
+    /// The node indices of level `l`, in ascending raw-index order. Levels
+    /// partition the nodes; nodes within one level share no fanin/fanout
+    /// edge (see the module docs).
+    #[inline(always)]
+    pub fn level(&self, l: usize) -> &[u32] {
+        &self.level_nodes[self.level_start[l] as usize..self.level_start[l + 1] as usize]
+    }
+
+    /// Dense component index of node `idx`, when the node is sizable.
+    #[inline(always)]
+    pub fn component_of(&self, idx: usize) -> Option<usize> {
+        let comp = self.comp_of[idx];
+        (comp != NOT_SIZABLE).then_some(comp)
     }
 
     /// Raw node index of the dense component `comp`.
@@ -626,9 +813,397 @@ impl CircuitTopology {
             + (self.fanout_start.capacity()
                 + self.fanout_list.capacity()
                 + self.fanin_start.capacity()
-                + self.fanin_list.capacity())
+                + self.fanin_list.capacity()
+                + self.level_start.capacity()
+                + self.level_nodes.capacity())
                 * size_of::<u32>()
             + size_of::<Self>()
+    }
+
+    // ------------------------------------------------------------------
+    // Level-chunked traversal kernels. Each processes the nodes of one
+    // chunk of one topological level, with per-node arithmetic identical
+    // (expression for expression) to the sequential whole-circuit methods
+    // above, so a level-ordered sweep over every chunk produces bitwise
+    // identical per-node results regardless of how the chunks of a level
+    // are interleaved or distributed across workers.
+    // ------------------------------------------------------------------
+
+    /// One chunk of a backward (reverse-topological) downstream-capacitance
+    /// rebuild: the `downstream_caps_into` arithmetic for `nodes`, which
+    /// must all belong to one level whose higher levels have been fully
+    /// settled.
+    ///
+    /// # Safety
+    ///
+    /// * `nodes` is a subset of one topological level of this topology, and
+    ///   all levels above it are settled in `presented`;
+    /// * `charged`/`presented` wrap slices of one entry per node, `extra_cap`
+    ///   has one entry per node, `sizes` one entry per component;
+    /// * no other borrower concurrently accesses the `charged`/`presented`
+    ///   entries of `nodes` (chunks of one level are disjoint by
+    ///   construction).
+    pub unsafe fn downstream_caps_chunk(
+        &self,
+        nodes: &[u32],
+        sizes: &[f64],
+        extra_cap: &[f64],
+        charged: SharedMut<'_, f64>,
+        presented: SharedMut<'_, f64>,
+    ) {
+        for &idx in nodes {
+            let idx = idx as usize;
+            let extra = *extra_cap.get_unchecked(idx);
+            match *self.kind.get_unchecked(idx) {
+                KindTag::Source | KindTag::Sink => {
+                    charged.set(idx, 0.0);
+                    presented.set(idx, 0.0);
+                }
+                KindTag::Driver => {
+                    let mut c = 0.0;
+                    for &child in self.fanout_unchecked(idx) {
+                        c += self.child_load_shared(idx, child as usize, sizes, presented);
+                    }
+                    c += extra;
+                    charged.set(idx, c);
+                    presented.set(idx, 0.0);
+                }
+                KindTag::Gate => {
+                    let mut c = 0.0;
+                    for &child in self.fanout_unchecked(idx) {
+                        c += self.child_load_shared(idx, child as usize, sizes, presented);
+                    }
+                    c += extra;
+                    charged.set(idx, c);
+                    presented.set(idx, self.capacitance_unchecked(idx, sizes));
+                }
+                KindTag::Wire => {
+                    let own = self.capacitance_unchecked(idx, sizes);
+                    let mut downstream = 0.0;
+                    for &child in self.fanout_unchecked(idx) {
+                        downstream += self.child_load_shared(idx, child as usize, sizes, presented);
+                    }
+                    charged.set(idx, own / 2.0 + extra + downstream);
+                    presented.set(idx, own + extra + downstream);
+                }
+            }
+        }
+    }
+
+    /// One chunk of a forward upstream-resistance rebuild: the
+    /// `upstream_resistance_into` arithmetic for `nodes`, which must all
+    /// belong to one level whose lower levels have been fully settled.
+    ///
+    /// # Safety
+    ///
+    /// As [`downstream_caps_chunk`](Self::downstream_caps_chunk), with
+    /// `upstream` in place of `charged`/`presented` and *lower* levels
+    /// settled.
+    pub unsafe fn upstream_resistance_chunk(
+        &self,
+        nodes: &[u32],
+        sizes: &[f64],
+        weights: &[f64],
+        upstream: SharedMut<'_, f64>,
+    ) {
+        for &idx in nodes {
+            let idx = idx as usize;
+            let mut acc = 0.0;
+            for &pred in self.fanin_unchecked(idx) {
+                let p = pred as usize;
+                match *self.kind.get_unchecked(p) {
+                    KindTag::Source => {}
+                    KindTag::Driver | KindTag::Gate => {
+                        acc += *weights.get_unchecked(p) * self.resistance_unchecked(p, sizes);
+                    }
+                    KindTag::Wire => {
+                        acc += upstream.get(p)
+                            + *weights.get_unchecked(p) * self.resistance_unchecked(p, sizes);
+                    }
+                    KindTag::Sink => unreachable!("sink has no fanout"),
+                }
+            }
+            upstream.set(idx, acc);
+        }
+    }
+
+    /// One chunk of a backward **fused Gauss–Seidel** pass: the
+    /// `fused_downstream_resize` arithmetic for `nodes` (one level, higher
+    /// levels settled), resizing each sizable component through `resize` the
+    /// moment its charged capacitance is known.
+    ///
+    /// # Safety
+    ///
+    /// As [`downstream_caps_chunk`](Self::downstream_caps_chunk); in
+    /// addition `xs` wraps the per-component size slice and no other
+    /// borrower concurrently accesses the sizes of the components of
+    /// `nodes` (one node per component, so level-chunk disjointness covers
+    /// this too). The `resize` closure must only touch state owned by the
+    /// chunk.
+    pub unsafe fn fused_downstream_chunk<F: FnMut(usize, usize, f64, f64) -> f64>(
+        &self,
+        nodes: &[u32],
+        xs: SharedMut<'_, f64>,
+        extra_cap: &[f64],
+        charged: SharedMut<'_, f64>,
+        presented: SharedMut<'_, f64>,
+        resize: &mut F,
+    ) {
+        for &idx in nodes {
+            let idx = idx as usize;
+            let extra = *extra_cap.get_unchecked(idx);
+            match *self.kind.get_unchecked(idx) {
+                KindTag::Source | KindTag::Sink => {
+                    charged.set(idx, 0.0);
+                    presented.set(idx, 0.0);
+                }
+                KindTag::Driver => {
+                    let mut c = 0.0;
+                    for &child in self.fanout_unchecked(idx) {
+                        c += self.child_load_fused(idx, child as usize, xs, presented);
+                    }
+                    charged.set(idx, c + extra);
+                    presented.set(idx, 0.0);
+                }
+                KindTag::Gate => {
+                    let mut c = 0.0;
+                    for &child in self.fanout_unchecked(idx) {
+                        c += self.child_load_fused(idx, child as usize, xs, presented);
+                    }
+                    let c = c + extra;
+                    charged.set(idx, c);
+                    let comp = *self.comp_of.get_unchecked(idx);
+                    let x = xs.get(comp);
+                    let x_new = resize(comp, idx, c, x);
+                    if x_new != x {
+                        xs.set(comp, x_new);
+                    }
+                    presented.set(idx, *self.unit_capacitance.get_unchecked(idx) * x_new);
+                }
+                KindTag::Wire => {
+                    let mut downstream = 0.0;
+                    for &child in self.fanout_unchecked(idx) {
+                        downstream += self.child_load_fused(idx, child as usize, xs, presented);
+                    }
+                    let comp = *self.comp_of.get_unchecked(idx);
+                    let x = xs.get(comp);
+                    let unit_cap = *self.unit_capacitance.get_unchecked(idx);
+                    let fringing = *self.fringing.get_unchecked(idx);
+                    let own = unit_cap * x + fringing;
+                    let c = own / 2.0 + extra + downstream;
+                    let x_new = resize(comp, idx, c, x);
+                    if x_new != x {
+                        xs.set(comp, x_new);
+                        let own_new = unit_cap * x_new + fringing;
+                        charged.set(idx, own_new / 2.0 + extra + downstream);
+                        presented.set(idx, own_new + extra + downstream);
+                    } else {
+                        charged.set(idx, c);
+                        presented.set(idx, own + extra + downstream);
+                    }
+                }
+            }
+        }
+    }
+
+    /// One chunk of a forward **fused Gauss–Seidel** pass: the
+    /// `fused_upstream_resize` arithmetic for `nodes` (one level, lower
+    /// levels settled).
+    ///
+    /// # Safety
+    ///
+    /// As [`upstream_resistance_chunk`](Self::upstream_resistance_chunk),
+    /// plus the `xs` ownership contract of
+    /// [`fused_downstream_chunk`](Self::fused_downstream_chunk).
+    pub unsafe fn fused_upstream_chunk<F: FnMut(usize, usize, f64, f64) -> f64>(
+        &self,
+        nodes: &[u32],
+        xs: SharedMut<'_, f64>,
+        weights: &[f64],
+        upstream: SharedMut<'_, f64>,
+        resize: &mut F,
+    ) {
+        for &idx in nodes {
+            let idx = idx as usize;
+            let mut acc = 0.0;
+            for &pred in self.fanin_unchecked(idx) {
+                let p = pred as usize;
+                match *self.kind.get_unchecked(p) {
+                    KindTag::Source | KindTag::Sink => {}
+                    KindTag::Driver | KindTag::Gate => {
+                        acc += *weights.get_unchecked(p) * self.resistance_shared(p, xs);
+                    }
+                    KindTag::Wire => {
+                        acc += upstream.get(p)
+                            + *weights.get_unchecked(p) * self.resistance_shared(p, xs);
+                    }
+                }
+            }
+            upstream.set(idx, acc);
+            let comp = *self.comp_of.get_unchecked(idx);
+            if comp != NOT_SIZABLE {
+                let x = xs.get(comp);
+                let x_new = resize(comp, idx, acc, x);
+                if x_new != x {
+                    xs.set(comp, x_new);
+                }
+            }
+        }
+    }
+
+    /// One chunk of the per-component delay evaluation (`delays_into` for a
+    /// contiguous node range; delays are per-node independent, so any
+    /// partition works).
+    ///
+    /// # Safety
+    ///
+    /// `range` is within the node count; no other borrower concurrently
+    /// accesses the `delays` entries of `range`; slice lengths match the
+    /// circuit.
+    pub unsafe fn delays_chunk(
+        &self,
+        range: std::ops::Range<usize>,
+        sizes: &[f64],
+        charged: &[f64],
+        delays: SharedMut<'_, f64>,
+    ) {
+        for idx in range {
+            let d = match *self.kind.get_unchecked(idx) {
+                KindTag::Source | KindTag::Sink => 0.0,
+                _ => self.resistance_unchecked(idx, sizes) * *charged.get_unchecked(idx),
+            };
+            delays.set(idx, d);
+        }
+    }
+
+    /// One chunk of a forward arrival-time propagation: the
+    /// `propagate_arrivals` recurrence (same fanin order, same `>=`
+    /// tie-breaking) for `nodes`, which must all belong to one level whose
+    /// lower levels have settled arrivals. Critical-path extraction is the
+    /// caller's sequential epilogue over `pred`.
+    ///
+    /// # Safety
+    ///
+    /// As [`upstream_resistance_chunk`](Self::upstream_resistance_chunk),
+    /// with `arrival`/`pred` owned per node.
+    pub unsafe fn arrivals_chunk(
+        &self,
+        nodes: &[u32],
+        delays: &[f64],
+        arrival: SharedMut<'_, f64>,
+        pred: SharedMut<'_, usize>,
+    ) {
+        for &idx in nodes {
+            let idx = idx as usize;
+            pred.set(idx, NO_PRED);
+            match *self.kind.get_unchecked(idx) {
+                KindTag::Source => arrival.set(idx, 0.0),
+                KindTag::Sink => {
+                    let mut best = 0.0;
+                    let mut best_pred = NO_PRED;
+                    for &j in self.fanin_unchecked(idx) {
+                        let j = j as usize;
+                        if arrival.get(j) >= best {
+                            best = arrival.get(j);
+                            best_pred = j;
+                        }
+                    }
+                    arrival.set(idx, best);
+                    pred.set(idx, best_pred);
+                }
+                KindTag::Driver => {
+                    arrival.set(idx, *delays.get_unchecked(idx));
+                }
+                KindTag::Gate | KindTag::Wire => {
+                    let mut best = 0.0;
+                    let mut best_pred = NO_PRED;
+                    for &j in self.fanin_unchecked(idx) {
+                        let j = j as usize;
+                        if matches!(*self.kind.get_unchecked(j), KindTag::Source) {
+                            continue;
+                        }
+                        if arrival.get(j) >= best {
+                            best = arrival.get(j);
+                            best_pred = j;
+                        }
+                    }
+                    arrival.set(idx, best + *delays.get_unchecked(idx));
+                    pred.set(idx, best_pred);
+                }
+            }
+        }
+    }
+
+    /// `child_load` over a shared `presented` view (rebuild variant).
+    ///
+    /// # Safety
+    ///
+    /// As `child_load_unchecked`; the child's `presented` entry is settled.
+    #[inline(always)]
+    unsafe fn child_load_shared(
+        &self,
+        parent: usize,
+        child: usize,
+        sizes: &[f64],
+        presented: SharedMut<'_, f64>,
+    ) -> f64 {
+        match *self.kind.get_unchecked(child) {
+            KindTag::Sink => *self.output_load.get_unchecked(parent),
+            KindTag::Gate => self.capacitance_unchecked(child, sizes),
+            KindTag::Wire => presented.get(child),
+            KindTag::Driver | KindTag::Source => 0.0,
+        }
+    }
+
+    /// `child_load` over shared `xs`/`presented` views (fused variant: the
+    /// child's size and presented load reflect its post-resize state).
+    ///
+    /// # Safety
+    ///
+    /// As `child_load_unchecked`; the child's entries are settled.
+    #[inline(always)]
+    unsafe fn child_load_fused(
+        &self,
+        parent: usize,
+        child: usize,
+        xs: SharedMut<'_, f64>,
+        presented: SharedMut<'_, f64>,
+    ) -> f64 {
+        match *self.kind.get_unchecked(child) {
+            KindTag::Sink => *self.output_load.get_unchecked(parent),
+            KindTag::Gate => {
+                let comp = *self.comp_of.get_unchecked(child);
+                *self.unit_capacitance.get_unchecked(child) * xs.get(comp)
+            }
+            KindTag::Wire => presented.get(child),
+            KindTag::Driver | KindTag::Source => 0.0,
+        }
+    }
+
+    /// `resistance` over a shared size view.
+    ///
+    /// # Safety
+    ///
+    /// `idx < num_nodes`; the component's size entry is settled.
+    #[inline(always)]
+    unsafe fn resistance_shared(&self, idx: usize, xs: SharedMut<'_, f64>) -> f64 {
+        match *self.kind.get_unchecked(idx) {
+            KindTag::Driver => *self.unit_resistance.get_unchecked(idx),
+            KindTag::Gate | KindTag::Wire => {
+                let comp = *self.comp_of.get_unchecked(idx);
+                let x = if comp == NOT_SIZABLE {
+                    1.0
+                } else {
+                    xs.get(comp)
+                };
+                if x > 0.0 {
+                    *self.unit_resistance.get_unchecked(idx) / x
+                } else {
+                    f64::INFINITY
+                }
+            }
+            KindTag::Source | KindTag::Sink => 0.0,
+        }
     }
 }
 
@@ -647,6 +1222,10 @@ impl DelayModel for ElmoreModel {
 
     fn state_memory_bytes(&self, state: &CircuitTopology) -> usize {
         state.memory_bytes()
+    }
+
+    fn dense_topology<'s>(&self, state: &'s CircuitTopology) -> Option<&'s CircuitTopology> {
+        Some(state)
     }
 
     fn downstream_caps_into(
@@ -1533,6 +2112,209 @@ mod tests {
             &mut inc,
         );
         assert_eq!(charged, before, "empty dirty set must be a no-op");
+    }
+
+    #[test]
+    fn level_partition_upholds_its_invariant() {
+        let c = chain();
+        let topo = CircuitTopology::new(&c);
+        // The partition covers every node exactly once...
+        let mut seen = vec![false; c.num_nodes()];
+        let mut level_of = vec![0usize; c.num_nodes()];
+        for l in 0..topo.num_levels() {
+            let nodes = topo.level(l);
+            assert!(!nodes.is_empty(), "levels are non-empty by construction");
+            // ...in ascending raw-index order within each level.
+            assert!(nodes.windows(2).all(|w| w[0] < w[1]));
+            for &idx in nodes {
+                assert!(!seen[idx as usize], "node {idx} appears twice");
+                seen[idx as usize] = true;
+                level_of[idx as usize] = l;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every node has a level");
+        // Every edge crosses levels strictly upward, so nodes of one level
+        // share no fanin/fanout edge.
+        for idx in 0..c.num_nodes() {
+            for &child in topo.fanout(idx) {
+                assert!(
+                    level_of[child as usize] > level_of[idx],
+                    "edge {idx} -> {child} must cross levels strictly upward"
+                );
+            }
+        }
+    }
+
+    /// Drives the chunk kernels over the level partition (chunks of at most
+    /// two nodes) and checks the result is bitwise identical to the
+    /// sequential whole-circuit traversals.
+    #[test]
+    fn chunk_kernels_match_sequential_traversals_bitwise() {
+        let c = chain();
+        let model = ElmoreModel;
+        let topo = model.prepare(&c);
+        let n = c.num_nodes();
+        let sizes = c.uniform_sizes(1.7);
+        let mut extra = vec![0.0; n];
+        extra[c.node_by_name("w1").unwrap().index()] = 2.5;
+        let weights = vec![0.6; n];
+
+        // Sequential reference.
+        let mut ws = EvalWorkspace::new(&c);
+        model.downstream_caps_into(
+            &topo,
+            &sizes,
+            Some(&extra),
+            &mut ws.charged,
+            &mut ws.presented,
+        );
+        model.upstream_resistance_into(&topo, &sizes, &weights, &mut ws.upstream);
+        model.delays_into(&topo, &sizes, &ws.charged, &mut ws.delays);
+        let reference_delay = model.propagate_arrivals(
+            &topo,
+            &c,
+            &ws.delays,
+            &mut ws.arrival,
+            &mut ws.pred,
+            &mut ws.critical_path,
+        );
+
+        // Chunked: levels in dependency order, each level in chunks of 2.
+        let mut charged = vec![0.0; n];
+        let mut presented = vec![0.0; n];
+        let mut upstream = vec![0.0; n];
+        let mut delays = vec![0.0; n];
+        let mut arrival = vec![0.0; n];
+        let mut pred = vec![NO_PRED; n];
+        {
+            let charged_s = SharedMut::new(&mut charged);
+            let presented_s = SharedMut::new(&mut presented);
+            for l in (0..topo.num_levels()).rev() {
+                for chunk in topo.level(l).chunks(2) {
+                    // SAFETY: chunks of one level are disjoint; levels are
+                    // processed in reverse dependency order.
+                    unsafe {
+                        topo.downstream_caps_chunk(
+                            chunk,
+                            sizes.as_slice(),
+                            &extra,
+                            charged_s,
+                            presented_s,
+                        );
+                    }
+                }
+            }
+            let upstream_s = SharedMut::new(&mut upstream);
+            let delays_s = SharedMut::new(&mut delays);
+            let arrival_s = SharedMut::new(&mut arrival);
+            let pred_s = SharedMut::new(&mut pred);
+            for l in 0..topo.num_levels() {
+                for chunk in topo.level(l).chunks(2) {
+                    // SAFETY: as above, forward dependency order.
+                    unsafe {
+                        topo.upstream_resistance_chunk(
+                            chunk,
+                            sizes.as_slice(),
+                            &weights,
+                            upstream_s,
+                        );
+                    }
+                }
+            }
+            // SAFETY: per-node independent.
+            unsafe { topo.delays_chunk(0..n, sizes.as_slice(), &charged, delays_s) };
+            for l in 0..topo.num_levels() {
+                for chunk in topo.level(l).chunks(2) {
+                    // SAFETY: forward dependency order.
+                    unsafe { topo.arrivals_chunk(chunk, &delays, arrival_s, pred_s) };
+                }
+            }
+        }
+        assert_eq!(charged, ws.charged);
+        assert_eq!(presented, ws.presented);
+        assert_eq!(upstream, ws.upstream);
+        assert_eq!(delays, ws.delays);
+        assert_eq!(arrival, ws.arrival);
+        assert_eq!(pred, ws.pred);
+        assert_eq!(arrival[c.sink().index()], reference_delay);
+    }
+
+    /// The fused chunk kernels, driven level by level with a greedy resize
+    /// closure, match the sequential fused passes bitwise.
+    #[test]
+    fn fused_chunk_kernels_match_sequential_fused_passes() {
+        let c = chain();
+        let model = ElmoreModel;
+        let topo = model.prepare(&c);
+        let n = c.num_nodes();
+        let extra = vec![0.1; n];
+        let weights = vec![0.4; n];
+        let resize = |_comp: usize, _node: usize, value: f64, x: f64| -> f64 {
+            // A deterministic, value-dependent resize exercising the
+            // in-sweep freshness.
+            (x * 0.5 + value.sqrt().min(4.0) * 0.5).clamp(0.2, 8.0)
+        };
+
+        // Sequential fused passes.
+        let mut seq_sizes = c.uniform_sizes(1.0);
+        let mut seq_charged = vec![0.0; n];
+        let mut seq_presented = vec![0.0; n];
+        assert!(model.fused_downstream_resize(
+            &topo,
+            &mut seq_sizes,
+            &extra,
+            &mut seq_charged,
+            &mut seq_presented,
+            &mut { resize },
+        ));
+        let mut seq_upstream = vec![0.0; n];
+        assert!(model.fused_upstream_resize(
+            &topo,
+            &mut seq_sizes,
+            &weights,
+            &mut seq_upstream,
+            &mut { resize },
+        ));
+
+        // Chunked fused passes over the level partition.
+        let mut par_sizes = c.uniform_sizes(1.0);
+        let mut par_charged = vec![0.0; n];
+        let mut par_presented = vec![0.0; n];
+        let mut par_upstream = vec![0.0; n];
+        {
+            let xs = SharedMut::new(par_sizes.as_mut_slice());
+            let charged_s = SharedMut::new(&mut par_charged);
+            let presented_s = SharedMut::new(&mut par_presented);
+            for l in (0..topo.num_levels()).rev() {
+                for chunk in topo.level(l).chunks(2) {
+                    // SAFETY: chunks of one level are disjoint; reverse
+                    // dependency order.
+                    unsafe {
+                        topo.fused_downstream_chunk(
+                            chunk,
+                            xs,
+                            &extra,
+                            charged_s,
+                            presented_s,
+                            &mut { resize },
+                        );
+                    }
+                }
+            }
+            let upstream_s = SharedMut::new(&mut par_upstream);
+            for l in 0..topo.num_levels() {
+                for chunk in topo.level(l).chunks(2) {
+                    // SAFETY: forward dependency order.
+                    unsafe {
+                        topo.fused_upstream_chunk(chunk, xs, &weights, upstream_s, &mut { resize });
+                    }
+                }
+            }
+        }
+        assert_eq!(par_sizes, seq_sizes);
+        assert_eq!(par_charged, seq_charged);
+        assert_eq!(par_presented, seq_presented);
+        assert_eq!(par_upstream, seq_upstream);
     }
 
     #[test]

@@ -79,7 +79,7 @@ pub use builder::CircuitBuilder;
 pub use elmore::{DownstreamCaps, ElmoreAnalyzer};
 pub use engine::{
     propagate_arrivals_into, CircuitTopology, DelayModel, ElmoreModel, EvalWorkspace,
-    IncrementalWorkspace, KindTag, NO_PRED,
+    IncrementalWorkspace, KindTag, SharedMut, NO_PRED,
 };
 pub use error::CircuitError;
 pub use graph::CircuitGraph;

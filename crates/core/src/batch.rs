@@ -3,9 +3,13 @@
 //! [`BatchRunner`] is the throughput surface for serving many scenarios:
 //! it runs one full two-stage flow per [`ProblemInstance`] and returns the
 //! per-instance results in input order. With the `parallel` feature the
-//! instances are fanned out across OS threads (`std::thread::scope`, like
-//! the stage-1 channel fan-out); each worker processes its chunk
-//! sequentially, and within each instance one
+//! instances are fanned out across OS threads (`std::thread::scope`)
+//! through an **atomic work queue**: each worker pops the next pending
+//! instance as it finishes its current one, so a batch of mixed-size
+//! instances never serializes behind the worker that drew the largest
+//! contiguous chunk (the pre-queue behavior). Results are indexed back
+//! into their input slots, so the output order — and, run for run, every
+//! outcome — is identical to the serial path. Within each instance one
 //! [`SizingEngine`](crate::SizingEngine) workspace serves every evaluation
 //! of the sizing run, so a worker's live working set stays at one engine.
 //!
@@ -108,15 +112,22 @@ impl BatchRunner {
             .collect()
     }
 
-    /// Fans the instances out across OS threads in contiguous chunks;
-    /// results are reassembled in input order, so the output is identical to
-    /// the serial path.
+    /// Fans the instances out across OS threads through an atomic work
+    /// queue: whichever worker is free pops the next instance, so mixed-size
+    /// batches never serialize behind the largest contiguous chunk. Each
+    /// result lands in its input-index slot, so the output is identical to
+    /// the serial path; an instance popped after the shared control was
+    /// cancelled (or past its deadline) is still skipped *before* stage 1
+    /// and its slot holds [`CoreError::Interrupted`] — PR 2's guarantee,
+    /// regression-tested below.
     #[cfg(feature = "parallel")]
     fn run_impl(
         &self,
         instances: &[ProblemInstance],
         control: &RunControl<'_>,
     ) -> Vec<Result<OptimizationOutcome, CoreError>> {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
         let workers = self
             .threads
             .unwrap_or_else(|| {
@@ -135,15 +146,28 @@ impl BatchRunner {
 
         let mut slots: Vec<Option<Result<OptimizationOutcome, CoreError>>> = Vec::new();
         slots.resize_with(instances.len(), || None);
-        let chunk = instances.len().div_ceil(workers);
+        let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
-            for (instance_chunk, slot_chunk) in instances.chunks(chunk).zip(slots.chunks_mut(chunk))
-            {
-                scope.spawn(move || {
-                    for (instance, slot) in instance_chunk.iter().zip(slot_chunk.iter_mut()) {
-                        *slot = Some(self.run_one(instance, control));
-                    }
-                });
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut completed = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= instances.len() {
+                                break;
+                            }
+                            completed.push((i, self.run_one(&instances[i], control)));
+                        }
+                        completed
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, result) in handle.join().expect("batch worker panicked") {
+                    slots[i] = Some(result);
+                }
             }
         });
         slots
@@ -214,6 +238,80 @@ mod tests {
                 })
             ));
         }
+    }
+
+    /// An observer that cancels the shared flag as soon as it has seen
+    /// `after` iteration events (interior mutability — one observer, many
+    /// concurrent runs).
+    struct CancelAfterEvents {
+        flag: CancelFlag,
+        after: usize,
+        seen: std::sync::atomic::AtomicUsize,
+    }
+
+    impl crate::control::Observer for CancelAfterEvents {
+        fn on_iteration(&self, _event: &crate::control::IterationEvent<'_>) {
+            let seen = self.seen.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+            if seen >= self.after {
+                self.flag.cancel();
+            }
+        }
+    }
+
+    /// Regression for the work-queue refactor: a cancellation observed
+    /// *between* an instance being queued and its `run_one` must still
+    /// yield `CoreError::Interrupted` in every remaining slot (PR 2's
+    /// skip-before-stage-1 guarantee), with the slots still lining up with
+    /// the input order.
+    #[test]
+    fn mid_batch_cancellation_interrupts_every_remaining_slot() {
+        let instances: Vec<ProblemInstance> = (0..8u64)
+            .map(|seed| {
+                SyntheticGenerator::new(
+                    CircuitSpec::new(format!("cancel-{seed}"), 30, 70)
+                        .with_seed(seed)
+                        .with_num_patterns(16),
+                )
+                .generate()
+                .unwrap()
+            })
+            .collect();
+        let flag = CancelFlag::new();
+        let observer = CancelAfterEvents {
+            flag: flag.clone(),
+            after: 1,
+            seen: std::sync::atomic::AtomicUsize::new(0),
+        };
+        let control = RunControl::new()
+            .with_cancel_flag(flag)
+            .with_observer(&observer);
+        let results = BatchRunner::new(quick_config())
+            .with_threads(2)
+            .run(&instances, &control);
+
+        assert_eq!(results.len(), instances.len(), "one slot per instance");
+        let mut interrupted = 0usize;
+        for (instance, result) in instances.iter().zip(&results) {
+            match result {
+                // An instance already past the pre-check finishes its run
+                // cooperatively and reports the cancellation in its record.
+                Ok(outcome) => assert_eq!(outcome.report.name, instance.name, "slot order"),
+                Err(CoreError::Interrupted {
+                    reason: StopReason::Cancelled,
+                }) => interrupted += 1,
+                Err(other) => panic!("unexpected error for {}: {other:?}", instance.name),
+            }
+        }
+        // The flag fires during the very first iteration of the first
+        // in-flight run, so at most the instances already popped from the
+        // queue (one per worker) can complete; everything else must have
+        // been skipped before its stage 1.
+        assert!(
+            interrupted >= instances.len().saturating_sub(4),
+            "expected most slots interrupted, got {interrupted} of {}",
+            instances.len()
+        );
+        assert!(interrupted >= 1, "at least one slot must be interrupted");
     }
 
     #[test]

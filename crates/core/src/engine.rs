@@ -17,12 +17,16 @@
 //! implement [`DelayModel`] and plug in through
 //! [`SizingEngine::with_model`].
 
-use ncgws_circuit::{CircuitGraph, DelayModel, ElmoreModel, EvalWorkspace, NodeId, SizeVector};
+use ncgws_circuit::{
+    CircuitGraph, CircuitTopology, DelayModel, ElmoreModel, EvalWorkspace, NodeId, SharedMut,
+    SizeVector, NO_PRED,
+};
 use ncgws_coupling::CouplingSet;
 
 use crate::constraints::ConstraintSet;
 use crate::lagrangian::Multipliers;
 use crate::metrics::CircuitMetrics;
+use crate::par::{self, LevelGrid, ParRuntime, ParallelPolicy};
 use crate::problem::SizingProblem;
 use crate::schedule::{AdaptiveSchedule, ScheduleWorkspace};
 use crate::units;
@@ -83,6 +87,65 @@ pub struct SizingEngine<'a, M: DelayModel = ElmoreModel> {
     /// Mutable state of the adaptive solve schedule (active/frozen
     /// partition, dirty sets, incremental-evaluation scratch).
     pub(crate) sched: ScheduleWorkspace,
+    /// The parallel runtime ([`crate::par`]): policy, worker pool and
+    /// work-queue heads. Sequential until [`set_parallel`](Self::set_parallel)
+    /// selects the level grid.
+    pub(crate) par: ParRuntime,
+    /// The deterministic chunk grid over the backend's level partition
+    /// (empty when the backend exposes no dense topology).
+    grid: LevelGrid,
+    /// Coupling-pair indices grouped by *channel shard* (connected
+    /// components of the pair graph), global pair order within each shard —
+    /// so concurrent shards never write the same per-node accumulator and
+    /// every node's adds happen in global pair order (bitwise identical to
+    /// the sequential scatter).
+    scatter_pairs: Vec<u32>,
+    /// CSR offsets into `scatter_pairs`, one per shard plus a trailing total.
+    scatter_shard_start: Vec<u32>,
+    /// Chunk grid over the shards: chunk `c` covers shards
+    /// `scatter_chunk_start[c]..scatter_chunk_start[c + 1]`, grouped to a
+    /// fixed pair budget (thread-count independent).
+    scatter_chunk_start: Vec<u32>,
+    /// Per-chunk reduction slots of the parallel sweeps, merged in fixed
+    /// chunk order after every pass.
+    pscratch: ParScratch,
+}
+
+/// Per-chunk reduction slots for the parallel sweeps (sized once per
+/// engine). Each chunk writes only its own slots / scratch segment during a
+/// pass; the caller merges them in fixed chunk order afterwards, which is
+/// what makes the reductions independent of the thread count.
+#[derive(Debug, Clone, Default)]
+struct ParScratch {
+    /// Worst relative size change seen by each chunk.
+    chunk_worst: Vec<f64>,
+    /// Components touched (resized) by each chunk.
+    chunk_touched: Vec<u32>,
+    /// Number of entries each chunk wrote into its `chunk_changed` segment.
+    chunk_changed_len: Vec<u32>,
+    /// Changed-component records, one disjoint segment per chunk (indexed
+    /// by the chunk's level-ordered node-position base).
+    chunk_changed: Vec<u32>,
+}
+
+impl ParScratch {
+    fn new(total_chunks: usize, num_nodes: usize) -> Self {
+        ParScratch {
+            chunk_worst: vec![0.0; total_chunks],
+            chunk_touched: vec![0; total_chunks],
+            chunk_changed_len: vec![0; total_chunks],
+            chunk_changed: vec![0; num_nodes],
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.chunk_worst.capacity() * size_of::<f64>()
+            + (self.chunk_touched.capacity()
+                + self.chunk_changed_len.capacity()
+                + self.chunk_changed.capacity())
+                * size_of::<u32>()
+    }
 }
 
 /// Per-sweep immutable view of the Theorem-5 closed-form resize inputs,
@@ -134,6 +197,73 @@ impl ResizeTables<'_> {
         let x_new = opt.clamp(self.lower_bound[comp], self.upper_bound[comp]);
         let rel = (x_new - x_i).abs() / x_i.abs().max(1e-12);
         (x_new, rel)
+    }
+}
+
+/// Chunk-shared context of one level-parallel fused resize pass: the
+/// Theorem-5 tables, the freeze schedule and the shared per-component
+/// views. [`apply`](Self::apply) is the single place the parallel passes'
+/// per-component semantics live — both traversal directions feed it their
+/// fresh quantity and the pass-fixed complement, and the calm/freeze rule
+/// delegates to [`ScheduleWorkspace::note_resize_shared`], the canonical
+/// home it shares with the sequential schedule.
+struct FusedChunkCtx<'a> {
+    tables: ResizeTables<'a>,
+    schedule: &'a AdaptiveSchedule,
+    resize_all: bool,
+    calm: SharedMut<'a, u32>,
+    frozen: SharedMut<'a, bool>,
+    /// Changed-component scratch; each chunk writes only its own disjoint
+    /// segment (based at its level-ordered node position).
+    chunk_changed: SharedMut<'a, u32>,
+}
+
+/// Per-chunk running reductions of one fused pass, merged in fixed chunk
+/// order by the caller.
+#[derive(Default)]
+struct ChunkStats {
+    worst: f64,
+    touched: u32,
+    changed: u32,
+}
+
+impl FusedChunkCtx<'_> {
+    /// Resizes one component: frozen-skip, closed form, calm/freeze
+    /// bookkeeping and the chunk's dirty-frontier record. Returns the new
+    /// size.
+    ///
+    /// # Safety
+    ///
+    /// `comp` belongs to the calling chunk (no other chunk touches its
+    /// `calm`/`frozen` entries) and `seg` is the chunk's disjoint scratch
+    /// segment; `stats.changed` stays within the chunk's node count.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn apply(
+        &self,
+        comp: usize,
+        x_i: f64,
+        charged_i: f64,
+        upstream_i: f64,
+        lambda_i: f64,
+        seg: usize,
+        stats: &mut ChunkStats,
+    ) -> f64 {
+        if !self.resize_all && self.frozen.get(comp) {
+            return x_i;
+        }
+        stats.touched += 1;
+        let (x_new, rel) = self
+            .tables
+            .closed_form(comp, x_i, charged_i, upstream_i, lambda_i);
+        stats.worst = stats.worst.max(rel);
+        ScheduleWorkspace::note_resize_shared(self.calm, self.frozen, comp, rel, self.schedule);
+        if x_new != x_i {
+            self.chunk_changed
+                .set(seg + stats.changed as usize, comp as u32);
+            stats.changed += 1;
+        }
+        x_new
     }
 }
 
@@ -218,6 +348,14 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
             });
         }
         let (comp_pair_start, comp_pair_list) = Self::build_pair_adjacency(n, &pair_table);
+        let grid = match model.dense_topology(&state) {
+            Some(topo) => LevelGrid::new((0..topo.num_levels()).map(|l| topo.level(l).len())),
+            None => LevelGrid::default(),
+        };
+        let (scatter_pairs, scatter_shard_start, scatter_chunk_start) =
+            Self::build_scatter_shards(graph.num_nodes(), &pair_table);
+        let total_chunks = grid.total_chunks().max(par::flat_chunks(graph.num_nodes()));
+        let pscratch = ParScratch::new(total_chunks, graph.num_nodes());
         SizingEngine {
             graph,
             coupling,
@@ -238,7 +376,118 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
             comp_pair_start,
             comp_pair_list,
             sched: ScheduleWorkspace::new(graph.num_nodes(), n),
+            par: ParRuntime::new(),
+            grid,
+            scatter_pairs,
+            scatter_shard_start,
+            scatter_chunk_start,
+            pscratch,
         }
+    }
+
+    /// Groups the coupling pairs into *channel shards*: the connected
+    /// components of the pair graph (wires of one routing channel couple
+    /// only to each other, so each channel lands in its own shard). Within a
+    /// shard the pairs keep their global order, so every node's accumulation
+    /// sequence under a sharded scatter is exactly its subsequence of the
+    /// sequential scatter — bitwise identical sums. Shards are then grouped
+    /// into chunks of a fixed pair budget for the flat runner.
+    fn build_scatter_shards(
+        num_nodes: usize,
+        pairs: &[PairEntry],
+    ) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+        if pairs.is_empty() {
+            return (Vec::new(), vec![0], vec![0]);
+        }
+        // Union-find over raw node indices (path halving).
+        let mut parent: Vec<u32> = (0..num_nodes as u32).collect();
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                let grand = parent[parent[x as usize] as usize];
+                parent[x as usize] = grand;
+                x = grand;
+            }
+            x
+        }
+        for pair in pairs {
+            let a = find(&mut parent, pair.a_raw);
+            let b = find(&mut parent, pair.b_raw);
+            if a != b {
+                parent[b as usize] = a;
+            }
+        }
+        // Assign shard ids in order of first appearance (deterministic),
+        // then bucket the pair indices per shard in global order.
+        const UNASSIGNED: u32 = u32::MAX;
+        let mut shard_of_root = vec![UNASSIGNED; num_nodes];
+        let mut pair_shard = Vec::with_capacity(pairs.len());
+        let mut num_shards = 0u32;
+        for pair in pairs {
+            let root = find(&mut parent, pair.a_raw) as usize;
+            if shard_of_root[root] == UNASSIGNED {
+                shard_of_root[root] = num_shards;
+                num_shards += 1;
+            }
+            pair_shard.push(shard_of_root[root]);
+        }
+        let mut shard_start = vec![0u32; num_shards as usize + 1];
+        for &s in &pair_shard {
+            shard_start[s as usize + 1] += 1;
+        }
+        for s in 0..num_shards as usize {
+            shard_start[s + 1] += shard_start[s];
+        }
+        let mut scatter_pairs = vec![0u32; pairs.len()];
+        let mut cursor = shard_start.clone();
+        for (p, &s) in pair_shard.iter().enumerate() {
+            scatter_pairs[cursor[s as usize] as usize] = p as u32;
+            cursor[s as usize] += 1;
+        }
+        // Chunk the shards to a fixed pair budget (independent of thread
+        // count, so the grid — and with it every accumulation — is stable).
+        let mut chunk_start = vec![0u32];
+        let mut in_chunk = 0usize;
+        for s in 0..num_shards as usize {
+            let len = (shard_start[s + 1] - shard_start[s]) as usize;
+            if in_chunk > 0 && in_chunk + len > par::CHUNK_NODES {
+                chunk_start.push(s as u32);
+                in_chunk = 0;
+            }
+            in_chunk += len;
+        }
+        chunk_start.push(num_shards);
+        (scatter_pairs, shard_start, chunk_start)
+    }
+
+    /// Selects how this engine's traversals are distributed across threads
+    /// (see [`ParallelPolicy`]); [`OgwsSolver`](crate::OgwsSolver) applies
+    /// the configuration's policy at the start of every run. The `Level`
+    /// policy only changes *who computes what*: outcomes are bitwise
+    /// identical for every thread count, and the exact solve strategy stays
+    /// bitwise-pinned to [`crate::reference`].
+    pub fn set_parallel(&mut self, policy: ParallelPolicy) {
+        self.par.configure(policy, self.grid.num_levels());
+    }
+
+    /// The active parallel policy.
+    pub fn parallel_policy(&self) -> ParallelPolicy {
+        self.par.policy()
+    }
+
+    /// The parallel runtime, for sibling subsystems (subgradient update,
+    /// flow projection) that run their own deterministic passes.
+    pub(crate) fn par_runtime(&self) -> &ParRuntime {
+        &self.par
+    }
+
+    /// The dense topology + chunk grid behind the level-parallel paths,
+    /// when the policy and the backend enable them.
+    pub(crate) fn level_ctx(&self) -> Option<(&CircuitTopology, &LevelGrid)> {
+        if !self.par.active() {
+            return None;
+        }
+        let topo = self.model.dense_topology(&self.state)?;
+        Some((topo, &self.grid))
     }
 
     /// Builds the component → coupling-pair CSR adjacency (each pair appears
@@ -304,8 +553,16 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
                 + self.extra_denom.capacity())
                 * size_of::<f64>()
             + self.pair_table.capacity() * size_of::<PairEntry>()
-            + (self.comp_pair_start.capacity() + self.comp_pair_list.capacity()) * size_of::<u32>()
+            + (self.comp_pair_start.capacity()
+                + self.comp_pair_list.capacity()
+                + self.scatter_pairs.capacity()
+                + self.scatter_shard_start.capacity()
+                + self.scatter_chunk_start.capacity())
+                * size_of::<u32>()
             + self.sched.memory_bytes()
+            + self.grid.memory_bytes()
+            + self.pscratch.memory_bytes()
+            + self.par.memory_bytes()
             + self.model.state_memory_bytes(&self.state)
     }
 
@@ -379,6 +636,38 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
             self.comp_raw_index.len(),
             "sizes must match the circuit"
         );
+        // Channel-sharded scatter under the level-parallel policy: chunks
+        // cover whole shards (connected channels), so concurrent chunks
+        // never write the same per-node accumulator, and within a shard the
+        // pairs keep global order — every node's adds happen in exactly the
+        // sequential order, making the result bitwise identical to the loop
+        // below for every thread count.
+        if self.par.active() && self.scatter_chunk_start.len() > 2 {
+            let chunks = self.scatter_chunk_start.len() - 1;
+            let load_s = SharedMut::new(load.as_mut_slice());
+            let pair_table = &self.pair_table;
+            let scatter_pairs = &self.scatter_pairs;
+            let shard_start = &self.scatter_shard_start;
+            let chunk_start = &self.scatter_chunk_start;
+            self.par.run_flat(chunks, |c| {
+                for shard in chunk_start[c] as usize..chunk_start[c + 1] as usize {
+                    let pair_range = shard_start[shard] as usize..shard_start[shard + 1] as usize;
+                    for &p in &scatter_pairs[pair_range] {
+                        let pair = &pair_table[p as usize];
+                        // SAFETY: lengths asserted above; shards own
+                        // disjoint node sets, so no concurrent writes alias.
+                        unsafe {
+                            let xa = *sizes.get_unchecked(pair.a_comp as usize);
+                            let xb = *sizes.get_unchecked(pair.b_comp as usize);
+                            let cap = pair.switching * (pair.base + pair.coeff * (xa + xb));
+                            load_s.add(pair.a_raw as usize, cap);
+                            load_s.add(pair.b_raw as usize, cap);
+                        }
+                    }
+                }
+            });
+            return;
+        }
         for pair in &self.pair_table {
             // SAFETY: lengths asserted above; the stored indices are in
             // range by construction.
@@ -419,6 +708,89 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
         sizes.as_mut_slice().copy_from_slice(&self.lower_bound);
     }
 
+    /// Full downstream-capacitance rebuild at `sizes` (the coupling load
+    /// must already be in `ws.extra_cap`): level-parallel over the chunk
+    /// grid when the policy and backend allow, the sequential model call
+    /// otherwise. Per-node results are bitwise identical either way — each
+    /// node's accumulation runs over its own CSR fanout list in list order,
+    /// reading only settled later levels.
+    fn rebuild_downstream_caps(&mut self, sizes: &SizeVector) {
+        if self.par.active() {
+            if let Some(topo) = self.model.dense_topology(&self.state) {
+                let n = topo.num_nodes();
+                let ws = &mut self.ws;
+                assert_eq!(ws.charged.len(), n, "workspace must match the circuit");
+                assert_eq!(ws.presented.len(), n);
+                assert_eq!(ws.extra_cap.len(), n);
+                assert_eq!(
+                    sizes.len(),
+                    self.comp_raw_index.len(),
+                    "sizes must match the circuit"
+                );
+                let xs = sizes.as_slice();
+                let charged_s = SharedMut::new(ws.charged.as_mut_slice());
+                let presented_s = SharedMut::new(ws.presented.as_mut_slice());
+                let extra: &[f64] = &ws.extra_cap;
+                let grid = &self.grid;
+                self.par.run_leveled(grid, true, |l, c| {
+                    let level = topo.level(l);
+                    let range = grid.chunk_range(level.len(), c);
+                    // SAFETY: chunks of one level own disjoint nodes;
+                    // levels settle in reverse dependency order; lengths
+                    // asserted above.
+                    unsafe {
+                        topo.downstream_caps_chunk(&level[range], xs, extra, charged_s, presented_s)
+                    };
+                });
+                return;
+            }
+        }
+        let ws = &mut self.ws;
+        self.model.downstream_caps_into(
+            &self.state,
+            sizes,
+            Some(&ws.extra_cap),
+            &mut ws.charged,
+            &mut ws.presented,
+        );
+    }
+
+    /// Full λ-weighted upstream-resistance rebuild at `sizes` (weights from
+    /// `ws.node_weights`): the forward-leveled counterpart of
+    /// [`rebuild_downstream_caps`](Self::rebuild_downstream_caps).
+    fn rebuild_upstream(&mut self, sizes: &SizeVector) {
+        if self.par.active() {
+            if let Some(topo) = self.model.dense_topology(&self.state) {
+                let n = topo.num_nodes();
+                let ws = &mut self.ws;
+                assert_eq!(ws.upstream.len(), n, "workspace must match the circuit");
+                assert_eq!(ws.node_weights.len(), n);
+                assert_eq!(
+                    sizes.len(),
+                    self.comp_raw_index.len(),
+                    "sizes must match the circuit"
+                );
+                let xs = sizes.as_slice();
+                let upstream_s = SharedMut::new(ws.upstream.as_mut_slice());
+                let weights: &[f64] = &ws.node_weights;
+                let grid = &self.grid;
+                self.par.run_leveled(grid, false, |l, c| {
+                    let level = topo.level(l);
+                    let range = grid.chunk_range(level.len(), c);
+                    // SAFETY: chunks of one level own disjoint nodes;
+                    // levels settle in forward dependency order.
+                    unsafe {
+                        topo.upstream_resistance_chunk(&level[range], xs, weights, upstream_s)
+                    };
+                });
+                return;
+            }
+        }
+        let ws = &mut self.ws;
+        self.model
+            .upstream_resistance_into(&self.state, sizes, &ws.node_weights, &mut ws.upstream);
+    }
+
     /// One greedy LRS coordinate sweep (steps S2–S4 of Figure 8): recompute
     /// the capacitances, coupling loads and weighted upstream resistances at
     /// the current `sizes`, then apply the Theorem 5 closed-form resize to
@@ -437,18 +809,78 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
 
         // S2: downstream capacitances C_i with the coupling load included.
         self.refresh_coupling_load(sizes);
-        let ws = &mut self.ws;
-        self.model.downstream_caps_into(
-            &self.state,
-            sizes,
-            Some(&ws.extra_cap),
-            &mut ws.charged,
-            &mut ws.presented,
-        );
+        self.rebuild_downstream_caps(sizes);
         // S3: λ-weighted upstream resistances R_i.
-        self.model
-            .upstream_resistance_into(&self.state, sizes, &ws.node_weights, &mut ws.upstream);
+        self.rebuild_upstream(sizes);
 
+        // Level-parallel S4: the closed-form resize is component-separable
+        // (each component reads only the fixed charged/upstream/λ tables and
+        // its own size), so flat chunks distribute it freely; per-chunk
+        // worst-change maxima merge in fixed chunk order. The arithmetic is
+        // the sequential loop's, expression for expression, so the exact
+        // path stays bitwise-pinned to `crate::reference` at any thread
+        // count.
+        if self.par.active() && self.model.dense_topology(&self.state).is_some() {
+            let ws = &mut self.ws;
+            let n = self.comp_raw_index.len();
+            assert_eq!(sizes.len(), n, "sizes must match the circuit");
+            assert_eq!(
+                ws.charged.len(),
+                self.graph.num_nodes(),
+                "workspace must match the circuit"
+            );
+            assert_eq!(ws.node_weights.len(), ws.charged.len());
+            assert_eq!(ws.upstream.len(), ws.charged.len());
+            let tables = ResizeTables {
+                is_wire: &self.comp_is_wire,
+                unit_resistance: &self.unit_resistance,
+                unit_capacitance: &self.unit_capacitance,
+                area_coefficient: &self.area_coefficient,
+                lower_bound: &self.lower_bound,
+                upper_bound: &self.upper_bound,
+                coupling_sum: &self.coupling_sum,
+                extra_denom: &self.extra_denom,
+                beta,
+                gamma,
+            };
+            let raw_index = &self.comp_raw_index[..n];
+            let charged: &[f64] = &ws.charged;
+            let upstream: &[f64] = &ws.upstream;
+            let node_weights: &[f64] = &ws.node_weights;
+            let xs_s = SharedMut::new(&mut sizes.as_mut_slice()[..n]);
+            let chunks = par::flat_chunks(n);
+            let chunk_worst = SharedMut::new(self.pscratch.chunk_worst.as_mut_slice());
+            self.par.run_flat(chunks, |c| {
+                let mut local = 0.0f64;
+                for dense in par::flat_range(n, c) {
+                    let raw = raw_index[dense];
+                    // SAFETY: `raw` is a node index of the engine's circuit
+                    // (lengths cross-checked above); `dense` is owned by
+                    // this chunk, so the size read/write cannot alias.
+                    unsafe {
+                        let x_i = xs_s.get(dense);
+                        let (x_new, rel) = tables.closed_form(
+                            dense,
+                            x_i,
+                            *charged.get_unchecked(raw),
+                            *upstream.get_unchecked(raw),
+                            *node_weights.get_unchecked(raw),
+                        );
+                        xs_s.set(dense, x_new);
+                        local = local.max(rel);
+                    }
+                }
+                // SAFETY: slot `c` is owned by this chunk.
+                unsafe { chunk_worst.set(c, local) };
+            });
+            let mut worst = 0.0f64;
+            for c in 0..chunks {
+                worst = worst.max(self.pscratch.chunk_worst[c]);
+            }
+            return worst;
+        }
+
+        let ws = &mut self.ws;
         // S4 + S5: greedy closed-form resize, updating in place, fused with
         // the convergence measure. All dense tables are pre-sliced to the
         // component count so the per-component indexing is check-free; the
@@ -584,19 +1016,10 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
             && self.sched.eval_sizes.as_slice() == sizes.as_slice();
         if !caps_current {
             self.refresh_coupling_load(sizes);
-            let ws = &mut self.ws;
-            self.model.downstream_caps_into(
-                &self.state,
-                sizes,
-                Some(&ws.extra_cap),
-                &mut ws.charged,
-                &mut ws.presented,
-            );
+            self.rebuild_downstream_caps(sizes);
             self.note_caps_synced(sizes);
         }
-        let ws = &mut self.ws;
-        self.model
-            .upstream_resistance_into(&self.state, sizes, &ws.node_weights, &mut ws.upstream);
+        self.rebuild_upstream(sizes);
     }
 
     /// Sparse counterpart of [`refresh_coupling_load`](Self::refresh_coupling_load):
@@ -751,14 +1174,7 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
             return;
         }
         self.refresh_coupling_load(sizes);
-        let ws = &mut self.ws;
-        self.model.downstream_caps_into(
-            &self.state,
-            sizes,
-            Some(&ws.extra_cap),
-            &mut ws.charged,
-            &mut ws.presented,
-        );
+        self.rebuild_downstream_caps(sizes);
         self.note_caps_synced(sizes);
     }
 
@@ -815,6 +1231,11 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
             return None;
         }
         self.ensure_charged_fresh(sizes);
+        if self.par.active() && self.model.dense_topology(&self.state).is_some() {
+            return Some(
+                self.fused_parallel_sweep(sizes, beta, gamma, schedule, resize_all, false),
+            );
+        }
         let EvalWorkspace {
             charged,
             upstream,
@@ -896,6 +1317,9 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
             return None;
         }
         self.prepare_coupling(sizes, schedule, resize_all);
+        if self.par.active() && self.model.dense_topology(&self.state).is_some() {
+            return Some(self.fused_parallel_sweep(sizes, beta, gamma, schedule, resize_all, true));
+        }
         let EvalWorkspace {
             charged,
             presented,
@@ -958,6 +1382,197 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
         sched.charged_fresh = true;
         sched.rebuild_active();
         Some((worst, touched))
+    }
+
+    /// One level-parallel fused Gauss–Seidel pass over the chunk grid —
+    /// the multi-threaded counterpart of the sequential
+    /// [`fused_backward_sweep`](Self::fused_backward_sweep) (`backward`) /
+    /// [`fused_forward_sweep`](Self::fused_forward_sweep) bodies. The
+    /// caller has already prepared the pass's fixed-side caches.
+    ///
+    /// Determinism: chunk boundaries come from the fixed grid; per-node
+    /// arithmetic reads only settled neighbor levels; the calm/frozen
+    /// bookkeeping touches each chunk's own components; and the worst /
+    /// touched / dirty-frontier reductions are written to per-chunk slots
+    /// and merged below in fixed chunk order — so the outcome is bitwise
+    /// identical for every thread count (including the sequential grid
+    /// walk used when threads = 1 or the `parallel` feature is off).
+    fn fused_parallel_sweep(
+        &mut self,
+        sizes: &mut SizeVector,
+        beta: f64,
+        gamma: f64,
+        schedule: &AdaptiveSchedule,
+        resize_all: bool,
+        backward: bool,
+    ) -> (f64, usize) {
+        let topo = self
+            .model
+            .dense_topology(&self.state)
+            .expect("caller checked dense_topology");
+        let n_nodes = topo.num_nodes();
+        let n_comps = self.comp_raw_index.len();
+        assert_eq!(sizes.len(), n_comps, "sizes must match the circuit");
+        let EvalWorkspace {
+            charged,
+            presented,
+            upstream,
+            extra_cap,
+            node_weights,
+            ..
+        } = &mut self.ws;
+        assert_eq!(charged.len(), n_nodes, "workspace must match the circuit");
+        assert_eq!(presented.len(), n_nodes);
+        assert_eq!(upstream.len(), n_nodes);
+        assert_eq!(extra_cap.len(), n_nodes);
+        assert_eq!(node_weights.len(), n_nodes);
+        let sched = &mut self.sched;
+        assert_eq!(sched.calm.len(), n_comps);
+        assert_eq!(sched.frozen.len(), n_comps);
+        let tables = ResizeTables {
+            is_wire: &self.comp_is_wire,
+            unit_resistance: &self.unit_resistance,
+            unit_capacitance: &self.unit_capacitance,
+            area_coefficient: &self.area_coefficient,
+            lower_bound: &self.lower_bound,
+            upper_bound: &self.upper_bound,
+            coupling_sum: &self.coupling_sum,
+            extra_denom: &self.extra_denom,
+            beta,
+            gamma,
+        };
+        let xs_s = SharedMut::new(sizes.as_mut_slice());
+        let ps = &mut self.pscratch;
+        let chunk_worst = SharedMut::new(ps.chunk_worst.as_mut_slice());
+        let chunk_touched = SharedMut::new(ps.chunk_touched.as_mut_slice());
+        let chunk_changed_len = SharedMut::new(ps.chunk_changed_len.as_mut_slice());
+        let grid = &self.grid;
+        let ctx = FusedChunkCtx {
+            tables,
+            schedule,
+            resize_all,
+            calm: SharedMut::new(sched.calm.as_mut_slice()),
+            frozen: SharedMut::new(sched.frozen.as_mut_slice()),
+            chunk_changed: SharedMut::new(ps.chunk_changed.as_mut_slice()),
+        };
+
+        let mut worst = 0.0f64;
+        let mut touched_total = 0usize;
+        if backward {
+            let upstream_r: &[f64] = upstream;
+            let weights_r: &[f64] = node_weights;
+            let extra_r: &[f64] = extra_cap;
+            let charged_s = SharedMut::new(charged.as_mut_slice());
+            let presented_s = SharedMut::new(presented.as_mut_slice());
+            self.par.run_leveled(grid, true, |l, c| {
+                let level = topo.level(l);
+                let range = grid.chunk_range(level.len(), c);
+                let id = grid.chunk_id(l, c);
+                let seg = grid.node_base(l) + range.start;
+                let mut stats = ChunkStats::default();
+                let mut resize = |comp: usize, node: usize, charged_i: f64, x_i: f64| -> f64 {
+                    // SAFETY: `comp`/`node` belong to this chunk (one node
+                    // per component), so every access is chunk-owned;
+                    // `upstream`/`weights` are fixed for the pass.
+                    unsafe {
+                        ctx.apply(
+                            comp,
+                            x_i,
+                            charged_i,
+                            *upstream_r.get_unchecked(node),
+                            *weights_r.get_unchecked(node),
+                            seg,
+                            &mut stats,
+                        )
+                    }
+                };
+                // SAFETY: chunk disjointness within the level; levels settle
+                // in reverse dependency order; lengths asserted above.
+                unsafe {
+                    topo.fused_downstream_chunk(
+                        &level[range],
+                        xs_s,
+                        extra_r,
+                        charged_s,
+                        presented_s,
+                        &mut resize,
+                    );
+                    chunk_worst.set(id, stats.worst);
+                    chunk_touched.set(id, stats.touched);
+                    chunk_changed_len.set(id, stats.changed);
+                }
+            });
+        } else {
+            let charged_r: &[f64] = charged;
+            let weights_r: &[f64] = node_weights;
+            let upstream_s = SharedMut::new(upstream.as_mut_slice());
+            self.par.run_leveled(grid, false, |l, c| {
+                let level = topo.level(l);
+                let range = grid.chunk_range(level.len(), c);
+                let id = grid.chunk_id(l, c);
+                let seg = grid.node_base(l) + range.start;
+                let mut stats = ChunkStats::default();
+                let mut resize = |comp: usize, node: usize, upstream_i: f64, x_i: f64| -> f64 {
+                    // SAFETY: as the backward direction; `charged` is fixed
+                    // for the pass.
+                    unsafe {
+                        ctx.apply(
+                            comp,
+                            x_i,
+                            *charged_r.get_unchecked(node),
+                            upstream_i,
+                            *weights_r.get_unchecked(node),
+                            seg,
+                            &mut stats,
+                        )
+                    }
+                };
+                // SAFETY: chunk disjointness within the level; levels settle
+                // in forward dependency order.
+                unsafe {
+                    topo.fused_upstream_chunk(
+                        &level[range],
+                        xs_s,
+                        weights_r,
+                        upstream_s,
+                        &mut resize,
+                    );
+                    chunk_worst.set(id, stats.worst);
+                    chunk_touched.set(id, stats.touched);
+                    chunk_changed_len.set(id, stats.changed);
+                }
+            });
+        }
+
+        // Merge the per-chunk reductions in fixed chunk order (the pass's
+        // traversal order), independent of which worker ran what.
+        let mut merge_level = |l: usize, sched: &mut ScheduleWorkspace| {
+            let level_len = topo.level(l).len();
+            for c in 0..grid.chunks_in(l) {
+                let id = grid.chunk_id(l, c);
+                worst = worst.max(ps.chunk_worst[id]);
+                touched_total += ps.chunk_touched[id] as usize;
+                let seg = grid.node_base(l) + grid.chunk_range(level_len, c).start;
+                for k in 0..ps.chunk_changed_len[id] as usize {
+                    sched.push_changed(ps.chunk_changed[seg + k] as usize);
+                }
+            }
+        };
+        if backward {
+            for l in (0..grid.num_levels()).rev() {
+                merge_level(l, sched);
+            }
+        } else {
+            for l in 0..grid.num_levels() {
+                merge_level(l, sched);
+            }
+        }
+        // Cache status mirrors the sequential passes: a backward pass
+        // maintains charged/presented through every resize, a forward pass
+        // leaves them describing the pre-pass sizes.
+        sched.charged_fresh = backward;
+        sched.rebuild_active();
+        (worst, touched_total)
     }
 
     /// One verification sweep: exact full re-evaluation at the current
@@ -1046,19 +1661,68 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
             && self.sched.eval_sizes.as_slice() == sizes.as_slice();
         if !synced {
             self.refresh_coupling_load(sizes);
-            let ws = &mut self.ws;
-            self.model.downstream_caps_into(
-                &self.state,
-                sizes,
-                Some(&ws.extra_cap),
-                &mut ws.charged,
-                &mut ws.presented,
-            );
+            self.rebuild_downstream_caps(sizes);
             // The coupling loads and downstream capacitances now reflect
             // `sizes` exactly; record that so a warm adaptive solve right
             // after this evaluation (the OGWS steady state) can reuse them
             // instead of rebuilding.
             self.note_caps_synced(sizes);
+        }
+        // Level-parallel timing: delays are per-node independent (flat
+        // chunks), arrival propagation settles levels forward; the
+        // critical-path walk over `pred` stays a sequential epilogue. Per
+        // node the arithmetic (and the `>=` tie-breaking) is exactly the
+        // sequential recurrence, so both paths are bitwise identical.
+        if self.par.active() {
+            if let Some(topo) = self.model.dense_topology(&self.state) {
+                let n = topo.num_nodes();
+                let ws = &mut self.ws;
+                assert_eq!(ws.delays.len(), n, "workspace must match the circuit");
+                assert_eq!(ws.arrival.len(), n);
+                assert_eq!(ws.pred.len(), n);
+                assert_eq!(
+                    sizes.len(),
+                    self.comp_raw_index.len(),
+                    "sizes must match the circuit"
+                );
+                let xs = sizes.as_slice();
+                {
+                    let charged: &[f64] = &ws.charged;
+                    let delays_s = SharedMut::new(ws.delays.as_mut_slice());
+                    self.par.run_flat(par::flat_chunks(n), |c| {
+                        // SAFETY: flat chunks own disjoint node ranges.
+                        unsafe { topo.delays_chunk(par::flat_range(n, c), xs, charged, delays_s) };
+                    });
+                }
+                {
+                    let delays: &[f64] = &ws.delays;
+                    let arrival_s = SharedMut::new(ws.arrival.as_mut_slice());
+                    let pred_s = SharedMut::new(ws.pred.as_mut_slice());
+                    let grid = &self.grid;
+                    self.par.run_leveled(grid, false, |l, c| {
+                        let level = topo.level(l);
+                        let range = grid.chunk_range(level.len(), c);
+                        // SAFETY: chunks of one level own disjoint nodes;
+                        // levels settle in forward dependency order.
+                        unsafe { topo.arrivals_chunk(&level[range], delays, arrival_s, pred_s) };
+                    });
+                }
+                let sink = self.graph.sink().index();
+                let critical_path_delay = ws.arrival[sink];
+                ws.critical_path.clear();
+                let mut cursor = ws.pred[sink];
+                while cursor != NO_PRED {
+                    ws.critical_path.push(NodeId::new(cursor));
+                    cursor = ws.pred[cursor];
+                }
+                ws.critical_path.reverse();
+                return TimingView {
+                    delays: &ws.delays,
+                    arrival: &ws.arrival,
+                    critical_path_delay,
+                    critical_path: &ws.critical_path,
+                };
+            }
         }
         let ws = &mut self.ws;
         self.model

@@ -254,6 +254,13 @@ impl<'a> Ordered<'a> {
 
     /// Builds a sizing engine bound to this ordering, for reuse across
     /// repeated [`size_with_engine`](Self::size_with_engine) calls.
+    ///
+    /// The engine starts with the sequential parallel policy; every sizing
+    /// run applies the configuration's
+    /// [`parallel`](crate::OptimizerConfig::parallel) policy (e.g.
+    /// [`OptimizerConfigBuilder::threads`](crate::OptimizerConfigBuilder::threads))
+    /// at solve start, so one engine can serve runs under different thread
+    /// counts — with bitwise-identical outcomes across all of them.
     pub fn engine(&self) -> SizingEngine<'_> {
         SizingEngine::new(&self.instance.circuit, &self.ordering.coupling)
     }

@@ -33,6 +33,12 @@
 //!   warm-started LRS, active-set sweeps with periodic verification, and
 //!   sparse incremental evaluation — selected per run via
 //!   [`OptimizerConfig::solve_strategy`];
+//! * the **level-parallel runtime** ([`par`]): a deterministic chunk grid
+//!   over the circuit's topological level partition that distributes the
+//!   inner-loop traversals (LRS sweeps, timing, subgradient update, flow
+//!   projection) across threads with outcomes **bitwise identical for
+//!   every thread count**, selected per run via
+//!   [`OptimizerConfig::parallel`] / [`ParallelPolicy`];
 //! * the staged [`flow`] pipeline — `prepare → order → size` as typestates
 //!   with inspectable intermediates, warm starts, and the legacy one-shot
 //!   [`Optimizer`] as a thin wrapper;
@@ -62,6 +68,7 @@ pub mod lrs;
 pub mod metrics;
 pub mod ogws;
 pub mod optimizer;
+pub mod par;
 pub mod problem;
 pub mod projection;
 pub mod reference;
@@ -85,6 +92,7 @@ pub use lrs::{LrsOutcome, LrsSolver, LrsStats};
 pub use metrics::{CircuitMetrics, IterationRecord, MemoryBreakdown};
 pub use ogws::{OgwsOutcome, OgwsSolver};
 pub use optimizer::{OptimizationOutcome, Optimizer};
+pub use par::ParallelPolicy;
 pub use problem::{ConstraintBounds, OptimizerConfig, OptimizerConfigBuilder, SizingProblem};
 pub use report::{Improvements, OptimizationReport};
 pub use schedule::{AdaptiveSchedule, ScheduledStats, SolveStrategy};

@@ -189,6 +189,12 @@ impl LrsSolver {
     /// verification sweeps the electrical tables are updated incrementally
     /// along the perturbed subgraph only.
     ///
+    /// Under [`ParallelPolicy::Level`](crate::ParallelPolicy) (selected via
+    /// [`SizingEngine::set_parallel`]) each fused pass runs level-parallel
+    /// over the engine's fixed chunk grid — same per-component arithmetic,
+    /// per-chunk reductions merged in fixed chunk order, so the solve's
+    /// outcome is bitwise identical for every thread count.
+    ///
     /// The engine's schedule state (active/frozen partition, calm streaks,
     /// cache-sync snapshot) persists across the solves of one OGWS run;
     /// reset it with [`SizingEngine::reset_schedule`] at run start. The

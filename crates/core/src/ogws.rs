@@ -19,7 +19,7 @@
 
 use std::time::Instant;
 
-use ncgws_circuit::{DelayModel, NodeKind, SizeVector};
+use ncgws_circuit::{DelayModel, NodeKind, SharedMut, SizeVector};
 use serde::{Deserialize, Serialize};
 
 use crate::constraints::ConstraintFamily;
@@ -28,8 +28,11 @@ use crate::engine::SizingEngine;
 use crate::lagrangian::{dual_value_from_parts, Multipliers};
 use crate::lrs::LrsSolver;
 use crate::metrics::IterationRecord;
+use crate::par::{self, ParRuntime};
 use crate::problem::{OptimizerConfig, SizingProblem};
-use crate::projection::{project_flow_conservation_indexed, FlowIndex};
+use crate::projection::{
+    project_flow_conservation_indexed, project_flow_conservation_leveled, FlowIndex,
+};
 use crate::schedule::SolveStrategy;
 
 /// Relative tolerance used to declare an iterate primal-feasible.
@@ -215,6 +218,12 @@ impl OgwsSolver {
         let graph = problem.graph;
         let bounds = problem.bounds;
         let extras = &problem.extras;
+        // Apply the configuration's parallel policy for the whole run. Under
+        // `ParallelPolicy::Level` every traversal (LRS sweeps, timing,
+        // subgradient update, flow projection) runs over the fixed chunk
+        // grid, bitwise identical for every thread count; `Sequential` (the
+        // default) keeps the single-threaded paths untouched.
+        engine.set_parallel(self.config.parallel);
         let lrs = LrsSolver::new(self.config.max_lrs_sweeps, self.config.lrs_tolerance);
         // The adaptive schedule keeps freeze/cache state on the engine
         // across the solves of one run; start every run clean so engines
@@ -326,8 +335,13 @@ impl OgwsSolver {
             let total_cap = engine.total_capacitance(&sizes);
             let crosstalk_lhs = engine.crosstalk_lhs(&sizes);
             let primal_area = engine.total_area(&sizes);
-            let timing = engine.timing(&sizes);
-            let delay_violation = timing.critical_path_delay - bounds.delay;
+            // End the timing view's exclusive borrow right away: the delays
+            // and arrivals stay in the engine workspace (stable until the
+            // next `&mut` evaluation), which lets the A4/A5 steps below
+            // share the engine's parallel runtime.
+            let critical_path_delay = engine.timing(&sizes).critical_path_delay;
+            let ws = engine.workspace();
+            let delay_violation = critical_path_delay - bounds.delay;
             let power_violation = total_cap - bounds.total_capacitance;
             let crosstalk_violation = crosstalk_lhs - problem.reduced_crosstalk_bound();
             extras.violations_into(&sizes, &mut extra_violations);
@@ -347,7 +361,7 @@ impl OgwsSolver {
                 problem,
                 &multipliers,
                 &sizes,
-                timing.delays,
+                &ws.delays,
                 primal_area,
                 total_cap,
                 crosstalk_lhs,
@@ -375,21 +389,39 @@ impl OgwsSolver {
             best_gap = best_gap.min(gap);
             stagnant = if improved { 0 } else { stagnant + 1 };
 
-            // A4: subgradient step on every multiplier, normalized violations.
+            // A4: subgradient step on every multiplier, normalized
+            // violations. Each node updates only its own fanin multipliers,
+            // so the walk distributes over flat chunks with bitwise-
+            // identical results (the engine's runtime runs it sequentially
+            // under the default policy).
             let step = self.config.step_schedule.value(k);
             Self::update_multipliers(
                 problem,
                 &flow_index,
                 &mut multipliers,
-                timing.arrival,
-                timing.delays,
+                &ws.arrival,
+                &ws.delays,
                 step,
                 power_violation,
                 crosstalk_violation,
                 &extra_violations,
+                engine.par_runtime(),
             );
-            // A5: project back onto the optimality condition.
-            project_flow_conservation_indexed(graph, &flow_index, &mut multipliers);
+            // A5: project back onto the optimality condition — level-
+            // parallel (reverse dependency order) when the engine exposes
+            // its grid, the sequential walk otherwise; bitwise identical
+            // either way.
+            match engine.level_ctx() {
+                Some((topo, grid)) => project_flow_conservation_leveled(
+                    graph,
+                    &flow_index,
+                    &mut multipliers,
+                    topo,
+                    grid,
+                    engine.par_runtime(),
+                ),
+                None => project_flow_conservation_indexed(graph, &flow_index, &mut multipliers),
+            }
 
             iterations.push(IterationRecord {
                 iteration: k,
@@ -464,6 +496,10 @@ impl OgwsSolver {
     /// `arrival` and `delays` are indexed by raw node index;
     /// `extra_violations` is flattened in family order (as produced by
     /// [`ConstraintSet::violations_into`](crate::ConstraintSet::violations_into)).
+    /// The per-edge walk runs through `par` (flat chunks over the nodes):
+    /// each node writes only its own fanin slots and reads only the fixed
+    /// arrival/delay tables, so the distributed walk is bitwise identical
+    /// to the sequential one at every thread count.
     #[allow(clippy::too_many_arguments)]
     fn update_multipliers(
         problem: &SizingProblem<'_>,
@@ -475,6 +511,7 @@ impl OgwsSolver {
         power_violation: f64,
         crosstalk_violation: f64,
         extra_violations: &[f64],
+        par: &ParRuntime,
     ) {
         let graph = problem.graph;
         let bounds = problem.bounds;
@@ -487,9 +524,9 @@ impl OgwsSolver {
         // relative step keeps multipliers of very different magnitudes stable
         // and avoids the zig-zag an absolute step produces on the piecewise
         // linear dual.
-        let bump = |value: &mut f64, relative_violation: f64| {
+        let bumped = move |value: f64, relative_violation: f64| -> f64 {
             let factor = (1.0 + step * relative_violation).clamp(0.2, 5.0);
-            *value = (*value * factor).max(1e-12);
+            (value * factor).max(1e-12)
         };
 
         // Walk the dense outer-loop index (flat kinds, fanin ids and
@@ -498,30 +535,48 @@ impl OgwsSolver {
         let kinds = index.kinds();
         let n = graph.num_nodes();
         let source = graph.source().index();
-        let (offsets, values) = multipliers.flat_mut();
-        for i in 0..n {
-            if i == source {
-                continue;
-            }
-            let kind = kinds[i];
-            let fanin = index.fanin_flat(i);
-            let lambdas = &mut values[offsets[i] as usize..offsets[i + 1] as usize];
-            for (slot, &j) in fanin.iter().enumerate() {
-                let j = j as usize;
-                let violation = match kind {
-                    NodeKind::Sink => arrival[j] - a0,
-                    NodeKind::Gate(_) | NodeKind::Wire => {
-                        if j == source {
-                            continue;
-                        }
-                        arrival[j] + delays[i] - arrival[i]
+        assert_eq!(arrival.len(), n, "arrival must match the circuit");
+        assert_eq!(delays.len(), n, "delays must match the circuit");
+        {
+            let (offsets, values) = multipliers.flat_mut();
+            assert_eq!(offsets.len(), n + 1, "multipliers must match the circuit");
+            let values_s = SharedMut::new(values);
+            par.run_flat(par::flat_chunks(n), |chunk| {
+                for i in par::flat_range(n, chunk) {
+                    if i == source {
+                        continue;
                     }
-                    NodeKind::Driver => delays[i] - arrival[i],
-                    NodeKind::Source => continue,
-                };
-                bump(&mut lambdas[slot], violation / a0);
-            }
+                    let kind = kinds[i];
+                    let fanin = index.fanin_flat(i);
+                    let base = offsets[i] as usize;
+                    for (slot, &j) in fanin.iter().enumerate() {
+                        let j = j as usize;
+                        let violation = match kind {
+                            NodeKind::Sink => arrival[j] - a0,
+                            NodeKind::Gate(_) | NodeKind::Wire => {
+                                if j == source {
+                                    continue;
+                                }
+                                arrival[j] + delays[i] - arrival[i]
+                            }
+                            NodeKind::Driver => delays[i] - arrival[i],
+                            NodeKind::Source => continue,
+                        };
+                        // SAFETY: slot `base + slot` belongs to node `i`'s
+                        // fanin range, written by this chunk only.
+                        unsafe {
+                            values_s.set(
+                                base + slot,
+                                bumped(values_s.get(base + slot), violation / a0),
+                            )
+                        };
+                    }
+                }
+            });
         }
+        let bump = |value: &mut f64, relative_violation: f64| {
+            *value = bumped(*value, relative_violation);
+        };
         bump(
             &mut multipliers.beta,
             power_violation / bounds.total_capacitance.max(1e-12),

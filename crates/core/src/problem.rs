@@ -8,6 +8,7 @@ use crate::constraints::{ConstraintSet, ConstraintSpec};
 use crate::coupling_build::OrderingStrategy;
 use crate::error::CoreError;
 use crate::metrics::CircuitMetrics;
+use crate::par::ParallelPolicy;
 use crate::schedule::{AdaptiveSchedule, SolveStrategy};
 use crate::step::StepSchedule;
 use crate::units;
@@ -147,6 +148,15 @@ pub struct OptimizerConfig {
     /// [`SolveStrategy::Adaptive`] enables warm-started solves, active-set
     /// sweeps and sparse incremental evaluation (see [`crate::schedule`]).
     pub solve_strategy: SolveStrategy,
+    /// How the stage-2 inner loop distributes its traversals across threads
+    /// (see [`crate::par`]): [`ParallelPolicy::Sequential`] (the default)
+    /// keeps the single-threaded traversals;
+    /// [`ParallelPolicy::Level`] runs them level-parallel over a fixed
+    /// chunk grid, with outcomes **bitwise identical for every thread
+    /// count** and the exact solve strategy still bitwise-pinned to
+    /// [`crate::reference`]. Takes effect with the `parallel` feature;
+    /// without it the same deterministic grid runs on one thread.
+    pub parallel: ParallelPolicy,
 }
 
 impl OptimizerConfig {
@@ -210,6 +220,7 @@ impl OptimizerConfig {
             spec.validate()?;
         }
         self.solve_strategy.validate()?;
+        self.parallel.validate()?;
         Ok(())
     }
 
@@ -241,6 +252,7 @@ impl Default for OptimizerConfig {
             initial_scalar_multiplier: 1.0,
             extra_constraints: Vec::new(),
             solve_strategy: SolveStrategy::Exact,
+            parallel: ParallelPolicy::Sequential,
         }
     }
 }
@@ -382,6 +394,21 @@ impl OptimizerConfigBuilder {
     /// evaluation.
     pub fn adaptive_schedule(self) -> Self {
         self.solve_strategy(SolveStrategy::Adaptive(AdaptiveSchedule::default()))
+    }
+
+    /// How the stage-2 inner loop distributes its traversals across threads
+    /// (see [`crate::par`] and [`ParallelPolicy`]).
+    pub fn parallel(mut self, policy: ParallelPolicy) -> Self {
+        self.config.parallel = policy;
+        self
+    }
+
+    /// Runs the inner loop level-parallel on `threads` workers (`0` = the
+    /// machine's available parallelism) — shorthand for
+    /// `parallel(ParallelPolicy::threads(threads))`. Outcomes are bitwise
+    /// identical for every thread count; see [`crate::par`].
+    pub fn threads(self, threads: usize) -> Self {
+        self.parallel(ParallelPolicy::threads(threads))
     }
 
     /// Caps each routing channel's crosstalk at `factor` × its initial value

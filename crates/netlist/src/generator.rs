@@ -101,9 +101,23 @@ impl SyntheticGenerator {
         let mut driver_fanout = vec![0usize; num_drivers];
         let mut unused: Vec<usize> = Vec::new(); // non-output gates with no fanout yet
 
+        // Under the *unbounded* locality window (`usize::MAX` — see
+        // `CircuitSpec::locality_window`) the eager fanout guarantee below
+        // is skipped: consuming one `unused` gate per step keeps that pool
+        // near-empty, which forces gate `k` to source from gate `k − 1` and
+        // produces a chain (logic depth ≈ gate count) no matter how wide
+        // the window is. Wide mode instead sources uniformly from all
+        // earlier gates — logarithmic depth — and promotes any gate left
+        // without fanout to an extra primary output afterwards (the
+        // wire-count compensation below keeps the totals exact). The gate
+        // is the sentinel value only — a finite window, however large,
+        // keeps the historical generation path bit for bit (a `>=
+        // num_gates` test would silently flip small default-window circuits
+        // into wide mode and break seed reproducibility).
+        let wide = self.spec.locality_window == usize::MAX;
         for k in 0..num_gates {
             for slot in 0..fanin[k] {
-                let source = if slot == 0 && !unused.is_empty() {
+                let source = if !wide && slot == 0 && !unused.is_empty() {
                     // Guarantee every non-output gate eventually drives something.
                     let pick = rng.gen_range(0..unused.len().min(4));
                     let idx = unused.len() - 1 - pick;
@@ -116,7 +130,7 @@ impl SyntheticGenerator {
                     if limit == 0 {
                         SourceRef::Driver(rng.gen_range(0..num_drivers))
                     } else {
-                        let window = 64.min(limit);
+                        let window = self.spec.locality_window.max(1).min(limit);
                         let lo = limit - window;
                         SourceRef::Gate(rng.gen_range(lo..limit))
                     }
@@ -134,8 +148,18 @@ impl SyntheticGenerator {
 
         // ---- 3. Any still-unused non-output gate becomes an extra primary
         // output; compensate by trimming one removable input wire each so the
-        // total wire count stays exact.
-        let extra_outputs: Vec<usize> = unused;
+        // total wire count stays exact. Wide mode maintains no eager
+        // guarantee, so it promotes exactly the gates that truly ended up
+        // without fanout (the historical pool is kept verbatim otherwise —
+        // existing seeds must reproduce bit for bit).
+        let extra_outputs: Vec<usize> = if wide {
+            unused
+                .into_iter()
+                .filter(|&g| gate_fanout[g] == 0)
+                .collect()
+        } else {
+            unused
+        };
         for _ in &extra_outputs {
             let mut removed = false;
             'outer: for k in (0..num_gates).rev() {
@@ -329,6 +353,54 @@ mod tests {
         assert_eq!(a.patterns, b.patterns);
         let c = generate(60, 130, 4);
         assert!(a.channels != c.channels || a.patterns != c.patterns);
+    }
+
+    /// Wide mode is opt-in via the `usize::MAX` sentinel only: any finite
+    /// window — even one far beyond the gate count — keeps the historical
+    /// generation path, so small circuits under the default window can
+    /// never silently flip into wide mode. (For a circuit whose gate count
+    /// is below both windows the effective clamp `window.min(limit)` makes
+    /// the draws identical, so the two finite specs generate the same
+    /// netlist.)
+    #[test]
+    fn finite_windows_keep_the_historical_path() {
+        let small_default = generate(30, 70, 5);
+        let small_huge_window = SyntheticGenerator::new(
+            CircuitSpec::new("test", 30, 70)
+                .with_seed(5)
+                .with_locality_window(1_000_000),
+        )
+        .generate()
+        .expect("generation succeeds");
+        assert_eq!(
+            small_default.channels, small_huge_window.channels,
+            "a finite window beyond the gate count must not change generation"
+        );
+        assert_eq!(
+            small_default.circuit.num_nodes(),
+            small_huge_window.circuit.num_nodes()
+        );
+        assert_eq!(
+            small_default.circuit.num_edges(),
+            small_huge_window.circuit.num_edges()
+        );
+
+        // The sentinel does change the shape: wide mode produces a
+        // different (shallower) structure.
+        let wide = SyntheticGenerator::new(
+            CircuitSpec::new("test", 30, 70)
+                .with_seed(5)
+                .with_locality_window(usize::MAX),
+        )
+        .generate()
+        .expect("generation succeeds");
+        assert_eq!(wide.circuit.num_gates(), 30);
+        assert_eq!(wide.circuit.num_wires(), 70);
+        assert!(
+            wide.channels != small_default.channels
+                || wide.circuit.num_edges() != small_default.circuit.num_edges(),
+            "the sentinel must actually select wide mode"
+        );
     }
 
     #[test]

@@ -76,6 +76,20 @@ pub fn xl_specs() -> Vec<CircuitSpec> {
     [1_000, 10_000, 100_000].map(xl_spec).to_vec()
 }
 
+/// The *wide* XL tier: the same component counts as [`xl_spec`] but with an
+/// unbounded locality window, so gate inputs are drawn uniformly from all
+/// earlier gates and the logic depth grows only logarithmically. Where
+/// [`xl_spec`] produces deep, chain-like circuits (~0.6 topological levels
+/// per node — the worst case for any dependency-ordered traversal), this
+/// shape concentrates the nodes in a few hundred wide levels, which is what
+/// the level-parallel solve paths (`ncgws-core`'s `ParallelPolicy::Level`)
+/// scale on. Used by the `threads` scaling benchmarks.
+pub fn xl_wide_spec(total_components: usize) -> CircuitSpec {
+    let mut spec = xl_spec(total_components).with_locality_window(usize::MAX);
+    spec.name = format!("xlw{}", total_components / 1000);
+    spec
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

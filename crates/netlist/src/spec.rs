@@ -42,6 +42,18 @@ pub struct CircuitSpec {
     pub num_patterns: usize,
     /// Probability that a primary input toggles between consecutive vectors.
     pub pattern_toggle_probability: f64,
+    /// Width of the locality window gate inputs are drawn from: gate `k`
+    /// sources its non-driver inputs from the last `locality_window`
+    /// earlier gates. Finite windows produce deep, chain-like circuits
+    /// (logic depth grows linearly with the gate count); the sentinel
+    /// `usize::MAX` switches the generator into *wide* mode — inputs drawn
+    /// uniformly from **all** earlier gates and no eager fanout guarantee —
+    /// producing shallow circuits whose logic depth grows only
+    /// logarithmically, the shape that exercises level-parallel
+    /// traversals. Every finite value (including the default, 64, and
+    /// values exceeding the gate count) keeps the historical generation
+    /// path, so existing seeds reproduce bit for bit.
+    pub locality_window: usize,
 }
 
 impl CircuitSpec {
@@ -63,6 +75,7 @@ impl CircuitSpec {
             overlap_fraction: 0.6,
             num_patterns: 128,
             pattern_toggle_probability: 0.35,
+            locality_window: 64,
         }
     }
 
@@ -87,6 +100,13 @@ impl CircuitSpec {
     /// Sets the number of simulated input vectors.
     pub fn with_num_patterns(mut self, num_patterns: usize) -> Self {
         self.num_patterns = num_patterns;
+        self
+    }
+
+    /// Sets the locality window gate inputs are drawn from (see
+    /// [`locality_window`](Self::locality_window); clamped to at least 1).
+    pub fn with_locality_window(mut self, window: usize) -> Self {
+        self.locality_window = window.max(1);
         self
     }
 

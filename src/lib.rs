@@ -181,11 +181,67 @@
 //! # }
 //! ```
 //!
+//! # Parallelism
+//!
+//! The stage-2 inner loop can run **level-parallel**
+//! ([`ncgws_core::par`]): the engine caches the circuit's topological
+//! level partition (nodes of one level share no fanin/fanout edge), chops
+//! every level into fixed-width chunks, and distributes the chunks — of
+//! the fused Gauss–Seidel sweeps, the exact sweeps, the timing evaluation,
+//! the channel-sharded coupling scatter, the subgradient update and the
+//! flow projection — across a persistent `std::thread` pool. The work
+//! grid is fixed by the data, never by the thread count, and every
+//! cross-chunk reduction merges in fixed chunk order, so outcomes are
+//! **bitwise identical for `threads` ∈ {1, 2, 8, …}** and the exact solve
+//! strategy stays bitwise-pinned to `ncgws_core::reference`
+//! (`tests/thread_determinism.rs` proptests both claims).
+//!
+//! Select it with [`OptimizerConfigBuilder::threads`](core::OptimizerConfigBuilder::threads)
+//! (or [`OptimizerConfig::parallel`](core::OptimizerConfig) /
+//! [`ParallelPolicy`]); `0` means "use the machine's available
+//! parallelism". OS threads only spawn with the `parallel` cargo feature —
+//! without it the identical chunk grid runs on the calling thread, so a
+//! serial build is a bit-for-bit oracle for a threaded one. Level
+//! parallelism pays off on *wide* circuits (many components per level);
+//! on chain-like circuits the critical path is the whole circuit and the
+//! default [`ParallelPolicy::Sequential`] is the better choice.
+//!
+//! ```rust
+//! use ncgws::netlist::{CircuitSpec, SyntheticGenerator};
+//! use ncgws::core::{OptimizerConfig, ParallelPolicy};
+//! use ncgws::Flow;
+//!
+//! # fn main() -> Result<(), ncgws::Error> {
+//! let spec = CircuitSpec::new("par", 30, 65).with_seed(9).with_num_patterns(8);
+//! let instance = SyntheticGenerator::new(spec).generate()?;
+//!
+//! let sized_at = |threads: usize| -> Result<_, ncgws::Error> {
+//!     let config = OptimizerConfig::builder()
+//!         .max_iterations(30)
+//!         .threads(threads) // ParallelPolicy::Level { threads }
+//!         .build()?;
+//!     Ok(Flow::prepare(&instance, config)?.order()?.size()?)
+//! };
+//!
+//! // The determinism guarantee: 1, 2 and 8 workers produce the exact
+//! // same sizes, metrics and duality gap, bit for bit.
+//! let one = sized_at(1)?;
+//! let two = sized_at(2)?;
+//! let eight = sized_at(8)?;
+//! assert_eq!(one.sizes(), two.sizes());
+//! assert_eq!(one.sizes(), eight.sizes());
+//! assert_eq!(one.report.final_metrics, eight.report.final_metrics);
+//! assert_eq!(ParallelPolicy::threads(2), ParallelPolicy::Level { threads: 2 });
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! # Batch execution
 //!
 //! [`BatchRunner`] pushes many instances through the full two-stage flow —
-//! across OS threads with the `parallel` feature — sharing one control
-//! (deadline, cancellation, observer) across all runs:
+//! through an atomic work queue across OS threads with the `parallel`
+//! feature — sharing one control (deadline, cancellation, observer) across
+//! all runs:
 //!
 //! ```rust
 //! use ncgws::netlist::{CircuitSpec, SyntheticGenerator};
@@ -262,6 +318,10 @@ pub use ncgws_core::{
 // The solve schedule: the exact Figure-8 path (bitwise-pinned) vs the
 // adaptive warm-start/active-set/incremental schedule.
 pub use ncgws_core::{AdaptiveSchedule, SolveStrategy};
+
+// The level-parallel runtime policy: deterministic multi-threaded inner
+// loop (bitwise identical across thread counts).
+pub use ncgws_core::ParallelPolicy;
 
 /// Version of the ncgws workspace.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");
