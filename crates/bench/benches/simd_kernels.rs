@@ -1,0 +1,199 @@
+//! Scalar-vs-4-lane A/B of the vectorized sweep kernels (this PR's SoA
+//! rewrite), per kernel and end-to-end, on the wide XL synthetic tier.
+//!
+//! Three groups:
+//!
+//! * `delay_kernel` — the per-node delay evaluation: kind-dispatched scalar
+//!   `delays_chunk` vs the branch-free `delays_chunk_lanes` streaming the
+//!   SoA `node_size`/`charged` slabs.
+//! * `fused_backward` — one full reverse-topological fused sweep: scalar
+//!   `fused_downstream_chunk` vs the three-phase `fused_downstream_chunk_lanes`
+//!   (accumulate → batch-resize → write-back), with a no-op resize so the
+//!   timing isolates the traversal arithmetic.
+//! * `simd_end_to_end` — a whole adaptive stage-2 solve under
+//!   `ParallelPolicy::Sequential` (the untouched scalar oracle) vs
+//!   `ParallelPolicy::threads(1)` (the laned grid on the calling thread) —
+//!   the same A/B the `simd` section of `BENCH_table1.json` records.
+//!
+//! ```text
+//! cargo bench -p ncgws-bench --bench simd_kernels
+//! NCGWS_QUICK=1 cargo bench -p ncgws-bench --bench simd_kernels   # 1k + 10k only
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ncgws_bench::quick_mode;
+use ncgws_circuit::{CircuitTopology, ElmoreAnalyzer, SharedMut, MAX_CHUNK_NODES};
+use ncgws_core::{Flow, OptimizerConfig, ParallelPolicy, RunControl, SolveStrategy};
+use ncgws_netlist::{xl_wide_spec, SyntheticGenerator};
+
+/// Outer-iteration budget of the end-to-end group (matches `ogws_schedule`).
+const ITERATIONS: usize = 25;
+
+fn tiers() -> &'static [usize] {
+    if quick_mode() {
+        &[1_000, 10_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    }
+}
+
+fn simd_kernels(c: &mut Criterion) {
+    let mut delay_group = c.benchmark_group("delay_kernel");
+    for &components in tiers() {
+        let instance = SyntheticGenerator::new(xl_wide_spec(components))
+            .generate()
+            .expect("wide XL generation succeeds");
+        let graph = &instance.circuit;
+        let topo = CircuitTopology::new(graph);
+        let n = topo.num_nodes();
+        let sizes = graph.uniform_sizes(1.0);
+        let caps = ElmoreAnalyzer::new(graph).downstream_caps(&sizes, None);
+        let mut node_size = vec![1.0; n];
+        topo.fill_node_sizes(sizes.as_slice(), &mut node_size);
+        let mut delays = vec![0.0f64; n];
+
+        delay_group.bench_with_input(
+            BenchmarkId::new("scalar", components),
+            &components,
+            |b, _| {
+                b.iter(|| {
+                    // SAFETY: in-bounds range, matching slices, sole borrower.
+                    unsafe {
+                        topo.delays_chunk(
+                            0..n,
+                            sizes.as_slice(),
+                            &caps.charged,
+                            SharedMut::new(&mut delays),
+                        );
+                    }
+                    delays[n - 1]
+                })
+            },
+        );
+        delay_group.bench_with_input(
+            BenchmarkId::new("laned", components),
+            &components,
+            |b, _| {
+                b.iter(|| {
+                    // SAFETY: as above; `node_size` mirrors `sizes` and
+                    // `charged` is a downstream-caps result.
+                    unsafe {
+                        topo.delays_chunk_lanes(
+                            0..n,
+                            &node_size,
+                            &caps.charged,
+                            SharedMut::new(&mut delays),
+                        );
+                    }
+                    delays[n - 1]
+                })
+            },
+        );
+    }
+    delay_group.finish();
+
+    let mut fused_group = c.benchmark_group("fused_backward");
+    for &components in tiers() {
+        let instance = SyntheticGenerator::new(xl_wide_spec(components))
+            .generate()
+            .expect("wide XL generation succeeds");
+        let graph = &instance.circuit;
+        let topo = CircuitTopology::new(graph);
+        let n = topo.num_nodes();
+        let sizes = graph.uniform_sizes(1.0);
+        let extra_cap = vec![0.0f64; n];
+        let mut xs: Vec<f64> = sizes.as_slice().to_vec();
+        let mut charged = vec![0.0f64; n];
+        let mut presented = vec![0.0f64; n];
+
+        fused_group.bench_with_input(
+            BenchmarkId::new("scalar", components),
+            &components,
+            |b, _| {
+                b.iter(|| {
+                    let mut noop = |_comp: usize, _idx: usize, _c: f64, x: f64| x;
+                    for l in (0..topo.num_levels()).rev() {
+                        // SAFETY: levels settle in reverse order, slices
+                        // match the circuit, sole borrower of each slab.
+                        unsafe {
+                            topo.fused_downstream_chunk(
+                                topo.level(l),
+                                SharedMut::new(&mut xs),
+                                &extra_cap,
+                                SharedMut::new(&mut charged),
+                                SharedMut::new(&mut presented),
+                                &mut noop,
+                            );
+                        }
+                    }
+                    charged[n - 1]
+                })
+            },
+        );
+        fused_group.bench_with_input(
+            BenchmarkId::new("laned", components),
+            &components,
+            |b, _| {
+                b.iter(|| {
+                    let mut noop = |_nodes: &[u32], _values: &[f64], _xs: SharedMut<'_, f64>| {};
+                    for l in (0..topo.num_levels()).rev() {
+                        // The laned kernel takes at most one chunk granule
+                        // per call — exactly how the level grid feeds it.
+                        for chunk in topo.level(l).chunks(MAX_CHUNK_NODES) {
+                            // SAFETY: as the scalar arm; chunk granule size
+                            // enforced by the loop above.
+                            unsafe {
+                                topo.fused_downstream_chunk_lanes(
+                                    chunk,
+                                    SharedMut::new(&mut xs),
+                                    &extra_cap,
+                                    SharedMut::new(&mut charged),
+                                    SharedMut::new(&mut presented),
+                                    &mut noop,
+                                );
+                            }
+                        }
+                    }
+                    charged[n - 1]
+                })
+            },
+        );
+    }
+    fused_group.finish();
+
+    let mut e2e_group = c.benchmark_group("simd_end_to_end");
+    e2e_group.sample_size(10);
+    for &components in tiers() {
+        let instance = SyntheticGenerator::new(xl_wide_spec(components))
+            .generate()
+            .expect("wide XL generation succeeds");
+        for (label, policy) in [
+            ("scalar", ParallelPolicy::Sequential),
+            ("laned", ParallelPolicy::threads(1)),
+        ] {
+            let config = OptimizerConfig {
+                max_iterations: ITERATIONS,
+                solve_strategy: SolveStrategy::adaptive(),
+                parallel: policy,
+                ..OptimizerConfig::default()
+            };
+            let ordered = Flow::prepare(&instance, config)
+                .expect("prepare")
+                .order()
+                .expect("order");
+            let control = RunControl::new();
+            let mut engine = ordered.engine();
+            e2e_group.bench_with_input(BenchmarkId::new(label, components), &components, |b, _| {
+                b.iter(|| {
+                    ordered
+                        .size_with_engine(&mut engine, None, &control)
+                        .expect("adaptive sizing")
+                })
+            });
+        }
+    }
+    e2e_group.finish();
+}
+
+criterion_group!(benches, simd_kernels);
+criterion_main!(benches);

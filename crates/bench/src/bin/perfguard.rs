@@ -9,7 +9,12 @@
 //! when any circuit regressed by more than `max_regression` (default 0.25,
 //! i.e. 25 %). When **both** files carry a `threads` section (the
 //! level-parallel scaling rows of `table1 --json`), those rows are compared
-//! under the same gate, keyed by `name@t<threads>`. Circuits present in
+//! under the same gate, keyed by `name@t<threads>` — except rows flagged
+//! `oversubscribed` (more workers requested than the host exposes), whose
+//! timing measures scheduler thrash rather than the engine and is skipped.
+//! When both files carry a `simd` section (the scalar-vs-4-lane
+//! single-thread A/B), its scalar and laned timings are gated too, keyed
+//! `name@scalar` / `name@laned`. Circuits present in
 //! only one file are reported but do not fail the guard (the tier set may
 //! legitimately change across PRs). A zero, negative or non-finite
 //! `seconds_per_iteration` on either side is a *hard error* (exit 2): such
@@ -229,7 +234,9 @@ fn circuit_timings(json: &str) -> BTreeMap<String, f64> {
 
 /// Extracts `name@t<threads> → seconds_per_iteration` from the `"threads"`
 /// scaling section, when present (older baselines carry none — the caller
-/// compares only when both sides do).
+/// compares only when both sides do). Rows flagged `oversubscribed: true`
+/// asked for more workers than the host has; their ratio is a scheduling
+/// artifact, so they are excluded from gating (and announced once).
 fn thread_timings(json: &str) -> BTreeMap<String, f64> {
     let mut out = BTreeMap::new();
     let Some(array) = section_array(json, "threads") else {
@@ -241,7 +248,32 @@ fn thread_timings(json: &str) -> BTreeMap<String, f64> {
             number_field(object, "threads"),
             number_field(object, "seconds_per_iteration"),
         ) {
+            if field(object, "oversubscribed") == Some("true") {
+                eprintln!("perfguard: threads `{name}@t{threads:.0}` is oversubscribed (skipped)");
+                continue;
+            }
             out.insert(format!("{name}@t{threads:.0}"), spi);
+        }
+    }
+    out
+}
+
+/// Extracts `name@scalar` / `name@laned` → seconds-per-iteration pairs from
+/// the `"simd"` section (the single-thread scalar-oracle vs 4-lane kernel
+/// A/B), when present.
+fn simd_timings(json: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    let Some(array) = section_array(json, "simd") else {
+        return out;
+    };
+    for object in array_objects(array) {
+        if let (Some(name), Some(scalar), Some(laned)) = (
+            string_field(object, "name"),
+            number_field(object, "scalar_seconds_per_iteration"),
+            number_field(object, "laned_seconds_per_iteration"),
+        ) {
+            out.insert(format!("{name}@scalar"), scalar);
+            out.insert(format!("{name}@laned"), laned);
         }
     }
     out
@@ -388,6 +420,23 @@ fn main() -> ExitCode {
         eprintln!("perfguard: threads section present in only one file (skipped)");
     }
 
+    // The simd rows are single-thread on both sides, so no scaling-context
+    // match is needed — the same committed-vs-regenerated premise as the
+    // circuits section applies.
+    let baseline_simd = simd_timings(&baseline_doc);
+    let current_simd = simd_timings(&current_doc);
+    if !baseline_simd.is_empty() && !current_simd.is_empty() {
+        match compare("simd", &baseline_simd, &current_simd, max_regression) {
+            Ok(simd_failed) => failed |= simd_failed,
+            Err(message) => {
+                eprintln!("perfguard: hard error: {message}");
+                return ExitCode::from(2);
+            }
+        }
+    } else if baseline_simd.is_empty() != current_simd.is_empty() {
+        eprintln!("perfguard: simd section present in only one file (skipped)");
+    }
+
     if failed {
         eprintln!(
             "perfguard: seconds_per_iteration regressed more than {:.0}% — failing",
@@ -417,9 +466,16 @@ mod tests {
   "schedule": [
     { "name": "xl10", "components": 10000, "exact_seconds_per_iteration": 0.0065 }
   ],
+  "simd": [
+    { "name": "xlw10", "components": 10000,
+      "scalar_seconds_per_iteration": 0.006,
+      "laned_seconds_per_iteration": 0.003, "speedup": 2.0 }
+  ],
   "threads": [
     { "name": "xlw10", "threads": 1, "seconds_per_iteration": 0.004 },
-    { "name": "xlw10", "threads": 4, "seconds_per_iteration": 0.0015 }
+    { "name": "xlw10", "threads": 4, "seconds_per_iteration": 0.0015 },
+    { "name": "xlw10", "threads": 8, "seconds_per_iteration": 0.0031,
+      "oversubscribed": true }
   ]
 }"#;
 
@@ -503,6 +559,24 @@ mod tests {
         assert!((map["xlw10@t1"] - 0.004).abs() < 1e-12);
         assert!((map["xlw10@t4"] - 0.0015).abs() < 1e-12);
         assert!(thread_timings(NESTED).is_empty(), "absent section is empty");
+    }
+
+    #[test]
+    fn oversubscribed_thread_rows_are_excluded_from_gating() {
+        let map = thread_timings(SAMPLE);
+        assert!(
+            !map.contains_key("xlw10@t8"),
+            "the t8 row is flagged oversubscribed and must not be ratio-gated"
+        );
+    }
+
+    #[test]
+    fn simd_rows_expose_both_scalar_and_laned_timings() {
+        let map = simd_timings(SAMPLE);
+        assert_eq!(map.len(), 2);
+        assert!((map["xlw10@scalar"] - 0.006).abs() < 1e-12);
+        assert!((map["xlw10@laned"] - 0.003).abs() < 1e-12);
+        assert!(simd_timings(NESTED).is_empty(), "absent section is empty");
     }
 
     #[test]

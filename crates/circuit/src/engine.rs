@@ -51,6 +51,33 @@
 //! results bitwise identical to the sequential whole-circuit traversals:
 //! every per-node accumulation (fanout loads, fanin resistances, fanin
 //! arrival maxima) still runs over that node's own CSR list in list order.
+//!
+//! # The SoA layout invariant
+//!
+//! Every per-node electrical quantity lives in its own dense `Vec<f64>`
+//! slab indexed by raw node index — unit resistance, unit capacitance,
+//! fringing and output load here; charged/presented capacitance, upstream
+//! resistance, arrival, delays and the per-node size mirror in
+//! [`EvalWorkspace`]. No per-node struct interleaves two quantities, so a
+//! kernel that streams one quantity touches contiguous memory, and a
+//! fixed-width block of [`LANES`] consecutive nodes maps to [`LANES`]
+//! consecutive `f64` in every slab it reads.
+//!
+//! This is what the 4-lane kernels ([`CircuitTopology::delays_chunk_lanes`],
+//! [`CircuitTopology::fused_downstream_chunk_lanes`],
+//! [`CircuitTopology::fused_upstream_chunk_lanes`]) build on, and it
+//! composes with the level partition above: a level chunk is a contiguous
+//! run of at most [`MAX_CHUNK_NODES`] entries of `level_nodes`
+//! (`MAX_CHUNK_NODES % LANES == 0`), so lane blocks never straddle a chunk
+//! boundary and the per-chunk disjointness that makes the chunk kernels
+//! race-free makes the lane blocks race-free too. Kernels whose per-node
+//! arithmetic is independent (delays, the Theorem-5 closed form) are laned
+//! directly and stay *bitwise* identical to the sequential oracle — each
+//! lane performs exactly the scalar expression sequence for its node. The
+//! CSR accumulations (fanout loads, fanin resistances, arrival maxima)
+//! stay in list order inside the lane kernels: reassociating those sums
+//! would break the bitwise pin, so vectorization there is limited to the
+//! phase split described on the fused kernels.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -62,6 +89,30 @@ use crate::sizing::SizeVector;
 
 /// Sentinel for "no predecessor" in dense predecessor arrays.
 pub const NO_PRED: usize = usize::MAX;
+
+/// Lane width of the explicit 4-lane `f64` kernel blocks. Chosen so the
+/// blocks vectorize on any x86-64 (two SSE2 `f64x2` ops) or AArch64 (two
+/// NEON ops) target and still fill one AVX2 register; the kernels are plain
+/// fixed-trip loops over `[f64; LANES]`, so LLVM picks whatever width the
+/// target offers without nightly `std::simd`.
+pub const LANES: usize = 4;
+
+/// Upper bound on the node count of one level chunk handed to the `*_lanes`
+/// kernels — the same 256-node granule the level-parallel chunk grid uses,
+/// re-exported from here so the grid and the kernels cannot drift apart.
+/// A multiple of [`LANES`], so full chunks decompose into whole lane blocks.
+pub const MAX_CHUNK_NODES: usize = 256;
+
+const _: () = assert!(
+    MAX_CHUNK_NODES.is_multiple_of(LANES),
+    "chunk granule must decompose into whole lane blocks"
+);
+
+/// Rounds `n` up to a multiple of [`LANES`] — the length lane-padded slabs
+/// are allocated at, so a lane block reading the slab tail stays in bounds.
+pub const fn lane_padded(n: usize) -> usize {
+    n.div_ceil(LANES) * LANES
+}
 
 /// Sentinel for "not a sizable component" in dense component-index arrays.
 const NOT_SIZABLE: usize = usize::MAX;
@@ -439,6 +490,39 @@ impl<'a, T> SharedMut<'a, T> {
     }
 }
 
+/// Streamed fanout-edge dispatch tag (see `CircuitTopology::fanout_tag`):
+/// how a child contributes to its parent's downstream capacitance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+enum FanoutTag {
+    /// A precomputed constant: the parent's output load for sink children,
+    /// `ĉ · 1.0` for non-sizable gates, `0.0` for drivers/the source.
+    Const,
+    /// A sizable gate child: `ĉ_child · x[comp]`.
+    Gate,
+    /// A wire child: the child's settled `presented` entry.
+    Wire,
+}
+
+/// Streamed fanin-edge dispatch tag (see `CircuitTopology::fanin_tag`):
+/// the resistance form of a predecessor in the upstream accumulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+enum FaninTag {
+    /// Source/sink predecessor: contributes nothing (skipped, exactly as
+    /// the kind-dispatched loop skips it).
+    Skip,
+    /// Fixed resistance (`R_D` for drivers, `r̂ / 1.0` folded at build time
+    /// for non-sizable gates): `w · r`.
+    Const,
+    /// Sizable gate: `w · (r̂ / x[comp])` (`∞` when `x ≤ 0`).
+    Div,
+    /// Non-sizable wire: `upstream[p] + w · r` with fixed `r`.
+    WireConst,
+    /// Sizable wire: `upstream[p] + w · (r̂ / x[comp])`.
+    WireDiv,
+}
+
 /// Compact per-node role tag used by [`CircuitTopology`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
@@ -479,6 +563,28 @@ pub struct CircuitTopology {
     fanout_list: Vec<u32>,
     fanin_start: Vec<u32>,
     fanin_list: Vec<u32>,
+    /// Streamed per-fanout-edge child descriptors (parallel to
+    /// `fanout_list`): the chunk kernels dispatch on these columns instead
+    /// of gathering `kind`/`unit_capacitance`/`comp_of` through the child
+    /// index, leaving at most one random access per edge (the child's
+    /// `presented` entry or the component's size). Built once per snapshot;
+    /// per-edge values are exactly the operands of `child_load_unchecked`,
+    /// so the streamed dispatch is bitwise identical to the gathered one.
+    fanout_tag: Vec<FanoutTag>,
+    /// `Const` → the whole contribution; `Gate` → `ĉ` of the child.
+    fanout_coeff: Vec<f64>,
+    /// `Gate` → dense component of the child; `Wire` → child node index.
+    fanout_aux: Vec<u32>,
+    /// Streamed per-fanin-edge predecessor descriptors (parallel to
+    /// `fanin_list`), same idea for the forward kernels: resistance form
+    /// and operands of each predecessor, leaving only the `weights` /
+    /// `upstream` / size gathers.
+    fanin_tag: Vec<FaninTag>,
+    /// `r̂` (or `R_D`) of the predecessor; zero for `Skip`.
+    fanin_ur: Vec<f64>,
+    /// Dense component of the predecessor for the `Div` forms; zero
+    /// otherwise.
+    fanin_aux: Vec<u32>,
     /// Cached topological level partition (see the module docs): CSR offsets
     /// into `level_nodes`, one entry per level plus a trailing total.
     level_start: Vec<u32>,
@@ -546,6 +652,68 @@ impl CircuitTopology {
         fanout_start.push(fanout_list.len() as u32);
         fanin_start.push(fanin_list.len() as u32);
 
+        // Streamed per-edge descriptor columns (see the field docs): the
+        // exact operands the kind-dispatched loops would gather through the
+        // child/predecessor index, precomputed once per edge. Non-sizable
+        // forms fold their fixed size of 1.0 at build time (`c * 1.0 == c`
+        // and `r / 1.0 == r` bitwise), so every fold is bitwise neutral.
+        let mut fanout_tag = Vec::with_capacity(fanout_list.len());
+        let mut fanout_coeff = Vec::with_capacity(fanout_list.len());
+        let mut fanout_aux = Vec::with_capacity(fanout_list.len());
+        for idx in 0..n {
+            for &child in &fanout_list[fanout_start[idx] as usize..fanout_start[idx + 1] as usize] {
+                let c = child as usize;
+                let (tag, coeff, aux) = match kind[c] {
+                    KindTag::Sink => (FanoutTag::Const, output_load[idx], 0),
+                    KindTag::Gate => {
+                        let comp = comp_of[c];
+                        if comp == NOT_SIZABLE {
+                            (FanoutTag::Const, unit_capacitance[c], 0)
+                        } else {
+                            (FanoutTag::Gate, unit_capacitance[c], comp as u32)
+                        }
+                    }
+                    KindTag::Wire => (FanoutTag::Wire, 0.0, child),
+                    KindTag::Driver | KindTag::Source => (FanoutTag::Const, 0.0, 0),
+                };
+                fanout_tag.push(tag);
+                fanout_coeff.push(coeff);
+                fanout_aux.push(aux);
+            }
+        }
+        let mut fanin_tag = Vec::with_capacity(fanin_list.len());
+        let mut fanin_ur = Vec::with_capacity(fanin_list.len());
+        let mut fanin_aux = Vec::with_capacity(fanin_list.len());
+        for &pred in &fanin_list {
+            let p = pred as usize;
+            let (tag, ur, aux) = match kind[p] {
+                KindTag::Source | KindTag::Sink => (FaninTag::Skip, 0.0, 0),
+                KindTag::Driver => (FaninTag::Const, unit_resistance[p], 0),
+                KindTag::Gate | KindTag::Wire => {
+                    let wire = kind[p] == KindTag::Wire;
+                    let comp = comp_of[p];
+                    if comp == NOT_SIZABLE {
+                        let tag = if wire {
+                            FaninTag::WireConst
+                        } else {
+                            FaninTag::Const
+                        };
+                        (tag, unit_resistance[p], 0)
+                    } else {
+                        let tag = if wire {
+                            FaninTag::WireDiv
+                        } else {
+                            FaninTag::Div
+                        };
+                        (tag, unit_resistance[p], comp as u32)
+                    }
+                }
+            };
+            fanin_tag.push(tag);
+            fanin_ur.push(ur);
+            fanin_aux.push(aux);
+        }
+
         // Topological level partition: level(i) = 1 + max level over fanin,
         // the source (and any fanin-free node) at level 0. Nodes are stored
         // in topological order, so one forward scan settles every level.
@@ -588,6 +756,12 @@ impl CircuitTopology {
             fanout_list,
             fanin_start,
             fanin_list,
+            fanout_tag,
+            fanout_coeff,
+            fanout_aux,
+            fanin_tag,
+            fanin_ur,
+            fanin_aux,
             level_start,
             level_nodes,
         }
@@ -684,6 +858,35 @@ impl CircuitTopology {
         }
     }
 
+    /// Fills the per-node size slab: `out[idx] = sizes[comp_of(idx)]`, `1.0`
+    /// for non-sizable nodes — the gather that turns the component-indexed
+    /// size vector into a node-indexed SoA slab the lane kernels can stream.
+    /// Entries of `out` beyond the node count (lane padding) are left as the
+    /// caller initialized them.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sizes` does not match the component count or `out` is
+    /// shorter than the node count.
+    pub fn fill_node_sizes(&self, sizes: &[f64], out: &mut [f64]) {
+        assert_eq!(
+            sizes.len(),
+            self.num_components,
+            "sizes must match the circuit"
+        );
+        assert!(
+            out.len() >= self.num_nodes(),
+            "node-size slab must have one entry per node"
+        );
+        for (slot, &comp) in out.iter_mut().zip(&self.comp_of) {
+            *slot = if comp == NOT_SIZABLE {
+                1.0
+            } else {
+                sizes[comp]
+            };
+        }
+    }
+
     /// Asserts the slice-length invariants the unchecked hot loops rely on.
     /// Every node index stored in the CSR lists and `comp_of` is in range by
     /// construction (the topology is built from a validated graph and is
@@ -776,6 +979,181 @@ impl CircuitTopology {
         self.fanin_list.get_unchecked(start..end)
     }
 
+    /// Fanout edge-index range of node `idx` without bounds checks; edge
+    /// indices address `fanout_list` and the streamed `fanout_*` columns.
+    ///
+    /// # Safety
+    ///
+    /// `idx < num_nodes`; the CSR offsets are valid by construction.
+    #[inline(always)]
+    unsafe fn fanout_edges_unchecked(&self, idx: usize) -> std::ops::Range<usize> {
+        *self.fanout_start.get_unchecked(idx) as usize
+            ..*self.fanout_start.get_unchecked(idx + 1) as usize
+    }
+
+    /// Fanin edge-index range of node `idx` without bounds checks; edge
+    /// indices address `fanin_list` and the streamed `fanin_*` columns.
+    ///
+    /// # Safety
+    ///
+    /// `idx < num_nodes`; the CSR offsets are valid by construction.
+    #[inline(always)]
+    unsafe fn fanin_edges_unchecked(&self, idx: usize) -> std::ops::Range<usize> {
+        *self.fanin_start.get_unchecked(idx) as usize
+            ..*self.fanin_start.get_unchecked(idx + 1) as usize
+    }
+
+    /// `child_load` streamed from the per-edge columns (rebuild variant):
+    /// bitwise identical to `child_load_shared` for fanout edge `e`,
+    /// because the columns hold the exact operands the kind dispatch would
+    /// gather through the child index.
+    ///
+    /// # Safety
+    ///
+    /// `e < fanout_list.len()`; `sizes.len() == num_components`; wire
+    /// children's `presented` entries are settled.
+    #[inline(always)]
+    unsafe fn child_load_edge(
+        &self,
+        e: usize,
+        sizes: &[f64],
+        presented: SharedMut<'_, f64>,
+    ) -> f64 {
+        match *self.fanout_tag.get_unchecked(e) {
+            FanoutTag::Const => *self.fanout_coeff.get_unchecked(e),
+            FanoutTag::Gate => {
+                *self.fanout_coeff.get_unchecked(e)
+                    * *sizes.get_unchecked(*self.fanout_aux.get_unchecked(e) as usize)
+            }
+            FanoutTag::Wire => presented.get(*self.fanout_aux.get_unchecked(e) as usize),
+        }
+    }
+
+    /// As `child_load_edge`, over a shared size view (fused variant,
+    /// bitwise identical to `child_load_fused`).
+    ///
+    /// # Safety
+    ///
+    /// As `child_load_edge`, with `xs` wrapping the per-component sizes.
+    #[inline(always)]
+    unsafe fn child_load_edge_fused(
+        &self,
+        e: usize,
+        xs: SharedMut<'_, f64>,
+        presented: SharedMut<'_, f64>,
+    ) -> f64 {
+        match *self.fanout_tag.get_unchecked(e) {
+            FanoutTag::Const => *self.fanout_coeff.get_unchecked(e),
+            FanoutTag::Gate => {
+                *self.fanout_coeff.get_unchecked(e)
+                    * xs.get(*self.fanout_aux.get_unchecked(e) as usize)
+            }
+            FanoutTag::Wire => presented.get(*self.fanout_aux.get_unchecked(e) as usize),
+        }
+    }
+
+    /// One node's λ-weighted upstream accumulation streamed from the
+    /// per-edge columns: bitwise identical to the kind-dispatched fanin
+    /// loop of [`upstream_resistance_chunk`](Self::upstream_resistance_chunk)
+    /// (same edges, same order, same expressions per resistance form).
+    ///
+    /// # Safety
+    ///
+    /// `idx < num_nodes`; `sizes.len() == num_components`; `weights` has
+    /// one entry per node; lower levels are settled in `upstream`.
+    #[inline(always)]
+    unsafe fn upstream_acc_edges(
+        &self,
+        idx: usize,
+        sizes: &[f64],
+        weights: &[f64],
+        upstream: SharedMut<'_, f64>,
+    ) -> f64 {
+        let mut acc = 0.0;
+        for e in self.fanin_edges_unchecked(idx) {
+            let p = *self.fanin_list.get_unchecked(e) as usize;
+            match *self.fanin_tag.get_unchecked(e) {
+                FaninTag::Skip => {}
+                FaninTag::Const => {
+                    acc += *weights.get_unchecked(p) * *self.fanin_ur.get_unchecked(e);
+                }
+                FaninTag::Div => {
+                    let x = *sizes.get_unchecked(*self.fanin_aux.get_unchecked(e) as usize);
+                    let r = if x > 0.0 {
+                        *self.fanin_ur.get_unchecked(e) / x
+                    } else {
+                        f64::INFINITY
+                    };
+                    acc += *weights.get_unchecked(p) * r;
+                }
+                FaninTag::WireConst => {
+                    acc += upstream.get(p)
+                        + *weights.get_unchecked(p) * *self.fanin_ur.get_unchecked(e);
+                }
+                FaninTag::WireDiv => {
+                    let x = *sizes.get_unchecked(*self.fanin_aux.get_unchecked(e) as usize);
+                    let r = if x > 0.0 {
+                        *self.fanin_ur.get_unchecked(e) / x
+                    } else {
+                        f64::INFINITY
+                    };
+                    acc += upstream.get(p) + *weights.get_unchecked(p) * r;
+                }
+            }
+        }
+        acc
+    }
+
+    /// As `upstream_acc_edges`, over a shared size view (fused variant,
+    /// bitwise identical to the kind-dispatched loop over
+    /// `resistance_shared`).
+    ///
+    /// # Safety
+    ///
+    /// As `upstream_acc_edges`, with `xs` wrapping the per-component sizes.
+    #[inline(always)]
+    unsafe fn upstream_acc_edges_shared(
+        &self,
+        idx: usize,
+        xs: SharedMut<'_, f64>,
+        weights: &[f64],
+        upstream: SharedMut<'_, f64>,
+    ) -> f64 {
+        let mut acc = 0.0;
+        for e in self.fanin_edges_unchecked(idx) {
+            let p = *self.fanin_list.get_unchecked(e) as usize;
+            match *self.fanin_tag.get_unchecked(e) {
+                FaninTag::Skip => {}
+                FaninTag::Const => {
+                    acc += *weights.get_unchecked(p) * *self.fanin_ur.get_unchecked(e);
+                }
+                FaninTag::Div => {
+                    let x = xs.get(*self.fanin_aux.get_unchecked(e) as usize);
+                    let r = if x > 0.0 {
+                        *self.fanin_ur.get_unchecked(e) / x
+                    } else {
+                        f64::INFINITY
+                    };
+                    acc += *weights.get_unchecked(p) * r;
+                }
+                FaninTag::WireConst => {
+                    acc += upstream.get(p)
+                        + *weights.get_unchecked(p) * *self.fanin_ur.get_unchecked(e);
+                }
+                FaninTag::WireDiv => {
+                    let x = xs.get(*self.fanin_aux.get_unchecked(e) as usize);
+                    let r = if x > 0.0 {
+                        *self.fanin_ur.get_unchecked(e) / x
+                    } else {
+                        f64::INFINITY
+                    };
+                    acc += upstream.get(p) + *weights.get_unchecked(p) * r;
+                }
+            }
+        }
+        acc
+    }
+
     /// `child_load` over raw slices without bounds checks.
     ///
     /// # Safety
@@ -814,9 +1192,14 @@ impl CircuitTopology {
                 + self.fanout_list.capacity()
                 + self.fanin_start.capacity()
                 + self.fanin_list.capacity()
+                + self.fanout_aux.capacity()
+                + self.fanin_aux.capacity()
                 + self.level_start.capacity()
                 + self.level_nodes.capacity())
                 * size_of::<u32>()
+            + self.fanout_tag.capacity() * size_of::<FanoutTag>()
+            + self.fanin_tag.capacity() * size_of::<FaninTag>()
+            + (self.fanout_coeff.capacity() + self.fanin_ur.capacity()) * size_of::<f64>()
             + size_of::<Self>()
     }
 
@@ -861,8 +1244,8 @@ impl CircuitTopology {
                 }
                 KindTag::Driver => {
                     let mut c = 0.0;
-                    for &child in self.fanout_unchecked(idx) {
-                        c += self.child_load_shared(idx, child as usize, sizes, presented);
+                    for e in self.fanout_edges_unchecked(idx) {
+                        c += self.child_load_edge(e, sizes, presented);
                     }
                     c += extra;
                     charged.set(idx, c);
@@ -870,8 +1253,8 @@ impl CircuitTopology {
                 }
                 KindTag::Gate => {
                     let mut c = 0.0;
-                    for &child in self.fanout_unchecked(idx) {
-                        c += self.child_load_shared(idx, child as usize, sizes, presented);
+                    for e in self.fanout_edges_unchecked(idx) {
+                        c += self.child_load_edge(e, sizes, presented);
                     }
                     c += extra;
                     charged.set(idx, c);
@@ -880,8 +1263,8 @@ impl CircuitTopology {
                 KindTag::Wire => {
                     let own = self.capacitance_unchecked(idx, sizes);
                     let mut downstream = 0.0;
-                    for &child in self.fanout_unchecked(idx) {
-                        downstream += self.child_load_shared(idx, child as usize, sizes, presented);
+                    for e in self.fanout_edges_unchecked(idx) {
+                        downstream += self.child_load_edge(e, sizes, presented);
                     }
                     charged.set(idx, own / 2.0 + extra + downstream);
                     presented.set(idx, own + extra + downstream);
@@ -908,21 +1291,7 @@ impl CircuitTopology {
     ) {
         for &idx in nodes {
             let idx = idx as usize;
-            let mut acc = 0.0;
-            for &pred in self.fanin_unchecked(idx) {
-                let p = pred as usize;
-                match *self.kind.get_unchecked(p) {
-                    KindTag::Source => {}
-                    KindTag::Driver | KindTag::Gate => {
-                        acc += *weights.get_unchecked(p) * self.resistance_unchecked(p, sizes);
-                    }
-                    KindTag::Wire => {
-                        acc += upstream.get(p)
-                            + *weights.get_unchecked(p) * self.resistance_unchecked(p, sizes);
-                    }
-                    KindTag::Sink => unreachable!("sink has no fanout"),
-                }
-            }
+            let acc = self.upstream_acc_edges(idx, sizes, weights, upstream);
             upstream.set(idx, acc);
         }
     }
@@ -959,16 +1328,16 @@ impl CircuitTopology {
                 }
                 KindTag::Driver => {
                     let mut c = 0.0;
-                    for &child in self.fanout_unchecked(idx) {
-                        c += self.child_load_fused(idx, child as usize, xs, presented);
+                    for e in self.fanout_edges_unchecked(idx) {
+                        c += self.child_load_edge_fused(e, xs, presented);
                     }
                     charged.set(idx, c + extra);
                     presented.set(idx, 0.0);
                 }
                 KindTag::Gate => {
                     let mut c = 0.0;
-                    for &child in self.fanout_unchecked(idx) {
-                        c += self.child_load_fused(idx, child as usize, xs, presented);
+                    for e in self.fanout_edges_unchecked(idx) {
+                        c += self.child_load_edge_fused(e, xs, presented);
                     }
                     let c = c + extra;
                     charged.set(idx, c);
@@ -982,8 +1351,8 @@ impl CircuitTopology {
                 }
                 KindTag::Wire => {
                     let mut downstream = 0.0;
-                    for &child in self.fanout_unchecked(idx) {
-                        downstream += self.child_load_fused(idx, child as usize, xs, presented);
+                    for e in self.fanout_edges_unchecked(idx) {
+                        downstream += self.child_load_edge_fused(e, xs, presented);
                     }
                     let comp = *self.comp_of.get_unchecked(idx);
                     let x = xs.get(comp);
@@ -1025,20 +1394,7 @@ impl CircuitTopology {
     ) {
         for &idx in nodes {
             let idx = idx as usize;
-            let mut acc = 0.0;
-            for &pred in self.fanin_unchecked(idx) {
-                let p = pred as usize;
-                match *self.kind.get_unchecked(p) {
-                    KindTag::Source | KindTag::Sink => {}
-                    KindTag::Driver | KindTag::Gate => {
-                        acc += *weights.get_unchecked(p) * self.resistance_shared(p, xs);
-                    }
-                    KindTag::Wire => {
-                        acc += upstream.get(p)
-                            + *weights.get_unchecked(p) * self.resistance_shared(p, xs);
-                    }
-                }
-            }
+            let acc = self.upstream_acc_edges_shared(idx, xs, weights, upstream);
             upstream.set(idx, acc);
             let comp = *self.comp_of.get_unchecked(idx);
             if comp != NOT_SIZABLE {
@@ -1049,6 +1405,163 @@ impl CircuitTopology {
                 }
             }
         }
+    }
+
+    /// Phased variant of
+    /// [`fused_downstream_chunk`](Self::fused_downstream_chunk) that exposes
+    /// the whole chunk's resize candidates to the caller in one batch, so
+    /// the caller can run the Theorem-5 closed form in [`LANES`]-wide
+    /// blocks instead of once per node.
+    ///
+    /// The chunk is processed in three phases:
+    ///
+    /// * **A (accumulate)** — for every node, the charged-capacitance
+    ///   candidate is computed exactly as the per-node kernel does (fanout
+    ///   loads in CSR list order) and stashed in an on-stack slab;
+    /// * **B (batch resize)** — `batch_resize(nodes, values, xs)` is called
+    ///   once; for every node with a sizable component it must read
+    ///   `values[k]` (the candidate of `nodes[k]`) and write the new size
+    ///   through `xs`, leaving non-sizable slots alone;
+    /// * **C (write back)** — charged/presented are written from the
+    ///   post-resize sizes.
+    ///
+    /// Phasing is bitwise-legal because nodes of one level share no edge:
+    /// in the per-node kernel, node `k+1`'s accumulation never reads node
+    /// `k`'s size or presented load (its children live in strictly higher,
+    /// already settled levels), so deferring all resizes behind all
+    /// accumulations reorders no observable read or write. The wire
+    /// write-back recomputes `own` from the post-resize size
+    /// unconditionally; when the size did not change this repeats the exact
+    /// phase-A expressions on identical inputs, so the result is bitwise
+    /// identical to the per-node kernel's "unchanged" branch.
+    ///
+    /// # Safety
+    ///
+    /// As [`fused_downstream_chunk`](Self::fused_downstream_chunk); in
+    /// addition `nodes.len() <= MAX_CHUNK_NODES` (asserted) and
+    /// `batch_resize` must only touch the sizes of the chunk's own
+    /// components.
+    pub unsafe fn fused_downstream_chunk_lanes<F>(
+        &self,
+        nodes: &[u32],
+        xs: SharedMut<'_, f64>,
+        extra_cap: &[f64],
+        charged: SharedMut<'_, f64>,
+        presented: SharedMut<'_, f64>,
+        batch_resize: &mut F,
+    ) where
+        F: FnMut(&[u32], &[f64], SharedMut<'_, f64>),
+    {
+        assert!(
+            nodes.len() <= MAX_CHUNK_NODES,
+            "lane kernels take at most one chunk granule of nodes"
+        );
+        let mut value = [0.0f64; MAX_CHUNK_NODES];
+        let mut downstream_acc = [0.0f64; MAX_CHUNK_NODES];
+        // Phase A: accumulate every candidate over settled higher levels.
+        for (k, &idx) in nodes.iter().enumerate() {
+            let idx = idx as usize;
+            let extra = *extra_cap.get_unchecked(idx);
+            match *self.kind.get_unchecked(idx) {
+                KindTag::Source | KindTag::Sink => {
+                    charged.set(idx, 0.0);
+                    presented.set(idx, 0.0);
+                }
+                KindTag::Driver => {
+                    let mut c = 0.0;
+                    for e in self.fanout_edges_unchecked(idx) {
+                        c += self.child_load_edge_fused(e, xs, presented);
+                    }
+                    charged.set(idx, c + extra);
+                    presented.set(idx, 0.0);
+                }
+                KindTag::Gate => {
+                    let mut c = 0.0;
+                    for e in self.fanout_edges_unchecked(idx) {
+                        c += self.child_load_edge_fused(e, xs, presented);
+                    }
+                    let c = c + extra;
+                    charged.set(idx, c);
+                    *value.get_unchecked_mut(k) = c;
+                }
+                KindTag::Wire => {
+                    let mut downstream = 0.0;
+                    for e in self.fanout_edges_unchecked(idx) {
+                        downstream += self.child_load_edge_fused(e, xs, presented);
+                    }
+                    let comp = *self.comp_of.get_unchecked(idx);
+                    let x = xs.get(comp);
+                    let own = *self.unit_capacitance.get_unchecked(idx) * x
+                        + *self.fringing.get_unchecked(idx);
+                    *value.get_unchecked_mut(k) = own / 2.0 + extra + downstream;
+                    *downstream_acc.get_unchecked_mut(k) = downstream;
+                }
+            }
+        }
+        // Phase B: one batch resize over the whole chunk.
+        batch_resize(nodes, value.get_unchecked(..nodes.len()), xs);
+        // Phase C: write the post-resize electrical state back.
+        for (k, &idx) in nodes.iter().enumerate() {
+            let idx = idx as usize;
+            match *self.kind.get_unchecked(idx) {
+                KindTag::Gate => {
+                    let comp = *self.comp_of.get_unchecked(idx);
+                    presented.set(
+                        idx,
+                        *self.unit_capacitance.get_unchecked(idx) * xs.get(comp),
+                    );
+                }
+                KindTag::Wire => {
+                    let comp = *self.comp_of.get_unchecked(idx);
+                    let x_new = xs.get(comp);
+                    let own_new = *self.unit_capacitance.get_unchecked(idx) * x_new
+                        + *self.fringing.get_unchecked(idx);
+                    let extra = *extra_cap.get_unchecked(idx);
+                    let downstream = *downstream_acc.get_unchecked(k);
+                    charged.set(idx, own_new / 2.0 + extra + downstream);
+                    presented.set(idx, own_new + extra + downstream);
+                }
+                KindTag::Source | KindTag::Sink | KindTag::Driver => {}
+            }
+        }
+    }
+
+    /// Phased variant of
+    /// [`fused_upstream_chunk`](Self::fused_upstream_chunk): phase A
+    /// accumulates every node's λ-weighted upstream resistance (fanin CSR
+    /// order, settled lower levels) into an on-stack slab and writes it
+    /// through, then `batch_resize(nodes, values, xs)` resizes the whole
+    /// chunk at once. The forward pass writes nothing after the resize, so
+    /// there is no phase C. Bitwise-legal for the same no-intra-level-edge
+    /// reason as [`fused_downstream_chunk_lanes`](Self::fused_downstream_chunk_lanes).
+    ///
+    /// # Safety
+    ///
+    /// As [`fused_upstream_chunk`](Self::fused_upstream_chunk); in addition
+    /// `nodes.len() <= MAX_CHUNK_NODES` (asserted) and `batch_resize` must
+    /// only touch the sizes of the chunk's own components.
+    pub unsafe fn fused_upstream_chunk_lanes<F>(
+        &self,
+        nodes: &[u32],
+        xs: SharedMut<'_, f64>,
+        weights: &[f64],
+        upstream: SharedMut<'_, f64>,
+        batch_resize: &mut F,
+    ) where
+        F: FnMut(&[u32], &[f64], SharedMut<'_, f64>),
+    {
+        assert!(
+            nodes.len() <= MAX_CHUNK_NODES,
+            "lane kernels take at most one chunk granule of nodes"
+        );
+        let mut value = [0.0f64; MAX_CHUNK_NODES];
+        for (k, &idx) in nodes.iter().enumerate() {
+            let idx = idx as usize;
+            let acc = self.upstream_acc_edges_shared(idx, xs, weights, upstream);
+            upstream.set(idx, acc);
+            *value.get_unchecked_mut(k) = acc;
+        }
+        batch_resize(nodes, value.get_unchecked(..nodes.len()), xs);
     }
 
     /// One chunk of the per-component delay evaluation (`delays_into` for a
@@ -1073,6 +1586,57 @@ impl CircuitTopology {
                 _ => self.resistance_unchecked(idx, sizes) * *charged.get_unchecked(idx),
             };
             delays.set(idx, d);
+        }
+    }
+
+    /// 4-lane variant of [`delays_chunk`](Self::delays_chunk), streaming the
+    /// SoA slabs (`unit_resistance`, the caller's `node_size` mirror,
+    /// `charged`) in [`LANES`]-wide blocks with a scalar tail.
+    ///
+    /// Bitwise identical to `delays_chunk` (and thus to `delays_into`) for
+    /// every node kind, without branching on the kind tag:
+    ///
+    /// * gates/wires: the same `r̂ / x` (or `∞` when `x ≤ 0`) times charged;
+    /// * drivers: `node_size` is `1.0`, and `r̂ / 1.0 == r̂` bitwise;
+    /// * source/sink: their `unit_resistance` is `0.0` and a downstream pass
+    ///   always leaves their `charged` at `0.0`, so the lane computes
+    ///   `(0.0 / 1.0) * 0.0 = +0.0` — the exact value the scalar kernel
+    ///   writes.
+    ///
+    /// # Safety
+    ///
+    /// As [`delays_chunk`](Self::delays_chunk); in addition `node_size` has
+    /// one entry per node (filled by
+    /// [`fill_node_sizes`](Self::fill_node_sizes) from the sizes `charged`
+    /// was computed with) and `charged` holds a downstream-caps result
+    /// (source/sink entries zero).
+    pub unsafe fn delays_chunk_lanes(
+        &self,
+        range: std::ops::Range<usize>,
+        node_size: &[f64],
+        charged: &[f64],
+        delays: SharedMut<'_, f64>,
+    ) {
+        let mut idx = range.start;
+        while idx + LANES <= range.end {
+            let mut d = [0.0f64; LANES];
+            for (j, slot) in d.iter_mut().enumerate() {
+                let i = idx + j;
+                let ur = *self.unit_resistance.get_unchecked(i);
+                let x = *node_size.get_unchecked(i);
+                let r = if x > 0.0 { ur / x } else { f64::INFINITY };
+                *slot = r * *charged.get_unchecked(i);
+            }
+            for (j, &slot) in d.iter().enumerate() {
+                delays.set(idx + j, slot);
+            }
+            idx += LANES;
+        }
+        for i in idx..range.end {
+            let ur = *self.unit_resistance.get_unchecked(i);
+            let x = *node_size.get_unchecked(i);
+            let r = if x > 0.0 { ur / x } else { f64::INFINITY };
+            delays.set(i, r * *charged.get_unchecked(i));
         }
     }
 
@@ -1131,78 +1695,6 @@ impl CircuitTopology {
                     pred.set(idx, best_pred);
                 }
             }
-        }
-    }
-
-    /// `child_load` over a shared `presented` view (rebuild variant).
-    ///
-    /// # Safety
-    ///
-    /// As `child_load_unchecked`; the child's `presented` entry is settled.
-    #[inline(always)]
-    unsafe fn child_load_shared(
-        &self,
-        parent: usize,
-        child: usize,
-        sizes: &[f64],
-        presented: SharedMut<'_, f64>,
-    ) -> f64 {
-        match *self.kind.get_unchecked(child) {
-            KindTag::Sink => *self.output_load.get_unchecked(parent),
-            KindTag::Gate => self.capacitance_unchecked(child, sizes),
-            KindTag::Wire => presented.get(child),
-            KindTag::Driver | KindTag::Source => 0.0,
-        }
-    }
-
-    /// `child_load` over shared `xs`/`presented` views (fused variant: the
-    /// child's size and presented load reflect its post-resize state).
-    ///
-    /// # Safety
-    ///
-    /// As `child_load_unchecked`; the child's entries are settled.
-    #[inline(always)]
-    unsafe fn child_load_fused(
-        &self,
-        parent: usize,
-        child: usize,
-        xs: SharedMut<'_, f64>,
-        presented: SharedMut<'_, f64>,
-    ) -> f64 {
-        match *self.kind.get_unchecked(child) {
-            KindTag::Sink => *self.output_load.get_unchecked(parent),
-            KindTag::Gate => {
-                let comp = *self.comp_of.get_unchecked(child);
-                *self.unit_capacitance.get_unchecked(child) * xs.get(comp)
-            }
-            KindTag::Wire => presented.get(child),
-            KindTag::Driver | KindTag::Source => 0.0,
-        }
-    }
-
-    /// `resistance` over a shared size view.
-    ///
-    /// # Safety
-    ///
-    /// `idx < num_nodes`; the component's size entry is settled.
-    #[inline(always)]
-    unsafe fn resistance_shared(&self, idx: usize, xs: SharedMut<'_, f64>) -> f64 {
-        match *self.kind.get_unchecked(idx) {
-            KindTag::Driver => *self.unit_resistance.get_unchecked(idx),
-            KindTag::Gate | KindTag::Wire => {
-                let comp = *self.comp_of.get_unchecked(idx);
-                let x = if comp == NOT_SIZABLE {
-                    1.0
-                } else {
-                    xs.get(comp)
-                };
-                if x > 0.0 {
-                    *self.unit_resistance.get_unchecked(idx) / x
-                } else {
-                    f64::INFINITY
-                }
-            }
-            KindTag::Source | KindTag::Sink => 0.0,
         }
     }
 }
@@ -1766,6 +2258,13 @@ pub struct EvalWorkspace {
     pub arrival: Vec<f64>,
     /// Node delay weights `λ_i` per node.
     pub node_weights: Vec<f64>,
+    /// Node-indexed mirror of the component sizes (`1.0` for non-sizable
+    /// nodes), filled by [`CircuitTopology::fill_node_sizes`] — the SoA
+    /// gather the 4-lane delay kernel streams instead of indirecting
+    /// through `comp_of` per node. Lane-padded to a multiple of [`LANES`]
+    /// (pad entries stay `1.0`), so a full lane block may read past the
+    /// node count without leaving the slab.
+    pub node_size: Vec<f64>,
     /// Previous-sweep sizes scratch, per dense component index.
     pub prev_sizes: Vec<f64>,
     /// Critical-path predecessor per node ([`NO_PRED`] when none).
@@ -1787,6 +2286,7 @@ impl EvalWorkspace {
             delays: vec![0.0; n],
             arrival: vec![0.0; n],
             node_weights: vec![0.0; n],
+            node_size: vec![1.0; lane_padded(n)],
             prev_sizes: vec![0.0; graph.num_components()],
             pred: vec![NO_PRED; n],
             critical_path: Vec::with_capacity(n),
@@ -1803,6 +2303,7 @@ impl EvalWorkspace {
             + self.delays.capacity()
             + self.arrival.capacity()
             + self.node_weights.capacity()
+            + self.node_size.capacity()
             + self.prev_sizes.capacity())
             * size_of::<f64>()
             + self.pred.capacity() * size_of::<usize>()
@@ -2335,5 +2836,157 @@ mod tests {
         assert_eq!(ws.prev_sizes.len(), c.num_components());
         assert!(ws.critical_path.capacity() >= c.num_nodes());
         assert!(ws.memory_bytes() > 0);
+    }
+
+    /// The lane-padded node-size slab covers every node, rounds up to whole
+    /// lane blocks, keeps `1.0` in the pad, and is charged to the memory
+    /// accounting (mirrors the PR 4 engine accounting test one layer down).
+    #[test]
+    fn lane_padded_node_size_slab_is_sized_and_accounted() {
+        let c = chain();
+        let topo = CircuitTopology::new(&c);
+        let mut ws = EvalWorkspace::new(&c);
+        let n = c.num_nodes();
+        assert_eq!(ws.node_size.len(), lane_padded(n));
+        assert_eq!(ws.node_size.len() % LANES, 0);
+        assert!(ws.node_size.len() >= n && ws.node_size.len() < n + LANES);
+
+        let sizes = c.uniform_sizes(2.5);
+        topo.fill_node_sizes(sizes.as_slice(), &mut ws.node_size);
+        for idx in 0..n {
+            assert_eq!(ws.node_size[idx], topo.size_of(idx, &sizes));
+        }
+        for &pad in &ws.node_size[n..] {
+            assert_eq!(pad, 1.0, "lane padding must stay at the neutral size");
+        }
+
+        // The slab (padding included) is part of the accounted footprint.
+        let mut bare = ws.clone();
+        bare.node_size = Vec::new();
+        assert!(
+            ws.memory_bytes() >= bare.memory_bytes() + lane_padded(n) * std::mem::size_of::<f64>(),
+            "memory accounting must cover the lane-padded slab"
+        );
+    }
+
+    /// The 4-lane delay kernel is bitwise identical to `delays_into` for
+    /// every node kind and for every lane remainder `n % LANES` (the range
+    /// split exercises all tail shapes).
+    #[test]
+    fn lane_delay_kernel_matches_sequential_delays_bitwise() {
+        let c = chain();
+        let model = ElmoreModel;
+        let topo = model.prepare(&c);
+        let n = c.num_nodes();
+        let sizes = c.uniform_sizes(1.7);
+        let mut ws = EvalWorkspace::new(&c);
+        model.downstream_caps_into(&topo, &sizes, None, &mut ws.charged, &mut ws.presented);
+        model.delays_into(&topo, &sizes, &ws.charged, &mut ws.delays);
+
+        topo.fill_node_sizes(sizes.as_slice(), &mut ws.node_size);
+        for split in 0..=n {
+            let mut delays = vec![f64::NAN; n];
+            {
+                let delays_s = SharedMut::new(&mut delays);
+                // SAFETY: disjoint ranges, slabs sized for the circuit.
+                unsafe {
+                    topo.delays_chunk_lanes(0..split, &ws.node_size, &ws.charged, delays_s);
+                    topo.delays_chunk_lanes(split..n, &ws.node_size, &ws.charged, delays_s);
+                }
+            }
+            assert_eq!(delays, ws.delays, "split at {split}");
+        }
+    }
+
+    /// The phased (batch-resize) fused kernels match the sequential fused
+    /// passes bitwise, chunk size 2 exercising odd lane remainders.
+    #[test]
+    fn fused_lane_chunk_kernels_match_sequential_fused_passes() {
+        let c = chain();
+        let model = ElmoreModel;
+        let topo = model.prepare(&c);
+        let n = c.num_nodes();
+        let extra = vec![0.1; n];
+        let weights = vec![0.4; n];
+        let resize = |_comp: usize, value: f64, x: f64| -> f64 {
+            (x * 0.5 + value.sqrt().min(4.0) * 0.5).clamp(0.2, 8.0)
+        };
+
+        // Sequential fused passes (the oracle).
+        let mut seq_sizes = c.uniform_sizes(1.0);
+        let mut seq_charged = vec![0.0; n];
+        let mut seq_presented = vec![0.0; n];
+        assert!(model.fused_downstream_resize(
+            &topo,
+            &mut seq_sizes,
+            &extra,
+            &mut seq_charged,
+            &mut seq_presented,
+            &mut |comp, _node, value, x| resize(comp, value, x),
+        ));
+        let mut seq_upstream = vec![0.0; n];
+        assert!(model.fused_upstream_resize(
+            &topo,
+            &mut seq_sizes,
+            &weights,
+            &mut seq_upstream,
+            &mut |comp, _node, value, x| resize(comp, value, x),
+        ));
+
+        // Phased lane kernels over the level partition.
+        let mut batch = |nodes: &[u32], values: &[f64], xs: SharedMut<'_, f64>| {
+            for (k, &idx) in nodes.iter().enumerate() {
+                if let Some(comp) = topo.component_of(idx as usize) {
+                    // SAFETY: one node per component, chunk-owned.
+                    unsafe {
+                        let x = xs.get(comp);
+                        let x_new = resize(comp, values[k], x);
+                        if x_new != x {
+                            xs.set(comp, x_new);
+                        }
+                    }
+                }
+            }
+        };
+        let mut lane_sizes = c.uniform_sizes(1.0);
+        let mut lane_charged = vec![0.0; n];
+        let mut lane_presented = vec![0.0; n];
+        let mut lane_upstream = vec![0.0; n];
+        {
+            let xs = SharedMut::new(lane_sizes.as_mut_slice());
+            let charged_s = SharedMut::new(&mut lane_charged);
+            let presented_s = SharedMut::new(&mut lane_presented);
+            for l in (0..topo.num_levels()).rev() {
+                for chunk in topo.level(l).chunks(2) {
+                    // SAFETY: chunks of one level are disjoint; reverse
+                    // dependency order.
+                    unsafe {
+                        topo.fused_downstream_chunk_lanes(
+                            chunk,
+                            xs,
+                            &extra,
+                            charged_s,
+                            presented_s,
+                            &mut batch,
+                        );
+                    }
+                }
+            }
+            let upstream_s = SharedMut::new(&mut lane_upstream);
+            for l in 0..topo.num_levels() {
+                for chunk in topo.level(l).chunks(2) {
+                    // SAFETY: forward dependency order.
+                    unsafe {
+                        topo.fused_upstream_chunk_lanes(
+                            chunk, xs, &weights, upstream_s, &mut batch,
+                        );
+                    }
+                }
+            }
+        }
+        assert_eq!(lane_sizes, seq_sizes);
+        assert_eq!(lane_charged, seq_charged);
+        assert_eq!(lane_presented, seq_presented);
+        assert_eq!(lane_upstream, seq_upstream);
     }
 }

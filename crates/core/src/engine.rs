@@ -19,7 +19,7 @@
 
 use ncgws_circuit::{
     CircuitGraph, CircuitTopology, DelayModel, ElmoreModel, EvalWorkspace, NodeId, SharedMut,
-    SizeVector, NO_PRED,
+    SizeVector, LANES, NO_PRED,
 };
 use ncgws_coupling::CouplingSet;
 
@@ -60,6 +60,11 @@ pub struct SizingEngine<'a, M: DelayModel = ElmoreModel> {
     // lines.
     pub(crate) comp_raw_index: Vec<usize>,
     pub(crate) comp_is_wire: Vec<bool>,
+    /// `comp_is_wire` as a `{0.0, 1.0}` f64 mask, so the lane-blocked
+    /// closed form can apply the wire-only numerator terms branch-free
+    /// (`t - 0.0 == t` and `1.0 · t == t` bitwise) while streaming the SoA
+    /// attribute columns.
+    wire_mask: Vec<f64>,
     pub(crate) unit_resistance: Vec<f64>,
     pub(crate) unit_capacitance: Vec<f64>,
     pub(crate) area_coefficient: Vec<f64>,
@@ -76,9 +81,10 @@ pub struct SizingEngine<'a, M: DelayModel = ElmoreModel> {
     /// `+ extra_denom[i]` a bitwise no-op on the legacy formulation.
     extra_denom: Vec<f64>,
     /// Dense coupling-pair table: raw node and dense component indices plus
-    /// the cached geometry coefficients of each pair, so the per-sweep load
-    /// accumulation never touches the pair objects.
-    pair_table: Vec<PairEntry>,
+    /// the cached geometry coefficients of each pair in structure-of-arrays
+    /// form, so the per-sweep load accumulation never touches the pair
+    /// objects and streams each column contiguously.
+    pair_table: PairTable,
     /// CSR adjacency from dense component index to the indices of the
     /// coupling pairs it participates in, for the sparse pair scatter of the
     /// adaptive schedule.
@@ -109,6 +115,13 @@ pub struct SizingEngine<'a, M: DelayModel = ElmoreModel> {
     /// Per-chunk reduction slots of the parallel sweeps, merged in fixed
     /// chunk order after every pass.
     pscratch: ParScratch,
+    /// Enables the lane-blocked (reassociated) aggregate reductions of
+    /// [`total_capacitance`](Self::total_capacitance) /
+    /// [`total_area`](Self::total_area) /
+    /// [`crosstalk_lhs`](Self::crosstalk_lhs) while a `Level` policy is
+    /// active. Off by default so the exact strategy stays bitwise-pinned
+    /// to `crate::reference` under every policy.
+    lane_aggregates: bool,
 }
 
 /// Per-chunk reduction slots for the parallel sweeps (sized once per
@@ -152,6 +165,7 @@ impl ParScratch {
 /// shared by the fused-pass closures (indexed by dense component).
 struct ResizeTables<'a> {
     is_wire: &'a [bool],
+    wire_mask: &'a [f64],
     unit_resistance: &'a [f64],
     unit_capacitance: &'a [f64],
     area_coefficient: &'a [f64],
@@ -198,15 +212,74 @@ impl ResizeTables<'_> {
         let rel = (x_new - x_i).abs() / x_i.abs().max(1e-12);
         (x_new, rel)
     }
+
+    /// The closed-form resize of [`LANES`] components as one lane block —
+    /// per-lane bitwise identical to [`closed_form`](Self::closed_form).
+    /// The wire-only numerator terms are applied through the `{0.0, 1.0}`
+    /// `wire_mask` (`t - 0.0 == t` and `1.0 · t == t` bitwise, so the
+    /// masked expression reproduces both the wire and the gate branch
+    /// exactly), and every other expression keeps the scalar association.
+    /// The scalar gathers feed fixed-trip `[f64; LANES]` loops that LLVM
+    /// autovectorizes; callers with fewer than [`LANES`] live lanes pass
+    /// any in-range component index in the unused slots and ignore those
+    /// results.
+    #[inline(always)]
+    fn closed_form_lanes(
+        &self,
+        comps: &[usize; LANES],
+        x: &[f64; LANES],
+        charged: &[f64; LANES],
+        upstream: &[f64; LANES],
+        lambda: &[f64; LANES],
+    ) -> ([f64; LANES], [f64; LANES]) {
+        let mut wm = [0.0f64; LANES];
+        let mut ur = [0.0f64; LANES];
+        let mut uc = [0.0f64; LANES];
+        let mut ar = [0.0f64; LANES];
+        let mut lo = [0.0f64; LANES];
+        let mut hi = [0.0f64; LANES];
+        let mut cs = [0.0f64; LANES];
+        let mut exd = [0.0f64; LANES];
+        for j in 0..LANES {
+            let comp = comps[j];
+            wm[j] = self.wire_mask[comp];
+            ur[j] = self.unit_resistance[comp];
+            uc[j] = self.unit_capacitance[comp];
+            ar[j] = self.area_coefficient[comp];
+            lo[j] = self.lower_bound[comp];
+            hi[j] = self.upper_bound[comp];
+            cs[j] = self.coupling_sum[comp];
+            exd[j] = self.extra_denom[comp];
+        }
+        let mut x_new = [0.0f64; LANES];
+        let mut rel = [0.0f64; LANES];
+        for j in 0..LANES {
+            let m = wm[j];
+            let cap_num = (charged[j] - m * (uc[j] * x[j] / 2.0)) - m * (cs[j] * x[j]);
+            let cap_num = if cap_num < 0.0 { 0.0 } else { cap_num };
+            let denominator =
+                ar[j] + (self.beta + upstream[j]) * uc[j] + self.gamma * cs[j] + exd[j];
+            let numerator = lambda[j] * ur[j] * cap_num;
+            let opt = if denominator > 0.0 && numerator > 0.0 {
+                (numerator / denominator).sqrt()
+            } else {
+                0.0
+            };
+            x_new[j] = opt.clamp(lo[j], hi[j]);
+            rel[j] = (x_new[j] - x[j]).abs() / x[j].abs().max(1e-12);
+        }
+        (x_new, rel)
+    }
 }
 
 /// Chunk-shared context of one level-parallel fused resize pass: the
 /// Theorem-5 tables, the freeze schedule and the shared per-component
-/// views. [`apply`](Self::apply) is the single place the parallel passes'
-/// per-component semantics live — both traversal directions feed it their
-/// fresh quantity and the pass-fixed complement, and the calm/freeze rule
-/// delegates to [`ScheduleWorkspace::note_resize_shared`], the canonical
-/// home it shares with the sequential schedule.
+/// views. [`apply_batch`](Self::apply_batch) is the single place the
+/// parallel passes' per-component semantics live — both traversal
+/// directions feed it their fresh quantity and the pass-fixed complement,
+/// and the calm/freeze rule delegates to
+/// [`ScheduleWorkspace::note_resize_shared`], the canonical home it shares
+/// with the sequential schedule.
 struct FusedChunkCtx<'a> {
     tables: ResizeTables<'a>,
     schedule: &'a AdaptiveSchedule,
@@ -228,58 +301,214 @@ struct ChunkStats {
 }
 
 impl FusedChunkCtx<'_> {
-    /// Resizes one component: frozen-skip, closed form, calm/freeze
-    /// bookkeeping and the chunk's dirty-frontier record. Returns the new
-    /// size.
+    /// The chunk-side resize entry point of the phased lane kernels
+    /// (frozen-skip, closed form, calm/freeze bookkeeping and the chunk's
+    /// dirty-frontier records): compacts the chunk's sizable, non-frozen components into
+    /// [`LANES`]-wide blocks, runs [`ResizeTables::closed_form_lanes`] per
+    /// block and performs the per-component bookkeeping in chunk node
+    /// order — so `touched` / `worst` / the dirty-frontier records (and
+    /// every calm/freeze transition) are exactly those of the per-node
+    /// path. `values[k]` is the freshly traversed quantity of `nodes[k]`
+    /// (charged when `value_is_charged`, upstream otherwise); `fixed` and
+    /// `lambda` are the pass-fixed node-indexed complements.
     ///
     /// # Safety
     ///
-    /// `comp` belongs to the calling chunk (no other chunk touches its
-    /// `calm`/`frozen` entries) and `seg` is the chunk's disjoint scratch
-    /// segment; `stats.changed` stays within the chunk's node count.
-    #[inline(always)]
+    /// Every sizable component of `nodes` belongs to the calling chunk (no
+    /// other chunk touches its `calm`/`frozen` entries or its size) and
+    /// `seg` is the chunk's disjoint scratch segment; `values` has one
+    /// entry per node and `fixed` / `lambda` one entry per circuit node.
     #[allow(clippy::too_many_arguments)]
-    unsafe fn apply(
+    unsafe fn apply_batch(
         &self,
-        comp: usize,
-        x_i: f64,
-        charged_i: f64,
-        upstream_i: f64,
-        lambda_i: f64,
+        topo: &CircuitTopology,
+        nodes: &[u32],
+        values: &[f64],
+        value_is_charged: bool,
+        fixed: &[f64],
+        lambda: &[f64],
+        xs: SharedMut<'_, f64>,
         seg: usize,
         stats: &mut ChunkStats,
-    ) -> f64 {
-        if !self.resize_all && self.frozen.get(comp) {
-            return x_i;
+    ) {
+        let mut lc = [0usize; LANES];
+        let mut lx = [0.0f64; LANES];
+        let mut lv = [0.0f64; LANES];
+        let mut lf = [0.0f64; LANES];
+        let mut ll = [0.0f64; LANES];
+        let mut fill = 0usize;
+        for (k, &idx) in nodes.iter().enumerate() {
+            let idx = idx as usize;
+            let Some(comp) = topo.component_of(idx) else {
+                continue;
+            };
+            if !self.resize_all && self.frozen.get(comp) {
+                continue;
+            }
+            lc[fill] = comp;
+            lx[fill] = xs.get(comp);
+            lv[fill] = *values.get_unchecked(k);
+            lf[fill] = *fixed.get_unchecked(idx);
+            ll[fill] = *lambda.get_unchecked(idx);
+            fill += 1;
+            if fill == LANES {
+                self.flush_lanes(
+                    &lc,
+                    &lx,
+                    &lv,
+                    value_is_charged,
+                    &lf,
+                    &ll,
+                    LANES,
+                    xs,
+                    seg,
+                    stats,
+                );
+                fill = 0;
+            }
         }
-        stats.touched += 1;
-        let (x_new, rel) = self
-            .tables
-            .closed_form(comp, x_i, charged_i, upstream_i, lambda_i);
-        stats.worst = stats.worst.max(rel);
-        ScheduleWorkspace::note_resize_shared(self.calm, self.frozen, comp, rel, self.schedule);
-        if x_new != x_i {
-            self.chunk_changed
-                .set(seg + stats.changed as usize, comp as u32);
-            stats.changed += 1;
+        if fill > 0 {
+            self.flush_lanes(
+                &lc,
+                &lx,
+                &lv,
+                value_is_charged,
+                &lf,
+                &ll,
+                fill,
+                xs,
+                seg,
+                stats,
+            );
         }
-        x_new
+    }
+
+    /// Runs one (possibly partial) lane block and the in-order bookkeeping
+    /// of its `fill` live lanes. Stale trailing lanes hold the previous
+    /// block's (valid, in-range) component indices; their results are
+    /// computed and discarded.
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn flush_lanes(
+        &self,
+        comps: &[usize; LANES],
+        x: &[f64; LANES],
+        value: &[f64; LANES],
+        value_is_charged: bool,
+        fixed: &[f64; LANES],
+        lambda: &[f64; LANES],
+        fill: usize,
+        xs: SharedMut<'_, f64>,
+        seg: usize,
+        stats: &mut ChunkStats,
+    ) {
+        let (x_new, rel) = if value_is_charged {
+            self.tables
+                .closed_form_lanes(comps, x, value, fixed, lambda)
+        } else {
+            self.tables
+                .closed_form_lanes(comps, x, fixed, value, lambda)
+        };
+        for j in 0..fill {
+            let comp = comps[j];
+            stats.touched += 1;
+            stats.worst = stats.worst.max(rel[j]);
+            ScheduleWorkspace::note_resize_shared(
+                self.calm,
+                self.frozen,
+                comp,
+                rel[j],
+                self.schedule,
+            );
+            if x_new[j] != x[j] {
+                xs.set(comp, x_new[j]);
+                self.chunk_changed
+                    .set(seg + stats.changed as usize, comp as u32);
+                stats.changed += 1;
+            }
+        }
     }
 }
 
-/// One coupling pair in dense form (see `SizingEngine::pair_table`).
-#[derive(Debug, Clone, Copy)]
-struct PairEntry {
-    a_raw: u32,
-    b_raw: u32,
-    a_comp: u32,
-    b_comp: u32,
+/// The dense coupling-pair table in structure-of-arrays form (see
+/// `SizingEngine::pair_table`): seven parallel columns indexed by the
+/// pair's global order. The per-sweep scatter and the crosstalk
+/// aggregation read one column at a time, so a [`LANES`]-wide block
+/// streams four contiguous entries per column instead of striding over
+/// interleaved 56-byte records.
+#[derive(Debug, Clone, Default)]
+struct PairTable {
+    a_raw: Vec<u32>,
+    b_raw: Vec<u32>,
+    a_comp: Vec<u32>,
+    b_comp: Vec<u32>,
     /// Switching factor `sf_ij`.
-    switching: f64,
+    switching: Vec<f64>,
     /// Size-independent coupling `~c_ij`.
-    base: f64,
+    base: Vec<f64>,
     /// Linear coefficient `ĉ_ij`.
-    coeff: f64,
+    coeff: Vec<f64>,
+}
+
+impl PairTable {
+    fn with_capacity(n: usize) -> Self {
+        PairTable {
+            a_raw: Vec::with_capacity(n),
+            b_raw: Vec::with_capacity(n),
+            a_comp: Vec::with_capacity(n),
+            b_comp: Vec::with_capacity(n),
+            switching: Vec::with_capacity(n),
+            base: Vec::with_capacity(n),
+            coeff: Vec::with_capacity(n),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.a_raw.len()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push(
+        &mut self,
+        a_raw: u32,
+        b_raw: u32,
+        a_comp: u32,
+        b_comp: u32,
+        switching: f64,
+        base: f64,
+        coeff: f64,
+    ) {
+        self.a_raw.push(a_raw);
+        self.b_raw.push(b_raw);
+        self.a_comp.push(a_comp);
+        self.b_comp.push(b_comp);
+        self.switching.push(switching);
+        self.base.push(base);
+        self.coeff.push(coeff);
+    }
+
+    /// The switching-weighted coupling capacitance of pair `p` at the given
+    /// endpoint sizes — exactly the per-pair arithmetic of
+    /// [`ncgws_coupling::CouplingSet::delay_load_into`].
+    ///
+    /// # Safety
+    ///
+    /// `p < self.len()`.
+    #[inline(always)]
+    unsafe fn cap_unchecked(&self, p: usize, xa: f64, xb: f64) -> f64 {
+        *self.switching.get_unchecked(p)
+            * (*self.base.get_unchecked(p) + *self.coeff.get_unchecked(p) * (xa + xb))
+    }
+
+    fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        (self.a_raw.capacity()
+            + self.b_raw.capacity()
+            + self.a_comp.capacity()
+            + self.b_comp.capacity())
+            * size_of::<u32>()
+            + (self.switching.capacity() + self.base.capacity() + self.coeff.capacity())
+                * size_of::<f64>()
+    }
 }
 
 impl<'a> SizingEngine<'a, ElmoreModel> {
@@ -305,6 +534,7 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
         let n = graph.num_components();
         let mut comp_raw_index = Vec::with_capacity(n);
         let mut comp_is_wire = Vec::with_capacity(n);
+        let mut wire_mask = Vec::with_capacity(n);
         let mut unit_resistance = Vec::with_capacity(n);
         let mut unit_capacitance = Vec::with_capacity(n);
         let mut area_coefficient = Vec::with_capacity(n);
@@ -314,27 +544,27 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
         let mut fringing = Vec::with_capacity(n);
         let state = model.prepare(graph);
         let sums = coupling.linear_coefficient_sums();
-        let pair_table: Vec<PairEntry> = coupling
-            .pairs()
-            .iter()
-            .map(|pair| PairEntry {
-                a_raw: pair.a.index() as u32,
-                b_raw: pair.b.index() as u32,
-                a_comp: graph
+        let mut pair_table = PairTable::with_capacity(coupling.pairs().len());
+        for pair in coupling.pairs() {
+            pair_table.push(
+                pair.a.index() as u32,
+                pair.b.index() as u32,
+                graph
                     .component_index(pair.a)
                     .expect("coupled wires are sizable") as u32,
-                b_comp: graph
+                graph
                     .component_index(pair.b)
                     .expect("coupled wires are sizable") as u32,
-                switching: pair.switching_factor,
-                base: pair.base_capacitance(),
-                coeff: pair.linear_coefficient(),
-            })
-            .collect();
+                pair.switching_factor,
+                pair.base_capacitance(),
+                pair.linear_coefficient(),
+            );
+        }
         for id in graph.component_ids() {
             let node = graph.node(id);
             comp_raw_index.push(id.index());
             comp_is_wire.push(node.kind.is_wire());
+            wire_mask.push(if node.kind.is_wire() { 1.0 } else { 0.0 });
             unit_resistance.push(node.attrs.unit_resistance);
             unit_capacitance.push(node.attrs.unit_capacitance);
             area_coefficient.push(node.attrs.area_coefficient);
@@ -364,6 +594,7 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
             ws: EvalWorkspace::new(graph),
             comp_raw_index,
             comp_is_wire,
+            wire_mask,
             unit_resistance,
             unit_capacitance,
             area_coefficient,
@@ -382,6 +613,7 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
             scatter_shard_start,
             scatter_chunk_start,
             pscratch,
+            lane_aggregates: false,
         }
     }
 
@@ -392,11 +624,8 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
     /// sequence under a sharded scatter is exactly its subsequence of the
     /// sequential scatter — bitwise identical sums. Shards are then grouped
     /// into chunks of a fixed pair budget for the flat runner.
-    fn build_scatter_shards(
-        num_nodes: usize,
-        pairs: &[PairEntry],
-    ) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
-        if pairs.is_empty() {
+    fn build_scatter_shards(num_nodes: usize, pairs: &PairTable) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+        if pairs.len() == 0 {
             return (Vec::new(), vec![0], vec![0]);
         }
         // Union-find over raw node indices (path halving).
@@ -409,9 +638,9 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
             }
             x
         }
-        for pair in pairs {
-            let a = find(&mut parent, pair.a_raw);
-            let b = find(&mut parent, pair.b_raw);
+        for p in 0..pairs.len() {
+            let a = find(&mut parent, pairs.a_raw[p]);
+            let b = find(&mut parent, pairs.b_raw[p]);
             if a != b {
                 parent[b as usize] = a;
             }
@@ -422,8 +651,8 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
         let mut shard_of_root = vec![UNASSIGNED; num_nodes];
         let mut pair_shard = Vec::with_capacity(pairs.len());
         let mut num_shards = 0u32;
-        for pair in pairs {
-            let root = find(&mut parent, pair.a_raw) as usize;
+        for p in 0..pairs.len() {
+            let root = find(&mut parent, pairs.a_raw[p]) as usize;
             if shard_of_root[root] == UNASSIGNED {
                 shard_of_root[root] = num_shards;
                 num_shards += 1;
@@ -474,6 +703,20 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
         self.par.policy()
     }
 
+    /// Enables the lane-blocked aggregate reductions
+    /// ([`total_capacitance`](Self::total_capacitance),
+    /// [`total_area`](Self::total_area),
+    /// [`crosstalk_lhs`](Self::crosstalk_lhs)) while a `Level` policy is
+    /// active. The blocks keep [`LANES`] partial sums, which reassociates
+    /// the reduction: results are epsilon-pinned (1e-6 end-to-end, the
+    /// PR 4 adaptive-vs-exact contract) instead of bitwise. Off by
+    /// default, and [`OgwsSolver`](crate::OgwsSolver) only switches it on
+    /// for the adaptive strategy, so the exact strategy stays
+    /// bitwise-pinned to [`crate::reference`] under every policy.
+    pub fn set_lane_aggregates(&mut self, enable: bool) {
+        self.lane_aggregates = enable;
+    }
+
     /// The parallel runtime, for sibling subsystems (subgradient update,
     /// flow projection) that run their own deterministic passes.
     pub(crate) fn par_runtime(&self) -> &ParRuntime {
@@ -492,19 +735,19 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
 
     /// Builds the component → coupling-pair CSR adjacency (each pair appears
     /// under both of its endpoints).
-    fn build_pair_adjacency(num_components: usize, pairs: &[PairEntry]) -> (Vec<u32>, Vec<u32>) {
+    fn build_pair_adjacency(num_components: usize, pairs: &PairTable) -> (Vec<u32>, Vec<u32>) {
         let mut start = vec![0u32; num_components + 1];
-        for pair in pairs {
-            start[pair.a_comp as usize + 1] += 1;
-            start[pair.b_comp as usize + 1] += 1;
+        for p in 0..pairs.len() {
+            start[pairs.a_comp[p] as usize + 1] += 1;
+            start[pairs.b_comp[p] as usize + 1] += 1;
         }
         for i in 0..num_components {
             start[i + 1] += start[i];
         }
         let mut list = vec![0u32; start[num_components] as usize];
         let mut cursor = start.clone();
-        for (p, pair) in pairs.iter().enumerate() {
-            for comp in [pair.a_comp as usize, pair.b_comp as usize] {
+        for p in 0..pairs.len() {
+            for comp in [pairs.a_comp[p] as usize, pairs.b_comp[p] as usize] {
                 list[cursor[comp] as usize] = p as u32;
                 cursor[comp] += 1;
             }
@@ -543,7 +786,8 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
         self.ws.memory_bytes()
             + self.comp_raw_index.capacity() * size_of::<usize>()
             + self.comp_is_wire.capacity() * size_of::<bool>()
-            + (self.unit_resistance.capacity()
+            + (self.wire_mask.capacity()
+                + self.unit_resistance.capacity()
                 + self.unit_capacitance.capacity()
                 + self.area_coefficient.capacity()
                 + self.lower_bound.capacity()
@@ -552,7 +796,7 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
                 + self.fringing.capacity()
                 + self.extra_denom.capacity())
                 * size_of::<f64>()
-            + self.pair_table.capacity() * size_of::<PairEntry>()
+            + self.pair_table.memory_bytes()
             + (self.comp_pair_start.capacity()
                 + self.comp_pair_list.capacity()
                 + self.scatter_pairs.capacity()
@@ -570,10 +814,35 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
     /// the dense attribute tables — bitwise identical to
     /// [`ncgws_circuit::total_capacitance`] (same per-component arithmetic,
     /// same accumulation order), at a fraction of the pointer-chasing cost.
+    ///
+    /// With [`set_lane_aggregates`](Self::set_lane_aggregates) on and a
+    /// `Level` policy active, the sum is kept in [`LANES`] partial
+    /// accumulators instead (reassociated, epsilon-pinned rather than
+    /// bitwise).
     pub fn total_capacitance(&self, sizes: &SizeVector) -> f64 {
         let xs = sizes.as_slice();
         let n = self.unit_capacitance.len();
         assert_eq!(xs.len(), n, "sizes must match the circuit");
+        if self.lane_aggregates && self.par.active() {
+            let mut acc = [0.0f64; LANES];
+            let mut i = 0usize;
+            while i + LANES <= n {
+                for (j, slot) in acc.iter_mut().enumerate() {
+                    let k = i + j;
+                    *slot += self.unit_capacitance[k] * xs[k] + self.fringing[k];
+                }
+                i += LANES;
+            }
+            let mut tail = 0.0;
+            for ((&unit_cap, &x), &fringing) in self.unit_capacitance[i..n]
+                .iter()
+                .zip(&xs[i..n])
+                .zip(&self.fringing[i..n])
+            {
+                tail += unit_cap * x + fringing;
+            }
+            return acc.iter().fold(0.0, |a, &v| a + v) + tail;
+        }
         let mut acc = 0.0;
         for ((&unit_cap, &x), &fringing) in self.unit_capacitance.iter().zip(xs).zip(&self.fringing)
         {
@@ -583,11 +852,30 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
     }
 
     /// Total area `Σ α_i x_i` (µm²) over the dense attribute tables —
-    /// bitwise identical to [`ncgws_circuit::total_area`].
+    /// bitwise identical to [`ncgws_circuit::total_area`] (lane-blocked and
+    /// epsilon-pinned when
+    /// [`set_lane_aggregates`](Self::set_lane_aggregates) is on, as
+    /// [`total_capacitance`](Self::total_capacitance)).
     pub fn total_area(&self, sizes: &SizeVector) -> f64 {
         let xs = sizes.as_slice();
         let n = self.area_coefficient.len();
         assert_eq!(xs.len(), n, "sizes must match the circuit");
+        if self.lane_aggregates && self.par.active() {
+            let mut acc = [0.0f64; LANES];
+            let mut i = 0usize;
+            while i + LANES <= n {
+                for (j, slot) in acc.iter_mut().enumerate() {
+                    let k = i + j;
+                    *slot += self.area_coefficient[k] * xs[k];
+                }
+                i += LANES;
+            }
+            let mut tail = 0.0;
+            for (&alpha, &x) in self.area_coefficient[i..n].iter().zip(&xs[i..n]) {
+                tail += alpha * x;
+            }
+            return acc.iter().fold(0.0, |a, &v| a + v) + tail;
+        }
         let mut acc = 0.0;
         for (&alpha, &x) in self.area_coefficient.iter().zip(xs) {
             acc += alpha * x;
@@ -597,7 +885,10 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
 
     /// Crosstalk left-hand side `Σ sf_ij · ĉ_ij · (x_i + x_j)` over the
     /// dense pair table — bitwise identical to
-    /// [`CouplingSet::crosstalk_lhs`] (same pair order).
+    /// [`CouplingSet::crosstalk_lhs`] (same pair order; lane-blocked and
+    /// epsilon-pinned when
+    /// [`set_lane_aggregates`](Self::set_lane_aggregates) is on, as
+    /// [`total_capacitance`](Self::total_capacitance)).
     pub fn crosstalk_lhs(&self, sizes: &SizeVector) -> f64 {
         let xs = sizes.as_slice();
         assert_eq!(
@@ -605,10 +896,33 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
             self.comp_raw_index.len(),
             "sizes must match the circuit"
         );
+        let pairs = &self.pair_table;
+        let np = pairs.len();
+        if self.lane_aggregates && self.par.active() {
+            let mut acc = [0.0f64; LANES];
+            let mut p = 0usize;
+            while p + LANES <= np {
+                for (j, slot) in acc.iter_mut().enumerate() {
+                    let q = p + j;
+                    *slot += pairs.switching[q]
+                        * pairs.coeff[q]
+                        * (xs[pairs.a_comp[q] as usize] + xs[pairs.b_comp[q] as usize]);
+                }
+                p += LANES;
+            }
+            let mut tail = 0.0;
+            for q in p..np {
+                tail += pairs.switching[q]
+                    * pairs.coeff[q]
+                    * (xs[pairs.a_comp[q] as usize] + xs[pairs.b_comp[q] as usize]);
+            }
+            return acc.iter().fold(0.0, |a, &v| a + v) + tail;
+        }
         let mut acc = 0.0;
-        for pair in &self.pair_table {
-            acc +=
-                pair.switching * pair.coeff * (xs[pair.a_comp as usize] + xs[pair.b_comp as usize]);
+        for q in 0..np {
+            acc += pairs.switching[q]
+                * pairs.coeff[q]
+                * (xs[pairs.a_comp[q] as usize] + xs[pairs.b_comp[q] as usize]);
         }
         acc
     }
@@ -645,7 +959,7 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
         if self.par.active() && self.scatter_chunk_start.len() > 2 {
             let chunks = self.scatter_chunk_start.len() - 1;
             let load_s = SharedMut::new(load.as_mut_slice());
-            let pair_table = &self.pair_table;
+            let pairs = &self.pair_table;
             let scatter_pairs = &self.scatter_pairs;
             let shard_start = &self.scatter_shard_start;
             let chunk_start = &self.scatter_chunk_start;
@@ -653,30 +967,57 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
                 for shard in chunk_start[c] as usize..chunk_start[c + 1] as usize {
                     let pair_range = shard_start[shard] as usize..shard_start[shard + 1] as usize;
                     for &p in &scatter_pairs[pair_range] {
-                        let pair = &pair_table[p as usize];
+                        let p = p as usize;
                         // SAFETY: lengths asserted above; shards own
                         // disjoint node sets, so no concurrent writes alias.
                         unsafe {
-                            let xa = *sizes.get_unchecked(pair.a_comp as usize);
-                            let xb = *sizes.get_unchecked(pair.b_comp as usize);
-                            let cap = pair.switching * (pair.base + pair.coeff * (xa + xb));
-                            load_s.add(pair.a_raw as usize, cap);
-                            load_s.add(pair.b_raw as usize, cap);
+                            let xa = *sizes.get_unchecked(*pairs.a_comp.get_unchecked(p) as usize);
+                            let xb = *sizes.get_unchecked(*pairs.b_comp.get_unchecked(p) as usize);
+                            let cap = pairs.cap_unchecked(p, xa, xb);
+                            load_s.add(*pairs.a_raw.get_unchecked(p) as usize, cap);
+                            load_s.add(*pairs.b_raw.get_unchecked(p) as usize, cap);
                         }
                     }
                 }
             });
             return;
         }
-        for pair in &self.pair_table {
+        // Blocked sequential scatter: the per-pair capacitance arithmetic
+        // is independent, so a LANES-wide block computes four caps from the
+        // contiguous SoA columns at once; the scatter adds then run in
+        // exact global pair order, so every node's accumulation sequence —
+        // and with it the result — stays bitwise identical to the
+        // one-pair-at-a-time loop.
+        let pairs = &self.pair_table;
+        let np = pairs.len();
+        let mut p = 0usize;
+        while p + LANES <= np {
+            let mut cap = [0.0f64; LANES];
             // SAFETY: lengths asserted above; the stored indices are in
             // range by construction.
             unsafe {
-                let xa = *sizes.get_unchecked(pair.a_comp as usize);
-                let xb = *sizes.get_unchecked(pair.b_comp as usize);
-                let c = pair.switching * (pair.base + pair.coeff * (xa + xb));
-                *load.get_unchecked_mut(pair.a_raw as usize) += c;
-                *load.get_unchecked_mut(pair.b_raw as usize) += c;
+                for (j, slot) in cap.iter_mut().enumerate() {
+                    let q = p + j;
+                    let xa = *sizes.get_unchecked(*pairs.a_comp.get_unchecked(q) as usize);
+                    let xb = *sizes.get_unchecked(*pairs.b_comp.get_unchecked(q) as usize);
+                    *slot = pairs.cap_unchecked(q, xa, xb);
+                }
+                for (j, &c) in cap.iter().enumerate() {
+                    let q = p + j;
+                    *load.get_unchecked_mut(*pairs.a_raw.get_unchecked(q) as usize) += c;
+                    *load.get_unchecked_mut(*pairs.b_raw.get_unchecked(q) as usize) += c;
+                }
+            }
+            p += LANES;
+        }
+        for q in p..np {
+            // SAFETY: as above.
+            unsafe {
+                let xa = *sizes.get_unchecked(*pairs.a_comp.get_unchecked(q) as usize);
+                let xb = *sizes.get_unchecked(*pairs.b_comp.get_unchecked(q) as usize);
+                let c = pairs.cap_unchecked(q, xa, xb);
+                *load.get_unchecked_mut(*pairs.a_raw.get_unchecked(q) as usize) += c;
+                *load.get_unchecked_mut(*pairs.b_raw.get_unchecked(q) as usize) += c;
             }
         }
     }
@@ -833,6 +1174,7 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
             assert_eq!(ws.upstream.len(), ws.charged.len());
             let tables = ResizeTables {
                 is_wire: &self.comp_is_wire,
+                wire_mask: &self.wire_mask,
                 unit_resistance: &self.unit_resistance,
                 unit_capacitance: &self.unit_capacitance,
                 area_coefficient: &self.area_coefficient,
@@ -852,11 +1194,40 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
             let chunk_worst = SharedMut::new(self.pscratch.chunk_worst.as_mut_slice());
             self.par.run_flat(chunks, |c| {
                 let mut local = 0.0f64;
-                for dense in par::flat_range(n, c) {
-                    let raw = raw_index[dense];
+                let range = par::flat_range(n, c);
+                // LANES-wide blocks over the chunk's contiguous dense
+                // components, scalar tail. The lane closed form is per-lane
+                // bitwise identical to the scalar one and the worst-change
+                // max folds in the same component order, so the sweep stays
+                // bitwise-pinned to `crate::reference`.
+                let mut dense = range.start;
+                while dense + LANES <= range.end {
+                    let comps: [usize; LANES] = std::array::from_fn(|j| dense + j);
+                    let mut x = [0.0f64; LANES];
+                    let mut ch = [0.0f64; LANES];
+                    let mut up = [0.0f64; LANES];
+                    let mut la = [0.0f64; LANES];
                     // SAFETY: `raw` is a node index of the engine's circuit
-                    // (lengths cross-checked above); `dense` is owned by
-                    // this chunk, so the size read/write cannot alias.
+                    // (lengths cross-checked above); each `dense` is owned
+                    // by this chunk, so the size reads/writes cannot alias.
+                    unsafe {
+                        for j in 0..LANES {
+                            let raw = raw_index[comps[j]];
+                            x[j] = xs_s.get(comps[j]);
+                            ch[j] = *charged.get_unchecked(raw);
+                            up[j] = *upstream.get_unchecked(raw);
+                            la[j] = *node_weights.get_unchecked(raw);
+                        }
+                        let (x_new, rel) = tables.closed_form_lanes(&comps, &x, &ch, &up, &la);
+                        for j in 0..LANES {
+                            xs_s.set(comps[j], x_new[j]);
+                            local = local.max(rel[j]);
+                        }
+                    }
+                    dense += LANES;
+                }
+                for (dense, &raw) in raw_index.iter().enumerate().take(range.end).skip(dense) {
+                    // SAFETY: as the lane blocks above.
                     unsafe {
                         let x_i = xs_s.get(dense);
                         let (x_new, rel) = tables.closed_form(
@@ -1041,12 +1412,14 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
             let start = self.comp_pair_start[comp] as usize;
             let end = self.comp_pair_start[comp + 1] as usize;
             for &p in &self.comp_pair_list[start..end] {
-                let pair = &self.pair_table[p as usize];
-                let delta = pair.switching * pair.coeff * dx;
-                load[pair.a_raw as usize] += delta;
-                load[pair.b_raw as usize] += delta;
-                sched.extra_delta.push((pair.a_raw, delta));
-                sched.extra_delta.push((pair.b_raw, delta));
+                let p = p as usize;
+                let a_raw = self.pair_table.a_raw[p];
+                let b_raw = self.pair_table.b_raw[p];
+                let delta = self.pair_table.switching[p] * self.pair_table.coeff[p] * dx;
+                load[a_raw as usize] += delta;
+                load[b_raw as usize] += delta;
+                sched.extra_delta.push((a_raw, delta));
+                sched.extra_delta.push((b_raw, delta));
             }
         }
     }
@@ -1133,6 +1506,7 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
     fn resize_tables(&self, beta: f64, gamma: f64) -> ResizeTables<'_> {
         ResizeTables {
             is_wire: &self.comp_is_wire,
+            wire_mask: &self.wire_mask,
             unit_resistance: &self.unit_resistance,
             unit_capacitance: &self.unit_capacitance,
             area_coefficient: &self.area_coefficient,
@@ -1247,6 +1621,7 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
         let sched = &mut self.sched;
         let tables = ResizeTables {
             is_wire: &self.comp_is_wire,
+            wire_mask: &self.wire_mask,
             unit_resistance: &self.unit_resistance,
             unit_capacitance: &self.unit_capacitance,
             area_coefficient: &self.area_coefficient,
@@ -1334,6 +1709,7 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
         let sched = &mut self.sched;
         let tables = ResizeTables {
             is_wire: &self.comp_is_wire,
+            wire_mask: &self.wire_mask,
             unit_resistance: &self.unit_resistance,
             unit_capacitance: &self.unit_capacitance,
             area_coefficient: &self.area_coefficient,
@@ -1431,6 +1807,7 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
         assert_eq!(sched.frozen.len(), n_comps);
         let tables = ResizeTables {
             is_wire: &self.comp_is_wire,
+            wire_mask: &self.wire_mask,
             unit_resistance: &self.unit_resistance,
             unit_capacitance: &self.unit_capacitance,
             area_coefficient: &self.area_coefficient,
@@ -1470,32 +1847,27 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
                 let id = grid.chunk_id(l, c);
                 let seg = grid.node_base(l) + range.start;
                 let mut stats = ChunkStats::default();
-                let mut resize = |comp: usize, node: usize, charged_i: f64, x_i: f64| -> f64 {
-                    // SAFETY: `comp`/`node` belong to this chunk (one node
-                    // per component), so every access is chunk-owned;
-                    // `upstream`/`weights` are fixed for the pass.
+                let mut batch = |nodes: &[u32], values: &[f64], xs: SharedMut<'_, f64>| {
+                    // SAFETY: the chunk's components/nodes are chunk-owned
+                    // (one node per component); `upstream`/`weights` are
+                    // fixed for the pass; `values` has one entry per node.
                     unsafe {
-                        ctx.apply(
-                            comp,
-                            x_i,
-                            charged_i,
-                            *upstream_r.get_unchecked(node),
-                            *weights_r.get_unchecked(node),
-                            seg,
-                            &mut stats,
+                        ctx.apply_batch(
+                            topo, nodes, values, true, upstream_r, weights_r, xs, seg, &mut stats,
                         )
                     }
                 };
                 // SAFETY: chunk disjointness within the level; levels settle
-                // in reverse dependency order; lengths asserted above.
+                // in reverse dependency order; lengths asserted above; the
+                // grid's chunks are at most one `MAX_CHUNK_NODES` granule.
                 unsafe {
-                    topo.fused_downstream_chunk(
+                    topo.fused_downstream_chunk_lanes(
                         &level[range],
                         xs_s,
                         extra_r,
                         charged_s,
                         presented_s,
-                        &mut resize,
+                        &mut batch,
                     );
                     chunk_worst.set(id, stats.worst);
                     chunk_touched.set(id, stats.touched);
@@ -1512,30 +1884,25 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
                 let id = grid.chunk_id(l, c);
                 let seg = grid.node_base(l) + range.start;
                 let mut stats = ChunkStats::default();
-                let mut resize = |comp: usize, node: usize, upstream_i: f64, x_i: f64| -> f64 {
+                let mut batch = |nodes: &[u32], values: &[f64], xs: SharedMut<'_, f64>| {
                     // SAFETY: as the backward direction; `charged` is fixed
                     // for the pass.
                     unsafe {
-                        ctx.apply(
-                            comp,
-                            x_i,
-                            *charged_r.get_unchecked(node),
-                            upstream_i,
-                            *weights_r.get_unchecked(node),
-                            seg,
-                            &mut stats,
+                        ctx.apply_batch(
+                            topo, nodes, values, false, charged_r, weights_r, xs, seg, &mut stats,
                         )
                     }
                 };
                 // SAFETY: chunk disjointness within the level; levels settle
-                // in forward dependency order.
+                // in forward dependency order; chunks are at most one
+                // `MAX_CHUNK_NODES` granule.
                 unsafe {
-                    topo.fused_upstream_chunk(
+                    topo.fused_upstream_chunk_lanes(
                         &level[range],
                         xs_s,
                         weights_r,
                         upstream_s,
-                        &mut resize,
+                        &mut batch,
                     );
                     chunk_worst.set(id, stats.worst);
                     chunk_touched.set(id, stats.touched);
@@ -1589,6 +1956,74 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
         self.full_eval(sizes);
         let n = self.comp_raw_index.len();
         let mut worst = 0.0_f64;
+        // Lane-blocked resize under a `Level` policy: the closed form reads
+        // only pass-fixed tables and each component's own size, so batching
+        // LANES components per block reorders no observable access, and the
+        // bookkeeping below runs in component order — bitwise identical to
+        // the scalar loop, which stays the sequential-policy oracle.
+        if self.par.active() {
+            let tables = ResizeTables {
+                is_wire: &self.comp_is_wire,
+                wire_mask: &self.wire_mask,
+                unit_resistance: &self.unit_resistance,
+                unit_capacitance: &self.unit_capacitance,
+                area_coefficient: &self.area_coefficient,
+                lower_bound: &self.lower_bound,
+                upper_bound: &self.upper_bound,
+                coupling_sum: &self.coupling_sum,
+                extra_denom: &self.extra_denom,
+                beta,
+                gamma,
+            };
+            let raw_index = &self.comp_raw_index;
+            let ws = &self.ws;
+            let sched = &mut self.sched;
+            let mut dense = 0usize;
+            while dense + LANES <= n {
+                let comps: [usize; LANES] = std::array::from_fn(|j| dense + j);
+                let mut x = [0.0f64; LANES];
+                let mut ch = [0.0f64; LANES];
+                let mut up = [0.0f64; LANES];
+                let mut la = [0.0f64; LANES];
+                for j in 0..LANES {
+                    let raw = raw_index[comps[j]];
+                    x[j] = sizes[comps[j]];
+                    ch[j] = ws.charged[raw];
+                    up[j] = ws.upstream[raw];
+                    la[j] = ws.node_weights[raw];
+                }
+                let (x_new, rel) = tables.closed_form_lanes(&comps, &x, &ch, &up, &la);
+                for j in 0..LANES {
+                    let d = comps[j];
+                    if x_new[j] != x[j] {
+                        sizes[d] = x_new[j];
+                        sched.push_changed(d);
+                    }
+                    worst = worst.max(rel[j]);
+                    sched.note_resize(d, rel[j], schedule);
+                }
+                dense += LANES;
+            }
+            for dense in dense..n {
+                let raw = raw_index[dense];
+                let x_i = sizes[dense];
+                let (x_new, rel) = tables.closed_form(
+                    dense,
+                    x_i,
+                    ws.charged[raw],
+                    ws.upstream[raw],
+                    ws.node_weights[raw],
+                );
+                if x_new != x_i {
+                    sizes[dense] = x_new;
+                    sched.push_changed(dense);
+                }
+                worst = worst.max(rel);
+                sched.note_resize(dense, rel, schedule);
+            }
+            sched.rebuild_active();
+            return (worst, n);
+        }
         for dense in 0..n {
             let x_i = sizes[dense];
             let (x_new, rel) = self.resize_component(dense, x_i, beta, gamma);
@@ -1619,6 +2054,83 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
         let touched = self.sched.active.len();
         let mut worst = 0.0_f64;
         let mut write = 0usize;
+        // Lane-blocked frontier resize under a `Level` policy: gather up to
+        // LANES active components per block (the compute reads only
+        // pass-fixed tables and each component's own size), then run the
+        // calm/freeze bookkeeping and the in-place active-list compaction
+        // strictly in frontier order — every transition, record and the
+        // compacted list are exactly those of the scalar loop below, which
+        // stays the sequential-policy oracle. The compaction write cursor
+        // never overtakes the block's read positions (the gathered values
+        // are already copied out).
+        if self.par.active() {
+            let tables = ResizeTables {
+                is_wire: &self.comp_is_wire,
+                wire_mask: &self.wire_mask,
+                unit_resistance: &self.unit_resistance,
+                unit_capacitance: &self.unit_capacitance,
+                area_coefficient: &self.area_coefficient,
+                lower_bound: &self.lower_bound,
+                upper_bound: &self.upper_bound,
+                coupling_sum: &self.coupling_sum,
+                extra_denom: &self.extra_denom,
+                beta,
+                gamma,
+            };
+            let raw_index = &self.comp_raw_index;
+            let ws = &self.ws;
+            let sched = &mut self.sched;
+            let mut read = 0usize;
+            while read < touched {
+                let fill = LANES.min(touched - read);
+                let mut comps = [0usize; LANES];
+                let mut x = [0.0f64; LANES];
+                let mut ch = [0.0f64; LANES];
+                let mut up = [0.0f64; LANES];
+                let mut la = [0.0f64; LANES];
+                for j in 0..fill {
+                    let d = sched.active[read + j] as usize;
+                    comps[j] = d;
+                    x[j] = sizes[d];
+                    let raw = raw_index[d];
+                    ch[j] = ws.charged[raw];
+                    up[j] = ws.upstream[raw];
+                    la[j] = ws.node_weights[raw];
+                }
+                // Stale trailing lanes re-use a live in-range component;
+                // their results are discarded.
+                for j in fill..LANES {
+                    comps[j] = comps[0];
+                }
+                let (x_new, rel) = tables.closed_form_lanes(&comps, &x, &ch, &up, &la);
+                for j in 0..fill {
+                    let dense = comps[j];
+                    if x_new[j] != x[j] {
+                        sizes[dense] = x_new[j];
+                        sched.push_changed(dense);
+                    }
+                    worst = worst.max(rel[j]);
+                    let keep = if rel[j] <= schedule.freeze_tolerance {
+                        let calm = sched.calm[dense].saturating_add(1);
+                        sched.calm[dense] = calm;
+                        !(schedule.active_set && calm as usize >= schedule.freeze_after)
+                    } else {
+                        sched.calm[dense] = 0;
+                        true
+                    };
+                    if keep {
+                        sched.active[write] = dense as u32;
+                        write += 1;
+                    } else {
+                        sched.frozen[dense] = true;
+                        sched.num_frozen += 1;
+                    }
+                }
+                read += fill;
+            }
+            sched.active.truncate(write);
+            return (worst, touched);
+        }
         for read in 0..self.sched.active.len() {
             let dense = self.sched.active[read] as usize;
             let x_i = sizes[dense];
@@ -1687,11 +2199,27 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
                 );
                 let xs = sizes.as_slice();
                 {
+                    // Scatter the component sizes into the lane-padded
+                    // node-size slab once, then stream the SoA columns
+                    // (unit resistance, node size, charged) through the
+                    // 4-lane delay kernel — bitwise identical to
+                    // `delays_chunk` for every node kind.
+                    topo.fill_node_sizes(xs, &mut ws.node_size);
+                    let node_size: &[f64] = &ws.node_size;
                     let charged: &[f64] = &ws.charged;
                     let delays_s = SharedMut::new(ws.delays.as_mut_slice());
                     self.par.run_flat(par::flat_chunks(n), |c| {
-                        // SAFETY: flat chunks own disjoint node ranges.
-                        unsafe { topo.delays_chunk(par::flat_range(n, c), xs, charged, delays_s) };
+                        // SAFETY: flat chunks own disjoint node ranges;
+                        // `node_size` mirrors `sizes` (filled above) and
+                        // `charged` is a downstream-caps result.
+                        unsafe {
+                            topo.delays_chunk_lanes(
+                                par::flat_range(n, c),
+                                node_size,
+                                charged,
+                                delays_s,
+                            )
+                        };
                     });
                 }
                 {
@@ -1840,16 +2368,17 @@ mod tests {
 
         // Lower bound assembled field by field: the evaluation workspace,
         // the adaptive-schedule buffers (dirty sets, active set, incremental
-        // scratch), the eight dense f64 attribute tables, the raw-index and
-        // wire-flag tables, the pair table with its per-component CSR
+        // scratch), the eight dense f64 attribute tables plus the f64 wire
+        // mask, the raw-index and wire-flag tables, the SoA pair table
+        // (four u32 and three f64 columns) with its per-component CSR
         // adjacency, and the model state. `memory_bytes` must cover all of
         // them (capacities can only exceed the lengths used here).
         let floor = engine.ws.memory_bytes()
             + engine.sched.memory_bytes()
-            + 8 * n * size_of::<f64>()
+            + 9 * n * size_of::<f64>()
             + n * size_of::<usize>()
             + n * size_of::<bool>()
-            + engine.pair_table.len() * size_of::<PairEntry>()
+            + engine.pair_table.len() * (4 * size_of::<u32>() + 3 * size_of::<f64>())
             + (n + 1) * size_of::<u32>()
             + 2 * coupling.len() * size_of::<u32>()
             + engine.model.state_memory_bytes(&engine.state);
@@ -1894,6 +2423,48 @@ mod tests {
                 coupling.crosstalk_lhs(&graph, &sizes)
             );
         }
+    }
+
+    #[test]
+    fn lane_aggregates_are_epsilon_pinned_to_the_scalar_reductions() {
+        let (graph, coupling) = setup();
+        let mut engine = SizingEngine::new(&graph, &coupling);
+        let scalar: Vec<[f64; 3]> = [0.4, 1.0, 2.7]
+            .iter()
+            .map(|&s| {
+                let sizes = graph.uniform_sizes(s);
+                [
+                    engine.total_capacitance(&sizes),
+                    engine.total_area(&sizes),
+                    engine.crosstalk_lhs(&sizes),
+                ]
+            })
+            .collect();
+        engine.set_parallel(ParallelPolicy::threads(1));
+        engine.set_lane_aggregates(true);
+        for (&s, exact) in [0.4, 1.0, 2.7].iter().zip(&scalar) {
+            let sizes = graph.uniform_sizes(s);
+            let laned = [
+                engine.total_capacitance(&sizes),
+                engine.total_area(&sizes),
+                engine.crosstalk_lhs(&sizes),
+            ];
+            for (l, e) in laned.iter().zip(exact) {
+                let tol = 1e-12 * e.abs().max(1.0);
+                assert!(
+                    (l - e).abs() <= tol,
+                    "lane-blocked aggregate {l} drifted from scalar {e}"
+                );
+            }
+        }
+        // Turning the flag back off restores the bitwise-pinned scalar
+        // reduction even while the Level policy stays active.
+        engine.set_lane_aggregates(false);
+        let sizes = graph.uniform_sizes(1.0);
+        assert_eq!(
+            engine.total_capacitance(&sizes),
+            ncgws_circuit::total_capacitance(&graph, &sizes)
+        );
     }
 
     #[test]

@@ -235,6 +235,11 @@ impl OgwsSolver {
                 Some(*schedule)
             }
         };
+        // Lane-blocked aggregate reductions ride the adaptive strategy's
+        // epsilon-pinned contract; the exact strategy keeps the strictly
+        // ordered scalar reductions bitwise-pinned to `crate::reference`
+        // under every parallel policy.
+        engine.set_lane_aggregates(adaptive.is_some());
         let num_components = graph.num_components();
 
         // A1: initial multipliers (projected so Theorem 3 holds from the

@@ -1,0 +1,173 @@
+//! Property pins for the 4-lane vectorized sweep kernels (this PR's SoA
+//! rewrite of the hot inner loops).
+//!
+//! Two contracts, mirroring the engine's documentation:
+//!
+//! * **Bitwise** — wherever the lane rewrite preserves the scalar reduction
+//!   order (the fused Theorem-5 sweeps, the closed-form resize, the blocked
+//!   coupling scatters), a `ParallelPolicy::Level` run must equal the
+//!   untouched `Sequential` scalar oracle bit for bit. Pinned end-to-end
+//!   here under the exact solve strategy, and per-kernel for the delay
+//!   evaluation (whose lanes drop the kind-tag branch entirely).
+//! * **Epsilon (1e-6)** — the lane-blocked *aggregate* reductions
+//!   (`total_capacitance`, `extra_denom`, area/crosstalk sums) reassociate
+//!   partial sums, so adaptive runs carry the same 1e-6 end-to-end contract
+//!   the adaptive schedule itself ships under.
+//!
+//! Shapes deliberately cover every lane-remainder class (`n % 4 ∈
+//! {0,1,2,3}`, both as varying circuit sizes and as exact kernel ranges),
+//! frozen/unfrozen mixes (the adaptive active-set schedule freezes calm
+//! components mid-run), and extreme magnitudes (subnormal charged caps,
+//! 1e12 spreads).
+
+use ncgws::circuit::{CircuitTopology, ElmoreAnalyzer, SharedMut, SizeVector};
+use ncgws::core::{Flow, OptimizerConfig, ParallelPolicy, SizedOutcome, SolveStrategy};
+use ncgws::netlist::{CircuitSpec, ProblemInstance, SyntheticGenerator};
+use proptest::prelude::*;
+
+fn instance(seed: u64, gates: usize) -> ProblemInstance {
+    SyntheticGenerator::new(
+        CircuitSpec::new(format!("simd-{seed}-{gates}"), gates, gates * 2 + 3)
+            .with_seed(seed)
+            .with_num_patterns(8)
+            .with_channel_size(4),
+    )
+    .generate()
+    .expect("generation succeeds")
+}
+
+fn run(inst: &ProblemInstance, strategy: SolveStrategy, parallel: ParallelPolicy) -> SizedOutcome {
+    let config = OptimizerConfig::builder()
+        .max_iterations(40)
+        .solve_strategy(strategy)
+        .parallel(parallel)
+        .per_net_crosstalk_cap(0.95)
+        .driven_load_cap(1.5)
+        .build()
+        .expect("valid configuration");
+    Flow::prepare(inst, config)
+        .expect("prepare")
+        .order()
+        .expect("order")
+        .size()
+        .expect("size")
+}
+
+/// `|a - b| ≤ tol · max(|a|, 1)` — the engine's end-to-end epsilon contract.
+fn close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * a.abs().max(1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Exact strategy: the laned single-thread grid (`threads(1)`) is
+    /// bitwise the scalar sequential oracle, for circuit sizes spanning all
+    /// four lane-remainder classes. The exact strategy keeps the
+    /// reassociated lane aggregates off, so *every* surface must agree
+    /// exactly — sizes, multipliers, metrics, gap.
+    #[test]
+    fn exact_laned_grid_is_bitwise_pinned_across_lane_remainders(
+        seed in 0u64..200,
+        base in 4usize..9,
+    ) {
+        for remainder in 0usize..4 {
+            let inst = instance(seed, base * 4 + remainder);
+            let scalar = run(&inst, SolveStrategy::Exact, ParallelPolicy::Sequential);
+            let laned = run(&inst, SolveStrategy::Exact, ParallelPolicy::threads(1));
+            prop_assert_eq!(scalar.sizes(), laned.sizes(), "sizes (r={})", remainder);
+            prop_assert_eq!(
+                &scalar.ogws.extra_multipliers, &laned.ogws.extra_multipliers,
+                "extra_multipliers (r={})", remainder
+            );
+            prop_assert_eq!(
+                &scalar.report.final_metrics, &laned.report.final_metrics,
+                "final_metrics (r={})", remainder
+            );
+            prop_assert_eq!(
+                scalar.report.duality_gap, laned.report.duality_gap,
+                "duality_gap (r={})", remainder
+            );
+        }
+    }
+
+    /// Adaptive strategy: the laned grid additionally engages the
+    /// lane-blocked aggregate reductions, whose reassociated partial sums
+    /// ride the adaptive schedule's 1e-6 end-to-end contract. The adaptive
+    /// active set freezes calm components mid-run, so this also pins the
+    /// frozen/unfrozen compaction of the batched closed form.
+    #[test]
+    fn adaptive_laned_runs_stay_within_epsilon_of_the_scalar_oracle(
+        seed in 0u64..200,
+        gates in 16usize..44,
+    ) {
+        let inst = instance(seed, gates);
+        let scalar = run(&inst, SolveStrategy::adaptive(), ParallelPolicy::Sequential);
+        let laned = run(&inst, SolveStrategy::adaptive(), ParallelPolicy::threads(1));
+        let (xs, xl) = (scalar.sizes(), laned.sizes());
+        prop_assert_eq!(xs.len(), xl.len());
+        for (i, (a, b)) in xs.iter().zip(xl.iter()).enumerate() {
+            prop_assert!(close(*a, *b, 1e-6), "size[{}]: scalar {} laned {}", i, a, b);
+        }
+        let (ms, ml) = (&scalar.report.final_metrics, &laned.report.final_metrics);
+        prop_assert!(close(ms.noise_pf, ml.noise_pf, 1e-6), "noise {} vs {}", ms.noise_pf, ml.noise_pf);
+        prop_assert!(close(ms.area_um2, ml.area_um2, 1e-6), "area {} vs {}", ms.area_um2, ml.area_um2);
+        prop_assert!(close(ms.delay_ps, ml.delay_ps, 1e-6), "delay {} vs {}", ms.delay_ps, ml.delay_ps);
+        prop_assert_eq!(scalar.report.feasible, laned.report.feasible, "feasibility");
+    }
+
+    /// Per-kernel pin of the branch-free laned delay evaluation against the
+    /// scalar kind-dispatched kernel: bitwise equal for every range
+    /// remainder (`0..n-r` forces each tail length) and under extreme
+    /// charged-cap magnitudes — subnormal (~1e-310) through 1e12 — where a
+    /// reformulated expression would drift first.
+    #[test]
+    fn delay_kernel_lanes_are_bitwise_pinned_for_all_tails_and_magnitudes(
+        (inst, sizes, scales) in (10usize..36, 0u64..500).prop_flat_map(|(gates, seed)| {
+            let inst = instance(seed, gates);
+            let ncomp = inst.circuit.num_components();
+            let nnodes = CircuitTopology::new(&inst.circuit).num_nodes();
+            (
+                Just(inst),
+                proptest::collection::vec(0.1f64..10.0, ncomp),
+                // Per-node charged-cap scale factors spanning subnormal to
+                // 1e12 — exponents drawn uniformly, then applied as 10^e.
+                proptest::collection::vec(-310.0f64..12.0, nnodes),
+            )
+        }),
+    ) {
+        let sizes = SizeVector::new(sizes);
+        let topo = CircuitTopology::new(&inst.circuit);
+        let n = topo.num_nodes();
+
+        // Real downstream caps (source/sink entries zero, as the laned
+        // kernel's contract requires), stretched by extreme magnitudes.
+        // `scale * 0.0 == 0.0`, so the zero entries survive the stretch.
+        let mut caps = ElmoreAnalyzer::new(&inst.circuit).downstream_caps(&sizes, None);
+        for (c, e) in caps.charged.iter_mut().zip(&scales) {
+            *c *= 10f64.powf(*e);
+        }
+
+        let mut node_size = vec![1.0; n];
+        topo.fill_node_sizes(sizes.as_slice(), &mut node_size);
+
+        for remainder in 0usize..4 {
+            let end = n.saturating_sub(remainder);
+            let mut scalar = vec![f64::NAN; n];
+            let mut laned = vec![f64::NAN; n];
+            // SAFETY: the ranges are in bounds, the slices match the
+            // circuit, and each SharedMut is the sole borrower of its slab.
+            unsafe {
+                topo.delays_chunk(0..end, sizes.as_slice(), &caps.charged, SharedMut::new(&mut scalar));
+                topo.delays_chunk_lanes(0..end, &node_size, &caps.charged, SharedMut::new(&mut laned));
+            }
+            for i in 0..end {
+                prop_assert!(
+                    scalar[i].to_bits() == laned[i].to_bits(),
+                    "delay[{}] (end={}): scalar {:e} laned {:e}",
+                    i, end, scalar[i], laned[i]
+                );
+            }
+        }
+    }
+}
