@@ -31,6 +31,19 @@ use crate::flow::Flow;
 use crate::optimizer::OptimizationOutcome;
 use crate::problem::OptimizerConfig;
 
+/// The per-instance [`StopReason`] of one batch slot, whichever side of the
+/// `Result` it landed on: a completed run reports its own reason, a slot
+/// skipped before stage 1 reports the interruption that skipped it, and any
+/// other error yields `None`. Callers separating converged instances from
+/// deadline-killed or cancelled ones branch on this instead of digging into
+/// the report.
+pub fn stop_reason_of(result: &Result<OptimizationOutcome, CoreError>) -> Option<StopReason> {
+    match result {
+        Ok(outcome) => Some(outcome.stop_reason()),
+        Err(error) => error.interruption(),
+    }
+}
+
 /// Executes many problem instances through the two-stage flow.
 #[derive(Debug, Clone)]
 pub struct BatchRunner {
@@ -312,6 +325,32 @@ mod tests {
             instances.len()
         );
         assert!(interrupted >= 1, "at least one slot must be interrupted");
+    }
+
+    #[test]
+    fn stop_reason_is_surfaced_on_both_result_sides() {
+        let instances = instances();
+        let runner = BatchRunner::new(quick_config());
+        // Completed runs expose their own stop reason.
+        let results = runner.run(&instances, &RunControl::new());
+        for result in &results {
+            let reason = stop_reason_of(result).expect("completed slots carry a reason");
+            assert!(!reason.is_interrupted(), "uncontrolled runs complete");
+        }
+        // Pre-cancelled slots surface the interruption that skipped them.
+        let flag = CancelFlag::new();
+        flag.cancel();
+        let control = RunControl::new().with_cancel_flag(flag);
+        let results = runner.run(&instances, &control);
+        for result in &results {
+            assert_eq!(stop_reason_of(result), Some(StopReason::Cancelled));
+        }
+        // Non-interruption errors yield no reason.
+        let err: Result<OptimizationOutcome, CoreError> = Err(CoreError::InvalidConfig {
+            name: "max_iterations",
+            reason: "must be positive".into(),
+        });
+        assert_eq!(stop_reason_of(&err), None);
     }
 
     #[test]

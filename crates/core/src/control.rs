@@ -16,13 +16,14 @@
 //! use interior mutability (atomics, mutexes) for their state.
 
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
 use crate::metrics::IterationRecord;
+use crate::snapshot::Snapshot;
 
 /// Why an OGWS run stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -155,6 +156,109 @@ impl Observer for CollectObserver {
     }
 }
 
+/// When the OGWS loop should capture a [`Snapshot`] for an attached
+/// [`CheckpointSink`].
+///
+/// Snapshots are taken at completed-iteration boundaries: periodically
+/// (`every_iterations`) and/or when the run is interrupted by its control
+/// (`on_interrupt`, covering [`StopReason::Cancelled`],
+/// [`StopReason::DeadlineExpired`] and [`StopReason::BudgetExhausted`]).
+/// The default policy checkpoints only on interrupts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Capture a snapshot after every `n` completed outer iterations
+    /// (counted globally, so a resumed run keeps the original cadence).
+    /// `None` disables periodic capture.
+    pub every_iterations: Option<usize>,
+    /// Capture a final snapshot when the run stops with an interrupted
+    /// [`StopReason`], so the caller can resume it later.
+    pub on_interrupt: bool,
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> Self {
+        CheckpointPolicy {
+            every_iterations: None,
+            on_interrupt: true,
+        }
+    }
+}
+
+impl CheckpointPolicy {
+    /// The default policy: no periodic capture, snapshot on interrupt.
+    pub fn new() -> Self {
+        CheckpointPolicy::default()
+    }
+
+    /// Enables periodic capture every `n` completed iterations.
+    pub fn every(mut self, n: usize) -> Self {
+        self.every_iterations = Some(n.max(1));
+        self
+    }
+
+    /// Sets whether an interrupted run captures a final snapshot.
+    pub fn on_interrupt(mut self, enabled: bool) -> Self {
+        self.on_interrupt = enabled;
+        self
+    }
+}
+
+/// Receives [`Snapshot`]s captured by the OGWS loop under a
+/// [`CheckpointPolicy`].
+///
+/// Like [`Observer`], methods take `&self` and the trait is `Sync`, so one
+/// sink can serve many concurrent runs.
+pub trait CheckpointSink: Sync {
+    /// Called with each captured snapshot, in capture order per run.
+    fn on_checkpoint(&self, snapshot: Snapshot);
+}
+
+/// A [`CheckpointSink`] that keeps the most recent [`Snapshot`] — the
+/// building block of requeue-on-interrupt serving (see `ncgws-serve`).
+#[derive(Debug, Default)]
+pub struct SnapshotStore {
+    latest: Mutex<Option<Snapshot>>,
+    taken: AtomicUsize,
+}
+
+impl SnapshotStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        SnapshotStore::default()
+    }
+
+    /// A clone of the most recent snapshot, if any was captured.
+    pub fn latest(&self) -> Option<Snapshot> {
+        self.latest.lock().expect("snapshot store lock").clone()
+    }
+
+    /// Removes and returns the most recent snapshot.
+    pub fn take(&self) -> Option<Snapshot> {
+        self.latest.lock().expect("snapshot store lock").take()
+    }
+
+    /// Total snapshots delivered to this store over its lifetime.
+    pub fn count(&self) -> usize {
+        self.taken.load(Ordering::Relaxed)
+    }
+
+    /// Bytes held by the stored snapshot's buffers (0 when empty).
+    pub fn memory_bytes(&self) -> usize {
+        self.latest
+            .lock()
+            .expect("snapshot store lock")
+            .as_ref()
+            .map_or(0, Snapshot::memory_bytes)
+    }
+}
+
+impl CheckpointSink for SnapshotStore {
+    fn on_checkpoint(&self, snapshot: Snapshot) {
+        *self.latest.lock().expect("snapshot store lock") = Some(snapshot);
+        self.taken.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 /// Cooperative limits and instrumentation for one (or many) OGWS runs.
 ///
 /// The default control imposes nothing: no observer, no cancellation, no
@@ -180,6 +284,8 @@ pub struct RunControl<'a> {
     cancel: Option<CancelFlag>,
     iteration_budget: Option<usize>,
     deadline: Option<Instant>,
+    checkpoint_sink: Option<&'a dyn CheckpointSink>,
+    checkpoint_policy: CheckpointPolicy,
 }
 
 impl fmt::Debug for RunControl<'_> {
@@ -189,6 +295,11 @@ impl fmt::Debug for RunControl<'_> {
             .field("cancel", &self.cancel)
             .field("iteration_budget", &self.iteration_budget)
             .field("deadline", &self.deadline)
+            .field(
+                "checkpoint_sink",
+                &self.checkpoint_sink.map(|_| "dyn CheckpointSink"),
+            )
+            .field("checkpoint_policy", &self.checkpoint_policy)
             .finish()
     }
 }
@@ -288,6 +399,53 @@ impl<'a> RunControl<'a> {
     pub fn notify(&self, event: &IterationEvent<'_>) {
         if let Some(observer) = self.observer {
             observer.on_iteration(event);
+        }
+    }
+
+    /// Attaches a checkpoint sink and its capture policy. The OGWS loop
+    /// delivers [`Snapshot`]s per the policy; without a sink, no snapshot
+    /// is ever built (checkpointing costs nothing when unused).
+    pub fn with_checkpoints(
+        mut self,
+        sink: &'a dyn CheckpointSink,
+        policy: CheckpointPolicy,
+    ) -> Self {
+        self.checkpoint_sink = Some(sink);
+        self.checkpoint_policy = policy;
+        self
+    }
+
+    /// The checkpoint capture policy (meaningful only with a sink attached).
+    pub fn checkpoint_policy(&self) -> CheckpointPolicy {
+        self.checkpoint_policy
+    }
+
+    /// `true` when a checkpoint sink is attached.
+    pub fn has_checkpoint_sink(&self) -> bool {
+        self.checkpoint_sink.is_some()
+    }
+
+    /// `true` when the policy asks for a periodic snapshot after completed
+    /// (global) iteration `iterations_done`.
+    pub fn checkpoint_due(&self, iterations_done: usize) -> bool {
+        self.checkpoint_sink.is_some()
+            && iterations_done > 0
+            && self
+                .checkpoint_policy
+                .every_iterations
+                .is_some_and(|n| iterations_done.is_multiple_of(n))
+    }
+
+    /// `true` when the policy asks for a final snapshot on an interrupted
+    /// stop.
+    pub fn checkpoint_on_interrupt(&self) -> bool {
+        self.checkpoint_sink.is_some() && self.checkpoint_policy.on_interrupt
+    }
+
+    /// Delivers a snapshot to the sink, if one is attached.
+    pub fn deliver_checkpoint(&self, snapshot: Snapshot) {
+        if let Some(sink) = self.checkpoint_sink {
+            sink.on_checkpoint(snapshot);
         }
     }
 }

@@ -1355,6 +1355,19 @@ impl<'a, M: DelayModel> SizingEngine<'a, M> {
         self.sched.reset();
     }
 
+    /// Captures the adaptive schedule's serializable cross-solve state for
+    /// a [`Snapshot`](crate::Snapshot).
+    pub(crate) fn schedule_state(&self) -> crate::schedule::ScheduleState {
+        self.sched.capture()
+    }
+
+    /// Restores a captured schedule state (freeze sets + sweep counter);
+    /// the cached tables stay unsynced so the next solve rebuilds them from
+    /// the restored sizes.
+    pub(crate) fn restore_schedule_state(&mut self, state: &crate::schedule::ScheduleState) {
+        self.sched.restore(state);
+    }
+
     /// Number of currently frozen components.
     pub(crate) fn frozen_components(&self) -> usize {
         self.sched.num_frozen

@@ -40,6 +40,18 @@ pub enum CoreError {
     },
 }
 
+impl CoreError {
+    /// The [`StopReason`] behind an [`Interrupted`](Self::Interrupted)
+    /// error, `None` for every other variant — the error-side counterpart of
+    /// [`OptimizationOutcome::stop_reason`](crate::OptimizationOutcome::stop_reason).
+    pub fn interruption(&self) -> Option<StopReason> {
+        match self {
+            CoreError::Interrupted { reason } => Some(*reason),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

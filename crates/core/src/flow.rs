@@ -41,6 +41,15 @@ use crate::metrics::{CircuitMetrics, MemoryBreakdown};
 use crate::ogws::{OgwsOutcome, OgwsSolver, FEASIBILITY_TOLERANCE};
 use crate::problem::{ConstraintBounds, OptimizerConfig, SizingProblem};
 use crate::report::{Improvements, OptimizationReport};
+use crate::snapshot::Snapshot;
+
+/// How one stage-2 run enters the OGWS loop.
+enum SolveMode<'s> {
+    /// A cold or warm-started run from iteration 1.
+    Fresh(Option<&'s SizeVector>),
+    /// A run re-entered from a checkpoint.
+    Resume(&'s Snapshot),
+}
 
 /// Entry point of the staged pipeline.
 ///
@@ -283,6 +292,80 @@ impl<'a> Ordered<'a> {
         warm: Option<&SizeVector>,
         control: &RunControl<'_>,
     ) -> Result<SizedOutcome, CoreError> {
+        if let Some(warm) = warm {
+            if warm.len() != self.instance.circuit.num_components() {
+                return Err(CoreError::InvalidConfig {
+                    name: "warm_start",
+                    reason: format!(
+                        "warm-start vector has {} entries but the circuit has {} components",
+                        warm.len(),
+                        self.instance.circuit.num_components()
+                    ),
+                });
+            }
+        }
+        self.run_sizing(engine, SolveMode::Fresh(warm), control)
+    }
+
+    /// Re-enters stage 2 from a [`Snapshot`] captured by an earlier run over
+    /// this ordering, building a fresh engine for the run.
+    ///
+    /// The resumed run continues the interrupted trajectory — multipliers,
+    /// best-feasible bookkeeping, iteration counter (the step schedule
+    /// `ρ_k` picks up where it left off) and, under the adaptive strategy,
+    /// the schedule's freeze state. Its final metrics match the
+    /// uninterrupted run within `1e-6` relative (bitwise under the exact
+    /// strategy, and for iteration-0 snapshots under both); the
+    /// `serve_checkpoint` property tests pin this. The control's iteration
+    /// budget covers only the resumed attempt.
+    ///
+    /// # Errors
+    ///
+    /// As [`size`](Self::size), plus [`CoreError::InvalidConfig`] (named
+    /// `"snapshot"`) when the snapshot does not belong to this ordering's
+    /// circuit.
+    pub fn size_resume(
+        &self,
+        snapshot: &Snapshot,
+        control: &RunControl<'_>,
+    ) -> Result<SizedOutcome, CoreError> {
+        let mut engine = self.engine();
+        self.size_resume_with_engine(&mut engine, snapshot, control)
+    }
+
+    /// [`size_resume`](Self::size_resume) with a caller-provided engine (see
+    /// [`size_with_engine`](Self::size_with_engine) for the reuse contract).
+    ///
+    /// # Errors
+    ///
+    /// As [`size_resume`](Self::size_resume).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `engine` was built for a different circuit or coupling
+    /// set than this ordering.
+    pub fn size_resume_with_engine<M: DelayModel>(
+        &self,
+        engine: &mut SizingEngine<'_, M>,
+        snapshot: &Snapshot,
+        control: &RunControl<'_>,
+    ) -> Result<SizedOutcome, CoreError> {
+        if let Err(reason) = snapshot.validate_for(&self.instance.circuit) {
+            return Err(CoreError::InvalidConfig {
+                name: "snapshot",
+                reason,
+            });
+        }
+        self.run_sizing(engine, SolveMode::Resume(snapshot), control)
+    }
+
+    /// The shared stage-2 body behind every `size*` entry point.
+    fn run_sizing<M: DelayModel>(
+        &self,
+        engine: &mut SizingEngine<'_, M>,
+        mode: SolveMode<'_>,
+        control: &RunControl<'_>,
+    ) -> Result<SizedOutcome, CoreError> {
         let graph = &self.instance.circuit;
         let coupling = &self.ordering.coupling;
         assert!(
@@ -293,24 +376,17 @@ impl<'a> Ordered<'a> {
             std::ptr::eq(coupling, engine.coupling()),
             "engine was built for a different coupling set than this ordering"
         );
-        if let Some(warm) = warm {
-            if warm.len() != graph.num_components() {
-                return Err(CoreError::InvalidConfig {
-                    name: "warm_start",
-                    reason: format!(
-                        "warm-start vector has {} entries but the circuit has {} components",
-                        warm.len(),
-                        graph.num_components()
-                    ),
-                });
-            }
-        }
         let sizing_started = Instant::now();
 
         let problem =
             SizingProblem::with_constraints(graph, coupling, self.bounds, self.extras.clone())?;
         let solver = OgwsSolver::new(self.config.clone());
-        let ogws = solver.solve_controlled(&problem, engine, warm, control);
+        let ogws = match mode {
+            SolveMode::Fresh(warm) => solver.solve_controlled(&problem, engine, warm, control),
+            SolveMode::Resume(snapshot) => {
+                solver.solve_resumed(&problem, engine, snapshot, control)
+            }
+        };
         let final_metrics = CircuitMetrics::evaluate_with(engine, &ogws.sizes);
         let constraint_slacks = problem.extras.slacks(&ogws.sizes, FEASIBILITY_TOLERANCE);
 

@@ -61,6 +61,54 @@ impl Multipliers {
         }
     }
 
+    /// Rebuilds multipliers from their serialized parts (the snapshot
+    /// decode path — see [`Snapshot`](crate::Snapshot)).
+    ///
+    /// # Errors
+    ///
+    /// Returns a reason when the CSR shape is inconsistent (non-monotone
+    /// offsets, value length mismatch, missing leading zero).
+    pub fn from_parts(
+        values: Vec<f64>,
+        offsets: Vec<u32>,
+        beta: f64,
+        gamma: f64,
+        extra: Vec<Vec<f64>>,
+    ) -> Result<Self, String> {
+        if offsets.first() != Some(&0) {
+            return Err("multiplier offsets must start at 0".into());
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("multiplier offsets must be non-decreasing".into());
+        }
+        let total = *offsets.last().expect("offsets are non-empty") as usize;
+        if values.len() != total {
+            return Err(format!(
+                "multiplier values cover {} slots but offsets expect {total}",
+                values.len()
+            ));
+        }
+        Ok(Multipliers {
+            values,
+            offsets,
+            beta,
+            gamma,
+            extra,
+        })
+    }
+
+    /// `true` when this multiplier set's CSR layout matches `graph`'s fanin
+    /// structure (same node count and per-node fanin degrees).
+    pub fn matches(&self, graph: &CircuitGraph) -> bool {
+        if self.offsets.len() != graph.num_nodes() + 1 {
+            return false;
+        }
+        graph.node_ids().all(|id| {
+            let i = id.index();
+            (self.offsets[i + 1] - self.offsets[i]) as usize == graph.fanin(id).len()
+        })
+    }
+
     /// The flat slot range of a node's fanin-edge multipliers.
     #[inline(always)]
     fn range(&self, node: NodeId) -> std::ops::Range<usize> {

@@ -45,6 +45,11 @@
 //! * run control for the outer loop ([`control`]): progress [`Observer`]s,
 //!   cooperative cancellation, iteration budgets and wall-clock deadlines,
 //!   with the [`StopReason`] recorded in every outcome;
+//! * checkpoint/resume ([`snapshot`], [`control`]): a [`Snapshot`] of
+//!   mid-run OGWS state captured through a [`CheckpointSink`] under a
+//!   [`CheckpointPolicy`], re-entered via
+//!   [`Ordered::size_resume`](flow::Ordered::size_resume) — the substrate
+//!   of the `ncgws-serve` job queue;
 //! * batch execution of many instances across threads ([`batch`]);
 //! * baselines for ablations: delay/area-only Lagrangian sizing and a greedy
 //!   sensitivity-based sizer ([`baseline`]);
@@ -74,15 +79,19 @@ pub mod projection;
 pub mod reference;
 pub mod report;
 pub mod schedule;
+pub mod snapshot;
 pub mod step;
 pub mod units;
 
-pub use batch::BatchRunner;
+pub use batch::{stop_reason_of, BatchRunner};
 pub use constraints::{
     lower_constraint_specs, ConstraintFamily, ConstraintSet, ConstraintSpec, FamilyKind,
     FamilySlack, ScalarConstraint, ScalarFamily,
 };
-pub use control::{CancelFlag, CollectObserver, IterationEvent, Observer, RunControl, StopReason};
+pub use control::{
+    CancelFlag, CheckpointPolicy, CheckpointSink, CollectObserver, IterationEvent, Observer,
+    RunControl, SnapshotStore, StopReason,
+};
 pub use coupling_build::{build_coupling, OrderingStrategy, WireOrderingOutcome};
 pub use engine::{SizingEngine, TimingView};
 pub use error::CoreError;
@@ -95,5 +104,6 @@ pub use optimizer::{OptimizationOutcome, Optimizer};
 pub use par::ParallelPolicy;
 pub use problem::{ConstraintBounds, OptimizerConfig, OptimizerConfigBuilder, SizingProblem};
 pub use report::{Improvements, OptimizationReport};
-pub use schedule::{AdaptiveSchedule, ScheduledStats, SolveStrategy};
+pub use schedule::{AdaptiveSchedule, ScheduleState, ScheduledStats, SolveStrategy};
+pub use snapshot::Snapshot;
 pub use step::StepSchedule;

@@ -33,7 +33,8 @@ use crate::problem::{OptimizerConfig, SizingProblem};
 use crate::projection::{
     project_flow_conservation_indexed, project_flow_conservation_leveled, FlowIndex,
 };
-use crate::schedule::SolveStrategy;
+use crate::schedule::{ScheduleState, SolveStrategy};
+use crate::snapshot::{Snapshot, SNAPSHOT_FORMAT};
 
 /// Relative tolerance used to declare an iterate primal-feasible.
 ///
@@ -207,6 +208,53 @@ impl OgwsSolver {
         warm_start: Option<&SizeVector>,
         control: &RunControl<'_>,
     ) -> OgwsOutcome {
+        self.solve_impl(problem, engine, warm_start, None, control)
+    }
+
+    /// Re-enters the outer loop from a [`Snapshot`] instead of restarting.
+    ///
+    /// The snapshot (captured by an earlier run through the control's
+    /// [`CheckpointSink`](crate::CheckpointSink)) restores the multiplier
+    /// state, the last completed iterate, the best-feasible bookkeeping and
+    /// — under the adaptive strategy — the schedule's freeze/verification
+    /// state; iteration `iterations_done + 1` then runs with the step
+    /// schedule, feasibility rules and stopping rules of an uninterrupted
+    /// run. Under [`SolveStrategy::Exact`] the continuation is bitwise
+    /// identical to the run that produced the snapshot; under the adaptive
+    /// strategy the final metrics land within `1e-6` relative (the cached
+    /// electrical tables are re-derived from the snapshot sizes rather than
+    /// carried over). A control's iteration budget counts only the resumed
+    /// attempt's iterations, so a serving layer can give every attempt the
+    /// same slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the engine is bound to a different circuit or coupling
+    /// set than `problem`, or when the snapshot does not belong to this
+    /// problem (see [`Snapshot::validate_for`]). Fallible validation lives
+    /// at the flow layer
+    /// ([`Ordered::size_resume`](crate::flow::Ordered::size_resume)).
+    pub fn solve_resumed<M: DelayModel>(
+        &self,
+        problem: &SizingProblem<'_>,
+        engine: &mut SizingEngine<'_, M>,
+        snapshot: &Snapshot,
+        control: &RunControl<'_>,
+    ) -> OgwsOutcome {
+        if let Err(reason) = snapshot.validate_for(problem.graph) {
+            panic!("cannot resume from snapshot: {reason}");
+        }
+        self.solve_impl(problem, engine, None, Some(snapshot), control)
+    }
+
+    fn solve_impl<M: DelayModel>(
+        &self,
+        problem: &SizingProblem<'_>,
+        engine: &mut SizingEngine<'_, M>,
+        warm_start: Option<&SizeVector>,
+        resume: Option<&Snapshot>,
+        control: &RunControl<'_>,
+    ) -> OgwsOutcome {
         assert!(
             std::ptr::eq(problem.graph, engine.graph()),
             "engine was built for a different circuit than the problem"
@@ -240,6 +288,16 @@ impl OgwsSolver {
         // ordered scalar reductions bitwise-pinned to `crate::reference`
         // under every parallel policy.
         engine.set_lane_aggregates(adaptive.is_some());
+        // A resumed adaptive run carries the interrupted run's freeze sets
+        // and verification cadence forward (after the reset above wiped any
+        // leaked state).
+        if let Some(snapshot) = resume {
+            if adaptive.is_some() {
+                if let Some(state) = &snapshot.schedule {
+                    engine.restore_schedule_state(state);
+                }
+            }
+        }
         let num_components = graph.num_components();
 
         // A1: initial multipliers (projected so Theorem 3 holds from the
@@ -247,13 +305,35 @@ impl OgwsSolver {
         // cross-reference is built once so every per-iteration projection is
         // a contiguous walk.
         let flow_index = FlowIndex::new(graph);
-        let mut multipliers = Multipliers::uniform(
-            graph,
-            self.config.initial_edge_multiplier,
-            self.config.initial_scalar_multiplier,
-        );
-        multipliers.attach_extras(extras, self.config.initial_scalar_multiplier);
-        project_flow_conservation_indexed(graph, &flow_index, &mut multipliers);
+        let mut multipliers = match resume {
+            // A resume re-enters after the snapshot iteration's A4/A5 steps:
+            // the stored multipliers are already projected, so re-running A1
+            // (or re-projecting) would perturb the trajectory.
+            Some(snapshot) => {
+                let blocks: Vec<usize> = snapshot
+                    .multipliers
+                    .extra_blocks()
+                    .iter()
+                    .map(Vec::len)
+                    .collect();
+                assert_eq!(
+                    blocks,
+                    extras.block_sizes(),
+                    "snapshot multipliers' extra blocks must match the problem's constraint families"
+                );
+                snapshot.multipliers.clone()
+            }
+            None => {
+                let mut multipliers = Multipliers::uniform(
+                    graph,
+                    self.config.initial_edge_multiplier,
+                    self.config.initial_scalar_multiplier,
+                );
+                multipliers.attach_extras(extras, self.config.initial_scalar_multiplier);
+                project_flow_conservation_indexed(graph, &flow_index, &mut multipliers);
+                multipliers
+            }
+        };
 
         // One-time buffer setup; the loop below reuses all of these. The
         // record capacity is capped so an extravagant iteration limit does
@@ -300,7 +380,41 @@ impl OgwsSolver {
             }
         }
 
-        for k in 1..=self.config.max_iterations {
+        // Resume: restore the interrupted run's loop state. The iteration
+        // counter continues globally (the step schedule `ρ_k` and the
+        // periodic checkpoint cadence both key off it), while the records —
+        // and any iteration budget — cover only this attempt.
+        let start_k = match resume {
+            Some(snapshot) => {
+                sizes.copy_from(&snapshot.sizes);
+                if let Some(best) = &snapshot.best_sizes {
+                    best_sizes.copy_from(best);
+                    best_area = snapshot.best_area.unwrap_or(f64::INFINITY);
+                    have_feasible = true;
+                }
+                best_gap = snapshot.best_gap.unwrap_or(f64::INFINITY);
+                best_dual = snapshot.best_dual.unwrap_or(f64::NEG_INFINITY);
+                stagnant = snapshot.stagnant;
+                snapshot.iterations_done
+            }
+            None => 0,
+        };
+
+        // Checkpoint bookkeeping. The loop keeps the state of the last
+        // *completed* iteration aside, because an interrupt that cuts an LRS
+        // solve short leaves `sizes` (and the adaptive schedule) holding a
+        // partial iterate that must never leak into a snapshot. Without a
+        // sink none of this allocates or runs.
+        let checkpointing = control.has_checkpoint_sink();
+        let mut completed_sizes = checkpointing.then(|| sizes.clone());
+        let mut completed_schedule = if checkpointing && adaptive.is_some() {
+            Some(engine.schedule_state())
+        } else {
+            None
+        };
+        let mut last_completed = start_k;
+
+        for k in (start_k + 1)..=self.config.max_iterations {
             // Cooperative limits, checked before any work so a cancelled or
             // expired run performs no further iterations.
             if let Some(reason) = control.stop_before_iteration(iterations.len()) {
@@ -333,6 +447,20 @@ impl OgwsSolver {
                     )
                 }
             };
+            // With a checkpoint sink attached, an interrupt that fired
+            // mid-solve invalidates this iteration (the coordinate descent
+            // was cut short); discard the partial iterate so every snapshot
+            // — and the resumed trajectory — sits on a completed-iteration
+            // boundary. Without a sink the historical behavior is kept: the
+            // truncated iterate still finishes its iteration.
+            if checkpointing && control.interrupted() {
+                stop_reason = if control.is_cancelled() {
+                    StopReason::Cancelled
+                } else {
+                    StopReason::DeadlineExpired
+                };
+                break;
+            }
             // Constraint values and the primal objective, through the
             // engine's dense tables (bitwise identical to the graph walks,
             // at a fraction of the pointer-chasing cost), then the timing
@@ -449,6 +577,35 @@ impl OgwsSolver {
                 feasible,
             });
 
+            // Completed-iteration bookkeeping for checkpointing, plus the
+            // periodic capture policy (keyed on the global iteration, so a
+            // resumed run keeps the original cadence).
+            if checkpointing {
+                last_completed = k;
+                completed_sizes
+                    .as_mut()
+                    .expect("allocated when checkpointing")
+                    .copy_from(&sizes);
+                if adaptive.is_some() {
+                    completed_schedule = Some(engine.schedule_state());
+                }
+                if control.checkpoint_due(k) {
+                    control.deliver_checkpoint(Self::make_snapshot(
+                        k,
+                        num_components,
+                        &sizes,
+                        &multipliers,
+                        have_feasible,
+                        &best_sizes,
+                        best_area,
+                        best_gap,
+                        best_dual,
+                        stagnant,
+                        completed_schedule.clone(),
+                    ));
+                }
+            }
+
             // A7: stop on a small duality gap once a feasible iterate exists.
             if gap <= self.config.gap_tolerance && have_feasible {
                 converged = true;
@@ -477,6 +634,27 @@ impl OgwsSolver {
             }
         }
 
+        // Final snapshot for interrupted runs, from the last completed
+        // iteration's state (a discarded partial iterate never leaks: its
+        // A4/A5 steps did not run, so `multipliers` still belong to the
+        // last completed boundary).
+        if stop_reason.is_interrupted() && control.checkpoint_on_interrupt() {
+            let boundary_sizes = completed_sizes.as_ref().expect("sink implies buffers");
+            control.deliver_checkpoint(Self::make_snapshot(
+                last_completed,
+                num_components,
+                boundary_sizes,
+                &multipliers,
+                have_feasible,
+                &best_sizes,
+                best_area,
+                best_gap,
+                best_dual,
+                stagnant,
+                completed_schedule,
+            ));
+        }
+
         // On the infeasible exit `sizes` still holds the last LRS iterate.
         let (feasible, sizes) = if have_feasible {
             (true, best_sizes)
@@ -494,6 +672,38 @@ impl OgwsSolver {
             beta: multipliers.beta,
             gamma: multipliers.gamma,
             extra_multipliers,
+        }
+    }
+
+    /// Builds a [`Snapshot`] describing a completed-iteration boundary.
+    /// Non-finite sentinel bounds map to `None` so the JSON form stays
+    /// lossless (the serializer writes non-finite floats as `null`).
+    #[allow(clippy::too_many_arguments)]
+    fn make_snapshot(
+        iterations_done: usize,
+        num_components: usize,
+        sizes: &SizeVector,
+        multipliers: &Multipliers,
+        have_feasible: bool,
+        best_sizes: &SizeVector,
+        best_area: f64,
+        best_gap: f64,
+        best_dual: f64,
+        stagnant: usize,
+        schedule: Option<ScheduleState>,
+    ) -> Snapshot {
+        Snapshot {
+            format: SNAPSHOT_FORMAT,
+            iterations_done,
+            num_components,
+            sizes: sizes.clone(),
+            multipliers: multipliers.clone(),
+            best_sizes: have_feasible.then(|| best_sizes.clone()),
+            best_area: have_feasible.then_some(best_area),
+            best_gap: best_gap.is_finite().then_some(best_gap),
+            best_dual: best_dual.is_finite().then_some(best_dual),
+            stagnant,
+            schedule,
         }
     }
 

@@ -38,6 +38,13 @@ impl OptimizationOutcome {
     pub fn sizes(&self) -> &SizeVector {
         &self.ogws.sizes
     }
+
+    /// Why the sizing run stopped — the field batch callers branch on to
+    /// separate converged instances from deadline-killed or cancelled ones
+    /// (see [`batch::stop_reason_of`](crate::batch::stop_reason_of)).
+    pub fn stop_reason(&self) -> crate::StopReason {
+        self.ogws.stop_reason
+    }
 }
 
 /// The two-stage noise-constrained gate and wire sizing optimizer.

@@ -193,6 +193,38 @@ pub struct ScheduledStats {
     pub converged: bool,
 }
 
+/// The serializable cross-solve state of the adaptive schedule — the part
+/// of `ScheduleWorkspace` a [`Snapshot`](crate::Snapshot) must carry so a
+/// resumed run keeps the freeze sets and the verification-sweep cadence of
+/// the interrupted one. The cached electrical tables are deliberately *not*
+/// captured: a restore leaves them unsynced, so the next solve rebuilds them
+/// exactly from the snapshot sizes.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ScheduleState {
+    /// Consecutive calm sweeps per component.
+    pub calm: Vec<u32>,
+    /// Frozen flag per component.
+    pub frozen: Vec<bool>,
+    /// Sweeps performed across the run so far (the verification cadence
+    /// counter).
+    pub global_sweep: usize,
+}
+
+impl ScheduleState {
+    /// Number of components the state covers.
+    pub fn num_components(&self) -> usize {
+        self.frozen.len()
+    }
+
+    /// Bytes held by the state's buffers.
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        size_of::<Self>()
+            + self.calm.capacity() * size_of::<u32>()
+            + self.frozen.capacity() * size_of::<bool>()
+    }
+}
+
 /// Per-engine mutable state of the adaptive schedule: the active/frozen
 /// partition, calm-streak counters, dirty-set scratch for the sparse
 /// incremental evaluation, and the `eval_sizes` snapshot the cached
@@ -353,6 +385,34 @@ impl ScheduleWorkspace {
         self.active.extend(0..self.frozen.len() as u32);
         self.num_frozen = 0;
         self.global_sweep = 0;
+    }
+
+    /// Captures the serializable cross-solve state (for snapshots).
+    pub(crate) fn capture(&self) -> ScheduleState {
+        ScheduleState {
+            calm: self.calm.clone(),
+            frozen: self.frozen.clone(),
+            global_sweep: self.global_sweep,
+        }
+    }
+
+    /// Restores a captured state: freeze sets and the sweep counter come
+    /// back; the cached tables stay unsynced so the next solve re-derives
+    /// them exactly from the restored sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `state` covers a different component
+    /// count (callers validate via
+    /// [`Snapshot::validate_for`](crate::Snapshot::validate_for)).
+    pub(crate) fn restore(&mut self, state: &ScheduleState) {
+        debug_assert_eq!(state.frozen.len(), self.frozen.len());
+        debug_assert_eq!(state.calm.len(), self.calm.len());
+        self.reset();
+        self.calm.copy_from_slice(&state.calm);
+        self.frozen.copy_from_slice(&state.frozen);
+        self.global_sweep = state.global_sweep;
+        self.rebuild_active();
     }
 
     /// Bytes held by the schedule buffers (for the Figure 10(a) accounting).

@@ -1,0 +1,642 @@
+//! Mid-run OGWS checkpoints: the [`Snapshot`] type and its JSON codec.
+//!
+//! A [`Snapshot`] captures everything the outer loop needs to re-enter at an
+//! iteration boundary: the current iterate, the full multiplier state (flat
+//! CSR edge block, `β`/`γ`, and the extra constraint-family blocks), the
+//! best-primal bookkeeping, the stagnation counter, the iteration count
+//! (which drives the step schedule `ρ_k`), and — under the adaptive solve
+//! strategy — the schedule's freeze/verification state
+//! ([`ScheduleState`]).
+//!
+//! Snapshots are always taken at *completed-iteration boundaries* (the OGWS
+//! loop discards a partially solved iteration when a control interrupt cuts
+//! its inner LRS descent short), so a resumed run continues the exact
+//! trajectory the interrupted run was on:
+//!
+//! * under [`SolveStrategy::Exact`](crate::SolveStrategy) the continuation
+//!   is **bitwise identical** to the uninterrupted run (every LRS solve
+//!   restarts from the lower bounds, so the only cross-iteration state is
+//!   what the snapshot restores exactly);
+//! * under the adaptive strategy the restored schedule state re-derives its
+//!   electrical caches from the snapshot sizes instead of continuing the
+//!   incrementally maintained ones, so resumed metrics land within `1e-6`
+//!   of the uninterrupted run (pinned by the `serve_checkpoint` tests);
+//! * a snapshot taken at iteration 0 restores the exact run-start state, so
+//!   its resume is bitwise identical under both strategies.
+//!
+//! Serialization uses the workspace's serde stand-in ([`Snapshot::to_json`]);
+//! since that stand-in has no deserializer, [`Snapshot::from_json`] decodes
+//! through the small recursive-descent parser in [`json`] (the same
+//! hand-rolled-scanner idiom the bench crate's perfguard uses). Rust formats
+//! `f64` with the shortest string that parses back to the same bits, so the
+//! JSON round trip is lossless and a resume from a persisted snapshot equals
+//! a resume from the in-memory one.
+
+use ncgws_circuit::{CircuitGraph, SizeVector};
+use serde::Serialize;
+
+use crate::lagrangian::Multipliers;
+use crate::schedule::ScheduleState;
+
+/// Current snapshot format version ([`Snapshot::format`]).
+pub const SNAPSHOT_FORMAT: u32 = 1;
+
+/// A checkpoint of mid-run OGWS state, captured at a completed-iteration
+/// boundary and sufficient to re-enter the loop via
+/// [`Ordered::size_resume`](crate::flow::Ordered::size_resume) (or
+/// [`OgwsSolver::solve_resumed`](crate::OgwsSolver::solve_resumed)).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Snapshot {
+    /// Format version, for persisted snapshots ([`SNAPSHOT_FORMAT`]).
+    pub format: u32,
+    /// Completed outer iterations (global count — a resumed run continues
+    /// the step schedule at `iterations_done + 1`).
+    pub iterations_done: usize,
+    /// Number of sizable components of the circuit the snapshot belongs to
+    /// (validated against the graph on resume).
+    pub num_components: usize,
+    /// The iterate after the last completed iteration (the warm seed of the
+    /// adaptive schedule's next LRS solve).
+    pub sizes: SizeVector,
+    /// The full multiplier state after that iteration's A4 subgradient step
+    /// and A5 flow projection — ready for the next LRS solve.
+    pub multipliers: Multipliers,
+    /// Best feasible solution found so far, if any.
+    pub best_sizes: Option<SizeVector>,
+    /// Area of [`best_sizes`](Self::best_sizes) (the primal upper bound);
+    /// `None` exactly when no feasible iterate has been seen.
+    pub best_area: Option<f64>,
+    /// Best (smallest) relative duality gap observed; `None` while still
+    /// infinite (no iteration completed).
+    pub best_gap: Option<f64>,
+    /// Best dual lower bound observed; `None` while still infinite.
+    pub best_dual: Option<f64>,
+    /// Consecutive iterations without primal or dual improvement (the
+    /// stagnation stopping rule's counter).
+    pub stagnant: usize,
+    /// The adaptive schedule's freeze/verification state; `None` under the
+    /// exact strategy.
+    pub schedule: Option<ScheduleState>,
+}
+
+impl Snapshot {
+    /// Validates that this snapshot can resume a run on `graph`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason when the snapshot belongs to a
+    /// different circuit (component count, multiplier CSR shape, schedule
+    /// dimensions) or is internally inconsistent.
+    pub fn validate_for(&self, graph: &CircuitGraph) -> Result<(), String> {
+        if self.format != SNAPSHOT_FORMAT {
+            return Err(format!(
+                "snapshot format {} is not the supported format {SNAPSHOT_FORMAT}",
+                self.format
+            ));
+        }
+        let n = graph.num_components();
+        if self.num_components != n {
+            return Err(format!(
+                "snapshot has {} components but the circuit has {n}",
+                self.num_components
+            ));
+        }
+        if self.sizes.len() != n {
+            return Err(format!(
+                "snapshot size vector has {} entries, expected {n}",
+                self.sizes.len()
+            ));
+        }
+        if !self.multipliers.matches(graph) {
+            return Err("snapshot multipliers do not match the circuit's fanin structure".into());
+        }
+        match (&self.best_sizes, self.best_area) {
+            (Some(best), Some(area)) => {
+                if best.len() != n {
+                    return Err(format!(
+                        "snapshot best-size vector has {} entries, expected {n}",
+                        best.len()
+                    ));
+                }
+                if !area.is_finite() {
+                    return Err("snapshot best_area must be finite when present".into());
+                }
+            }
+            (None, None) => {}
+            _ => {
+                return Err(
+                    "snapshot best_sizes and best_area must be present or absent together".into(),
+                )
+            }
+        }
+        if let Some(state) = &self.schedule {
+            if state.num_components() != n {
+                return Err(format!(
+                    "snapshot schedule state covers {} components, expected {n}",
+                    state.num_components()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether a feasible iterate had been found when the snapshot was taken.
+    pub fn has_feasible(&self) -> bool {
+        self.best_sizes.is_some()
+    }
+
+    /// Heap + inline bytes held by the snapshot buffers (for the memory
+    /// accounting that extends the Figure 10(a) breakdown to checkpoints).
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let sizes = |v: &SizeVector| v.len() * size_of::<f64>();
+        size_of::<Self>()
+            + sizes(&self.sizes)
+            + self.multipliers.memory_bytes()
+            + self.best_sizes.as_ref().map_or(0, sizes)
+            + self
+                .schedule
+                .as_ref()
+                .map_or(0, ScheduleState::memory_bytes)
+    }
+
+    /// Serializes the snapshot to compact JSON (lossless: `f64` values are
+    /// written in Rust's shortest round-trip decimal form).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot serialization is infallible")
+    }
+
+    /// Decodes a snapshot from the JSON produced by [`to_json`](Self::to_json).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed or missing field.
+    pub fn from_json(input: &str) -> Result<Snapshot, String> {
+        let value = json::parse(input)?;
+        let obj = value.as_object().ok_or("snapshot JSON must be an object")?;
+        let field = |name: &str| -> Result<&json::JsonValue, String> {
+            json::get(obj, name).ok_or_else(|| format!("snapshot JSON is missing `{name}`"))
+        };
+        let format = field("format")?
+            .as_usize()
+            .ok_or("`format` must be an integer")? as u32;
+        let iterations_done = field("iterations_done")?
+            .as_usize()
+            .ok_or("`iterations_done` must be an integer")?;
+        let num_components = field("num_components")?
+            .as_usize()
+            .ok_or("`num_components` must be an integer")?;
+        let sizes = SizeVector::new(decode_size_values(field("sizes")?)?);
+        let multipliers = decode_multipliers(field("multipliers")?)?;
+        let best_sizes = match field("best_sizes")? {
+            json::JsonValue::Null => None,
+            v => Some(SizeVector::new(decode_size_values(v)?)),
+        };
+        let best_area = field("best_area")?.as_opt_f64("best_area")?;
+        let best_gap = field("best_gap")?.as_opt_f64("best_gap")?;
+        let best_dual = field("best_dual")?.as_opt_f64("best_dual")?;
+        let stagnant = field("stagnant")?
+            .as_usize()
+            .ok_or("`stagnant` must be an integer")?;
+        let schedule = match field("schedule")? {
+            json::JsonValue::Null => None,
+            v => Some(decode_schedule(v)?),
+        };
+        Ok(Snapshot {
+            format,
+            iterations_done,
+            num_components,
+            sizes,
+            multipliers,
+            best_sizes,
+            best_area,
+            best_gap,
+            best_dual,
+            stagnant,
+            schedule,
+        })
+    }
+}
+
+/// Decodes a serialized [`SizeVector`] (`{"values":[...]}`).
+fn decode_size_values(value: &json::JsonValue) -> Result<Vec<f64>, String> {
+    let obj = value.as_object().ok_or("size vector must be an object")?;
+    json::get(obj, "values")
+        .ok_or("size vector is missing `values`")?
+        .as_f64_array("values")
+}
+
+/// Decodes a serialized [`Multipliers`] block.
+fn decode_multipliers(value: &json::JsonValue) -> Result<Multipliers, String> {
+    let obj = value.as_object().ok_or("multipliers must be an object")?;
+    let field = |name: &str| -> Result<&json::JsonValue, String> {
+        json::get(obj, name).ok_or_else(|| format!("multipliers are missing `{name}`"))
+    };
+    let values = field("values")?.as_f64_array("multiplier values")?;
+    let offsets: Vec<u32> = field("offsets")?
+        .as_array()
+        .ok_or("`offsets` must be an array")?
+        .iter()
+        .map(|v| {
+            v.as_usize()
+                .filter(|&n| n <= u32::MAX as usize)
+                .map(|n| n as u32)
+                .ok_or_else(|| "`offsets` entries must be u32 integers".to_string())
+        })
+        .collect::<Result<_, _>>()?;
+    let beta = field("beta")?
+        .as_f64()
+        .ok_or("`beta` must be a finite number")?;
+    let gamma = field("gamma")?
+        .as_f64()
+        .ok_or("`gamma` must be a finite number")?;
+    let extra = field("extra")?
+        .as_array()
+        .ok_or("`extra` must be an array")?
+        .iter()
+        .map(|block| block.as_f64_array("extra multiplier block"))
+        .collect::<Result<Vec<_>, _>>()?;
+    Multipliers::from_parts(values, offsets, beta, gamma, extra)
+}
+
+/// Decodes a serialized [`ScheduleState`].
+fn decode_schedule(value: &json::JsonValue) -> Result<ScheduleState, String> {
+    let obj = value
+        .as_object()
+        .ok_or("schedule state must be an object")?;
+    let field = |name: &str| -> Result<&json::JsonValue, String> {
+        json::get(obj, name).ok_or_else(|| format!("schedule state is missing `{name}`"))
+    };
+    let calm: Vec<u32> = field("calm")?
+        .as_array()
+        .ok_or("`calm` must be an array")?
+        .iter()
+        .map(|v| {
+            v.as_usize()
+                .filter(|&n| n <= u32::MAX as usize)
+                .map(|n| n as u32)
+                .ok_or_else(|| "`calm` entries must be u32 integers".to_string())
+        })
+        .collect::<Result<_, _>>()?;
+    let frozen: Vec<bool> = field("frozen")?
+        .as_array()
+        .ok_or("`frozen` must be an array")?
+        .iter()
+        .map(|v| {
+            v.as_bool()
+                .ok_or_else(|| "`frozen` entries must be booleans".to_string())
+        })
+        .collect::<Result<_, _>>()?;
+    let global_sweep = field("global_sweep")?
+        .as_usize()
+        .ok_or("`global_sweep` must be an integer")?;
+    if calm.len() != frozen.len() {
+        return Err("`calm` and `frozen` must have the same length".into());
+    }
+    Ok(ScheduleState {
+        calm,
+        frozen,
+        global_sweep,
+    })
+}
+
+/// A minimal JSON value model and recursive-descent parser — the read side
+/// of the workspace's write-only serde stand-in. Covers exactly the grammar
+/// that stand-in emits: objects, arrays, strings with `\uXXXX` escapes,
+/// numbers in Rust's `f64` `Display`/integer forms, booleans and `null`.
+pub mod json {
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum JsonValue {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Any JSON number (parsed through `str::parse::<f64>`, which
+        /// recovers Rust-formatted floats bit-exactly).
+        Number(f64),
+        /// A string literal, unescaped.
+        String(String),
+        /// An array.
+        Array(Vec<JsonValue>),
+        /// An object, as ordered key/value pairs.
+        Object(Vec<(String, JsonValue)>),
+    }
+
+    impl JsonValue {
+        /// The object's pairs, if this is an object.
+        pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+            match self {
+                JsonValue::Object(pairs) => Some(pairs),
+                _ => None,
+            }
+        }
+
+        /// The array's elements, if this is an array.
+        pub fn as_array(&self) -> Option<&[JsonValue]> {
+            match self {
+                JsonValue::Array(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        /// The string contents, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                JsonValue::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The boolean, if this is a boolean.
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                JsonValue::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+
+        /// The number as a finite `f64`, if this is a number.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                JsonValue::Number(x) if x.is_finite() => Some(*x),
+                _ => None,
+            }
+        }
+
+        /// The number as a `usize`, if this is a non-negative integer small
+        /// enough for `f64` to represent exactly.
+        pub fn as_usize(&self) -> Option<usize> {
+            match self {
+                JsonValue::Number(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= 2f64.powi(53) => {
+                    Some(*x as usize)
+                }
+                _ => None,
+            }
+        }
+
+        /// A finite `f64` or `null` (for the optional-float fields the
+        /// serializer writes as `null` when non-finite or absent).
+        pub fn as_opt_f64(&self, name: &str) -> Result<Option<f64>, String> {
+            match self {
+                JsonValue::Null => Ok(None),
+                JsonValue::Number(x) if x.is_finite() => Ok(Some(*x)),
+                _ => Err(format!("`{name}` must be a number or null")),
+            }
+        }
+
+        /// An array of finite `f64`s.
+        pub fn as_f64_array(&self, name: &str) -> Result<Vec<f64>, String> {
+            self.as_array()
+                .ok_or_else(|| format!("`{name}` must be an array"))?
+                .iter()
+                .map(|v| {
+                    v.as_f64()
+                        .ok_or_else(|| format!("`{name}` entries must be finite numbers"))
+                })
+                .collect()
+        }
+    }
+
+    /// Looks a key up in an object's pairs (linear — objects here are small).
+    pub fn get<'a>(pairs: &'a [(String, JsonValue)], key: &str) -> Option<&'a JsonValue> {
+        pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Parses one JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message with the byte offset of the first syntax error.
+    pub fn parse(input: &str) -> Result<JsonValue, String> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing input at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn expect(&mut self, byte: u8) -> Result<(), String> {
+            if self.peek() == Some(byte) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!("expected `{}` at byte {}", byte as char, self.pos))
+            }
+        }
+
+        fn value(&mut self) -> Result<JsonValue, String> {
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => Ok(JsonValue::String(self.string()?)),
+                Some(b't') => self.literal("true", JsonValue::Bool(true)),
+                Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+                Some(b'n') => self.literal("null", JsonValue::Null),
+                Some(b'-' | b'0'..=b'9') => self.number(),
+                _ => Err(format!("unexpected input at byte {}", self.pos)),
+            }
+        }
+
+        fn literal(&mut self, text: &str, value: JsonValue) -> Result<JsonValue, String> {
+            if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+                self.pos += text.len();
+                Ok(value)
+            } else {
+                Err(format!("expected `{text}` at byte {}", self.pos))
+            }
+        }
+
+        fn number(&mut self) -> Result<JsonValue, String> {
+            let start = self.pos;
+            while let Some(b) = self.peek() {
+                if matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            let text =
+                std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+            text.parse::<f64>()
+                .map(JsonValue::Number)
+                .map_err(|_| format!("malformed number at byte {start}"))
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        match self.peek() {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b'b') => out.push('\u{0008}'),
+                            Some(b'f') => out.push('\u{000C}'),
+                            Some(b'u') => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos + 1..self.pos + 5)
+                                    .and_then(|h| std::str::from_utf8(h).ok())
+                                    .ok_or("truncated \\u escape")?;
+                                let code = u32::from_str_radix(hex, 16)
+                                    .map_err(|_| "malformed \\u escape".to_string())?;
+                                out.push(
+                                    char::from_u32(code)
+                                        .ok_or("\\u escape is not a scalar value")?,
+                                );
+                                self.pos += 4;
+                            }
+                            _ => return Err(format!("bad escape at byte {}", self.pos)),
+                        }
+                        self.pos += 1;
+                    }
+                    Some(b) if b < 0x80 => {
+                        out.push(b as char);
+                        self.pos += 1;
+                    }
+                    Some(_) => {
+                        // Multi-byte UTF-8: copy the full scalar.
+                        let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                            .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                        let c = rest.chars().next().expect("non-empty");
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn object(&mut self) -> Result<JsonValue, String> {
+            self.expect(b'{')?;
+            let mut pairs = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(JsonValue::Object(pairs));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                let value = self.value()?;
+                pairs.push((key, value));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(JsonValue::Object(pairs));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<JsonValue, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(JsonValue::Array(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json::{parse, JsonValue};
+    use super::*;
+
+    #[test]
+    fn parser_handles_the_serializer_grammar() {
+        let v = parse(r#"{"a":[1,2.5,-3e-2],"b":null,"c":true,"d":"x\"y"}"#).unwrap();
+        let obj = v.as_object().unwrap();
+        let a = json::get(obj, "a").unwrap().as_f64_array("a").unwrap();
+        assert_eq!(a, vec![1.0, 2.5, -3e-2]);
+        assert_eq!(json::get(obj, "b"), Some(&JsonValue::Null));
+        assert_eq!(json::get(obj, "c").unwrap().as_bool(), Some(true));
+        assert_eq!(json::get(obj, "d").unwrap().as_str(), Some("x\"y"));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("1 2").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn float_round_trip_is_bitwise() {
+        // Rust's f64 Display is shortest-round-trip; the parser recovers the
+        // exact bits through str::parse::<f64>.
+        for &x in &[
+            0.1,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            1.797_693_134_862_315_7e308,
+            -2.2250738585072014e-308,
+            123_456_789.123_456_78,
+        ] {
+            let json = serde_json::to_string(&x).unwrap();
+            let back = parse(&json).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} via {json}");
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! JSON-lines event stream.
+//!
+//! When a sink is attached via
+//! [`Server::start_with_events`](crate::Server::start_with_events), every
+//! job transition is written as one compact JSON object per line:
+//!
+//! ```json
+//! {"event":"submitted","job":7,"tenant":"t2","priority":3}
+//! {"event":"started","job":7,"tenant":"t2","attempt":1,"resumed":false}
+//! {"event":"requeued","job":7,"tenant":"t2","stop":"budget-exhausted","checkpoint_iteration":24}
+//! {"event":"completed","job":7,"tenant":"t2","stop":"converged","iterations":61}
+//! ```
+//!
+//! Lines are written under their own lock, never while the scheduler lock
+//! is held, so a slow sink back-pressures the event stream but not the
+//! queue.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use serde::Serializer;
+
+/// One field value in an event line.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Field<'a> {
+    /// Unsigned integer.
+    U(u64),
+    /// Signed integer.
+    I(i64),
+    /// String.
+    S(&'a str),
+    /// Boolean.
+    B(bool),
+}
+
+/// Renders one event as a compact JSON line (without the trailing newline).
+pub(crate) fn line(event: &str, fields: &[(&str, Field<'_>)]) -> String {
+    let mut ser = Serializer::new();
+    ser.begin_object();
+    ser.key("event");
+    ser.string(event);
+    for (key, value) in fields {
+        ser.key(key);
+        match value {
+            Field::U(v) => ser.unsigned(*v),
+            Field::I(v) => ser.signed(*v),
+            Field::S(v) => ser.string(v),
+            Field::B(v) => ser.boolean(*v),
+        }
+    }
+    ser.end_object();
+    ser.into_string()
+}
+
+/// A clonable in-memory event sink for tests and examples: every clone
+/// appends to the same buffer.
+///
+/// Implements [`std::io::Write`], so it can be boxed straight into
+/// [`Server::start_with_events`](crate::Server::start_with_events).
+#[derive(Debug, Clone, Default)]
+pub struct SharedBuffer {
+    buf: Arc<Mutex<Vec<u8>>>,
+}
+
+impl SharedBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        SharedBuffer::default()
+    }
+
+    /// The buffered bytes as UTF-8 text.
+    pub fn contents(&self) -> String {
+        String::from_utf8_lossy(&self.buf.lock().expect("event buffer poisoned")).into_owned()
+    }
+
+    /// Number of complete lines written so far.
+    pub fn num_lines(&self) -> usize {
+        self.buf
+            .lock()
+            .expect("event buffer poisoned")
+            .iter()
+            .filter(|&&b| b == b'\n')
+            .count()
+    }
+}
+
+impl Write for SharedBuffer {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.buf
+            .lock()
+            .expect("event buffer poisoned")
+            .extend_from_slice(data);
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_are_valid_compact_json() {
+        let text = line(
+            "started",
+            &[
+                ("job", Field::U(7)),
+                ("tenant", Field::S("t\"2")),
+                ("priority", Field::I(-3)),
+                ("resumed", Field::B(false)),
+            ],
+        );
+        assert_eq!(
+            text,
+            "{\"event\":\"started\",\"job\":7,\"tenant\":\"t\\\"2\",\"priority\":-3,\"resumed\":false}"
+        );
+    }
+
+    #[test]
+    fn shared_buffer_accumulates_across_clones() {
+        let buffer = SharedBuffer::new();
+        let mut writer = buffer.clone();
+        writeln!(writer, "{}", line("submitted", &[("job", Field::U(1))])).unwrap();
+        writeln!(writer, "{}", line("completed", &[("job", Field::U(1))])).unwrap();
+        assert_eq!(buffer.num_lines(), 2);
+        assert!(buffer.contents().contains("\"event\":\"completed\""));
+    }
+}

@@ -1,0 +1,191 @@
+//! Job descriptions and outcomes.
+//!
+//! A [`JobSpec`] is everything the [`Server`](crate::Server) needs to run
+//! one sizing job: the circuit (either a generator [`CircuitSpec`] or a
+//! prepared [`ProblemInstance`]), the [`OptimizerConfig`], a scheduling
+//! priority and a tenant id for admission control, plus optional per-attempt
+//! interruption limits (iteration budget, wall-clock timeout) that turn a
+//! long run into a chain of checkpointed attempts.
+//!
+//! Every type here derives `Serialize`, so specs and outcomes can be logged
+//! as JSON next to the server's event stream.
+
+use std::fmt;
+use std::mem;
+
+use ncgws_core::{CircuitMetrics, OptimizerConfig, StopReason};
+use ncgws_netlist::{CircuitSpec, ProblemInstance};
+use serde::Serialize;
+
+/// Opaque handle to a submitted job, returned by
+/// [`Server::submit`](crate::Server::submit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub struct JobId(pub(crate) u64);
+
+impl JobId {
+    /// The numeric id (unique per server, assigned in submission order).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// The circuit a job runs on.
+// A spec is a couple hundred bytes and jobs are few relative to the
+// instances they produce; boxing it would only push Box::new onto every
+// submission site.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, Serialize)]
+pub enum JobInput {
+    /// Generate the circuit from a synthetic benchmark spec on first run
+    /// (the generated instance is cached across resume attempts).
+    Synthetic(CircuitSpec),
+    /// A prepared problem instance, submitted as-is.
+    Instance(Box<ProblemInstance>),
+}
+
+impl JobInput {
+    /// The benchmark name.
+    pub fn name(&self) -> &str {
+        match self {
+            JobInput::Synthetic(spec) => &spec.name,
+            JobInput::Instance(instance) => &instance.name,
+        }
+    }
+
+    /// Approximate heap footprint of the input description while it sits in
+    /// the queue (counted by [`Server::stats`](crate::Server::stats) as
+    /// `queue_bytes`).
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            JobInput::Synthetic(spec) => mem::size_of::<CircuitSpec>() + spec.name.len(),
+            JobInput::Instance(instance) => {
+                mem::size_of::<ProblemInstance>() + instance.memory_bytes()
+            }
+        }
+    }
+}
+
+/// Everything needed to run one optimization job on a [`Server`](crate::Server).
+#[derive(Debug, Clone, Serialize)]
+pub struct JobSpec {
+    /// The circuit to size.
+    pub input: JobInput,
+    /// The optimizer configuration for every attempt of this job.
+    pub config: OptimizerConfig,
+    /// Scheduling priority: higher runs first; ties run in submission order.
+    pub priority: i32,
+    /// Tenant id for per-tenant admission control (queue-depth and
+    /// in-flight caps).
+    pub tenant: String,
+    /// Outer-iteration budget *per attempt*. When it runs out the attempt
+    /// stops with [`StopReason::BudgetExhausted`], a checkpoint is taken and
+    /// the job is requeued to resume from it.
+    pub iteration_budget: Option<usize>,
+    /// Wall-clock limit *per attempt*, in milliseconds. Expiry stops the
+    /// attempt with [`StopReason::DeadlineExpired`] and requeues from the
+    /// latest checkpoint.
+    pub attempt_timeout_ms: Option<u64>,
+}
+
+impl JobSpec {
+    /// A job with default priority (0), the `"default"` tenant and no
+    /// per-attempt limits.
+    pub fn new(input: JobInput, config: OptimizerConfig) -> Self {
+        JobSpec {
+            input,
+            config,
+            priority: 0,
+            tenant: "default".to_string(),
+            iteration_budget: None,
+            attempt_timeout_ms: None,
+        }
+    }
+
+    /// Sets the scheduling priority (higher runs first).
+    pub fn with_priority(mut self, priority: i32) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the tenant id used for admission control.
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = tenant.into();
+        self
+    }
+
+    /// Sets the per-attempt outer-iteration budget.
+    pub fn with_iteration_budget(mut self, iterations: usize) -> Self {
+        self.iteration_budget = Some(iterations);
+        self
+    }
+
+    /// Sets the per-attempt wall-clock limit in milliseconds.
+    pub fn with_attempt_timeout_ms(mut self, millis: u64) -> Self {
+        self.attempt_timeout_ms = Some(millis);
+        self
+    }
+
+    /// Approximate heap footprint of this spec while queued.
+    pub fn memory_bytes(&self) -> usize {
+        mem::size_of::<Self>() + self.input.memory_bytes() + self.tenant.len()
+    }
+}
+
+/// Lifecycle state of a job, pollable via
+/// [`Server::job_state`](crate::Server::job_state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum JobState {
+    /// Waiting in the ready queue (first submission or requeued after an
+    /// interrupted attempt).
+    Queued,
+    /// An attempt is running on a worker right now.
+    Running,
+    /// Finished by the solver's own stopping rules (converged, stagnated or
+    /// iteration limit).
+    Completed,
+    /// Cancelled by [`Server::cancel`](crate::Server::cancel).
+    Cancelled,
+    /// Gave up: the attempt cap was exhausted or an attempt returned a
+    /// non-recoverable error.
+    Failed,
+}
+
+impl JobState {
+    /// `true` once the job can no longer change state.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Completed | JobState::Cancelled | JobState::Failed
+        )
+    }
+}
+
+/// Final result of a job, available from
+/// [`Server::outcome`](crate::Server::outcome) once the state is terminal.
+#[derive(Debug, Clone, Serialize)]
+pub struct JobOutcome {
+    /// Why the final attempt stopped.
+    pub stop_reason: StopReason,
+    /// Outer iterations actually executed, summed across every attempt
+    /// (resumed attempts only count the work they did, so this is the total
+    /// compute spent on the job).
+    pub iterations: usize,
+    /// Number of attempts started (1 for an uninterrupted job).
+    pub attempts: usize,
+    /// How many attempts resumed from a checkpoint instead of starting cold.
+    pub resumed_attempts: usize,
+    /// Whether the final attempt ended with a feasible sizing in hand.
+    pub feasible: bool,
+    /// Final circuit metrics (`None` when the job never finished an
+    /// attempt — cancelled while queued, or failed before sizing).
+    pub final_metrics: Option<CircuitMetrics>,
+    /// Error text for [`JobState::Failed`] outcomes caused by an error
+    /// rather than the attempt cap.
+    pub error: Option<String>,
+}

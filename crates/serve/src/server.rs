@@ -1,0 +1,921 @@
+//! The persistent optimization server.
+//!
+//! A [`Server`] owns a pool of worker threads draining a priority job
+//! queue. Each attempt runs the full two-stage flow under a
+//! [`RunControl`] wired with the job's per-attempt limits and a
+//! [`SnapshotStore`] checkpoint sink; interrupted attempts are requeued and
+//! resume from their latest [`Snapshot`] instead of restarting cold.
+//!
+//! Scheduling is strict priority with FIFO tie-breaking (a `BTreeSet`
+//! ordered by descending priority, then submission sequence), subject to
+//! per-tenant admission control: a tenant's queued jobs are capped at
+//! submission time and its in-flight attempts are capped at dispatch time,
+//! so one noisy tenant can neither flood the queue nor monopolize the
+//! workers.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ncgws_core::flow::Flow;
+use ncgws_core::{
+    CancelFlag, CheckpointPolicy, CoreError, RunControl, SizedOutcome, Snapshot, SnapshotStore,
+    StopReason,
+};
+use ncgws_netlist::{ProblemInstance, SyntheticGenerator};
+
+use crate::events::{line, Field};
+use crate::job::{JobId, JobInput, JobOutcome, JobSpec, JobState};
+use crate::stats::{Counters, ServerStats};
+
+/// Server-wide policy knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads draining the queue (at least 1).
+    pub workers: usize,
+    /// Per-tenant cap on concurrently running attempts.
+    pub max_in_flight_per_tenant: usize,
+    /// Per-tenant cap on jobs waiting in the queue; submissions beyond it
+    /// are rejected with [`SubmitError::QueueFull`]. Requeues of
+    /// interrupted attempts are always admitted.
+    pub max_queued_per_tenant: usize,
+    /// Periodic checkpoint cadence applied to every attempt (`None` keeps
+    /// only on-interrupt checkpoints).
+    pub checkpoint_every: Option<usize>,
+    /// Attempt cap per job: an interrupted job that has already started
+    /// this many attempts fails instead of requeueing.
+    pub max_attempts: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 2,
+            max_in_flight_per_tenant: usize::MAX,
+            max_queued_per_tenant: usize::MAX,
+            checkpoint_every: None,
+            max_attempts: 64,
+        }
+    }
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The server is draining and accepts no new work.
+    Draining,
+    /// The tenant's queued-job cap is reached.
+    QueueFull {
+        /// The tenant whose queue is full.
+        tenant: String,
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Draining => write!(f, "server is draining"),
+            SubmitError::QueueFull { tenant } => {
+                write!(f, "queue for tenant {tenant} is full")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Ready-queue key: smaller sorts first, so negated priority puts the
+/// highest priority at `first()`, then FIFO by submission sequence.
+type QueueKey = (i64, u64, u64);
+
+fn queue_key(priority: i32, seq: u64, id: u64) -> QueueKey {
+    (-i64::from(priority), seq, id)
+}
+
+#[derive(Debug, Default)]
+struct TenantState {
+    queued: usize,
+    in_flight: usize,
+}
+
+#[derive(Debug)]
+struct JobEntry {
+    spec: JobSpec,
+    seq: u64,
+    state: JobState,
+    attempts: usize,
+    resumed_attempts: usize,
+    iterations: usize,
+    snapshot: Option<Snapshot>,
+    cancel: Option<CancelFlag>,
+    cancel_requested: bool,
+    outcome: Option<JobOutcome>,
+    instance: Option<Arc<ProblemInstance>>,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    jobs: BTreeMap<u64, JobEntry>,
+    ready: BTreeSet<QueueKey>,
+    tenants: BTreeMap<String, TenantState>,
+    draining: bool,
+    in_flight: usize,
+    next_seq: u64,
+}
+
+impl State {
+    /// First admissible ready job: highest priority, oldest, whose tenant
+    /// is under its in-flight cap.
+    fn pick(&self, max_in_flight_per_tenant: usize) -> Option<QueueKey> {
+        self.ready.iter().copied().find(|&(_, _, id)| {
+            let entry = &self.jobs[&id];
+            self.tenants
+                .get(&entry.spec.tenant)
+                .is_none_or(|t| t.in_flight < max_in_flight_per_tenant)
+        })
+    }
+
+    fn all_done(&self) -> bool {
+        self.ready.is_empty() && self.in_flight == 0
+    }
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers wait here for admissible work (or the drain signal).
+    work_ready: Condvar,
+    /// Clients wait here for job transitions (`wait`, `drain`).
+    progress: Condvar,
+    counters: Counters,
+    config: ServerConfig,
+    events: Option<Mutex<Box<dyn Write + Send>>>,
+}
+
+impl Shared {
+    fn emit(&self, text: String) {
+        if let Some(sink) = &self.events {
+            let mut sink = sink.lock().expect("event sink poisoned");
+            let _ = writeln!(sink, "{text}");
+        }
+    }
+}
+
+/// A persistent optimization server: worker pool, priority queue,
+/// checkpoint/resume.
+///
+/// See the [crate docs](crate) for an end-to-end example. Call
+/// [`drain`](Server::drain) to finish outstanding work and join the
+/// workers; a dropped server stops accepting work and lets its (detached)
+/// workers finish the remaining queue in the background.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    next_id: AtomicU64,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("workers", &self.workers.len())
+            .field("config", &self.shared.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Starts the worker pool with no event sink.
+    pub fn start(config: ServerConfig) -> Server {
+        Server::start_with_events(config, None)
+    }
+
+    /// Starts the worker pool, writing one JSON event line per job
+    /// transition to `sink` (see [`events`](crate::events)).
+    pub fn start_with_events(config: ServerConfig, sink: Option<Box<dyn Write + Send>>) -> Server {
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State::default()),
+            work_ready: Condvar::new(),
+            progress: Condvar::new(),
+            counters: Counters::default(),
+            config,
+            events: sink.map(Mutex::new),
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Server {
+            shared,
+            workers: handles,
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Submits a job to run cold.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Draining`] after [`drain`](Server::drain) has begun;
+    /// [`SubmitError::QueueFull`] when the tenant's queued-job cap is hit.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobId, SubmitError> {
+        self.enqueue(spec, None)
+    }
+
+    /// Submits a job that starts by resuming from `snapshot` instead of
+    /// running cold (e.g. a snapshot taken by a previous server via
+    /// [`snapshot_of`](Server::snapshot_of)).
+    ///
+    /// The snapshot is validated against the job's circuit when the attempt
+    /// starts; a mismatched snapshot fails the job with the validation
+    /// error.
+    ///
+    /// # Errors
+    ///
+    /// As [`submit`](Server::submit).
+    pub fn submit_resume(&self, spec: JobSpec, snapshot: Snapshot) -> Result<JobId, SubmitError> {
+        self.enqueue(spec, Some(snapshot))
+    }
+
+    fn enqueue(&self, spec: JobSpec, snapshot: Option<Snapshot>) -> Result<JobId, SubmitError> {
+        let (id, event) = {
+            let mut guard = self.shared.state.lock().expect("server state poisoned");
+            let st = &mut *guard;
+            if st.draining {
+                Counters::add(&self.shared.counters.rejected, 1);
+                return Err(SubmitError::Draining);
+            }
+            let tenant = st.tenants.entry(spec.tenant.clone()).or_default();
+            if tenant.queued >= self.shared.config.max_queued_per_tenant {
+                Counters::add(&self.shared.counters.rejected, 1);
+                return Err(SubmitError::QueueFull {
+                    tenant: spec.tenant,
+                });
+            }
+            tenant.queued += 1;
+            let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+            let seq = st.next_seq;
+            st.next_seq += 1;
+            st.ready.insert(queue_key(spec.priority, seq, id));
+            let event = line(
+                "submitted",
+                &[
+                    ("job", Field::U(id)),
+                    ("tenant", Field::S(&spec.tenant)),
+                    ("priority", Field::I(i64::from(spec.priority))),
+                    ("resumed", Field::B(snapshot.is_some())),
+                ],
+            );
+            st.jobs.insert(
+                id,
+                JobEntry {
+                    spec,
+                    seq,
+                    state: JobState::Queued,
+                    attempts: 0,
+                    resumed_attempts: 0,
+                    iterations: 0,
+                    snapshot,
+                    cancel: None,
+                    cancel_requested: false,
+                    outcome: None,
+                    instance: None,
+                },
+            );
+            Counters::add(&self.shared.counters.submitted, 1);
+            (id, event)
+        };
+        self.shared.work_ready.notify_one();
+        self.shared.emit(event);
+        Ok(JobId(id))
+    }
+
+    /// Requests cancellation. A queued job is removed immediately; a
+    /// running job's attempt is stopped cooperatively and the job finishes
+    /// as [`JobState::Cancelled`] (unless the attempt completes before the
+    /// flag is seen, in which case the finished result stands). Returns
+    /// `false` for unknown or already terminal jobs.
+    pub fn cancel(&self, id: JobId) -> bool {
+        let event = {
+            let mut guard = self.shared.state.lock().expect("server state poisoned");
+            let st = &mut *guard;
+            let Some(entry) = st.jobs.get_mut(&id.0) else {
+                return false;
+            };
+            match entry.state {
+                JobState::Queued => {
+                    entry.state = JobState::Cancelled;
+                    entry.outcome = Some(JobOutcome {
+                        stop_reason: StopReason::Cancelled,
+                        iterations: entry.iterations,
+                        attempts: entry.attempts,
+                        resumed_attempts: entry.resumed_attempts,
+                        feasible: false,
+                        final_metrics: None,
+                        error: None,
+                    });
+                    let key = queue_key(entry.spec.priority, entry.seq, id.0);
+                    st.ready.remove(&key);
+                    let tenant = &entry.spec.tenant;
+                    if let Some(t) = st.tenants.get_mut(tenant) {
+                        t.queued -= 1;
+                    }
+                    Counters::add(&self.shared.counters.cancelled, 1);
+                    line(
+                        "cancelled",
+                        &[
+                            ("job", Field::U(id.0)),
+                            ("tenant", Field::S(tenant)),
+                            ("while", Field::S("queued")),
+                        ],
+                    )
+                }
+                JobState::Running => {
+                    entry.cancel_requested = true;
+                    if let Some(flag) = &entry.cancel {
+                        flag.cancel();
+                    }
+                    return true;
+                }
+                _ => return false,
+            }
+        };
+        self.shared.progress.notify_all();
+        self.shared.emit(event);
+        true
+    }
+
+    /// The job's current lifecycle state, `None` for unknown ids.
+    pub fn job_state(&self, id: JobId) -> Option<JobState> {
+        let st = self.shared.state.lock().expect("server state poisoned");
+        st.jobs.get(&id.0).map(|e| e.state)
+    }
+
+    /// The job's final outcome once terminal, `None` before that.
+    pub fn outcome(&self, id: JobId) -> Option<JobOutcome> {
+        let st = self.shared.state.lock().expect("server state poisoned");
+        st.jobs.get(&id.0).and_then(|e| e.outcome.clone())
+    }
+
+    /// The job's latest retained checkpoint, usable with
+    /// [`submit_resume`](Server::submit_resume) — on this server or a new
+    /// one.
+    pub fn snapshot_of(&self, id: JobId) -> Option<Snapshot> {
+        let st = self.shared.state.lock().expect("server state poisoned");
+        st.jobs.get(&id.0).and_then(|e| e.snapshot.clone())
+    }
+
+    /// Blocks until the job is terminal and returns its outcome (`None`
+    /// for unknown ids).
+    pub fn wait(&self, id: JobId) -> Option<JobOutcome> {
+        let mut st = self.shared.state.lock().expect("server state poisoned");
+        loop {
+            match st.jobs.get(&id.0) {
+                None => return None,
+                Some(entry) if entry.state.is_terminal() => return entry.outcome.clone(),
+                Some(_) => {
+                    st = self
+                        .shared
+                        .progress
+                        .wait(st)
+                        .expect("server state poisoned");
+                }
+            }
+        }
+    }
+
+    /// A point-in-time statistics snapshot (counters plus queue gauges and
+    /// memory accounting).
+    pub fn stats(&self) -> ServerStats {
+        let st = self.shared.state.lock().expect("server state poisoned");
+        let mut stats = self.shared.counters.snapshot();
+        stats.queue_depth = st.ready.len();
+        stats.in_flight = st.in_flight;
+        stats.queue_bytes = st.ready.len() * std::mem::size_of::<QueueKey>()
+            + st.jobs
+                .values()
+                .filter(|e| !e.state.is_terminal())
+                .map(|e| e.spec.memory_bytes())
+                .sum::<usize>();
+        stats.snapshot_bytes = st
+            .jobs
+            .values()
+            .filter_map(|e| e.snapshot.as_ref())
+            .map(Snapshot::memory_bytes)
+            .sum();
+        stats
+    }
+
+    /// Approximate bytes held by the server's queues and retained
+    /// snapshots (the serving-side extension of the engine's
+    /// [`MemoryBreakdown`](ncgws_core::MemoryBreakdown) accounting).
+    pub fn memory_bytes(&self) -> usize {
+        let stats = self.stats();
+        stats.queue_bytes + stats.snapshot_bytes
+    }
+
+    /// Stops accepting submissions, finishes every queued and in-flight
+    /// job (including requeued resumes), joins the workers and returns the
+    /// final statistics.
+    pub fn drain(mut self) -> ServerStats {
+        self.shared
+            .state
+            .lock()
+            .expect("server state poisoned")
+            .draining = true;
+        self.shared.work_ready.notify_all();
+        {
+            let mut st = self.shared.state.lock().expect("server state poisoned");
+            while !st.all_done() {
+                st = self
+                    .shared
+                    .progress
+                    .wait(st)
+                    .expect("server state poisoned");
+            }
+        }
+        self.shared.work_ready.notify_all();
+        for handle in self.workers.drain(..) {
+            handle.join().expect("worker thread panicked");
+        }
+        let stats = self.stats();
+        self.shared.emit(line(
+            "drained",
+            &[
+                ("completed", Field::U(stats.completed as u64)),
+                ("cancelled", Field::U(stats.cancelled as u64)),
+                ("failed", Field::U(stats.failed as u64)),
+            ],
+        ));
+        stats
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shared
+            .state
+            .lock()
+            .expect("server state poisoned")
+            .draining = true;
+        self.shared.work_ready.notify_all();
+    }
+}
+
+/// One dispatched attempt, handed from the scheduler lock to the solver.
+struct Attempt {
+    id: u64,
+    spec: JobSpec,
+    snapshot: Option<Snapshot>,
+    instance: Option<Arc<ProblemInstance>>,
+    attempt: usize,
+    flag: CancelFlag,
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let Some(attempt) = next_attempt(shared) else {
+            return;
+        };
+        shared.emit(line(
+            "started",
+            &[
+                ("job", Field::U(attempt.id)),
+                ("tenant", Field::S(&attempt.spec.tenant)),
+                ("attempt", Field::U(attempt.attempt as u64)),
+                ("resumed", Field::B(attempt.snapshot.is_some())),
+            ],
+        ));
+        run_and_settle(shared, attempt);
+    }
+}
+
+/// Blocks until an admissible job can be claimed; `None` when the server
+/// has drained completely.
+fn next_attempt(shared: &Shared) -> Option<Attempt> {
+    let mut guard = shared.state.lock().expect("server state poisoned");
+    let key = loop {
+        if let Some(key) = guard.pick(shared.config.max_in_flight_per_tenant) {
+            break key;
+        }
+        if guard.draining && guard.all_done() {
+            return None;
+        }
+        guard = shared
+            .work_ready
+            .wait(guard)
+            .expect("server state poisoned");
+    };
+    let st = &mut *guard;
+    st.ready.remove(&key);
+    let id = key.2;
+    let flag = CancelFlag::new();
+    let entry = st.jobs.get_mut(&id).expect("ready key without job");
+    entry.state = JobState::Running;
+    entry.attempts += 1;
+    entry.cancel = Some(flag.clone());
+    if entry.snapshot.is_some() {
+        entry.resumed_attempts += 1;
+        Counters::add(&shared.counters.resumed, 1);
+    }
+    let attempt = Attempt {
+        id,
+        spec: entry.spec.clone(),
+        snapshot: entry.snapshot.clone(),
+        instance: entry.instance.clone(),
+        attempt: entry.attempts,
+        flag,
+    };
+    let tenant = st
+        .tenants
+        .get_mut(&attempt.spec.tenant)
+        .expect("job without tenant record");
+    tenant.queued -= 1;
+    tenant.in_flight += 1;
+    st.in_flight += 1;
+    Some(attempt)
+}
+
+/// Runs one attempt outside the scheduler lock, then re-locks to classify
+/// the result: completion, cancellation, requeue-for-resume, or failure.
+fn run_and_settle(shared: &Shared, attempt: Attempt) {
+    let instance = match &attempt.instance {
+        Some(cached) => Ok(Arc::clone(cached)),
+        None => match &attempt.spec.input {
+            JobInput::Synthetic(spec) => SyntheticGenerator::new(spec.clone())
+                .generate()
+                .map(Arc::new)
+                .map_err(|e| e.to_string()),
+            JobInput::Instance(instance) => Ok(Arc::new((**instance).clone())),
+        },
+    };
+    let (result, checkpoint) = match &instance {
+        Ok(instance) => {
+            let store = SnapshotStore::new();
+            let result = run_attempt(shared, &attempt, instance, &store);
+            Counters::add(&shared.counters.checkpoints, store.count());
+            (result.map_err(|e| e.to_string()), store.take())
+        }
+        Err(e) => (Err(e.clone()), None),
+    };
+
+    let mut guard = shared.state.lock().expect("server state poisoned");
+    let st = &mut *guard;
+    let entry = st.jobs.get_mut(&attempt.id).expect("running job vanished");
+    entry.cancel = None;
+    if entry.instance.is_none() {
+        if let Ok(instance) = &instance {
+            entry.instance = Some(Arc::clone(instance));
+        }
+    }
+    if let Some(snapshot) = checkpoint {
+        entry.snapshot = Some(snapshot);
+    }
+    let event = match result {
+        Ok(sized) => {
+            entry.iterations += sized.report.iterations;
+            let reason = sized.stop_reason();
+            if !reason.is_interrupted() {
+                settle(entry, JobState::Completed, reason, Some(&sized), None);
+                Counters::add(&shared.counters.completed, 1);
+                line(
+                    "completed",
+                    &[
+                        ("job", Field::U(attempt.id)),
+                        ("tenant", Field::S(&attempt.spec.tenant)),
+                        ("stop", Field::S(&reason.to_string())),
+                        ("iterations", Field::U(entry.iterations as u64)),
+                        ("attempts", Field::U(entry.attempts as u64)),
+                    ],
+                )
+            } else if entry.cancel_requested {
+                settle(
+                    entry,
+                    JobState::Cancelled,
+                    StopReason::Cancelled,
+                    Some(&sized),
+                    None,
+                );
+                Counters::add(&shared.counters.cancelled, 1);
+                line(
+                    "cancelled",
+                    &[
+                        ("job", Field::U(attempt.id)),
+                        ("tenant", Field::S(&attempt.spec.tenant)),
+                        ("while", Field::S("running")),
+                    ],
+                )
+            } else if entry.attempts >= shared.config.max_attempts {
+                settle(
+                    entry,
+                    JobState::Failed,
+                    reason,
+                    Some(&sized),
+                    Some("attempt cap exhausted".to_string()),
+                );
+                Counters::add(&shared.counters.failed, 1);
+                line(
+                    "failed",
+                    &[
+                        ("job", Field::U(attempt.id)),
+                        ("tenant", Field::S(&attempt.spec.tenant)),
+                        ("error", Field::S("attempt cap exhausted")),
+                    ],
+                )
+            } else {
+                // Interrupted mid-run (budget or deadline): back on the
+                // queue to resume from the checkpoint captured above.
+                entry.state = JobState::Queued;
+                let key = queue_key(entry.spec.priority, entry.seq, attempt.id);
+                let resume_from = entry.snapshot.as_ref().map_or(0, |s| s.iterations_done);
+                st.ready.insert(key);
+                st.tenants
+                    .get_mut(&attempt.spec.tenant)
+                    .expect("job without tenant record")
+                    .queued += 1;
+                Counters::add(&shared.counters.requeued, 1);
+                line(
+                    "requeued",
+                    &[
+                        ("job", Field::U(attempt.id)),
+                        ("tenant", Field::S(&attempt.spec.tenant)),
+                        ("stop", Field::S(&reason.to_string())),
+                        ("checkpoint_iteration", Field::U(resume_from as u64)),
+                    ],
+                )
+            }
+        }
+        Err(error) => {
+            let cancelled = entry.cancel_requested;
+            let (state, reason) = if cancelled {
+                Counters::add(&shared.counters.cancelled, 1);
+                (JobState::Cancelled, StopReason::Cancelled)
+            } else {
+                Counters::add(&shared.counters.failed, 1);
+                (JobState::Failed, StopReason::IterationLimit)
+            };
+            settle(entry, state, reason, None, Some(error.clone()));
+            line(
+                "failed",
+                &[
+                    ("job", Field::U(attempt.id)),
+                    ("tenant", Field::S(&attempt.spec.tenant)),
+                    ("error", Field::S(&error)),
+                ],
+            )
+        }
+    };
+    let tenant = st
+        .tenants
+        .get_mut(&attempt.spec.tenant)
+        .expect("job without tenant record");
+    tenant.in_flight -= 1;
+    st.in_flight -= 1;
+    drop(guard);
+    shared.work_ready.notify_all();
+    shared.progress.notify_all();
+    shared.emit(event);
+}
+
+/// Records a terminal state and outcome on the entry.
+fn settle(
+    entry: &mut JobEntry,
+    state: JobState,
+    stop_reason: StopReason,
+    sized: Option<&SizedOutcome>,
+    error: Option<String>,
+) {
+    entry.state = state;
+    entry.outcome = Some(JobOutcome {
+        stop_reason,
+        iterations: entry.iterations,
+        attempts: entry.attempts,
+        resumed_attempts: entry.resumed_attempts,
+        feasible: sized.is_some_and(|s| s.report.feasible),
+        final_metrics: sized.map(|s| s.report.final_metrics),
+        error,
+    });
+}
+
+/// Runs one attempt of the two-stage flow: cold, or resumed from the job's
+/// latest checkpoint.
+fn run_attempt(
+    shared: &Shared,
+    attempt: &Attempt,
+    instance: &ProblemInstance,
+    store: &SnapshotStore,
+) -> Result<SizedOutcome, CoreError> {
+    let mut policy = CheckpointPolicy::new().on_interrupt(true);
+    if let Some(every) = shared.config.checkpoint_every {
+        policy = policy.every(every);
+    }
+    let mut control = RunControl::new()
+        .with_observer(&shared.counters)
+        .with_cancel_flag(attempt.flag.clone())
+        .with_checkpoints(store, policy);
+    if let Some(budget) = attempt.spec.iteration_budget {
+        control = control.with_iteration_budget(budget);
+    }
+    if let Some(millis) = attempt.spec.attempt_timeout_ms {
+        control = control.with_timeout(Duration::from_millis(millis));
+    }
+    let ordered = Flow::prepare(instance, attempt.spec.config.clone())?.order()?;
+    match &attempt.snapshot {
+        Some(snapshot) => ordered.size_resume(snapshot, &control),
+        None => ordered.size_with(&control),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncgws_core::OptimizerConfig;
+    use ncgws_netlist::CircuitSpec;
+
+    fn quick_config() -> OptimizerConfig {
+        OptimizerConfig {
+            max_iterations: 30,
+            max_lrs_sweeps: 20,
+            ..OptimizerConfig::default()
+        }
+    }
+
+    fn job(seed: u64) -> JobSpec {
+        let spec = CircuitSpec::new("serve-test", 20, 45)
+            .with_seed(seed)
+            .with_num_patterns(16);
+        JobSpec::new(JobInput::Synthetic(spec), quick_config())
+    }
+
+    #[test]
+    fn budget_kills_requeue_and_resume_to_completion() {
+        let server = Server::start(ServerConfig {
+            workers: 1,
+            checkpoint_every: Some(2),
+            ..ServerConfig::default()
+        });
+        let id = server.submit(job(9).with_iteration_budget(3)).unwrap();
+        let outcome = server.wait(id).unwrap();
+        assert!(!outcome.stop_reason.is_interrupted());
+        assert!(outcome.attempts > 1, "a 3-iteration budget must interrupt");
+        assert_eq!(outcome.resumed_attempts, outcome.attempts - 1);
+        assert!(outcome.final_metrics.is_some());
+
+        // Same job served uninterrupted: the metrics must agree to 1e-6.
+        let cold_id = server.submit(job(9)).unwrap();
+        let cold = server.wait(cold_id).unwrap();
+        let resumed = outcome.final_metrics.unwrap();
+        let coldm = cold.final_metrics.unwrap();
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-6 * a.abs().max(b.abs()).max(1.0);
+        assert!(close(resumed.area_um2, coldm.area_um2));
+        assert!(close(resumed.delay_ps, coldm.delay_ps));
+        assert!(close(resumed.noise_pf, coldm.noise_pf));
+        // Resumed attempts redo no finished iterations: total work matches
+        // the cold run's iteration count exactly.
+        assert_eq!(outcome.iterations, cold.iterations);
+
+        let stats = server.drain();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.requeued, outcome.attempts - 1);
+        assert_eq!(stats.resumed, outcome.resumed_attempts);
+        assert!(stats.checkpoints > 0);
+        assert_eq!(stats.queue_depth, 0);
+        assert_eq!(stats.in_flight, 0);
+    }
+
+    #[test]
+    fn attempt_cap_fails_the_job_instead_of_looping() {
+        let server = Server::start(ServerConfig {
+            workers: 1,
+            max_attempts: 2,
+            ..ServerConfig::default()
+        });
+        let id = server.submit(job(5).with_iteration_budget(1)).unwrap();
+        let outcome = server.wait(id).unwrap();
+        assert_eq!(server.job_state(id), Some(JobState::Failed));
+        assert_eq!(outcome.attempts, 2);
+        assert_eq!(outcome.resumed_attempts, 1);
+        assert_eq!(outcome.error.as_deref(), Some("attempt cap exhausted"));
+        // The job still retains its last checkpoint for a manual resubmit.
+        let snapshot = server.snapshot_of(id).expect("failed job keeps snapshot");
+        assert_eq!(snapshot.iterations_done, 2);
+        let stats = server.drain();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.completed, 0);
+    }
+
+    #[test]
+    fn snapshot_resubmit_continues_on_a_fresh_server() {
+        let first = Server::start(ServerConfig {
+            workers: 1,
+            max_attempts: 1,
+            ..ServerConfig::default()
+        });
+        let id = first.submit(job(9).with_iteration_budget(5)).unwrap();
+        let outcome = first.wait(id).unwrap();
+        assert_eq!(outcome.attempts, 1);
+        let snapshot = first.snapshot_of(id).unwrap();
+        assert_eq!(snapshot.iterations_done, 5);
+        first.drain();
+
+        let second = Server::start(ServerConfig::default());
+        let resumed_id = second.submit_resume(job(9), snapshot).unwrap();
+        let resumed = second.wait(resumed_id).unwrap();
+        assert!(!resumed.stop_reason.is_interrupted());
+        assert_eq!(resumed.resumed_attempts, 1);
+
+        let cold_id = second.submit(job(9)).unwrap();
+        let cold = second.wait(cold_id).unwrap();
+        assert_eq!(resumed.iterations + 5, cold.iterations);
+        second.drain();
+    }
+
+    #[test]
+    fn zero_queue_cap_rejects_submissions() {
+        let server = Server::start(ServerConfig {
+            workers: 1,
+            max_queued_per_tenant: 0,
+            ..ServerConfig::default()
+        });
+        let err = server.submit(job(1)).unwrap_err();
+        assert_eq!(
+            err,
+            SubmitError::QueueFull {
+                tenant: "default".to_string()
+            }
+        );
+        let stats = server.drain();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.submitted, 0);
+    }
+
+    #[test]
+    fn events_and_memory_accounting_cover_the_queue() {
+        let buffer = crate::events::SharedBuffer::new();
+        let server = Server::start_with_events(
+            ServerConfig {
+                workers: 1,
+                checkpoint_every: Some(3),
+                ..ServerConfig::default()
+            },
+            Some(Box::new(buffer.clone())),
+        );
+        let id = server.submit(job(9).with_iteration_budget(3)).unwrap();
+        server.wait(id).unwrap();
+        // The finished job retains its final checkpoint: the server's
+        // memory accounting must see it.
+        let snapshot = server.snapshot_of(id).unwrap();
+        let stats = server.stats();
+        assert!(stats.snapshot_bytes >= snapshot.memory_bytes());
+        assert_eq!(
+            server.memory_bytes(),
+            stats.queue_bytes + stats.snapshot_bytes
+        );
+        assert!(stats.iterations > 0, "observer-fed iteration counter");
+        let drained = server.drain();
+        assert!(drained.checkpoints > 0);
+        let text = buffer.contents();
+        for event in ["submitted", "started", "requeued", "completed", "drained"] {
+            assert!(
+                text.contains(&format!("{{\"event\":\"{event}\"")),
+                "missing {event} in event stream:\n{text}"
+            );
+        }
+        // Every line is valid JSON per the core snapshot parser.
+        for line in text.lines() {
+            ncgws_core::snapshot::json::parse(line).expect("event line must parse as JSON");
+        }
+    }
+
+    #[test]
+    fn cancel_while_queued_is_immediate_and_unknown_ids_are_rejected() {
+        let server = Server::start(ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        });
+        // A blocker keeps the single worker busy long enough for the
+        // victims to still be queued; even if it finishes early, the
+        // cancel-while-running path is equally valid, so only terminal
+        // states are asserted.
+        let blocker = server.submit(job(2).with_priority(10)).unwrap();
+        let victims: Vec<JobId> = (0..4)
+            .map(|i| server.submit(job(20 + i)).unwrap())
+            .collect();
+        for &victim in &victims {
+            server.cancel(victim);
+        }
+        assert!(!server.cancel(JobId(9999)));
+        server.wait(blocker).unwrap();
+        for &victim in &victims {
+            server.wait(victim).unwrap();
+            assert!(server.job_state(victim).unwrap().is_terminal());
+        }
+        let stats = server.drain();
+        assert_eq!(stats.completed + stats.cancelled, 5);
+    }
+}

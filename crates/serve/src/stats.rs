@@ -1,0 +1,90 @@
+//! Live server statistics.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use ncgws_core::{IterationEvent, Observer};
+use serde::Serialize;
+
+/// A point-in-time snapshot of server activity, from
+/// [`Server::stats`](crate::Server::stats).
+///
+/// Counter fields are cumulative since [`Server::start`](crate::Server::start);
+/// `queue_depth`/`in_flight` and the byte gauges reflect the moment the
+/// snapshot was taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub struct ServerStats {
+    /// Jobs accepted by `submit`/`submit_resume`.
+    pub submitted: usize,
+    /// Jobs that reached [`JobState::Completed`](crate::JobState::Completed).
+    pub completed: usize,
+    /// Jobs that reached [`JobState::Cancelled`](crate::JobState::Cancelled).
+    pub cancelled: usize,
+    /// Jobs that reached [`JobState::Failed`](crate::JobState::Failed).
+    pub failed: usize,
+    /// Interrupted attempts put back on the queue to resume later.
+    pub requeued: usize,
+    /// Attempts that started from a checkpoint instead of cold.
+    pub resumed: usize,
+    /// Submissions refused by admission control (tenant queue full or
+    /// server draining).
+    pub rejected: usize,
+    /// Jobs currently waiting in the ready queue.
+    pub queue_depth: usize,
+    /// Attempts currently running on workers.
+    pub in_flight: usize,
+    /// Outer OGWS iterations executed across all attempts so far
+    /// (observer-fed, live even while attempts are mid-run).
+    pub iterations: usize,
+    /// Checkpoints captured across all attempts (periodic and on-interrupt).
+    pub checkpoints: usize,
+    /// Approximate bytes held by queued job specs and queue bookkeeping.
+    pub queue_bytes: usize,
+    /// Approximate bytes held by retained [`Snapshot`](ncgws_core::Snapshot)s.
+    pub snapshot_bytes: usize,
+}
+
+/// Cumulative atomic counters shared by workers and the submit path.
+///
+/// Doubles as the [`Observer`] attached to every attempt's `RunControl`, so
+/// `iterations` ticks live while runs are in flight.
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    pub(crate) submitted: AtomicUsize,
+    pub(crate) completed: AtomicUsize,
+    pub(crate) cancelled: AtomicUsize,
+    pub(crate) failed: AtomicUsize,
+    pub(crate) requeued: AtomicUsize,
+    pub(crate) resumed: AtomicUsize,
+    pub(crate) rejected: AtomicUsize,
+    pub(crate) iterations: AtomicUsize,
+    pub(crate) checkpoints: AtomicUsize,
+}
+
+impl Counters {
+    /// Copies the counters into a stats value; the caller fills in the
+    /// lock-guarded gauges (queue depth, in-flight, byte totals).
+    pub(crate) fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            requeued: self.requeued.load(Ordering::Relaxed),
+            resumed: self.resumed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            iterations: self.iterations.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            ..ServerStats::default()
+        }
+    }
+
+    pub(crate) fn add(counter: &AtomicUsize, n: usize) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+impl Observer for Counters {
+    fn on_iteration(&self, _event: &IterationEvent<'_>) {
+        self.iterations.fetch_add(1, Ordering::Relaxed);
+    }
+}

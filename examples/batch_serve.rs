@@ -1,12 +1,14 @@
-//! Batch serving: many scenarios through the two-stage flow under one
-//! deadline-bearing `RunControl`.
+//! Batch serving through the persistent [`Server`]: many scenarios queued
+//! as jobs, drained by worker threads, each attempt bounded by a
+//! per-attempt wall-clock timeout and resumed from its checkpoint instead
+//! of restarting.
 //!
-//! Generates eight synthetic benchmarks of growing size, runs them all
-//! through a [`BatchRunner`] (across OS threads when built with the
-//! `parallel` feature), and prints a throughput summary: instances per
-//! second, total OGWS iterations, and each run's stop reason. The shared
-//! deadline shows the cooperative-control behavior — runs that outlive it
-//! stop cleanly and say so.
+//! This example used to drive a [`BatchRunner`](ncgws::BatchRunner) under
+//! one shared deadline; the server formulation keeps the same eight
+//! growing scenarios but turns the deadline into *per-attempt* timeouts —
+//! a run that outlives its slice is checkpointed, requeued and finishes in
+//! a later attempt, so the mix completes instead of losing the large
+//! instances.
 //!
 //! Run with:
 //!
@@ -15,94 +17,90 @@
 //! cargo run --release --features parallel --example batch_serve
 //! ```
 
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
-use ncgws::core::{BatchRunner, CoreError, OptimizerConfig, RunControl};
-use ncgws::netlist::{CircuitSpec, SyntheticGenerator};
+use ncgws::netlist::CircuitSpec;
+use ncgws::{JobInput, JobSpec, Server, ServerConfig};
 
-fn main() -> Result<(), ncgws::Error> {
-    // Eight scenarios of varying size (the kind of mix a sizing service
-    // would face), reproducible from their seeds.
-    let instances: Vec<_> = (0..8u64)
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::var("NCGWS_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let (base_gates, step, max_iterations) = if quick { (20, 8, 60) } else { (40, 25, 120) };
+
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        checkpoint_every: Some(10),
+        ..ServerConfig::default()
+    });
+
+    let config = ncgws::core::OptimizerConfig::builder()
+        .max_iterations(max_iterations)
+        .build()?;
+
+    // Eight scenarios of growing size (the kind of mix a sizing service
+    // would face), reproducible from their seeds. Larger scenarios get a
+    // lower priority, so the small ones clear the queue first.
+    let started = Instant::now();
+    let jobs: Vec<_> = (0..8u64)
         .map(|i| {
-            let gates = 40 + 25 * i as usize;
+            let gates = base_gates + step * i as usize;
             let spec = CircuitSpec::new(format!("serve-{i}"), gates, 2 * gates + 20)
                 .with_seed(1000 + i)
                 .with_num_patterns(32);
-            SyntheticGenerator::new(spec).generate()
+            let job = JobSpec::new(JobInput::Synthetic(spec), config.clone())
+                .with_tenant("batch")
+                .with_priority(-(i as i32))
+                .with_attempt_timeout_ms(2_000);
+            let id = server.submit(job).expect("queue accepts the batch");
+            (format!("serve-{i}"), 3 * gates + 20, id)
         })
-        .collect::<Result<_, _>>()?;
-
-    let config = OptimizerConfig::builder().max_iterations(120).build()?;
-    let runner = BatchRunner::new(config);
-
-    // One control for the whole batch: a wall-clock deadline that bounds
-    // end-to-end latency no matter how many scenarios are queued.
-    let deadline = Duration::from_secs(10);
-    let control = RunControl::new().with_timeout(deadline);
+        .collect();
 
     println!(
-        "serving {} instances under a {:.0} s deadline...\n",
-        instances.len(),
-        deadline.as_secs_f64()
+        "serving {} instances on 2 workers (2 s attempt slices)...\n",
+        jobs.len()
     );
-    let started = Instant::now();
-    let results = runner.run(&instances, &control);
-    let elapsed = started.elapsed().as_secs_f64();
-
     println!(
-        "{:<10} {:>6} {:>5} {:>18} {:>10} {:>10} {:>11}",
-        "instance", "comps", "ite", "stop", "noise(%)", "area(%)", "widest(um)"
+        "{:<10} {:>6} {:>5} {:>8} {:>8} {:>18} {:>10} {:>11}",
+        "instance", "comps", "ite", "attempts", "resumed", "stop", "area(um2)", "noise(pF)"
     );
+
     let mut total_iterations = 0usize;
-    let mut completed = 0usize;
-    for (instance, result) in instances.iter().zip(&results) {
-        match result {
-            Ok(outcome) => {
-                let r = &outcome.report;
-                total_iterations += r.iterations;
-                if !r.stop_reason.is_interrupted() {
-                    completed += 1;
-                }
-                println!(
-                    "{:<10} {:>6} {:>5} {:>18} {:>10.1} {:>10.1} {:>11.3}",
-                    r.name,
-                    r.total_components(),
-                    r.iterations,
-                    r.stop_reason.to_string(),
-                    r.improvements.noise_pct,
-                    r.improvements.area_pct,
-                    outcome.sizes().max_size()
-                );
-            }
-            // Instances whose turn came after the deadline (or after a
-            // cancellation) are skipped before their stage-1 ordering.
-            Err(CoreError::Interrupted { reason }) => {
-                println!(
-                    "{:<10} {:>6} {:>5} {:>18}",
-                    instance.name,
-                    instance.num_components(),
-                    "-",
-                    format!("skipped ({reason})")
-                );
-            }
-            Err(e) => println!("{:<10} failed: {e}", instance.name),
-        }
+    for (name, comps, id) in &jobs {
+        let outcome = server.wait(*id).expect("job exists");
+        total_iterations += outcome.iterations;
+        let metrics = outcome.final_metrics.expect("completed jobs carry metrics");
+        println!(
+            "{:<10} {:>6} {:>5} {:>8} {:>8} {:>18} {:>10.1} {:>11.3}",
+            name,
+            comps,
+            outcome.iterations,
+            outcome.attempts,
+            outcome.resumed_attempts,
+            outcome.stop_reason.to_string(),
+            metrics.area_um2,
+            metrics.noise_pf
+        );
     }
 
+    let stats = server.drain();
+    let elapsed = started.elapsed().as_secs_f64();
     println!();
     println!(
-        "throughput: {:.2} instances/s ({} instances in {:.2} s, {} completed, {} interrupted)",
-        results.len() as f64 / elapsed.max(1e-9),
-        results.len(),
+        "throughput: {:.2} instances/s ({} instances in {:.2} s, {} completed, {} requeued slices)",
+        stats.completed as f64 / elapsed.max(1e-9),
+        stats.submitted,
         elapsed,
-        completed,
-        results.len() - completed
+        stats.completed,
+        stats.requeued
     );
     println!(
-        "iterations: {} total, {:.1} per instance",
+        "iterations: {} total, {:.1} per instance, {} checkpoints taken",
         total_iterations,
-        total_iterations as f64 / results.len().max(1) as f64
+        total_iterations as f64 / jobs.len().max(1) as f64,
+        stats.checkpoints
     );
+    assert_eq!(stats.completed + stats.failed, stats.submitted);
     Ok(())
 }

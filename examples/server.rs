@@ -1,0 +1,290 @@
+//! Serving under churn: thousands of queued jobs with random cancels,
+//! deadline kills, priority inversions and snapshot resubmits.
+//!
+//! The drive submits well over a thousand jobs drawn from ~25 distinct
+//! synthetic benchmarks across 7 tenants with mixed priorities. While the
+//! queue drains:
+//!
+//! * a slice of jobs carries tight per-attempt iteration budgets, so they
+//!   are repeatedly killed, checkpointed and requeued to resume;
+//! * another slice carries short wall-clock attempt timeouts (deadline
+//!   kills under real scheduler noise);
+//! * ~5% of jobs are cancelled at random, some while queued, some mid-run;
+//! * mid-flight checkpoints are stolen with `snapshot_of` and resubmitted
+//!   as brand-new jobs on the same server (`submit_resume`).
+//!
+//! At the end the queue must drain completely with **zero lost jobs**
+//! (every submission is accounted as completed or cancelled, none failed),
+//! and a sample of resumed jobs is re-run cold to verify the served result
+//! matches an uninterrupted run to 1e-6 — exercising the
+//! checkpoint/resume contract end to end. The summary reports the
+//! iteration cost a restart-from-zero policy would have paid instead.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example server
+//! NCGWS_QUICK=1 cargo run --release --example server          # CI smoke
+//! cargo run --release --features parallel --example server
+//! ```
+
+use std::collections::HashMap;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use ncgws::netlist::{CircuitSpec, SyntheticGenerator};
+use ncgws::serve::SharedBuffer;
+use ncgws::{Flow, JobId, JobInput, JobOutcome, JobSpec, JobState, Server, ServerConfig};
+
+const NUM_SPECS: usize = 25;
+const NUM_TENANTS: usize = 7;
+const MAX_RESUBMITS: usize = 40;
+
+fn circuit(index: usize) -> CircuitSpec {
+    let gates = 15 + 7 * (index % 4) + index % 11;
+    CircuitSpec::new(format!("churn-{index}"), gates, 2 * gates + 8)
+        .with_seed(500 + index as u64)
+        .with_num_patterns(8)
+}
+
+/// One tracked submission: id, which circuit, its per-attempt budget, and
+/// whether it was born from a stolen snapshot (`submit_resume`).
+struct Tracked {
+    id: JobId,
+    spec_index: usize,
+    budget: Option<usize>,
+    resubmit: bool,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::var("NCGWS_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let num_jobs: usize = if quick { 1000 } else { 2500 };
+    let max_iterations = if quick { 25 } else { 50 };
+
+    let config = ncgws::core::OptimizerConfig::builder()
+        .max_iterations(max_iterations)
+        .build()?;
+    let events = SharedBuffer::new();
+    let server = Server::start_with_events(
+        ServerConfig {
+            workers: 4,
+            max_in_flight_per_tenant: 3,
+            checkpoint_every: Some(8),
+            max_attempts: 64,
+            ..ServerConfig::default()
+        },
+        Some(Box::new(events.clone())),
+    );
+
+    let mut rng = ChaCha8Rng::seed_from_u64(20260808);
+    let mut submitted: Vec<Tracked> = Vec::new();
+    let mut cancels_requested = 0usize;
+    let mut stolen_resubmits = 0usize;
+
+    println!("submitting {num_jobs} jobs across {NUM_TENANTS} tenants ({NUM_SPECS} distinct circuits)...");
+    for i in 0..num_jobs {
+        let spec_index = i % NUM_SPECS;
+        // Priority inversions on purpose: late submissions frequently carry
+        // higher priorities and overtake the backlog.
+        let priority = rng.gen_range(0u32..=10) as i32 - 5;
+        let mut job = JobSpec::new(JobInput::Synthetic(circuit(spec_index)), config.clone())
+            .with_tenant(format!("t{}", i % NUM_TENANTS))
+            .with_priority(priority);
+        // ~40%: tight per-attempt iteration budgets (deterministic kills).
+        let budget = if rng.gen_bool(0.4) {
+            let b = rng.gen_range(4usize..12);
+            job = job.with_iteration_budget(b);
+            Some(b)
+        } else {
+            None
+        };
+        // ~10%: short wall-clock attempt slices (deadline kills).
+        if rng.gen_bool(0.1) {
+            job = job.with_attempt_timeout_ms(rng.gen_range(15u64..40));
+        }
+        let id = server.submit(job).expect("admission caps are unbounded");
+        submitted.push(Tracked {
+            id,
+            spec_index,
+            budget,
+            resubmit: false,
+        });
+
+        // Cancel a random earlier job now and then (~5% of the fleet).
+        if i % 50 == 49 {
+            for _ in 0..2 {
+                let victim = submitted[rng.gen_range(0usize..submitted.len())].id;
+                if server.job_state(victim).is_some_and(|s| !s.is_terminal())
+                    && server.cancel(victim)
+                {
+                    cancels_requested += 1;
+                }
+            }
+        }
+    }
+
+    println!(
+        "queue loaded: {} jobs ({} cancels requested); draining with snapshot steals...",
+        submitted.len(),
+        cancels_requested
+    );
+
+    // Churn while the queue drains: keep scanning for a still-live job
+    // holding a checkpoint (requeued after a kill, or mid-resume) and fork
+    // it as a brand-new job via `submit_resume`. The loop ends when the
+    // steal cap is hit or every original job has gone terminal — so the
+    // steals land while the kills are actually happening, not after.
+    while stolen_resubmits < MAX_RESUBMITS {
+        let mut any_live = false;
+        let start = rng.gen_range(0usize..submitted.len());
+        let stolen = (0..submitted.len()).find_map(|step| {
+            let candidate = &submitted[(start + step) % submitted.len()];
+            if candidate.resubmit {
+                return None; // don't fork the forks
+            }
+            let live = server
+                .job_state(candidate.id)
+                .is_some_and(|s| !s.is_terminal());
+            if !live {
+                return None;
+            }
+            any_live = true;
+            server
+                .snapshot_of(candidate.id)
+                .map(|snapshot| (candidate.spec_index, snapshot))
+        });
+        match stolen {
+            Some((spec_index, snapshot)) => {
+                let clone = JobSpec::new(JobInput::Synthetic(circuit(spec_index)), config.clone())
+                    .with_tenant("resubmit")
+                    .with_priority(6);
+                let id = server
+                    .submit_resume(clone, snapshot)
+                    .expect("resubmission is admitted");
+                submitted.push(Tracked {
+                    id,
+                    spec_index,
+                    budget: None,
+                    resubmit: true,
+                });
+                stolen_resubmits += 1;
+                // Spread the steals across the drain instead of forking the
+                // same checkpoint 40 times in one scheduler quantum.
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            None if !any_live => break,
+            None => std::thread::sleep(std::time::Duration::from_millis(1)),
+        }
+    }
+
+    // Wait for every job — originals and stolen forks alike — and account
+    // for all of them: nothing may be lost.
+    let mut outcomes: Vec<(usize, JobOutcome)> = Vec::new(); // (submitted index, outcome)
+    let mut by_state: HashMap<&'static str, usize> = HashMap::new();
+    for (index, tracked) in submitted.iter().enumerate() {
+        let outcome = server
+            .wait(tracked.id)
+            .expect("every submitted job resolves");
+        let state = server
+            .job_state(tracked.id)
+            .expect("terminal job stays known");
+        let key = match state {
+            JobState::Completed => "completed",
+            JobState::Cancelled => "cancelled",
+            JobState::Failed => "failed",
+            _ => unreachable!("wait() returns only for terminal jobs"),
+        };
+        *by_state.entry(key).or_default() += 1;
+        outcomes.push((index, outcome));
+    }
+
+    // Resume-vs-cold equivalence on a sample of resumed, completed jobs.
+    let mut verified = 0usize;
+    let mut redone_saved = 0usize;
+    let mut cold_iterations: HashMap<usize, (f64, f64, f64, usize)> = HashMap::new();
+    let close = |a: f64, b: f64| (a - b).abs() <= 1e-6 * a.abs().max(b.abs()).max(1.0);
+    for (submitted_index, outcome) in &outcomes {
+        if verified >= 12 {
+            break;
+        }
+        let tracked = &submitted[*submitted_index];
+        if outcome.resumed_attempts == 0 || outcome.stop_reason.is_interrupted() {
+            continue;
+        }
+        let Some(metrics) = &outcome.final_metrics else {
+            continue;
+        };
+        let (area, delay, noise, iterations) = match cold_iterations.get(&tracked.spec_index) {
+            Some(&cached) => cached,
+            None => {
+                let instance = SyntheticGenerator::new(circuit(tracked.spec_index)).generate()?;
+                let cold = Flow::prepare(&instance, config.clone())?.order()?.size()?;
+                let m = cold.report.final_metrics;
+                let entry = (m.area_um2, m.delay_ps, m.noise_pf, cold.report.iterations);
+                cold_iterations.insert(tracked.spec_index, entry);
+                entry
+            }
+        };
+        assert!(
+            close(metrics.area_um2, area)
+                && close(metrics.delay_ps, delay)
+                && close(metrics.noise_pf, noise),
+            "resumed job on circuit {} diverged from the cold run",
+            tracked.spec_index
+        );
+        if tracked.resubmit {
+            // A stolen snapshot skips the prefix its donor already ran.
+            assert!(outcome.iterations <= iterations);
+        } else {
+            assert_eq!(
+                outcome.iterations, iterations,
+                "resume must redo no completed iterations (exact strategy)"
+            );
+            // What a restart-from-zero policy would have re-executed for
+            // this job: every interrupted attempt's completed prefix.
+            if let Some(b) = tracked.budget {
+                redone_saved += b * (outcome.resumed_attempts * (outcome.resumed_attempts + 1)) / 2;
+            }
+        }
+        verified += 1;
+    }
+
+    let stats = server.drain();
+    let completed = by_state.get("completed").copied().unwrap_or(0);
+    let cancelled = by_state.get("cancelled").copied().unwrap_or(0);
+    let failed = by_state.get("failed").copied().unwrap_or(0);
+
+    println!();
+    println!(
+        "drained: {} submitted ({} snapshot resubmits) = {} completed + {} cancelled + {} failed",
+        submitted.len(),
+        stolen_resubmits,
+        completed,
+        cancelled,
+        failed
+    );
+    println!(
+        "server:  {} requeues, {} resumed attempts, {} checkpoints, {} iterations",
+        stats.requeued, stats.resumed, stats.checkpoints, stats.iterations
+    );
+    println!(
+        "resume:  {verified} resumed jobs re-verified against cold runs at 1e-6; \
+         restart-from-zero would have re-executed >= {redone_saved} iterations on them"
+    );
+    println!("events:  {} JSON lines captured", events.num_lines());
+
+    // Zero lost jobs: every submission is accounted, none failed, the
+    // queue is empty and nothing is still running.
+    assert_eq!(completed + cancelled + failed, submitted.len());
+    assert_eq!(failed, 0, "no job may exhaust its attempt cap or error");
+    assert_eq!(stats.queue_depth, 0);
+    assert_eq!(stats.in_flight, 0);
+    assert_eq!(stats.submitted, submitted.len());
+    assert!(verified > 0, "churn must produce resumed jobs to verify");
+    assert!(stolen_resubmits > 0, "churn must exercise submit_resume");
+    println!("\nall churn invariants held: zero lost jobs, resume matches cold at 1e-6");
+    Ok(())
+}

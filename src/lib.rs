@@ -13,6 +13,9 @@
 //! * [`netlist`] — synthetic ISCAS85-scale benchmark generation and netlist I/O.
 //! * [`core`] — the Lagrangian-relaxation sizing engine (LRS + OGWS), the
 //!   staged [`flow`] pipeline, run control, and batch execution.
+//! * [`serve`] — the persistent optimization server: a priority job queue
+//!   with per-tenant admission control, worker threads, checkpoint/resume
+//!   and a JSON-lines event stream.
 //!
 //! # Quickstart: the staged `Flow` pipeline
 //!
@@ -323,6 +326,63 @@
 //! # }
 //! ```
 //!
+//! # Serving & checkpointing
+//!
+//! Mid-run OGWS state — sizes, the CSR multiplier blocks, the best primal
+//! bound, the iteration count and the adaptive-schedule freeze state — can
+//! be captured as a serializable [`Snapshot`] through a [`CheckpointSink`]
+//! attached to the [`RunControl`] (periodic via
+//! [`CheckpointPolicy::every`](core::CheckpointPolicy::every), and on any
+//! interrupt). A killed run resumes from its last completed-iteration
+//! boundary with [`Ordered::size_resume`](flow::Ordered::size_resume):
+//! under the exact solve strategy the resumed trajectory is **bitwise** the
+//! uninterrupted one, under the adaptive schedule it matches to 1e-6
+//! (`tests/serve_checkpoint.rs` proptests both).
+//!
+//! ```rust
+//! use ncgws::netlist::{CircuitSpec, SyntheticGenerator};
+//! use ncgws::core::{CheckpointPolicy, OptimizerConfig, RunControl, SnapshotStore, StopReason};
+//! use ncgws::Flow;
+//!
+//! # fn main() -> Result<(), ncgws::Error> {
+//! let spec = CircuitSpec::new("resume", 24, 55).with_seed(9).with_num_patterns(8);
+//! let instance = SyntheticGenerator::new(spec).generate()?;
+//! let ordered = Flow::prepare(&instance, OptimizerConfig::default())?.order()?;
+//!
+//! // The uninterrupted run is the oracle.
+//! let cold = ordered.size()?;
+//!
+//! // Kill the same run after 4 iterations; the store keeps the snapshot
+//! // taken at the interrupt (checkpoints also fire every 2 iterations).
+//! let store = SnapshotStore::new();
+//! let control = RunControl::new()
+//!     .with_iteration_budget(4)
+//!     .with_checkpoints(&store, CheckpointPolicy::new().every(2));
+//! let killed = ordered.size_with(&control)?;
+//! assert_eq!(killed.stop_reason(), StopReason::BudgetExhausted);
+//!
+//! // The snapshot round-trips through JSON bit for bit...
+//! let snapshot = store.latest().expect("interrupt checkpoint");
+//! assert_eq!(snapshot.iterations_done, 4);
+//! let snapshot = ncgws::Snapshot::from_json(&snapshot.to_json()).unwrap();
+//!
+//! // ...and the resumed run finishes exactly like the uninterrupted one
+//! // (bitwise under the default exact strategy).
+//! let resumed = ordered.size_resume(&snapshot, &RunControl::new())?;
+//! assert_eq!(resumed.sizes(), cold.sizes());
+//! assert_eq!(resumed.report.final_metrics, cold.report.final_metrics);
+//! assert_eq!(snapshot.iterations_done + resumed.report.iterations, cold.report.iterations);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The [`serve`] crate builds the job-queue service on this substrate:
+//! [`Server`] runs worker threads over a strict-priority queue with
+//! per-tenant admission control, requeues interrupted attempts to resume
+//! from their latest checkpoint, and reports live [`ServerStats`] plus an
+//! optional JSON-lines event stream (see `examples/server.rs` for a
+//! churn/fault-injection drive of thousands of jobs).
+//!
 //! # Legacy one-shot API
 //!
 //! The original `Optimizer::run` entry point remains and is bit-identical to
@@ -346,6 +406,7 @@ pub use ncgws_core as core;
 pub use ncgws_coupling as coupling;
 pub use ncgws_netlist as netlist;
 pub use ncgws_ordering as ordering;
+pub use ncgws_serve as serve;
 pub use ncgws_waveform as waveform;
 
 mod error;
@@ -359,6 +420,13 @@ pub use ncgws_core::flow;
 pub use ncgws_core::{
     BatchRunner, CancelFlag, CollectObserver, Flow, IterationEvent, Observer, Ordered, Prepared,
     RunControl, SizedOutcome, StopReason,
+};
+
+// Checkpoint/resume: the serializable mid-run state and the sink/policy
+// that capture it, plus the job-queue server built on top.
+pub use ncgws_core::{CheckpointPolicy, CheckpointSink, Snapshot, SnapshotStore};
+pub use ncgws_serve::{
+    JobId, JobInput, JobOutcome, JobSpec, JobState, Server, ServerConfig, ServerStats, SubmitError,
 };
 
 // The composable constraint system: specs travel in the configuration, the

@@ -221,6 +221,13 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_json(&self, serializer: &mut Serializer) {
+        (**self).serialize_json(serializer);
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn serialize_json(&self, serializer: &mut Serializer) {
         match self {
