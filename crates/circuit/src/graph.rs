@@ -64,6 +64,75 @@ impl CircuitGraph {
         }
     }
 
+    /// Reassembles a graph from untrusted serialized parts (the read side of
+    /// the serve crate's durable job journal), validating everything the
+    /// builder normally guarantees: consistent vector lengths, in-range
+    /// edge endpoints, mirrored fanin/fanout lists, and the structural
+    /// invariants of [`validate`](crate::validate::validate).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as a [`CircuitError`].
+    pub fn from_serialized_parts(
+        nodes: Vec<Node>,
+        fanin: Vec<Vec<NodeId>>,
+        fanout: Vec<Vec<NodeId>>,
+        tech: Technology,
+        num_drivers: usize,
+        num_sizable: usize,
+    ) -> Result<Self, CircuitError> {
+        let n = nodes.len();
+        if fanin.len() != n || fanout.len() != n {
+            return Err(CircuitError::SizeLengthMismatch {
+                expected: n,
+                actual: fanin.len().max(fanout.len()),
+            });
+        }
+        if num_drivers
+            .checked_add(num_sizable)
+            .and_then(|c| c.checked_add(2))
+            != Some(n)
+        {
+            return Err(CircuitError::SizeLengthMismatch {
+                expected: n,
+                actual: num_drivers.saturating_add(num_sizable).saturating_add(2),
+            });
+        }
+        for list in fanin.iter().chain(fanout.iter()) {
+            for &id in list {
+                if id.index() >= n {
+                    return Err(CircuitError::UnknownNode(id));
+                }
+            }
+        }
+        // Fanin and fanout must be exact mirrors: every edge u -> v appears
+        // once in fanout[u] and once in fanin[v].
+        for (u, outs) in fanout.iter().enumerate() {
+            for &v in outs {
+                let hits = fanin[v.index()].iter().filter(|&&w| w.index() == u).count();
+                if hits != 1 {
+                    return Err(CircuitError::InvalidConnection {
+                        from: NodeId::new(u),
+                        to: v,
+                        reason: "fanout edge is not mirrored exactly once in fanin",
+                    });
+                }
+            }
+        }
+        let edges_out: usize = fanout.iter().map(Vec::len).sum();
+        let edges_in: usize = fanin.iter().map(Vec::len).sum();
+        if edges_out != edges_in {
+            return Err(CircuitError::SizeLengthMismatch {
+                expected: edges_out,
+                actual: edges_in,
+            });
+        }
+        tech.validate()?;
+        let graph = CircuitGraph::from_parts(nodes, fanin, fanout, tech, num_drivers, num_sizable);
+        crate::validate::validate(&graph)?;
+        Ok(graph)
+    }
+
     /// The technology parameters of this circuit.
     pub fn technology(&self) -> &Technology {
         &self.tech

@@ -179,7 +179,8 @@ impl Snapshot {
         };
         let format = field("format")?
             .as_usize()
-            .ok_or("`format` must be an integer")? as u32;
+            .filter(|&n| n <= u32::MAX as usize)
+            .ok_or("`format` must be a u32 integer")? as u32;
         let iterations_done = field("iterations_done")?
             .as_usize()
             .ok_or("`iterations_done` must be an integer")?;
@@ -305,6 +306,11 @@ fn decode_schedule(value: &json::JsonValue) -> Result<ScheduleState, String> {
 /// that stand-in emits: objects, arrays, strings with `\uXXXX` escapes,
 /// numbers in Rust's `f64` `Display`/integer forms, booleans and `null`.
 pub mod json {
+    /// Maximum nesting depth the parser accepts. The serializer's output is
+    /// a handful of levels deep; the cap exists so adversarial input like
+    /// `[[[[…` fails with an error instead of overflowing the stack.
+    pub const MAX_DEPTH: usize = 128;
+
     /// A parsed JSON value.
     #[derive(Debug, Clone, PartialEq)]
     pub enum JsonValue {
@@ -312,7 +318,11 @@ pub mod json {
         Null,
         /// `true` / `false`.
         Bool(bool),
-        /// Any JSON number (parsed through `str::parse::<f64>`, which
+        /// A number whose lexeme is a plain integer (no `.`/`e`/`E`), kept
+        /// exact so `u64` fields such as RNG seeds survive a round trip —
+        /// `f64` would silently round anything above 2⁵³.
+        Int(i128),
+        /// Any other JSON number (parsed through `str::parse::<f64>`, which
         /// recovers Rust-formatted floats bit-exactly).
         Number(f64),
         /// A string literal, unescaped.
@@ -356,20 +366,48 @@ pub mod json {
             }
         }
 
-        /// The number as a finite `f64`, if this is a number.
+        /// The number as a finite `f64`, if this is a number. Integer
+        /// lexemes convert exactly when within `f64`'s 2⁵³ integer range
+        /// (the serializer never emits integral floats wider than that).
         pub fn as_f64(&self) -> Option<f64> {
             match self {
                 JsonValue::Number(x) if x.is_finite() => Some(*x),
+                JsonValue::Int(i) => Some(*i as f64),
                 _ => None,
             }
         }
 
-        /// The number as a `usize`, if this is a non-negative integer small
-        /// enough for `f64` to represent exactly.
+        /// The number as a `usize`, if this is a non-negative integer.
         pub fn as_usize(&self) -> Option<usize> {
             match self {
+                JsonValue::Int(i) => usize::try_from(*i).ok(),
                 JsonValue::Number(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= 2f64.powi(53) => {
                     Some(*x as usize)
+                }
+                _ => None,
+            }
+        }
+
+        /// The number as a `u64`, if this is a non-negative integer. Exact
+        /// for the full `u64` range (seeds above 2⁵³ included).
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                JsonValue::Int(i) => u64::try_from(*i).ok(),
+                JsonValue::Number(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= 2f64.powi(53) => {
+                    Some(*x as u64)
+                }
+                _ => None,
+            }
+        }
+
+        /// The number as an `i64`, if this is an integer in range.
+        pub fn as_i64(&self) -> Option<i64> {
+            match self {
+                JsonValue::Int(i) => i64::try_from(*i).ok(),
+                JsonValue::Number(x)
+                    if x.fract() == 0.0 && x.abs() <= 2f64.powi(53) && x.is_finite() =>
+                {
+                    Some(*x as i64)
                 }
                 _ => None,
             }
@@ -380,8 +418,10 @@ pub mod json {
         pub fn as_opt_f64(&self, name: &str) -> Result<Option<f64>, String> {
             match self {
                 JsonValue::Null => Ok(None),
-                JsonValue::Number(x) if x.is_finite() => Ok(Some(*x)),
-                _ => Err(format!("`{name}` must be a number or null")),
+                _ => self
+                    .as_f64()
+                    .map(Some)
+                    .ok_or_else(|| format!("`{name}` must be a number or null")),
             }
         }
 
@@ -412,6 +452,7 @@ pub mod json {
         let mut p = Parser {
             bytes: input.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let value = p.value()?;
@@ -425,6 +466,7 @@ pub mod json {
     struct Parser<'a> {
         bytes: &'a [u8],
         pos: usize,
+        depth: usize,
     }
 
     impl Parser<'_> {
@@ -453,8 +495,8 @@ pub mod json {
 
         fn value(&mut self) -> Result<JsonValue, String> {
             match self.peek() {
-                Some(b'{') => self.object(),
-                Some(b'[') => self.array(),
+                Some(b'{') => self.nested(Self::object),
+                Some(b'[') => self.nested(Self::array),
                 Some(b'"') => Ok(JsonValue::String(self.string()?)),
                 Some(b't') => self.literal("true", JsonValue::Bool(true)),
                 Some(b'f') => self.literal("false", JsonValue::Bool(false)),
@@ -473,10 +515,30 @@ pub mod json {
             }
         }
 
+        fn nested(
+            &mut self,
+            inner: fn(&mut Self) -> Result<JsonValue, String>,
+        ) -> Result<JsonValue, String> {
+            self.depth += 1;
+            if self.depth > MAX_DEPTH {
+                return Err(format!(
+                    "nesting deeper than {MAX_DEPTH} at byte {}",
+                    self.pos
+                ));
+            }
+            let value = inner(self)?;
+            self.depth -= 1;
+            Ok(value)
+        }
+
         fn number(&mut self) -> Result<JsonValue, String> {
             let start = self.pos;
+            let mut integral = true;
             while let Some(b) = self.peek() {
                 if matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+                    if matches!(b, b'.' | b'e' | b'E') {
+                        integral = false;
+                    }
                     self.pos += 1;
                 } else {
                     break;
@@ -484,6 +546,13 @@ pub mod json {
             }
             let text =
                 std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+            // Plain-integer lexemes stay exact (u64 seeds survive); `-0`
+            // must remain a float so negative zero round-trips bitwise.
+            if integral && text != "-0" {
+                if let Ok(i) = text.parse::<i128>() {
+                    return Ok(JsonValue::Int(i));
+                }
+            }
             text.parse::<f64>()
                 .map(JsonValue::Number)
                 .map_err(|_| format!("malformed number at byte {start}"))
@@ -620,6 +689,31 @@ mod tests {
         assert!(parse("1 2").is_err());
         assert!(parse("\"unterminated").is_err());
         assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn parser_rejects_deep_nesting_without_overflowing() {
+        // Well past any legitimate snapshot depth; must error, not crash.
+        let bomb = "[".repeat(100_000);
+        assert!(parse(&bomb).is_err());
+        let closed = format!("{}{}", "[".repeat(200), "]".repeat(200));
+        assert!(parse(&closed).is_err());
+        let ok = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn integer_lexemes_stay_exact_beyond_f64_range() {
+        let seed = u64::MAX - 1; // would round under an f64-only parser
+        let v = parse(&format!("{{\"seed\":{seed}}}")).unwrap();
+        let obj = v.as_object().unwrap();
+        assert_eq!(json::get(obj, "seed").unwrap().as_u64(), Some(seed));
+        // But `-0` stays a float so the sign bit survives.
+        let neg = parse("-0").unwrap().as_f64().unwrap();
+        assert_eq!(neg.to_bits(), (-0.0f64).to_bits());
+        // And integral floats written without a fraction convert exactly.
+        assert_eq!(parse("3").unwrap().as_f64(), Some(3.0));
+        assert_eq!(parse("-7").unwrap().as_i64(), Some(-7));
     }
 
     #[test]

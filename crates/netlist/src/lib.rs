@@ -32,5 +32,6 @@ pub use error::NetlistError;
 pub use generator::SyntheticGenerator;
 pub use instance::{ChannelGeometry, ProblemInstance};
 pub use iscas::{iscas85_spec, table1_specs, xl_spec, xl_specs, xl_wide_spec};
+pub use ncgws_waveform::PatternSet;
 pub use spec::CircuitSpec;
 pub use stats::CircuitStats;

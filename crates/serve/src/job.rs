@@ -27,6 +27,13 @@ impl JobId {
     pub fn as_u64(self) -> u64 {
         self.0
     }
+
+    /// Rebuilds an id from its numeric form — the handle a client kept
+    /// across a crash, valid against the [`Server::recover`](crate::Server::recover)ed
+    /// server that assigned it.
+    pub fn from_u64(id: u64) -> Self {
+        JobId(id)
+    }
 }
 
 impl fmt::Display for JobId {
@@ -71,6 +78,86 @@ impl JobInput {
     }
 }
 
+/// How a job recovers from *transient failures* (worker panics, injected
+/// faults) — distinct from the requeue-on-interrupt path, which handles
+/// budget/deadline interruptions and is not counted as a failure.
+///
+/// A failed attempt is retried up to `max_retries` times with exponential
+/// backoff: retry `r` (1-based) waits `base_delay_ms · multiplier^(r-1)`
+/// capped at `max_delay_ms`, plus a deterministic seeded jitter of up to
+/// `jitter` × that delay. The jitter is a pure function of
+/// `(seed, job id, retry index)`, so a replayed run backs off identically.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct RetryPolicy {
+    /// Retries allowed after the first failed attempt; `0` fails fast.
+    pub max_retries: usize,
+    /// Backoff before the first retry, in milliseconds.
+    pub base_delay_ms: u64,
+    /// Multiplier applied to the delay for each further retry.
+    pub multiplier: f64,
+    /// Upper bound on any single backoff delay, in milliseconds.
+    pub max_delay_ms: u64,
+    /// Fraction (0..=1) of the delay added as seeded jitter.
+    pub jitter: f64,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// No retries: the first panic or error fails the job.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            base_delay_ms: 0,
+            multiplier: 1.0,
+            max_delay_ms: 0,
+            jitter: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// `max_retries` retries with a small default backoff (1 ms base,
+    /// doubling, 50 ms cap, 50% jitter).
+    pub fn retries(max_retries: usize) -> Self {
+        RetryPolicy {
+            max_retries,
+            base_delay_ms: 1,
+            multiplier: 2.0,
+            max_delay_ms: 50,
+            jitter: 0.5,
+            seed: 0,
+        }
+    }
+
+    /// Sets the jitter seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The backoff before retry `retry` (1-based) of `job`, jitter included.
+    pub fn delay_ms(&self, job: u64, retry: usize) -> u64 {
+        if retry == 0 {
+            return 0;
+        }
+        let exp = self.multiplier.max(1.0).powi(retry as i32 - 1);
+        let base = ((self.base_delay_ms as f64) * exp).min(self.max_delay_ms as f64);
+        let jitter_span = (base * self.jitter.clamp(0.0, 1.0)).floor() as u64;
+        let jitter = if jitter_span == 0 {
+            0
+        } else {
+            crate::fault::mix(self.seed, 0x6a697474, job, retry as u64) % (jitter_span + 1)
+        };
+        (base as u64).saturating_add(jitter).min(self.max_delay_ms)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
 /// Everything needed to run one optimization job on a [`Server`](crate::Server).
 #[derive(Debug, Clone, Serialize)]
 pub struct JobSpec {
@@ -91,6 +178,9 @@ pub struct JobSpec {
     /// attempt with [`StopReason::DeadlineExpired`] and requeues from the
     /// latest checkpoint.
     pub attempt_timeout_ms: Option<u64>,
+    /// Recovery policy for transient failures (panics); defaults to
+    /// [`RetryPolicy::none`].
+    pub retry: RetryPolicy,
 }
 
 impl JobSpec {
@@ -104,6 +194,7 @@ impl JobSpec {
             tenant: "default".to_string(),
             iteration_budget: None,
             attempt_timeout_ms: None,
+            retry: RetryPolicy::none(),
         }
     }
 
@@ -128,6 +219,12 @@ impl JobSpec {
     /// Sets the per-attempt wall-clock limit in milliseconds.
     pub fn with_attempt_timeout_ms(mut self, millis: u64) -> Self {
         self.attempt_timeout_ms = Some(millis);
+        self
+    }
+
+    /// Sets the transient-failure retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 

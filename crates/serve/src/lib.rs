@@ -17,7 +17,15 @@
 //!   queue, per-tenant admission control, graceful [`drain`](Server::drain);
 //! * [`stats`] — pollable [`ServerStats`] (cumulative counters, queue
 //!   gauges, snapshot/queue memory accounting);
-//! * [`events`] — the optional JSON-lines event stream.
+//! * [`events`] — the optional JSON-lines event stream;
+//! * [`store`] — the durability layer: [`DiskSnapshotStore`] (atomic,
+//!   checksummed snapshot files with a memory-budget spill policy) and the
+//!   append-only [`Journal`] that [`Server::recover`] replays after a
+//!   crash;
+//! * [`fault`] — the seeded, deterministic [`FaultPlan`] injection layer
+//!   (worker panics, I/O errors, torn writes, delayed dispatch);
+//! * [`codec`] — hand-rolled JSON decoders for job specs and outcomes (the
+//!   workspace's serde stand-in only serializes).
 //!
 //! # Example
 //!
@@ -47,12 +55,17 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod codec;
 pub mod events;
+pub mod fault;
 pub mod job;
 pub mod server;
 pub mod stats;
+pub mod store;
 
 pub use events::SharedBuffer;
-pub use job::{JobId, JobInput, JobOutcome, JobSpec, JobState};
-pub use server::{Server, ServerConfig, SubmitError};
+pub use fault::{FaultPlan, WriteFault};
+pub use job::{JobId, JobInput, JobOutcome, JobSpec, JobState, RetryPolicy};
+pub use server::{DurableOptions, RecoveryReport, Server, ServerConfig, SubmitError};
 pub use stats::ServerStats;
+pub use store::{DiskSink, DiskSnapshotStore, Journal, StoreConfig, StoreError, StoreStats};

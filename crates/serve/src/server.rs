@@ -2,9 +2,9 @@
 //!
 //! A [`Server`] owns a pool of worker threads draining a priority job
 //! queue. Each attempt runs the full two-stage flow under a
-//! [`RunControl`] wired with the job's per-attempt limits and a
-//! [`SnapshotStore`] checkpoint sink; interrupted attempts are requeued and
-//! resume from their latest [`Snapshot`] instead of restarting cold.
+//! [`RunControl`] wired with the job's per-attempt limits and a checkpoint
+//! sink; interrupted attempts are requeued and resume from their latest
+//! [`Snapshot`] instead of restarting cold.
 //!
 //! Scheduling is strict priority with FIFO tie-breaking (a `BTreeSet`
 //! ordered by descending priority, then submission sequence), subject to
@@ -12,24 +12,52 @@
 //! submission time and its in-flight attempts are capped at dispatch time,
 //! so one noisy tenant can neither flood the queue nor monopolize the
 //! workers.
+//!
+//! # Durability
+//!
+//! [`Server::start_durable`] adds the crash-restart layer: every checkpoint
+//! is persisted through a [`DiskSnapshotStore`] *as it is taken* (atomic,
+//! checksummed files), and every job lifecycle transition is appended to a
+//! [`Journal`]. After a crash — or a plain [`drop`] without
+//! [`drain`](Server::drain) — [`Server::recover`] replays the journal,
+//! restores terminal outcomes, and re-queues every unfinished job to resume
+//! from its latest durable snapshot with the same bitwise (exact strategy) /
+//! `1e-6` (adaptive) guarantees as in-process resume.
+//!
+//! # Failure isolation
+//!
+//! Worker panics are caught per attempt (`catch_unwind`): the job lands in
+//! [`JobState::Failed`] with the panic text, its tenant's in-flight slot is
+//! released, and — when the job carries a
+//! [`RetryPolicy`](crate::RetryPolicy) — the attempt is
+//! retried with deterministic exponential backoff instead. A seeded
+//! [`FaultPlan`] can inject panics, store I/O errors, torn writes and
+//! dispatch delays to exercise all of this reproducibly.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::io::Write;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use ncgws_core::flow::Flow;
+use ncgws_core::snapshot::json::JsonValue;
 use ncgws_core::{
-    CancelFlag, CheckpointPolicy, CoreError, RunControl, SizedOutcome, Snapshot, SnapshotStore,
-    StopReason,
+    CancelFlag, CheckpointPolicy, CheckpointSink, CoreError, IterationEvent, Observer, RunControl,
+    SizedOutcome, Snapshot, SnapshotStore, StopReason,
 };
 use ncgws_netlist::{ProblemInstance, SyntheticGenerator};
+use serde::Serialize;
 
+use crate::codec;
 use crate::events::{line, Field};
+use crate::fault::FaultPlan;
 use crate::job::{JobId, JobInput, JobOutcome, JobSpec, JobState};
 use crate::stats::{Counters, ServerStats};
+use crate::store::{DiskSink, DiskSnapshotStore, Journal, StoreConfig, StoreError};
 
 /// Server-wide policy knobs.
 #[derive(Debug, Clone)]
@@ -60,6 +88,83 @@ impl Default for ServerConfig {
             max_attempts: 64,
         }
     }
+}
+
+impl ServerConfig {
+    /// The journal's `server` entry for this config.
+    fn journal_line(&self) -> String {
+        format!(
+            "{{\"entry\":\"server\",\"workers\":{},\"max_in_flight_per_tenant\":{},\
+             \"max_queued_per_tenant\":{},\"checkpoint_every\":{},\"max_attempts\":{}}}",
+            self.workers,
+            self.max_in_flight_per_tenant,
+            self.max_queued_per_tenant,
+            self.checkpoint_every
+                .map_or("null".to_string(), |n| n.to_string()),
+            self.max_attempts
+        )
+    }
+
+    fn from_journal(obj: &[(String, JsonValue)]) -> Result<ServerConfig, String> {
+        let get = |name: &str| -> Result<&JsonValue, String> {
+            ncgws_core::snapshot::json::get(obj, name)
+                .ok_or_else(|| format!("server entry is missing `{name}`"))
+        };
+        let usize_of = |name: &str| -> Result<usize, String> {
+            get(name)?
+                .as_usize()
+                .ok_or_else(|| format!("server entry `{name}` must be an integer"))
+        };
+        let checkpoint_every = match get("checkpoint_every")? {
+            JsonValue::Null => None,
+            v => Some(
+                v.as_usize()
+                    .ok_or("server entry `checkpoint_every` must be an integer or null")?,
+            ),
+        };
+        Ok(ServerConfig {
+            workers: usize_of("workers")?,
+            max_in_flight_per_tenant: usize_of("max_in_flight_per_tenant")?,
+            max_queued_per_tenant: usize_of("max_queued_per_tenant")?,
+            checkpoint_every,
+            max_attempts: usize_of("max_attempts")?,
+        })
+    }
+}
+
+/// Optional pieces of a durable server: store tuning, an event sink, and
+/// fault injection. Used by [`Server::start_durable_with`] and
+/// [`Server::recover_with`].
+#[derive(Default)]
+pub struct DurableOptions {
+    /// Snapshot-store tuning (memory budget for the resident cache).
+    pub store: StoreConfig,
+    /// JSON-lines event sink, as in [`Server::start_with_events`].
+    pub events: Option<Box<dyn Write + Send>>,
+    /// Deterministic fault injection, threaded through workers and the
+    /// snapshot store.
+    pub faults: Option<Arc<FaultPlan>>,
+}
+
+/// What [`Server::recover`] rebuilt from a server directory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct RecoveryReport {
+    /// Jobs found in the journal.
+    pub jobs_seen: usize,
+    /// Unfinished jobs put back on the ready queue.
+    pub requeued: usize,
+    /// Of the requeued jobs, how many resume from a durable snapshot
+    /// (the rest restart cold).
+    pub resumed_from_checkpoint: usize,
+    /// Jobs already completed before the crash (outcomes restored).
+    pub completed: usize,
+    /// Jobs already cancelled before the crash.
+    pub cancelled: usize,
+    /// Jobs already failed before the crash.
+    pub failed: usize,
+    /// Requeued jobs whose snapshot generations were all corrupt — they
+    /// restart cold rather than being lost.
+    pub corrupt_snapshots: usize,
 }
 
 /// Why a submission was refused.
@@ -107,9 +212,16 @@ struct JobEntry {
     seq: u64,
     state: JobState,
     attempts: usize,
+    retries: usize,
     resumed_attempts: usize,
     iterations: usize,
     snapshot: Option<Snapshot>,
+    /// Durable servers: whether the store holds a checkpoint for this job
+    /// (the in-memory `snapshot` stays `None` so the store's spill policy
+    /// owns all snapshot memory).
+    has_checkpoint: bool,
+    /// Backoff gate set by a retry; the job is not dispatchable before it.
+    not_before: Option<Instant>,
     cancel: Option<CancelFlag>,
     cancel_requested: bool,
     outcome: Option<JobOutcome>,
@@ -122,25 +234,49 @@ struct State {
     ready: BTreeSet<QueueKey>,
     tenants: BTreeMap<String, TenantState>,
     draining: bool,
+    /// Hard-stop flag set by `Drop`: workers exit as soon as their current
+    /// attempt settles, leaving remaining work queued (and, for durable
+    /// servers, recoverable).
+    shutdown: bool,
     in_flight: usize,
     next_seq: u64,
 }
 
 impl State {
-    /// First admissible ready job: highest priority, oldest, whose tenant
-    /// is under its in-flight cap.
-    fn pick(&self, max_in_flight_per_tenant: usize) -> Option<QueueKey> {
+    /// First admissible ready job: highest priority, oldest, backoff
+    /// expired, whose tenant is under its in-flight cap.
+    fn pick(&self, max_in_flight_per_tenant: usize, now: Instant) -> Option<QueueKey> {
         self.ready.iter().copied().find(|&(_, _, id)| {
             let entry = &self.jobs[&id];
-            self.tenants
-                .get(&entry.spec.tenant)
-                .is_none_or(|t| t.in_flight < max_in_flight_per_tenant)
+            entry.not_before.is_none_or(|t| t <= now)
+                && self
+                    .tenants
+                    .get(&entry.spec.tenant)
+                    .is_none_or(|t| t.in_flight < max_in_flight_per_tenant)
         })
+    }
+
+    /// Soonest pending backoff among ready jobs, as a wait duration.
+    fn earliest_backoff(&self, now: Instant) -> Option<Duration> {
+        self.ready
+            .iter()
+            .filter_map(|&(_, _, id)| {
+                self.jobs[&id]
+                    .not_before
+                    .and_then(|t| t.checked_duration_since(now))
+            })
+            .min()
     }
 
     fn all_done(&self) -> bool {
         self.ready.is_empty() && self.in_flight == 0
     }
+}
+
+/// The durable half of a server: the snapshot store and the journal.
+struct Durable {
+    store: DiskSnapshotStore,
+    journal: Journal,
 }
 
 struct Shared {
@@ -152,6 +288,8 @@ struct Shared {
     counters: Counters,
     config: ServerConfig,
     events: Option<Mutex<Box<dyn Write + Send>>>,
+    durable: Option<Durable>,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl Shared {
@@ -161,15 +299,36 @@ impl Shared {
             let _ = writeln!(sink, "{text}");
         }
     }
+
+    fn journal(&self, text: &str) {
+        if let Some(durable) = &self.durable {
+            let _ = durable.journal.append(text);
+        }
+    }
+
+    /// Journals a terminal transition together with its full outcome, so
+    /// results survive a restart.
+    fn journal_terminal(&self, kind: &str, id: u64, outcome: &JobOutcome) {
+        if self.durable.is_some() {
+            let encoded =
+                serde_json::to_string(outcome).expect("outcome serialization is infallible");
+            self.journal(&format!(
+                "{{\"entry\":\"{kind}\",\"job\":{id},\"outcome\":{encoded}}}"
+            ));
+        }
+    }
 }
 
 /// A persistent optimization server: worker pool, priority queue,
-/// checkpoint/resume.
+/// checkpoint/resume, optional crash-restart durability.
 ///
 /// See the [crate docs](crate) for an end-to-end example. Call
 /// [`drain`](Server::drain) to finish outstanding work and join the
-/// workers; a dropped server stops accepting work and lets its (detached)
-/// workers finish the remaining queue in the background.
+/// workers. Dropping a server without draining *stops* it: running
+/// attempts are cancelled cooperatively, requeued at their latest
+/// checkpoint, and the worker threads are joined — nothing keeps running
+/// in the background. A durable server's queue survives the drop on disk
+/// and [`Server::recover`] picks it back up.
 pub struct Server {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
@@ -181,6 +340,7 @@ impl std::fmt::Debug for Server {
         f.debug_struct("Server")
             .field("workers", &self.workers.len())
             .field("config", &self.shared.config)
+            .field("durable", &self.shared.durable.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -194,14 +354,278 @@ impl Server {
     /// Starts the worker pool, writing one JSON event line per job
     /// transition to `sink` (see [`events`](crate::events)).
     pub fn start_with_events(config: ServerConfig, sink: Option<Box<dyn Write + Send>>) -> Server {
+        Server::start_inner(config, sink, None, None, State::default(), 1)
+    }
+
+    /// Starts an in-memory server with deterministic fault injection
+    /// (worker panics, dispatch delays) armed — the test harness for the
+    /// failure paths.
+    pub fn start_with_faults(config: ServerConfig, faults: Arc<FaultPlan>) -> Server {
+        Server::start_inner(config, None, None, Some(faults), State::default(), 1)
+    }
+
+    /// Starts a durable server rooted at `dir`: every checkpoint is
+    /// persisted through a [`DiskSnapshotStore`] as it is taken, and every
+    /// job transition is journaled so [`Server::recover`] can rebuild the
+    /// queue after a crash.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when the directory or journal cannot be
+    /// created.
+    pub fn start_durable(
+        dir: impl AsRef<Path>,
+        config: ServerConfig,
+    ) -> Result<Server, StoreError> {
+        Server::start_durable_with(dir, config, DurableOptions::default())
+    }
+
+    /// [`start_durable`](Server::start_durable) with store tuning, an event
+    /// sink and/or fault injection.
+    ///
+    /// # Errors
+    ///
+    /// As [`start_durable`](Server::start_durable).
+    pub fn start_durable_with(
+        dir: impl AsRef<Path>,
+        config: ServerConfig,
+        options: DurableOptions,
+    ) -> Result<Server, StoreError> {
+        let dir = dir.as_ref();
+        let store =
+            DiskSnapshotStore::open(dir, options.store)?.with_faults(options.faults.clone());
+        let journal = Journal::open(dir)?;
+        journal.append(&config.journal_line())?;
+        let durable = Durable { store, journal };
+        Ok(Server::start_inner(
+            config,
+            options.events,
+            Some(durable),
+            options.faults,
+            State::default(),
+            1,
+        ))
+    }
+
+    /// Rebuilds a durable server from `dir` after a crash (or a drop
+    /// without drain): replays the journal, restores terminal outcomes,
+    /// and re-queues every unfinished job to resume from its latest
+    /// durable snapshot. Corrupt snapshot files fall back to the previous
+    /// good generation; when no generation survives, the job restarts cold
+    /// instead of being lost.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] for filesystem failures, [`StoreError::Journal`]
+    /// when the journal is corrupt before its final line (a torn final
+    /// line — the signature of a crash mid-append — is tolerated).
+    pub fn recover(dir: impl AsRef<Path>) -> Result<(Server, RecoveryReport), StoreError> {
+        Server::recover_with(dir, DurableOptions::default())
+    }
+
+    /// [`recover`](Server::recover) with store tuning, an event sink
+    /// and/or fault injection for the recovered server.
+    ///
+    /// # Errors
+    ///
+    /// As [`recover`](Server::recover).
+    pub fn recover_with(
+        dir: impl AsRef<Path>,
+        options: DurableOptions,
+    ) -> Result<(Server, RecoveryReport), StoreError> {
+        let dir = dir.as_ref();
+        let entries = Journal::read_entries(dir)?;
+        let journal_err = |index: usize, detail: String| StoreError::Journal {
+            line: index + 1,
+            detail,
+        };
+
+        struct RecJob {
+            spec: Option<JobSpec>,
+            attempts: usize,
+            retries: usize,
+            resumed_attempts: usize,
+            state: JobState,
+            outcome: Option<JobOutcome>,
+            has_checkpoint: bool,
+        }
+        impl Default for RecJob {
+            fn default() -> Self {
+                RecJob {
+                    spec: None,
+                    attempts: 0,
+                    retries: 0,
+                    resumed_attempts: 0,
+                    state: JobState::Queued,
+                    outcome: None,
+                    has_checkpoint: false,
+                }
+            }
+        }
+
+        let mut config: Option<ServerConfig> = None;
+        let mut jobs: BTreeMap<u64, RecJob> = BTreeMap::new();
+        for (index, value) in entries.iter().enumerate() {
+            let obj = value
+                .as_object()
+                .ok_or_else(|| journal_err(index, "entry is not an object".into()))?;
+            let kind = ncgws_core::snapshot::json::get(obj, "entry")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| journal_err(index, "entry is missing `entry`".into()))?;
+            if kind == "server" {
+                config = Some(ServerConfig::from_journal(obj).map_err(|e| journal_err(index, e))?);
+                continue;
+            }
+            let job_id = ncgws_core::snapshot::json::get(obj, "job")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| journal_err(index, format!("`{kind}` entry is missing `job`")))?;
+            let job = jobs.entry(job_id).or_default();
+            match kind {
+                "submitted" => {
+                    let spec_value =
+                        ncgws_core::snapshot::json::get(obj, "spec").ok_or_else(|| {
+                            journal_err(index, "submitted entry missing `spec`".into())
+                        })?;
+                    job.spec = Some(
+                        codec::decode_job_spec(spec_value).map_err(|e| journal_err(index, e))?,
+                    );
+                    let resume = ncgws_core::snapshot::json::get(obj, "resume")
+                        .and_then(JsonValue::as_bool)
+                        .unwrap_or(false);
+                    job.has_checkpoint |= resume;
+                }
+                "dispatched" => {
+                    job.attempts += 1;
+                    job.state = JobState::Running;
+                    if ncgws_core::snapshot::json::get(obj, "resumed")
+                        .and_then(JsonValue::as_bool)
+                        .unwrap_or(false)
+                    {
+                        job.resumed_attempts += 1;
+                    }
+                }
+                "checkpointed" => job.has_checkpoint = true,
+                "requeued" => job.state = JobState::Queued,
+                "retried" => {
+                    job.state = JobState::Queued;
+                    job.retries += 1;
+                }
+                "completed" | "cancelled" | "failed" => {
+                    job.state = match kind {
+                        "completed" => JobState::Completed,
+                        "cancelled" => JobState::Cancelled,
+                        _ => JobState::Failed,
+                    };
+                    let outcome_value = ncgws_core::snapshot::json::get(obj, "outcome")
+                        .ok_or_else(|| journal_err(index, format!("`{kind}` missing `outcome`")))?;
+                    job.outcome = Some(
+                        codec::decode_job_outcome(outcome_value)
+                            .map_err(|e| journal_err(index, e))?,
+                    );
+                }
+                // Unknown kinds are tolerated for forward compatibility.
+                _ => {}
+            }
+        }
+        let config = config.ok_or(StoreError::Journal {
+            line: 0,
+            detail: "journal has no `server` config entry (not a server directory?)".into(),
+        })?;
+
+        let store =
+            DiskSnapshotStore::open(dir, options.store)?.with_faults(options.faults.clone());
+        let journal = Journal::open(dir)?;
+        let mut report = RecoveryReport::default();
+        let mut state = State::default();
+        let mut max_id = 0u64;
+        for (id, rec) in jobs {
+            let Some(spec) = rec.spec else {
+                // Lifecycle entries for a job whose `submitted` line was
+                // torn away: nothing to rebuild from.
+                continue;
+            };
+            max_id = max_id.max(id);
+            report.jobs_seen += 1;
+            let seq = state.next_seq;
+            state.next_seq += 1;
+            let mut entry = JobEntry {
+                spec,
+                seq,
+                state: rec.state,
+                attempts: rec.attempts,
+                retries: rec.retries,
+                resumed_attempts: rec.resumed_attempts,
+                iterations: 0,
+                snapshot: None,
+                has_checkpoint: false,
+                not_before: None,
+                cancel: None,
+                cancel_requested: false,
+                outcome: rec.outcome,
+                instance: None,
+            };
+            match rec.state {
+                JobState::Completed => report.completed += 1,
+                JobState::Cancelled => report.cancelled += 1,
+                JobState::Failed => report.failed += 1,
+                JobState::Queued | JobState::Running => {
+                    // Interrupted (Running means the process died mid
+                    // attempt): back on the queue, resuming from the latest
+                    // durable snapshot when one decodes.
+                    report.requeued += 1;
+                    entry.state = JobState::Queued;
+                    if rec.has_checkpoint {
+                        match store.load(id) {
+                            Ok(Some(snapshot)) => {
+                                entry.has_checkpoint = true;
+                                entry.iterations = snapshot.iterations_done;
+                                report.resumed_from_checkpoint += 1;
+                            }
+                            Ok(None) => {}
+                            Err(_) => report.corrupt_snapshots += 1,
+                        }
+                    }
+                    state.ready.insert(queue_key(entry.spec.priority, seq, id));
+                    state
+                        .tenants
+                        .entry(entry.spec.tenant.clone())
+                        .or_default()
+                        .queued += 1;
+                }
+            }
+            state.jobs.insert(id, entry);
+        }
+
+        let durable = Durable { store, journal };
+        let server = Server::start_inner(
+            config,
+            options.events,
+            Some(durable),
+            options.faults,
+            state,
+            max_id + 1,
+        );
+        Ok((server, report))
+    }
+
+    fn start_inner(
+        config: ServerConfig,
+        sink: Option<Box<dyn Write + Send>>,
+        durable: Option<Durable>,
+        faults: Option<Arc<FaultPlan>>,
+        state: State,
+        next_id: u64,
+    ) -> Server {
         let workers = config.workers.max(1);
         let shared = Arc::new(Shared {
-            state: Mutex::new(State::default()),
+            state: Mutex::new(state),
             work_ready: Condvar::new(),
             progress: Condvar::new(),
             counters: Counters::default(),
             config,
             events: sink.map(Mutex::new),
+            durable,
+            faults: faults.filter(|p| p.is_active()),
         });
         let handles = (0..workers)
             .map(|_| {
@@ -212,7 +636,7 @@ impl Server {
         Server {
             shared,
             workers: handles,
-            next_id: AtomicU64::new(1),
+            next_id: AtomicU64::new(next_id),
         }
     }
 
@@ -242,22 +666,42 @@ impl Server {
     }
 
     fn enqueue(&self, spec: JobSpec, snapshot: Option<Snapshot>) -> Result<JobId, SubmitError> {
-        let (id, event) = {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        // Durable resume submissions persist the seed snapshot before the
+        // journal promises it exists.
+        let mut durable_checkpoint = false;
+        let mut snapshot = snapshot;
+        if let (Some(durable), Some(snap)) = (&self.shared.durable, &snapshot) {
+            if durable.store.save(id, snap).is_ok() {
+                durable_checkpoint = true;
+                snapshot = None;
+            }
+        }
+        let event = {
             let mut guard = self.shared.state.lock().expect("server state poisoned");
             let st = &mut *guard;
             if st.draining {
                 Counters::add(&self.shared.counters.rejected, 1);
+                if durable_checkpoint {
+                    if let Some(durable) = &self.shared.durable {
+                        durable.store.remove(id);
+                    }
+                }
                 return Err(SubmitError::Draining);
             }
             let tenant = st.tenants.entry(spec.tenant.clone()).or_default();
             if tenant.queued >= self.shared.config.max_queued_per_tenant {
                 Counters::add(&self.shared.counters.rejected, 1);
+                if durable_checkpoint {
+                    if let Some(durable) = &self.shared.durable {
+                        durable.store.remove(id);
+                    }
+                }
                 return Err(SubmitError::QueueFull {
                     tenant: spec.tenant,
                 });
             }
             tenant.queued += 1;
-            let id = self.next_id.fetch_add(1, Ordering::Relaxed);
             let seq = st.next_seq;
             st.next_seq += 1;
             st.ready.insert(queue_key(spec.priority, seq, id));
@@ -267,9 +711,20 @@ impl Server {
                     ("job", Field::U(id)),
                     ("tenant", Field::S(&spec.tenant)),
                     ("priority", Field::I(i64::from(spec.priority))),
-                    ("resumed", Field::B(snapshot.is_some())),
+                    (
+                        "resumed",
+                        Field::B(snapshot.is_some() || durable_checkpoint),
+                    ),
                 ],
             );
+            let journal_line = self.shared.durable.as_ref().map(|_| {
+                let encoded =
+                    serde_json::to_string(&spec).expect("spec serialization is infallible");
+                format!(
+                    "{{\"entry\":\"submitted\",\"job\":{id},\"resume\":{},\"spec\":{encoded}}}",
+                    durable_checkpoint
+                )
+            });
             st.jobs.insert(
                 id,
                 JobEntry {
@@ -277,9 +732,12 @@ impl Server {
                     seq,
                     state: JobState::Queued,
                     attempts: 0,
+                    retries: 0,
                     resumed_attempts: 0,
                     iterations: 0,
                     snapshot,
+                    has_checkpoint: durable_checkpoint,
+                    not_before: None,
                     cancel: None,
                     cancel_requested: false,
                     outcome: None,
@@ -287,7 +745,10 @@ impl Server {
                 },
             );
             Counters::add(&self.shared.counters.submitted, 1);
-            (id, event)
+            if let Some(text) = &journal_line {
+                self.shared.journal(text);
+            }
+            event
         };
         self.shared.work_ready.notify_one();
         self.shared.emit(event);
@@ -320,16 +781,18 @@ impl Server {
                     });
                     let key = queue_key(entry.spec.priority, entry.seq, id.0);
                     st.ready.remove(&key);
-                    let tenant = &entry.spec.tenant;
-                    if let Some(t) = st.tenants.get_mut(tenant) {
+                    let tenant = entry.spec.tenant.clone();
+                    if let Some(t) = st.tenants.get_mut(&tenant) {
                         t.queued -= 1;
                     }
                     Counters::add(&self.shared.counters.cancelled, 1);
+                    let outcome = entry.outcome.clone().expect("just set");
+                    self.shared.journal_terminal("cancelled", id.0, &outcome);
                     line(
                         "cancelled",
                         &[
                             ("job", Field::U(id.0)),
-                            ("tenant", Field::S(tenant)),
+                            ("tenant", Field::S(&tenant)),
                             ("while", Field::S("queued")),
                         ],
                     )
@@ -361,16 +824,8 @@ impl Server {
         st.jobs.get(&id.0).and_then(|e| e.outcome.clone())
     }
 
-    /// The job's latest retained checkpoint, usable with
-    /// [`submit_resume`](Server::submit_resume) — on this server or a new
-    /// one.
-    pub fn snapshot_of(&self, id: JobId) -> Option<Snapshot> {
-        let st = self.shared.state.lock().expect("server state poisoned");
-        st.jobs.get(&id.0).and_then(|e| e.snapshot.clone())
-    }
-
-    /// Blocks until the job is terminal and returns its outcome (`None`
-    /// for unknown ids).
+    /// Blocks until the job reaches a terminal state and returns its
+    /// outcome; `None` for unknown ids.
     pub fn wait(&self, id: JobId) -> Option<JobOutcome> {
         let mut st = self.shared.state.lock().expect("server state poisoned");
         loop {
@@ -388,8 +843,31 @@ impl Server {
         }
     }
 
+    /// The job's latest retained checkpoint, usable with
+    /// [`submit_resume`](Server::submit_resume) — on this server or a new
+    /// one. Durable servers read it back through the store (resident cache
+    /// or disk).
+    pub fn snapshot_of(&self, id: JobId) -> Option<Snapshot> {
+        let (snapshot, has_checkpoint) = {
+            let st = self.shared.state.lock().expect("server state poisoned");
+            let entry = st.jobs.get(&id.0)?;
+            (entry.snapshot.clone(), entry.has_checkpoint)
+        };
+        if snapshot.is_some() {
+            return snapshot;
+        }
+        if has_checkpoint {
+            if let Some(durable) = &self.shared.durable {
+                return durable.store.load(id.0).ok().flatten();
+            }
+        }
+        None
+    }
+
     /// A point-in-time statistics snapshot (counters plus queue gauges and
-    /// memory accounting).
+    /// memory accounting). For durable servers the snapshot gauges come
+    /// from the store: `snapshot_bytes_resident` is the in-memory cache,
+    /// `snapshot_bytes_spilled` the bytes living only on disk.
     pub fn stats(&self) -> ServerStats {
         let st = self.shared.state.lock().expect("server state poisoned");
         let mut stats = self.shared.counters.snapshot();
@@ -401,21 +879,32 @@ impl Server {
                 .filter(|e| !e.state.is_terminal())
                 .map(|e| e.spec.memory_bytes())
                 .sum::<usize>();
-        stats.snapshot_bytes = st
+        stats.snapshot_bytes_resident = st
             .jobs
             .values()
             .filter_map(|e| e.snapshot.as_ref())
             .map(Snapshot::memory_bytes)
             .sum();
+        drop(st);
+        if let Some(durable) = &self.shared.durable {
+            let store = durable.store.stats();
+            stats.snapshot_bytes_resident += store.resident_bytes as usize;
+            stats.snapshot_bytes_spilled = store.spilled_bytes as usize;
+            stats.snapshots_spilled = store.spills as usize;
+            stats.snapshots_corrupt_recovered = store.corrupt_recovered as usize;
+        }
+        stats.snapshot_bytes = stats.snapshot_bytes_resident + stats.snapshot_bytes_spilled;
         stats
     }
 
     /// Approximate bytes held by the server's queues and retained
     /// snapshots (the serving-side extension of the engine's
     /// [`MemoryBreakdown`](ncgws_core::MemoryBreakdown) accounting).
+    /// Spilled snapshots do not count — spilling exists to shed exactly
+    /// this memory.
     pub fn memory_bytes(&self) -> usize {
         let stats = self.stats();
-        stats.queue_bytes + stats.snapshot_bytes
+        stats.queue_bytes + stats.snapshot_bytes_resident
     }
 
     /// Stops accepting submissions, finishes every queued and in-flight
@@ -449,6 +938,16 @@ impl Server {
                 ("completed", Field::U(stats.completed as u64)),
                 ("cancelled", Field::U(stats.cancelled as u64)),
                 ("failed", Field::U(stats.failed as u64)),
+                ("panics", Field::U(stats.panics as u64)),
+                ("attempts_retried", Field::U(stats.attempts_retried as u64)),
+                (
+                    "snapshots_spilled",
+                    Field::U(stats.snapshots_spilled as u64),
+                ),
+                (
+                    "snapshots_corrupt_recovered",
+                    Field::U(stats.snapshots_corrupt_recovered as u64),
+                ),
             ],
         ));
         stats
@@ -456,13 +955,25 @@ impl Server {
 }
 
 impl Drop for Server {
+    /// Stops the server without finishing the queue: cancels running
+    /// attempts cooperatively (they checkpoint and requeue), then joins
+    /// every worker so no detached thread races on shared state after the
+    /// drop. Durable servers leave the queue recoverable on disk.
     fn drop(&mut self) {
-        self.shared
-            .state
-            .lock()
-            .expect("server state poisoned")
-            .draining = true;
+        {
+            let mut st = self.shared.state.lock().expect("server state poisoned");
+            st.draining = true;
+            st.shutdown = true;
+            for entry in st.jobs.values() {
+                if let Some(flag) = &entry.cancel {
+                    flag.cancel();
+                }
+            }
+        }
         self.shared.work_ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -471,9 +982,11 @@ struct Attempt {
     id: u64,
     spec: JobSpec,
     snapshot: Option<Snapshot>,
+    has_checkpoint: bool,
     instance: Option<Arc<ProblemInstance>>,
     attempt: usize,
     flag: CancelFlag,
+    delay: Option<Duration>,
 }
 
 fn worker_loop(shared: &Shared) {
@@ -487,7 +1000,10 @@ fn worker_loop(shared: &Shared) {
                 ("job", Field::U(attempt.id)),
                 ("tenant", Field::S(&attempt.spec.tenant)),
                 ("attempt", Field::U(attempt.attempt as u64)),
-                ("resumed", Field::B(attempt.snapshot.is_some())),
+                (
+                    "resumed",
+                    Field::B(attempt.snapshot.is_some() || attempt.has_checkpoint),
+                ),
             ],
         ));
         run_and_settle(shared, attempt);
@@ -495,20 +1011,34 @@ fn worker_loop(shared: &Shared) {
 }
 
 /// Blocks until an admissible job can be claimed; `None` when the server
-/// has drained completely.
+/// has drained completely or is shutting down.
 fn next_attempt(shared: &Shared) -> Option<Attempt> {
     let mut guard = shared.state.lock().expect("server state poisoned");
     let key = loop {
-        if let Some(key) = guard.pick(shared.config.max_in_flight_per_tenant) {
+        if guard.shutdown {
+            return None;
+        }
+        let now = Instant::now();
+        if let Some(key) = guard.pick(shared.config.max_in_flight_per_tenant, now) {
             break key;
         }
         if guard.draining && guard.all_done() {
             return None;
         }
-        guard = shared
-            .work_ready
-            .wait(guard)
-            .expect("server state poisoned");
+        guard = match guard.earliest_backoff(now) {
+            // A retry backoff is pending: sleep at most until it expires.
+            Some(delay) => {
+                shared
+                    .work_ready
+                    .wait_timeout(guard, delay)
+                    .expect("server state poisoned")
+                    .0
+            }
+            None => shared
+                .work_ready
+                .wait(guard)
+                .expect("server state poisoned"),
+        };
     };
     let st = &mut *guard;
     st.ready.remove(&key);
@@ -517,19 +1047,29 @@ fn next_attempt(shared: &Shared) -> Option<Attempt> {
     let entry = st.jobs.get_mut(&id).expect("ready key without job");
     entry.state = JobState::Running;
     entry.attempts += 1;
+    entry.not_before = None;
     entry.cancel = Some(flag.clone());
-    if entry.snapshot.is_some() {
-        entry.resumed_attempts += 1;
-        Counters::add(&shared.counters.resumed, 1);
-    }
+    let resumed = entry.snapshot.is_some() || entry.has_checkpoint;
+    let delay = shared
+        .faults
+        .as_ref()
+        .and_then(|plan| plan.dispatch_delay(id, entry.attempts));
     let attempt = Attempt {
         id,
         spec: entry.spec.clone(),
         snapshot: entry.snapshot.clone(),
+        has_checkpoint: entry.has_checkpoint,
         instance: entry.instance.clone(),
         attempt: entry.attempts,
         flag,
+        delay,
     };
+    if shared.durable.is_some() {
+        shared.journal(&format!(
+            "{{\"entry\":\"dispatched\",\"job\":{id},\"attempt\":{},\"resumed\":{resumed}}}",
+            entry.attempts
+        ));
+    }
     let tenant = st
         .tenants
         .get_mut(&attempt.spec.tenant)
@@ -540,9 +1080,54 @@ fn next_attempt(shared: &Shared) -> Option<Attempt> {
     Some(attempt)
 }
 
+/// How one guarded attempt ended.
+enum AttemptResult {
+    /// The solver returned (converged, interrupted, or limit).
+    Finished(Box<SizedOutcome>),
+    /// The solver returned an error (bad config, bad instance, mismatched
+    /// snapshot) — deterministic, not retried.
+    Error(String),
+    /// The worker panicked (a real bug or an injected fault) — transient,
+    /// retried under the job's [`RetryPolicy`](crate::RetryPolicy).
+    Panicked(String),
+}
+
+/// An [`Observer`] wrapper that panics at a chosen iteration — the
+/// fault-injection vehicle for worker panics (forwarding to the live
+/// counters first, like a real observer would have).
+struct PanicProbe<'a> {
+    inner: &'a Counters,
+    at: usize,
+    seen: AtomicUsize,
+}
+
+impl Observer for PanicProbe<'_> {
+    fn on_iteration(&self, event: &IterationEvent<'_>) {
+        self.inner.on_iteration(event);
+        let n = self.seen.fetch_add(1, Ordering::Relaxed);
+        if n >= self.at {
+            panic!("injected fault: worker panic at iteration {n}");
+        }
+    }
+}
+
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("worker panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("worker panicked: {s}")
+    } else {
+        "worker panicked".to_string()
+    }
+}
+
 /// Runs one attempt outside the scheduler lock, then re-locks to classify
-/// the result: completion, cancellation, requeue-for-resume, or failure.
+/// the result: completion, cancellation, requeue-for-resume, retry-after-
+/// panic, or failure.
 fn run_and_settle(shared: &Shared, attempt: Attempt) {
+    if let Some(delay) = attempt.delay {
+        std::thread::sleep(delay);
+    }
     let instance = match &attempt.instance {
         Some(cached) => Ok(Arc::clone(cached)),
         None => match &attempt.spec.input {
@@ -553,15 +1138,35 @@ fn run_and_settle(shared: &Shared, attempt: Attempt) {
             JobInput::Instance(instance) => Ok(Arc::new((**instance).clone())),
         },
     };
-    let (result, checkpoint) = match &instance {
-        Ok(instance) => {
-            let store = SnapshotStore::new();
-            let result = run_attempt(shared, &attempt, instance, &store);
-            Counters::add(&shared.counters.checkpoints, store.count());
-            (result.map_err(|e| e.to_string()), store.take())
+    // Resolve the snapshot this attempt resumes from: the in-memory one, or
+    // — durable servers — the latest good generation in the store. A store
+    // where every generation is corrupt degrades to a cold start (counted
+    // by the store), never a lost job.
+    let mut resume = attempt.snapshot.clone();
+    if resume.is_none() && attempt.has_checkpoint {
+        if let Some(durable) = &shared.durable {
+            resume = durable.store.load(attempt.id).ok().flatten();
         }
-        Err(e) => (Err(e.clone()), None),
+    }
+    let resumed = resume.is_some();
+    let (result, checkpoint, checkpoints_taken) = match &instance {
+        Ok(instance) => match &shared.durable {
+            None => {
+                let store = SnapshotStore::new();
+                let result = run_guarded(shared, &attempt, instance, &store, resume.as_ref());
+                let taken = store.count();
+                (result, store.take(), taken)
+            }
+            Some(durable) => {
+                let sink = DiskSink::new(&durable.store, Some(&durable.journal), attempt.id);
+                let result = run_guarded(shared, &attempt, instance, &sink, resume.as_ref());
+                let taken = sink.saved();
+                (result, None, taken)
+            }
+        },
+        Err(e) => (AttemptResult::Error(e.clone()), None, 0),
     };
+    Counters::add(&shared.counters.checkpoints, checkpoints_taken);
 
     let mut guard = shared.state.lock().expect("server state poisoned");
     let st = &mut *guard;
@@ -575,13 +1180,25 @@ fn run_and_settle(shared: &Shared, attempt: Attempt) {
     if let Some(snapshot) = checkpoint {
         entry.snapshot = Some(snapshot);
     }
+    if checkpoints_taken > 0 && shared.durable.is_some() {
+        entry.has_checkpoint = true;
+    }
+    if resumed {
+        entry.resumed_attempts += 1;
+        Counters::add(&shared.counters.resumed, 1);
+    }
     let event = match result {
-        Ok(sized) => {
+        AttemptResult::Finished(sized) => {
             entry.iterations += sized.report.iterations;
             let reason = sized.stop_reason();
             if !reason.is_interrupted() {
                 settle(entry, JobState::Completed, reason, Some(&sized), None);
                 Counters::add(&shared.counters.completed, 1);
+                shared.journal_terminal(
+                    "completed",
+                    attempt.id,
+                    entry.outcome.as_ref().expect("settled"),
+                );
                 line(
                     "completed",
                     &[
@@ -601,6 +1218,11 @@ fn run_and_settle(shared: &Shared, attempt: Attempt) {
                     None,
                 );
                 Counters::add(&shared.counters.cancelled, 1);
+                shared.journal_terminal(
+                    "cancelled",
+                    attempt.id,
+                    entry.outcome.as_ref().expect("settled"),
+                );
                 line(
                     "cancelled",
                     &[
@@ -618,6 +1240,11 @@ fn run_and_settle(shared: &Shared, attempt: Attempt) {
                     Some("attempt cap exhausted".to_string()),
                 );
                 Counters::add(&shared.counters.failed, 1);
+                shared.journal_terminal(
+                    "failed",
+                    attempt.id,
+                    entry.outcome.as_ref().expect("settled"),
+                );
                 line(
                     "failed",
                     &[
@@ -627,17 +1254,25 @@ fn run_and_settle(shared: &Shared, attempt: Attempt) {
                     ],
                 )
             } else {
-                // Interrupted mid-run (budget or deadline): back on the
+                // Interrupted mid-run (budget, deadline, or a shutdown
+                // cancel without a client cancel request): back on the
                 // queue to resume from the checkpoint captured above.
                 entry.state = JobState::Queued;
                 let key = queue_key(entry.spec.priority, entry.seq, attempt.id);
-                let resume_from = entry.snapshot.as_ref().map_or(0, |s| s.iterations_done);
+                let resume_from = entry
+                    .snapshot
+                    .as_ref()
+                    .map_or(entry.iterations, |s| s.iterations_done);
                 st.ready.insert(key);
                 st.tenants
                     .get_mut(&attempt.spec.tenant)
                     .expect("job without tenant record")
                     .queued += 1;
                 Counters::add(&shared.counters.requeued, 1);
+                shared.journal(&format!(
+                    "{{\"entry\":\"requeued\",\"job\":{}}}",
+                    attempt.id
+                ));
                 line(
                     "requeued",
                     &[
@@ -649,7 +1284,41 @@ fn run_and_settle(shared: &Shared, attempt: Attempt) {
                 )
             }
         }
-        Err(error) => {
+        AttemptResult::Panicked(error)
+            if !entry.cancel_requested
+                && entry.retries < entry.spec.retry.max_retries
+                && entry.attempts < shared.config.max_attempts =>
+        {
+            // Transient failure with retries left: back off and requeue.
+            entry.retries += 1;
+            let delay_ms = entry.spec.retry.delay_ms(attempt.id, entry.retries);
+            if delay_ms > 0 {
+                entry.not_before = Some(Instant::now() + Duration::from_millis(delay_ms));
+            }
+            entry.state = JobState::Queued;
+            st.ready
+                .insert(queue_key(entry.spec.priority, entry.seq, attempt.id));
+            st.tenants
+                .get_mut(&attempt.spec.tenant)
+                .expect("job without tenant record")
+                .queued += 1;
+            Counters::add(&shared.counters.retried, 1);
+            shared.journal(&format!(
+                "{{\"entry\":\"retried\",\"job\":{},\"retry\":{}}}",
+                attempt.id, entry.retries
+            ));
+            line(
+                "retried",
+                &[
+                    ("job", Field::U(attempt.id)),
+                    ("tenant", Field::S(&attempt.spec.tenant)),
+                    ("retry", Field::U(entry.retries as u64)),
+                    ("backoff_ms", Field::U(delay_ms)),
+                    ("error", Field::S(&error)),
+                ],
+            )
+        }
+        AttemptResult::Error(error) | AttemptResult::Panicked(error) => {
             let cancelled = entry.cancel_requested;
             let (state, reason) = if cancelled {
                 Counters::add(&shared.counters.cancelled, 1);
@@ -659,6 +1328,8 @@ fn run_and_settle(shared: &Shared, attempt: Attempt) {
                 (JobState::Failed, StopReason::IterationLimit)
             };
             settle(entry, state, reason, None, Some(error.clone()));
+            let kind = if cancelled { "cancelled" } else { "failed" };
+            shared.journal_terminal(kind, attempt.id, entry.outcome.as_ref().expect("settled"));
             line(
                 "failed",
                 &[
@@ -701,22 +1372,58 @@ fn settle(
     });
 }
 
+/// Runs one attempt inside a panic guard, classifying the three ways it
+/// can come back.
+fn run_guarded(
+    shared: &Shared,
+    attempt: &Attempt,
+    instance: &ProblemInstance,
+    sink: &dyn CheckpointSink,
+    resume: Option<&Snapshot>,
+) -> AttemptResult {
+    let panic_at = shared
+        .faults
+        .as_ref()
+        .and_then(|plan| plan.panic_iteration(attempt.id, attempt.attempt));
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        run_attempt(shared, attempt, instance, sink, resume, panic_at)
+    }));
+    match outcome {
+        Ok(Ok(sized)) => AttemptResult::Finished(Box::new(sized)),
+        Ok(Err(e)) => AttemptResult::Error(e.to_string()),
+        Err(payload) => {
+            Counters::add(&shared.counters.panics, 1);
+            AttemptResult::Panicked(panic_text(payload))
+        }
+    }
+}
+
 /// Runs one attempt of the two-stage flow: cold, or resumed from the job's
 /// latest checkpoint.
 fn run_attempt(
     shared: &Shared,
     attempt: &Attempt,
     instance: &ProblemInstance,
-    store: &SnapshotStore,
+    sink: &dyn CheckpointSink,
+    resume: Option<&Snapshot>,
+    panic_at: Option<usize>,
 ) -> Result<SizedOutcome, CoreError> {
+    let probe = panic_at.map(|at| PanicProbe {
+        inner: &shared.counters,
+        at,
+        seen: AtomicUsize::new(0),
+    });
     let mut policy = CheckpointPolicy::new().on_interrupt(true);
     if let Some(every) = shared.config.checkpoint_every {
         policy = policy.every(every);
     }
     let mut control = RunControl::new()
-        .with_observer(&shared.counters)
         .with_cancel_flag(attempt.flag.clone())
-        .with_checkpoints(store, policy);
+        .with_checkpoints(sink, policy);
+    control = match &probe {
+        Some(probe) => control.with_observer(probe),
+        None => control.with_observer(&shared.counters),
+    };
     if let Some(budget) = attempt.spec.iteration_budget {
         control = control.with_iteration_budget(budget);
     }
@@ -724,12 +1431,11 @@ fn run_attempt(
         control = control.with_timeout(Duration::from_millis(millis));
     }
     let ordered = Flow::prepare(instance, attempt.spec.config.clone())?.order()?;
-    match &attempt.snapshot {
+    match resume {
         Some(snapshot) => ordered.size_resume(snapshot, &control),
         None => ordered.size_with(&control),
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -39,8 +39,25 @@ pub struct ServerStats {
     pub checkpoints: usize,
     /// Approximate bytes held by queued job specs and queue bookkeeping.
     pub queue_bytes: usize,
-    /// Approximate bytes held by retained [`Snapshot`](ncgws_core::Snapshot)s.
+    /// Approximate bytes held by retained [`Snapshot`](ncgws_core::Snapshot)s
+    /// (resident plus spilled).
     pub snapshot_bytes: usize,
+    /// Bytes of snapshots resident in memory right now (equals
+    /// `snapshot_bytes` for in-memory servers).
+    pub snapshot_bytes_resident: usize,
+    /// Bytes of snapshots spilled to disk only (durable servers under a
+    /// store memory budget; 0 otherwise).
+    pub snapshot_bytes_spilled: usize,
+    /// Worker attempts that panicked (isolated via `catch_unwind`).
+    pub panics: usize,
+    /// Failed attempts put back on the queue by a job's
+    /// [`RetryPolicy`](crate::RetryPolicy).
+    pub attempts_retried: usize,
+    /// Snapshots evicted from the store's resident cache to disk.
+    pub snapshots_spilled: usize,
+    /// Snapshot loads that detected corruption and fell back to the
+    /// previous good generation.
+    pub snapshots_corrupt_recovered: usize,
 }
 
 /// Cumulative atomic counters shared by workers and the submit path.
@@ -58,6 +75,8 @@ pub(crate) struct Counters {
     pub(crate) rejected: AtomicUsize,
     pub(crate) iterations: AtomicUsize,
     pub(crate) checkpoints: AtomicUsize,
+    pub(crate) panics: AtomicUsize,
+    pub(crate) retried: AtomicUsize,
 }
 
 impl Counters {
@@ -74,6 +93,8 @@ impl Counters {
             rejected: self.rejected.load(Ordering::Relaxed),
             iterations: self.iterations.load(Ordering::Relaxed),
             checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            attempts_retried: self.retried.load(Ordering::Relaxed),
             ..ServerStats::default()
         }
     }

@@ -1,9 +1,11 @@
-//! Serving under churn: thousands of queued jobs with random cancels,
-//! deadline kills, priority inversions and snapshot resubmits.
+//! Durable serving under churn: thousands of queued jobs with random
+//! cancels, deadline kills, priority inversions, snapshot resubmits — and a
+//! mid-churn server kill followed by crash-restart recovery.
 //!
 //! The drive submits well over a thousand jobs drawn from ~25 distinct
-//! synthetic benchmarks across 7 tenants with mixed priorities. While the
-//! queue drains:
+//! synthetic benchmarks across 7 tenants with mixed priorities, into a
+//! **durable** server (disk-backed snapshot store + lifecycle journal).
+//! While the queue drains:
 //!
 //! * a slice of jobs carries tight per-attempt iteration budgets, so they
 //!   are repeatedly killed, checkpointed and requeued to resume;
@@ -13,12 +15,14 @@
 //! * mid-flight checkpoints are stolen with `snapshot_of` and resubmitted
 //!   as brand-new jobs on the same server (`submit_resume`).
 //!
-//! At the end the queue must drain completely with **zero lost jobs**
-//! (every submission is accounted as completed or cancelled, none failed),
-//! and a sample of resumed jobs is re-run cold to verify the served result
-//! matches an uninterrupted run to 1e-6 — exercising the
-//! checkpoint/resume contract end to end. The summary reports the
-//! iteration cost a restart-from-zero policy would have paid instead.
+//! Then the server is **dropped without drain** — the in-process stand-in
+//! for a crash — while the backlog is still deep. `Server::recover`
+//! replays the journal, restores the finished outcomes, re-queues the
+//! backlog (resuming from the durable checkpoints), and the recovered
+//! server finishes the drain. At the end every submission must be
+//! accounted for with **zero lost jobs**, and a sample of resumed jobs is
+//! re-run cold to verify the served result matches an uninterrupted run to
+//! 1e-6 — exercising the durability contract end to end.
 //!
 //! Run with:
 //!
@@ -35,7 +39,9 @@ use rand_chacha::ChaCha8Rng;
 
 use ncgws::netlist::{CircuitSpec, SyntheticGenerator};
 use ncgws::serve::SharedBuffer;
-use ncgws::{Flow, JobId, JobInput, JobOutcome, JobSpec, JobState, Server, ServerConfig};
+use ncgws::{
+    DurableOptions, Flow, JobId, JobInput, JobOutcome, JobSpec, JobState, Server, ServerConfig,
+};
 
 const NUM_SPECS: usize = 25;
 const NUM_TENANTS: usize = 7;
@@ -64,20 +70,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let num_jobs: usize = if quick { 1000 } else { 2500 };
     let max_iterations = if quick { 25 } else { 50 };
 
+    // NCGWS_SERVER_DIR pins the server directory (CI uploads it as an
+    // artifact when the run fails); default is a per-process temp dir.
+    let dir = std::env::var_os("NCGWS_SERVER_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("ncgws-server-example-{}", std::process::id()))
+        });
+    let _ = std::fs::remove_dir_all(&dir);
+    let server_config = ServerConfig {
+        workers: 4,
+        max_in_flight_per_tenant: 3,
+        checkpoint_every: Some(8),
+        max_attempts: 64,
+        ..ServerConfig::default()
+    };
+
     let config = ncgws::core::OptimizerConfig::builder()
         .max_iterations(max_iterations)
         .build()?;
     let events = SharedBuffer::new();
-    let server = Server::start_with_events(
-        ServerConfig {
-            workers: 4,
-            max_in_flight_per_tenant: 3,
-            checkpoint_every: Some(8),
-            max_attempts: 64,
-            ..ServerConfig::default()
+    let server = Server::start_durable_with(
+        &dir,
+        server_config.clone(),
+        DurableOptions {
+            events: Some(Box::new(events.clone())),
+            ..DurableOptions::default()
         },
-        Some(Box::new(events.clone())),
-    );
+    )?;
 
     let mut rng = ChaCha8Rng::seed_from_u64(20260808);
     let mut submitted: Vec<Tracked> = Vec::new();
@@ -127,7 +147,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!(
-        "queue loaded: {} jobs ({} cancels requested); draining with snapshot steals...",
+        "queue loaded: {} jobs ({} cancels requested); churning with snapshot steals...",
         submitted.len(),
         cancels_requested
     );
@@ -135,9 +155,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Churn while the queue drains: keep scanning for a still-live job
     // holding a checkpoint (requeued after a kill, or mid-resume) and fork
     // it as a brand-new job via `submit_resume`. The loop ends when the
-    // steal cap is hit or every original job has gone terminal — so the
-    // steals land while the kills are actually happening, not after.
+    // steal cap is hit, every original job has gone terminal, or — since
+    // the kill below must land mid-churn — half the fleet is done.
     while stolen_resubmits < MAX_RESUBMITS {
+        let done = submitted
+            .iter()
+            .filter(|t| server.job_state(t.id).is_some_and(JobState::is_terminal))
+            .count();
+        if done * 2 >= submitted.len() {
+            break;
+        }
         let mut any_live = false;
         let start = rng.gen_range(0usize..submitted.len());
         let stolen = (0..submitted.len()).find_map(|step| {
@@ -180,8 +207,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
+    // Kill the server mid-churn: drop without drain. Running attempts are
+    // cancelled cooperatively (checkpointing on the way out), the backlog
+    // stays on disk, and the worker threads are joined.
+    let live_at_kill = submitted
+        .iter()
+        .filter(|t| server.job_state(t.id).is_some_and(|s| !s.is_terminal()))
+        .count();
+    println!("killing the server with {live_at_kill} jobs still live (drop without drain)...");
+    drop(server);
+
+    // Crash-restart recovery: replay the journal, restore finished
+    // outcomes, re-queue the backlog from its durable checkpoints.
+    let (server, report) = Server::recover_with(
+        &dir,
+        DurableOptions {
+            events: Some(Box::new(events.clone())),
+            ..DurableOptions::default()
+        },
+    )?;
+    println!(
+        "recovered: {} jobs seen, {} already terminal, {} requeued ({} resuming from a durable checkpoint)",
+        report.jobs_seen,
+        report.completed + report.cancelled + report.failed,
+        report.requeued,
+        report.resumed_from_checkpoint
+    );
+
     // Wait for every job — originals and stolen forks alike — and account
-    // for all of them: nothing may be lost.
+    // for all of them: nothing may be lost across the kill.
     let mut outcomes: Vec<(usize, JobOutcome)> = Vec::new(); // (submitted index, outcome)
     let mut by_state: HashMap<&'static str, usize> = HashMap::new();
     for (index, tracked) in submitted.iter().enumerate() {
@@ -267,24 +321,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         failed
     );
     println!(
-        "server:  {} requeues, {} resumed attempts, {} checkpoints, {} iterations",
+        "server:  {} requeues, {} resumed attempts, {} checkpoints, {} iterations (post-recovery life)",
         stats.requeued, stats.resumed, stats.checkpoints, stats.iterations
+    );
+    println!(
+        "store:   {} bytes resident / {} bytes spilled, {} corrupt-recovered",
+        stats.snapshot_bytes_resident,
+        stats.snapshot_bytes_spilled,
+        stats.snapshots_corrupt_recovered
     );
     println!(
         "resume:  {verified} resumed jobs re-verified against cold runs at 1e-6; \
          restart-from-zero would have re-executed >= {redone_saved} iterations on them"
     );
-    println!("events:  {} JSON lines captured", events.num_lines());
+    println!(
+        "events:  {} JSON lines captured across both server lives",
+        events.num_lines()
+    );
 
-    // Zero lost jobs: every submission is accounted, none failed, the
-    // queue is empty and nothing is still running.
+    // Zero lost jobs across the kill: every submission is accounted, none
+    // failed, the queue is empty and nothing is still running.
     assert_eq!(completed + cancelled + failed, submitted.len());
     assert_eq!(failed, 0, "no job may exhaust its attempt cap or error");
     assert_eq!(stats.queue_depth, 0);
     assert_eq!(stats.in_flight, 0);
-    assert_eq!(stats.submitted, submitted.len());
+    assert_eq!(report.jobs_seen, submitted.len());
+    assert!(live_at_kill > 0, "the kill must land mid-churn");
+    assert!(
+        report.resumed_from_checkpoint > 0,
+        "recovery must resume from durable checkpoints"
+    );
     assert!(verified > 0, "churn must produce resumed jobs to verify");
     assert!(stolen_resubmits > 0, "churn must exercise submit_resume");
-    println!("\nall churn invariants held: zero lost jobs, resume matches cold at 1e-6");
+    println!(
+        "\nall durability invariants held: zero lost jobs across the kill, resume matches cold at 1e-6"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
     Ok(())
 }

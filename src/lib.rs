@@ -383,6 +383,67 @@
 //! optional JSON-lines event stream (see `examples/server.rs` for a
 //! churn/fault-injection drive of thousands of jobs).
 //!
+//! # Durability & fault injection
+//!
+//! [`Server::start_durable`] makes the queue crash-safe: every checkpoint
+//! is persisted through a [`DiskSnapshotStore`] as it is taken (atomic
+//! temp-file-plus-rename writes, a versioned header and CRC-32 checksum
+//! per file, and a memory-budget spill policy that evicts cold snapshots
+//! to disk), and every job lifecycle transition is appended to a
+//! [`Journal`]. After a crash — modeled below by dropping the server
+//! without draining — [`Server::recover`] replays the journal, restores
+//! finished outcomes, and re-queues unfinished jobs to resume from their
+//! latest durable snapshot: bitwise under the default exact strategy, to
+//! 1e-6 under the adaptive schedule. A corrupted snapshot file is detected
+//! by its checksum and falls back to the previous good generation (or a
+//! cold start) instead of losing the job.
+//!
+//! Worker panics are isolated per attempt and retried under the job's
+//! [`RetryPolicy`] (deterministic exponential backoff), and a seeded
+//! [`FaultPlan`] injects panics, I/O errors, torn writes and dispatch
+//! delays reproducibly — see `tests/serve_durability.rs` for the
+//! crash-recovery property tests.
+//!
+//! ```rust
+//! use ncgws::core::OptimizerConfig;
+//! use ncgws::netlist::{CircuitSpec, SyntheticGenerator};
+//! use ncgws::{Flow, JobInput, JobSpec, Server, ServerConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let dir = std::env::temp_dir().join(format!("ncgws-docs-durable-{}", std::process::id()));
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! let config = OptimizerConfig::builder().max_iterations(20).build()?;
+//! let circuit = CircuitSpec::new("durable", 20, 45).with_seed(7);
+//! let job = JobSpec::new(JobInput::Synthetic(circuit.clone()), config.clone())
+//!     .with_iteration_budget(3); // each attempt is killed after 3 iterations
+//!
+//! // A durable server: checkpoints go to disk, transitions to a journal.
+//! let server = Server::start_durable(
+//!     &dir,
+//!     ServerConfig { workers: 1, ..ServerConfig::default() },
+//! )?;
+//! let id = server.submit(job)?;
+//! while server.stats().checkpoints == 0 {
+//!     std::thread::sleep(std::time::Duration::from_millis(1));
+//! }
+//! drop(server); // crash mid-job: no drain — queue and checkpoints survive on disk
+//!
+//! // Recover and finish: the job resumes from its durable checkpoint.
+//! let (server, report) = Server::recover(&dir)?;
+//! assert_eq!(report.jobs_seen, 1);
+//! let outcome = server.wait(id).expect("job resolves");
+//! assert!(!outcome.stop_reason.is_interrupted());
+//! server.drain();
+//!
+//! // The recovered result is bitwise identical to an uninterrupted run.
+//! let instance = SyntheticGenerator::new(circuit).generate()?;
+//! let cold = Flow::prepare(&instance, config)?.order()?.size()?;
+//! assert_eq!(outcome.final_metrics.unwrap(), cold.report.final_metrics);
+//! # std::fs::remove_dir_all(&dir)?;
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! # Legacy one-shot API
 //!
 //! The original `Optimizer::run` entry point remains and is bit-identical to
@@ -427,6 +488,14 @@ pub use ncgws_core::{
 pub use ncgws_core::{CheckpointPolicy, CheckpointSink, Snapshot, SnapshotStore};
 pub use ncgws_serve::{
     JobId, JobInput, JobOutcome, JobSpec, JobState, Server, ServerConfig, ServerStats, SubmitError,
+};
+
+// Durability and fault injection: the disk-backed snapshot store, the
+// lifecycle journal behind `Server::recover`, per-job retry policies, and
+// the deterministic fault plan that exercises all of it.
+pub use ncgws_serve::{
+    DiskSnapshotStore, DurableOptions, FaultPlan, Journal, RecoveryReport, RetryPolicy,
+    StoreConfig, StoreError, StoreStats, WriteFault,
 };
 
 // The composable constraint system: specs travel in the configuration, the

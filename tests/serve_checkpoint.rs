@@ -340,3 +340,56 @@ fn server_fault_injection_drains_with_zero_lost_jobs() {
         cold.report.final_metrics
     );
 }
+
+/// Snapshot JSON for the mutation property below, built once (a real
+/// mid-run checkpoint, not a synthetic document).
+fn mutation_fixture() -> &'static (ProblemInstance, String) {
+    static FIXTURE: std::sync::OnceLock<(ProblemInstance, String)> = std::sync::OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let inst = instance(3, 18);
+        let store = SnapshotStore::new();
+        let control = RunControl::new()
+            .with_iteration_budget(2)
+            .with_checkpoints(&store, CheckpointPolicy::new().on_interrupt(true));
+        Flow::prepare(&inst, quick_config())
+            .expect("prepare")
+            .order()
+            .expect("order")
+            .size_with(&control)
+            .expect("killed run");
+        let json = store.take().expect("snapshot captured").to_json();
+        (inst, json)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// Robustness: arbitrary single-byte mutations of a valid snapshot
+    /// document either fail to parse (`Err`) or produce a snapshot that
+    /// still answers `validate_for` — never a panic, never an
+    /// out-of-bounds resume. Truncations must always be rejected.
+    #[test]
+    fn mutated_snapshot_json_never_panics(pos in 0usize..100_000, byte in 0u8..=255u8, cut in 0usize..100_000) {
+        let (inst, json) = mutation_fixture();
+
+        // Single-byte mutation (any value, any position).
+        let mut bytes = json.clone().into_bytes();
+        let pos = pos % bytes.len();
+        bytes[pos] = byte;
+        if let Ok(text) = String::from_utf8(bytes) {
+            if let Ok(snapshot) = Snapshot::from_json(&text) {
+                // A mutation that survives parsing (e.g. a flipped digit)
+                // must still be safe to screen: validation may accept or
+                // reject it, but must not panic or index out of bounds.
+                let _ = snapshot.validate_for(&inst.circuit);
+            }
+        }
+
+        // Any strict prefix is an incomplete document: always an error.
+        let cut = cut % json.len();
+        if json.is_char_boundary(cut) {
+            prop_assert!(Snapshot::from_json(&json[..cut]).is_err());
+        }
+    }
+}
