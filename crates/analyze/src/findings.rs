@@ -1,0 +1,160 @@
+//! Findings, stable fingerprints, and the committed baseline.
+//!
+//! A finding carries its human-facing location (`file:line`) *and* a
+//! line-number-free fingerprint, so the committed baseline survives
+//! unrelated edits above a finding. The fingerprint is
+//! `pass|file|context|detail@ordinal` where `context` is the enclosing
+//! function (or item) and `ordinal` numbers repeated identical findings
+//! within one context in token order.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Pass identifier (`no-alloc`, `unsafe-audit`, `panic-path`,
+    /// `feature-gate`).
+    pub pass: &'static str,
+    /// Repo-relative path.
+    pub file: String,
+    pub line: u32,
+    /// Enclosing function or item name (`-` at module level).
+    pub context: String,
+    /// What was matched (e.g. `clone`, `unsafe-block`, `indexing`).
+    pub detail: String,
+    /// 1-based occurrence number of this (pass, file, context, detail)
+    /// combination, assigned in token order.
+    pub ordinal: u32,
+    pub message: String,
+}
+
+impl Finding {
+    /// The baseline fingerprint.
+    pub fn key(&self) -> String {
+        format!(
+            "{}|{}|{}|{}@{}",
+            self.pass, self.file, self.context, self.detail, self.ordinal
+        )
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.pass, self.message
+        )
+    }
+}
+
+/// Accumulates findings and assigns ordinals.
+#[derive(Debug, Default)]
+pub struct Sink {
+    pub findings: Vec<Finding>,
+    counters: BTreeMap<(String, String, String, String), u32>,
+}
+
+impl Sink {
+    pub fn push(
+        &mut self,
+        pass: &'static str,
+        file: &str,
+        line: u32,
+        context: &str,
+        detail: &str,
+        message: String,
+    ) {
+        let counter = self
+            .counters
+            .entry((
+                pass.to_string(),
+                file.to_string(),
+                context.to_string(),
+                detail.to_string(),
+            ))
+            .or_insert(0);
+        *counter += 1;
+        self.findings.push(Finding {
+            pass,
+            file: file.to_string(),
+            line,
+            context: context.to_string(),
+            detail: detail.to_string(),
+            ordinal: *counter,
+            message,
+        });
+    }
+}
+
+/// The committed baseline: a set of accepted fingerprints.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    pub keys: BTreeSet<String>,
+}
+
+impl Baseline {
+    /// Parses baseline text: one fingerprint per line; `#` comments and
+    /// blank lines ignored.
+    pub fn parse(text: &str) -> Baseline {
+        let keys = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(str::to_string)
+            .collect();
+        Baseline { keys }
+    }
+
+    pub fn contains(&self, finding: &Finding) -> bool {
+        self.keys.contains(&finding.key())
+    }
+
+    /// Baseline entries that no longer match any finding (stale — the
+    /// accepted problem was fixed, so the entry should be removed).
+    pub fn stale<'a>(&'a self, findings: &[Finding]) -> Vec<&'a str> {
+        let live: BTreeSet<String> = findings.iter().map(Finding::key).collect();
+        self.keys
+            .iter()
+            .filter(|k| !live.contains(*k))
+            .map(String::as_str)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordinals_distinguish_repeated_findings() {
+        let mut sink = Sink::default();
+        sink.push("no-alloc", "a.rs", 3, "f", "clone", "clone in f".into());
+        sink.push("no-alloc", "a.rs", 9, "f", "clone", "clone in f".into());
+        sink.push("no-alloc", "a.rs", 9, "g", "clone", "clone in g".into());
+        let keys: Vec<String> = sink.findings.iter().map(Finding::key).collect();
+        assert_eq!(
+            keys,
+            vec![
+                "no-alloc|a.rs|f|clone@1",
+                "no-alloc|a.rs|f|clone@2",
+                "no-alloc|a.rs|g|clone@1"
+            ]
+        );
+    }
+
+    #[test]
+    fn baseline_roundtrip_and_staleness() {
+        let mut sink = Sink::default();
+        sink.push("panic-path", "s.rs", 1, "f", "unwrap", "m".into());
+        let baseline = Baseline::parse(
+            "# accepted\npanic-path|s.rs|f|unwrap@1\npanic-path|s.rs|gone|unwrap@1\n",
+        );
+        assert!(baseline.contains(&sink.findings[0]));
+        assert_eq!(
+            baseline.stale(&sink.findings),
+            vec!["panic-path|s.rs|gone|unwrap@1"]
+        );
+    }
+}

@@ -1,0 +1,528 @@
+//! A hand-rolled Rust lexer: just enough of the language to drive
+//! token-level lint passes reliably.
+//!
+//! The passes in this crate never need types or name resolution, but they
+//! *do* need to know exactly what is code and what is not: a `clone(` inside
+//! a string literal, a `unwrap()` inside a nested block comment, or an
+//! apostrophe that starts a lifetime rather than a char literal must never
+//! produce (or mask) a finding. The lexer therefore handles the full
+//! literal grammar — raw strings with arbitrary `#` fences, byte and raw
+//! byte strings, nested `/* /* */ */` comments, `'a` lifetimes vs `'a'`
+//! chars, raw identifiers — while treating everything it does not care
+//! about as single-character punctuation.
+//!
+//! Comments are not discarded: they are collected in a side list with their
+//! line numbers, because the unsafe-audit and panic-path passes key off
+//! adjacent `// SAFETY:` / justification comments.
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (including raw identifiers, with the `r#`
+    /// prefix stripped so `r#fn` compares equal to `fn` — the passes only
+    /// match names).
+    Ident,
+    /// A lifetime (`'a`, `'static`, `'_`), text without the quote.
+    Lifetime,
+    /// A character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A string literal of any flavor (`"…"`, `r#"…"#`, `b"…"`, `br"…"`).
+    Str,
+    /// A numeric literal (integer or float, any base, with suffix).
+    Num,
+    /// A single punctuation character (`{`, `}`, `!`, `[`, …).
+    Punct,
+}
+
+/// One token: kind, source text and 1-based line number.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes().first() == Some(&(c as u8))
+    }
+
+    /// Whether this token is the given identifier/keyword.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+/// One comment (line or block), with the line it *starts* on and the line
+/// it ends on. `text` keeps the comment markers.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+    pub end_line: u32,
+}
+
+/// The result of lexing one file: the token stream (comments and
+/// whitespace stripped) plus the side list of comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.src.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.peek(0);
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        b
+    }
+
+    fn eof(&self) -> bool {
+        self.pos >= self.src.len()
+    }
+
+    fn text_from(&self, start: usize) -> String {
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into tokens and comments. Invalid input never panics: the
+/// lexer degrades to single-character punctuation tokens.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Lexed::default();
+    while !cur.eof() {
+        let b = cur.peek(0);
+        let line = cur.line;
+        // Whitespace.
+        if b.is_ascii_whitespace() {
+            cur.bump();
+            continue;
+        }
+        // Comments.
+        if b == b'/' && cur.peek(1) == b'/' {
+            let start = cur.pos;
+            while !cur.eof() && cur.peek(0) != b'\n' {
+                cur.bump();
+            }
+            out.comments.push(Comment {
+                text: cur.text_from(start),
+                line,
+                end_line: cur.line,
+            });
+            continue;
+        }
+        if b == b'/' && cur.peek(1) == b'*' {
+            let start = cur.pos;
+            cur.bump();
+            cur.bump();
+            let mut depth = 1usize;
+            while !cur.eof() && depth > 0 {
+                if cur.peek(0) == b'/' && cur.peek(1) == b'*' {
+                    cur.bump();
+                    cur.bump();
+                    depth += 1;
+                } else if cur.peek(0) == b'*' && cur.peek(1) == b'/' {
+                    cur.bump();
+                    cur.bump();
+                    depth -= 1;
+                } else {
+                    cur.bump();
+                }
+            }
+            out.comments.push(Comment {
+                text: cur.text_from(start),
+                line,
+                end_line: cur.line,
+            });
+            continue;
+        }
+        // Raw strings / raw identifiers / byte strings: r"…", r#"…"#,
+        // br##"…"##, b"…", b'…', r#ident.
+        if is_ident_start(b) {
+            if let Some(tok) = try_lex_prefixed_literal(&mut cur, line) {
+                out.toks.push(tok);
+                continue;
+            }
+            let start = cur.pos;
+            while !cur.eof() && is_ident_continue(cur.peek(0)) {
+                cur.bump();
+            }
+            let mut text = cur.text_from(start);
+            // Raw identifier `r#name`: `#` broke the scan after `r` — stitch
+            // the name back and compare by it.
+            if text == "r" && cur.peek(0) == b'#' && is_ident_start(cur.peek(1)) {
+                cur.bump();
+                let name_start = cur.pos;
+                while !cur.eof() && is_ident_continue(cur.peek(0)) {
+                    cur.bump();
+                }
+                text = cur.text_from(name_start);
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line,
+            });
+            continue;
+        }
+        // Numbers.
+        if b.is_ascii_digit() {
+            let start = cur.pos;
+            while !cur.eof() && is_ident_continue(cur.peek(0)) {
+                cur.bump();
+            }
+            // Fractional part: `1.5`, but not `1..2` or `1.max()`.
+            if cur.peek(0) == b'.' && cur.peek(1).is_ascii_digit() {
+                cur.bump();
+                while !cur.eof() && is_ident_continue(cur.peek(0)) {
+                    cur.bump();
+                }
+            }
+            // Exponent sign: `1e-9` lexes `1e` then `-` then `9` above
+            // unless we stitch it here.
+            if (cur.peek(0) == b'+' || cur.peek(0) == b'-')
+                && matches!(cur.src.get(cur.pos.wrapping_sub(1)), Some(b'e' | b'E'))
+                && cur.peek(1).is_ascii_digit()
+            {
+                cur.bump();
+                while !cur.eof() && is_ident_continue(cur.peek(0)) {
+                    cur.bump();
+                }
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Num,
+                text: cur.text_from(start),
+                line,
+            });
+            continue;
+        }
+        // Plain strings.
+        if b == b'"' {
+            let start = cur.pos;
+            cur.bump();
+            lex_quoted_body(&mut cur, b'"');
+            out.toks.push(Tok {
+                kind: TokKind::Str,
+                text: cur.text_from(start),
+                line,
+            });
+            continue;
+        }
+        // Apostrophe: lifetime or char literal.
+        if b == b'\'' {
+            let start = cur.pos;
+            cur.bump();
+            if cur.peek(0) == b'\\' {
+                // Escaped char literal: '\n', '\'', '\u{…}'.
+                lex_quoted_body(&mut cur, b'\'');
+                out.toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: cur.text_from(start),
+                    line,
+                });
+            } else if is_ident_start(cur.peek(0)) || cur.peek(0).is_ascii_digit() {
+                // Could be 'a' (char) or 'a / 'static (lifetime): decide by
+                // whether a closing quote follows the first scalar.
+                let content_len = utf8_len(cur.peek(0));
+                if cur.peek(content_len) == b'\'' {
+                    for _ in 0..=content_len {
+                        cur.bump();
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Char,
+                        text: cur.text_from(start),
+                        line,
+                    });
+                } else {
+                    while !cur.eof() && is_ident_continue(cur.peek(0)) {
+                        cur.bump();
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: cur.text_from(start + 1),
+                        line,
+                    });
+                }
+            } else {
+                // Non-identifier char literal: '+', ' ', '"' …
+                lex_quoted_body(&mut cur, b'\'');
+                out.toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: cur.text_from(start),
+                    line,
+                });
+            }
+            continue;
+        }
+        // Everything else: single-character punctuation.
+        cur.bump();
+        out.toks.push(Tok {
+            kind: TokKind::Punct,
+            text: (b as char).to_string(),
+            line,
+        });
+    }
+    out
+}
+
+/// Consumes the body of a quoted literal (after the opening quote) up to
+/// and including the closing `delim`, honoring backslash escapes.
+fn lex_quoted_body(cur: &mut Cursor<'_>, delim: u8) {
+    while !cur.eof() {
+        let b = cur.bump();
+        if b == b'\\' {
+            if !cur.eof() {
+                cur.bump();
+            }
+        } else if b == delim {
+            break;
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// At an identifier-start position, tries to lex a raw string (`r"…"`,
+/// `r#"…"#`), raw byte string (`br##"…"##`), byte string (`b"…"`) or byte
+/// char (`b'…'`). Returns `None` when the position is a plain identifier
+/// (including raw identifiers `r#name`, handled by the caller).
+fn try_lex_prefixed_literal(cur: &mut Cursor<'_>, line: u32) -> Option<Tok> {
+    let b0 = cur.peek(0);
+    let (prefix_len, allow_hashes) = match (b0, cur.peek(1)) {
+        (b'r', _) => (1, true),
+        (b'b', b'r') => (2, true),
+        (b'b', _) => (1, false),
+        _ => return None,
+    };
+    // Count fence hashes after the prefix.
+    let mut hashes = 0usize;
+    if allow_hashes {
+        while cur.peek(prefix_len + hashes) == b'#' {
+            hashes += 1;
+        }
+    }
+    let quote = cur.peek(prefix_len + hashes);
+    if quote == b'"' {
+        if !allow_hashes && hashes > 0 {
+            return None;
+        }
+        // `r#ident` (raw identifier) has hashes but no quote — here the
+        // quote is present, so this really is a raw/byte string.
+        let start = cur.pos;
+        for _ in 0..(prefix_len + hashes + 1) {
+            cur.bump();
+        }
+        if hashes == 0 && allow_hashes {
+            // r"…": no escapes, ends at the first quote.
+            while !cur.eof() && cur.bump() != b'"' {}
+        } else if hashes == 0 {
+            // b"…": escapes apply.
+            lex_quoted_body(cur, b'"');
+        } else {
+            // r#…#"…"#…#: ends at `"` followed by `hashes` hashes.
+            'outer: while !cur.eof() {
+                if cur.bump() == b'"' {
+                    for h in 0..hashes {
+                        if cur.peek(h) != b'#' {
+                            continue 'outer;
+                        }
+                    }
+                    for _ in 0..hashes {
+                        cur.bump();
+                    }
+                    break;
+                }
+            }
+        }
+        return Some(Tok {
+            kind: TokKind::Str,
+            text: cur.text_from(start),
+            line,
+        });
+    }
+    if b0 == b'b' && prefix_len == 1 && hashes == 0 && quote == b'\'' {
+        let start = cur.pos;
+        cur.bump();
+        cur.bump();
+        lex_quoted_body(cur, b'\'');
+        return Some(Tok {
+            kind: TokKind::Char,
+            text: cur.text_from(start),
+            line,
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .toks
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_keywords_and_punct() {
+        let toks = kinds("pub fn f(x: u32) -> u32 { x }");
+        assert_eq!(toks[0], (TokKind::Ident, "pub".into()));
+        assert_eq!(toks[1], (TokKind::Ident, "fn".into()));
+        assert_eq!(toks[2], (TokKind::Ident, "f".into()));
+        assert!(toks.iter().any(|t| t.0 == TokKind::Punct && t.1 == "{"));
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_track_newlines() {
+        let lexed = lex("a\nb\n\nc");
+        let lines: Vec<u32> = lexed.toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn nested_block_comments_do_not_leak_tokens() {
+        let lexed = lex("a /* outer /* inner */ still comment */ b");
+        let names: Vec<&str> = lexed.toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("inner"));
+    }
+
+    #[test]
+    fn line_comments_are_collected_with_lines() {
+        let lexed = lex("x\n// SAFETY: fine\ny");
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert!(lexed.comments[0].text.contains("SAFETY"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_swallow_quotes_and_braces() {
+        let toks = kinds(r####"let s = r#"quote " and { unwrap() } inside"#; next"####);
+        assert!(toks
+            .iter()
+            .any(|t| t.0 == TokKind::Str && t.1.contains("unwrap")));
+        // Nothing inside the raw string became a token.
+        assert!(!toks.iter().any(|t| t.1 == "unwrap"));
+        assert_eq!(toks.last().unwrap(), &(TokKind::Ident, "next".into()));
+    }
+
+    #[test]
+    fn double_hash_raw_string_ends_at_matching_fence() {
+        let toks = kinds(r####"r##"inner "# not the end"## tail"####);
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1], (TokKind::Ident, "tail".into()));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let toks = kinds(r###"b"bytes" br#"raw bytes"# b'x'"###);
+        assert_eq!(toks[0].0, TokKind::Str);
+        assert_eq!(toks[1].0, TokKind::Str);
+        assert_eq!(toks[2].0, TokKind::Char);
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let d = '\\n'; }");
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.0 == TokKind::Lifetime)
+            .map(|t| t.1.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "a"]);
+        let chars: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.0 == TokKind::Char)
+            .map(|t| t.1.as_str())
+            .collect();
+        assert_eq!(chars, vec!["'a'", "'\\n'"]);
+    }
+
+    #[test]
+    fn static_lifetime_and_underscore() {
+        let toks = kinds("&'static str; &'_ u8; let u = '_';");
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.0 == TokKind::Lifetime)
+            .map(|t| t.1.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["static", "_"]);
+        assert!(toks.iter().any(|t| t.0 == TokKind::Char && t.1 == "'_'"));
+    }
+
+    #[test]
+    fn raw_identifiers_compare_by_name() {
+        let toks = kinds("r#fn r#unwrap normal");
+        assert_eq!(toks[0], (TokKind::Ident, "fn".into()));
+        assert_eq!(toks[1], (TokKind::Ident, "unwrap".into()));
+        assert_eq!(toks[2], (TokKind::Ident, "normal".into()));
+    }
+
+    #[test]
+    fn strings_with_escapes_do_not_end_early() {
+        let toks = kinds(r#"let s = "quote \" unwrap() inside"; after"#);
+        assert!(!toks.iter().any(|t| t.1 == "unwrap"));
+        assert_eq!(toks.last().unwrap(), &(TokKind::Ident, "after".into()));
+    }
+
+    #[test]
+    fn numeric_literals() {
+        let toks = kinds("0x1F 1_000 1.5e-9 2.0f64 1..3 1.max(2)");
+        assert_eq!(toks[0], (TokKind::Num, "0x1F".into()));
+        assert_eq!(toks[1], (TokKind::Num, "1_000".into()));
+        assert_eq!(toks[2], (TokKind::Num, "1.5e-9".into()));
+        assert_eq!(toks[3], (TokKind::Num, "2.0f64".into()));
+        // Ranges and method calls on literals do not swallow the dot.
+        assert_eq!(toks[4], (TokKind::Num, "1".into()));
+        assert!(toks.iter().any(|t| t.1 == "max"));
+    }
+
+    #[test]
+    fn char_literal_quote_and_quoted_punct() {
+        let toks = kinds(r"let q = '\''; let sp = ' '; let plus = '+';");
+        let chars: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.0 == TokKind::Char)
+            .map(|t| t.1.as_str())
+            .collect();
+        assert_eq!(chars, vec![r"'\''", "' '", "'+'"]);
+    }
+}

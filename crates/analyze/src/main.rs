@@ -1,0 +1,181 @@
+//! `ncgws-analyze` — the workspace lint driver.
+//!
+//! ```text
+//! cargo run -p ncgws-analyze --                  # report all findings
+//! cargo run -p ncgws-analyze -- --deny          # CI gate: nonzero exit on
+//!                                               # non-baselined findings or
+//!                                               # stale baseline entries
+//! cargo run -p ncgws-analyze -- --write-baseline  # accept current findings
+//! cargo run -p ncgws-analyze -- --unsafe-report UNSAFE_REPORT.json
+//! ```
+//!
+//! The baseline lives at `ANALYZE_BASELINE.txt` in the workspace root: one
+//! fingerprint per line, `#` comments allowed. Accepting a finding means
+//! adding its fingerprint there (with a comment saying *why* it is
+//! acceptable) — `--write-baseline` regenerates the file mechanically.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ncgws_analyze::findings::Baseline;
+use ncgws_analyze::report::unsafe_report_json;
+
+const BASELINE_FILE: &str = "ANALYZE_BASELINE.txt";
+
+struct Options {
+    deny: bool,
+    write_baseline: bool,
+    root: PathBuf,
+    baseline: PathBuf,
+    unsafe_report: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut deny = false;
+    let mut write_baseline = false;
+    let mut root = None;
+    let mut baseline = None;
+    let mut unsafe_report = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--write-baseline" => write_baseline = true,
+            "--root" => root = Some(PathBuf::from(args.next().ok_or("--root needs a path")?)),
+            "--baseline" => {
+                baseline = Some(PathBuf::from(args.next().ok_or("--baseline needs a path")?))
+            }
+            "--unsafe-report" => {
+                unsafe_report = Some(PathBuf::from(
+                    args.next().ok_or("--unsafe-report needs a path")?,
+                ))
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: ncgws-analyze [--deny] [--write-baseline] [--root DIR] \
+                            [--baseline FILE] [--unsafe-report FILE]"
+                        .into(),
+                )
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    let root = root.unwrap_or_else(ncgws_analyze::workspace_root);
+    let baseline = baseline.unwrap_or_else(|| root.join(BASELINE_FILE));
+    Ok(Options {
+        deny,
+        write_baseline,
+        root,
+        baseline,
+        unsafe_report,
+    })
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let analysis = match ncgws_analyze::analyze(&opts.root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!(
+                "ncgws-analyze: failed to read sources under {}: {e}",
+                opts.root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = &opts.unsafe_report {
+        let json = unsafe_report_json(&analysis.unsafe_sites);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("ncgws-analyze: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "unsafe inventory: {} sites ({} documented) -> {}",
+            analysis.unsafe_sites.len(),
+            analysis
+                .unsafe_sites
+                .iter()
+                .filter(|s| s.documented)
+                .count(),
+            path.display()
+        );
+    }
+
+    if opts.write_baseline {
+        let mut text = String::from(
+            "# ncgws-analyze accepted findings.\n\
+             # One fingerprint per line: pass|file|context|detail@ordinal.\n\
+             # Regenerate with: cargo run -p ncgws-analyze -- --write-baseline\n\
+             # Keep a comment above each acceptance saying WHY it is fine.\n",
+        );
+        for f in &analysis.findings {
+            text.push_str(&format!(
+                "# {}:{}: {}\n{}\n",
+                f.file,
+                f.line,
+                f.message,
+                f.key()
+            ));
+        }
+        if let Err(e) = std::fs::write(&opts.baseline, text) {
+            eprintln!(
+                "ncgws-analyze: cannot write {}: {e}",
+                opts.baseline.display()
+            );
+            return ExitCode::from(2);
+        }
+        println!(
+            "wrote {} accepted findings to {}",
+            analysis.findings.len(),
+            opts.baseline.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match std::fs::read_to_string(&opts.baseline) {
+        Ok(text) => Baseline::parse(&text),
+        Err(_) => Baseline::default(),
+    };
+    let new: Vec<_> = analysis
+        .findings
+        .iter()
+        .filter(|f| !baseline.contains(f))
+        .collect();
+    let stale = baseline.stale(&analysis.findings);
+
+    for f in &new {
+        println!("{f}");
+    }
+    for key in &stale {
+        println!("stale baseline entry (finding fixed — remove it or run --write-baseline): {key}");
+    }
+    println!(
+        "ncgws-analyze: {} files, {} findings ({} baselined, {} new, {} stale baseline \
+         entries), {} unsafe sites ({} documented)",
+        analysis.files,
+        analysis.findings.len(),
+        analysis.findings.len() - new.len(),
+        new.len(),
+        stale.len(),
+        analysis.unsafe_sites.len(),
+        analysis
+            .unsafe_sites
+            .iter()
+            .filter(|s| s.documented)
+            .count(),
+    );
+    if opts.deny && (!new.is_empty() || !stale.is_empty()) {
+        eprintln!(
+            "ncgws-analyze: failing (--deny): fix the findings above or accept them in {}",
+            BASELINE_FILE
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

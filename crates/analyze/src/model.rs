@@ -1,0 +1,372 @@
+//! Function-scoped structure recovered from the token stream: attribute
+//! spans, function spans with matched bodies, and `#[cfg(test)]` regions.
+//!
+//! This is deliberately not a parser — no expressions, no types. The
+//! passes only need to answer three questions about a token index: *which
+//! function body is it in*, *is it test-only code*, and *what attributes
+//! are attached to the item that follows*. Brace matching over the lexed
+//! token stream (strings and comments already stripped) answers all three
+//! without a grammar.
+
+use crate::lexer::{lex, Lexed, Tok, TokKind};
+
+/// One `#[…]` attribute: token span (inclusive `#`, inclusive `]`) plus
+/// the classification the passes care about.
+#[derive(Debug, Clone)]
+pub struct Attr {
+    pub start: usize,
+    pub end: usize,
+    pub line: u32,
+    /// `#[cfg(test)]` or any `cfg` containing `test` (e.g. `cfg(all(test, …))`).
+    pub is_cfg_test: bool,
+    /// `#[test]` (or an attribute path ending in `test`).
+    pub is_test_attr: bool,
+    /// `#[cfg(feature = "parallel")]` without a `not(…)`.
+    pub is_cfg_parallel: bool,
+    /// `#[cfg(not(feature = "parallel"))]`.
+    pub is_cfg_not_parallel: bool,
+}
+
+/// One `fn` item with a matched body.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    pub name: String,
+    /// Token index of the `fn` keyword.
+    pub kw: usize,
+    /// Token index of the body `{` (== `body_end` for bodyless trait fns).
+    pub body_start: usize,
+    /// Token index of the matching `}`.
+    pub body_end: usize,
+    pub line: u32,
+    /// Inside `#[cfg(test)]` / `mod tests`, or annotated `#[test]`.
+    pub is_test: bool,
+    /// Declared `unsafe fn`.
+    pub is_unsafe: bool,
+}
+
+/// Everything the passes need about one source file.
+#[derive(Debug)]
+pub struct FileModel {
+    /// Repo-relative path with `/` separators.
+    pub path: String,
+    pub lexed: Lexed,
+    pub attrs: Vec<Attr>,
+    pub fns: Vec<FnSpan>,
+    /// Token ranges (inclusive start, inclusive end) of test-only regions:
+    /// `#[cfg(test)] mod …` bodies and `mod tests { … }` bodies.
+    pub test_ranges: Vec<(usize, usize)>,
+}
+
+impl FileModel {
+    /// Lexes and models one file.
+    pub fn build(path: String, src: &str) -> FileModel {
+        let lexed = lex(src);
+        let attrs = find_attrs(&lexed.toks);
+        let test_ranges = find_test_ranges(&lexed.toks, &attrs);
+        let fns = find_fns(&lexed.toks, &attrs, &test_ranges);
+        FileModel {
+            path,
+            lexed,
+            attrs,
+            fns,
+            test_ranges,
+        }
+    }
+
+    /// The innermost function containing token index `i`, if any.
+    pub fn enclosing_fn(&self, i: usize) -> Option<&FnSpan> {
+        self.fns
+            .iter()
+            .filter(|f| f.body_start < i && i < f.body_end)
+            .min_by_key(|f| f.body_end - f.body_start)
+    }
+
+    /// Whether token index `i` lies in test-only code.
+    pub fn in_test_code(&self, i: usize) -> bool {
+        self.test_ranges.iter().any(|&(lo, hi)| lo <= i && i <= hi)
+            || self.enclosing_fn(i).is_some_and(|f| f.is_test)
+    }
+
+    /// Whether any comment mentioning `needle` starts within
+    /// `[line.saturating_sub(window), line]`.
+    pub fn comment_near(&self, line: u32, window: u32, needle: &str) -> bool {
+        let lo = line.saturating_sub(window);
+        self.lexed
+            .comments
+            .iter()
+            .any(|c| c.line >= lo && c.line <= line && c.text.contains(needle))
+    }
+
+    /// Whether any comment exists on `line` or the line above (the
+    /// panic-path "indexing is fine if justified" rule).
+    pub fn any_comment_adjacent(&self, line: u32) -> bool {
+        let lo = line.saturating_sub(1);
+        self.lexed
+            .comments
+            .iter()
+            .any(|c| c.end_line >= lo && c.line <= line)
+    }
+}
+
+/// Finds the matching close token for the open delimiter at `open`
+/// (`toks[open]` must be `{`, `[` or `(`). Returns `toks.len() - 1` when
+/// unbalanced (degrade, never panic).
+pub fn matching_close(toks: &[Tok], open: usize) -> usize {
+    let (o, c) = match toks[open].text.as_str() {
+        "{" => ('{', '}'),
+        "[" => ('[', ']'),
+        "(" => ('(', ')'),
+        _ => return open,
+    };
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct(o) {
+            depth += 1;
+        } else if t.is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+fn find_attrs(toks: &[Tok]) -> Vec<Attr> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < toks.len() {
+        if toks[i].is_punct('#') && toks[i + 1].is_punct('[') {
+            let end = matching_close(toks, i + 1);
+            let body = &toks[i + 2..end];
+            let has = |s: &str| body.iter().any(|t| t.is_ident(s));
+            let is_cfg = body.first().is_some_and(|t| t.is_ident("cfg"));
+            let feature_parallel = {
+                // feature = "parallel" as a token run.
+                body.windows(3).any(|w| {
+                    w[0].is_ident("feature")
+                        && w[1].is_punct('=')
+                        && w[2].kind == TokKind::Str
+                        && w[2].text.contains("parallel")
+                })
+            };
+            out.push(Attr {
+                start: i,
+                end,
+                line: toks[i].line,
+                is_cfg_test: is_cfg && has("test"),
+                is_test_attr: body.len() == 1 && body[0].is_ident("test"),
+                is_cfg_parallel: is_cfg && feature_parallel && !has("not"),
+                is_cfg_not_parallel: is_cfg && feature_parallel && has("not"),
+            });
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Walks back over a contiguous run of attributes ending right before
+/// token `item`: returns the attrs whose spans chain up to `item`.
+pub fn attrs_before(attrs: &[Attr], mut item: usize) -> Vec<&Attr> {
+    let mut out = Vec::new();
+    while let Some(a) = attrs.iter().find(|a| a.end + 1 == item) {
+        out.push(a);
+        item = a.start;
+    }
+    out
+}
+
+fn find_test_ranges(toks: &[Tok], attrs: &[Attr]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("mod") || i + 1 >= toks.len() {
+            continue;
+        }
+        let name = &toks[i + 1];
+        if name.kind != TokKind::Ident {
+            continue;
+        }
+        let cfg_test = attrs_before(attrs, i).iter().any(|a| a.is_cfg_test);
+        if !(cfg_test || name.text == "tests") {
+            continue;
+        }
+        if i + 2 < toks.len() && toks[i + 2].is_punct('{') {
+            out.push((i, matching_close(toks, i + 2)));
+        }
+    }
+    out
+}
+
+fn find_fns(toks: &[Tok], attrs: &[Attr], test_ranges: &[(usize, usize)]) -> Vec<FnSpan> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("fn") || i + 1 >= toks.len() {
+            continue;
+        }
+        let name = &toks[i + 1];
+        if name.kind != TokKind::Ident {
+            // `fn(` in a function-pointer type.
+            continue;
+        }
+        // Find the body `{` at bracket/paren depth 0, or `;` (no body).
+        let mut depth = 0isize;
+        let mut body_start = None;
+        for (j, u) in toks.iter().enumerate().skip(i + 2) {
+            if u.is_punct('(') || u.is_punct('[') {
+                depth += 1;
+            } else if u.is_punct(')') || u.is_punct(']') {
+                depth -= 1;
+            } else if depth == 0 && u.is_punct('{') {
+                body_start = Some(j);
+                break;
+            } else if depth == 0 && u.is_punct(';') {
+                break;
+            }
+        }
+        let Some(body_start) = body_start else {
+            continue;
+        };
+        let body_end = matching_close(toks, body_start);
+        let fn_attrs = attrs_before(attrs, preceding_keywords_start(toks, i));
+        let is_test = fn_attrs.iter().any(|a| a.is_test_attr)
+            || test_ranges.iter().any(|&(lo, hi)| lo <= i && i <= hi);
+        let is_unsafe = i > 0 && toks[i - 1].is_ident("unsafe");
+        out.push(FnSpan {
+            name: name.text.clone(),
+            kw: i,
+            body_start,
+            body_end,
+            line: t.line,
+            is_test,
+            is_unsafe,
+        });
+    }
+    out
+}
+
+/// Walks back from the `fn` keyword over visibility/qualifier tokens
+/// (`pub`, `(crate)`, `unsafe`, `const`, `async`, `extern "C"`) so
+/// attribute chains attach through them.
+fn preceding_keywords_start(toks: &[Tok], mut i: usize) -> usize {
+    loop {
+        if i == 0 {
+            return i;
+        }
+        let prev = &toks[i - 1];
+        if prev.is_ident("pub")
+            || prev.is_ident("unsafe")
+            || prev.is_ident("const")
+            || prev.is_ident("async")
+            || prev.is_ident("extern")
+            || prev.kind == TokKind::Str
+        {
+            i -= 1;
+            continue;
+        }
+        // `pub(crate)` / `pub(super)`: step over the parenthesized group.
+        if prev.is_punct(')') {
+            let mut depth = 0isize;
+            let mut j = i - 1;
+            loop {
+                if toks[j].is_punct(')') {
+                    depth += 1;
+                } else if toks[j].is_punct('(') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if j == 0 {
+                    break;
+                }
+                j -= 1;
+            }
+            if j >= 1 && toks[j - 1].is_ident("pub") {
+                i = j - 1;
+                continue;
+            }
+        }
+        return i;
+    }
+}
+
+#[cfg(test)]
+mod model_tests {
+    use super::*;
+
+    const SRC: &str = r#"
+pub struct S;
+
+#[cfg(feature = "parallel")]
+use std::thread;
+
+impl S {
+    /// Docs.
+    #[inline]
+    pub(crate) unsafe fn kernel(&self, i: usize) -> f64 {
+        let x = [1.0, 2.0];
+        x[i]
+    }
+
+    pub fn safe(&self) -> f64 {
+        0.0
+    }
+}
+
+#[cfg(not(feature = "parallel"))]
+fn fallback() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn a_test() {
+        let v: Vec<u32> = Vec::new();
+        assert!(v.is_empty());
+    }
+}
+"#;
+
+    #[test]
+    fn finds_fns_with_bodies_and_qualifiers() {
+        let m = FileModel::build("s.rs".into(), SRC);
+        let names: Vec<&str> = m.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["kernel", "safe", "fallback", "a_test"]);
+        let kernel = &m.fns[0];
+        assert!(kernel.is_unsafe);
+        assert!(!kernel.is_test);
+        assert!(kernel.body_start < kernel.body_end);
+    }
+
+    #[test]
+    fn cfg_test_mod_marks_contained_fns_as_test() {
+        let m = FileModel::build("s.rs".into(), SRC);
+        let a_test = m.fns.iter().find(|f| f.name == "a_test").unwrap();
+        assert!(a_test.is_test);
+        assert!(m.in_test_code(a_test.body_start + 1));
+        let safe = m.fns.iter().find(|f| f.name == "safe").unwrap();
+        assert!(!m.in_test_code(safe.body_start + 1));
+    }
+
+    #[test]
+    fn attr_classification() {
+        let m = FileModel::build("s.rs".into(), SRC);
+        assert!(m.attrs.iter().any(|a| a.is_cfg_parallel));
+        assert!(m.attrs.iter().any(|a| a.is_cfg_not_parallel));
+        assert!(m.attrs.iter().any(|a| a.is_cfg_test));
+        // The cfg(not(parallel)) attr is not counted as cfg(parallel).
+        assert!(m
+            .attrs
+            .iter()
+            .all(|a| !(a.is_cfg_parallel && a.is_cfg_not_parallel)));
+    }
+
+    #[test]
+    fn enclosing_fn_picks_the_innermost() {
+        let src = "fn outer() { fn inner() { let x = 1; } }";
+        let m = FileModel::build("n.rs".into(), src);
+        let x_idx = m.lexed.toks.iter().position(|t| t.is_ident("x")).unwrap();
+        assert_eq!(m.enclosing_fn(x_idx).unwrap().name, "inner");
+    }
+}

@@ -1,0 +1,250 @@
+//! Pass `feature-gate`: `#[cfg(feature = "parallel")]` code must leave a
+//! sequential fallback behind.
+//!
+//! `ncgws_core::par` promises that a build without the `parallel` feature
+//! walks the identical chunk grid sequentially — the serial build is the
+//! bit-for-bit oracle for the threaded one. That promise has a shape in
+//! the source: every parallel-gated *early-return* block (`if let
+//! Some(pool) = … { …; return; }`) must be followed by sequential code in
+//! the same function, and every parallel-only *item* (fn/mod) must have a
+//! `#[cfg(not(feature = "parallel"))]` counterpart of the same name —
+//! otherwise a feature-off build either silently does nothing or fails to
+//! compile. Purely additive gated statements (no `return`) and gated
+//! `use`/fields/impls are fine and skipped.
+
+use crate::findings::Sink;
+use crate::lexer::{Tok, TokKind};
+use crate::model::{Attr, FileModel};
+
+pub const PASS: &str = "feature-gate";
+
+/// Runs the pass over one file.
+pub fn run(model: &FileModel, sink: &mut Sink) {
+    let toks = &model.lexed.toks;
+    // Names of items gated on cfg(not(feature = "parallel")) — the
+    // sequential counterparts.
+    let not_items: Vec<String> = model
+        .attrs
+        .iter()
+        .filter(|a| a.is_cfg_not_parallel)
+        .filter_map(|a| item_name(toks, &model.attrs, a))
+        .collect();
+    for a in model.attrs.iter().filter(|a| a.is_cfg_parallel) {
+        if model.in_test_code(a.start) {
+            continue;
+        }
+        let j = attachment(toks, &model.attrs, a);
+        if let Some(f) = model.enclosing_fn(a.start) {
+            // Statement-level gate inside `f`: a gated early-return with
+            // nothing after it leaves the feature-off build doing nothing.
+            let end = stmt_end(toks, j, f.body_end);
+            let has_return = toks[j..=end.min(f.body_end)]
+                .iter()
+                .any(|t| t.is_ident("return"));
+            let has_tail = end + 1 < f.body_end;
+            let has_not_sibling = model
+                .attrs
+                .iter()
+                .any(|b| b.is_cfg_not_parallel && f.body_start < b.start && b.end < f.body_end);
+            if has_return && !has_tail && !has_not_sibling {
+                sink.push(
+                    PASS,
+                    &model.path,
+                    a.line,
+                    &f.name,
+                    "no-sequential-fallback",
+                    format!(
+                        "parallel-gated early-return in `{}` has no sequential code after it \
+                         and no cfg(not(feature)) sibling: a build without the feature does \
+                         nothing here",
+                        f.name
+                    ),
+                );
+            }
+            continue;
+        }
+        // Item-level gate: fn and mod need a named sequential counterpart.
+        let Some((kw, name)) = item_kind_and_name(toks, j) else {
+            continue;
+        };
+        if (kw == "fn" || kw == "mod") && !not_items.contains(&name) {
+            sink.push(
+                PASS,
+                &model.path,
+                a.line,
+                &name,
+                &format!("parallel-only-{kw}"),
+                format!(
+                    "parallel-only {kw} `{name}` has no `#[cfg(not(feature = \"parallel\"))]` \
+                     counterpart; callers must provide the sequential fallback (accept via \
+                     baseline if that is by design)"
+                ),
+            );
+        }
+    }
+}
+
+/// First token index after the attribute `a` and any directly following
+/// attributes.
+fn attachment(toks: &[Tok], attrs: &[Attr], a: &Attr) -> usize {
+    let mut j = a.end + 1;
+    while let Some(b) = attrs.iter().find(|b| b.start == j) {
+        j = b.end + 1;
+    }
+    j.min(toks.len().saturating_sub(1))
+}
+
+/// `(keyword, name)` of the item starting at token `j`, skipping
+/// visibility/qualifier tokens. `None` for uses, fields, impls, etc.
+fn item_kind_and_name(toks: &[Tok], mut j: usize) -> Option<(&'static str, String)> {
+    let mut guard = 0;
+    while j + 1 < toks.len() && guard < 8 {
+        let t = &toks[j];
+        if t.is_ident("fn") {
+            return Some(("fn", toks[j + 1].text.clone()));
+        }
+        if t.is_ident("mod") {
+            return Some(("mod", toks[j + 1].text.clone()));
+        }
+        if t.is_ident("use")
+            || t.is_ident("impl")
+            || t.is_ident("struct")
+            || t.is_ident("enum")
+            || t.is_ident("trait")
+            || t.is_ident("type")
+            || t.is_ident("const")
+            || t.is_ident("static")
+        {
+            return None;
+        }
+        // Struct field `name: Type` — not an item.
+        if t.kind == TokKind::Ident && toks[j + 1].is_punct(':') {
+            return None;
+        }
+        j += 1;
+        guard += 1;
+    }
+    None
+}
+
+/// Item name behind a cfg(not(parallel)) attribute (for counterpart
+/// matching).
+fn item_name(toks: &[Tok], attrs: &[Attr], a: &Attr) -> Option<String> {
+    item_kind_and_name(toks, attachment(toks, attrs, a)).map(|(_, n)| n)
+}
+
+/// Token index of the last token of the statement starting at `j`:
+/// either a `;` at delimiter depth 0, or the `}` closing a block started
+/// at depth 0 (with `else` chains followed through). Clamped to `limit`.
+fn stmt_end(toks: &[Tok], j: usize, limit: usize) -> usize {
+    let mut depth = 0isize;
+    let mut k = j;
+    while k < limit {
+        let t = &toks[k];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 && t.is_punct('}') {
+                // `} else { … }` continues the statement.
+                if toks.get(k + 1).is_some_and(|n| n.is_ident("else")) {
+                    k += 1;
+                    continue;
+                }
+                return k;
+            }
+        } else if depth == 0 && t.is_punct(';') {
+            return k;
+        }
+        k += 1;
+    }
+    limit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FileModel;
+
+    fn run_on(src: &str) -> Vec<String> {
+        let model = FileModel::build("p.rs".into(), src);
+        let mut sink = Sink::default();
+        run(&model, &mut sink);
+        sink.findings.iter().map(|f| f.detail.clone()).collect()
+    }
+
+    #[test]
+    fn early_return_with_sequential_tail_passes() {
+        let src = r#"
+fn run(n: usize) {
+    #[cfg(feature = "parallel")]
+    if n > 1 {
+        pool_run(n);
+        return;
+    }
+    for _ in 0..n {
+        work();
+    }
+}
+"#;
+        assert!(run_on(src).is_empty());
+    }
+
+    #[test]
+    fn early_return_without_fallback_is_flagged() {
+        let src = r#"
+fn run(n: usize) {
+    #[cfg(feature = "parallel")]
+    {
+        pool_run(n);
+        return;
+    }
+}
+"#;
+        assert_eq!(run_on(src), vec!["no-sequential-fallback"]);
+    }
+
+    #[test]
+    fn additive_gated_statement_passes() {
+        let src = r#"
+fn configure(n: usize) {
+    resize(n);
+    #[cfg(feature = "parallel")]
+    {
+        spawn_pool(n);
+    }
+}
+"#;
+        assert!(run_on(src).is_empty());
+    }
+
+    #[test]
+    fn parallel_only_fn_needs_a_counterpart() {
+        let flagged = r#"
+#[cfg(feature = "parallel")]
+fn fan_out() {}
+"#;
+        assert_eq!(run_on(flagged), vec!["parallel-only-fn"]);
+        let paired = r#"
+#[cfg(feature = "parallel")]
+fn fan_out() {}
+#[cfg(not(feature = "parallel"))]
+fn fan_out() {}
+"#;
+        assert!(run_on(paired).is_empty());
+    }
+
+    #[test]
+    fn gated_use_and_fields_are_skipped() {
+        let src = r#"
+#[cfg(feature = "parallel")]
+use std::sync::atomic::Ordering;
+
+struct R {
+    #[cfg(feature = "parallel")]
+    pool: Option<u32>,
+}
+"#;
+        assert!(run_on(src).is_empty());
+    }
+}

@@ -1,0 +1,202 @@
+//! Pass `no-alloc`: heap-allocation idioms inside declared hot paths.
+//!
+//! The sweep/kernel functions listed in [`crate::manifest::HOT_PATHS`]
+//! were made allocation-free in PRs 1/4/6 and the engine's performance
+//! contract depends on them staying that way. This pass flags the
+//! allocation idioms a refactor most plausibly reintroduces:
+//! `Vec::new` / `Vec::with_capacity` / `vec![]`, `Box::new`,
+//! `String::from` / `format!`, `.clone()` / `.to_vec()` / `.to_owned()` /
+//! `.to_string()` / `.collect()`, and the std collection constructors.
+//!
+//! A manifest entry naming a function that no longer exists produces a
+//! `manifest-stale` finding so renames cannot silently drop coverage.
+
+use crate::findings::Sink;
+use crate::lexer::TokKind;
+use crate::model::FileModel;
+
+pub const PASS: &str = "no-alloc";
+
+/// Allocating methods flagged when called (`.clone()`, `iter.collect()` …).
+const ALLOC_METHODS: &[&str] = &["clone", "to_vec", "to_owned", "to_string", "collect"];
+
+/// Allocating associated constructors (`Type::method`).
+const ALLOC_CONSTRUCTORS: &[(&str, &[&str])] = &[
+    ("Vec", &["new", "with_capacity", "from"]),
+    ("Box", &["new", "from", "leak"]),
+    ("String", &["new", "from", "with_capacity"]),
+    ("Rc", &["new"]),
+    ("Arc", &["new"]),
+    ("BTreeSet", &["new", "from"]),
+    ("BTreeMap", &["new", "from"]),
+    ("HashMap", &["new", "with_capacity", "from"]),
+    ("HashSet", &["new", "with_capacity", "from"]),
+    ("VecDeque", &["new", "with_capacity", "from"]),
+];
+
+/// Allocating macros.
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// Runs the pass over one file with its manifest function list.
+pub fn run(model: &FileModel, hot_fns: &[&str], sink: &mut Sink) {
+    let toks = &model.lexed.toks;
+    for name in hot_fns {
+        if !model.fns.iter().any(|f| f.name == *name && !f.is_test) {
+            sink.push(
+                PASS,
+                &model.path,
+                1,
+                "-",
+                &format!("manifest-stale:{name}"),
+                format!(
+                    "hot-path manifest lists `{name}` but no such function exists in this file \
+                     (renamed or removed? update crates/analyze/src/manifest.rs)"
+                ),
+            );
+        }
+    }
+    for f in &model.fns {
+        if f.is_test || !hot_fns.contains(&f.name.as_str()) {
+            continue;
+        }
+        for i in (f.body_start + 1)..f.body_end {
+            let t = &toks[i];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let next = toks.get(i + 1);
+            let next_is = |c: char| next.is_some_and(|n| n.is_punct(c));
+            // `.clone()` / `.collect::<…>()` / `Clone::clone(x)`.
+            if ALLOC_METHODS.contains(&t.text.as_str())
+                && (next_is('(')
+                    || (next_is(':') && toks.get(i + 2).is_some_and(|n| n.is_punct(':'))))
+            {
+                sink.push(
+                    PASS,
+                    &model.path,
+                    t.line,
+                    &f.name,
+                    &t.text.clone(),
+                    format!(
+                        "`{}()` allocates on the hot path `{}` (declared allocation-free in the \
+                         hot-path manifest)",
+                        t.text, f.name
+                    ),
+                );
+                continue;
+            }
+            // `Vec::new(…)` and friends.
+            if next_is(':')
+                && toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
+                && toks.get(i + 3).is_some_and(|n| n.kind == TokKind::Ident)
+            {
+                let method = &toks[i + 3].text;
+                if ALLOC_CONSTRUCTORS
+                    .iter()
+                    .any(|(ty, ms)| *ty == t.text && ms.contains(&method.as_str()))
+                {
+                    sink.push(
+                        PASS,
+                        &model.path,
+                        t.line,
+                        &f.name,
+                        &format!("{}::{}", t.text, method),
+                        format!(
+                            "`{}::{}` allocates on the hot path `{}`",
+                            t.text, method, f.name
+                        ),
+                    );
+                    continue;
+                }
+            }
+            // `vec![…]` / `format!(…)`.
+            if ALLOC_MACROS.contains(&t.text.as_str()) && next_is('!') {
+                sink.push(
+                    PASS,
+                    &model.path,
+                    t.line,
+                    &f.name,
+                    &format!("{}!", t.text),
+                    format!("`{}!` allocates on the hot path `{}`", t.text, f.name),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FileModel;
+
+    fn run_on(src: &str, hot: &[&str]) -> Vec<String> {
+        let model = FileModel::build("x.rs".into(), src);
+        let mut sink = Sink::default();
+        run(&model, hot, &mut sink);
+        sink.findings.iter().map(|f| f.detail.clone()).collect()
+    }
+
+    #[test]
+    fn flags_the_listed_idioms_only_in_hot_fns() {
+        let src = r#"
+fn hot(xs: &[f64]) -> f64 {
+    let v = xs.to_vec();
+    let w: Vec<f64> = xs.iter().copied().collect();
+    let b = Box::new(1.0);
+    let s = format!("{v:?}{w:?}{b}");
+    s.len() as f64
+}
+fn cold() -> Vec<u32> {
+    vec![1, 2, 3]
+}
+"#;
+        let details = run_on(src, &["hot"]);
+        assert_eq!(details, vec!["to_vec", "collect", "Box::new", "format!"]);
+    }
+
+    #[test]
+    fn clone_and_vec_macro_and_string_from() {
+        let src = r#"
+fn hot(v: &Vec<f64>) -> Vec<f64> {
+    let a = v.clone();
+    let b = vec![0.0; 4];
+    let _s = String::from("x");
+    a
+}
+"#;
+        let details = run_on(src, &["hot"]);
+        assert_eq!(details, vec!["clone", "vec!", "String::from"]);
+    }
+
+    #[test]
+    fn idioms_inside_strings_and_comments_are_invisible() {
+        let src = r##"
+fn hot() -> &'static str {
+    // calling clone() here would be bad
+    /* vec![] too */
+    r#"clone() collect() vec![]"#
+}
+"##;
+        assert!(run_on(src, &["hot"]).is_empty());
+    }
+
+    #[test]
+    fn stale_manifest_entries_are_reported() {
+        let details = run_on("fn present() {}", &["present", "renamed_away"]);
+        assert_eq!(details, vec!["manifest-stale:renamed_away"]);
+    }
+
+    #[test]
+    fn test_functions_are_excluded() {
+        let src = r#"
+#[cfg(test)]
+mod tests {
+    fn hot() -> Vec<u32> { vec![1] }
+}
+"#;
+        // `hot` exists only under cfg(test): the non-test manifest entry is
+        // stale AND the test body is not linted.
+        let details = run_on(src, &["hot"]);
+        assert_eq!(details, vec!["manifest-stale:hot"]);
+    }
+}

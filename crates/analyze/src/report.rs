@@ -1,0 +1,80 @@
+//! Machine-readable unsafe-inventory report (hand-rolled JSON writer —
+//! this crate is dependency-free and the vendored serde lives on the other
+//! side of the workspace boundary on purpose).
+
+use crate::passes::unsafe_audit::UnsafeSite;
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the unsafe inventory as a JSON document:
+/// `{"total": N, "documented": M, "sites": [{file, line, kind, context,
+/// documented}, …]}`.
+pub fn unsafe_report_json(sites: &[UnsafeSite]) -> String {
+    let documented = sites.iter().filter(|s| s.documented).count();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n  \"total\": {},\n  \"documented\": {},\n  \"sites\": [\n",
+        sites.len(),
+        documented
+    ));
+    for (i, s) in sites.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"kind\": \"{}\", \"context\": \"{}\", \
+             \"documented\": {}}}{}\n",
+            escape(&s.file),
+            s.line,
+            s.kind,
+            escape(&s.context),
+            s.documented,
+            if i + 1 < sites.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_is_well_formed_and_counts() {
+        let sites = vec![
+            UnsafeSite {
+                file: "a.rs".into(),
+                line: 3,
+                kind: "block",
+                context: "f\"q\"".into(),
+                documented: true,
+            },
+            UnsafeSite {
+                file: "b.rs".into(),
+                line: 9,
+                kind: "fn",
+                context: "g".into(),
+                documented: false,
+            },
+        ];
+        let json = unsafe_report_json(&sites);
+        assert!(json.contains("\"total\": 2"));
+        assert!(json.contains("\"documented\": 1"));
+        assert!(json.contains("f\\\"q\\\""));
+        // Balanced brackets, trailing-comma-free.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(!json.contains(",\n  ]"));
+    }
+}

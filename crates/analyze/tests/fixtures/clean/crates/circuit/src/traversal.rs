@@ -1,0 +1,23 @@
+//! Clean fixture for the `no-alloc` pass: every function the hot-path
+//! manifest lists for `crates/circuit/src/traversal.rs` exists (no
+//! `manifest-stale`) and none of them allocates.
+
+pub fn upstream_full(out: &mut [u32], seed: u32) {
+    for (i, slot) in out.iter_mut().enumerate() {
+        *slot = seed.wrapping_add(i as u32);
+    }
+}
+
+pub fn downstream_full(out: &mut [u32], seed: u32) {
+    for (i, slot) in out.iter_mut().enumerate() {
+        *slot = seed.wrapping_mul(i as u32 + 1);
+    }
+}
+
+pub fn upstream_stage(acc: &mut u32, x: u32) {
+    *acc = acc.wrapping_add(x);
+}
+
+pub fn downstream_stage(acc: &mut u32, x: u32) {
+    *acc = acc.wrapping_mul(x.max(1));
+}

@@ -1,0 +1,18 @@
+//! Clean fixture for the `panic-path` pass: serving-layer code that never
+//! panics — typed `Option`/`Result` flow, and indexing only with a
+//! justifying comment.
+
+pub fn parse_pair(s: &str) -> Option<(f64, f64)> {
+    let mut parts = s.split(',');
+    let a = parts.next()?.trim().parse().ok()?;
+    let b = parts.next()?.trim().parse().ok()?;
+    Some((a, b))
+}
+
+pub fn first_line(buf: &[u8]) -> &[u8] {
+    match buf.iter().position(|&b| b == b'\n') {
+        // In range: `position` returned a valid index into `buf`.
+        Some(newline) => &buf[..newline],
+        None => buf,
+    }
+}

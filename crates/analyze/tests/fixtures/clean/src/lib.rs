@@ -1,0 +1,41 @@
+//! Clean fixture for the `unsafe-audit` and `feature-gate` passes:
+//! documented unsafe, and every parallel-gated construct with a
+//! sequential fallback.
+
+pub fn first_unchecked(xs: &[f64]) -> f64 {
+    // SAFETY: callers guarantee `xs` is non-empty, so index 0 is in range.
+    unsafe { *xs.get_unchecked(0) }
+}
+
+/// Doubles every slot in place.
+///
+/// # Safety
+///
+/// `ptr` must point to `len` initialized, exclusively owned `f64` slots.
+pub unsafe fn double_in_place(ptr: *mut f64, len: usize) {
+    for i in 0..len {
+        *ptr.add(i) *= 2.0;
+    }
+}
+
+pub fn run(n: usize) -> usize {
+    #[cfg(feature = "parallel")]
+    if n > 1 {
+        return n * 2;
+    }
+    n.max(1)
+}
+
+#[cfg(feature = "parallel")]
+fn fan_out(n: usize) -> usize {
+    n * 2
+}
+
+#[cfg(not(feature = "parallel"))]
+fn fan_out(n: usize) -> usize {
+    n + n
+}
+
+pub fn dispatch(n: usize) -> usize {
+    fan_out(n)
+}

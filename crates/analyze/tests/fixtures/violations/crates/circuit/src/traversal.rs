@@ -1,0 +1,21 @@
+//! Seeded-violation fixture for the `no-alloc` pass: same manifest shape
+//! as the clean tree, but `upstream_full` and `downstream_full` allocate.
+
+pub fn upstream_full(seed: u32) -> Vec<u32> {
+    let mut cone = vec![seed];
+    cone.push(seed.wrapping_add(1));
+    cone
+}
+
+pub fn downstream_full(cone: &[u32]) -> Vec<u32> {
+    let copy = cone.to_vec();
+    copy
+}
+
+pub fn upstream_stage(acc: &mut u32, x: u32) {
+    *acc = acc.wrapping_add(x);
+}
+
+pub fn downstream_stage(acc: &mut u32, x: u32) {
+    *acc = acc.wrapping_mul(x.max(1));
+}

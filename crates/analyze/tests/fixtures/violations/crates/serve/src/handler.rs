@@ -1,0 +1,16 @@
+//! Seeded-violation fixture for the `panic-path` pass: `unwrap`,
+//! `panic!` and unjustified indexing in non-test serving code.
+
+pub fn parse_pair(s: &str) -> (f64, f64) {
+    let items: Vec<&str> = s.split(',').collect();
+    let a = items[0].trim().parse().unwrap();
+    let b = items[1].trim().parse().unwrap();
+    (a, b)
+}
+
+pub fn must_have_newline(buf: &[u8]) -> usize {
+    match buf.iter().position(|&b| b == b'\n') {
+        Some(newline) => newline,
+        None => panic!("buffer has no newline"),
+    }
+}

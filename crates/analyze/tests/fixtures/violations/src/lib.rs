@@ -1,0 +1,25 @@
+//! Seeded-violation fixture for the `unsafe-audit` and `feature-gate`
+//! passes: undocumented unsafe, and parallel-only code with no
+//! sequential fallback.
+
+pub fn first_unchecked(xs: &[f64]) -> f64 {
+    unsafe { *xs.get_unchecked(0) }
+}
+
+pub unsafe fn double_in_place(ptr: *mut f64, len: usize) {
+    for i in 0..len {
+        *ptr.add(i) *= 2.0;
+    }
+}
+
+pub fn run(n: usize) -> usize {
+    #[cfg(feature = "parallel")]
+    {
+        return n * 2;
+    }
+}
+
+#[cfg(feature = "parallel")]
+fn fan_out(n: usize) -> usize {
+    n * 2
+}

@@ -472,6 +472,8 @@ impl<'a, T> SharedMut<'a, T> {
     #[inline(always)]
     pub unsafe fn set(&self, i: usize, value: T) {
         debug_assert!(i < self.len);
+        #[cfg(feature = "race-check")]
+        crate::race::claim_write(self.ptr as usize, i);
         *self.ptr.add(i) = value;
     }
 
@@ -486,6 +488,8 @@ impl<'a, T> SharedMut<'a, T> {
         T: Copy + std::ops::AddAssign,
     {
         debug_assert!(i < self.len);
+        #[cfg(feature = "race-check")]
+        crate::race::claim_write(self.ptr as usize, i);
         *self.ptr.add(i) += delta;
     }
 }

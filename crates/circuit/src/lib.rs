@@ -67,6 +67,8 @@ pub mod graph;
 pub mod id;
 pub mod node;
 pub mod power;
+#[cfg(feature = "race-check")]
+pub mod race;
 pub mod sizing;
 pub mod tech;
 pub mod timing;

@@ -387,6 +387,15 @@ impl FusedChunkCtx<'_> {
     /// of its `fill` live lanes. Stale trailing lanes hold the previous
     /// block's (valid, in-range) component indices; their results are
     /// computed and discarded.
+    ///
+    /// # Safety
+    ///
+    /// Every entry of `comps` — live lanes *and* stale trailing lanes —
+    /// must be a valid component index for `xs`, `self.calm` and
+    /// `self.frozen`, and the components written through `xs` must belong
+    /// exclusively to this chunk for the duration of the pass (the
+    /// level-partition invariant), since `xs.set` is an unsynchronized
+    /// write into the shared sizes slice.
     #[allow(clippy::too_many_arguments)]
     unsafe fn flush_lanes(
         &self,

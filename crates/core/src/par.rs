@@ -360,6 +360,18 @@ impl ParRuntime {
     /// chunks. Chunks are independent; the caller merges any per-chunk
     /// reductions in chunk order afterwards.
     pub(crate) fn run_flat<F: Fn(usize) + Sync>(&self, chunks: usize, body: F) {
+        // Under race-check every chunk body runs inside a claim context, so
+        // SharedMut writes are attributed to their owning chunk and an
+        // overlap within this pass panics (sequential path included — the
+        // grid, not the thread count, defines ownership).
+        #[cfg(feature = "race-check")]
+        let pass = ncgws_circuit::race::begin_pass();
+        #[cfg(feature = "race-check")]
+        let body = move |c: usize| {
+            let owner = ncgws_circuit::race::owner_id(u32::MAX, c as u32);
+            let _ctx = ncgws_circuit::race::enter(pass, owner);
+            body(c);
+        };
         #[cfg(feature = "parallel")]
         if let Some(pool) = self.pool.as_ref().filter(|_| chunks > 1) {
             self.flat_counter.store(0, Ordering::Relaxed);
@@ -391,6 +403,17 @@ impl ParRuntime {
         body: F,
     ) {
         let num_levels = grid.num_levels();
+        // One claim pass per level: chunks of a level race each other (the
+        // level partition must keep their writes disjoint), while writes
+        // from different levels are barrier-ordered and thus never races.
+        #[cfg(feature = "race-check")]
+        let pass_base = ncgws_circuit::race::begin_passes(num_levels as u64);
+        #[cfg(feature = "race-check")]
+        let body = move |l: usize, c: usize| {
+            let owner = ncgws_circuit::race::owner_id(l as u32, c as u32);
+            let _ctx = ncgws_circuit::race::enter(pass_base + l as u64, owner);
+            body(l, c);
+        };
         #[cfg(feature = "parallel")]
         if let Some(pool) = self
             .pool

@@ -90,9 +90,11 @@ fn f64_pair(v: &JsonValue, what: &str) -> Result<(f64, f64), String> {
         .as_array()
         .filter(|a| a.len() == 2)
         .ok_or_else(|| format!("{what} must be a 2-element array"))?;
+    // In range: the filter above guarantees exactly two elements.
     let lo = items[0]
         .as_f64()
         .ok_or_else(|| format!("{what}[0] must be a finite number"))?;
+    // In range: as above.
     let hi = items[1]
         .as_f64()
         .ok_or_else(|| format!("{what}[1] must be a finite number"))?;
@@ -104,6 +106,7 @@ fn variant<'a>(v: &'a JsonValue, what: &str) -> Result<(&'a str, Option<&'a Json
     match v {
         JsonValue::String(name) => Ok((name, None)),
         JsonValue::Object(pairs) if pairs.len() == 1 => {
+            // In range: the guard requires exactly one pair.
             Ok((pairs[0].0.as_str(), Some(&pairs[0].1)))
         }
         _ => Err(format!("{what} must be an enum variant")),

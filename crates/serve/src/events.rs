@@ -20,6 +20,8 @@ use std::sync::{Arc, Mutex};
 
 use serde::Serializer;
 
+use crate::sync::lock_recover;
+
 /// One field value in an event line.
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum Field<'a> {
@@ -70,14 +72,12 @@ impl SharedBuffer {
 
     /// The buffered bytes as UTF-8 text.
     pub fn contents(&self) -> String {
-        String::from_utf8_lossy(&self.buf.lock().expect("event buffer poisoned")).into_owned()
+        String::from_utf8_lossy(&lock_recover(&self.buf)).into_owned()
     }
 
     /// Number of complete lines written so far.
     pub fn num_lines(&self) -> usize {
-        self.buf
-            .lock()
-            .expect("event buffer poisoned")
+        lock_recover(&self.buf)
             .iter()
             .filter(|&&b| b == b'\n')
             .count()
@@ -86,10 +86,7 @@ impl SharedBuffer {
 
 impl Write for SharedBuffer {
     fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
-        self.buf
-            .lock()
-            .expect("event buffer poisoned")
-            .extend_from_slice(data);
+        lock_recover(&self.buf).extend_from_slice(data);
         Ok(data.len())
     }
 

@@ -62,6 +62,7 @@ pub mod job;
 pub mod server;
 pub mod stats;
 pub mod store;
+mod sync;
 
 pub use events::SharedBuffer;
 pub use fault::{FaultPlan, WriteFault};

@@ -58,6 +58,7 @@ use crate::fault::FaultPlan;
 use crate::job::{JobId, JobInput, JobOutcome, JobSpec, JobState};
 use crate::stats::{Counters, ServerStats};
 use crate::store::{DiskSink, DiskSnapshotStore, Journal, StoreConfig, StoreError};
+use crate::sync::{lock_recover, wait_recover, wait_timeout_recover};
 
 /// Server-wide policy knobs.
 #[derive(Debug, Clone)]
@@ -247,12 +248,13 @@ impl State {
     /// expired, whose tenant is under its in-flight cap.
     fn pick(&self, max_in_flight_per_tenant: usize, now: Instant) -> Option<QueueKey> {
         self.ready.iter().copied().find(|&(_, _, id)| {
-            let entry = &self.jobs[&id];
-            entry.not_before.is_none_or(|t| t <= now)
-                && self
-                    .tenants
-                    .get(&entry.spec.tenant)
-                    .is_none_or(|t| t.in_flight < max_in_flight_per_tenant)
+            self.jobs.get(&id).is_some_and(|entry| {
+                entry.not_before.is_none_or(|t| t <= now)
+                    && self
+                        .tenants
+                        .get(&entry.spec.tenant)
+                        .is_none_or(|t| t.in_flight < max_in_flight_per_tenant)
+            })
         })
     }
 
@@ -261,8 +263,9 @@ impl State {
         self.ready
             .iter()
             .filter_map(|&(_, _, id)| {
-                self.jobs[&id]
-                    .not_before
+                self.jobs
+                    .get(&id)
+                    .and_then(|entry| entry.not_before)
                     .and_then(|t| t.checked_duration_since(now))
             })
             .min()
@@ -295,7 +298,7 @@ struct Shared {
 impl Shared {
     fn emit(&self, text: String) {
         if let Some(sink) = &self.events {
-            let mut sink = sink.lock().expect("event sink poisoned");
+            let mut sink = lock_recover(sink);
             let _ = writeln!(sink, "{text}");
         }
     }
@@ -307,14 +310,16 @@ impl Shared {
     }
 
     /// Journals a terminal transition together with its full outcome, so
-    /// results survive a restart.
+    /// results survive a restart. A failed serialization (unreachable for
+    /// these derive-encoded types) drops the entry rather than panicking —
+    /// recovery then requeues the job, which is safe.
     fn journal_terminal(&self, kind: &str, id: u64, outcome: &JobOutcome) {
         if self.durable.is_some() {
-            let encoded =
-                serde_json::to_string(outcome).expect("outcome serialization is infallible");
-            self.journal(&format!(
-                "{{\"entry\":\"{kind}\",\"job\":{id},\"outcome\":{encoded}}}"
-            ));
+            if let Ok(encoded) = serde_json::to_string(outcome) {
+                self.journal(&format!(
+                    "{{\"entry\":\"{kind}\",\"job\":{id},\"outcome\":{encoded}}}"
+                ));
+            }
         }
     }
 }
@@ -678,7 +683,7 @@ impl Server {
             }
         }
         let event = {
-            let mut guard = self.shared.state.lock().expect("server state poisoned");
+            let mut guard = lock_recover(&self.shared.state);
             let st = &mut *guard;
             if st.draining {
                 Counters::add(&self.shared.counters.rejected, 1);
@@ -717,13 +722,15 @@ impl Server {
                     ),
                 ],
             );
-            let journal_line = self.shared.durable.as_ref().map(|_| {
-                let encoded =
-                    serde_json::to_string(&spec).expect("spec serialization is infallible");
-                format!(
+            // A failed spec serialization (unreachable for derive-encoded
+            // types) skips the journal entry instead of panicking; the job
+            // still runs, it is just not recoverable after a crash.
+            let journal_line = self.shared.durable.as_ref().and_then(|_| {
+                let encoded = serde_json::to_string(&spec).ok()?;
+                Some(format!(
                     "{{\"entry\":\"submitted\",\"job\":{id},\"resume\":{},\"spec\":{encoded}}}",
                     durable_checkpoint
-                )
+                ))
             });
             st.jobs.insert(
                 id,
@@ -762,7 +769,7 @@ impl Server {
     /// `false` for unknown or already terminal jobs.
     pub fn cancel(&self, id: JobId) -> bool {
         let event = {
-            let mut guard = self.shared.state.lock().expect("server state poisoned");
+            let mut guard = lock_recover(&self.shared.state);
             let st = &mut *guard;
             let Some(entry) = st.jobs.get_mut(&id.0) else {
                 return false;
@@ -770,7 +777,7 @@ impl Server {
             match entry.state {
                 JobState::Queued => {
                     entry.state = JobState::Cancelled;
-                    entry.outcome = Some(JobOutcome {
+                    let outcome = JobOutcome {
                         stop_reason: StopReason::Cancelled,
                         iterations: entry.iterations,
                         attempts: entry.attempts,
@@ -778,7 +785,8 @@ impl Server {
                         feasible: false,
                         final_metrics: None,
                         error: None,
-                    });
+                    };
+                    entry.outcome = Some(outcome.clone());
                     let key = queue_key(entry.spec.priority, entry.seq, id.0);
                     st.ready.remove(&key);
                     let tenant = entry.spec.tenant.clone();
@@ -786,7 +794,6 @@ impl Server {
                         t.queued -= 1;
                     }
                     Counters::add(&self.shared.counters.cancelled, 1);
-                    let outcome = entry.outcome.clone().expect("just set");
                     self.shared.journal_terminal("cancelled", id.0, &outcome);
                     line(
                         "cancelled",
@@ -814,31 +821,25 @@ impl Server {
 
     /// The job's current lifecycle state, `None` for unknown ids.
     pub fn job_state(&self, id: JobId) -> Option<JobState> {
-        let st = self.shared.state.lock().expect("server state poisoned");
+        let st = lock_recover(&self.shared.state);
         st.jobs.get(&id.0).map(|e| e.state)
     }
 
     /// The job's final outcome once terminal, `None` before that.
     pub fn outcome(&self, id: JobId) -> Option<JobOutcome> {
-        let st = self.shared.state.lock().expect("server state poisoned");
+        let st = lock_recover(&self.shared.state);
         st.jobs.get(&id.0).and_then(|e| e.outcome.clone())
     }
 
     /// Blocks until the job reaches a terminal state and returns its
     /// outcome; `None` for unknown ids.
     pub fn wait(&self, id: JobId) -> Option<JobOutcome> {
-        let mut st = self.shared.state.lock().expect("server state poisoned");
+        let mut st = lock_recover(&self.shared.state);
         loop {
             match st.jobs.get(&id.0) {
                 None => return None,
                 Some(entry) if entry.state.is_terminal() => return entry.outcome.clone(),
-                Some(_) => {
-                    st = self
-                        .shared
-                        .progress
-                        .wait(st)
-                        .expect("server state poisoned");
-                }
+                Some(_) => st = wait_recover(&self.shared.progress, st),
             }
         }
     }
@@ -849,7 +850,7 @@ impl Server {
     /// or disk).
     pub fn snapshot_of(&self, id: JobId) -> Option<Snapshot> {
         let (snapshot, has_checkpoint) = {
-            let st = self.shared.state.lock().expect("server state poisoned");
+            let st = lock_recover(&self.shared.state);
             let entry = st.jobs.get(&id.0)?;
             (entry.snapshot.clone(), entry.has_checkpoint)
         };
@@ -869,7 +870,7 @@ impl Server {
     /// from the store: `snapshot_bytes_resident` is the in-memory cache,
     /// `snapshot_bytes_spilled` the bytes living only on disk.
     pub fn stats(&self) -> ServerStats {
-        let st = self.shared.state.lock().expect("server state poisoned");
+        let st = lock_recover(&self.shared.state);
         let mut stats = self.shared.counters.snapshot();
         stats.queue_depth = st.ready.len();
         stats.in_flight = st.in_flight;
@@ -911,25 +912,19 @@ impl Server {
     /// job (including requeued resumes), joins the workers and returns the
     /// final statistics.
     pub fn drain(mut self) -> ServerStats {
-        self.shared
-            .state
-            .lock()
-            .expect("server state poisoned")
-            .draining = true;
+        lock_recover(&self.shared.state).draining = true;
         self.shared.work_ready.notify_all();
         {
-            let mut st = self.shared.state.lock().expect("server state poisoned");
+            let mut st = lock_recover(&self.shared.state);
             while !st.all_done() {
-                st = self
-                    .shared
-                    .progress
-                    .wait(st)
-                    .expect("server state poisoned");
+                st = wait_recover(&self.shared.progress, st);
             }
         }
         self.shared.work_ready.notify_all();
         for handle in self.workers.drain(..) {
-            handle.join().expect("worker thread panicked");
+            // Per-attempt panics are caught inside the loop; a panic in the
+            // loop itself is a bug, but must not also take the drainer down.
+            let _ = handle.join();
         }
         let stats = self.stats();
         self.shared.emit(line(
@@ -961,7 +956,7 @@ impl Drop for Server {
     /// drop. Durable servers leave the queue recoverable on disk.
     fn drop(&mut self) {
         {
-            let mut st = self.shared.state.lock().expect("server state poisoned");
+            let mut st = lock_recover(&self.shared.state);
             st.draining = true;
             st.shutdown = true;
             for entry in st.jobs.values() {
@@ -1013,71 +1008,64 @@ fn worker_loop(shared: &Shared) {
 /// Blocks until an admissible job can be claimed; `None` when the server
 /// has drained completely or is shutting down.
 fn next_attempt(shared: &Shared) -> Option<Attempt> {
-    let mut guard = shared.state.lock().expect("server state poisoned");
-    let key = loop {
+    let mut guard = lock_recover(&shared.state);
+    loop {
         if guard.shutdown {
             return None;
         }
         let now = Instant::now();
-        if let Some(key) = guard.pick(shared.config.max_in_flight_per_tenant, now) {
-            break key;
-        }
-        if guard.draining && guard.all_done() {
-            return None;
-        }
-        guard = match guard.earliest_backoff(now) {
-            // A retry backoff is pending: sleep at most until it expires.
-            Some(delay) => {
-                shared
-                    .work_ready
-                    .wait_timeout(guard, delay)
-                    .expect("server state poisoned")
-                    .0
+        let Some(key) = guard.pick(shared.config.max_in_flight_per_tenant, now) else {
+            if guard.draining && guard.all_done() {
+                return None;
             }
-            None => shared
-                .work_ready
-                .wait(guard)
-                .expect("server state poisoned"),
+            guard = match guard.earliest_backoff(now) {
+                // A retry backoff is pending: sleep at most until it expires.
+                Some(delay) => wait_timeout_recover(&shared.work_ready, guard, delay).0,
+                None => wait_recover(&shared.work_ready, guard),
+            };
+            continue;
         };
-    };
-    let st = &mut *guard;
-    st.ready.remove(&key);
-    let id = key.2;
-    let flag = CancelFlag::new();
-    let entry = st.jobs.get_mut(&id).expect("ready key without job");
-    entry.state = JobState::Running;
-    entry.attempts += 1;
-    entry.not_before = None;
-    entry.cancel = Some(flag.clone());
-    let resumed = entry.snapshot.is_some() || entry.has_checkpoint;
-    let delay = shared
-        .faults
-        .as_ref()
-        .and_then(|plan| plan.dispatch_delay(id, entry.attempts));
-    let attempt = Attempt {
-        id,
-        spec: entry.spec.clone(),
-        snapshot: entry.snapshot.clone(),
-        has_checkpoint: entry.has_checkpoint,
-        instance: entry.instance.clone(),
-        attempt: entry.attempts,
-        flag,
-        delay,
-    };
-    if shared.durable.is_some() {
-        shared.journal(&format!(
-            "{{\"entry\":\"dispatched\",\"job\":{id},\"attempt\":{},\"resumed\":{resumed}}}",
-            entry.attempts
-        ));
+        let st = &mut *guard;
+        st.ready.remove(&key);
+        let id = key.2;
+        let Some(entry) = st.jobs.get_mut(&id) else {
+            // An orphaned ready key (no matching job) would be a scheduler
+            // bug; dropping it and rescanning keeps the worker serving.
+            continue;
+        };
+        let flag = CancelFlag::new();
+        entry.state = JobState::Running;
+        entry.attempts += 1;
+        entry.not_before = None;
+        entry.cancel = Some(flag.clone());
+        let resumed = entry.snapshot.is_some() || entry.has_checkpoint;
+        let delay = shared
+            .faults
+            .as_ref()
+            .and_then(|plan| plan.dispatch_delay(id, entry.attempts));
+        let attempt = Attempt {
+            id,
+            spec: entry.spec.clone(),
+            snapshot: entry.snapshot.clone(),
+            has_checkpoint: entry.has_checkpoint,
+            instance: entry.instance.clone(),
+            attempt: entry.attempts,
+            flag,
+            delay,
+        };
+        if shared.durable.is_some() {
+            shared.journal(&format!(
+                "{{\"entry\":\"dispatched\",\"job\":{id},\"attempt\":{},\"resumed\":{resumed}}}",
+                entry.attempts
+            ));
+        }
+        if let Some(tenant) = st.tenants.get_mut(&attempt.spec.tenant) {
+            tenant.queued = tenant.queued.saturating_sub(1);
+            tenant.in_flight += 1;
+        }
+        st.in_flight += 1;
+        return Some(attempt);
     }
-    let tenant = st
-        .tenants
-        .get_mut(&attempt.spec.tenant)
-        .expect("job without tenant record");
-    tenant.queued -= 1;
-    tenant.in_flight += 1;
-    st.in_flight += 1;
-    Some(attempt)
 }
 
 /// How one guarded attempt ended.
@@ -1168,9 +1156,20 @@ fn run_and_settle(shared: &Shared, attempt: Attempt) {
     };
     Counters::add(&shared.counters.checkpoints, checkpoints_taken);
 
-    let mut guard = shared.state.lock().expect("server state poisoned");
+    let mut guard = lock_recover(&shared.state);
     let st = &mut *guard;
-    let entry = st.jobs.get_mut(&attempt.id).expect("running job vanished");
+    let Some(entry) = st.jobs.get_mut(&attempt.id) else {
+        // A running job vanishing from the map would be a scheduler bug;
+        // release the slots it held and keep the worker serving.
+        if let Some(tenant) = st.tenants.get_mut(&attempt.spec.tenant) {
+            tenant.in_flight = tenant.in_flight.saturating_sub(1);
+        }
+        st.in_flight = st.in_flight.saturating_sub(1);
+        drop(guard);
+        shared.work_ready.notify_all();
+        shared.progress.notify_all();
+        return;
+    };
     entry.cancel = None;
     if entry.instance.is_none() {
         if let Ok(instance) = &instance {
@@ -1192,13 +1191,9 @@ fn run_and_settle(shared: &Shared, attempt: Attempt) {
             entry.iterations += sized.report.iterations;
             let reason = sized.stop_reason();
             if !reason.is_interrupted() {
-                settle(entry, JobState::Completed, reason, Some(&sized), None);
+                let outcome = settle(entry, JobState::Completed, reason, Some(&sized), None);
                 Counters::add(&shared.counters.completed, 1);
-                shared.journal_terminal(
-                    "completed",
-                    attempt.id,
-                    entry.outcome.as_ref().expect("settled"),
-                );
+                shared.journal_terminal("completed", attempt.id, &outcome);
                 line(
                     "completed",
                     &[
@@ -1210,7 +1205,7 @@ fn run_and_settle(shared: &Shared, attempt: Attempt) {
                     ],
                 )
             } else if entry.cancel_requested {
-                settle(
+                let outcome = settle(
                     entry,
                     JobState::Cancelled,
                     StopReason::Cancelled,
@@ -1218,11 +1213,7 @@ fn run_and_settle(shared: &Shared, attempt: Attempt) {
                     None,
                 );
                 Counters::add(&shared.counters.cancelled, 1);
-                shared.journal_terminal(
-                    "cancelled",
-                    attempt.id,
-                    entry.outcome.as_ref().expect("settled"),
-                );
+                shared.journal_terminal("cancelled", attempt.id, &outcome);
                 line(
                     "cancelled",
                     &[
@@ -1232,7 +1223,7 @@ fn run_and_settle(shared: &Shared, attempt: Attempt) {
                     ],
                 )
             } else if entry.attempts >= shared.config.max_attempts {
-                settle(
+                let outcome = settle(
                     entry,
                     JobState::Failed,
                     reason,
@@ -1240,11 +1231,7 @@ fn run_and_settle(shared: &Shared, attempt: Attempt) {
                     Some("attempt cap exhausted".to_string()),
                 );
                 Counters::add(&shared.counters.failed, 1);
-                shared.journal_terminal(
-                    "failed",
-                    attempt.id,
-                    entry.outcome.as_ref().expect("settled"),
-                );
+                shared.journal_terminal("failed", attempt.id, &outcome);
                 line(
                     "failed",
                     &[
@@ -1264,10 +1251,9 @@ fn run_and_settle(shared: &Shared, attempt: Attempt) {
                     .as_ref()
                     .map_or(entry.iterations, |s| s.iterations_done);
                 st.ready.insert(key);
-                st.tenants
-                    .get_mut(&attempt.spec.tenant)
-                    .expect("job without tenant record")
-                    .queued += 1;
+                if let Some(tenant) = st.tenants.get_mut(&attempt.spec.tenant) {
+                    tenant.queued += 1;
+                }
                 Counters::add(&shared.counters.requeued, 1);
                 shared.journal(&format!(
                     "{{\"entry\":\"requeued\",\"job\":{}}}",
@@ -1298,10 +1284,9 @@ fn run_and_settle(shared: &Shared, attempt: Attempt) {
             entry.state = JobState::Queued;
             st.ready
                 .insert(queue_key(entry.spec.priority, entry.seq, attempt.id));
-            st.tenants
-                .get_mut(&attempt.spec.tenant)
-                .expect("job without tenant record")
-                .queued += 1;
+            if let Some(tenant) = st.tenants.get_mut(&attempt.spec.tenant) {
+                tenant.queued += 1;
+            }
             Counters::add(&shared.counters.retried, 1);
             shared.journal(&format!(
                 "{{\"entry\":\"retried\",\"job\":{},\"retry\":{}}}",
@@ -1327,9 +1312,9 @@ fn run_and_settle(shared: &Shared, attempt: Attempt) {
                 Counters::add(&shared.counters.failed, 1);
                 (JobState::Failed, StopReason::IterationLimit)
             };
-            settle(entry, state, reason, None, Some(error.clone()));
+            let outcome = settle(entry, state, reason, None, Some(error.clone()));
             let kind = if cancelled { "cancelled" } else { "failed" };
-            shared.journal_terminal(kind, attempt.id, entry.outcome.as_ref().expect("settled"));
+            shared.journal_terminal(kind, attempt.id, &outcome);
             line(
                 "failed",
                 &[
@@ -1340,28 +1325,27 @@ fn run_and_settle(shared: &Shared, attempt: Attempt) {
             )
         }
     };
-    let tenant = st
-        .tenants
-        .get_mut(&attempt.spec.tenant)
-        .expect("job without tenant record");
-    tenant.in_flight -= 1;
-    st.in_flight -= 1;
+    if let Some(tenant) = st.tenants.get_mut(&attempt.spec.tenant) {
+        tenant.in_flight = tenant.in_flight.saturating_sub(1);
+    }
+    st.in_flight = st.in_flight.saturating_sub(1);
     drop(guard);
     shared.work_ready.notify_all();
     shared.progress.notify_all();
     shared.emit(event);
 }
 
-/// Records a terminal state and outcome on the entry.
+/// Records a terminal state and outcome on the entry, returning the
+/// outcome for journaling.
 fn settle(
     entry: &mut JobEntry,
     state: JobState,
     stop_reason: StopReason,
     sized: Option<&SizedOutcome>,
     error: Option<String>,
-) {
+) -> JobOutcome {
     entry.state = state;
-    entry.outcome = Some(JobOutcome {
+    let outcome = JobOutcome {
         stop_reason,
         iterations: entry.iterations,
         attempts: entry.attempts,
@@ -1369,7 +1353,9 @@ fn settle(
         feasible: sized.is_some_and(|s| s.report.feasible),
         final_metrics: sized.map(|s| s.report.final_metrics),
         error,
-    });
+    };
+    entry.outcome = Some(outcome.clone());
+    outcome
 }
 
 /// Runs one attempt inside a panic guard, classifying the three ways it

@@ -29,6 +29,7 @@ use ncgws_core::snapshot::json::{self, JsonValue};
 use ncgws_core::{CheckpointSink, Snapshot};
 
 use crate::fault::{FaultPlan, WriteFault};
+use crate::sync::lock_recover;
 
 /// Magic + version tag every snapshot file starts with.
 const HEADER_MAGIC: &str = "ncgws-snap v1";
@@ -101,6 +102,7 @@ pub fn crc32(bytes: &[u8]) -> u32 {
                 };
                 k += 1;
             }
+            // In range: the `while i < 256` guard bounds the index.
             table[i] = c;
             i += 1;
         }
@@ -108,6 +110,7 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     };
     let mut crc = !0u32;
     for &b in bytes {
+        // In range: the index is masked to 0..=255 and TABLE has 256 entries.
         crc = TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
     }
     !crc
@@ -234,7 +237,7 @@ impl DiskSnapshotStore {
             crc32(payload.as_bytes())
         );
         let write_index = {
-            let mut inner = self.inner.lock().expect("store lock");
+            let mut inner = lock_recover(&self.inner);
             let counter = inner.writes.entry(job).or_insert(0);
             let idx = *counter;
             *counter += 1;
@@ -256,6 +259,7 @@ impl DiskSnapshotStore {
             Some(WriteFault::Torn) => {
                 let keep = payload.len() / 2;
                 let mut out = header.clone().into_bytes();
+                // In range: `keep` is half of `payload.len()`.
                 out.extend_from_slice(&payload.as_bytes()[..keep]);
                 out
             }
@@ -279,7 +283,7 @@ impl DiskSnapshotStore {
             io_err(&current, e)
         })?;
         let mem = snapshot.memory_bytes();
-        let mut inner = self.inner.lock().expect("store lock");
+        let mut inner = lock_recover(&self.inner);
         inner.file_bytes.insert(job, payload.len());
         inner.tick += 1;
         let tick = inner.tick;
@@ -305,12 +309,14 @@ impl DiskSnapshotStore {
             return;
         };
         while inner.resident_bytes > budget && inner.resident.len() > 1 {
-            let coldest = inner
+            let Some(coldest) = inner
                 .resident
                 .iter()
                 .min_by_key(|(_, r)| r.last_touch)
                 .map(|(&job, _)| job)
-                .expect("non-empty resident set");
+            else {
+                break;
+            };
             if let Some(evicted) = inner.resident.remove(&coldest) {
                 inner.resident_bytes -= evicted.bytes;
                 self.spills.fetch_add(1, Ordering::Relaxed);
@@ -332,7 +338,7 @@ impl DiskSnapshotStore {
     /// the files being absent.
     pub fn load(&self, job: u64) -> Result<Option<Snapshot>, StoreError> {
         {
-            let mut inner = self.inner.lock().expect("store lock");
+            let mut inner = lock_recover(&self.inner);
             inner.tick += 1;
             let tick = inner.tick;
             if let Some(resident) = inner.resident.get_mut(&job) {
@@ -371,7 +377,7 @@ impl DiskSnapshotStore {
         };
         self.reloads.fetch_add(1, Ordering::Relaxed);
         let mem = snapshot.memory_bytes();
-        let mut inner = self.inner.lock().expect("store lock");
+        let mut inner = lock_recover(&self.inner);
         inner.tick += 1;
         let tick = inner.tick;
         if let Some(old) = inner.resident.insert(
@@ -392,7 +398,7 @@ impl DiskSnapshotStore {
     /// Forgets job `job` entirely: resident copy and both file generations
     /// (called when the job reaches a terminal state).
     pub fn remove(&self, job: u64) {
-        let mut inner = self.inner.lock().expect("store lock");
+        let mut inner = lock_recover(&self.inner);
         if let Some(old) = inner.resident.remove(&job) {
             inner.resident_bytes -= old.bytes;
         }
@@ -404,16 +410,12 @@ impl DiskSnapshotStore {
 
     /// Whether job `job` currently has a resident in-memory copy.
     pub fn is_resident(&self, job: u64) -> bool {
-        self.inner
-            .lock()
-            .expect("store lock")
-            .resident
-            .contains_key(&job)
+        lock_recover(&self.inner).resident.contains_key(&job)
     }
 
     /// Current gauges and counters.
     pub fn stats(&self) -> StoreStats {
-        let inner = self.inner.lock().expect("store lock");
+        let inner = lock_recover(&self.inner);
         let spilled_bytes: usize = inner
             .file_bytes
             .iter()
@@ -442,6 +444,7 @@ fn read_snapshot_file(path: &Path) -> Result<Snapshot, StoreError> {
         .iter()
         .position(|&b| b == b'\n')
         .ok_or_else(|| corrupt("missing header line".into()))?;
+    // In range: `newline` is a `position()` hit within `bytes`.
     let header = std::str::from_utf8(&bytes[..newline])
         .map_err(|_| corrupt("header is not UTF-8".into()))?;
     let rest = header
@@ -458,6 +461,7 @@ fn read_snapshot_file(path: &Path) -> Result<Snapshot, StoreError> {
     }
     let len = len.ok_or_else(|| corrupt("header is missing len=".into()))?;
     let crc = crc.ok_or_else(|| corrupt("header is missing crc=".into()))?;
+    // In range: `newline < bytes.len()`, so the suffix start is at most len.
     let payload = &bytes[newline + 1..];
     if payload.len() != len {
         return Err(corrupt(format!(
@@ -556,7 +560,7 @@ impl Journal {
     ///
     /// Returns [`StoreError::Io`] on write failure.
     pub fn append(&self, line: &str) -> Result<(), StoreError> {
-        let mut file = self.file.lock().expect("journal lock");
+        let mut file = lock_recover(&self.file);
         file.write_all(line.as_bytes())
             .and_then(|()| file.write_all(b"\n"))
             .and_then(|()| file.flush())

@@ -1,0 +1,54 @@
+//! Poison-tolerant lock helpers.
+//!
+//! Worker panics are caught per attempt, but a panic *while holding* a lock
+//! poisons it. Every such critical section in this crate leaves the guarded
+//! data consistent (state transitions happen after the fallible work), so
+//! recovery is simply taking the guard back — propagating the poison as a
+//! second panic would violate the crate's no-panic serving contract.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError, WaitTimeoutResult};
+use std::time::Duration;
+
+/// Locks `mutex`, recovering the guard from a poisoned lock.
+pub(crate) fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait`] with the same poison recovery as [`lock_recover`].
+pub(crate) fn wait_recover<'a, T>(
+    condvar: &Condvar,
+    guard: MutexGuard<'a, T>,
+) -> MutexGuard<'a, T> {
+    condvar.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait_timeout`] with the same poison recovery.
+pub(crate) fn wait_timeout_recover<'a, T>(
+    condvar: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> (MutexGuard<'a, T>, Option<WaitTimeoutResult>) {
+    match condvar.wait_timeout(guard, timeout) {
+        Ok((guard, res)) => (guard, Some(res)),
+        Err(poisoned) => (poisoned.into_inner().0, None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn poisoned_lock_is_recovered_not_propagated() {
+        let shared = Arc::new(Mutex::new(7u32));
+        let clone = Arc::clone(&shared);
+        let _ = std::thread::spawn(move || {
+            let _guard = clone.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(shared.is_poisoned());
+        assert_eq!(*lock_recover(&shared), 7);
+    }
+}

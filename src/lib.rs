@@ -293,6 +293,29 @@
 //! # }
 //! ```
 //!
+//! # Static analysis & race checking
+//!
+//! The kernels above rest on conventions no compiler checks; the workspace
+//! carries both a static and a dynamic guard for them:
+//!
+//! * **`ncgws-analyze`** (a dependency-free workspace binary, not part of
+//!   this facade) lints the conventions themselves: hot sweep/kernel
+//!   functions stay allocation-free, every `unsafe` site documents its
+//!   invariant, the serving layer never panics outside injected faults, and
+//!   parallel-gated code keeps a sequential fallback. Findings are
+//!   fingerprinted line-number-free against the committed
+//!   `ANALYZE_BASELINE.txt`; `cargo run -p ncgws-analyze -- --deny` is the
+//!   CI gate.
+//! * The **`race-check`** cargo feature arms a debug-only shadow claim map
+//!   on [`SharedMut`](circuit::SharedMut) kernel writes
+//!   (`ncgws_circuit::race`): each parallel pass runs every chunk body in a
+//!   `(pass, level, chunk)` context, each write claims its index, and two
+//!   chunks of one pass writing the same index panic immediately — the
+//!   level-partition invariant behind every `unsafe` kernel write, made
+//!   observable. `cargo test --features "parallel race-check"` keeps the
+//!   thread-determinism suite bitwise-green with the checker armed; the
+//!   production build compiles the instrumentation away.
+//!
 //! # Batch execution
 //!
 //! [`BatchRunner`] pushes many instances through the full two-stage flow —
